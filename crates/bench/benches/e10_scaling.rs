@@ -1,0 +1,44 @@
+//! E10 — Corollary 6.4: data-complexity scaling of a fixed reachability
+//! query across instance sizes and shapes, with the NFA-vs-reference
+//! evaluator ablation (DESIGN.md §3).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgq_core::{builders, eval_with, EvalConfig, Query};
+use pgq_workloads::families::{cycle_db, grid_db, path_db};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_scaling");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    let q = Query::pattern_ro(
+        builders::reachability_output(),
+        ["N", "E", "S", "T", "L", "P"],
+    );
+    for n in [50usize, 100, 200] {
+        for (shape, db) in [
+            ("path", path_db(n)),
+            ("cycle", cycle_db(n)),
+            ("grid", grid_db(n / 5, 5)),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{shape}_fast"), n),
+                &db,
+                |b, db| b.iter(|| eval_with(&q, db, EvalConfig::default()).unwrap()),
+            );
+            // Ablation: reference evaluator (no NFA fast path).
+            if n <= 100 {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{shape}_reference"), n),
+                    &db,
+                    |b, db| b.iter(|| eval_with(&q, db, EvalConfig::reference()).unwrap()),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E2 — Figure 2 vs Figure 6 vs the NFA engine: relative evaluator cost
+//! on the same pattern and graph (Prop 9.1 equivalence is asserted in
+//! tests; here we measure the price of each semantics).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgq_core::{build_view, EvalConfig, Query, ViewOp};
+use pgq_pattern::{eval_pattern, eval_pattern_paths, try_eval_pairs, Pattern};
+use pgq_workloads::random::canonical_graph_db;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_semantics");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for n in [10usize, 20, 40] {
+        let db = canonical_graph_db(n, 2 * n, 5, 3);
+        let views = ["N", "E", "S", "T", "L", "P"].map(Query::rel);
+        let g = build_view(&views, ViewOp::Unary, &db, EvalConfig::default()).unwrap();
+        let pattern = Pattern::node("x")
+            .then(Pattern::any_edge().repeat(1, 3))
+            .then(Pattern::node("y"));
+        group.bench_with_input(BenchmarkId::new("endpoint_fig2", n), &g, |b, g| {
+            b.iter(|| eval_pattern(&pattern, g).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("paths_fig6", n), &g, |b, g| {
+            b.iter(|| eval_pattern_paths(&pattern, g).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("nfa_engine", n), &g, |b, g| {
+            b.iter(|| try_eval_pairs(&pattern, g).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

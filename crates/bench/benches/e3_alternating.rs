@@ -1,0 +1,34 @@
+//! E3 — Theorem 4.1: cost of the recursive `PGQrw` query vs the bounded
+//! unrolling on alternating-path instances of growing length.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgq_core::eval;
+use pgq_workloads::alternating::{
+    alternating_path_db, enumerate_ro_views, ro_unrolled_query, rw_alternating_query,
+};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_alternating");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for length in [8usize, 16, 32] {
+        let db = alternating_path_db(length, None);
+        let rw = rw_alternating_query(2);
+        group.bench_with_input(BenchmarkId::new("pgqrw_recursive", length), &db, |b, db| {
+            b.iter(|| eval(&rw, db).unwrap())
+        });
+        let bounded = ro_unrolled_query(8);
+        group.bench_with_input(BenchmarkId::new("bounded_r8", length), &db, |b, db| {
+            b.iter(|| eval(&bounded, db).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("prop_9_2_enumeration", length), &db, |b, db| {
+            b.iter(|| enumerate_ro_views(db))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E4 — Theorem 4.2: spectrum computation, periodicity detection, and
+//! semilinear-set algebra costs.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgq_logic::{detect_period, powers_of_two_bits, UpSet};
+use pgq_workloads::families::{two_cycles_db, walk_length_spectrum};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_semilinear");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for (p, q) in [(3usize, 5usize), (7, 11), (13, 17)] {
+        let db = two_cycles_db(p, q, true);
+        group.bench_with_input(
+            BenchmarkId::new("spectrum", format!("{p}x{q}")),
+            &db,
+            |b, db| b.iter(|| walk_length_spectrum(db, 0, p as i64, 512)),
+        );
+        let bits = walk_length_spectrum(&db, 0, p as i64, 512);
+        group.bench_with_input(
+            BenchmarkId::new("detect_period", format!("{p}x{q}")),
+            &bits,
+            |b, bits| b.iter(|| detect_period(bits, 256, 64)),
+        );
+    }
+    // The non-semilinear witness: exhaustive failure to find a period.
+    let p2 = powers_of_two_bits(1024);
+    group.bench_function("powers_of_two_refutation", |b| {
+        b.iter(|| {
+            assert_eq!(detect_period(&p2, 512, 64), None);
+        })
+    });
+    // UpSet Boolean algebra.
+    let evens = UpSet::from_linear(0, 2);
+    let mult3 = UpSet::from_linear(1, 3);
+    group.bench_function("upset_algebra", |b| {
+        b.iter(|| {
+            evens
+                .union(&mult3)
+                .complement()
+                .intersect(&evens.sum(&mult3))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E5 — Example 5.3 / Figure 5: the PGQext copy-graph construction vs
+//! the FO[TC2] route vs the direct dynamic program.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgq_core::eval;
+use pgq_logic::eval_ordered;
+use pgq_value::Var;
+use pgq_workloads::increasing::{
+    increasing_pairs_baseline, increasing_pairs_formula, increasing_pairs_query, random_ledger,
+};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_increasing");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for m in [20usize, 40, 80] {
+        let db = random_ledger(15, m, 25, 42);
+        let q = increasing_pairs_query();
+        group.bench_with_input(BenchmarkId::new("pgqext_view", m), &db, |b, db| {
+            b.iter(|| eval(&q, db).unwrap())
+        });
+        let phi = increasing_pairs_formula();
+        let order = [Var::new("x"), Var::new("y")];
+        group.bench_with_input(BenchmarkId::new("fo_tc2", m), &db, |b, db| {
+            b.iter(|| eval_ordered(&phi, &order, db).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("dp_baseline", m), &db, |b, db| {
+            b.iter(|| increasing_pairs_baseline(db))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

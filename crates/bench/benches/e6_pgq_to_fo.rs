@@ -1,0 +1,38 @@
+//! E6 — Theorem 6.1: cost of the τ translation and the overhead of
+//! evaluating τ(Q) in the logic engine vs Q natively.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgq_core::{builders, eval, Query};
+use pgq_logic::eval_ordered;
+use pgq_translate::pgq_to_fo;
+use pgq_workloads::random::canonical_graph_db;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_pgq_to_fo");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    let q = Query::pattern_ro(
+        builders::reachability_output(),
+        ["N", "E", "S", "T", "L", "P"],
+    );
+    for n in [8usize, 16, 32] {
+        let db = canonical_graph_db(n, 2 * n, 5, 5);
+        let schema = db.schema();
+        group.bench_with_input(BenchmarkId::new("translate", n), &schema, |b, schema| {
+            b.iter(|| pgq_to_fo(&q, schema).unwrap())
+        });
+        let fo = pgq_to_fo(&q, &schema).unwrap();
+        group.bench_with_input(BenchmarkId::new("eval_native", n), &db, |b, db| {
+            b.iter(|| eval(&q, db).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("eval_translated", n), &db, |b, db| {
+            b.iter(|| eval_ordered(&fo.formula, &fo.vars, db).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

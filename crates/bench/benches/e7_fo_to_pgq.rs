@@ -1,0 +1,43 @@
+//! E7 — Theorem 6.2: cost of the T translation and of evaluating T(φ)
+//! (reachability over a constructed view) vs native TC evaluation.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgq_core::eval;
+use pgq_logic::{eval_ordered, Formula, Term};
+use pgq_translate::fo_to_pgq;
+use pgq_value::Var;
+use pgq_workloads::random::ve_db;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_fo_to_pgq");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    let phi = Formula::tc(
+        vec![Var::new("u")],
+        vec![Var::new("w")],
+        Formula::atom("E", ["u", "w"]),
+        vec![Term::var("x")],
+        vec![Term::var("y")],
+    );
+    let order = [Var::new("x"), Var::new("y")];
+    for n in [10usize, 20, 40] {
+        let db = ve_db(n, 3 * n, 6);
+        let schema = db.schema();
+        group.bench_with_input(BenchmarkId::new("translate", n), &schema, |b, schema| {
+            b.iter(|| fo_to_pgq(&phi, &order, schema).unwrap())
+        });
+        let res = fo_to_pgq(&phi, &order, &schema).unwrap();
+        group.bench_with_input(BenchmarkId::new("eval_native_tc", n), &db, |b, db| {
+            b.iter(|| eval_ordered(&phi, &order, db).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("eval_translated", n), &db, |b, db| {
+            b.iter(|| eval(&res.query, db).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

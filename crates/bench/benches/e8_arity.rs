@@ -1,0 +1,56 @@
+//! E8 — Theorems 6.5/6.6: evaluation cost per TC arity k (configuration
+//! space ≈ n^k) and the Finding F1 translation arities.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgq_core::eval;
+use pgq_logic::{eval_ordered, Formula, Term};
+use pgq_translate::fo_to_pgq;
+use pgq_value::Var;
+use pgq_workloads::random::ve_db;
+
+fn tck_formula(k: usize) -> (Formula, Vec<Var>) {
+    let u: Vec<Var> = (0..k).map(|i| Var::new(format!("u{i}"))).collect();
+    let w: Vec<Var> = (0..k).map(|i| Var::new(format!("w{i}"))).collect();
+    let body = Formula::and_all(
+        (0..k).map(|i| Formula::atom("E", [Term::Var(u[i].clone()), Term::Var(w[i].clone())])),
+    );
+    let x: Vec<Term> = (0..k).map(|i| Term::var(format!("x{i}"))).collect();
+    let y: Vec<Term> = (0..k).map(|i| Term::var(format!("y{i}"))).collect();
+    let phi = Formula::Tc {
+        u,
+        v: w,
+        body: Box::new(body),
+        x: x.clone(),
+        y: y.clone(),
+    };
+    let order: Vec<Var> = x
+        .iter()
+        .chain(&y)
+        .filter_map(|t| t.as_var().cloned())
+        .collect();
+    (phi, order)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_arity");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    let db = ve_db(8, 16, 4);
+    for k in [1usize, 2] {
+        let (phi, order) = tck_formula(k);
+        group.bench_with_input(BenchmarkId::new("native_tc_k", k), &db, |b, db| {
+            b.iter(|| eval_ordered(&phi, &order, db).unwrap())
+        });
+        let res = fo_to_pgq(&phi, &order, &db.schema()).unwrap();
+        assert_eq!(res.max_view_arity, 2 * k); // Finding F1
+        group.bench_with_input(BenchmarkId::new("translated_pgq_2k", k), &db, |b, db| {
+            b.iter(|| eval(&res.query, db).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

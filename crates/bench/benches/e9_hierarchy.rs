@@ -1,0 +1,57 @@
+//! E9 — Theorem 5.2 / Theorem 6.8: pair-reachability (the separating
+//! query φ⁽²⁾) on torus-diagonal instances, via the constructive
+//! translation, plus the cardinality check that rules unary identifiers
+//! out.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgq_core::eval;
+use pgq_logic::{eval_ordered, Formula, Term};
+use pgq_relational::Database;
+use pgq_translate::fo_to_pgq;
+use pgq_value::{tuple, Var};
+
+fn torus_db(n: usize) -> Database {
+    let mut db = Database::new();
+    for a in 0..n as i64 {
+        for b in 0..n as i64 {
+            db.insert("E4", tuple![a, b, (a + 1) % n as i64, (b + 1) % n as i64])
+                .unwrap();
+        }
+    }
+    db
+}
+
+fn pair_reach() -> Formula {
+    Formula::tc(
+        vec![Var::new("u1"), Var::new("u2")],
+        vec![Var::new("w1"), Var::new("w2")],
+        Formula::atom("E4", ["u1", "u2", "w1", "w2"]),
+        vec![Term::constant(0), Term::constant(0)],
+        vec![Term::constant(1), Term::constant(1)],
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_hierarchy");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    let phi = pair_reach();
+    for n in [3usize, 5, 8] {
+        let db = torus_db(n);
+        // Cardinality evidence: more pair-steps than domain elements.
+        assert!(db.get(&"E4".into()).unwrap().len() > db.active_domain().len());
+        group.bench_with_input(BenchmarkId::new("fo_tc2_native", n), &db, |b, db| {
+            b.iter(|| eval_ordered(&phi, &[], db).unwrap())
+        });
+        let res = fo_to_pgq(&phi, &[], &db.schema()).unwrap();
+        group.bench_with_input(BenchmarkId::new("pgq_pair_view", n), &db, |b, db| {
+            b.iter(|| eval(&res.query, db).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! # pgq-bench
+//!
+//! Experiment harness (system S11; DESIGN.md §3): the E1–E10 experiments
+//! as library functions shared by the `report` binary (which regenerates
+//! the measured section of `EXPERIMENTS.md`) and the Criterion benches
+//! under `benches/` (which measure wall-clock shapes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::full_report;

@@ -1,0 +1,396 @@
+//! A small algebra on property graphs with shared identifier arity.
+//!
+//! The operations are defined relationally — each is a set operation on
+//! the canonical relations `(R1, …, R6)` followed by an unchanged
+//! `pgView` validation pass — so "graph union" really is six relational
+//! unions, and a union that would violate Definition 3.1 (an edge id
+//! colliding with a node id, an edge acquiring two sources, a property
+//! acquiring two values) is rejected by the very validator the paper
+//! defines, with no extra machinery.
+//!
+//! Semantics choices the paper leaves open (documented per operation):
+//!
+//! * **union** is strict: structural conflicts are errors, not
+//!   resolutions (labels union freely; properties must agree).
+//! * **intersection** keeps an edge only when both operands agree on
+//!   its endpoints and both endpoints survive; labels and properties
+//!   intersect.
+//! * **difference** removes the right operand's *elements*: surviving
+//!   edges are those of the left graph not in the right graph whose
+//!   endpoints both survive; annotations are restricted to survivors.
+//!   (Set difference on the raw relations would dangle edges.)
+//! * **induced subgraphs** restrict the node set (by label) and keep
+//!   exactly the edges with both endpoints surviving.
+
+use pgq_graph::{pg_view_ext, relations_of, PropertyGraph, ViewError, ViewMode, ViewRelations};
+use pgq_relational::RelError;
+use pgq_value::Label;
+use std::fmt;
+
+/// Errors of graph-algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlgebraError {
+    /// The operands have different identifier arities.
+    ArityMismatch {
+        /// Left operand's identifier arity.
+        left: usize,
+        /// Right operand's identifier arity.
+        right: usize,
+    },
+    /// The combined relations are not a valid property graph view — the
+    /// wrapped error says which Definition 3.1 condition failed (id
+    /// disjointness, endpoint functionality, annotation domains).
+    Invalid(ViewError),
+    /// Relational-layer arity error (unreachable for well-formed
+    /// inputs; surfaced rather than panicking).
+    Rel(RelError),
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraError::ArityMismatch { left, right } => {
+                write!(f, "identifier arities differ: {left} vs {right}")
+            }
+            AlgebraError::Invalid(e) => write!(f, "combined graph invalid: {e}"),
+            AlgebraError::Rel(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {}
+
+impl From<ViewError> for AlgebraError {
+    fn from(e: ViewError) -> Self {
+        AlgebraError::Invalid(e)
+    }
+}
+
+impl From<RelError> for AlgebraError {
+    fn from(e: RelError) -> Self {
+        AlgebraError::Rel(e)
+    }
+}
+
+fn check_arity(a: &PropertyGraph, b: &PropertyGraph) -> Result<(), AlgebraError> {
+    if a.id_arity() == b.id_arity() || a.node_count() + a.edge_count() == 0
+        || b.node_count() + b.edge_count() == 0
+    {
+        Ok(())
+    } else {
+        Err(AlgebraError::ArityMismatch {
+            left: a.id_arity(),
+            right: b.id_arity(),
+        })
+    }
+}
+
+/// Graph union: six relational unions, validated by `pgView`. Strict —
+/// any structural conflict is a typed error.
+pub fn union(a: &PropertyGraph, b: &PropertyGraph) -> Result<PropertyGraph, AlgebraError> {
+    check_arity(a, b)?;
+    if a.node_count() + a.edge_count() == 0 {
+        return Ok(b.clone());
+    }
+    if b.node_count() + b.edge_count() == 0 {
+        return Ok(a.clone());
+    }
+    let ra = relations_of(a);
+    let rb = relations_of(b);
+    let combined = ViewRelations::new(
+        ra.nodes.union(&rb.nodes)?,
+        ra.edges.union(&rb.edges)?,
+        ra.src.union(&rb.src)?,
+        ra.tgt.union(&rb.tgt)?,
+        ra.labels.union(&rb.labels)?,
+        ra.props.union(&rb.props)?,
+    );
+    Ok(pg_view_ext(&combined, ViewMode::Strict)?)
+}
+
+/// Graph intersection: common nodes; common edges on which both graphs
+/// agree about endpoints; common labels; properties equal in both.
+pub fn intersect(a: &PropertyGraph, b: &PropertyGraph) -> Result<PropertyGraph, AlgebraError> {
+    check_arity(a, b)?;
+    let k = a.id_arity();
+    if a.node_count() + a.edge_count() == 0 || b.node_count() + b.edge_count() == 0 {
+        return Ok(PropertyGraph::empty(k));
+    }
+    let ra = relations_of(a);
+    let rb = relations_of(b);
+    let nodes = ra.nodes.intersection(&rb.nodes)?;
+    // Edge rows agree on endpoints exactly when the (id, endpoint) rows
+    // intersect; additionally both endpoints must survive.
+    let src = ra.src.intersection(&rb.src)?;
+    let tgt = ra.tgt.intersection(&rb.tgt)?;
+    let edges = ra.edges.intersection(&rb.edges)?.select(|e| {
+        let s = src.iter().find(|t| prefix(t, e, k)).map(|t| suffix(t, k));
+        let g = tgt.iter().find(|t| prefix(t, e, k)).map(|t| suffix(t, k));
+        matches!((s, g), (Some(s), Some(g)) if nodes.contains(&s) && nodes.contains(&g))
+    });
+    let src = src.select(|t| edges.contains(&head(t, k)));
+    let tgt = tgt.select(|t| edges.contains(&head(t, k)));
+    let keep = |t: &pgq_value::Tuple| {
+        let id = head(t, k);
+        nodes.contains(&id) || edges.contains(&id)
+    };
+    let labels = ra.labels.intersection(&rb.labels)?.select(keep);
+    let props = ra.props.intersection(&rb.props)?.select(keep);
+    let combined = ViewRelations::new(nodes, edges, src, tgt, labels, props);
+    Ok(pg_view_ext(&combined, ViewMode::Strict)?)
+}
+
+/// Graph difference: remove the right operand's elements from the left;
+/// edges survive only if not removed and with both endpoints surviving.
+pub fn minus(a: &PropertyGraph, b: &PropertyGraph) -> Result<PropertyGraph, AlgebraError> {
+    check_arity(a, b)?;
+    let k = a.id_arity();
+    let ra = relations_of(a);
+    let rb = relations_of(b);
+    let nodes = ra.nodes.difference(&rb.nodes)?;
+    let edges = ra.edges.difference(&rb.edges)?.select(|e| {
+        let s = a.src(e).expect("total in a");
+        let t = a.tgt(e).expect("total in a");
+        nodes.contains(s) && nodes.contains(t)
+    });
+    restrict_and_view(&ra, nodes, edges, k)
+}
+
+/// Edge-only difference: keep all of `a`'s nodes, drop `a`'s edges that
+/// occur in `b` (with their annotations). The natural "remove a layer"
+/// operation when two views share a node relation — element-wise
+/// [`minus`] would remove the shared nodes and take everything with
+/// them.
+pub fn minus_edges(a: &PropertyGraph, b: &PropertyGraph) -> Result<PropertyGraph, AlgebraError> {
+    check_arity(a, b)?;
+    let k = a.id_arity();
+    let ra = relations_of(a);
+    let rb = relations_of(b);
+    let nodes = ra.nodes.clone();
+    let edges = ra.edges.difference(&rb.edges)?;
+    restrict_and_view(&ra, nodes, edges, k)
+}
+
+/// The subgraph induced by nodes carrying `label`: those nodes, plus
+/// exactly the edges with both endpoints kept (with all annotations).
+pub fn induced_by_node_label(
+    g: &PropertyGraph,
+    label: &Label,
+) -> Result<PropertyGraph, AlgebraError> {
+    let k = g.id_arity();
+    let r = relations_of(g);
+    let nodes = r.nodes.select(|n| g.has_label(n, label));
+    let edges = r.edges.select(|e| {
+        let s = g.src(e).expect("total");
+        let t = g.tgt(e).expect("total");
+        nodes.contains(s) && nodes.contains(t)
+    });
+    restrict_and_view(&r, nodes, edges, k)
+}
+
+/// Keep only edges carrying `label` (all nodes survive).
+pub fn filter_edges_by_label(
+    g: &PropertyGraph,
+    label: &Label,
+) -> Result<PropertyGraph, AlgebraError> {
+    let k = g.id_arity();
+    let r = relations_of(g);
+    let edges = r.edges.select(|e| g.has_label(e, label));
+    let nodes = r.nodes.clone();
+    restrict_and_view(&r, nodes, edges, k)
+}
+
+/// Shared tail: restrict `src`/`tgt`/`labels`/`props` of `r` to the
+/// surviving `nodes`/`edges` and re-validate.
+fn restrict_and_view(
+    r: &ViewRelations,
+    nodes: pgq_relational::Relation,
+    edges: pgq_relational::Relation,
+    k: usize,
+) -> Result<PropertyGraph, AlgebraError> {
+    let src = r.src.select(|t| edges.contains(&head(t, k)));
+    let tgt = r.tgt.select(|t| edges.contains(&head(t, k)));
+    let keep = |t: &pgq_value::Tuple| {
+        let id = head(t, k);
+        nodes.contains(&id) || edges.contains(&id)
+    };
+    let labels = r.labels.select(keep);
+    let props = r.props.select(keep);
+    let combined = ViewRelations::new(nodes, edges, src, tgt, labels, props);
+    Ok(pg_view_ext(&combined, ViewMode::Strict)?)
+}
+
+fn head(t: &pgq_value::Tuple, k: usize) -> pgq_value::Tuple {
+    t.project(&(0..k).collect::<Vec<_>>()).expect("arity ≥ k")
+}
+
+fn suffix(t: &pgq_value::Tuple, k: usize) -> pgq_value::Tuple {
+    t.project(&(k..t.arity()).collect::<Vec<_>>()).expect("arity 2k")
+}
+
+fn prefix(t: &pgq_value::Tuple, id: &pgq_value::Tuple, k: usize) -> bool {
+    (0..k).all(|i| t.get(i) == id.get(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_graph::PropertyGraphBuilder;
+    use pgq_value::{Tuple, Value};
+
+    fn nid(i: i64) -> Tuple {
+        Tuple::unary(Value::int(i))
+    }
+
+    /// nodes 0,1 with edge 10: 0→1 labeled "a", prop w=1 on node 0.
+    fn g1() -> PropertyGraph {
+        let mut b = PropertyGraphBuilder::unary();
+        b.node1(Value::int(0)).unwrap();
+        b.node1(Value::int(1)).unwrap();
+        b.edge1(Value::int(10), Value::int(0), Value::int(1)).unwrap();
+        b.label(nid(10), Value::str("a")).unwrap();
+        b.prop(nid(0), Value::str("w"), Value::int(1)).unwrap();
+        b.finish()
+    }
+
+    /// nodes 1,2 with edge 11: 1→2 labeled "b".
+    fn g2() -> PropertyGraph {
+        let mut b = PropertyGraphBuilder::unary();
+        b.node1(Value::int(1)).unwrap();
+        b.node1(Value::int(2)).unwrap();
+        b.edge1(Value::int(11), Value::int(1), Value::int(2)).unwrap();
+        b.label(nid(11), Value::str("b")).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn union_glues_overlapping_graphs() {
+        let u = union(&g1(), &g2()).unwrap();
+        assert_eq!(u.node_count(), 3);
+        assert_eq!(u.edge_count(), 2);
+        assert!(u.has_label(&nid(10), &Value::str("a")));
+        assert!(u.has_label(&nid(11), &Value::str("b")));
+    }
+
+    #[test]
+    fn union_is_commutative_and_idempotent_here() {
+        let a = g1();
+        let b = g2();
+        assert_eq!(union(&a, &b).unwrap(), union(&b, &a).unwrap());
+        assert_eq!(union(&a, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn union_rejects_endpoint_conflict() {
+        // Edge 10 exists in both, but points 0→1 in g1 and 1→0 here.
+        let mut b = PropertyGraphBuilder::unary();
+        b.node1(Value::int(0)).unwrap();
+        b.node1(Value::int(1)).unwrap();
+        b.edge1(Value::int(10), Value::int(1), Value::int(0)).unwrap();
+        let conflicting = b.finish();
+        assert!(matches!(
+            union(&g1(), &conflicting),
+            Err(AlgebraError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn union_rejects_node_edge_id_clash() {
+        // 10 is an edge in g1 and a node here.
+        let mut b = PropertyGraphBuilder::unary();
+        b.node1(Value::int(10)).unwrap();
+        let clashing = b.finish();
+        assert!(matches!(union(&g1(), &clashing), Err(AlgebraError::Invalid(_))));
+    }
+
+    #[test]
+    fn union_rejects_property_conflict_but_accepts_agreement() {
+        let mut b = PropertyGraphBuilder::unary();
+        b.node1(Value::int(0)).unwrap();
+        b.prop(nid(0), Value::str("w"), Value::int(2)).unwrap();
+        let conflicting = b.finish();
+        assert!(matches!(union(&g1(), &conflicting), Err(AlgebraError::Invalid(_))));
+
+        let mut b = PropertyGraphBuilder::unary();
+        b.node1(Value::int(0)).unwrap();
+        b.prop(nid(0), Value::str("w"), Value::int(1)).unwrap();
+        let agreeing = b.finish();
+        assert_eq!(union(&g1(), &agreeing).unwrap(), g1());
+    }
+
+    #[test]
+    fn intersection_keeps_common_structure() {
+        let i = intersect(&g1(), &g2()).unwrap();
+        assert_eq!(i.node_count(), 1); // node 1
+        assert_eq!(i.edge_count(), 0);
+    }
+
+    #[test]
+    fn intersection_drops_edges_with_disagreeing_endpoints() {
+        let mut b = PropertyGraphBuilder::unary();
+        b.node1(Value::int(0)).unwrap();
+        b.node1(Value::int(1)).unwrap();
+        b.edge1(Value::int(10), Value::int(1), Value::int(0)).unwrap(); // reversed
+        let reversed = b.finish();
+        let i = intersect(&g1(), &reversed).unwrap();
+        assert_eq!(i.node_count(), 2);
+        assert_eq!(i.edge_count(), 0);
+    }
+
+    #[test]
+    fn minus_removes_elements_and_dangling_edges() {
+        // Remove node 1: edge 10 must go with it.
+        let mut b = PropertyGraphBuilder::unary();
+        b.node1(Value::int(1)).unwrap();
+        let just_node1 = b.finish();
+        let d = minus(&g1(), &just_node1).unwrap();
+        assert_eq!(d.node_count(), 1);
+        assert_eq!(d.edge_count(), 0);
+        // Node 0 keeps its property.
+        assert_eq!(d.prop(&nid(0), &Value::str("w")), Some(&Value::int(1)));
+    }
+
+    #[test]
+    fn induced_subgraph_by_label() {
+        let mut b = PropertyGraphBuilder::unary();
+        for i in 0..4i64 {
+            b.node1(Value::int(i)).unwrap();
+        }
+        for i in 0..3i64 {
+            b.edge1(Value::int(10 + i), Value::int(i), Value::int(i + 1)).unwrap();
+        }
+        for i in [0i64, 1, 2] {
+            b.label(nid(i), Value::str("Core")).unwrap();
+        }
+        let g = b.finish();
+        let core = induced_by_node_label(&g, &Value::str("Core")).unwrap();
+        assert_eq!(core.node_count(), 3);
+        assert_eq!(core.edge_count(), 2); // 0→1, 1→2 survive; 2→3 dangles
+    }
+
+    #[test]
+    fn filter_edges_by_label_keeps_all_nodes() {
+        let u = union(&g1(), &g2()).unwrap();
+        let only_a = filter_edges_by_label(&u, &Value::str("a")).unwrap();
+        assert_eq!(only_a.node_count(), 3);
+        assert_eq!(only_a.edge_count(), 1);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut b = PropertyGraphBuilder::new(2);
+        b.node(Tuple::new(vec![Value::int(0), Value::int(0)])).unwrap();
+        let wide = b.finish();
+        assert!(matches!(
+            union(&g1(), &wide),
+            Err(AlgebraError::ArityMismatch { left: 1, right: 2 })
+        ));
+    }
+
+    #[test]
+    fn empty_graph_is_a_union_identity() {
+        let e = PropertyGraph::empty(1);
+        assert_eq!(union(&g1(), &e).unwrap(), g1());
+        assert_eq!(union(&e, &g1()).unwrap(), g1());
+    }
+}

@@ -1,0 +1,338 @@
+//! Graph-valued query expressions.
+//!
+//! Section 8 of the paper: "our formalization opens the door to
+//! compositional graph-query languages: `pgView` constructs full
+//! property graphs that can be queried or outputted." [`GraphExpr`] is
+//! that door, opened: the `pgView` family is the base constructor
+//! (its six arguments are arbitrary relational/PGQ queries, exactly as
+//! in `PGQrw`/`PGQext`), the graph algebra of [`crate::algebra`]
+//! composes graph values, and [`eval_match`] closes the loop back into
+//! relations by running an output pattern (Figure 2) on the composed
+//! graph — so a query can move between the relational and graph models
+//! as many times as it likes.
+
+use crate::algebra::{self, AlgebraError};
+use pgq_core::{build_view, EvalConfig, Query, QueryError, ViewOp};
+use pgq_graph::{relations_of, PropertyGraph, ViewRelations};
+use pgq_pattern::{OutputError, OutputPattern};
+use pgq_relational::{Database, Relation};
+use pgq_value::Label;
+use std::fmt;
+
+/// A graph-valued query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphExpr {
+    /// The paper's base constructor: `pgView⋆(Q1, …, Q6)` over six
+    /// relational subqueries (Figure 4, generalized by Definition 5.3).
+    View {
+        /// The six subqueries in canonical order.
+        views: Box<[Query; 6]>,
+        /// Which `pgView` family member to apply.
+        op: ViewOp,
+    },
+    /// A literal graph value (useful for staging and tests).
+    Literal(PropertyGraph),
+    /// Strict graph union.
+    Union(Box<GraphExpr>, Box<GraphExpr>),
+    /// Graph intersection.
+    Intersect(Box<GraphExpr>, Box<GraphExpr>),
+    /// Graph difference (removes elements, restricts dangling edges).
+    Minus(Box<GraphExpr>, Box<GraphExpr>),
+    /// Edge-only difference (keeps the left operand's nodes).
+    MinusEdges(Box<GraphExpr>, Box<GraphExpr>),
+    /// Subgraph induced by nodes carrying a label.
+    InducedByNodeLabel(Box<GraphExpr>, Label),
+    /// Keep only edges carrying a label.
+    FilterEdgesByLabel(Box<GraphExpr>, Label),
+}
+
+impl GraphExpr {
+    /// `pgView⋆(Q̄)` from six queries.
+    pub fn view(views: [Query; 6], op: ViewOp) -> Self {
+        GraphExpr::View { views: Box::new(views), op }
+    }
+
+    /// `pgView(R1, …, R6)` over six stored relations.
+    pub fn view_ro(rels: [&str; 6], op: ViewOp) -> Self {
+        GraphExpr::view(rels.map(|r| Query::Rel(r.into())), op)
+    }
+
+    /// `self ∪ other`.
+    pub fn union(self, other: GraphExpr) -> Self {
+        GraphExpr::Union(Box::new(self), Box::new(other))
+    }
+
+    /// `self ∩ other`.
+    pub fn intersect(self, other: GraphExpr) -> Self {
+        GraphExpr::Intersect(Box::new(self), Box::new(other))
+    }
+
+    /// `self − other` (element difference).
+    pub fn minus(self, other: GraphExpr) -> Self {
+        GraphExpr::Minus(Box::new(self), Box::new(other))
+    }
+
+    /// `self ∖ₑ other` (edge-only difference).
+    pub fn minus_edges(self, other: GraphExpr) -> Self {
+        GraphExpr::MinusEdges(Box::new(self), Box::new(other))
+    }
+
+    /// Node-label-induced subgraph.
+    pub fn induced(self, label: impl Into<Label>) -> Self {
+        GraphExpr::InducedByNodeLabel(Box::new(self), label.into())
+    }
+
+    /// Edge-label filter.
+    pub fn edges_labeled(self, label: impl Into<Label>) -> Self {
+        GraphExpr::FilterEdgesByLabel(Box::new(self), label.into())
+    }
+
+    /// Number of AST nodes (diagnostics).
+    pub fn size(&self) -> usize {
+        match self {
+            GraphExpr::View { .. } | GraphExpr::Literal(_) => 1,
+            GraphExpr::Union(a, b)
+            | GraphExpr::Intersect(a, b)
+            | GraphExpr::Minus(a, b)
+            | GraphExpr::MinusEdges(a, b) => 1 + a.size() + b.size(),
+            GraphExpr::InducedByNodeLabel(a, _) | GraphExpr::FilterEdgesByLabel(a, _) => {
+                1 + a.size()
+            }
+        }
+    }
+}
+
+impl fmt::Display for GraphExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphExpr::View { op, .. } => write!(f, "{op}(Q̄)"),
+            GraphExpr::Literal(g) => write!(f, "⟨graph {}N/{}E⟩", g.node_count(), g.edge_count()),
+            GraphExpr::Union(a, b) => write!(f, "({a} ∪ {b})"),
+            GraphExpr::Intersect(a, b) => write!(f, "({a} ∩ {b})"),
+            GraphExpr::Minus(a, b) => write!(f, "({a} − {b})"),
+            GraphExpr::MinusEdges(a, b) => write!(f, "({a} ∖ₑ {b})"),
+            GraphExpr::InducedByNodeLabel(a, l) => write!(f, "{a}[nodes: {l}]"),
+            GraphExpr::FilterEdgesByLabel(a, l) => write!(f, "{a}[edges: {l}]"),
+        }
+    }
+}
+
+/// Composition errors: the view layer's, the algebra's, or the output
+/// pattern's.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ComposeError {
+    /// Evaluating a `View` base case failed.
+    Query(QueryError),
+    /// A graph-algebra operation failed.
+    Algebra(AlgebraError),
+    /// The final output pattern failed.
+    Output(OutputError),
+}
+
+impl fmt::Display for ComposeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComposeError::Query(e) => write!(f, "{e}"),
+            ComposeError::Algebra(e) => write!(f, "{e}"),
+            ComposeError::Output(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ComposeError {}
+
+impl From<QueryError> for ComposeError {
+    fn from(e: QueryError) -> Self {
+        ComposeError::Query(e)
+    }
+}
+
+impl From<AlgebraError> for ComposeError {
+    fn from(e: AlgebraError) -> Self {
+        ComposeError::Algebra(e)
+    }
+}
+
+impl From<OutputError> for ComposeError {
+    fn from(e: OutputError) -> Self {
+        ComposeError::Output(e)
+    }
+}
+
+/// Evaluate a graph expression to a property graph value.
+pub fn eval_graph(e: &GraphExpr, db: &Database) -> Result<PropertyGraph, ComposeError> {
+    match e {
+        GraphExpr::View { views, op } => {
+            Ok(build_view(views, *op, db, EvalConfig::default())?)
+        }
+        GraphExpr::Literal(g) => Ok(g.clone()),
+        GraphExpr::Union(a, b) => {
+            Ok(algebra::union(&eval_graph(a, db)?, &eval_graph(b, db)?)?)
+        }
+        GraphExpr::Intersect(a, b) => {
+            Ok(algebra::intersect(&eval_graph(a, db)?, &eval_graph(b, db)?)?)
+        }
+        GraphExpr::Minus(a, b) => {
+            Ok(algebra::minus(&eval_graph(a, db)?, &eval_graph(b, db)?)?)
+        }
+        GraphExpr::MinusEdges(a, b) => {
+            Ok(algebra::minus_edges(&eval_graph(a, db)?, &eval_graph(b, db)?)?)
+        }
+        GraphExpr::InducedByNodeLabel(a, l) => {
+            Ok(algebra::induced_by_node_label(&eval_graph(a, db)?, l)?)
+        }
+        GraphExpr::FilterEdgesByLabel(a, l) => {
+            Ok(algebra::filter_edges_by_label(&eval_graph(a, db)?, l)?)
+        }
+    }
+}
+
+/// Evaluate a graph expression, then run an output pattern on the
+/// result — back from the graph model to the relational model.
+pub fn eval_match(
+    e: &GraphExpr,
+    out: &OutputPattern,
+    db: &Database,
+) -> Result<Relation, ComposeError> {
+    let g = eval_graph(e, db)?;
+    Ok(out.eval(&g)?)
+}
+
+/// "Outputted", per Section 8: materialize a composed graph back into
+/// its six canonical relations, ready to be stored as a database or fed
+/// to another `pgView`.
+pub fn output_graph(e: &GraphExpr, db: &Database) -> Result<ViewRelations, ComposeError> {
+    Ok(relations_of(&eval_graph(e, db)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_pattern::Pattern;
+    use pgq_relational::Relation;
+    use pgq_value::{Tuple, Value};
+
+    /// Two stored graph layers over one database: "wire" edges in
+    /// (N,E1,S1,T1,L1,P0) and "cash" edges in (N,E2,S2,T2,L2,P0).
+    fn layered_db() -> Database {
+        let mut n = Relation::empty(1);
+        for i in 0..4i64 {
+            n.insert(Tuple::unary(Value::int(i))).unwrap();
+        }
+        let layer = |base: i64, edges: &[(i64, i64)], label: &str| {
+            let mut e = Relation::empty(1);
+            let mut s = Relation::empty(2);
+            let mut t = Relation::empty(2);
+            let mut l = Relation::empty(2);
+            for (j, (from, to)) in edges.iter().enumerate() {
+                let id = Tuple::unary(Value::int(base + j as i64));
+                e.insert(id.clone()).unwrap();
+                s.insert(id.concat(&Tuple::unary(Value::int(*from)))).unwrap();
+                t.insert(id.concat(&Tuple::unary(Value::int(*to)))).unwrap();
+                l.insert(id.concat(&Tuple::unary(Value::str(label)))).unwrap();
+            }
+            (e, s, t, l)
+        };
+        let (e1, s1, t1, l1) = layer(100, &[(0, 1), (1, 2)], "wire");
+        let (e2, s2, t2, l2) = layer(200, &[(2, 3)], "cash");
+        Database::new()
+            .with_relation("N", n)
+            .with_relation("E1", e1)
+            .with_relation("S1", s1)
+            .with_relation("T1", t1)
+            .with_relation("L1", l1)
+            .with_relation("E2", e2)
+            .with_relation("S2", s2)
+            .with_relation("T2", t2)
+            .with_relation("L2", l2)
+            .with_relation("P0", Relation::empty(3))
+    }
+
+    fn wire() -> GraphExpr {
+        GraphExpr::view_ro(["N", "E1", "S1", "T1", "L1", "P0"], ViewOp::Unary)
+    }
+
+    fn cash() -> GraphExpr {
+        GraphExpr::view_ro(["N", "E2", "S2", "T2", "L2", "P0"], ViewOp::Unary)
+    }
+
+    fn reach() -> OutputPattern {
+        OutputPattern::vars(
+            Pattern::node("x")
+                .then(Pattern::any_edge().plus())
+                .then(Pattern::node("y")),
+            ["x", "y"],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn union_of_views_extends_reachability() {
+        let db = layered_db();
+        let wire_only = eval_match(&wire(), &reach(), &db).unwrap();
+        let both = eval_match(&wire().union(cash()), &reach(), &db).unwrap();
+        // wire: 0→1→2 gives 3 pairs; with cash 2→3: 0→3, 1→3, 2→3 appear.
+        assert_eq!(wire_only.len(), 3);
+        assert_eq!(both.len(), 6);
+    }
+
+    #[test]
+    fn minus_edges_undoes_union() {
+        let db = layered_db();
+        // Both layers share the node relation N, so edge-only
+        // difference is the "remove the cash layer" operation.
+        let roundabout = wire().union(cash()).minus_edges(cash());
+        let g = eval_graph(&roundabout, &db).unwrap();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(eval_match(&roundabout, &reach(), &db).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn element_minus_takes_shared_nodes_too() {
+        let db = layered_db();
+        // Element difference removes the cash layer's *nodes* — which
+        // are all of N — so everything goes: the documented strictness.
+        let g = eval_graph(&wire().union(cash()).minus(cash()), &db).unwrap();
+        assert_eq!(g.node_count() + g.edge_count(), 0);
+    }
+
+    #[test]
+    fn edge_filter_equals_base_layer() {
+        let db = layered_db();
+        let filtered = wire().union(cash()).edges_labeled("wire");
+        let direct = wire();
+        assert_eq!(
+            eval_graph(&filtered, &db).unwrap(),
+            eval_graph(&direct, &db).unwrap()
+        );
+    }
+
+    #[test]
+    fn output_graph_re_enters_the_relational_model() {
+        let db = layered_db();
+        let rels = output_graph(&wire().union(cash()), &db).unwrap();
+        assert_eq!(rels.nodes.len(), 4);
+        assert_eq!(rels.edges.len(), 3);
+        // And the six relations reconstruct the same graph.
+        let g1 = pgq_graph::pg_view(&rels).unwrap();
+        let g2 = eval_graph(&wire().union(cash()), &db).unwrap();
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = wire().union(cash()).edges_labeled("wire");
+        assert_eq!(e.to_string(), "(pgView(Q̄) ∪ pgView(Q̄))[edges: \"wire\"]");
+    }
+
+    #[test]
+    fn query_layer_errors_propagate() {
+        let db = layered_db();
+        let bad = GraphExpr::view_ro(["N", "E1", "S1", "T1", "L1", "MISSING"], ViewOp::Unary);
+        assert!(matches!(
+            eval_graph(&bad, &db),
+            Err(ComposeError::Query(_))
+        ));
+    }
+}

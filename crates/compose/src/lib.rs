@@ -1,0 +1,95 @@
+//! # pgq-compose
+//!
+//! Compositional graph queries — the future-work direction the paper's
+//! conclusion sketches, made executable: "our formalization opens the
+//! door to compositional graph-query languages: `pgView` constructs
+//! full property graphs that can be queried or outputted" (Section 8).
+//!
+//! * [`algebra`] — union / intersection / difference / induced
+//!   subgraphs on property graph values, defined as set operations on
+//!   the canonical relations with `pgView` itself as the validator;
+//! * [`expr`] — [`expr::GraphExpr`], a query language whose
+//!   values are *graphs*: `pgView⋆(Q̄)` is the base constructor, graphs
+//!   compose algebraically, [`expr::eval_match`] runs a
+//!   Figure 2 output pattern on the composed value, and
+//!   [`expr::output_graph`] materializes it back into six
+//!   relations — relational ↔ graph, round and round.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algebra;
+pub mod expr;
+
+pub use algebra::{
+    filter_edges_by_label, induced_by_node_label, intersect, minus, minus_edges, union,
+    AlgebraError,
+};
+pub use expr::{eval_graph, eval_match, output_graph, ComposeError, GraphExpr};
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use pgq_graph::{pg_view_ext, relations_of, PropertyGraph, ViewMode};
+    use pgq_pattern::testgen::{arb_graph, arb_nfa_pattern, strip_vars};
+    use pgq_pattern::{endpoint_pairs, eval_pattern};
+    use proptest::prelude::*;
+
+    /// Rebuild through the canonical relations (normalizes adjacency
+    /// order so structural equality is meaningful).
+    fn canon(g: &PropertyGraph) -> PropertyGraph {
+        pg_view_ext(&relations_of(g), ViewMode::Strict).unwrap()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Union is commutative and idempotent whenever it is defined.
+        #[test]
+        fn union_laws(a in arb_graph(), b in arb_graph()) {
+            match (union(&a, &b), union(&b, &a)) {
+                (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+                (Err(_), Err(_)) => {}
+                (x, y) => prop_assert!(false, "asymmetric: {:?} vs {:?}", x, y),
+            }
+            prop_assert_eq!(union(&a, &a).unwrap(), canon(&a));
+        }
+
+        /// Intersection is commutative and below both operands.
+        #[test]
+        fn intersection_laws(a in arb_graph(), b in arb_graph()) {
+            let i1 = intersect(&a, &b).unwrap();
+            let i2 = intersect(&b, &a).unwrap();
+            prop_assert_eq!(&i1, &i2);
+            prop_assert!(i1.node_count() <= a.node_count().min(b.node_count()));
+            prop_assert!(i1.edge_count() <= a.edge_count().min(b.edge_count()));
+            prop_assert_eq!(intersect(&a, &a).unwrap(), canon(&a));
+        }
+
+        /// a − a is empty; a − ∅ is a.
+        #[test]
+        fn difference_laws(a in arb_graph()) {
+            let empty = PropertyGraph::empty(a.id_arity());
+            let d = minus(&a, &a).unwrap();
+            prop_assert_eq!(d.node_count() + d.edge_count(), 0);
+            prop_assert_eq!(minus(&a, &empty).unwrap(), canon(&a));
+        }
+
+        /// Pattern matching is monotone under graph union for
+        /// filter-free navigational patterns: every endpoint pair found
+        /// in `a` is still found in `a ∪ b` (when the union is defined).
+        #[test]
+        fn matching_monotone_under_union(
+            a in arb_graph(),
+            b in arb_graph(),
+            p in arb_nfa_pattern(3),
+        ) {
+            let p = strip_vars(&p);
+            if let Ok(u) = union(&a, &b) {
+                let small = endpoint_pairs(&eval_pattern(&p, &a).unwrap());
+                let big = endpoint_pairs(&eval_pattern(&p, &u).unwrap());
+                prop_assert!(small.is_subset(&big), "pattern {:?}", p);
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Derived query builders used throughout the proofs: the active-domain
+//! query `Q_A`, its powers `A^(k)`, and the reachability pattern
+//! `ψreach = (x̄) →* (ȳ)`.
+//!
+//! All of these stay inside the core grammar of Figure 3 — e.g. the
+//! active domain is the finite union `⋃_{R∈S} ⋃_i π_i(R)` from the proof
+//! of Theorem 6.2 — so using them never changes a query's fragment.
+
+use crate::query::Query;
+use pgq_pattern::{Condition, OutputPattern, Pattern};
+use pgq_relational::Schema;
+use pgq_value::{Label, Var};
+
+/// The active-domain query `Q_A := ⋃_{R∈S} ⋃_{1≤i≤arity(R)} π_i(R)`
+/// (proof of Theorem 6.2). `None` when the schema declares no relations
+/// (the union would be empty, which the grammar cannot express).
+pub fn active_domain(schema: &Schema) -> Option<Query> {
+    let mut parts: Vec<Query> = Vec::new();
+    for (name, arity) in schema.iter() {
+        for i in 0..arity {
+            parts.push(Query::rel(name.clone()).project(vec![i]));
+        }
+    }
+    parts.into_iter().reduce(|a, b| a.union(b))
+}
+
+/// `A^(k) := Q_A × ⋯ × Q_A` (k factors, k ≥ 1).
+pub fn adom_power(schema: &Schema, k: usize) -> Option<Query> {
+    assert!(k >= 1, "adom_power needs k ≥ 1");
+    let base = active_domain(schema)?;
+    let mut acc = base.clone();
+    for _ in 1..k {
+        acc = acc.product(base.clone());
+    }
+    Some(acc)
+}
+
+/// The 0-ary "active domain is non-empty" query `π_∅(Q_A)` — the unit
+/// used when complementing Boolean (arity-0) queries. On an *empty*
+/// database this is false while logical truth is true; the paper
+/// implicitly assumes non-empty instances (see DESIGN.md note 8).
+pub fn unit(schema: &Schema) -> Option<Query> {
+    Some(active_domain(schema)?.project(Vec::<usize>::new()))
+}
+
+/// The reachability output pattern `ψreach := ((x̄) →* (ȳ))_{x̄,ȳ}`
+/// used in Lemma 9.4 and Theorem 4.1.
+pub fn reachability_output() -> OutputPattern {
+    OutputPattern::vars(
+        Pattern::node("x")
+            .then(Pattern::any_edge().star())
+            .then(Pattern::node("y")),
+        ["x", "y"],
+    )
+    .expect("statically valid")
+}
+
+/// Like [`reachability_output`] but requiring at least one step
+/// (`→+` — the Example 2.1 shape).
+pub fn reachability_plus_output() -> OutputPattern {
+    OutputPattern::vars(
+        Pattern::node("x")
+            .then(Pattern::any_edge().plus())
+            .then(Pattern::node("y")),
+        ["x", "y"],
+    )
+    .expect("statically valid")
+}
+
+/// Reachability along edges carrying a given label:
+/// `((x) (-[e:ℓ]->)+ (y))_{x,y}`.
+pub fn labeled_reachability_output(label: impl Into<Label>) -> OutputPattern {
+    let e = Var::new("\u{2022}step");
+    let step = Pattern::Edge(Some(e.clone()), pgq_pattern::Direction::Forward)
+        .filter(Condition::HasLabel(e, label.into()));
+    OutputPattern::vars(
+        Pattern::node("x").then(step.plus()).then(Pattern::node("y")),
+        ["x", "y"],
+    )
+    .expect("statically valid")
+}
+
+/// Boolean reachability `ψ∅ = (() →* ())_∅` over a view — the shape of
+/// Theorem 4.1's alternating-path query.
+pub fn boolean_reachability() -> OutputPattern {
+    OutputPattern::boolean(
+        Pattern::any_node()
+            .then(Pattern::any_edge().star())
+            .then(Pattern::any_node()),
+    )
+    .expect("statically valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval;
+    use pgq_relational::{Database, Relation};
+    use pgq_value::tuple;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.insert("R", tuple![1, 2]).unwrap();
+        db.insert("R", tuple![2, 3]).unwrap();
+        db.insert("S", tuple!["a"]).unwrap();
+        db
+    }
+
+    #[test]
+    fn active_domain_query_matches_database_adom() {
+        let d = db();
+        let q = active_domain(&d.schema()).unwrap();
+        assert_eq!(eval(&q, &d).unwrap(), d.active_domain_relation());
+        // Fragment stays read-only.
+        assert_eq!(q.fragment(), crate::query::Fragment::Ro);
+    }
+
+    #[test]
+    fn adom_power_matches() {
+        let d = db();
+        let q = adom_power(&d.schema(), 2).unwrap();
+        assert_eq!(eval(&q, &d).unwrap(), d.active_domain_power(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≥ 1")]
+    fn adom_power_zero_panics() {
+        adom_power(&Schema::new().with("R", 1), 0);
+    }
+
+    #[test]
+    fn empty_schema_yields_none() {
+        assert!(active_domain(&Schema::new()).is_none());
+        assert!(unit(&Schema::new()).is_none());
+    }
+
+    #[test]
+    fn unit_is_true_on_nonempty_instances() {
+        let d = db();
+        let q = unit(&d.schema()).unwrap();
+        assert_eq!(eval(&q, &d).unwrap(), Relation::r#true());
+        // …and false when every relation is empty.
+        let mut empty = Database::new();
+        empty.add_relation("R", Relation::empty(2));
+        empty.add_relation("S", Relation::empty(1));
+        assert_eq!(eval(&q, &empty).unwrap(), Relation::r#false());
+    }
+
+    #[test]
+    fn reachability_outputs_validate() {
+        assert_eq!(reachability_output().items.len(), 2);
+        assert_eq!(reachability_plus_output().items.len(), 2);
+        assert!(boolean_reachability().items.is_empty());
+        assert_eq!(labeled_reachability_output("T").items.len(), 2);
+    }
+}

@@ -1,0 +1,379 @@
+//! Query evaluation — Figure 4's semantics, with an optimizer fast path.
+//!
+//! The two-phase evaluation of pattern calls is exactly the paper's: the
+//! six subqueries are evaluated on the current instance, `pgView`
+//! (respectively `pgView_n`, `pgView_ext`) interprets the results as a
+//! property graph (erroring if the Definition 3.1/5.1 conditions fail),
+//! and the output pattern is evaluated on that graph.
+//!
+//! The optimizer recognizes *navigational* pattern calls — Boolean
+//! outputs or plain endpoint projections `( (x) … (y) )_{x,y}` whose
+//! pattern compiles to an NFA — and answers them with the product-graph
+//! BFS engine instead of the reference evaluator. Agreement between the
+//! two paths is property-tested; `EvalConfig::reference()` disables the
+//! fast path for differential testing and ablation benches.
+
+use crate::query::{Query, QueryError, ViewOp};
+use pgq_graph::{pg_view_bounded, pg_view_exact, pg_view_ext, PropertyGraph, ViewMode, ViewRelations};
+use pgq_pattern::{Nfa, OutputItem, OutputPattern, Pattern};
+use pgq_relational::{Database, RelError, Relation};
+use pgq_value::Var;
+
+/// Evaluation options.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalConfig {
+    /// Use the NFA fast path for navigational pattern calls.
+    pub use_fast_engine: bool,
+    /// View validation mode (`Strict` is the paper's semantics).
+    pub view_mode: ViewMode,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            use_fast_engine: true,
+            view_mode: ViewMode::Strict,
+        }
+    }
+}
+
+impl EvalConfig {
+    /// Reference semantics only — no fast path (ablation/differential
+    /// testing).
+    pub fn reference() -> Self {
+        EvalConfig {
+            use_fast_engine: false,
+            view_mode: ViewMode::Strict,
+        }
+    }
+}
+
+/// Evaluates a query with default configuration.
+pub fn eval(q: &Query, db: &Database) -> Result<Relation, QueryError> {
+    eval_with(q, db, EvalConfig::default())
+}
+
+/// Evaluates a query with the given configuration.
+pub fn eval_with(q: &Query, db: &Database, cfg: EvalConfig) -> Result<Relation, QueryError> {
+    match q {
+        Query::Rel(name) => Ok(db.get_required(name)?.clone()),
+        Query::Const(c) => {
+            // ⟦c⟧_D := c where c ∈ adom(D) (Figure 4): the singleton
+            // restricted to the active domain.
+            let mut r = Relation::empty(1);
+            if db.active_domain().contains(c) {
+                r.insert(pgq_value::Tuple::unary(c.clone()))?;
+            }
+            Ok(r)
+        }
+        Query::Project(pos, q) => Ok(eval_with(q, db, cfg)?.project(pos)?),
+        Query::Select(cond, q) => {
+            let rel = eval_with(q, db, cfg)?;
+            if let Some(max) = cond.max_position() {
+                if max >= rel.arity() {
+                    return Err(QueryError::Rel(RelError::PositionOutOfRange {
+                        position: max,
+                        arity: rel.arity(),
+                    }));
+                }
+            }
+            Ok(rel.select(|t| cond.eval(t).unwrap_or(false)))
+        }
+        Query::Product(a, b) => Ok(eval_with(a, db, cfg)?.product(&eval_with(b, db, cfg)?)),
+        Query::Union(a, b) => Ok(eval_with(a, db, cfg)?.union(&eval_with(b, db, cfg)?)?),
+        Query::Diff(a, b) => Ok(eval_with(a, db, cfg)?.difference(&eval_with(b, db, cfg)?)?),
+        Query::Pattern { out, views, op } => {
+            let graph = build_view(views, *op, db, cfg)?;
+            eval_output(out, &graph, cfg)
+        }
+    }
+}
+
+/// Phase one of a pattern call: evaluate the six subqueries and apply the
+/// appropriate `pgView` operator.
+pub fn build_view(
+    views: &[Query; 6],
+    op: ViewOp,
+    db: &Database,
+    cfg: EvalConfig,
+) -> Result<PropertyGraph, QueryError> {
+    let mut rels = Vec::with_capacity(6);
+    for q in views.iter() {
+        rels.push(eval_with(q, db, cfg)?);
+    }
+    let mut it = rels.into_iter();
+    let vr = ViewRelations::new(
+        it.next().unwrap(),
+        it.next().unwrap(),
+        it.next().unwrap(),
+        it.next().unwrap(),
+        it.next().unwrap(),
+        it.next().unwrap(),
+    );
+    let graph = match op {
+        ViewOp::Unary => pg_view_exact(1, &vr, cfg.view_mode)?,
+        ViewOp::Bounded(n) => pg_view_bounded(n, &vr, cfg.view_mode)?,
+        ViewOp::Ext => pg_view_ext(&vr, cfg.view_mode)?,
+    };
+    Ok(graph)
+}
+
+/// Phase two: evaluate the output pattern, via the NFA engine when the
+/// call is navigational.
+fn eval_output(
+    out: &OutputPattern,
+    g: &PropertyGraph,
+    cfg: EvalConfig,
+) -> Result<Relation, QueryError> {
+    if cfg.use_fast_engine {
+        if let Some(rel) = try_fast(out, g)? {
+            return Ok(rel);
+        }
+    }
+    Ok(out.eval(g)?)
+}
+
+/// The navigational fast path. Handles two shapes:
+///
+/// * Boolean outputs `ψ∅`: non-emptiness of the endpoint-pair set;
+/// * endpoint projections `( (x) … (y) )_{x,y}` (or `_{y,x}`): the
+///   NFA's pair set, flattened (identifiers of arity `k` contribute `k`
+///   columns each, matching `OutputItem::Var` semantics).
+fn try_fast(out: &OutputPattern, g: &PropertyGraph) -> Result<Option<Relation>, QueryError> {
+    // The pattern must be NFA-compilable at all.
+    let Ok(nfa) = Nfa::compile(&out.pattern) else {
+        return Ok(None);
+    };
+    if out.items.is_empty() {
+        out.pattern.validate()?;
+        let pairs = nfa.eval_pairs(g);
+        return Ok(Some(if pairs.is_empty() {
+            Relation::r#false()
+        } else {
+            Relation::r#true()
+        }));
+    }
+    // Endpoint-projection shape.
+    let [OutputItem::Var(a), OutputItem::Var(b)] = out.items.as_slice() else {
+        return Ok(None);
+    };
+    let (Some(left), Some(right)) = (
+        leftmost_node_var(&out.pattern),
+        rightmost_node_var(&out.pattern),
+    ) else {
+        return Ok(None);
+    };
+    let swap = if (a, b) == (&left, &right) {
+        false
+    } else if (a, b) == (&right, &left) {
+        true
+    } else {
+        return Ok(None);
+    };
+    out.pattern.validate()?;
+    let pairs = nfa.eval_pairs(g);
+    let mut rel = Relation::empty(2 * g.id_arity());
+    for (s, t) in pairs {
+        let row = if swap { t.concat(&s) } else { s.concat(&t) };
+        rel.insert(row)?;
+    }
+    Ok(Some(rel))
+}
+
+/// The variable bound by the leftmost node atom of a concatenation
+/// spine, provided the endpoint of the whole pattern is that atom's
+/// element (filters preserve endpoints; unions/repeats do not determine
+/// a unique binder).
+fn leftmost_node_var(p: &Pattern) -> Option<Var> {
+    match p {
+        Pattern::Node(v) => v.clone(),
+        Pattern::Concat(a, _) => leftmost_node_var(a),
+        Pattern::Filter(inner, _) => leftmost_node_var(inner),
+        _ => None,
+    }
+}
+
+fn rightmost_node_var(p: &Pattern) -> Option<Var> {
+    match p {
+        Pattern::Node(v) => v.clone(),
+        Pattern::Concat(_, b) => rightmost_node_var(b),
+        Pattern::Filter(inner, _) => rightmost_node_var(inner),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_value::tuple;
+
+    /// A database holding the six canonical relations of a 4-chain
+    /// a→b→c→d plus plain relations for RA tests.
+    fn db() -> Database {
+        let mut db = Database::new();
+        for n in ["a", "b", "c", "d"] {
+            db.insert("N", tuple![n]).unwrap();
+        }
+        for (e, s, t) in [("e1", "a", "b"), ("e2", "b", "c"), ("e3", "c", "d")] {
+            db.insert("E", tuple![e]).unwrap();
+            db.insert("S", tuple![e, s]).unwrap();
+            db.insert("T", tuple![e, t]).unwrap();
+        }
+        db.add_relation("L", Relation::empty(2));
+        db.add_relation("P", Relation::empty(3));
+        db.insert("Pairs", tuple![1, 2]).unwrap();
+        db
+    }
+
+    fn reach_out() -> OutputPattern {
+        OutputPattern::vars(
+            Pattern::node("x")
+                .then(Pattern::any_edge().star())
+                .then(Pattern::node("y")),
+            ["x", "y"],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ra_operators() {
+        let d = db();
+        let q = Query::rel("Pairs").project(vec![1]);
+        assert_eq!(eval(&q, &d).unwrap(), Relation::unary([2i64]));
+        let q = Query::rel("Pairs").select(pgq_relational::RowCondition::col_eq(0, 1));
+        assert!(eval(&q, &d).unwrap().is_empty());
+        let q = Query::rel("N").union(Query::rel("E"));
+        assert_eq!(eval(&q, &d).unwrap().len(), 7);
+        let q = Query::rel("N").diff(Query::rel("N"));
+        assert!(eval(&q, &d).unwrap().is_empty());
+        let q = Query::rel("N").intersect(Query::rel("N"));
+        assert_eq!(eval(&q, &d).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn const_restricted_to_adom() {
+        let d = db();
+        let q = Query::constant("a");
+        assert_eq!(eval(&q, &d).unwrap().len(), 1);
+        let q = Query::constant("zzz");
+        assert!(eval(&q, &d).unwrap().is_empty());
+    }
+
+    #[test]
+    fn ro_pattern_reachability() {
+        let d = db();
+        let q = Query::pattern_ro(reach_out(), ["N", "E", "S", "T", "L", "P"]);
+        let rel = eval(&q, &d).unwrap();
+        // 4 reflexive + 6 forward pairs in a 4-chain.
+        assert_eq!(rel.len(), 10);
+        assert!(rel.contains(&tuple!["a", "d"]));
+        assert!(!rel.contains(&tuple!["d", "a"]));
+    }
+
+    #[test]
+    fn fast_and_reference_paths_agree() {
+        let d = db();
+        let q = Query::pattern_ro(reach_out(), ["N", "E", "S", "T", "L", "P"]);
+        let fast = eval_with(&q, &d, EvalConfig::default()).unwrap();
+        let slow = eval_with(&q, &d, EvalConfig::reference()).unwrap();
+        assert_eq!(fast, slow);
+        // Boolean query too.
+        let b = Query::pattern_ro(
+            OutputPattern::boolean(Pattern::any_edge()).unwrap(),
+            ["N", "E", "S", "T", "L", "P"],
+        );
+        assert_eq!(
+            eval_with(&b, &d, EvalConfig::default()).unwrap(),
+            eval_with(&b, &d, EvalConfig::reference()).unwrap()
+        );
+    }
+
+    #[test]
+    fn rw_pattern_over_derived_views() {
+        // Nodes = N, edges = E, but only edges whose source is "a" or
+        // "b": derived via RA on S.
+        let d = db();
+        let keep = Query::rel("S")
+            .select(pgq_relational::RowCondition::col_eq_const(1, "a"))
+            .union(Query::rel("S").select(pgq_relational::RowCondition::col_eq_const(1, "b")));
+        let edge_q = keep.clone().project(vec![0]);
+        let views = [
+            Query::rel("N"),
+            edge_q,
+            keep.clone(),
+            // Target rows for surviving edges: join T with kept edges.
+            Query::rel("T")
+                .product(keep.project(vec![0]))
+                .select(pgq_relational::RowCondition::col_eq(0, 2))
+                .project(vec![0, 1]),
+            Query::rel("L"),
+            Query::rel("P"),
+        ];
+        let q = Query::pattern_rw(reach_out(), views);
+        let rel = eval(&q, &d).unwrap();
+        // Reachability along e1, e2 only: a→b→c (no e3).
+        assert!(rel.contains(&tuple!["a", "c"]));
+        assert!(!rel.contains(&tuple!["a", "d"]));
+        assert_eq!(q.fragment(), crate::query::Fragment::Rw);
+    }
+
+    #[test]
+    fn invalid_view_is_a_typed_error() {
+        let d = db();
+        // Use N as both node and edge set: disjointness fails.
+        let views = [
+            Query::rel("N"),
+            Query::rel("N"),
+            Query::rel("S"),
+            Query::rel("T"),
+            Query::rel("L"),
+            Query::rel("P"),
+        ];
+        let q = Query::pattern_rw(reach_out(), views);
+        assert!(matches!(eval(&q, &d).unwrap_err(), QueryError::View(_)));
+    }
+
+    #[test]
+    fn bounded_view_op_enforces_arity() {
+        let mut d = db();
+        // Binary identifiers in N2/E2 …
+        d.insert("N2", tuple!["a", 1]).unwrap();
+        d.add_relation("E2", Relation::empty(2));
+        d.add_relation("S2", Relation::empty(4));
+        d.add_relation("T2", Relation::empty(4));
+        d.add_relation("L2", Relation::empty(3));
+        d.add_relation("P2", Relation::empty(4));
+        let out = OutputPattern::vars(Pattern::node("x"), ["x"]).unwrap();
+        let views = || {
+            [
+                Query::rel("N2"),
+                Query::rel("E2"),
+                Query::rel("S2"),
+                Query::rel("T2"),
+                Query::rel("L2"),
+                Query::rel("P2"),
+            ]
+        };
+        // pgView_1 rejects arity-2 identifiers; pgView_2 and ext accept.
+        let q1 = Query::pattern_n(1, out.clone(), views());
+        assert!(matches!(eval(&q1, &d).unwrap_err(), QueryError::View(_)));
+        let q2 = Query::pattern_n(2, out.clone(), views());
+        assert_eq!(eval(&q2, &d).unwrap().len(), 1);
+        let qe = Query::pattern_ext(out, views());
+        assert_eq!(eval(&qe, &d).unwrap().arity(), 2);
+    }
+
+    #[test]
+    fn lenient_mode_recovers_from_dirty_views() {
+        let mut d = db();
+        // Dangling src row.
+        d.insert("S", tuple!["ghost", "a"]).unwrap();
+        let q = Query::pattern_ro(reach_out(), ["N", "E", "S", "T", "L", "P"]);
+        assert!(eval(&q, &d).is_err());
+        let lenient = EvalConfig {
+            view_mode: ViewMode::Lenient,
+            ..Default::default()
+        };
+        assert!(eval_with(&q, &d, lenient).is_ok());
+    }
+}

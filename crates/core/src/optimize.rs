@@ -1,0 +1,208 @@
+//! Semantics-preserving query rewriting.
+//!
+//! The Theorem 6.2 translation builds queries mechanically — chains of
+//! projections, selections guarded by `⊤`, unions of identical branches.
+//! [`optimize`] normalizes them:
+//!
+//! * `π_p(π_q(Q)) = π_{q∘p}(Q)` — projection fusion;
+//! * `σ_θ(σ_η(Q)) = σ_{θ∧η}(Q)` — selection fusion;
+//! * `σ_⊤(Q) = Q` and identity projections (`π_{$1,…,$n}` at arity `n`);
+//! * `Q ∪ Q = Q` and `Q − Q = ∅` (syntactic idempotence; the empty
+//!   result is realized as a contradictory selection, which evaluates
+//!   `Q` once and filters everything — constant-time per row);
+//! * recursion into pattern-call view subqueries.
+//!
+//! The rewrite is size-monotone and, like every transformation in this
+//! workspace, property-tested for semantic equality (`lib.rs`).
+
+use crate::query::{Query, QueryError};
+use pgq_relational::{RowCondition, Schema};
+
+/// Rewrites `q` into an equivalent, usually smaller query. The schema is
+/// needed to recognize identity projections (their width is the
+/// subquery's arity).
+pub fn optimize(q: &Query, schema: &Schema) -> Result<Query, QueryError> {
+    // Validate up front so rewrites can assume well-typedness.
+    q.arity(schema)?;
+    Ok(rewrite(q, schema))
+}
+
+fn rewrite(q: &Query, schema: &Schema) -> Query {
+    match q {
+        Query::Rel(_) | Query::Const(_) => q.clone(),
+        Query::Project(pos, inner) => {
+            let inner = rewrite(inner, schema);
+            // Fusion: π_p(π_q(Q)) = π_{p mapped through q}(Q).
+            if let Query::Project(inner_pos, innermost) = &inner {
+                let composed: Vec<usize> = pos.iter().map(|&p| inner_pos[p]).collect();
+                return rewrite(&Query::Project(composed, innermost.clone()), schema);
+            }
+            // Identity projection elimination.
+            if let Ok(arity) = inner.arity(schema) {
+                if pos.len() == arity && pos.iter().enumerate().all(|(i, &p)| i == p) {
+                    return inner;
+                }
+            }
+            Query::Project(pos.clone(), Box::new(inner))
+        }
+        Query::Select(cond, inner) => {
+            let inner = rewrite(inner, schema);
+            if *cond == RowCondition::True {
+                return inner;
+            }
+            // Fusion: σ_θ(σ_η(Q)) = σ_{η ∧ θ}(Q).
+            if let Query::Select(inner_cond, innermost) = inner {
+                return Query::Select(
+                    inner_cond.and(cond.clone()),
+                    innermost,
+                );
+            }
+            Query::Select(cond.clone(), Box::new(inner))
+        }
+        Query::Product(a, b) => {
+            Query::Product(Box::new(rewrite(a, schema)), Box::new(rewrite(b, schema)))
+        }
+        Query::Union(a, b) => {
+            let (a, b) = (rewrite(a, schema), rewrite(b, schema));
+            if a == b {
+                return a;
+            }
+            Query::Union(Box::new(a), Box::new(b))
+        }
+        Query::Diff(a, b) => {
+            let (a, b) = (rewrite(a, schema), rewrite(b, schema));
+            if a == b {
+                // Q − Q = ∅ at Q's arity: a contradictory selection over
+                // one copy (valid whenever the arity is positive; 0-ary
+                // differences stay as they are).
+                if a.arity(schema).map(|k| k > 0).unwrap_or(false) {
+                    return Query::Select(
+                        RowCondition::col_eq(0, 0).not(),
+                        Box::new(a),
+                    );
+                }
+            }
+            Query::Diff(Box::new(a), Box::new(b))
+        }
+        Query::Pattern { out, views, op } => {
+            let views = Box::new([
+                rewrite(&views[0], schema),
+                rewrite(&views[1], schema),
+                rewrite(&views[2], schema),
+                rewrite(&views[3], schema),
+                rewrite(&views[4], schema),
+                rewrite(&views[5], schema),
+            ]);
+            Query::Pattern {
+                out: out.clone(),
+                views,
+                op: *op,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval;
+    use pgq_relational::{Database, Relation};
+    use pgq_value::tuple;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.insert("R", tuple![1, 2]).unwrap();
+        db.insert("R", tuple![3, 4]).unwrap();
+        db.add_relation("S", Relation::unary([1i64, 3]));
+        db
+    }
+
+    fn check(q: &Query) -> Query {
+        let d = db();
+        let o = optimize(q, &d.schema()).unwrap();
+        assert_eq!(eval(q, &d).unwrap(), eval(&o, &d).unwrap(), "{q} vs {o}");
+        assert!(o.size() <= q.size(), "{o} grew from {q}");
+        o
+    }
+
+    #[test]
+    fn projection_fusion() {
+        let q = Query::rel("R").project(vec![1, 0]).project(vec![1]);
+        let o = check(&q);
+        assert_eq!(o, Query::rel("R").project(vec![0]));
+        // Triple chain.
+        let q = Query::rel("R")
+            .project(vec![1, 0])
+            .project(vec![1, 0])
+            .project(vec![0, 1]);
+        let o = check(&q);
+        assert_eq!(o, Query::Rel("R".into()));
+    }
+
+    #[test]
+    fn identity_projection_elimination() {
+        let q = Query::rel("R").project(vec![0, 1]);
+        assert_eq!(check(&q), Query::Rel("R".into()));
+        // Not an identity if reordered or repeated.
+        let q = Query::rel("R").project(vec![1, 0]);
+        assert_eq!(check(&q), q);
+        let q = Query::rel("S").project(vec![0, 0]);
+        assert_eq!(check(&q), q);
+    }
+
+    #[test]
+    fn selection_fusion_and_true_elimination() {
+        let q = Query::rel("R")
+            .select(RowCondition::col_eq_const(0, 1))
+            .select(RowCondition::col_eq_const(1, 2));
+        let o = check(&q);
+        assert!(matches!(o, Query::Select(RowCondition::And(..), _)));
+        let q = Query::rel("R").select(RowCondition::True);
+        assert_eq!(check(&q), Query::Rel("R".into()));
+    }
+
+    #[test]
+    fn set_idempotence() {
+        let q = Query::rel("R").union(Query::rel("R"));
+        assert_eq!(check(&q), Query::Rel("R".into()));
+        let q = Query::rel("R").diff(Query::rel("R"));
+        let o = check(&q);
+        assert!(matches!(o, Query::Select(..)));
+        // Different operands untouched.
+        let q = Query::rel("S").union(Query::rel("R").project(vec![0]));
+        check(&q);
+    }
+
+    #[test]
+    fn rewrites_inside_pattern_views() {
+        use crate::builders;
+        let mut d = db();
+        for r in ["N", "E"] {
+            d.add_relation(r, Relation::unary([10i64]));
+        }
+        d.add_relation("N", Relation::unary([1i64]));
+        d.add_relation("E", Relation::empty(1));
+        d.add_relation("Sx", Relation::empty(2));
+        let views = [
+            Query::rel("N").project(vec![0]), // identity: should fold
+            Query::rel("E"),
+            Query::rel("Sx"),
+            Query::rel("Sx"),
+            Query::rel("Sx"),
+            Query::rel("Sx").product(Query::rel("N")),
+        ];
+        let q = Query::pattern_rw(builders::boolean_reachability(), views);
+        let o = optimize(&q, &d.schema()).unwrap();
+        let Query::Pattern { views, .. } = &o else { panic!() };
+        assert_eq!(views[0], Query::Rel("N".into()));
+        assert_eq!(eval(&q, &d).unwrap(), eval(&o, &d).unwrap());
+    }
+
+    #[test]
+    fn invalid_queries_error_instead_of_rewriting() {
+        let q = Query::rel("R").project(vec![9]);
+        assert!(optimize(&q, &db().schema()).is_err());
+        let q = Query::rel("Missing");
+        assert!(optimize(&q, &db().schema()).is_err());
+    }
+}

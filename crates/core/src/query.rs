@@ -1,0 +1,486 @@
+//! The query languages `PGQro`, `PGQrw`, `PGQn` and `PGQext`
+//! (Figure 3), unified in a single AST with a computed fragment
+//! classification.
+//!
+//! ```text
+//! PGQro:  Q := ψΩ(R̄) | R | π(Q) | σθ(Q) | Q × Q′ | Q ∪ Q′ | Q − Q′
+//! PGQrw:  Q := … | c | ψΩ(Q̄)
+//! PGQn :  Q := … | ψ(n)Ω(Q̄)      (pgView_n)
+//! PGQext: Q := … | ψextΩ(Q̄)      (pgView_ext)
+//! ```
+//!
+//! The view operator used by a pattern call is recorded explicitly
+//! ([`ViewOp`]); [`Query::fragment`] computes the least fragment of the
+//! paper's hierarchy containing a query.
+
+use pgq_graph::ViewError;
+use pgq_pattern::{OutputError, OutputPattern, PatternError};
+use pgq_relational::{RelError, RelName, RowCondition, Schema};
+use pgq_value::Value;
+use std::fmt;
+
+/// Which member of the `pgView` family interprets the six subqueries of
+/// a pattern call (Definitions 3.2 and 5.2/5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ViewOp {
+    /// `pgView` — unary identifiers (the `PGQro`/`PGQrw` operator).
+    Unary,
+    /// `pgView_n` — identifiers of arity at most `n` (the `PGQn`
+    /// operator).
+    Bounded(usize),
+    /// `pgView_ext` — identifiers of any positive arity (the `PGQext`
+    /// operator).
+    Ext,
+}
+
+impl fmt::Display for ViewOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViewOp::Unary => write!(f, "pgView"),
+            ViewOp::Bounded(n) => write!(f, "pgView_{n}"),
+            ViewOp::Ext => write!(f, "pgView_ext"),
+        }
+    }
+}
+
+/// The paper's expressiveness hierarchy (Theorem 6.8):
+/// `PGQro ⊊ PGQrw = PGQ1 ⊆ PGQ2 ⊆ … ⊆ PGQext`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fragment {
+    /// Read-only: pattern matching over stored relations only.
+    Ro,
+    /// Read-write: pattern matching over query-defined views
+    /// (unary identifiers); equals `PGQ1`.
+    Rw,
+    /// `PGQn`: composite identifiers up to arity `n`.
+    N(usize),
+    /// `PGQext`: unbounded identifier arity.
+    Ext,
+}
+
+impl Fragment {
+    /// Rank in the hierarchy for comparisons: `Ro < Rw = N(1) < N(2) < …
+    /// < Ext`.
+    fn rank(self) -> (u8, usize) {
+        match self {
+            Fragment::Ro => (0, 0),
+            Fragment::Rw => (1, 1),
+            Fragment::N(n) => (1, n.max(1)),
+            Fragment::Ext => (2, 0),
+        }
+    }
+
+    /// Least upper bound in the hierarchy.
+    pub fn join(self, other: Fragment) -> Fragment {
+        if self.rank() >= other.rank() {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Whether `self` is contained in `other` in the hierarchy.
+    pub fn within(self, other: Fragment) -> bool {
+        self.rank() <= other.rank()
+    }
+}
+
+impl fmt::Display for Fragment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fragment::Ro => write!(f, "PGQro"),
+            Fragment::Rw => write!(f, "PGQrw"),
+            Fragment::N(n) => write!(f, "PGQ{n}"),
+            Fragment::Ext => write!(f, "PGQext"),
+        }
+    }
+}
+
+/// A core PGQ query (Figure 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// A stored relation `R`.
+    Rel(RelName),
+    /// A constant `c` — the unary singleton `{(c)}` restricted to the
+    /// active domain (`⟦c⟧_D := c where c ∈ adom(D)`, Figure 4).
+    Const(Value),
+    /// `π_{$i1,…,$ik}(Q)` with 0-based positions.
+    Project(Vec<usize>, Box<Query>),
+    /// `σ_θ(Q)`.
+    Select(RowCondition, Box<Query>),
+    /// `Q × Q′`.
+    Product(Box<Query>, Box<Query>),
+    /// `Q ∪ Q′`.
+    Union(Box<Query>, Box<Query>),
+    /// `Q − Q′`.
+    Diff(Box<Query>, Box<Query>),
+    /// `ψΩ(Q1, …, Q6)` — pattern matching over the graph view built from
+    /// the six subqueries with the given view operator.
+    Pattern {
+        /// The output pattern `ψΩ`.
+        out: OutputPattern,
+        /// The six view subqueries `(Q1, …, Q6)` in the canonical order
+        /// nodes, edges, src, tgt, labels, props.
+        views: Box<[Query; 6]>,
+        /// The `pgView` family member to apply.
+        op: ViewOp,
+    },
+}
+
+/// Errors raised while building or evaluating queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Relational-layer error.
+    Rel(RelError),
+    /// The six subqueries do not form a valid property graph view.
+    View(ViewError),
+    /// Output-pattern error.
+    Output(OutputError),
+    /// Pattern syntax error.
+    Pattern(PatternError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Rel(e) => write!(f, "{e}"),
+            QueryError::View(e) => write!(f, "invalid graph view: {e}"),
+            QueryError::Output(e) => write!(f, "{e}"),
+            QueryError::Pattern(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<RelError> for QueryError {
+    fn from(e: RelError) -> Self {
+        QueryError::Rel(e)
+    }
+}
+impl From<ViewError> for QueryError {
+    fn from(e: ViewError) -> Self {
+        QueryError::View(e)
+    }
+}
+impl From<OutputError> for QueryError {
+    fn from(e: OutputError) -> Self {
+        QueryError::Output(e)
+    }
+}
+impl From<PatternError> for QueryError {
+    fn from(e: PatternError) -> Self {
+        QueryError::Pattern(e)
+    }
+}
+
+impl Query {
+    /// A stored relation reference.
+    pub fn rel(name: impl Into<RelName>) -> Self {
+        Query::Rel(name.into())
+    }
+
+    /// The constant query `c` (a `PGQrw` construct).
+    pub fn constant(c: impl Into<Value>) -> Self {
+        Query::Const(c.into())
+    }
+
+    /// Projection (builder).
+    pub fn project(self, positions: impl Into<Vec<usize>>) -> Self {
+        Query::Project(positions.into(), Box::new(self))
+    }
+
+    /// Selection (builder).
+    pub fn select(self, cond: RowCondition) -> Self {
+        Query::Select(cond, Box::new(self))
+    }
+
+    /// Product (builder).
+    pub fn product(self, other: Query) -> Self {
+        Query::Product(Box::new(self), Box::new(other))
+    }
+
+    /// Union (builder).
+    pub fn union(self, other: Query) -> Self {
+        Query::Union(Box::new(self), Box::new(other))
+    }
+
+    /// Difference (builder).
+    pub fn diff(self, other: Query) -> Self {
+        Query::Diff(Box::new(self), Box::new(other))
+    }
+
+    /// Derived intersection `Q ∩ Q′ = Q − (Q − Q′)`.
+    pub fn intersect(self, other: Query) -> Self {
+        self.clone().diff(self.diff(other))
+    }
+
+    /// `ψΩ(R̄)` — the `PGQro` pattern construct over stored relations.
+    pub fn pattern_ro(out: OutputPattern, rels: [&str; 6]) -> Self {
+        let views = rels.map(Query::rel);
+        Query::Pattern {
+            out,
+            views: Box::new(views),
+            op: ViewOp::Unary,
+        }
+    }
+
+    /// `ψΩ(Q̄)` — the `PGQrw` pattern construct (unary `pgView`).
+    pub fn pattern_rw(out: OutputPattern, views: [Query; 6]) -> Self {
+        Query::Pattern {
+            out,
+            views: Box::new(views),
+            op: ViewOp::Unary,
+        }
+    }
+
+    /// `ψ(n)Ω(Q̄)` — the `PGQn` pattern construct (`pgView_n`).
+    pub fn pattern_n(n: usize, out: OutputPattern, views: [Query; 6]) -> Self {
+        Query::Pattern {
+            out,
+            views: Box::new(views),
+            op: ViewOp::Bounded(n),
+        }
+    }
+
+    /// `ψextΩ(Q̄)` — the `PGQext` pattern construct (`pgView_ext`).
+    pub fn pattern_ext(out: OutputPattern, views: [Query; 6]) -> Self {
+        Query::Pattern {
+            out,
+            views: Box::new(views),
+            op: ViewOp::Ext,
+        }
+    }
+
+    /// The least fragment of the hierarchy containing this query
+    /// (Figure 3's layering): `PGQro` requires stored-relation views
+    /// and no constants; constants or query-defined views lift to
+    /// `PGQrw`; `pgView_n`/`pgView_ext` lift further.
+    pub fn fragment(&self) -> Fragment {
+        match self {
+            Query::Rel(_) => Fragment::Ro,
+            Query::Const(_) => Fragment::Rw,
+            Query::Project(_, q) | Query::Select(_, q) => q.fragment(),
+            Query::Product(a, b) | Query::Union(a, b) | Query::Diff(a, b) => {
+                a.fragment().join(b.fragment())
+            }
+            Query::Pattern { views, op, .. } => {
+                let all_rels = views.iter().all(|q| matches!(q, Query::Rel(_)));
+                let base = match (op, all_rels) {
+                    (ViewOp::Unary, true) => Fragment::Ro,
+                    (ViewOp::Unary, false) => Fragment::Rw,
+                    (ViewOp::Bounded(n), _) => Fragment::N(*n),
+                    (ViewOp::Ext, _) => Fragment::Ext,
+                };
+                views
+                    .iter()
+                    .map(Query::fragment)
+                    .fold(base, Fragment::join)
+            }
+        }
+    }
+
+    /// Static result arity under a schema, validating positions and
+    /// set-operation compatibility along the way.
+    pub fn arity(&self, schema: &Schema) -> Result<usize, QueryError> {
+        match self {
+            Query::Rel(name) => schema
+                .arity_of(name)
+                .ok_or_else(|| QueryError::Rel(RelError::UnknownRelation(name.clone()))),
+            Query::Const(_) => Ok(1),
+            Query::Project(pos, q) => {
+                let a = q.arity(schema)?;
+                for &p in pos {
+                    if p >= a {
+                        return Err(QueryError::Rel(RelError::PositionOutOfRange {
+                            position: p,
+                            arity: a,
+                        }));
+                    }
+                }
+                Ok(pos.len())
+            }
+            Query::Select(cond, q) => {
+                let a = q.arity(schema)?;
+                if let Some(max) = cond.max_position() {
+                    if max >= a {
+                        return Err(QueryError::Rel(RelError::PositionOutOfRange {
+                            position: max,
+                            arity: a,
+                        }));
+                    }
+                }
+                Ok(a)
+            }
+            Query::Product(a, b) => Ok(a.arity(schema)? + b.arity(schema)?),
+            Query::Union(a, b) | Query::Diff(a, b) => {
+                let (la, ra) = (a.arity(schema)?, b.arity(schema)?);
+                if la != ra {
+                    return Err(QueryError::Rel(RelError::IncompatibleArities {
+                        op: "union/difference",
+                        left: la,
+                        right: ra,
+                    }));
+                }
+                Ok(la)
+            }
+            Query::Pattern { out, views, .. } => {
+                // Identifier arity is Q1's arity.
+                let id_arity = views[0].arity(schema)?;
+                for q in views.iter() {
+                    q.arity(schema)?; // validate subqueries
+                }
+                Ok(out.output_arity(id_arity))
+            }
+        }
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            Query::Rel(_) | Query::Const(_) => 1,
+            Query::Project(_, q) | Query::Select(_, q) => 1 + q.size(),
+            Query::Product(a, b) | Query::Union(a, b) | Query::Diff(a, b) => {
+                1 + a.size() + b.size()
+            }
+            Query::Pattern { views, .. } => {
+                1 + views.iter().map(Query::size).sum::<usize>()
+            }
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Query::Rel(n) => write!(f, "{n}"),
+            Query::Const(c) => write!(f, "{c}"),
+            Query::Project(pos, q) => {
+                write!(f, "π[")?;
+                for (i, p) in pos.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "${}", p + 1)?;
+                }
+                write!(f, "]({q})")
+            }
+            Query::Select(c, q) => write!(f, "σ[{c}]({q})"),
+            Query::Product(a, b) => write!(f, "({a} × {b})"),
+            Query::Union(a, b) => write!(f, "({a} ∪ {b})"),
+            Query::Diff(a, b) => write!(f, "({a} − {b})"),
+            Query::Pattern { out, views, op } => {
+                write!(f, "{out}@{op}(")?;
+                for (i, q) in views.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{q}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_pattern::Pattern;
+
+    fn bool_out() -> OutputPattern {
+        OutputPattern::boolean(Pattern::any_edge()).unwrap()
+    }
+
+    #[test]
+    fn fragment_of_plain_ra_is_ro() {
+        let q = Query::rel("R").project(vec![0]).union(Query::rel("S").project(vec![1]));
+        assert_eq!(q.fragment(), Fragment::Ro);
+    }
+
+    #[test]
+    fn fragment_of_ro_pattern() {
+        let q = Query::pattern_ro(bool_out(), ["N", "E", "S", "T", "L", "P"]);
+        assert_eq!(q.fragment(), Fragment::Ro);
+    }
+
+    #[test]
+    fn constants_and_derived_views_lift_to_rw() {
+        assert_eq!(Query::constant(5).fragment(), Fragment::Rw);
+        let views = [
+            Query::rel("A").union(Query::rel("B")),
+            Query::rel("E"),
+            Query::rel("S"),
+            Query::rel("T"),
+            Query::rel("L"),
+            Query::rel("P"),
+        ];
+        let q = Query::pattern_rw(bool_out(), views);
+        assert_eq!(q.fragment(), Fragment::Rw);
+    }
+
+    #[test]
+    fn bounded_and_ext_views_lift_higher() {
+        let views = || {
+            [
+                Query::rel("N"),
+                Query::rel("E"),
+                Query::rel("S"),
+                Query::rel("T"),
+                Query::rel("L"),
+                Query::rel("P"),
+            ]
+        };
+        assert_eq!(
+            Query::pattern_n(2, bool_out(), views()).fragment(),
+            Fragment::N(2)
+        );
+        assert_eq!(
+            Query::pattern_ext(bool_out(), views()).fragment(),
+            Fragment::Ext
+        );
+    }
+
+    #[test]
+    fn fragment_hierarchy_ordering() {
+        assert!(Fragment::Ro.within(Fragment::Rw));
+        assert!(Fragment::Rw.within(Fragment::N(1)));
+        assert!(Fragment::N(1).within(Fragment::Rw)); // PGQrw = PGQ1
+        assert!(Fragment::N(2).within(Fragment::Ext));
+        assert!(!Fragment::Ext.within(Fragment::N(99)));
+        assert!(!Fragment::Rw.within(Fragment::Ro));
+        assert_eq!(Fragment::N(2).join(Fragment::N(3)), Fragment::N(3));
+    }
+
+    #[test]
+    fn static_arity() {
+        let schema = Schema::new().with("R", 2).with("N", 1).with("E", 1)
+            .with("S", 2).with("T", 2).with("L", 2).with("P", 3);
+        assert_eq!(Query::rel("R").arity(&schema).unwrap(), 2);
+        assert_eq!(Query::constant(1).arity(&schema).unwrap(), 1);
+        assert_eq!(
+            Query::rel("R").product(Query::constant(1)).arity(&schema).unwrap(),
+            3
+        );
+        assert!(Query::rel("R").union(Query::constant(1)).arity(&schema).is_err());
+        assert!(Query::rel("R").project(vec![5]).arity(&schema).is_err());
+        let p = Query::pattern_ro(
+            OutputPattern::vars(
+                Pattern::node("x").then(Pattern::any_edge()).then(Pattern::node("y")),
+                ["x", "y"],
+            )
+            .unwrap(),
+            ["N", "E", "S", "T", "L", "P"],
+        );
+        assert_eq!(p.arity(&schema).unwrap(), 2);
+    }
+
+    #[test]
+    fn size_and_display() {
+        let q = Query::rel("R").project(vec![0]);
+        assert_eq!(q.size(), 2);
+        assert_eq!(q.to_string(), "π[$1](R)");
+        let q = Query::constant(3).product(Query::rel("R"));
+        assert!(q.to_string().contains('×'));
+    }
+}

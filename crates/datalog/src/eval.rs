@@ -1,0 +1,589 @@
+//! Semi-naive, stratum-by-stratum evaluation.
+//!
+//! The evaluator runs a validated, stratified program against a
+//! [`Database`]: relations stored in the database are the extensional
+//! predicates, the reserved [`ADOM`] predicate is bound
+//! to the active domain, and every rule head is intensional. Within a
+//! stratum, recursive rules are iterated semi-naively: after the first
+//! round, a rule only fires with at least one same-stratum positive
+//! literal bound to the previous round's *delta*.
+//!
+//! Complexity: for a fixed program the evaluation is polynomial in the
+//! database (each stratum's fixpoint adds at least one tuple per round,
+//! and rounds do polynomial work), matching the Datalog side of the
+//! paper's NL discussion (Section 4.1).
+
+use crate::ast::{Atom, DlTerm, Literal, Program, ProgramError, ADOM};
+use crate::stratify::{stratify, Stratification};
+use pgq_relational::{Database, RelName, Relation};
+use pgq_value::{Tuple, Value, Var};
+use std::collections::BTreeMap;
+
+/// Errors surfaced while running a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The program failed static validation or stratification.
+    Static(ProgramError),
+    /// A body literal references a predicate that is neither IDB nor
+    /// stored in the database.
+    UnknownPredicate {
+        /// The missing predicate.
+        pred: RelName,
+    },
+    /// A body literal's arity disagrees with the stored relation.
+    EdbArityMismatch {
+        /// The predicate.
+        pred: RelName,
+        /// Arity in the program.
+        program: usize,
+        /// Arity in the database.
+        database: usize,
+    },
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::Static(e) => write!(f, "{e}"),
+            EvalError::UnknownPredicate { pred } => write!(f, "unknown predicate {pred}"),
+            EvalError::EdbArityMismatch { pred, program, database } => write!(
+                f,
+                "predicate {pred} has arity {program} in the program but {database} in the database"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<ProgramError> for EvalError {
+    fn from(e: ProgramError) -> Self {
+        EvalError::Static(e)
+    }
+}
+
+/// The result of evaluating a program: every IDB relation at fixpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Model {
+    relations: BTreeMap<RelName, Relation>,
+}
+
+impl Model {
+    /// The computed relation for `pred` (every IDB predicate is present,
+    /// possibly empty).
+    pub fn get(&self, pred: &RelName) -> Option<&Relation> {
+        self.relations.get(pred)
+    }
+
+    /// Iterate over all IDB relations.
+    pub fn iter(&self) -> impl Iterator<Item = (&RelName, &Relation)> {
+        self.relations.iter()
+    }
+
+    /// Total number of derived tuples.
+    pub fn tuple_count(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Assemble a model from computed relations (used by the naive
+    /// reference evaluator).
+    pub(crate) fn from_relations(relations: BTreeMap<RelName, Relation>) -> Self {
+        Model { relations }
+    }
+}
+
+/// A variable binding under construction while matching body literals.
+type Bindings = BTreeMap<Var, Value>;
+
+/// Evaluate `program` on `db` (see module docs). Validates, stratifies,
+/// then computes each stratum's least fixpoint semi-naively.
+pub fn evaluate(program: &Program, db: &Database) -> Result<Model, EvalError> {
+    program.validate()?;
+    let strat = stratify(program)?;
+    let arities = program.arities()?;
+    let idb = program.idb_preds();
+
+    // Reject heads that shadow stored relations, and check EDB arities.
+    let adom_name: RelName = ADOM.into();
+    for pred in &idb {
+        if db.get(pred).is_some() {
+            return Err(ProgramError::HeadShadowsEdb { pred: pred.clone() }.into());
+        }
+    }
+    for rule in &program.rules {
+        for lit in &rule.body {
+            let pred = &lit.atom.pred;
+            if idb.contains(pred) || *pred == adom_name {
+                continue;
+            }
+            match db.get(pred) {
+                None => return Err(EvalError::UnknownPredicate { pred: pred.clone() }),
+                Some(rel) if rel.arity() != lit.atom.arity() => {
+                    return Err(EvalError::EdbArityMismatch {
+                        pred: pred.clone(),
+                        program: lit.atom.arity(),
+                        database: rel.arity(),
+                    })
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    let mut total: BTreeMap<RelName, Relation> = idb
+        .iter()
+        .map(|p| (p.clone(), Relation::empty(arities.get(p).copied().unwrap_or(0))))
+        .collect();
+    let adom_rel = db.active_domain_relation();
+    run_strata(program, &strat, db, &adom_rel, &mut total);
+    Ok(Model { relations: total })
+}
+
+/// Shorthand: evaluate and return a single predicate's relation.
+pub fn query(program: &Program, db: &Database, goal: &RelName) -> Result<Relation, EvalError> {
+    let model = evaluate(program, db)?;
+    model
+        .get(goal)
+        .cloned()
+        .ok_or_else(|| EvalError::UnknownPredicate { pred: goal.clone() })
+}
+
+fn run_strata(
+    program: &Program,
+    strat: &Stratification,
+    db: &Database,
+    adom: &Relation,
+    total: &mut BTreeMap<RelName, Relation>,
+) {
+    let adom_name: RelName = ADOM.into();
+    for layer in &strat.layers {
+        let rules: Vec<&crate::ast::Rule> = layer.iter().map(|&i| &program.rules[i]).collect();
+        // Predicates defined in this stratum (for semi-naive deltas).
+        let here: std::collections::BTreeSet<&RelName> =
+            rules.iter().map(|r| &r.head.pred).collect();
+
+        // Round 0: naive evaluation of every rule in the stratum.
+        let mut delta: BTreeMap<RelName, Relation> = BTreeMap::new();
+        for rule in &rules {
+            let derived = fire_rule(rule, None, db, adom, total, &adom_name);
+            note_new(&mut delta, total, &rule.head.pred, derived);
+        }
+        absorb(total, &delta);
+
+        // Subsequent rounds: differentiate on same-stratum positives.
+        loop {
+            let mut next: BTreeMap<RelName, Relation> = BTreeMap::new();
+            for rule in &rules {
+                for (i, lit) in rule.body.iter().enumerate() {
+                    if !lit.positive || !here.contains(&lit.atom.pred) {
+                        continue;
+                    }
+                    let Some(d) = delta.get(&lit.atom.pred) else {
+                        continue;
+                    };
+                    if d.is_empty() {
+                        continue;
+                    }
+                    let derived = fire_rule(rule, Some((i, d)), db, adom, total, &adom_name);
+                    note_new(&mut next, total, &rule.head.pred, derived);
+                }
+            }
+            if next.values().all(Relation::is_empty) {
+                break;
+            }
+            absorb(total, &next);
+            delta = next;
+        }
+    }
+}
+
+/// Keep only tuples not already in `total`, accumulating them in `delta`.
+fn note_new(
+    delta: &mut BTreeMap<RelName, Relation>,
+    total: &BTreeMap<RelName, Relation>,
+    pred: &RelName,
+    derived: Vec<Tuple>,
+) {
+    if derived.is_empty() {
+        return;
+    }
+    let existing = &total[pred];
+    let entry = delta
+        .entry(pred.clone())
+        .or_insert_with(|| Relation::empty(existing.arity()));
+    for t in derived {
+        if !existing.contains(&t) {
+            let _ = entry.insert(t);
+        }
+    }
+}
+
+fn absorb(total: &mut BTreeMap<RelName, Relation>, delta: &BTreeMap<RelName, Relation>) {
+    for (p, d) in delta {
+        if d.is_empty() {
+            continue;
+        }
+        let r = total.get_mut(p).expect("stratum predicates pre-seeded");
+        *r = r.union(d).expect("same arity");
+    }
+}
+
+/// Full (non-differentiated) firing of a rule — shared with the naive
+/// reference evaluator.
+pub(crate) fn fire_rule_full(
+    rule: &crate::ast::Rule,
+    db: &Database,
+    adom: &Relation,
+    total: &BTreeMap<RelName, Relation>,
+    adom_name: &RelName,
+) -> Vec<Tuple> {
+    fire_rule(rule, None, db, adom, total, adom_name)
+}
+
+/// Evaluate one rule body left-to-right, with positive literals first
+/// (negatives are checked once their variables are ground — rule safety
+/// guarantees this ordering binds them). `delta_at` pins one positive
+/// body literal to the given delta relation instead of the full total.
+fn fire_rule(
+    rule: &crate::ast::Rule,
+    delta_at: Option<(usize, &Relation)>,
+    db: &Database,
+    adom: &Relation,
+    total: &BTreeMap<RelName, Relation>,
+    adom_name: &RelName,
+) -> Vec<Tuple> {
+    // Order: positives (in source order), then negatives.
+    let mut order: Vec<usize> = (0..rule.body.len()).filter(|&i| rule.body[i].positive).collect();
+    order.extend((0..rule.body.len()).filter(|&i| !rule.body[i].positive));
+
+    let rel_of = |i: usize| -> Relation {
+        if let Some((j, d)) = delta_at {
+            if i == j {
+                return (*d).clone();
+            }
+        }
+        let pred = &rule.body[i].atom.pred;
+        if pred == adom_name {
+            adom.clone()
+        } else if let Some(r) = total.get(pred) {
+            r.clone()
+        } else {
+            db.get(pred).cloned().expect("EDB checked before evaluation")
+        }
+    };
+    let rels: Vec<Relation> = order.iter().map(|&i| rel_of(i)).collect();
+
+    let mut out = Vec::new();
+    let mut bind = Bindings::new();
+    join_rec(rule, &order, &rels, 0, &mut bind, &mut out);
+    out
+}
+
+/// Nested-loop join over the ordered body literals.
+fn join_rec(
+    rule: &crate::ast::Rule,
+    order: &[usize],
+    rels: &[Relation],
+    depth: usize,
+    bind: &mut Bindings,
+    out: &mut Vec<Tuple>,
+) {
+    if depth == order.len() {
+        out.push(instantiate(&rule.head, bind));
+        return;
+    }
+    let lit = &rule.body[order[depth]];
+    let rel = &rels[depth];
+    if lit.positive {
+        'tuples: for t in rel.iter() {
+            let mut added: Vec<Var> = Vec::new();
+            for (term, val) in lit.atom.terms.iter().zip(t.iter()) {
+                match term {
+                    DlTerm::Const(c) => {
+                        if c != val {
+                            unwind(bind, &added);
+                            continue 'tuples;
+                        }
+                    }
+                    DlTerm::Var(v) => match bind.get(v) {
+                        Some(existing) if existing != val => {
+                            unwind(bind, &added);
+                            continue 'tuples;
+                        }
+                        Some(_) => {}
+                        None => {
+                            bind.insert(v.clone(), val.clone());
+                            added.push(v.clone());
+                        }
+                    },
+                }
+            }
+            join_rec(rule, order, rels, depth + 1, bind, out);
+            unwind(bind, &added);
+        }
+    } else {
+        // Safety guarantees groundness here.
+        let probe = instantiate(&lit.atom, bind);
+        if !rel.contains(&probe) {
+            join_rec(rule, order, rels, depth + 1, bind, out);
+        }
+    }
+}
+
+fn unwind(bind: &mut Bindings, added: &[Var]) {
+    for v in added {
+        bind.remove(v);
+    }
+}
+
+/// Substitute bindings into an atom (all variables must be bound).
+fn instantiate(atom: &Atom, bind: &Bindings) -> Tuple {
+    atom.terms
+        .iter()
+        .map(|t| match t {
+            DlTerm::Const(c) => c.clone(),
+            DlTerm::Var(v) => bind
+                .get(v)
+                .cloned()
+                .expect("safety: head/negative variables bound by positives"),
+        })
+        .collect()
+}
+
+/// Convenience used by tests and benches: transitive-closure program
+/// `goal(x,y) :- edge(x,y); goal(x,z) :- goal(x,y), edge(y,z)` over the
+/// named edge relation.
+pub fn reachability_program(edge: &str, goal: &str) -> Program {
+    let mut p = Program::new();
+    let x = DlTerm::var("x");
+    let y = DlTerm::var("y");
+    let z = DlTerm::var("z");
+    p.push(crate::ast::Rule::new(
+        Atom::new(goal, [x.clone(), y.clone()]),
+        vec![Literal::pos(Atom::new(edge, [x.clone(), y.clone()]))],
+    ));
+    p.push(crate::ast::Rule::new(
+        Atom::new(goal, [x.clone(), z.clone()]),
+        vec![
+            Literal::pos(Atom::new(goal, [x, y.clone()])),
+            Literal::pos(Atom::new(edge, [y, z])),
+        ],
+    ));
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Rule;
+
+    fn pairs(rel: &Relation) -> Vec<(i64, i64)> {
+        rel.iter()
+            .map(|t| (t.get(0).unwrap().as_int().unwrap(), t.get(1).unwrap().as_int().unwrap()))
+            .collect()
+    }
+
+    fn edge_db(edges: &[(i64, i64)]) -> Database {
+        let rel = Relation::from_rows(
+            2,
+            edges.iter().map(|&(a, b)| Tuple::new(vec![Value::int(a), Value::int(b)])),
+        )
+        .unwrap();
+        Database::new().with_relation("edge", rel)
+    }
+
+    #[test]
+    fn reachability_on_a_path() {
+        let db = edge_db(&[(1, 2), (2, 3), (3, 4)]);
+        let p = reachability_program("edge", "path");
+        let r = query(&p, &db, &RelName::new("path")).unwrap();
+        assert_eq!(
+            pairs(&r),
+            vec![(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)]
+        );
+    }
+
+    #[test]
+    fn reachability_on_a_cycle_terminates() {
+        let db = edge_db(&[(0, 1), (1, 2), (2, 0)]);
+        let p = reachability_program("edge", "path");
+        let r = query(&p, &db, &RelName::new("path")).unwrap();
+        assert_eq!(r.len(), 9); // complete on {0,1,2}
+    }
+
+    #[test]
+    fn stratified_negation_complement() {
+        // unreach(x,y) :- $adom(x), $adom(y), !path(x,y).
+        let db = edge_db(&[(1, 2), (2, 3)]);
+        let mut p = reachability_program("edge", "path");
+        p.push(Rule::new(
+            Atom::new("unreach", [DlTerm::var("x"), DlTerm::var("y")]),
+            vec![
+                Literal::pos(Atom::new(ADOM, [DlTerm::var("x")])),
+                Literal::pos(Atom::new(ADOM, [DlTerm::var("y")])),
+                Literal::neg(Atom::new("path", [DlTerm::var("x"), DlTerm::var("y")])),
+            ],
+        ));
+        let m = evaluate(&p, &db).unwrap();
+        let path = m.get(&RelName::new("path")).unwrap();
+        let unreach = m.get(&RelName::new("unreach")).unwrap();
+        assert_eq!(path.len() + unreach.len(), 9); // 3×3 domain
+        assert!(unreach.contains(&Tuple::new(vec![Value::int(2), Value::int(1)])));
+    }
+
+    #[test]
+    fn facts_and_constants_in_heads() {
+        let mut p = Program::new();
+        p.push(Rule::fact(Atom::new("seed", [DlTerm::constant(7i64)])));
+        p.push(Rule::new(
+            Atom::new("next", [DlTerm::var("x")]),
+            vec![Literal::pos(Atom::new("seed", [DlTerm::var("x")]))],
+        ));
+        let db = Database::new().with_relation("unused", Relation::empty(1));
+        let m = evaluate(&p, &db).unwrap();
+        assert!(m.get(&RelName::new("next")).unwrap().contains(&Tuple::unary(7i64)));
+    }
+
+    #[test]
+    fn constants_filter_in_bodies() {
+        let db = edge_db(&[(1, 2), (2, 3), (1, 3)]);
+        let mut p = Program::new();
+        p.push(Rule::new(
+            Atom::new("from_one", [DlTerm::var("y")]),
+            vec![Literal::pos(Atom::new("edge", [DlTerm::constant(1i64), DlTerm::var("y")]))],
+        ));
+        let r = query(&p, &db, &RelName::new("from_one")).unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn repeated_variables_unify() {
+        let db = edge_db(&[(1, 1), (1, 2), (3, 3)]);
+        let mut p = Program::new();
+        p.push(Rule::new(
+            Atom::new("self_loop", [DlTerm::var("x")]),
+            vec![Literal::pos(Atom::new("edge", [DlTerm::var("x"), DlTerm::var("x")]))],
+        ));
+        let r = query(&p, &db, &RelName::new("self_loop")).unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn unknown_predicate_is_an_error() {
+        let db = Database::new();
+        let mut p = Program::new();
+        p.push(Rule::new(
+            Atom::new("p", [DlTerm::var("x")]),
+            vec![Literal::pos(Atom::new("nope", [DlTerm::var("x")]))],
+        ));
+        assert!(matches!(
+            evaluate(&p, &db),
+            Err(EvalError::UnknownPredicate { .. })
+        ));
+    }
+
+    #[test]
+    fn head_shadowing_edb_is_an_error() {
+        let db = edge_db(&[(1, 2)]);
+        let mut p = Program::new();
+        p.push(Rule::new(
+            Atom::new("edge", [DlTerm::var("x"), DlTerm::var("y")]),
+            vec![Literal::pos(Atom::new("edge", [DlTerm::var("x"), DlTerm::var("y")]))],
+        ));
+        assert!(matches!(
+            evaluate(&p, &db),
+            Err(EvalError::Static(ProgramError::HeadShadowsEdb { .. }))
+        ));
+    }
+
+    #[test]
+    fn edb_arity_mismatch_is_an_error() {
+        let db = edge_db(&[(1, 2)]);
+        let mut p = Program::new();
+        p.push(Rule::new(
+            Atom::new("p", [DlTerm::var("x")]),
+            vec![Literal::pos(Atom::new("edge", [DlTerm::var("x")]))],
+        ));
+        assert!(matches!(
+            evaluate(&p, &db),
+            Err(EvalError::EdbArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn declared_ruleless_predicate_is_empty() {
+        let db = edge_db(&[(1, 2)]);
+        let mut p = Program::new();
+        p.declare("never", 3);
+        let m = evaluate(&p, &db).unwrap();
+        assert!(m.get(&RelName::new("never")).unwrap().is_empty());
+        assert_eq!(m.get(&RelName::new("never")).unwrap().arity(), 3);
+    }
+
+    #[test]
+    fn zero_ary_predicates_act_as_booleans() {
+        let db = edge_db(&[(1, 2)]);
+        let mut p = Program::new();
+        p.push(Rule::fact(Atom::new("yes", Vec::<DlTerm>::new())));
+        p.push(Rule::new(
+            Atom::new("copy", [DlTerm::var("x"), DlTerm::var("y")]),
+            vec![
+                Literal::pos(Atom::new("yes", Vec::<DlTerm>::new())),
+                Literal::pos(Atom::new("edge", [DlTerm::var("x"), DlTerm::var("y")])),
+            ],
+        ));
+        let m = evaluate(&p, &db).unwrap();
+        assert!(m.get(&RelName::new("yes")).unwrap().as_bool());
+        assert_eq!(m.get(&RelName::new("copy")).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn same_generation_classic() {
+        // sg(x,y) :- flat(x,y).
+        // sg(x,y) :- up(x,u), sg(u,v), down(v,y).
+        let up = Relation::from_rows(
+            2,
+            [(1i64, 10i64), (2, 10), (3, 20), (4, 20)]
+                .iter()
+                .map(|&(a, b)| Tuple::new(vec![Value::int(a), Value::int(b)])),
+        )
+        .unwrap();
+        let flat = Relation::from_rows(
+            2,
+            [(10i64, 20i64)]
+                .iter()
+                .map(|&(a, b)| Tuple::new(vec![Value::int(a), Value::int(b)])),
+        )
+        .unwrap();
+        let down = Relation::from_rows(
+            2,
+            [(10i64, 1i64), (10, 2), (20, 3), (20, 4)]
+                .iter()
+                .map(|&(a, b)| Tuple::new(vec![Value::int(a), Value::int(b)])),
+        )
+        .unwrap();
+        let db = Database::new()
+            .with_relation("up", up)
+            .with_relation("flat", flat)
+            .with_relation("down", down);
+        let mut p = Program::new();
+        let (x, y, u, v) = (DlTerm::var("x"), DlTerm::var("y"), DlTerm::var("u"), DlTerm::var("v"));
+        p.push(Rule::new(
+            Atom::new("sg", [x.clone(), y.clone()]),
+            vec![Literal::pos(Atom::new("flat", [x.clone(), y.clone()]))],
+        ));
+        p.push(Rule::new(
+            Atom::new("sg", [x.clone(), y.clone()]),
+            vec![
+                Literal::pos(Atom::new("up", [x, u.clone()])),
+                Literal::pos(Atom::new("sg", [u, v.clone()])),
+                Literal::pos(Atom::new("down", [v, y])),
+            ],
+        ));
+        let r = query(&p, &db, &RelName::new("sg")).unwrap();
+        // The flat pair (10,20) is in sg directly; 1 and 2 are
+        // up-parents of 10, whose flat partner 20 has down-children 3
+        // and 4, so {1,2} × {3,4} joins it.
+        assert_eq!(pairs(&r), vec![(1, 3), (1, 4), (2, 3), (2, 4), (10, 20)]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Naive (full re-derivation) evaluation — the differential-testing
+//! reference for the semi-naive engine.
+//!
+//! Same stratification and body-matching machinery as [`crate::eval`],
+//! but each round within a stratum re-fires *every* rule against the
+//! full current totals until nothing new is derived. Asymptotically
+//! wasteful, obviously correct.
+
+use crate::ast::{Program, ADOM};
+use crate::eval::{EvalError, Model};
+use crate::stratify::stratify;
+use pgq_relational::{Database, RelName, Relation};
+
+/// Evaluate `program` on `db` naively. Produces exactly the same
+/// [`Model`] as [`crate::eval::evaluate`] (property-tested in
+/// `lib.rs`).
+pub fn evaluate_naive(program: &Program, db: &Database) -> Result<Model, EvalError> {
+    // Reuse all static checks by delegating to the semi-naive entry
+    // point on an empty-delta schedule: validation is identical, so any
+    // static error comes back unchanged. We still need an independent
+    // fixpoint loop, so validation is repeated here cheaply.
+    program.validate()?;
+    let strat = stratify(program)?;
+    let arities = program.arities()?;
+    let idb = program.idb_preds();
+    let adom_name: RelName = ADOM.into();
+    for pred in &idb {
+        if db.get(pred).is_some() {
+            return Err(crate::ast::ProgramError::HeadShadowsEdb { pred: pred.clone() }.into());
+        }
+    }
+    for rule in &program.rules {
+        for lit in &rule.body {
+            let pred = &lit.atom.pred;
+            if idb.contains(pred) || *pred == adom_name {
+                continue;
+            }
+            match db.get(pred) {
+                None => return Err(EvalError::UnknownPredicate { pred: pred.clone() }),
+                Some(rel) if rel.arity() != lit.atom.arity() => {
+                    return Err(EvalError::EdbArityMismatch {
+                        pred: pred.clone(),
+                        program: lit.atom.arity(),
+                        database: rel.arity(),
+                    })
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    let mut total: std::collections::BTreeMap<RelName, Relation> = idb
+        .iter()
+        .map(|p| (p.clone(), Relation::empty(arities.get(p).copied().unwrap_or(0))))
+        .collect();
+    let adom_rel = db.active_domain_relation();
+
+    for layer in &strat.layers {
+        loop {
+            let mut grew = false;
+            for &i in layer {
+                let rule = &program.rules[i];
+                let derived =
+                    crate::eval::fire_rule_full(rule, db, &adom_rel, &total, &adom_name);
+                let rel = total.get_mut(&rule.head.pred).expect("pre-seeded");
+                for t in derived {
+                    if rel.insert(t).expect("arity checked") {
+                        grew = true;
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+    }
+    Ok(Model::from_relations(total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{evaluate, reachability_program};
+    use pgq_value::{Tuple, Value};
+
+    #[test]
+    fn naive_matches_semi_naive_on_reachability() {
+        let rel = Relation::from_rows(
+            2,
+            [(0i64, 1i64), (1, 2), (2, 3), (3, 1), (4, 4)]
+                .iter()
+                .map(|&(a, b)| Tuple::new(vec![Value::int(a), Value::int(b)])),
+        )
+        .unwrap();
+        let db = Database::new().with_relation("edge", rel);
+        let p = reachability_program("edge", "path");
+        assert_eq!(evaluate_naive(&p, &db).unwrap(), evaluate(&p, &db).unwrap());
+    }
+}

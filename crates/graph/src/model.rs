@@ -1,0 +1,479 @@
+//! The property graph model (Definition 2.1), generalized to `n`-ary
+//! identifiers (Definition 5.1).
+//!
+//! A property graph is `G = ⟨N, E, src, tgt, lab, prop⟩`. In the classical
+//! model node and edge identifiers are single values; in the extended
+//! model they are `n`-tuples. We represent both uniformly: an identifier
+//! is a [`Tuple`], and the graph records its identifier arity.
+
+use pgq_value::{Key, Label, Tuple, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// An element identifier (node or edge): a value tuple of the graph's
+/// identifier arity. Unary graphs use 1-tuples.
+pub type ElementId = Tuple;
+
+/// A property graph with `k`-ary identifiers.
+///
+/// Invariants (checked by the constructors in [`crate::view`] and by the
+/// builder):
+/// * node and edge identifier sets are disjoint;
+/// * `src`/`tgt` are total functions from edges to nodes;
+/// * labels and properties are attached only to existing elements;
+/// * `prop` is a partial function `(N ∪ E) × K ⇀ P`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PropertyGraph {
+    id_arity: usize,
+    nodes: BTreeSet<ElementId>,
+    edges: BTreeSet<ElementId>,
+    src: BTreeMap<ElementId, ElementId>,
+    tgt: BTreeMap<ElementId, ElementId>,
+    labels: BTreeMap<ElementId, BTreeSet<Label>>,
+    props: BTreeMap<ElementId, BTreeMap<Key, Value>>,
+    /// Outgoing adjacency: node → edges with that source.
+    out_edges: BTreeMap<ElementId, Vec<ElementId>>,
+    /// Incoming adjacency: node → edges with that target.
+    in_edges: BTreeMap<ElementId, Vec<ElementId>>,
+}
+
+impl PropertyGraph {
+    /// An empty graph with the given identifier arity.
+    pub fn empty(id_arity: usize) -> Self {
+        PropertyGraph {
+            id_arity,
+            ..Default::default()
+        }
+    }
+
+    /// Identifier arity `k` (1 for classical property graphs).
+    pub fn id_arity(&self) -> usize {
+        self.id_arity
+    }
+
+    /// The node identifier set `N`.
+    pub fn nodes(&self) -> impl Iterator<Item = &ElementId> + '_ {
+        self.nodes.iter()
+    }
+
+    /// The edge identifier set `E`.
+    pub fn edges(&self) -> impl Iterator<Item = &ElementId> + '_ {
+        self.edges.iter()
+    }
+
+    /// `|N|`.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `|E|`.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether `id` is a node of the graph.
+    pub fn is_node(&self, id: &ElementId) -> bool {
+        self.nodes.contains(id)
+    }
+
+    /// Whether `id` is an edge of the graph.
+    pub fn is_edge(&self, id: &ElementId) -> bool {
+        self.edges.contains(id)
+    }
+
+    /// Whether `id` is an element (node or edge) of the graph.
+    pub fn is_element(&self, id: &ElementId) -> bool {
+        self.is_node(id) || self.is_edge(id)
+    }
+
+    /// `src(e)`, defined for every edge.
+    pub fn src(&self, e: &ElementId) -> Option<&ElementId> {
+        self.src.get(e)
+    }
+
+    /// `tgt(e)`, defined for every edge.
+    pub fn tgt(&self, e: &ElementId) -> Option<&ElementId> {
+        self.tgt.get(e)
+    }
+
+    /// `lab(x)`: the (possibly empty) label set of an element.
+    pub fn labels(&self, id: &ElementId) -> impl Iterator<Item = &Label> + '_ {
+        self.labels.get(id).into_iter().flatten()
+    }
+
+    /// `ℓ ∈ lab(x)` — the label test of condition satisfaction (§2.3.1).
+    pub fn has_label(&self, id: &ElementId, label: &Label) -> bool {
+        self.labels.get(id).is_some_and(|ls| ls.contains(label))
+    }
+
+    /// `prop(x, k)` — the partial property function.
+    pub fn prop(&self, id: &ElementId, key: &Key) -> Option<&Value> {
+        self.props.get(id).and_then(|m| m.get(key))
+    }
+
+    /// All properties of an element, in key order.
+    pub fn props_of(&self, id: &ElementId) -> impl Iterator<Item = (&Key, &Value)> + '_ {
+        self.props.get(id).into_iter().flatten()
+    }
+
+    /// Edges whose source is `n`, in deterministic order.
+    pub fn out_edges(&self, n: &ElementId) -> &[ElementId] {
+        self.out_edges.get(n).map_or(&[], Vec::as_slice)
+    }
+
+    /// Edges whose target is `n`, in deterministic order.
+    pub fn in_edges(&self, n: &ElementId) -> &[ElementId] {
+        self.in_edges.get(n).map_or(&[], Vec::as_slice)
+    }
+
+    /// Node-level successor map (ignoring edge identities): `n ↦ {m : ∃e,
+    /// src(e)=n, tgt(e)=m}`. Used by reachability fixpoints.
+    pub fn successors(&self) -> BTreeMap<&ElementId, BTreeSet<&ElementId>> {
+        let mut map: BTreeMap<&ElementId, BTreeSet<&ElementId>> = BTreeMap::new();
+        for e in &self.edges {
+            let (s, t) = (&self.src[e], &self.tgt[e]);
+            map.entry(s).or_default().insert(t);
+        }
+        map
+    }
+
+    // -- mutation used by the builder & view constructors (crate-private) --
+
+    pub(crate) fn insert_node(&mut self, id: ElementId) {
+        debug_assert_eq!(id.arity(), self.id_arity);
+        self.nodes.insert(id);
+    }
+
+    pub(crate) fn insert_edge(&mut self, id: ElementId, src: ElementId, tgt: ElementId) {
+        debug_assert_eq!(id.arity(), self.id_arity);
+        self.out_edges.entry(src.clone()).or_default().push(id.clone());
+        self.in_edges.entry(tgt.clone()).or_default().push(id.clone());
+        self.src.insert(id.clone(), src);
+        self.tgt.insert(id.clone(), tgt);
+        self.edges.insert(id);
+    }
+
+    pub(crate) fn insert_label(&mut self, id: ElementId, label: Label) {
+        self.labels.entry(id).or_default().insert(label);
+    }
+
+    pub(crate) fn insert_prop(&mut self, id: ElementId, key: Key, value: Value) {
+        self.props.entry(id).or_default().insert(key, value);
+    }
+}
+
+impl fmt::Display for PropertyGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "property graph: {} node(s), {} edge(s), id arity {}",
+            self.node_count(),
+            self.edge_count(),
+            self.id_arity
+        )?;
+        for n in &self.nodes {
+            write!(f, "  node {n}")?;
+            let ls: Vec<String> = self.labels(n).map(|l| l.to_string()).collect();
+            if !ls.is_empty() {
+                write!(f, " :{}", ls.join(":"))?;
+            }
+            writeln!(f)?;
+        }
+        for e in &self.edges {
+            writeln!(f, "  edge {e}: {} -> {}", self.src[e], self.tgt[e])?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors raised while assembling a graph element-by-element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// Identifier arity differs from the graph's arity.
+    IdArity {
+        /// Expected identifier arity.
+        expected: usize,
+        /// Supplied identifier arity.
+        found: usize,
+    },
+    /// Node/edge identifier already used by the other sort.
+    IdClash(ElementId),
+    /// Edge endpoint refers to a missing node.
+    DanglingEndpoint(ElementId),
+    /// Label or property attached to a non-existent element.
+    NoSuchElement(ElementId),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::IdArity { expected, found } => {
+                write!(f, "identifier arity {found}, graph expects {expected}")
+            }
+            BuildError::IdClash(id) => write!(f, "identifier {id} used as both node and edge"),
+            BuildError::DanglingEndpoint(id) => write!(f, "edge endpoint {id} is not a node"),
+            BuildError::NoSuchElement(id) => write!(f, "no element with identifier {id}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Element-by-element graph builder for tests, examples and workloads.
+///
+/// The canonical way to obtain graphs in the formal development is
+/// [`crate::view::pg_view_ext`] over six relations; the builder is the
+/// ergonomic front door for hand-written graphs and checks the same
+/// invariants incrementally.
+#[derive(Debug, Clone)]
+pub struct PropertyGraphBuilder {
+    graph: PropertyGraph,
+}
+
+impl PropertyGraphBuilder {
+    /// Starts a graph with the given identifier arity.
+    pub fn new(id_arity: usize) -> Self {
+        PropertyGraphBuilder {
+            graph: PropertyGraph::empty(id_arity),
+        }
+    }
+
+    /// Starts a classical (unary-identifier) graph.
+    pub fn unary() -> Self {
+        Self::new(1)
+    }
+
+    fn check_arity(&self, id: &ElementId) -> Result<(), BuildError> {
+        if id.arity() != self.graph.id_arity {
+            return Err(BuildError::IdArity {
+                expected: self.graph.id_arity,
+                found: id.arity(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Adds a node.
+    pub fn node(&mut self, id: impl Into<ElementId>) -> Result<&mut Self, BuildError> {
+        let id = id.into();
+        self.check_arity(&id)?;
+        if self.graph.is_edge(&id) {
+            return Err(BuildError::IdClash(id));
+        }
+        self.graph.insert_node(id);
+        Ok(self)
+    }
+
+    /// Adds a unary-identified node (convenience).
+    pub fn node1(&mut self, id: impl Into<Value>) -> Result<&mut Self, BuildError> {
+        self.node(Tuple::unary(id))
+    }
+
+    /// Adds an edge between existing nodes.
+    pub fn edge(
+        &mut self,
+        id: impl Into<ElementId>,
+        src: impl Into<ElementId>,
+        tgt: impl Into<ElementId>,
+    ) -> Result<&mut Self, BuildError> {
+        let (id, src, tgt) = (id.into(), src.into(), tgt.into());
+        self.check_arity(&id)?;
+        if self.graph.is_node(&id) {
+            return Err(BuildError::IdClash(id));
+        }
+        if !self.graph.is_node(&src) {
+            return Err(BuildError::DanglingEndpoint(src));
+        }
+        if !self.graph.is_node(&tgt) {
+            return Err(BuildError::DanglingEndpoint(tgt));
+        }
+        self.graph.insert_edge(id, src, tgt);
+        Ok(self)
+    }
+
+    /// Adds a unary-identified edge (convenience).
+    pub fn edge1(
+        &mut self,
+        id: impl Into<Value>,
+        src: impl Into<Value>,
+        tgt: impl Into<Value>,
+    ) -> Result<&mut Self, BuildError> {
+        self.edge(Tuple::unary(id), Tuple::unary(src), Tuple::unary(tgt))
+    }
+
+    /// Attaches a label to an existing element.
+    pub fn label(
+        &mut self,
+        id: impl Into<ElementId>,
+        label: impl Into<Label>,
+    ) -> Result<&mut Self, BuildError> {
+        let id = id.into();
+        if !self.graph.is_element(&id) {
+            return Err(BuildError::NoSuchElement(id));
+        }
+        self.graph.insert_label(id, label.into());
+        Ok(self)
+    }
+
+    /// Attaches a property to an existing element (overwrites an existing
+    /// value for the same key, keeping `prop` functional).
+    pub fn prop(
+        &mut self,
+        id: impl Into<ElementId>,
+        key: impl Into<Key>,
+        value: impl Into<Value>,
+    ) -> Result<&mut Self, BuildError> {
+        let id = id.into();
+        if !self.graph.is_element(&id) {
+            return Err(BuildError::NoSuchElement(id));
+        }
+        self.graph.insert_prop(id, key.into(), value.into());
+        Ok(self)
+    }
+
+    /// Finishes the build.
+    pub fn finish(self) -> PropertyGraph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_value::tuple;
+
+    fn diamond() -> PropertyGraph {
+        // a -e1-> b -e3-> d, a -e2-> c -e4-> d
+        let mut b = PropertyGraphBuilder::unary();
+        for n in ["a", "b", "c", "d"] {
+            b.node1(n).unwrap();
+        }
+        b.edge1("e1", "a", "b").unwrap();
+        b.edge1("e2", "a", "c").unwrap();
+        b.edge1("e3", "b", "d").unwrap();
+        b.edge1("e4", "c", "d").unwrap();
+        b.label(Tuple::unary("e1"), "Transfer").unwrap();
+        b.prop(Tuple::unary("e1"), "amount", 250i64).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn counts_and_membership() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.is_node(&Tuple::unary("a")));
+        assert!(g.is_edge(&Tuple::unary("e1")));
+        assert!(!g.is_node(&Tuple::unary("e1")));
+        assert!(g.is_element(&Tuple::unary("d")));
+    }
+
+    #[test]
+    fn src_tgt_adjacency() {
+        let g = diamond();
+        let e1 = Tuple::unary("e1");
+        assert_eq!(g.src(&e1), Some(&Tuple::unary("a")));
+        assert_eq!(g.tgt(&e1), Some(&Tuple::unary("b")));
+        let a = Tuple::unary("a");
+        assert_eq!(g.out_edges(&a).len(), 2);
+        assert_eq!(g.in_edges(&a).len(), 0);
+        let d = Tuple::unary("d");
+        assert_eq!(g.in_edges(&d).len(), 2);
+    }
+
+    #[test]
+    fn labels_and_props() {
+        let g = diamond();
+        let e1 = Tuple::unary("e1");
+        assert!(g.has_label(&e1, &Value::str("Transfer")));
+        assert!(!g.has_label(&e1, &Value::str("Account")));
+        assert_eq!(g.prop(&e1, &Value::str("amount")), Some(&Value::int(250)));
+        assert_eq!(g.prop(&e1, &Value::str("ts")), None);
+        assert_eq!(g.props_of(&e1).count(), 1);
+        assert_eq!(g.labels(&Tuple::unary("a")).count(), 0);
+    }
+
+    #[test]
+    fn successors_ignore_edge_ids() {
+        let g = diamond();
+        let succ = g.successors();
+        let a = Tuple::unary("a");
+        assert_eq!(succ[&a].len(), 2);
+        assert!(!succ.contains_key(&Tuple::unary("d")));
+    }
+
+    #[test]
+    fn builder_rejects_arity_mismatch() {
+        let mut b = PropertyGraphBuilder::new(2);
+        assert_eq!(
+            b.node(tuple!["x"]).unwrap_err(),
+            BuildError::IdArity {
+                expected: 2,
+                found: 1
+            }
+        );
+        b.node(tuple!["x", 1]).unwrap();
+    }
+
+    #[test]
+    fn builder_rejects_id_clash_and_dangling() {
+        let mut b = PropertyGraphBuilder::unary();
+        b.node1("a").unwrap().node1("b").unwrap();
+        b.edge1("e", "a", "b").unwrap();
+        assert!(matches!(b.node1("e").unwrap_err(), BuildError::IdClash(_)));
+        assert!(matches!(
+            b.edge1("f", "a", "zz").unwrap_err(),
+            BuildError::DanglingEndpoint(_)
+        ));
+        assert!(matches!(
+            b.edge1("a", "a", "b").unwrap_err(),
+            BuildError::IdClash(_)
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_labels_on_missing_elements() {
+        let mut b = PropertyGraphBuilder::unary();
+        assert!(matches!(
+            b.label(Tuple::unary("ghost"), "L").unwrap_err(),
+            BuildError::NoSuchElement(_)
+        ));
+        assert!(matches!(
+            b.prop(Tuple::unary("ghost"), "k", 1i64).unwrap_err(),
+            BuildError::NoSuchElement(_)
+        ));
+    }
+
+    #[test]
+    fn prop_overwrite_keeps_functionality() {
+        let mut b = PropertyGraphBuilder::unary();
+        b.node1("a").unwrap();
+        b.prop(Tuple::unary("a"), "k", 1i64).unwrap();
+        b.prop(Tuple::unary("a"), "k", 2i64).unwrap();
+        let g = b.finish();
+        assert_eq!(
+            g.prop(&Tuple::unary("a"), &Value::str("k")),
+            Some(&Value::int(2))
+        );
+    }
+
+    #[test]
+    fn composite_identifiers() {
+        let mut b = PropertyGraphBuilder::new(2);
+        b.node(tuple!["bank1", 42]).unwrap();
+        b.node(tuple!["bank2", 7]).unwrap();
+        b.edge(tuple!["t", 0], tuple!["bank1", 42], tuple!["bank2", 7])
+            .unwrap();
+        let g = b.finish();
+        assert_eq!(g.id_arity(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn display_contains_summary() {
+        let g = diamond();
+        let s = g.to_string();
+        assert!(s.contains("4 node(s)"));
+        assert!(s.contains("4 edge(s)"));
+    }
+}

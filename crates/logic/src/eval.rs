@@ -1,0 +1,720 @@
+//! Bottom-up relational evaluation of FO\[TC\] with active-domain
+//! semantics (the standard database-theory convention; DESIGN.md
+//! deviation note 8).
+//!
+//! Every subformula is compiled to an [`Answer`]: a relation whose
+//! columns are the subformula's free variables in sorted order.
+//! Complements and quantifiers range over `adom(D)`; the `TC` operator is
+//! *reflexive* (`TC[φ](ā, ā)` holds for every ā ∈ adom^k — the paper's
+//! length-0 path, see Lemma 9.3 T8).
+//!
+//! A slow assignment-enumerating evaluator lives in `eval_naive`; the two
+//! are property-tested against each other.
+
+use crate::formula::{Formula, TcShapeError, Term};
+use pgq_relational::{Database, RelError, Relation};
+use pgq_value::{Tuple, Value, Var};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Errors raised during evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogicError {
+    /// Underlying relational error (unknown relation, arity issues).
+    Rel(RelError),
+    /// An atom's term count differs from the stored relation's arity.
+    AtomArity {
+        /// The relation name.
+        name: String,
+        /// Stored arity.
+        expected: usize,
+        /// Terms supplied.
+        found: usize,
+    },
+    /// Ill-formed `TC` operator.
+    TcShape(TcShapeError),
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::Rel(e) => write!(f, "{e}"),
+            LogicError::AtomArity {
+                name,
+                expected,
+                found,
+            } => write!(f, "atom {name} has {found} terms, relation has arity {expected}"),
+            LogicError::TcShape(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LogicError {}
+
+impl From<RelError> for LogicError {
+    fn from(e: RelError) -> Self {
+        LogicError::Rel(e)
+    }
+}
+
+impl From<TcShapeError> for LogicError {
+    fn from(e: TcShapeError) -> Self {
+        LogicError::TcShape(e)
+    }
+}
+
+/// The satisfying-assignment relation of a subformula: columns are the
+/// free variables in sorted order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Answer {
+    /// Sorted column variables.
+    pub vars: Vec<Var>,
+    /// One row per satisfying assignment.
+    pub rel: Relation,
+}
+
+impl Answer {
+    fn boolean(b: bool) -> Answer {
+        Answer {
+            vars: Vec::new(),
+            rel: if b { Relation::r#true() } else { Relation::r#false() },
+        }
+    }
+
+    fn col(&self, v: &Var) -> usize {
+        self.vars
+            .binary_search(v)
+            .expect("column lookup for a variable not in the answer")
+    }
+
+    /// Reorders/pads this answer to exactly `target` (sorted superset of
+    /// `self.vars`); missing columns range over `adom`.
+    fn extend_to(&self, target: &[Var], adom: &Relation) -> Answer {
+        debug_assert!(target.windows(2).all(|w| w[0] < w[1]));
+        if self.vars == target {
+            return self.clone();
+        }
+        // Pad with adom^missing, then reorder columns.
+        let missing: Vec<&Var> = target.iter().filter(|v| !self.vars.contains(v)).collect();
+        let mut wide = self.rel.clone();
+        for _ in 0..missing.len() {
+            wide = wide.product(adom);
+        }
+        // Current column order: self.vars ++ missing.
+        let mut current: Vec<&Var> = self.vars.iter().collect();
+        current.extend(missing.iter().copied());
+        let positions: Vec<usize> = target
+            .iter()
+            .map(|v| current.iter().position(|c| *c == v).expect("superset"))
+            .collect();
+        Answer {
+            vars: target.to_vec(),
+            rel: wide.project(&positions).expect("positions valid"),
+        }
+    }
+
+    /// Natural join on shared variables.
+    fn join(&self, other: &Answer) -> Answer {
+        let shared: Vec<(usize, usize)> = self
+            .vars
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| other.vars.binary_search(v).ok().map(|j| (i, j)))
+            .collect();
+        let joined = self
+            .rel
+            .join_on(&other.rel, &shared)
+            .expect("positions valid by construction");
+        // Columns: self.vars ++ other.vars (with duplicates on the right).
+        let mut vars: Vec<Var> = Vec::new();
+        let mut positions: Vec<usize> = Vec::new();
+        for (i, v) in self.vars.iter().enumerate() {
+            vars.push(v.clone());
+            positions.push(i);
+        }
+        for (j, v) in other.vars.iter().enumerate() {
+            if !self.vars.contains(v) {
+                vars.push(v.clone());
+                positions.push(self.vars.len() + j);
+            }
+        }
+        // Sort target vars, carrying positions.
+        let mut paired: Vec<(Var, usize)> = vars.into_iter().zip(positions).collect();
+        paired.sort_by(|a, b| a.0.cmp(&b.0));
+        let (vars, positions): (Vec<Var>, Vec<usize>) = paired.into_iter().unzip();
+        Answer {
+            vars,
+            rel: joined.project(&positions).expect("positions valid"),
+        }
+    }
+}
+
+/// Evaluates `φ` on `D`, returning the satisfying assignments over the
+/// sorted free variables.
+pub fn eval(phi: &Formula, db: &Database) -> Result<Answer, LogicError> {
+    phi.validate()?;
+    let adom = db.active_domain_relation();
+    eval_inner(phi, db, &adom)
+}
+
+/// Evaluates a sentence (no free variables) to a Boolean.
+pub fn eval_sentence(phi: &Formula, db: &Database) -> Result<bool, LogicError> {
+    let ans = eval(phi, db)?;
+    Ok(ans.rel.as_bool())
+}
+
+/// Evaluates `φ(x̄)` and returns the result relation with columns in the
+/// *given* order `x̄` (the paper's `⟦φ(x1,…,xn)⟧_D`), which may differ
+/// from the internal sorted order.
+///
+/// Variables listed but not free in `φ` range over the active domain.
+pub fn eval_ordered(phi: &Formula, order: &[Var], db: &Database) -> Result<Relation, LogicError> {
+    let ans = eval(phi, db)?;
+    let adom = db.active_domain_relation();
+    let mut target: Vec<Var> = ans.vars.clone();
+    for v in order {
+        if !target.contains(v) {
+            target.push(v.clone());
+        }
+    }
+    target.sort();
+    target.dedup();
+    let wide = ans.extend_to(&target, &adom);
+    let positions: Vec<usize> = order.iter().map(|v| wide.col(v)).collect();
+    Ok(wide.rel.project(&positions).expect("positions valid"))
+}
+
+fn sorted_vars(set: &BTreeSet<Var>) -> Vec<Var> {
+    set.iter().cloned().collect()
+}
+
+fn eval_inner(phi: &Formula, db: &Database, adom: &Relation) -> Result<Answer, LogicError> {
+    match phi {
+        Formula::True => Ok(Answer::boolean(true)),
+        Formula::False => Ok(Answer::boolean(false)),
+
+        Formula::Atom(name, terms) => {
+            let stored = db.get_required(name)?;
+            if stored.arity() != terms.len() {
+                return Err(LogicError::AtomArity {
+                    name: name.to_string(),
+                    expected: stored.arity(),
+                    found: terms.len(),
+                });
+            }
+            // Filter rows against constants and repeated variables, then
+            // project to the first occurrence of each distinct variable.
+            let mut first_pos: BTreeMap<&Var, usize> = BTreeMap::new();
+            for (i, t) in terms.iter().enumerate() {
+                if let Term::Var(v) = t {
+                    first_pos.entry(v).or_insert(i);
+                }
+            }
+            let filtered = stored.select(|row| {
+                terms.iter().enumerate().all(|(i, t)| match t {
+                    Term::Const(c) => &row[i] == c,
+                    Term::Var(v) => row[first_pos[v]] == row[i],
+                })
+            });
+            let vars: Vec<Var> = first_pos.keys().map(|v| (*v).clone()).collect();
+            let positions: Vec<usize> = first_pos.values().copied().collect();
+            Ok(Answer {
+                vars,
+                rel: filtered.project(&positions).expect("positions valid"),
+            })
+        }
+
+        Formula::Eq(a, b) => match (a, b) {
+            (Term::Const(c1), Term::Const(c2)) => Ok(Answer::boolean(c1 == c2)),
+            (Term::Var(x), Term::Const(c)) | (Term::Const(c), Term::Var(x)) => {
+                // Active-domain semantics: x ranges over adom.
+                let rel = adom.select(|row| &row[0] == c);
+                Ok(Answer {
+                    vars: vec![x.clone()],
+                    rel,
+                })
+            }
+            (Term::Var(x), Term::Var(y)) if x == y => Ok(Answer {
+                vars: vec![x.clone()],
+                rel: adom.clone(),
+            }),
+            (Term::Var(x), Term::Var(y)) => {
+                let mut rel = Relation::empty(2);
+                for c in adom.iter() {
+                    rel.insert(c.concat(c)).expect("arity 2");
+                }
+                let mut vars = vec![x.clone(), y.clone()];
+                vars.sort();
+                Ok(Answer { vars, rel })
+            }
+        },
+
+        Formula::Not(f) => {
+            let inner = eval_inner(f, db, adom)?;
+            let full = power_over(&inner.vars, adom);
+            Ok(Answer {
+                vars: inner.vars.clone(),
+                rel: full.difference(&inner.rel)?,
+            })
+        }
+
+        Formula::And(a, b) => {
+            let left = eval_inner(a, db, adom)?;
+            let right = eval_inner(b, db, adom)?;
+            Ok(left.join(&right))
+        }
+
+        Formula::Or(a, b) => {
+            let left = eval_inner(a, db, adom)?;
+            let right = eval_inner(b, db, adom)?;
+            let mut all: BTreeSet<Var> = left.vars.iter().cloned().collect();
+            all.extend(right.vars.iter().cloned());
+            let target = sorted_vars(&all);
+            let l = left.extend_to(&target, adom);
+            let r = right.extend_to(&target, adom);
+            Ok(Answer {
+                vars: target,
+                rel: l.rel.union(&r.rel)?,
+            })
+        }
+
+        Formula::Exists(vs, f) => {
+            let inner = eval_inner(f, db, adom)?;
+            // Extend so quantified-but-unused variables still range over
+            // adom (∃y φ over an empty domain is false).
+            let mut all: BTreeSet<Var> = inner.vars.iter().cloned().collect();
+            all.extend(vs.iter().cloned());
+            let target = sorted_vars(&all);
+            let wide = inner.extend_to(&target, adom);
+            let keep: Vec<usize> = wide
+                .vars
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| !vs.contains(v))
+                .map(|(i, _)| i)
+                .collect();
+            let vars: Vec<Var> = keep.iter().map(|&i| wide.vars[i].clone()).collect();
+            Ok(Answer {
+                vars,
+                rel: wide.rel.project(&keep).expect("positions valid"),
+            })
+        }
+
+        Formula::Forall(vs, f) => {
+            // ∀x̄ φ ≡ ¬∃x̄ ¬φ.
+            let rewritten = Formula::exists(vs.clone(), f.as_ref().clone().not()).not();
+            eval_inner(&rewritten, db, adom)
+        }
+
+        Formula::Tc { u, v, body, x, y } => eval_tc(u, v, body, x, y, db, adom),
+    }
+}
+
+/// `adom^|vars|` with columns standing for `vars`.
+fn power_over(vars: &[Var], adom: &Relation) -> Relation {
+    let mut acc = Relation::r#true();
+    for _ in 0..vars.len() {
+        acc = acc.product(adom);
+    }
+    acc
+}
+
+#[allow(clippy::too_many_arguments)]
+fn eval_tc(
+    u: &[Var],
+    v: &[Var],
+    body: &Formula,
+    x: &[Term],
+    y: &[Term],
+    db: &Database,
+    adom: &Relation,
+) -> Result<Answer, LogicError> {
+    let k = u.len();
+    let body_ans = eval_inner(body, db, adom)?;
+
+    // Parameters: free vars of the body other than ū, v̄.
+    let mut param_set: BTreeSet<Var> = body.free_vars();
+    for w in u.iter().chain(v) {
+        param_set.remove(w);
+    }
+    let params = sorted_vars(&param_set);
+
+    // Extend the body's answer to cover ū ∪ v̄ ∪ p̄ (unconstrained closure
+    // variables range over adom).
+    let mut all: BTreeSet<Var> = param_set.clone();
+    all.extend(u.iter().cloned());
+    all.extend(v.iter().cloned());
+    let target = sorted_vars(&all);
+    let wide = body_ans.extend_to(&target, adom);
+
+    let u_cols: Vec<usize> = u.iter().map(|w| wide.col(w)).collect();
+    let v_cols: Vec<usize> = v.iter().map(|w| wide.col(w)).collect();
+    let p_cols: Vec<usize> = params.iter().map(|w| wide.col(w)).collect();
+
+    // Group step-edges by parameter assignment.
+    let mut groups: BTreeMap<Tuple, Vec<(Tuple, Tuple)>> = BTreeMap::new();
+    for row in wide.rel.iter() {
+        let p = row.project(&p_cols).expect("cols valid");
+        let s = row.project(&u_cols).expect("cols valid");
+        let t = row.project(&v_cols).expect("cols valid");
+        groups.entry(p).or_default().push((s, t));
+    }
+
+    // Reachability per group (non-reflexive part: ≥ 1 step).
+    let mut reach: BTreeMap<Tuple, BTreeSet<(Tuple, Tuple)>> = BTreeMap::new();
+    for (p, edges) in &groups {
+        let mut adjacency: BTreeMap<&Tuple, Vec<&Tuple>> = BTreeMap::new();
+        for (s, t) in edges {
+            adjacency.entry(s).or_default().push(t);
+        }
+        let mut pairs: BTreeSet<(Tuple, Tuple)> = BTreeSet::new();
+        for &start in adjacency.keys() {
+            let mut seen: BTreeSet<&Tuple> = BTreeSet::new();
+            let mut stack: Vec<&Tuple> = vec![start];
+            while let Some(node) = stack.pop() {
+                if let Some(nexts) = adjacency.get(node) {
+                    for &nxt in nexts {
+                        if seen.insert(nxt) {
+                            stack.push(nxt);
+                        }
+                    }
+                }
+            }
+            for t in seen {
+                pairs.insert((start.clone(), t.clone()));
+            }
+        }
+        reach.insert(p.clone(), pairs);
+    }
+
+    // Assemble the result: free vars of the TC formula.
+    let mut free: BTreeSet<Var> = param_set.clone();
+    free.extend(x.iter().chain(y).filter_map(|t| t.as_var().cloned()));
+    let free = sorted_vars(&free);
+
+    let mut rel = Relation::empty(free.len());
+    let adom_vals: Vec<Value> = adom.iter().map(|t| t[0].clone()).collect();
+
+    // Parameter space: if p̄ is empty there is exactly one group (the
+    // empty tuple); otherwise reflexive pairs exist for *every* parameter
+    // assignment in adom^|p̄| and path pairs only for groups with edges.
+    let param_space: Vec<Tuple> = if params.is_empty() {
+        vec![Tuple::empty()]
+    } else {
+        cartesian(&adom_vals, params.len())
+    };
+
+    for p in &param_space {
+        let empty = BTreeSet::new();
+        let pairs = reach.get(p).unwrap_or(&empty);
+        // Non-reflexive reachable pairs.
+        for (s, t) in pairs {
+            try_emit(&mut rel, &free, x, y, s, t, &params, p)?;
+        }
+        // Reflexive pairs over adom^k.
+        for a in cartesian(&adom_vals, k) {
+            try_emit(&mut rel, &free, x, y, &a, &a, &params, p)?;
+        }
+    }
+
+    Ok(Answer { vars: free, rel })
+}
+
+/// All tuples in `vals^k`.
+fn cartesian(vals: &[Value], k: usize) -> Vec<Tuple> {
+    let mut acc: Vec<Tuple> = vec![Tuple::empty()];
+    for _ in 0..k {
+        let mut next = Vec::with_capacity(acc.len() * vals.len());
+        for t in &acc {
+            for val in vals {
+                let mut grown = t.clone();
+                grown.push(val.clone());
+                next.push(grown);
+            }
+        }
+        acc = next;
+    }
+    acc
+}
+
+/// Matches the concrete pair `(s̄, t̄)` with parameters `p̄` against the
+/// applied term tuples `x̄`, `ȳ`, inserting a result row when consistent.
+#[allow(clippy::too_many_arguments)]
+fn try_emit(
+    rel: &mut Relation,
+    free: &[Var],
+    x: &[Term],
+    y: &[Term],
+    s: &Tuple,
+    t: &Tuple,
+    params: &[Var],
+    p: &Tuple,
+) -> Result<(), LogicError> {
+    let mut assignment: BTreeMap<&Var, &Value> = BTreeMap::new();
+    for (i, w) in params.iter().enumerate() {
+        assignment.insert(w, &p[i]);
+    }
+    for (i, term) in x.iter().enumerate() {
+        if !match_term(&mut assignment, term, &s[i]) {
+            return Ok(());
+        }
+    }
+    for (i, term) in y.iter().enumerate() {
+        if !match_term(&mut assignment, term, &t[i]) {
+            return Ok(());
+        }
+    }
+    let row: Tuple = free
+        .iter()
+        .map(|w| (*assignment.get(w).expect("free var bound")).clone())
+        .collect();
+    rel.insert(row)?;
+    Ok(())
+}
+
+/// Matches one applied term against a concrete value, extending the
+/// assignment for variables and checking constants.
+fn match_term<'a>(
+    assignment: &mut BTreeMap<&'a Var, &'a Value>,
+    term: &'a Term,
+    val: &'a Value,
+) -> bool {
+    match term {
+        Term::Const(c) => c == val,
+        Term::Var(w) => true_and_insert(assignment, w, val),
+    }
+}
+
+/// Inserts `w ↦ val` unless `w` is already bound to a different value.
+fn true_and_insert<'a>(
+    assignment: &mut BTreeMap<&'a Var, &'a Value>,
+    w: &'a Var,
+    val: &'a Value,
+) -> bool {
+    match assignment.get(w) {
+        Some(existing) => *existing == val,
+        None => {
+            assignment.insert(w, val);
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_value::tuple;
+
+    /// A 4-path 0→1→2→3 plus an isolated element 9 in a unary relation.
+    fn db() -> Database {
+        let mut db = Database::new();
+        for (s, t) in [(0i64, 1i64), (1, 2), (2, 3)] {
+            db.insert("E", tuple![s, t]).unwrap();
+        }
+        db.insert("V", tuple![9]).unwrap();
+        db
+    }
+
+    fn v(s: &str) -> Var {
+        Var::new(s)
+    }
+
+    #[test]
+    fn atom_with_constants_and_repeats() {
+        let d = db();
+        let f = Formula::atom("E", [Term::constant(1), Term::var("x")]);
+        let ans = eval(&f, &d).unwrap();
+        assert_eq!(ans.rel, Relation::unary([2i64]));
+        // E(x, x) — no self loops.
+        let f = Formula::atom("E", [Term::var("x"), Term::var("x")]);
+        assert!(eval(&f, &d).unwrap().rel.is_empty());
+        // Wrong arity errors.
+        let f = Formula::atom("E", [Term::var("x")]);
+        assert!(matches!(
+            eval(&f, &d).unwrap_err(),
+            LogicError::AtomArity { .. }
+        ));
+    }
+
+    #[test]
+    fn equality_and_booleans() {
+        let d = db();
+        let f = Formula::eq(Term::var("x"), Term::constant(2));
+        assert_eq!(eval(&f, &d).unwrap().rel, Relation::unary([2i64]));
+        // Constant outside adom: unsatisfiable under active-domain
+        // semantics.
+        let f = Formula::eq(Term::var("x"), Term::constant(77));
+        assert!(eval(&f, &d).unwrap().rel.is_empty());
+        assert!(eval_sentence(&Formula::True, &d).unwrap());
+        assert!(!eval_sentence(&Formula::False, &d).unwrap());
+        // x = y has |adom| rows.
+        let f = Formula::eq(Term::var("x"), Term::var("y"));
+        assert_eq!(eval(&f, &d).unwrap().rel.len(), 5);
+    }
+
+    #[test]
+    fn negation_complements_over_adom() {
+        let d = db();
+        // ¬∃y E(x,y): x with no successor = {3, 9}.
+        let f = Formula::exists(["y"], Formula::atom("E", ["x", "y"])).not();
+        let ans = eval(&f, &d).unwrap();
+        assert_eq!(ans.rel, Relation::unary([3i64, 9]));
+    }
+
+    #[test]
+    fn conjunction_joins() {
+        let d = db();
+        // E(x,y) ∧ E(y,z): two-step paths.
+        let f = Formula::atom("E", ["x", "y"]).and(Formula::atom("E", ["y", "z"]));
+        let ans = eval(&f, &d).unwrap();
+        assert_eq!(ans.vars, vec![v("x"), v("y"), v("z")]);
+        assert_eq!(ans.rel.len(), 2); // 0-1-2, 1-2-3
+    }
+
+    #[test]
+    fn disjunction_pads_missing_columns() {
+        let d = db();
+        // V(x) ∨ V(y) over columns {x, y}: 9 appears on either side.
+        let f = Formula::atom("V", ["x"]).or(Formula::atom("V", ["y"]));
+        let ans = eval(&f, &d).unwrap();
+        assert_eq!(ans.vars.len(), 2);
+        // |{9}×adom ∪ adom×{9}| = 5 + 5 - 1.
+        assert_eq!(ans.rel.len(), 9);
+    }
+
+    #[test]
+    fn forall_via_double_negation() {
+        let d = db();
+        // ∀x V(x) is false; ∀x (V(x) ∨ ¬V(x)) is true.
+        assert!(!eval_sentence(&Formula::forall(["x"], Formula::atom("V", ["x"])), &d).unwrap());
+        let tauto = Formula::forall(
+            ["x"],
+            Formula::atom("V", ["x"]).or(Formula::atom("V", ["x"]).not()),
+        );
+        assert!(eval_sentence(&tauto, &d).unwrap());
+    }
+
+    #[test]
+    fn tc_unary_reachability() {
+        let d = db();
+        // TC[E](0, x): everything reachable from 0, including 0 itself
+        // (reflexive).
+        let f = Formula::tc(
+            vec![v("u")],
+            vec![v("w")],
+            Formula::atom("E", ["u", "w"]),
+            vec![Term::constant(0)],
+            vec![Term::var("x")],
+        );
+        let ans = eval(&f, &d).unwrap();
+        assert_eq!(ans.rel, Relation::unary([0i64, 1, 2, 3]));
+    }
+
+    #[test]
+    fn tc_is_reflexive_everywhere() {
+        let d = db();
+        // TC[E](9, 9): 9 is isolated but the 0-step path exists.
+        let f = Formula::tc(
+            vec![v("u")],
+            vec![v("w")],
+            Formula::atom("E", ["u", "w"]),
+            vec![Term::constant(9)],
+            vec![Term::constant(9)],
+        );
+        assert!(eval_sentence(&f, &d).unwrap());
+        // TC[E](3, 0): not reachable.
+        let f = Formula::tc(
+            vec![v("u")],
+            vec![v("w")],
+            Formula::atom("E", ["u", "w"]),
+            vec![Term::constant(3)],
+            vec![Term::constant(0)],
+        );
+        assert!(!eval_sentence(&f, &d).unwrap());
+    }
+
+    #[test]
+    fn tc_with_parameters_keeps_them_fixed() {
+        // Edges colored by a parameter: E(u, v, color).
+        let mut d = Database::new();
+        d.insert("E", tuple![0, 1, "red"]).unwrap();
+        d.insert("E", tuple![1, 2, "blue"]).unwrap();
+        // TC over same-colored steps: 0 cannot reach 2 for any fixed p.
+        let f = |target: i64| {
+            Formula::tc(
+                vec![v("u")],
+                vec![v("w")],
+                Formula::atom("E", ["u", "w", "p"]),
+                vec![Term::constant(0)],
+                vec![Term::constant(target)],
+            )
+        };
+        let ans = eval(&f(2), &d).unwrap();
+        assert_eq!(ans.vars, vec![v("p")]); // parameter is free
+        assert!(ans.rel.is_empty());
+        // 0 reaches 1 with p = red only.
+        let ans = eval(&f(1), &d).unwrap();
+        assert_eq!(ans.rel, Relation::unary(["red"]));
+    }
+
+    #[test]
+    fn tc_binary_pairs() {
+        // 4-ary edge relation: pair-steps ((a,b) → (a,b+1)).
+        let mut d = Database::new();
+        d.insert("E", tuple![0, 0, 0, 1]).unwrap();
+        d.insert("E", tuple![0, 1, 0, 2]).unwrap();
+        let f = Formula::tc(
+            vec![v("u1"), v("u2")],
+            vec![v("w1"), v("w2")],
+            Formula::atom("E", ["u1", "u2", "w1", "w2"]),
+            vec![Term::constant(0), Term::constant(0)],
+            vec![Term::constant(0), Term::constant(2)],
+        );
+        assert!(eval_sentence(&f, &d).unwrap());
+        let g = Formula::tc(
+            vec![v("u1"), v("u2")],
+            vec![v("w1"), v("w2")],
+            Formula::atom("E", ["u1", "u2", "w1", "w2"]),
+            vec![Term::constant(2), Term::constant(0)],
+            vec![Term::constant(0), Term::constant(0)],
+        );
+        assert!(!eval_sentence(&g, &d).unwrap());
+    }
+
+    #[test]
+    fn tc_repeated_applied_variable() {
+        let d = db();
+        // TC[E](x, x): only the reflexive pairs → all of adom.
+        let f = Formula::tc(
+            vec![v("u")],
+            vec![v("w")],
+            Formula::atom("E", ["u", "w"]),
+            vec![Term::var("x")],
+            vec![Term::var("x")],
+        );
+        let ans = eval(&f, &d).unwrap();
+        assert_eq!(ans.rel.len(), 5);
+    }
+
+    #[test]
+    fn eval_ordered_respects_requested_order() {
+        let d = db();
+        let f = Formula::atom("E", ["y", "x"]); // columns sorted: x, y
+        let rel = eval_ordered(&f, &[v("y"), v("x")], &d).unwrap();
+        assert!(rel.contains(&tuple![0, 1])); // y=0, x=1
+        // Extra requested vars range over adom.
+        let rel = eval_ordered(&Formula::atom("V", ["x"]), &[v("x"), v("z")], &d).unwrap();
+        assert_eq!(rel.len(), 5);
+    }
+
+    #[test]
+    fn empty_database_quantifiers() {
+        let d = Database::new();
+        // ∃x (x = x) is false over an empty active domain.
+        let f = Formula::exists(["x"], Formula::eq(Term::var("x"), Term::var("x")));
+        assert!(!eval_sentence(&f, &d).unwrap());
+        // ∀x False is (vacuously) true.
+        let f = Formula::forall(["x"], Formula::False);
+        assert!(eval_sentence(&f, &d).unwrap());
+    }
+}

@@ -1,0 +1,223 @@
+//! Semantics-preserving formula simplification.
+//!
+//! The syntax-directed translations (Theorem 6.1) produce formulas full
+//! of administrative structure — `⊤` conjuncts from empty condition
+//! lists, double negations from `∀`-rewriting, nested quantifier blocks,
+//! and constant equalities. [`simplify`] normalizes these away:
+//!
+//! * Boolean constant folding (`φ ∧ ⊤ = φ`, `φ ∨ ⊤ = ⊤`, `¬⊤ = ⊥`, …);
+//! * double-negation elimination;
+//! * trivial equalities (`t = t` ⇒ `⊤` for variables — sound under
+//!   active-domain semantics only when the variable is otherwise
+//!   constrained, so we fold `c = c` for *constants* only);
+//! * collapsing nested and empty quantifier blocks, and dropping
+//!   quantified variables that do not occur in the body **when the body
+//!   is already closed under them** (∃x φ ≡ φ requires a non-empty
+//!   domain, so we keep one witness variable in the corner case of a
+//!   fully vacuous block);
+//! * `TC` body simplification (recursing under the operator).
+//!
+//! Equivalence `⟦simplify(φ)⟧ = ⟦φ⟧` is property-tested in `lib.rs`
+//! against both evaluators.
+
+use crate::formula::{Formula, Term};
+
+/// Simplifies a formula, preserving its semantics on every database
+/// (including the empty-domain corner cases — see the module docs).
+pub fn simplify(phi: &Formula) -> Formula {
+    match phi {
+        Formula::True | Formula::False | Formula::Atom(..) => phi.clone(),
+        Formula::Eq(a, b) => match (a, b) {
+            (Term::Const(c1), Term::Const(c2)) => {
+                if c1 == c2 {
+                    Formula::True
+                } else {
+                    Formula::False
+                }
+            }
+            _ => phi.clone(),
+        },
+        Formula::Not(f) => match simplify(f) {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(inner) => *inner,
+            other => other.not(),
+        },
+        Formula::And(a, b) => match (simplify(a), simplify(b)) {
+            (Formula::False, _) | (_, Formula::False) => Formula::False,
+            (Formula::True, g) | (g, Formula::True) => g,
+            (f, g) => f.and(g),
+        },
+        Formula::Or(a, b) => match (simplify(a), simplify(b)) {
+            (Formula::True, _) | (_, Formula::True) => Formula::True,
+            (Formula::False, g) | (g, Formula::False) => g,
+            (f, g) => f.or(g),
+        },
+        Formula::Exists(vs, f) => simplify_quantifier(vs, f, false),
+        Formula::Forall(vs, f) => simplify_quantifier(vs, f, true),
+        Formula::Tc { u, v, body, x, y } => Formula::Tc {
+            u: u.clone(),
+            v: v.clone(),
+            body: Box::new(simplify(body)),
+            x: x.clone(),
+            y: y.clone(),
+        },
+    }
+}
+
+fn simplify_quantifier(vs: &[pgq_value::Var], f: &Formula, universal: bool) -> Formula {
+    let body = simplify(f);
+    // Flatten directly-nested blocks of the same quantifier.
+    let (mut vars, body) = match (universal, body) {
+        (false, Formula::Exists(inner, g)) => {
+            let mut vars = vs.to_vec();
+            vars.extend(inner);
+            (vars, *g)
+        }
+        (true, Formula::Forall(inner, g)) => {
+            let mut vars = vs.to_vec();
+            vars.extend(inner);
+            (vars, *g)
+        }
+        (_, body) => (vs.to_vec(), body),
+    };
+    vars.dedup();
+    // Quantifying a constant body: ∃x̄ ⊤ is true only on non-empty
+    // domains, so keep a single variable as the domain probe; dually for
+    // ∀x̄ ⊥. Constant bodies the quantifier cannot affect fold away.
+    match body {
+        Formula::True if !universal => {
+            vars.truncate(1);
+            Formula::Exists(vars, Box::new(Formula::True))
+        }
+        Formula::False if universal => {
+            vars.truncate(1);
+            Formula::Forall(vars, Box::new(Formula::False))
+        }
+        Formula::False if !universal => Formula::False,
+        Formula::True if universal => Formula::True,
+        body => {
+            // Drop bound variables that do not occur free in the body —
+            // they only re-assert domain non-emptiness, which variables
+            // that *do* occur already assert. Keep one if all vanish.
+            let fv = body.free_vars();
+            let (used, unused): (Vec<_>, Vec<_>) =
+                vars.into_iter().partition(|v| fv.contains(v));
+            let vars = if used.is_empty() {
+                unused.into_iter().take(1).collect()
+            } else {
+                used
+            };
+            if vars.is_empty() {
+                body
+            } else if universal {
+                Formula::Forall(vars, Box::new(body))
+            } else {
+                Formula::Exists(vars, Box::new(body))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_value::Var;
+
+    fn atom() -> Formula {
+        Formula::atom("R", ["x"])
+    }
+
+    #[test]
+    fn boolean_folding() {
+        assert_eq!(simplify(&atom().and(Formula::True)), atom());
+        assert_eq!(simplify(&Formula::True.and(atom())), atom());
+        assert_eq!(simplify(&atom().and(Formula::False)), Formula::False);
+        assert_eq!(simplify(&atom().or(Formula::True)), Formula::True);
+        assert_eq!(simplify(&atom().or(Formula::False)), atom());
+        assert_eq!(simplify(&Formula::True.not()), Formula::False);
+        assert_eq!(simplify(&atom().not().not()), atom());
+    }
+
+    #[test]
+    fn constant_equalities_fold() {
+        assert_eq!(
+            simplify(&Formula::eq(Term::constant(3), Term::constant(3))),
+            Formula::True
+        );
+        assert_eq!(
+            simplify(&Formula::eq(Term::constant(3), Term::constant(4))),
+            Formula::False
+        );
+        // Variable equalities are left alone (x = x constrains x to the
+        // active domain).
+        let xx = Formula::eq(Term::var("x"), Term::var("x"));
+        assert_eq!(simplify(&xx), xx);
+    }
+
+    #[test]
+    fn nested_quantifiers_flatten() {
+        let f = Formula::exists(["a"], Formula::exists(["b"], Formula::atom("R", ["a", "b"])));
+        let s = simplify(&f);
+        match s {
+            Formula::Exists(vs, _) => assert_eq!(vs.len(), 2),
+            other => panic!("expected Exists, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unused_bound_variables_drop() {
+        let f = Formula::exists(["a", "zzz"], Formula::atom("R", ["a"]));
+        match simplify(&f) {
+            Formula::Exists(vs, _) => assert_eq!(vs, vec![Var::new("a")]),
+            other => panic!("expected Exists, got {other}"),
+        }
+    }
+
+    #[test]
+    fn vacuous_blocks_keep_a_domain_probe() {
+        // ∃x ⊤ is *not* ⊤ on the empty database.
+        let f = Formula::exists(["x"], Formula::True);
+        match simplify(&f) {
+            Formula::Exists(vs, body) => {
+                assert_eq!(vs.len(), 1);
+                assert_eq!(*body, Formula::True);
+            }
+            other => panic!("expected Exists, got {other}"),
+        }
+        // ∀x ⊥ is *not* ⊥ on the empty database.
+        let f = Formula::forall(["x"], Formula::False);
+        assert!(matches!(simplify(&f), Formula::Forall(..)));
+        // But ∃x ⊥ = ⊥ and ∀x ⊤ = ⊤ unconditionally.
+        assert_eq!(simplify(&Formula::exists(["x"], Formula::False)), Formula::False);
+        assert_eq!(simplify(&Formula::forall(["x"], Formula::True)), Formula::True);
+    }
+
+    #[test]
+    fn tc_bodies_simplify() {
+        let f = Formula::tc(
+            vec![Var::new("u")],
+            vec![Var::new("v")],
+            Formula::atom("E", ["u", "v"]).and(Formula::True),
+            vec![Term::var("x")],
+            vec![Term::var("y")],
+        );
+        match simplify(&f) {
+            Formula::Tc { body, .. } => assert_eq!(*body, Formula::atom("E", ["u", "v"])),
+            other => panic!("expected Tc, got {other}"),
+        }
+    }
+
+    #[test]
+    fn size_never_grows() {
+        let f = Formula::exists(
+            ["a"],
+            Formula::True
+                .and(Formula::atom("R", ["a"]))
+                .or(Formula::False),
+        )
+        .not()
+        .not();
+        assert!(simplify(&f).size() <= f.size());
+    }
+}

@@ -1,0 +1,189 @@
+//! Variable mappings `μ` and their operations (Section 2.3).
+//!
+//! The semantics uses restriction `μ↾X`, the empty mapping `μ∅`,
+//! compatibility `μ1 ∼ μ2` (agreement on common variables) and union
+//! `μ1 ⊲⊳ μ2`.
+
+use pgq_graph::ElementId;
+use pgq_value::Var;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A variable mapping `μ : Vars ⇀ N ∪ E`, assigning matched graph
+/// elements to pattern variables. With `n`-ary identifiers the codomain
+/// consists of `n`-tuples (Section 5: "valuations μ map variables to
+/// k-tuples").
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Binding {
+    map: BTreeMap<Var, ElementId>,
+}
+
+impl Binding {
+    /// `μ∅` — the mapping with empty domain.
+    pub fn empty() -> Self {
+        Binding::default()
+    }
+
+    /// A singleton mapping `{x ↦ id}`.
+    pub fn singleton(x: Var, id: ElementId) -> Self {
+        let mut b = Binding::empty();
+        b.bind(x, id);
+        b
+    }
+
+    /// Adds or overwrites a binding.
+    pub fn bind(&mut self, x: Var, id: ElementId) {
+        self.map.insert(x, id);
+    }
+
+    /// Looks up `μ(x)`.
+    pub fn get(&self, x: &Var) -> Option<&ElementId> {
+        self.map.get(x)
+    }
+
+    /// `dom(μ)`.
+    pub fn domain(&self) -> impl Iterator<Item = &Var> + '_ {
+        self.map.keys()
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether this is `μ∅`.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `μ1 ∼ μ2`: agreement on all common variables.
+    pub fn compatible(&self, other: &Binding) -> bool {
+        // Iterate over the smaller mapping.
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small
+            .map
+            .iter()
+            .all(|(x, id)| large.map.get(x).is_none_or(|other_id| other_id == id))
+    }
+
+    /// `μ1 ⊲⊳ μ2`: union of compatible mappings. Returns `None` when the
+    /// mappings are incompatible (callers typically check
+    /// [`Binding::compatible`] first; this keeps the operation total).
+    pub fn join(&self, other: &Binding) -> Option<Binding> {
+        if !self.compatible(other) {
+            return None;
+        }
+        let mut map = self.map.clone();
+        for (x, id) in &other.map {
+            map.insert(x.clone(), id.clone());
+        }
+        Some(Binding { map })
+    }
+
+    /// Restriction `μ↾X`.
+    pub fn restrict<'a, I: IntoIterator<Item = &'a Var>>(&self, vars: I) -> Binding {
+        let mut map = BTreeMap::new();
+        for x in vars {
+            if let Some(id) = self.map.get(x) {
+                map.insert(x.clone(), id.clone());
+            }
+        }
+        Binding { map }
+    }
+
+    /// Iterates over `(variable, element)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Var, &ElementId)> + '_ {
+        self.map.iter()
+    }
+}
+
+impl fmt::Display for Binding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (x, id)) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{x} ↦ {id}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_value::Tuple;
+
+    fn id(s: &str) -> ElementId {
+        Tuple::unary(s)
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(Binding::empty().is_empty());
+        let b = Binding::singleton(Var::new("x"), id("a"));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.get(&Var::new("x")), Some(&id("a")));
+        assert_eq!(b.get(&Var::new("y")), None);
+    }
+
+    #[test]
+    fn compatibility() {
+        let mut a = Binding::empty();
+        a.bind(Var::new("x"), id("a"));
+        a.bind(Var::new("y"), id("b"));
+        let mut b = Binding::empty();
+        b.bind(Var::new("y"), id("b"));
+        b.bind(Var::new("z"), id("c"));
+        assert!(a.compatible(&b));
+        assert!(b.compatible(&a));
+
+        let mut c = Binding::empty();
+        c.bind(Var::new("y"), id("DIFFERENT"));
+        assert!(!a.compatible(&c));
+        // μ∅ is compatible with everything.
+        assert!(Binding::empty().compatible(&a));
+    }
+
+    #[test]
+    fn join_unions_compatible() {
+        let a = Binding::singleton(Var::new("x"), id("a"));
+        let b = Binding::singleton(Var::new("y"), id("b"));
+        let j = a.join(&b).unwrap();
+        assert_eq!(j.len(), 2);
+        let conflict = Binding::singleton(Var::new("x"), id("zz"));
+        assert!(a.join(&conflict).is_none());
+        // Join with self is identity.
+        assert_eq!(a.join(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn restriction() {
+        let mut a = Binding::empty();
+        a.bind(Var::new("x"), id("a"));
+        a.bind(Var::new("y"), id("b"));
+        let r = a.restrict([&Var::new("x"), &Var::new("missing")]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.get(&Var::new("x")), Some(&id("a")));
+    }
+
+    #[test]
+    fn ordering_is_deterministic() {
+        let mut a = Binding::empty();
+        a.bind(Var::new("b"), id("1"));
+        a.bind(Var::new("a"), id("2"));
+        let names: Vec<String> = a.domain().map(|v| v.to_string()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn display() {
+        let b = Binding::singleton(Var::new("x"), id("a"));
+        assert_eq!(b.to_string(), "{x ↦ (\"a\")}");
+    }
+}

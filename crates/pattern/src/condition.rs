@@ -1,0 +1,267 @@
+//! Pattern conditions `θ` (Figure 1) and their satisfaction `μ ⊨ θ`
+//! (Section 2.3.1).
+//!
+//! The formal grammar is
+//! `θ := x.k = x'.k' | ℓ(x) | θ ∨ θ' | θ ∧ θ' | ¬θ`.
+//! The surface language (Example 2.1: `t.amount > 100`) needs constant
+//! comparisons; these are provided as flagged extensions, exactly like
+//! the relational layer's [`pgq_relational::CmpOp`] extensions
+//! (DESIGN.md deviation note 3).
+
+use crate::binding::Binding;
+use pgq_graph::PropertyGraph;
+use pgq_relational::CmpOp;
+use pgq_value::{Key, Label, Value, Var};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A condition over the variables bound by a pattern.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Condition {
+    /// `x.k = x'.k'` — both properties defined and equal.
+    PropEq(Var, Key, Var, Key),
+    /// `ℓ(x)` — `ℓ ∈ lab(μ(x))`.
+    HasLabel(Var, Label),
+    /// `θ ∧ θ'`.
+    And(Box<Condition>, Box<Condition>),
+    /// `θ ∨ θ'`.
+    Or(Box<Condition>, Box<Condition>),
+    /// `¬θ`.
+    Not(Box<Condition>),
+    /// Extension: `x.k op c` for a constant `c`. Satisfied only when
+    /// `prop(μ(x), k)` is defined (like the core `PropEq`, comparisons
+    /// against undefined properties are false, not errors).
+    PropCmpConst(Var, Key, CmpOp, Value),
+}
+
+impl Condition {
+    /// `x.k = x'.k'`.
+    pub fn prop_eq(
+        x: impl Into<Var>,
+        k: impl Into<Key>,
+        y: impl Into<Var>,
+        k2: impl Into<Key>,
+    ) -> Self {
+        Condition::PropEq(x.into(), k.into(), y.into(), k2.into())
+    }
+
+    /// `ℓ(x)`.
+    pub fn has_label(x: impl Into<Var>, label: impl Into<Label>) -> Self {
+        Condition::HasLabel(x.into(), label.into())
+    }
+
+    /// Extension: `x.k op c`.
+    pub fn prop_cmp(
+        x: impl Into<Var>,
+        k: impl Into<Key>,
+        op: CmpOp,
+        c: impl Into<Value>,
+    ) -> Self {
+        Condition::PropCmpConst(x.into(), k.into(), op, c.into())
+    }
+
+    /// Extension: `x.k = c` (shorthand for [`Condition::prop_cmp`]).
+    pub fn prop_eq_const(x: impl Into<Var>, k: impl Into<Key>, c: impl Into<Value>) -> Self {
+        Condition::prop_cmp(x, k, CmpOp::Eq, c)
+    }
+
+    /// `θ ∧ θ'`.
+    pub fn and(self, other: Condition) -> Self {
+        Condition::And(Box::new(self), Box::new(other))
+    }
+
+    /// `θ ∨ θ'`.
+    pub fn or(self, other: Condition) -> Self {
+        Condition::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `¬θ`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Condition::Not(Box::new(self))
+    }
+
+    /// Whether the condition stays in the formal core grammar of Fig 1.
+    pub fn is_core(&self) -> bool {
+        match self {
+            Condition::PropEq(..) | Condition::HasLabel(..) => true,
+            Condition::And(a, b) | Condition::Or(a, b) => a.is_core() && b.is_core(),
+            Condition::Not(c) => c.is_core(),
+            Condition::PropCmpConst(..) => false,
+        }
+    }
+
+    /// Variables the condition mentions.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            Condition::PropEq(x, _, y, _) => {
+                out.insert(x.clone());
+                out.insert(y.clone());
+            }
+            Condition::HasLabel(x, _) | Condition::PropCmpConst(x, _, _, _) => {
+                out.insert(x.clone());
+            }
+            Condition::And(a, b) | Condition::Or(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Condition::Not(c) => c.collect_vars(out),
+        }
+    }
+
+    /// `μ ⊨ θ` over graph `G` (Section 2.3.1). Unbound variables and
+    /// undefined properties make atomic conditions *false* ("both …
+    /// defined and equal"), never errors.
+    pub fn eval(&self, mu: &Binding, g: &PropertyGraph) -> bool {
+        match self {
+            Condition::PropEq(x, k, y, k2) => {
+                let (Some(idx), Some(idy)) = (mu.get(x), mu.get(y)) else {
+                    return false;
+                };
+                match (g.prop(idx, k), g.prop(idy, k2)) {
+                    (Some(a), Some(b)) => a == b,
+                    _ => false,
+                }
+            }
+            Condition::HasLabel(x, l) => {
+                mu.get(x).is_some_and(|id| g.has_label(id, l))
+            }
+            Condition::PropCmpConst(x, k, op, c) => {
+                let Some(id) = mu.get(x) else { return false };
+                match g.prop(id, k) {
+                    Some(v) => cmp_apply(*op, v, c),
+                    None => false,
+                }
+            }
+            Condition::And(a, b) => a.eval(mu, g) && b.eval(mu, g),
+            Condition::Or(a, b) => a.eval(mu, g) || b.eval(mu, g),
+            Condition::Not(c) => !c.eval(mu, g),
+        }
+    }
+}
+
+fn cmp_apply(op: CmpOp, a: &Value, b: &Value) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::PropEq(x, k, y, k2) => write!(f, "{x}.{k} = {y}.{k2}"),
+            Condition::HasLabel(x, l) => write!(f, "{l}({x})"),
+            Condition::PropCmpConst(x, k, op, c) => write!(f, "{x}.{k} {op} {c}"),
+            Condition::And(a, b) => write!(f, "({a} ∧ {b})"),
+            Condition::Or(a, b) => write!(f, "({a} ∨ {b})"),
+            Condition::Not(c) => write!(f, "¬({c})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_graph::PropertyGraphBuilder;
+    use pgq_value::Tuple;
+
+    fn graph() -> PropertyGraph {
+        let mut b = PropertyGraphBuilder::unary();
+        b.node1("a").unwrap();
+        b.node1("b").unwrap();
+        b.edge1("e", "a", "b").unwrap();
+        b.label(Tuple::unary("e"), "Transfer").unwrap();
+        b.prop(Tuple::unary("e"), "amount", 250i64).unwrap();
+        b.prop(Tuple::unary("a"), "iban", "IL1").unwrap();
+        b.prop(Tuple::unary("b"), "iban", "IL1").unwrap();
+        b.finish()
+    }
+
+    fn mu() -> Binding {
+        let mut m = Binding::empty();
+        m.bind(Var::new("x"), Tuple::unary("a"));
+        m.bind(Var::new("y"), Tuple::unary("b"));
+        m.bind(Var::new("t"), Tuple::unary("e"));
+        m
+    }
+
+    #[test]
+    fn prop_eq_defined_and_equal() {
+        let g = graph();
+        assert!(Condition::prop_eq("x", "iban", "y", "iban").eval(&mu(), &g));
+        // Undefined property → false.
+        assert!(!Condition::prop_eq("x", "missing", "y", "iban").eval(&mu(), &g));
+        // Unbound variable → false.
+        assert!(!Condition::prop_eq("z", "iban", "y", "iban").eval(&mu(), &g));
+    }
+
+    #[test]
+    fn label_test() {
+        let g = graph();
+        assert!(Condition::has_label("t", "Transfer").eval(&mu(), &g));
+        assert!(!Condition::has_label("x", "Transfer").eval(&mu(), &g));
+        assert!(!Condition::has_label("zz", "Transfer").eval(&mu(), &g));
+    }
+
+    #[test]
+    fn const_comparison_extension() {
+        let g = graph();
+        assert!(Condition::prop_cmp("t", "amount", CmpOp::Gt, 100i64).eval(&mu(), &g));
+        assert!(!Condition::prop_cmp("t", "amount", CmpOp::Gt, 250i64).eval(&mu(), &g));
+        assert!(Condition::prop_eq_const("t", "amount", 250i64).eval(&mu(), &g));
+        // Undefined property under an extension comparison → false.
+        assert!(!Condition::prop_cmp("x", "amount", CmpOp::Gt, 0i64).eval(&mu(), &g));
+    }
+
+    #[test]
+    fn boolean_combinations_and_negation() {
+        let g = graph();
+        let c = Condition::has_label("t", "Transfer")
+            .and(Condition::prop_cmp("t", "amount", CmpOp::Gt, 100i64));
+        assert!(c.eval(&mu(), &g));
+        assert!(!c.clone().not().eval(&mu(), &g));
+        let d = Condition::has_label("t", "Nope").or(c);
+        assert!(d.eval(&mu(), &g));
+        // ¬(undefined prop test) is true: negation of a false atom.
+        assert!(Condition::prop_eq("x", "m", "y", "m").not().eval(&mu(), &g));
+    }
+
+    #[test]
+    fn core_flagging() {
+        assert!(Condition::prop_eq("x", "k", "y", "k").is_core());
+        assert!(Condition::has_label("x", "L").is_core());
+        assert!(!Condition::prop_eq_const("x", "k", 1i64).is_core());
+        assert!(Condition::has_label("x", "L")
+            .and(Condition::has_label("y", "L"))
+            .is_core());
+        assert!(!Condition::has_label("x", "L")
+            .or(Condition::prop_eq_const("x", "k", 1i64))
+            .is_core());
+    }
+
+    #[test]
+    fn vars_collected() {
+        let c = Condition::prop_eq("x", "k", "y", "k")
+            .and(Condition::has_label("z", "L").not());
+        let vs: Vec<String> = c.vars().iter().map(|v| v.to_string()).collect();
+        assert_eq!(vs, vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn display() {
+        let c = Condition::has_label("t", "Transfer")
+            .and(Condition::prop_cmp("t", "amount", CmpOp::Gt, 100i64));
+        assert_eq!(c.to_string(), "(\"Transfer\"(t) ∧ t.\"amount\" > 100)");
+    }
+}

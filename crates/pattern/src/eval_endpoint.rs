@@ -1,0 +1,398 @@
+//! Endpoint pattern-matching semantics — a literal implementation of
+//! Figure 2.
+//!
+//! `⟦ψ⟧_G` is a set of triples `(s, t, μ)`: source and target of a path
+//! matching `ψ`, plus the variable mapping. The simplification (footnote 1
+//! of the paper) is that full paths are *not* stored; Proposition 9.1
+//! shows this loses nothing for the relational layer, which we verify
+//! against the path semantics in `eval_path` by property testing.
+
+use crate::ast::{Direction, Pattern, PatternError, RepBound};
+use crate::binding::Binding;
+use pgq_graph::{ElementId, PropertyGraph};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One semantic triple `(s, t, μ)`.
+pub type MatchTriple = (ElementId, ElementId, Binding);
+
+/// The semantics `⟦ψ⟧_G`: a finite set of match triples, ordered for
+/// determinism.
+pub type MatchSet = BTreeSet<MatchTriple>;
+
+/// A set of endpoint pairs, the binding-free projection used by
+/// repetition (whose semantics discards mappings, Figure 2).
+pub type PairSet = BTreeSet<(ElementId, ElementId)>;
+
+/// Evaluates `⟦ψ⟧_G` (Figure 2). Validates the pattern's side conditions
+/// first.
+pub fn eval_pattern(psi: &Pattern, g: &PropertyGraph) -> Result<MatchSet, PatternError> {
+    psi.validate()?;
+    Ok(eval(psi, g))
+}
+
+fn eval(psi: &Pattern, g: &PropertyGraph) -> MatchSet {
+    match psi {
+        // ⟦(x)⟧ := {(n, n, {x↦n}) | n ∈ N}
+        Pattern::Node(v) => g
+            .nodes()
+            .map(|n| {
+                let mu = match v {
+                    Some(x) => Binding::singleton(x.clone(), n.clone()),
+                    None => Binding::empty(),
+                };
+                (n.clone(), n.clone(), mu)
+            })
+            .collect(),
+        // ⟦-x->⟧ := {(n1, n2, {x↦e}) | src(e)=n1, tgt(e)=n2}
+        // ⟦<-x-⟧ := {(n2, n1, {x↦e})}
+        Pattern::Edge(v, dir) => g
+            .edges()
+            .map(|e| {
+                let s = g.src(e).expect("edge has src").clone();
+                let t = g.tgt(e).expect("edge has tgt").clone();
+                let (from, to) = match dir {
+                    Direction::Forward => (s, t),
+                    Direction::Backward => (t, s),
+                };
+                let mu = match v {
+                    Some(x) => Binding::singleton(x.clone(), e.clone()),
+                    None => Binding::empty(),
+                };
+                (from, to, mu)
+            })
+            .collect(),
+        // ⟦ψ1 + ψ2⟧ := ⟦ψ1⟧ ∪ ⟦ψ2⟧
+        Pattern::Union(a, b) => {
+            let mut s = eval(a, g);
+            s.extend(eval(b, g));
+            s
+        }
+        // ⟦ψ1 ψ2⟧ := joins on the middle node with compatible mappings
+        Pattern::Concat(a, b) => {
+            let left = eval(a, g);
+            let right = eval(b, g);
+            // Index the right-hand side by its source endpoint.
+            let mut by_src: BTreeMap<&ElementId, Vec<&MatchTriple>> = BTreeMap::new();
+            for triple in &right {
+                by_src.entry(&triple.0).or_default().push(triple);
+            }
+            let mut out = MatchSet::new();
+            for (s1, mid, mu1) in &left {
+                if let Some(rs) = by_src.get(mid) {
+                    for (_, t2, mu2) in rs.iter().map(|t| (&t.0, &t.1, &t.2)) {
+                        if let Some(mu) = mu1.join(mu2) {
+                            out.insert((s1.clone(), t2.clone(), mu));
+                        }
+                    }
+                }
+            }
+            out
+        }
+        // ⟦ψ⟨θ⟩⟧ := {(s,t,μ) ∈ ⟦ψ⟧ | μ ⊨ θ}
+        Pattern::Filter(p, theta) => eval(p, g)
+            .into_iter()
+            .filter(|(_, _, mu)| theta.eval(mu, g))
+            .collect(),
+        // ⟦ψ^{n..m}⟧ := ⋃_{i=n..m} ⟦ψ⟧^i, all with μ∅
+        Pattern::Repeat(p, n, m) => {
+            let base = endpoint_pairs(&eval(p, g));
+            let pairs = repeat_pairs(&base, *n, *m, g);
+            pairs
+                .into_iter()
+                .map(|(s, t)| (s, t, Binding::empty()))
+                .collect()
+        }
+    }
+}
+
+/// Projects a match set to its endpoint pairs (discarding mappings), the
+/// `∃μ1…μn` step of the `⟦ψ⟧^n` clause.
+pub fn endpoint_pairs(set: &MatchSet) -> PairSet {
+    set.iter().map(|(s, t, _)| (s.clone(), t.clone())).collect()
+}
+
+/// `⋃_{i=n..m} R^i` where `R^0` is the identity on *all* nodes of `G`
+/// (Figure 2: `⟦ψ⟧^0 := {(n, n, μ∅) | n ∈ N}`) and `R^{i+1} = R^i ∘ R`.
+///
+/// For `m = ∞` this is `R^n ∘ R*`, with `R*` computed as a reachability
+/// fixpoint (BFS per source), so no iteration cap is involved.
+pub fn repeat_pairs(base: &PairSet, n: usize, m: RepBound, g: &PropertyGraph) -> PairSet {
+    match m {
+        RepBound::Finite(m) => {
+            debug_assert!(n <= m);
+            let mut acc = PairSet::new();
+            let mut current = power(base, n, g);
+            acc.extend(current.iter().cloned());
+            for _ in n..m {
+                current = compose(&current, base);
+                if current.is_empty() {
+                    break;
+                }
+                acc.extend(current.iter().cloned());
+            }
+            acc
+        }
+        RepBound::Infinite => {
+            let star = reflexive_transitive_closure(base, g);
+            if n == 0 {
+                star
+            } else {
+                compose(&power(base, n, g), &star)
+            }
+        }
+    }
+}
+
+/// `R^n`: `n`-fold composition; `R^0` is the identity on all nodes.
+fn power(base: &PairSet, n: usize, g: &PropertyGraph) -> PairSet {
+    let mut current: PairSet = g.nodes().map(|v| (v.clone(), v.clone())).collect();
+    for _ in 0..n {
+        current = compose(&current, base);
+        if current.is_empty() {
+            break;
+        }
+    }
+    current
+}
+
+/// Relational composition of endpoint-pair sets.
+pub fn compose(left: &PairSet, right: &PairSet) -> PairSet {
+    let mut by_src: BTreeMap<&ElementId, Vec<&ElementId>> = BTreeMap::new();
+    for (s, t) in right {
+        by_src.entry(s).or_default().push(t);
+    }
+    let mut out = PairSet::new();
+    for (s, mid) in left {
+        if let Some(ts) = by_src.get(mid) {
+            for t in ts {
+                out.insert((s.clone(), (*t).clone()));
+            }
+        }
+    }
+    out
+}
+
+/// `R* = ⋃_{i≥0} R^i` over the node set of `G`: identity pairs for every
+/// node plus BFS-reachability along `R`.
+pub fn reflexive_transitive_closure(base: &PairSet, g: &PropertyGraph) -> PairSet {
+    let mut adj: BTreeMap<&ElementId, Vec<&ElementId>> = BTreeMap::new();
+    for (s, t) in base {
+        adj.entry(s).or_default().push(t);
+    }
+    let mut out = PairSet::new();
+    // Reflexive part over all nodes (⟦ψ⟧^0 ranges over N).
+    for v in g.nodes() {
+        out.insert((v.clone(), v.clone()));
+    }
+    // BFS from every node that can take at least one step.
+    let mut frontier: Vec<&ElementId> = Vec::new();
+    let mut seen: BTreeSet<&ElementId> = BTreeSet::new();
+    for start in adj.keys().copied() {
+        frontier.clear();
+        seen.clear();
+        frontier.push(start);
+        seen.insert(start);
+        while let Some(u) = frontier.pop() {
+            if let Some(nexts) = adj.get(u) {
+                for &v in nexts {
+                    if seen.insert(v) {
+                        frontier.push(v);
+                    }
+                }
+            }
+        }
+        for &v in &seen {
+            out.insert((start.clone(), v.clone()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::Condition;
+    use pgq_graph::PropertyGraphBuilder;
+    use pgq_value::{Tuple, Var};
+
+    fn id(s: &str) -> ElementId {
+        Tuple::unary(s)
+    }
+
+    /// a -e1-> b -e2-> c, plus a self-contained node d.
+    fn chain() -> PropertyGraph {
+        let mut b = PropertyGraphBuilder::unary();
+        for n in ["a", "b", "c", "d"] {
+            b.node1(n).unwrap();
+        }
+        b.edge1("e1", "a", "b").unwrap();
+        b.edge1("e2", "b", "c").unwrap();
+        b.label(id("e1"), "T").unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn node_atom_semantics() {
+        let g = chain();
+        let m = eval_pattern(&Pattern::node("x"), &g).unwrap();
+        assert_eq!(m.len(), 4);
+        for (s, t, mu) in &m {
+            assert_eq!(s, t);
+            assert_eq!(mu.get(&Var::new("x")), Some(s));
+        }
+        // Anonymous node binds nothing.
+        let m = eval_pattern(&Pattern::any_node(), &g).unwrap();
+        assert!(m.iter().all(|(_, _, mu)| mu.is_empty()));
+    }
+
+    #[test]
+    fn edge_atom_semantics_both_directions() {
+        let g = chain();
+        let fwd = eval_pattern(&Pattern::edge("t"), &g).unwrap();
+        assert!(fwd.contains(&(
+            id("a"),
+            id("b"),
+            Binding::singleton(Var::new("t"), id("e1"))
+        )));
+        let bwd = eval_pattern(&Pattern::edge_back("t"), &g).unwrap();
+        assert!(bwd.contains(&(
+            id("b"),
+            id("a"),
+            Binding::singleton(Var::new("t"), id("e1"))
+        )));
+        assert_eq!(fwd.len(), 2);
+        assert_eq!(bwd.len(), 2);
+    }
+
+    #[test]
+    fn concat_joins_on_middle_and_compatibility() {
+        let g = chain();
+        // (x) -t-> (y): 2 matches.
+        let p = Pattern::node("x")
+            .then(Pattern::edge("t"))
+            .then(Pattern::node("y"));
+        let m = eval_pattern(&p, &g).unwrap();
+        assert_eq!(m.len(), 2);
+        // Incompatible reuse of the same variable on different elements:
+        // (x) -> (x) requires src = tgt, impossible in the chain.
+        let p = Pattern::node("x").then(Pattern::any_edge()).then(Pattern::node("x"));
+        assert!(eval_pattern(&p, &g).unwrap().is_empty());
+    }
+
+    #[test]
+    fn two_hop_concat() {
+        let g = chain();
+        let p = Pattern::any_edge().then(Pattern::any_edge());
+        let m = eval_pattern(&p, &g).unwrap();
+        assert_eq!(m.len(), 1);
+        let (s, t, _) = m.iter().next().unwrap().clone();
+        assert_eq!((s, t), (id("a"), id("c")));
+    }
+
+    #[test]
+    fn filter_retains_satisfying() {
+        let g = chain();
+        let p = Pattern::edge("t").filter(Condition::has_label("t", "T"));
+        let m = eval_pattern(&p, &g).unwrap();
+        assert_eq!(m.len(), 1); // only e1 has label T
+    }
+
+    #[test]
+    fn repeat_zero_is_identity_on_all_nodes() {
+        let g = chain();
+        let p = Pattern::any_edge().repeat(0, 0);
+        let m = eval_pattern(&p, &g).unwrap();
+        assert_eq!(m.len(), 4);
+        for (s, t, mu) in &m {
+            assert_eq!(s, t);
+            assert!(mu.is_empty());
+        }
+    }
+
+    #[test]
+    fn repeat_discards_bindings() {
+        let g = chain();
+        let p = Pattern::edge("t").repeat(1, 2);
+        let m = eval_pattern(&p, &g).unwrap();
+        // pairs: (a,b), (b,c) at i=1; (a,c) at i=2.
+        assert_eq!(m.len(), 3);
+        assert!(m.iter().all(|(_, _, mu)| mu.is_empty()));
+    }
+
+    #[test]
+    fn repeat_unbounded_is_reachability() {
+        let g = chain();
+        let star = eval_pattern(&Pattern::any_edge().star(), &g).unwrap();
+        let pairs = endpoint_pairs(&star);
+        // 4 reflexive + (a,b),(b,c),(a,c)
+        assert_eq!(pairs.len(), 7);
+        assert!(pairs.contains(&(id("a"), id("c"))));
+        assert!(pairs.contains(&(id("d"), id("d"))));
+
+        let plus = eval_pattern(&Pattern::any_edge().plus(), &g).unwrap();
+        let pairs = endpoint_pairs(&plus);
+        assert_eq!(pairs.len(), 3);
+        assert!(!pairs.contains(&(id("d"), id("d"))));
+    }
+
+    #[test]
+    fn repeat_on_cycle_saturates() {
+        // 3-cycle: walks of length exactly 5 connect i to i+5 mod 3.
+        let mut b = PropertyGraphBuilder::unary();
+        for i in 0..3i64 {
+            b.node1(i).unwrap();
+        }
+        b.edge1(10i64, 0i64, 1i64).unwrap();
+        b.edge1(11i64, 1i64, 2i64).unwrap();
+        b.edge1(12i64, 2i64, 0i64).unwrap();
+        let g = b.finish();
+        let p = Pattern::any_edge().repeat(5, 5);
+        let m = eval_pattern(&p, &g).unwrap();
+        assert_eq!(m.len(), 3);
+        assert!(endpoint_pairs(&m).contains(&(Tuple::unary(0i64), Tuple::unary(2i64))));
+        // Unbounded: everything reaches everything.
+        let star = eval_pattern(&Pattern::any_edge().star(), &g).unwrap();
+        assert_eq!(star.len(), 9);
+    }
+
+    #[test]
+    fn union_merges() {
+        let g = chain();
+        let p = Pattern::edge("t").or(Pattern::edge_back("t"));
+        let m = eval_pattern(&p, &g).unwrap();
+        assert_eq!(m.len(), 4);
+        // Invalid union is rejected by validation.
+        let bad = Pattern::edge("t").or(Pattern::edge("u"));
+        assert!(eval_pattern(&bad, &g).is_err());
+    }
+
+    #[test]
+    fn backward_edge_in_concat() {
+        let g = chain();
+        // (x) <-t- (y): matches (b,a) and (c,b) as (x,y).
+        let p = Pattern::node("x")
+            .then(Pattern::edge_back("t"))
+            .then(Pattern::node("y"));
+        let m = eval_pattern(&p, &g).unwrap();
+        let pairs = endpoint_pairs(&m);
+        assert!(pairs.contains(&(id("b"), id("a"))));
+        assert!(pairs.contains(&(id("c"), id("b"))));
+        assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    fn repetition_inside_concat() {
+        let g = chain();
+        // (x) (->)* (y): all reachability pairs with x,y bound.
+        let p = Pattern::node("x")
+            .then(Pattern::any_edge().star())
+            .then(Pattern::node("y"));
+        let m = eval_pattern(&p, &g).unwrap();
+        assert_eq!(m.len(), 7);
+        // Bindings on x and y survive (they are outside the repetition).
+        for (s, t, mu) in &m {
+            assert_eq!(mu.get(&Var::new("x")), Some(s));
+            assert_eq!(mu.get(&Var::new("y")), Some(t));
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! Path pattern-matching semantics — Figure 6 (Appendix 9.1).
+//!
+//! `⟦ψ⟧^path_G` is a set of pairs `(p, μ)` where `p` is an actual path.
+//! Proposition 9.1 proves `π_end(⟦ψ⟧^path_G) = ⟦ψ⟧_G`; we verify this
+//! mechanically against `eval_endpoint` (experiment E2).
+//!
+//! Two implementation notes, both recorded in DESIGN.md:
+//!
+//! * Figure 6's backward-edge clause is printed identically to the
+//!   forward one (`src(e)=src(p), tgt(e)=tgt(p)`); we follow Figure 2's
+//!   endpoint swap, which is what makes Proposition 9.1's base case (T3)
+//!   go through.
+//! * With unbounded repetition on a cyclic graph the *set of paths* is
+//!   infinite. We materialize paths with at most `n + |N|` legs per
+//!   `ψ^{n..∞}`: every endpoint pair of `R^n ∘ R*` has a witness whose
+//!   star part is a simple reachability path (< |N| compositions), so the
+//!   `π_end` projection — the only thing the relational layer consumes —
+//!   is complete.
+
+use crate::ast::{Direction, Pattern, PatternError, RepBound};
+use crate::binding::Binding;
+use pgq_graph::{ElementId, PropertyGraph};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A concrete path: a start node and a sequence of edge traversals.
+/// `src(p)` is the start node; `tgt(p)` the node reached last.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Path {
+    start: ElementId,
+    /// Each step records the edge, the direction it was traversed in,
+    /// and the node arrived at.
+    steps: Vec<(ElementId, Direction, ElementId)>,
+}
+
+impl Path {
+    /// The single-vertex path at `n`.
+    pub fn trivial(n: ElementId) -> Self {
+        Path {
+            start: n,
+            steps: Vec::new(),
+        }
+    }
+
+    /// A one-edge path.
+    pub fn single(edge: ElementId, dir: Direction, from: ElementId, to: ElementId) -> Self {
+        Path {
+            start: from,
+            steps: vec![(edge, dir, to)],
+        }
+    }
+
+    /// `src(p)`.
+    pub fn src(&self) -> &ElementId {
+        &self.start
+    }
+
+    /// `tgt(p)`.
+    pub fn tgt(&self) -> &ElementId {
+        self.steps.last().map_or(&self.start, |(_, _, n)| n)
+    }
+
+    /// Number of edge traversals.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the path is a single vertex.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The edges traversed, in order.
+    pub fn edges(&self) -> impl Iterator<Item = &ElementId> + '_ {
+        self.steps.iter().map(|(e, _, _)| e)
+    }
+
+    /// Concatenation `p1 · p2`; requires `tgt(p1) = src(p2)`.
+    pub fn concat(&self, other: &Path) -> Option<Path> {
+        if self.tgt() != other.src() {
+            return None;
+        }
+        let mut steps = self.steps.clone();
+        steps.extend(other.steps.iter().cloned());
+        Some(Path {
+            start: self.start.clone(),
+            steps,
+        })
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.start)?;
+        for (e, dir, n) in &self.steps {
+            match dir {
+                Direction::Forward => write!(f, " -[{e}]-> {n}")?,
+                Direction::Backward => write!(f, " <-[{e}]- {n}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The path semantics result: a set of `(path, mapping)` pairs.
+pub type PathMatchSet = BTreeSet<(Path, Binding)>;
+
+/// Resource limits for the path evaluator, which can be exponential on
+/// graphs with many parallel paths (it materializes every path).
+#[derive(Debug, Clone, Copy)]
+pub struct PathLimits {
+    /// Hard cap on the number of materialized `(path, μ)` pairs per
+    /// sub-pattern. Exceeding it is a typed error, not an OOM.
+    pub max_paths: usize,
+}
+
+impl Default for PathLimits {
+    fn default() -> Self {
+        PathLimits { max_paths: 200_000 }
+    }
+}
+
+/// Errors from the path evaluator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathEvalError {
+    /// Ill-formed pattern.
+    Pattern(PatternError),
+    /// The materialized path set exceeded [`PathLimits::max_paths`].
+    PathExplosion {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for PathEvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathEvalError::Pattern(e) => write!(f, "{e}"),
+            PathEvalError::PathExplosion { limit } => {
+                write!(f, "path materialization exceeded {limit} paths")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PathEvalError {}
+
+impl From<PatternError> for PathEvalError {
+    fn from(e: PatternError) -> Self {
+        PathEvalError::Pattern(e)
+    }
+}
+
+/// Evaluates `⟦ψ⟧^path_G` (Figure 6) with default limits.
+pub fn eval_pattern_paths(
+    psi: &Pattern,
+    g: &PropertyGraph,
+) -> Result<PathMatchSet, PathEvalError> {
+    eval_pattern_paths_limited(psi, g, PathLimits::default())
+}
+
+/// Evaluates `⟦ψ⟧^path_G` with explicit limits.
+pub fn eval_pattern_paths_limited(
+    psi: &Pattern,
+    g: &PropertyGraph,
+    limits: PathLimits,
+) -> Result<PathMatchSet, PathEvalError> {
+    psi.validate()?;
+    eval(psi, g, &limits)
+}
+
+/// `π_end`: projects `(p, μ)` to `(src(p), tgt(p), μ)` — the statement of
+/// Proposition 9.1.
+pub fn project_endpoints(paths: &PathMatchSet) -> crate::eval_endpoint::MatchSet {
+    paths
+        .iter()
+        .map(|(p, mu)| (p.src().clone(), p.tgt().clone(), mu.clone()))
+        .collect()
+}
+
+fn guard(set: &PathMatchSet, limits: &PathLimits) -> Result<(), PathEvalError> {
+    if set.len() > limits.max_paths {
+        return Err(PathEvalError::PathExplosion {
+            limit: limits.max_paths,
+        });
+    }
+    Ok(())
+}
+
+fn eval(
+    psi: &Pattern,
+    g: &PropertyGraph,
+    limits: &PathLimits,
+) -> Result<PathMatchSet, PathEvalError> {
+    let result = match psi {
+        Pattern::Node(v) => g
+            .nodes()
+            .map(|n| {
+                let mu = match v {
+                    Some(x) => Binding::singleton(x.clone(), n.clone()),
+                    None => Binding::empty(),
+                };
+                (Path::trivial(n.clone()), mu)
+            })
+            .collect(),
+        Pattern::Edge(v, dir) => g
+            .edges()
+            .map(|e| {
+                let s = g.src(e).expect("edge has src").clone();
+                let t = g.tgt(e).expect("edge has tgt").clone();
+                let (from, to) = match dir {
+                    Direction::Forward => (s, t),
+                    Direction::Backward => (t, s),
+                };
+                let mu = match v {
+                    Some(x) => Binding::singleton(x.clone(), e.clone()),
+                    None => Binding::empty(),
+                };
+                (Path::single(e.clone(), *dir, from, to), mu)
+            })
+            .collect(),
+        Pattern::Union(a, b) => {
+            let mut s = eval(a, g, limits)?;
+            s.extend(eval(b, g, limits)?);
+            s
+        }
+        Pattern::Concat(a, b) => {
+            let left = eval(a, g, limits)?;
+            let right = eval(b, g, limits)?;
+            concat_sets(&left, &right, limits)?
+        }
+        Pattern::Filter(p, theta) => eval(p, g, limits)?
+            .into_iter()
+            .filter(|(_, mu)| theta.eval(mu, g))
+            .collect(),
+        Pattern::Repeat(p, n, m) => {
+            let base = eval(p, g, limits)?;
+            // Repetition discards mappings: μ∅ throughout.
+            let base: PathMatchSet = base
+                .into_iter()
+                .map(|(p, _)| (p, Binding::empty()))
+                .collect();
+            let cap = match m {
+                RepBound::Finite(m) => *m,
+                // Witness-length bound for the π_end projection; see the
+                // module docs.
+                RepBound::Infinite => n + g.node_count().max(1),
+            };
+            let mut acc = PathMatchSet::new();
+            // i = 0: all length-0 paths (src(p) = tgt(p)).
+            let mut current: PathMatchSet = g
+                .nodes()
+                .map(|n| (Path::trivial(n.clone()), Binding::empty()))
+                .collect();
+            if *n == 0 {
+                acc.extend(current.iter().cloned());
+            }
+            for i in 1..=cap {
+                current = concat_sets(&current, &base, limits)?;
+                if current.is_empty() {
+                    break;
+                }
+                if i >= *n {
+                    acc.extend(current.iter().cloned());
+                    guard(&acc, limits)?;
+                }
+            }
+            acc
+        }
+    };
+    guard(&result, limits)?;
+    Ok(result)
+}
+
+fn concat_sets(
+    left: &PathMatchSet,
+    right: &PathMatchSet,
+    limits: &PathLimits,
+) -> Result<PathMatchSet, PathEvalError> {
+    use std::collections::BTreeMap;
+    let mut by_src: BTreeMap<&ElementId, Vec<&(Path, Binding)>> = BTreeMap::new();
+    for pm in right {
+        by_src.entry(pm.0.src()).or_default().push(pm);
+    }
+    let mut out = PathMatchSet::new();
+    for (p1, mu1) in left {
+        if let Some(rs) = by_src.get(p1.tgt()) {
+            for (p2, mu2) in rs.iter().map(|pm| (&pm.0, &pm.1)) {
+                if let Some(mu) = mu1.join(mu2) {
+                    let p = p1.concat(p2).expect("sources aligned by index");
+                    out.insert((p, mu));
+                    guard(&out, limits)?;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval_endpoint::eval_pattern;
+    use pgq_graph::PropertyGraphBuilder;
+    use pgq_value::Tuple;
+
+    fn id(s: &str) -> ElementId {
+        Tuple::unary(s)
+    }
+
+    fn chain() -> PropertyGraph {
+        let mut b = PropertyGraphBuilder::unary();
+        for n in ["a", "b", "c"] {
+            b.node1(n).unwrap();
+        }
+        b.edge1("e1", "a", "b").unwrap();
+        b.edge1("e2", "b", "c").unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn path_concat_and_endpoints() {
+        let p1 = Path::single(id("e1"), Direction::Forward, id("a"), id("b"));
+        let p2 = Path::single(id("e2"), Direction::Forward, id("b"), id("c"));
+        let p = p1.concat(&p2).unwrap();
+        assert_eq!(p.src(), &id("a"));
+        assert_eq!(p.tgt(), &id("c"));
+        assert_eq!(p.len(), 2);
+        assert!(p2.concat(&p1).is_none()); // misaligned
+        assert_eq!(p.edges().count(), 2);
+    }
+
+    #[test]
+    fn trivial_path_endpoints_coincide() {
+        let p = Path::trivial(id("a"));
+        assert_eq!(p.src(), p.tgt());
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn atoms_match_endpoint_semantics() {
+        let g = chain();
+        for pat in [
+            Pattern::node("x"),
+            Pattern::edge("t"),
+            Pattern::edge_back("t"),
+            Pattern::any_node(),
+        ] {
+            let paths = eval_pattern_paths(&pat, &g).unwrap();
+            let endpoints = project_endpoints(&paths);
+            assert_eq!(endpoints, eval_pattern(&pat, &g).unwrap(), "{pat}");
+        }
+    }
+
+    #[test]
+    fn backward_edge_path_traverses_reverse() {
+        let g = chain();
+        let paths = eval_pattern_paths(&Pattern::edge_back("t"), &g).unwrap();
+        let (p, _) = paths.iter().next().unwrap();
+        assert_eq!(p.src(), &id("b"));
+        assert_eq!(p.tgt(), &id("a"));
+    }
+
+    #[test]
+    fn star_on_cycle_is_finite_with_cap() {
+        let mut b = PropertyGraphBuilder::unary();
+        b.node1("a").unwrap();
+        b.edge1("loop", "a", "a").unwrap();
+        let g = b.finish();
+        let paths = eval_pattern_paths(&Pattern::any_edge().star(), &g).unwrap();
+        // Paths of length 0..=1+... capped; endpoints always {(a,a)}.
+        let endpoints = project_endpoints(&paths);
+        assert_eq!(endpoints.len(), 1);
+        assert!(paths.len() >= 2); // at least the trivial and the 1-loop
+    }
+
+    #[test]
+    fn explosion_guard_fires() {
+        // Dense complete digraph; tiny budget.
+        let mut b = PropertyGraphBuilder::unary();
+        for i in 0..6i64 {
+            b.node1(i).unwrap();
+        }
+        let mut eid = 100i64;
+        for i in 0..6i64 {
+            for j in 0..6i64 {
+                b.edge1(eid, i, j).unwrap();
+                eid += 1;
+            }
+        }
+        let g = b.finish();
+        let limits = PathLimits { max_paths: 50 };
+        let err = eval_pattern_paths_limited(&Pattern::any_edge().star(), &g, limits);
+        assert!(matches!(
+            err,
+            Err(PathEvalError::PathExplosion { limit: 50 })
+        ));
+    }
+
+    #[test]
+    fn display_path() {
+        let p = Path::single(id("e1"), Direction::Forward, id("a"), id("b"));
+        assert_eq!(p.to_string(), "(\"a\") -[(\"e1\")]-> (\"b\")");
+    }
+}

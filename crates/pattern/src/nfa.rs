@@ -1,0 +1,511 @@
+//! An optimized pattern-matching engine: compile the pattern to an NFA
+//! and run a product-graph BFS.
+//!
+//! This is the kind of evaluator a real SQL/PGQ engine would use for the
+//! *navigational* core of the language. It computes **endpoint pairs
+//! only** (no variable mappings), which is exactly what the unbounded
+//! repetitions of the translations need (`ψreach = (x̄) →* (ȳ)` in
+//! Lemma 9.4), and what Boolean output patterns consume.
+//!
+//! ## Supported fragment
+//!
+//! Compilation succeeds for patterns where
+//! * every filter wraps a single atom and mentions only that atom's
+//!   variable (label tests, property/constant comparisons, same-variable
+//!   property equalities), and
+//! * no variable occurs in two different atoms (cross-atom equality
+//!   constraints are not regular, so an NFA cannot track them).
+//!
+//! Everything else returns [`Unsupported`], and callers fall back to the
+//! reference evaluator (`eval_endpoint`). Agreement on the supported
+//! fragment is property-tested (experiment E2).
+
+use crate::ast::{Direction, Pattern, RepBound};
+use crate::binding::Binding;
+use crate::condition::Condition;
+use crate::eval_endpoint::PairSet;
+use pgq_graph::{ElementId, PropertyGraph};
+use pgq_value::Var;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Why a pattern cannot be compiled to an NFA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Unsupported {
+    /// A filter wraps a non-atomic sub-pattern.
+    FilterOverNonAtom,
+    /// A filter mentions a variable other than its atom's own.
+    NonLocalCondition(Var),
+    /// A condition on an anonymous atom (nothing to test against).
+    ConditionOnAnonymousAtom,
+    /// A variable occurs in two atoms (cross-atom join constraint).
+    RepeatedVariable(Var),
+}
+
+impl fmt::Display for Unsupported {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Unsupported::FilterOverNonAtom => write!(f, "filter over a non-atomic pattern"),
+            Unsupported::NonLocalCondition(v) => {
+                write!(f, "condition mentions non-local variable {v}")
+            }
+            Unsupported::ConditionOnAnonymousAtom => {
+                write!(f, "condition on an anonymous atom")
+            }
+            Unsupported::RepeatedVariable(v) => {
+                write!(f, "variable {v} occurs in more than one atom")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Unsupported {}
+
+/// A per-element test: the atom's condition, evaluated with the atom's
+/// variable bound to the candidate element.
+#[derive(Debug, Clone)]
+struct LocalTest {
+    var: Var,
+    cond: Condition,
+}
+
+impl LocalTest {
+    fn passes(&self, id: &ElementId, g: &PropertyGraph) -> bool {
+        let mu = Binding::singleton(self.var.clone(), id.clone());
+        self.cond.eval(&mu, g)
+    }
+}
+
+/// A labeled NFA transition.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Stay on the current node; optionally test it.
+    Node(Option<LocalTest>),
+    /// Traverse an out-edge (testing the edge), arriving at its target.
+    EdgeFwd(Option<LocalTest>),
+    /// Traverse an in-edge backwards, arriving at its source.
+    EdgeBwd(Option<LocalTest>),
+}
+
+/// A compiled pattern automaton.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// Per-state epsilon successors.
+    eps: Vec<Vec<usize>>,
+    /// Labeled transitions `(from, step, to)` grouped by `from`.
+    steps: Vec<Vec<(Step, usize)>>,
+    start: usize,
+    accept: usize,
+}
+
+impl Nfa {
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.eps.len()
+    }
+
+    /// Compiles a pattern, or reports why it is outside the supported
+    /// fragment.
+    pub fn compile(psi: &Pattern) -> Result<Nfa, Unsupported> {
+        // Reject repeated variables across atoms (non-regular).
+        let mut seen = BTreeSet::new();
+        check_distinct_vars(psi, &mut seen)?;
+        let mut b = Builder::default();
+        let start = b.fresh();
+        let accept = b.fresh();
+        b.emit(psi, start, accept)?;
+        Ok(Nfa {
+            eps: b.eps,
+            steps: b.steps,
+            start,
+            accept,
+        })
+    }
+
+    /// All endpoint pairs `(s, t)` such that a path matching the pattern
+    /// leads from `s` to `t` — `endpoint_pairs(⟦ψ⟧_G)` on the supported
+    /// fragment.
+    pub fn eval_pairs(&self, g: &PropertyGraph) -> PairSet {
+        let nodes: Vec<&ElementId> = g.nodes().collect();
+        let node_index: BTreeMap<&ElementId, usize> =
+            nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+        let q = self.state_count();
+        let mut out = PairSet::new();
+        // BFS from every start node over the product space (node, state).
+        let mut visited = vec![false; nodes.len() * q];
+        let mut frontier: Vec<(usize, usize)> = Vec::new();
+        for (start_i, start_node) in nodes.iter().enumerate() {
+            visited.iter_mut().for_each(|v| *v = false);
+            frontier.clear();
+            self.push_closure(start_i, self.start, q, &mut visited, &mut frontier);
+            while let Some((ni, state)) = frontier.pop() {
+                let n = nodes[ni];
+                for (step, to) in &self.steps[state] {
+                    match step {
+                        Step::Node(test) => {
+                            if test.as_ref().is_none_or(|t| t.passes(n, g)) {
+                                self.push_closure(ni, *to, q, &mut visited, &mut frontier);
+                            }
+                        }
+                        Step::EdgeFwd(test) => {
+                            for e in g.out_edges(n) {
+                                if test.as_ref().is_none_or(|t| t.passes(e, g)) {
+                                    let m = g.tgt(e).expect("edge has tgt");
+                                    let mi = node_index[m];
+                                    self.push_closure(mi, *to, q, &mut visited, &mut frontier);
+                                }
+                            }
+                        }
+                        Step::EdgeBwd(test) => {
+                            for e in g.in_edges(n) {
+                                if test.as_ref().is_none_or(|t| t.passes(e, g)) {
+                                    let m = g.src(e).expect("edge has src");
+                                    let mi = node_index[m];
+                                    self.push_closure(mi, *to, q, &mut visited, &mut frontier);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            for (ni, n) in nodes.iter().enumerate() {
+                if visited[ni * q + self.accept] {
+                    out.insert(((*start_node).clone(), (*n).clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Marks `(node, state)` and everything reachable from it by epsilon
+    /// moves, pushing newly-visited product states onto the frontier.
+    fn push_closure(
+        &self,
+        node: usize,
+        state: usize,
+        q: usize,
+        visited: &mut [bool],
+        frontier: &mut Vec<(usize, usize)>,
+    ) {
+        let mut stack = vec![state];
+        while let Some(s) = stack.pop() {
+            let slot = node * q + s;
+            if visited[slot] {
+                continue;
+            }
+            visited[slot] = true;
+            frontier.push((node, s));
+            for &t in &self.eps[s] {
+                stack.push(t);
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct Builder {
+    eps: Vec<Vec<usize>>,
+    steps: Vec<Vec<(Step, usize)>>,
+}
+
+impl Builder {
+    fn fresh(&mut self) -> usize {
+        self.eps.push(Vec::new());
+        self.steps.push(Vec::new());
+        self.eps.len() - 1
+    }
+
+    fn eps_edge(&mut self, from: usize, to: usize) {
+        self.eps[from].push(to);
+    }
+
+    fn step_edge(&mut self, from: usize, step: Step, to: usize) {
+        self.steps[from].push((step, to));
+    }
+
+    /// Thompson-style construction of `psi` between `from` and `to`.
+    fn emit(&mut self, psi: &Pattern, from: usize, to: usize) -> Result<(), Unsupported> {
+        match psi {
+            Pattern::Node(_) => {
+                self.step_edge(from, Step::Node(None), to);
+                Ok(())
+            }
+            Pattern::Edge(_, Direction::Forward) => {
+                self.step_edge(from, Step::EdgeFwd(None), to);
+                Ok(())
+            }
+            Pattern::Edge(_, Direction::Backward) => {
+                self.step_edge(from, Step::EdgeBwd(None), to);
+                Ok(())
+            }
+            Pattern::Filter(inner, cond) => match &**inner {
+                // Nested filters over the same atom: conjoin first.
+                Pattern::Filter(..) => self.emit_conjoined_filter(psi, from, to),
+                Pattern::Node(_) | Pattern::Edge(..) => {
+                    let test = local_test(inner, cond)?;
+                    let step = match &**inner {
+                        Pattern::Node(_) => Step::Node(Some(test)),
+                        Pattern::Edge(_, Direction::Forward) => Step::EdgeFwd(Some(test)),
+                        Pattern::Edge(_, Direction::Backward) => Step::EdgeBwd(Some(test)),
+                        _ => unreachable!("outer match covers atoms only"),
+                    };
+                    self.step_edge(from, step, to);
+                    Ok(())
+                }
+                _ => Err(Unsupported::FilterOverNonAtom),
+            },
+            Pattern::Concat(a, b) => {
+                let mid = self.fresh();
+                self.emit(a, from, mid)?;
+                self.emit(b, mid, to)
+            }
+            Pattern::Union(a, b) => {
+                self.emit(a, from, to)?;
+                self.emit(b, from, to)
+            }
+            Pattern::Repeat(p, n, m) => {
+                // n mandatory copies…
+                let mut cur = from;
+                for _ in 0..*n {
+                    let next = self.fresh();
+                    self.emit(p, cur, next)?;
+                    cur = next;
+                }
+                match m {
+                    RepBound::Finite(m) => {
+                        debug_assert!(*m >= *n);
+                        // …then (m - n) optional copies.
+                        for _ in *n..*m {
+                            let next = self.fresh();
+                            self.emit(p, cur, next)?;
+                            self.eps_edge(cur, to);
+                            cur = next;
+                        }
+                        self.eps_edge(cur, to);
+                    }
+                    RepBound::Infinite => {
+                        // …then a loop state.
+                        let back = self.fresh();
+                        self.eps_edge(cur, to);
+                        self.emit(p, cur, back)?;
+                        self.eps_edge(back, cur);
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// `Filter(Filter(atom, θ1), θ2)` → single atom with `θ1 ∧ θ2`.
+    fn emit_conjoined_filter(
+        &mut self,
+        psi: &Pattern,
+        from: usize,
+        to: usize,
+    ) -> Result<(), Unsupported> {
+        let mut conds = Vec::new();
+        let mut inner = psi;
+        while let Pattern::Filter(p, c) = inner {
+            conds.push(c.clone());
+            inner = p;
+        }
+        let combined = conds
+            .into_iter()
+            .reduce(|a, b| a.and(b))
+            .expect("at least one filter");
+        let rebuilt = Pattern::Filter(Box::new(inner.clone()), combined);
+        self.emit(&rebuilt, from, to)
+    }
+}
+
+/// Extracts the single-atom local test for `Filter(inner, cond)`.
+fn local_test(inner: &Pattern, cond: &Condition) -> Result<LocalTest, Unsupported> {
+    let atom_var = match inner {
+        Pattern::Node(v) | Pattern::Edge(v, _) => v.clone(),
+        Pattern::Filter(..) => {
+            // Handled by emit_conjoined_filter before reaching here.
+            return Err(Unsupported::FilterOverNonAtom);
+        }
+        _ => return Err(Unsupported::FilterOverNonAtom),
+    };
+    let cvars = cond.vars();
+    match atom_var {
+        None if cvars.is_empty() => Ok(LocalTest {
+            var: Var::new("\u{2022}anon"),
+            cond: cond.clone(),
+        }),
+        None => Err(Unsupported::ConditionOnAnonymousAtom),
+        Some(v) => {
+            if let Some(foreign) = cvars.iter().find(|&cv| cv != &v) {
+                return Err(Unsupported::NonLocalCondition(foreign.clone()));
+            }
+            Ok(LocalTest {
+                var: v,
+                cond: cond.clone(),
+            })
+        }
+    }
+}
+
+/// Rejects patterns where a variable occurs in two atoms.
+fn check_distinct_vars(psi: &Pattern, seen: &mut BTreeSet<Var>) -> Result<(), Unsupported> {
+    match psi {
+        Pattern::Node(Some(v)) | Pattern::Edge(Some(v), _) => {
+            if !seen.insert(v.clone()) {
+                return Err(Unsupported::RepeatedVariable(v.clone()));
+            }
+            Ok(())
+        }
+        Pattern::Node(None) | Pattern::Edge(None, _) => Ok(()),
+        Pattern::Concat(a, b) => {
+            check_distinct_vars(a, seen)?;
+            check_distinct_vars(b, seen)
+        }
+        Pattern::Union(a, b) => {
+            // Union branches may legitimately reuse variables (fv must be
+            // equal!); they are alternatives, not joins. Track each branch
+            // against the outer context separately.
+            let mut left = seen.clone();
+            check_distinct_vars(a, &mut left)?;
+            check_distinct_vars(b, seen)?;
+            seen.extend(left);
+            Ok(())
+        }
+        Pattern::Repeat(p, _, _) | Pattern::Filter(p, _) => check_distinct_vars(p, seen),
+    }
+}
+
+/// Convenience: compile and evaluate in one call.
+pub fn try_eval_pairs(psi: &Pattern, g: &PropertyGraph) -> Result<PairSet, Unsupported> {
+    Ok(Nfa::compile(psi)?.eval_pairs(g))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval_endpoint::{endpoint_pairs, eval_pattern};
+    use pgq_graph::PropertyGraphBuilder;
+    use pgq_value::Tuple;
+
+    fn chain_with_labels() -> PropertyGraph {
+        let mut b = PropertyGraphBuilder::unary();
+        for n in ["a", "b", "c", "d"] {
+            b.node1(n).unwrap();
+        }
+        b.edge1("e1", "a", "b").unwrap();
+        b.edge1("e2", "b", "c").unwrap();
+        b.edge1("e3", "c", "d").unwrap();
+        b.label(Tuple::unary("e1"), "T").unwrap();
+        b.label(Tuple::unary("e2"), "T").unwrap();
+        b.label(Tuple::unary("a"), "Start").unwrap();
+        b.finish()
+    }
+
+    fn assert_agrees(psi: &Pattern, g: &PropertyGraph) {
+        let reference = endpoint_pairs(&eval_pattern(psi, g).unwrap());
+        let fast = try_eval_pairs(psi, g).unwrap();
+        assert_eq!(reference, fast, "pattern {psi}");
+    }
+
+    #[test]
+    fn agrees_on_atoms() {
+        let g = chain_with_labels();
+        assert_agrees(&Pattern::any_node(), &g);
+        assert_agrees(&Pattern::any_edge(), &g);
+        assert_agrees(&Pattern::any_edge_back(), &g);
+        assert_agrees(&Pattern::node("x"), &g);
+    }
+
+    #[test]
+    fn agrees_on_concat_union_star() {
+        let g = chain_with_labels();
+        assert_agrees(&Pattern::any_edge().then(Pattern::any_edge()), &g);
+        assert_agrees(&Pattern::any_edge().or(Pattern::any_edge_back()), &g);
+        assert_agrees(&Pattern::any_edge().star(), &g);
+        assert_agrees(&Pattern::any_edge().plus(), &g);
+        assert_agrees(&Pattern::any_edge().repeat(1, 2), &g);
+        assert_agrees(&Pattern::any_edge().repeat(2, 3), &g);
+        assert_agrees(&Pattern::any_edge().repeat(0, 0), &g);
+        assert_agrees(
+            &Pattern::node("x")
+                .then(Pattern::any_edge().star())
+                .then(Pattern::node("y")),
+            &g,
+        );
+    }
+
+    #[test]
+    fn agrees_on_local_filters() {
+        let g = chain_with_labels();
+        let labeled_edge = Pattern::edge("t").filter(Condition::has_label("t", "T"));
+        assert_agrees(&labeled_edge, &g);
+        assert_agrees(&labeled_edge.clone().plus(), &g);
+        let labeled_node = Pattern::node("s").filter(Condition::has_label("s", "Start"));
+        assert_agrees(
+            &labeled_node.then(Pattern::any_edge().star()).then(Pattern::any_node()),
+            &g,
+        );
+    }
+
+    #[test]
+    fn agrees_on_nested_filters() {
+        let g = chain_with_labels();
+        let double = Pattern::edge("t")
+            .filter(Condition::has_label("t", "T"))
+            .filter(Condition::has_label("t", "T"));
+        assert_agrees(&double, &g);
+    }
+
+    #[test]
+    fn rejects_non_local_condition() {
+        let p = Pattern::node("x")
+            .then(Pattern::edge("t"))
+            .filter(Condition::prop_eq("x", "k", "t", "k"));
+        assert!(matches!(
+            Nfa::compile(&p),
+            Err(Unsupported::FilterOverNonAtom)
+        ));
+        let p = Pattern::edge("t").filter(Condition::has_label("x", "T"));
+        assert!(matches!(
+            Nfa::compile(&p),
+            Err(Unsupported::NonLocalCondition(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_repeated_variable() {
+        let p = Pattern::node("x").then(Pattern::any_edge()).then(Pattern::node("x"));
+        assert!(matches!(
+            Nfa::compile(&p),
+            Err(Unsupported::RepeatedVariable(_))
+        ));
+        // But reuse across union branches is fine.
+        let p = Pattern::node("x").or(Pattern::node("x"));
+        assert!(Nfa::compile(&p).is_ok());
+    }
+
+    #[test]
+    fn rejects_condition_on_anonymous_atom() {
+        let p = Pattern::any_edge().filter(Condition::has_label("t", "T"));
+        assert!(matches!(
+            Nfa::compile(&p),
+            Err(Unsupported::NonLocalCondition(_)) | Err(Unsupported::ConditionOnAnonymousAtom)
+        ));
+    }
+
+    #[test]
+    fn cycle_reachability() {
+        let mut b = PropertyGraphBuilder::unary();
+        for i in 0..5i64 {
+            b.node1(i).unwrap();
+        }
+        for i in 0..5i64 {
+            b.edge1(100 + i, i, (i + 1) % 5).unwrap();
+        }
+        let g = b.finish();
+        assert_agrees(&Pattern::any_edge().star(), &g);
+        assert_agrees(&Pattern::any_edge().repeat(3, 7), &g);
+        let pairs = try_eval_pairs(&Pattern::any_edge().plus(), &g).unwrap();
+        assert_eq!(pairs.len(), 25); // complete reachability on a cycle
+    }
+}

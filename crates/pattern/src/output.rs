@@ -1,0 +1,405 @@
+//! Output patterns `ψ_Ω` (Figure 1) and their semantics (Figure 2,
+//! Section 2.3.2): the bridge from pattern matching to relations.
+//!
+//! `Ω = (ω1, …, ωn)` with pairwise-distinct `ωi ∈ Vars ∪ {x.k}`. Each
+//! `μ_Ω(ωi)` is a node identifier, an edge identifier, or a property
+//! value; with `N ∪ E ∪ P ⊆ C` the result is a relation.
+//!
+//! With composite (k-ary) identifiers the paper informally also projects
+//! identifier *components* (Example 5.1 outputs `x.bank` where `bank` is
+//! an identifier column, `R6 = ∅`). We make this precise with
+//! [`OutputItem::Component`]; see DESIGN.md deviation note 6.
+
+use crate::ast::{Pattern, PatternError};
+use crate::eval_endpoint::{eval_pattern, MatchSet};
+use pgq_graph::PropertyGraph;
+use pgq_relational::Relation;
+use pgq_value::{Key, Value, Var};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One output element `ω`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OutputItem {
+    /// `ω = x`: the full identifier of `μ(x)` — contributes `k` columns
+    /// on a graph with `k`-ary identifiers (flattened).
+    Var(Var),
+    /// `ω = x.k`: the property value `prop(μ(x), k)`; mappings where the
+    /// property is undefined produce no tuple.
+    Prop(Var, Key),
+    /// `ω = x#i`: the `i`-th component (0-based) of the composite
+    /// identifier `μ(x)` — the Example 5.1 projection.
+    Component(Var, usize),
+}
+
+impl OutputItem {
+    fn var(&self) -> &Var {
+        match self {
+            OutputItem::Var(x) | OutputItem::Prop(x, _) | OutputItem::Component(x, _) => x,
+        }
+    }
+}
+
+impl fmt::Display for OutputItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OutputItem::Var(x) => write!(f, "{x}"),
+            OutputItem::Prop(x, k) => write!(f, "{x}.{k}"),
+            OutputItem::Component(x, i) => write!(f, "{x}#{i}"),
+        }
+    }
+}
+
+/// An output pattern `ψ_Ω`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputPattern {
+    /// The underlying path pattern `ψ`.
+    pub pattern: Pattern,
+    /// The output tuple `Ω` (possibly empty: a Boolean query, like the
+    /// `ψ∅` of Theorem 4.1's alternating-path query).
+    pub items: Vec<OutputItem>,
+}
+
+/// Static violations of the output-pattern side conditions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OutputError {
+    /// The underlying pattern is ill-formed.
+    Pattern(PatternError),
+    /// `ωi = ωj` for `i ≠ j` (Figure 1 requires distinct elements).
+    DuplicateItem(String),
+    /// An output references a variable not free in `ψ` — such an output
+    /// would be vacuously empty, so we reject it statically.
+    VarNotFree(Var),
+    /// A component index at or beyond the graph's identifier arity
+    /// (detected at evaluation time, when the arity is known).
+    ComponentOutOfRange {
+        /// Offending variable.
+        var: Var,
+        /// Requested component.
+        index: usize,
+        /// The graph's identifier arity.
+        id_arity: usize,
+    },
+}
+
+impl fmt::Display for OutputError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OutputError::Pattern(e) => write!(f, "{e}"),
+            OutputError::DuplicateItem(s) => write!(f, "duplicate output element {s}"),
+            OutputError::VarNotFree(v) => {
+                write!(f, "output references {v}, which is not free in the pattern")
+            }
+            OutputError::ComponentOutOfRange {
+                var,
+                index,
+                id_arity,
+            } => write!(
+                f,
+                "component {var}#{index} out of range for identifier arity {id_arity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OutputError {}
+
+impl From<PatternError> for OutputError {
+    fn from(e: PatternError) -> Self {
+        OutputError::Pattern(e)
+    }
+}
+
+impl OutputPattern {
+    /// Builds and statically validates an output pattern.
+    pub fn new(pattern: Pattern, items: Vec<OutputItem>) -> Result<Self, OutputError> {
+        pattern.validate()?;
+        let fv = pattern.free_vars();
+        let mut seen = BTreeSet::new();
+        for item in &items {
+            if !seen.insert(item.clone()) {
+                return Err(OutputError::DuplicateItem(item.to_string()));
+            }
+            if !fv.contains(item.var()) {
+                return Err(OutputError::VarNotFree(item.var().clone()));
+            }
+        }
+        Ok(OutputPattern { pattern, items })
+    }
+
+    /// A Boolean output pattern `ψ∅` (empty `Ω`).
+    pub fn boolean(pattern: Pattern) -> Result<Self, OutputError> {
+        OutputPattern::new(pattern, Vec::new())
+    }
+
+    /// Convenience: output the listed variables.
+    pub fn vars<I, V>(pattern: Pattern, vars: I) -> Result<Self, OutputError>
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Var>,
+    {
+        OutputPattern::new(
+            pattern,
+            vars.into_iter().map(|v| OutputItem::Var(v.into())).collect(),
+        )
+    }
+
+    /// The output arity on a graph with the given identifier arity:
+    /// full-identifier items contribute `id_arity` columns, property and
+    /// component items one each.
+    pub fn output_arity(&self, id_arity: usize) -> usize {
+        self.items
+            .iter()
+            .map(|i| match i {
+                OutputItem::Var(_) => id_arity,
+                OutputItem::Prop(..) | OutputItem::Component(..) => 1,
+            })
+            .sum()
+    }
+
+    /// `⟦ψ_Ω⟧_G` (Figure 2): evaluates the pattern and projects each
+    /// mapping through `Ω`.
+    pub fn eval(&self, g: &PropertyGraph) -> Result<Relation, OutputError> {
+        let matches = eval_pattern(&self.pattern, g)?;
+        self.eval_with(&matches, g)
+    }
+
+    /// Like [`OutputPattern::eval`] but over a precomputed match set
+    /// (used by engines that share pattern results).
+    pub fn eval_with(&self, matches: &MatchSet, g: &PropertyGraph) -> Result<Relation, OutputError> {
+        // Validate component ranges once against the graph's arity.
+        for item in &self.items {
+            if let OutputItem::Component(x, i) = item {
+                if *i >= g.id_arity() {
+                    return Err(OutputError::ComponentOutOfRange {
+                        var: x.clone(),
+                        index: *i,
+                        id_arity: g.id_arity(),
+                    });
+                }
+            }
+        }
+        let arity = self.output_arity(g.id_arity());
+        let mut rel = Relation::empty(arity);
+        'triples: for (_, _, mu) in matches {
+            let mut row: Vec<Value> = Vec::with_capacity(arity);
+            for item in &self.items {
+                match item {
+                    OutputItem::Var(x) => match mu.get(x) {
+                        Some(idv) => row.extend(idv.iter().cloned()),
+                        None => continue 'triples, // μ_Ω undefined
+                    },
+                    OutputItem::Prop(x, k) => {
+                        let Some(idv) = mu.get(x) else { continue 'triples };
+                        match g.prop(idv, k) {
+                            Some(v) => row.push(v.clone()),
+                            None => continue 'triples,
+                        }
+                    }
+                    OutputItem::Component(x, i) => {
+                        let Some(idv) = mu.get(x) else { continue 'triples };
+                        row.push(idv[*i].clone());
+                    }
+                }
+            }
+            rel.insert(row.into()).expect("arity computed above");
+        }
+        Ok(rel)
+    }
+}
+
+impl fmt::Display for OutputPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({})", self.pattern)?;
+        write!(f, "_(")?;
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::Condition;
+    use pgq_graph::PropertyGraphBuilder;
+    use pgq_value::{tuple, Tuple};
+
+    /// Two accounts with IBANs and one labeled transfer between them.
+    fn transfers() -> PropertyGraph {
+        let mut b = PropertyGraphBuilder::unary();
+        b.node1("acc1").unwrap();
+        b.node1("acc2").unwrap();
+        b.prop(Tuple::unary("acc1"), "iban", "IL01").unwrap();
+        b.prop(Tuple::unary("acc2"), "iban", "IL02").unwrap();
+        b.edge1("t1", "acc1", "acc2").unwrap();
+        b.label(Tuple::unary("t1"), "Transfer").unwrap();
+        b.prop(Tuple::unary("t1"), "amount", 500i64).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn var_output_returns_identifiers() {
+        let g = transfers();
+        let p = Pattern::node("x")
+            .then(Pattern::edge("t"))
+            .then(Pattern::node("y"));
+        let out = OutputPattern::vars(p, ["x", "y"]).unwrap();
+        let rel = out.eval(&g).unwrap();
+        assert_eq!(rel.arity(), 2);
+        assert!(rel.contains(&tuple!["acc1", "acc2"]));
+        assert_eq!(rel.len(), 1);
+    }
+
+    #[test]
+    fn prop_output_and_undefined_skipping() {
+        let g = transfers();
+        let p = Pattern::node("x")
+            .then(Pattern::edge("t"))
+            .then(Pattern::node("y"));
+        let out = OutputPattern::new(
+            p.clone(),
+            vec![
+                OutputItem::Prop(Var::new("x"), "iban".into()),
+                OutputItem::Prop(Var::new("y"), "iban".into()),
+            ],
+        )
+        .unwrap();
+        let rel = out.eval(&g).unwrap();
+        assert!(rel.contains(&tuple!["IL01", "IL02"]));
+
+        // Property undefined on every match → empty result, not an error.
+        let out =
+            OutputPattern::new(p, vec![OutputItem::Prop(Var::new("x"), "missing".into())])
+                .unwrap();
+        assert!(out.eval(&g).unwrap().is_empty());
+    }
+
+    #[test]
+    fn boolean_output() {
+        let g = transfers();
+        let yes = OutputPattern::boolean(Pattern::any_edge()).unwrap();
+        assert!(yes.eval(&g).unwrap().as_bool());
+        let no = OutputPattern::boolean(
+            Pattern::any_edge().filter_into("nope"),
+        )
+        .unwrap();
+        assert!(!no.eval(&g).unwrap().as_bool());
+    }
+
+    // Tiny helper so the Boolean test reads naturally.
+    trait FilterInto {
+        fn filter_into(self, label: &str) -> Pattern;
+    }
+    impl FilterInto for Pattern {
+        fn filter_into(self, label: &str) -> Pattern {
+            let v = Var::new("e_");
+            Pattern::Edge(Some(v.clone()), crate::ast::Direction::Forward)
+                .filter(Condition::has_label(v, label))
+        }
+    }
+
+    #[test]
+    fn duplicate_items_rejected() {
+        let p = Pattern::node("x");
+        let err = OutputPattern::vars(p, ["x", "x"]).unwrap_err();
+        assert!(matches!(err, OutputError::DuplicateItem(_)));
+    }
+
+    #[test]
+    fn non_free_vars_rejected() {
+        // x is hidden by the repetition (fv(ψ^{n..m}) = ∅).
+        let p = Pattern::node("x").then(Pattern::any_edge()).repeat(1, 2);
+        let err = OutputPattern::vars(p, ["x"]).unwrap_err();
+        assert!(matches!(err, OutputError::VarNotFree(_)));
+    }
+
+    #[test]
+    fn component_output_on_composite_ids() {
+        // Binary identifiers (bank, branch).
+        let mut b = PropertyGraphBuilder::new(2);
+        b.node(tuple!["hapoalim", 1]).unwrap();
+        b.node(tuple!["leumi", 2]).unwrap();
+        b.edge(tuple!["t", 0], tuple!["hapoalim", 1], tuple!["leumi", 2])
+            .unwrap();
+        let g = b.finish();
+        let p = Pattern::node("x")
+            .then(Pattern::edge("t"))
+            .then(Pattern::node("y"));
+        let out = OutputPattern::new(
+            p.clone(),
+            vec![
+                OutputItem::Component(Var::new("x"), 0),
+                OutputItem::Component(Var::new("y"), 0),
+            ],
+        )
+        .unwrap();
+        let rel = out.eval(&g).unwrap();
+        assert!(rel.contains(&tuple!["hapoalim", "leumi"]));
+
+        // Out-of-range component is a typed error.
+        let out = OutputPattern::new(
+            p.clone(),
+            vec![OutputItem::Component(Var::new("x"), 5)],
+        )
+        .unwrap();
+        assert!(matches!(
+            out.eval(&g).unwrap_err(),
+            OutputError::ComponentOutOfRange { .. }
+        ));
+
+        // Full-identifier output flattens to 2 columns per variable.
+        let out = OutputPattern::vars(p, ["x", "y"]).unwrap();
+        let rel = out.eval(&g).unwrap();
+        assert_eq!(rel.arity(), 4);
+        assert!(rel.contains(&tuple!["hapoalim", 1, "leumi", 2]));
+    }
+
+    #[test]
+    fn output_arity_accounting() {
+        let p = Pattern::node("x").then(Pattern::edge("t")).then(Pattern::node("y"));
+        let out = OutputPattern::new(
+            p,
+            vec![
+                OutputItem::Var(Var::new("x")),
+                OutputItem::Prop(Var::new("t"), "amount".into()),
+                OutputItem::Component(Var::new("y"), 0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.output_arity(1), 3);
+        assert_eq!(out.output_arity(3), 5);
+    }
+
+    #[test]
+    fn example_2_1_shape() {
+        // ((x) (-t->⟨Transfer(t) ∧ t.amount>100⟩)^{1..∞} (y))_{x.iban, y.iban}
+        let g = transfers();
+        let step = Pattern::edge("t").filter(
+            Condition::has_label("t", "Transfer").and(Condition::prop_cmp(
+                "t",
+                "amount",
+                pgq_relational::CmpOp::Gt,
+                100i64,
+            )),
+        );
+        let p = Pattern::node("x")
+            .then(step.repeat_at_least(1))
+            .then(Pattern::node("y"));
+        let out = OutputPattern::new(
+            p,
+            vec![
+                OutputItem::Prop(Var::new("x"), "iban".into()),
+                OutputItem::Prop(Var::new("y"), "iban".into()),
+            ],
+        )
+        .unwrap();
+        let rel = out.eval(&g).unwrap();
+        assert_eq!(rel.len(), 1);
+        assert!(rel.contains(&tuple!["IL01", "IL02"]));
+    }
+}

@@ -1,0 +1,283 @@
+//! Relational algebra expressions — the `RA` fragment of Proposition 9.2:
+//! `PGQro` with the pattern-matching construct removed.
+//!
+//! The core PGQ query language (crate `pgq-core`) embeds these operators
+//! in its own AST per Figure 3; this standalone AST exists so substrates
+//! (the E9 template enumerator, Proposition 9.2's rewriting, internal
+//! machinery of the translations) can build and evaluate plain relational
+//! queries without depending on the pattern layer.
+
+use crate::{Database, RelError, RelName, RelResult, Relation, RowCondition};
+use pgq_value::Tuple;
+use std::fmt;
+
+/// A relational algebra expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RaExpr {
+    /// A stored relation `R`.
+    Rel(RelName),
+    /// A constant singleton relation `{t̄}`. With `t̄` of arity 1 this is
+    /// the `c` constant query that `PGQrw` adds (Figure 3); higher arities
+    /// are an engine convenience.
+    Singleton(Tuple),
+    /// The active domain `adom(D)` as a unary relation (`Q_A` in the
+    /// proof of Theorem 6.2). Not part of the paper's core grammar, but
+    /// definable in it as the finite union of projections of all schema
+    /// relations; we provide it natively so expressions stay
+    /// schema-independent.
+    ActiveDomain,
+    /// `π_{$i1,…,$ik}(Q)` with 0-based positions.
+    Project(Vec<usize>, Box<RaExpr>),
+    /// `σ_θ(Q)`.
+    Select(RowCondition, Box<RaExpr>),
+    /// `Q × Q′`.
+    Product(Box<RaExpr>, Box<RaExpr>),
+    /// `Q ∪ Q′`.
+    Union(Box<RaExpr>, Box<RaExpr>),
+    /// `Q − Q′`.
+    Diff(Box<RaExpr>, Box<RaExpr>),
+}
+
+impl RaExpr {
+    /// A stored relation reference.
+    pub fn rel(name: impl Into<RelName>) -> Self {
+        RaExpr::Rel(name.into())
+    }
+
+    /// Projection (builder).
+    pub fn project(self, positions: impl Into<Vec<usize>>) -> Self {
+        RaExpr::Project(positions.into(), Box::new(self))
+    }
+
+    /// Selection (builder).
+    pub fn select(self, cond: RowCondition) -> Self {
+        RaExpr::Select(cond, Box::new(self))
+    }
+
+    /// Product (builder).
+    pub fn product(self, other: RaExpr) -> Self {
+        RaExpr::Product(Box::new(self), Box::new(other))
+    }
+
+    /// Union (builder).
+    pub fn union(self, other: RaExpr) -> Self {
+        RaExpr::Union(Box::new(self), Box::new(other))
+    }
+
+    /// Difference (builder).
+    pub fn diff(self, other: RaExpr) -> Self {
+        RaExpr::Diff(Box::new(self), Box::new(other))
+    }
+
+    /// Derived intersection `Q ∩ Q′ = Q − (Q − Q′)`.
+    pub fn intersect(self, other: RaExpr) -> Self {
+        self.clone().diff(self.diff(other))
+    }
+
+    /// Evaluates the expression on a database instance.
+    pub fn eval(&self, db: &Database) -> RelResult<Relation> {
+        match self {
+            RaExpr::Rel(name) => db.get_required(name).cloned(),
+            RaExpr::Singleton(t) => {
+                let mut r = Relation::empty(t.arity());
+                r.insert(t.clone())?;
+                Ok(r)
+            }
+            RaExpr::ActiveDomain => Ok(db.active_domain_relation()),
+            RaExpr::Project(pos, q) => q.eval(db)?.project(pos),
+            RaExpr::Select(cond, q) => {
+                let rel = q.eval(db)?;
+                if let Some(max) = cond.max_position() {
+                    if max >= rel.arity() {
+                        return Err(RelError::PositionOutOfRange {
+                            position: max,
+                            arity: rel.arity(),
+                        });
+                    }
+                }
+                // Positions were validated against the arity above, so
+                // per-row evaluation cannot fail.
+                Ok(rel.select(|t| cond.eval(t).unwrap_or(false)))
+            }
+            RaExpr::Product(a, b) => Ok(a.eval(db)?.product(&b.eval(db)?)),
+            RaExpr::Union(a, b) => a.eval(db)?.union(&b.eval(db)?),
+            RaExpr::Diff(a, b) => a.eval(db)?.difference(&b.eval(db)?),
+        }
+    }
+
+    /// Static arity of the expression under a schema, checking internal
+    /// consistency (the "well-typedness" of Figure 3 expressions).
+    pub fn arity(&self, schema: &crate::Schema) -> RelResult<usize> {
+        match self {
+            RaExpr::Rel(name) => schema
+                .arity_of(name)
+                .ok_or_else(|| RelError::UnknownRelation(name.clone())),
+            RaExpr::Singleton(t) => Ok(t.arity()),
+            RaExpr::ActiveDomain => Ok(1),
+            RaExpr::Project(pos, q) => {
+                let a = q.arity(schema)?;
+                for &p in pos {
+                    if p >= a {
+                        return Err(RelError::PositionOutOfRange {
+                            position: p,
+                            arity: a,
+                        });
+                    }
+                }
+                Ok(pos.len())
+            }
+            RaExpr::Select(cond, q) => {
+                let a = q.arity(schema)?;
+                if let Some(max) = cond.max_position() {
+                    if max >= a {
+                        return Err(RelError::PositionOutOfRange {
+                            position: max,
+                            arity: a,
+                        });
+                    }
+                }
+                Ok(a)
+            }
+            RaExpr::Product(a, b) => Ok(a.arity(schema)? + b.arity(schema)?),
+            RaExpr::Union(a, b) | RaExpr::Diff(a, b) => {
+                let (la, ra) = (a.arity(schema)?, b.arity(schema)?);
+                if la != ra {
+                    return Err(RelError::IncompatibleArities {
+                        op: "union/difference",
+                        left: la,
+                        right: ra,
+                    });
+                }
+                Ok(la)
+            }
+        }
+    }
+
+    /// Number of AST nodes (used as the size measure by the E9 bounded
+    /// template search).
+    pub fn size(&self) -> usize {
+        match self {
+            RaExpr::Rel(_) | RaExpr::Singleton(_) | RaExpr::ActiveDomain => 1,
+            RaExpr::Project(_, q) | RaExpr::Select(_, q) => 1 + q.size(),
+            RaExpr::Product(a, b) | RaExpr::Union(a, b) | RaExpr::Diff(a, b) => {
+                1 + a.size() + b.size()
+            }
+        }
+    }
+}
+
+impl fmt::Display for RaExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaExpr::Rel(n) => write!(f, "{n}"),
+            RaExpr::Singleton(t) => write!(f, "{{{t}}}"),
+            RaExpr::ActiveDomain => write!(f, "adom"),
+            RaExpr::Project(pos, q) => {
+                write!(f, "π[")?;
+                for (i, p) in pos.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "${}", p + 1)?;
+                }
+                write!(f, "]({q})")
+            }
+            RaExpr::Select(c, q) => write!(f, "σ[{c}]({q})"),
+            RaExpr::Product(a, b) => write!(f, "({a} × {b})"),
+            RaExpr::Union(a, b) => write!(f, "({a} ∪ {b})"),
+            RaExpr::Diff(a, b) => write!(f, "({a} − {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Schema;
+    use pgq_value::tuple;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.insert("R", tuple![1, 10]).unwrap();
+        db.insert("R", tuple![2, 20]).unwrap();
+        db.insert("S", tuple![10]).unwrap();
+        db
+    }
+
+    #[test]
+    fn eval_relation_and_singleton() {
+        let d = db();
+        assert_eq!(RaExpr::rel("R").eval(&d).unwrap().len(), 2);
+        assert!(RaExpr::rel("T").eval(&d).is_err());
+        let s = RaExpr::Singleton(tuple![5]).eval(&d).unwrap();
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn eval_project_select() {
+        let d = db();
+        let q = RaExpr::rel("R").project(vec![1]);
+        assert_eq!(q.eval(&d).unwrap(), Relation::unary([10i64, 20]));
+        let q = RaExpr::rel("R").select(RowCondition::col_eq_const(0, 1));
+        assert_eq!(q.eval(&d).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn select_validates_positions_statically() {
+        let d = db();
+        let q = RaExpr::rel("R").select(RowCondition::col_eq(0, 7));
+        assert!(q.eval(&d).is_err());
+    }
+
+    #[test]
+    fn eval_set_ops() {
+        let d = db();
+        let r1 = RaExpr::rel("R").project(vec![1]);
+        let q = r1.clone().union(RaExpr::rel("S"));
+        assert_eq!(q.eval(&d).unwrap().len(), 2);
+        let q = r1.clone().diff(RaExpr::rel("S"));
+        assert_eq!(q.eval(&d).unwrap(), Relation::unary([20i64]));
+        let q = r1.intersect(RaExpr::rel("S"));
+        assert_eq!(q.eval(&d).unwrap(), Relation::unary([10i64]));
+    }
+
+    #[test]
+    fn eval_product_and_adom() {
+        let d = db();
+        let q = RaExpr::rel("S").product(RaExpr::rel("S"));
+        assert_eq!(q.eval(&d).unwrap().arity(), 2);
+        let adom = RaExpr::ActiveDomain.eval(&d).unwrap();
+        assert_eq!(adom.len(), 4); // 1, 2, 10, 20 (10 from S deduped)
+    }
+
+    #[test]
+    fn static_arity_checks() {
+        let schema = Schema::new().with("R", 2).with("S", 1);
+        assert_eq!(RaExpr::rel("R").arity(&schema).unwrap(), 2);
+        assert_eq!(
+            RaExpr::rel("R").project(vec![0]).arity(&schema).unwrap(),
+            1
+        );
+        assert!(RaExpr::rel("R").project(vec![2]).arity(&schema).is_err());
+        assert!(RaExpr::rel("R")
+            .union(RaExpr::rel("S"))
+            .arity(&schema)
+            .is_err());
+        assert!(RaExpr::rel("X").arity(&schema).is_err());
+        assert_eq!(RaExpr::ActiveDomain.arity(&schema).unwrap(), 1);
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let q = RaExpr::rel("R").project(vec![0]).select(RowCondition::True);
+        assert_eq!(q.size(), 3);
+    }
+
+    #[test]
+    fn display_round_trips_shape() {
+        let q = RaExpr::rel("R")
+            .select(RowCondition::col_eq(0, 1))
+            .project(vec![0]);
+        assert_eq!(q.to_string(), "π[$1](σ[$1 = $2](R))");
+    }
+}

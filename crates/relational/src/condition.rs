@@ -1,0 +1,275 @@
+//! Row conditions `θ` for selections (Figure 3).
+//!
+//! The formal grammar of `PGQro` selection conditions is
+//! `θ := $i1 = $i2 | ¬θ | θ ∨ θ | θ ∧ θ` over tuple positions.
+//! The SQL/PGQ surface language additionally compares against constants
+//! and uses order comparisons; those are provided as clearly-flagged
+//! extensions ([`RowCondition::is_core`] distinguishes them), matching
+//! deviation note 3 in DESIGN.md.
+
+use crate::{RelError, RelResult};
+use pgq_value::{Tuple, Value};
+use std::fmt;
+
+/// One side of a comparison: a 0-based tuple position or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Operand {
+    /// `$i` (0-based; the paper counts from 1).
+    Col(usize),
+    /// A constant — an *extension* of the formal core.
+    Const(Value),
+}
+
+impl Operand {
+    fn eval<'a>(&'a self, t: &'a Tuple) -> RelResult<&'a Value> {
+        match self {
+            Operand::Col(i) => t.get(*i).ok_or(RelError::PositionOutOfRange {
+                position: *i,
+                arity: t.arity(),
+            }),
+            Operand::Const(v) => Ok(v),
+        }
+    }
+}
+
+/// Comparison operators. Only `Eq` belongs to the formal core grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>` (extension; expressible as `¬(=)` but convenient).
+    Ne,
+    /// `<` (extension; uses the total value order).
+    Lt,
+    /// `<=` (extension).
+    Le,
+    /// `>` (extension).
+    Gt,
+    /// `>=` (extension).
+    Ge,
+}
+
+impl CmpOp {
+    fn apply(self, a: &Value, b: &Value) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A selection condition over one tuple.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RowCondition {
+    /// A comparison between two operands.
+    Cmp(Operand, CmpOp, Operand),
+    /// `¬θ`
+    Not(Box<RowCondition>),
+    /// `θ ∧ θ′`
+    And(Box<RowCondition>, Box<RowCondition>),
+    /// `θ ∨ θ′`
+    Or(Box<RowCondition>, Box<RowCondition>),
+    /// Constant truth (neutral element for [`RowCondition::and_all`]).
+    True,
+}
+
+impl RowCondition {
+    /// The core-grammar condition `$i = $j` (0-based).
+    pub fn col_eq(i: usize, j: usize) -> Self {
+        RowCondition::Cmp(Operand::Col(i), CmpOp::Eq, Operand::Col(j))
+    }
+
+    /// Extension: `$i = c`.
+    pub fn col_eq_const(i: usize, v: impl Into<Value>) -> Self {
+        RowCondition::Cmp(Operand::Col(i), CmpOp::Eq, Operand::Const(v.into()))
+    }
+
+    /// Extension: `$i op c`.
+    pub fn col_cmp_const(i: usize, op: CmpOp, v: impl Into<Value>) -> Self {
+        RowCondition::Cmp(Operand::Col(i), op, Operand::Const(v.into()))
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        RowCondition::Not(Box::new(self))
+    }
+
+    /// Conjunction.
+    pub fn and(self, other: RowCondition) -> Self {
+        RowCondition::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction.
+    pub fn or(self, other: RowCondition) -> Self {
+        RowCondition::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Conjunction of a sequence (empty ⇒ `True`).
+    pub fn and_all<I: IntoIterator<Item = RowCondition>>(conds: I) -> Self {
+        let mut iter = conds.into_iter();
+        match iter.next() {
+            None => RowCondition::True,
+            Some(first) => iter.fold(first, |acc, c| acc.and(c)),
+        }
+    }
+
+    /// Whether the condition stays within the formal core grammar of
+    /// Figure 3 (`$i=$j` and Boolean combinations; `True` counts as the
+    /// empty conjunction).
+    pub fn is_core(&self) -> bool {
+        match self {
+            RowCondition::Cmp(Operand::Col(_), CmpOp::Eq, Operand::Col(_)) => true,
+            RowCondition::Cmp(..) => false,
+            RowCondition::Not(c) => c.is_core(),
+            RowCondition::And(a, b) | RowCondition::Or(a, b) => a.is_core() && b.is_core(),
+            RowCondition::True => true,
+        }
+    }
+
+    /// Evaluates `t̄ ⊨ θ` (Figure 4). Out-of-range positions are errors,
+    /// mirroring the side condition `1 ≤ i, i′ ≤ n` in the paper.
+    pub fn eval(&self, t: &Tuple) -> RelResult<bool> {
+        match self {
+            RowCondition::Cmp(a, op, b) => Ok(op.apply(a.eval(t)?, b.eval(t)?)),
+            RowCondition::Not(c) => Ok(!c.eval(t)?),
+            RowCondition::And(a, b) => Ok(a.eval(t)? && b.eval(t)?),
+            RowCondition::Or(a, b) => Ok(a.eval(t)? || b.eval(t)?),
+            RowCondition::True => Ok(true),
+        }
+    }
+
+    /// Largest position referenced, used for static validation.
+    pub fn max_position(&self) -> Option<usize> {
+        match self {
+            RowCondition::Cmp(a, _, b) => {
+                let pa = match a {
+                    Operand::Col(i) => Some(*i),
+                    Operand::Const(_) => None,
+                };
+                let pb = match b {
+                    Operand::Col(i) => Some(*i),
+                    Operand::Const(_) => None,
+                };
+                pa.into_iter().chain(pb).max()
+            }
+            RowCondition::Not(c) => c.max_position(),
+            RowCondition::And(a, b) | RowCondition::Or(a, b) => {
+                a.max_position().into_iter().chain(b.max_position()).max()
+            }
+            RowCondition::True => None,
+        }
+    }
+}
+
+impl fmt::Display for RowCondition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RowCondition::Cmp(a, op, b) => {
+                let fmt_op = |f: &mut fmt::Formatter<'_>, o: &Operand| match o {
+                    Operand::Col(i) => write!(f, "${}", i + 1),
+                    Operand::Const(v) => write!(f, "{v}"),
+                };
+                fmt_op(f, a)?;
+                write!(f, " {op} ")?;
+                fmt_op(f, b)
+            }
+            RowCondition::Not(c) => write!(f, "¬({c})"),
+            RowCondition::And(a, b) => write!(f, "({a} ∧ {b})"),
+            RowCondition::Or(a, b) => write!(f, "({a} ∨ {b})"),
+            RowCondition::True => write!(f, "⊤"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_value::tuple;
+
+    #[test]
+    fn core_equality() {
+        let c = RowCondition::col_eq(0, 1);
+        assert!(c.eval(&tuple![1, 1]).unwrap());
+        assert!(!c.eval(&tuple![1, 2]).unwrap());
+        assert!(c.is_core());
+    }
+
+    #[test]
+    fn out_of_range_is_error() {
+        let c = RowCondition::col_eq(0, 5);
+        assert!(c.eval(&tuple![1, 2]).is_err());
+    }
+
+    #[test]
+    fn boolean_combinations() {
+        let c = RowCondition::col_eq(0, 1)
+            .not()
+            .and(RowCondition::col_eq(1, 1));
+        assert!(c.eval(&tuple![1, 2]).unwrap());
+        assert!(!c.eval(&tuple![1, 1]).unwrap());
+        let d = RowCondition::col_eq(0, 0).or(RowCondition::col_eq(0, 9));
+        // Or short-circuits before touching the bad position.
+        assert!(d.eval(&tuple![1]).unwrap());
+    }
+
+    #[test]
+    fn extensions_flagged_non_core() {
+        assert!(!RowCondition::col_eq_const(0, 5).is_core());
+        assert!(!RowCondition::col_cmp_const(0, CmpOp::Gt, 100).is_core());
+        assert!(RowCondition::True.is_core());
+        assert!(RowCondition::col_eq(0, 1).not().is_core());
+    }
+
+    #[test]
+    fn const_comparisons() {
+        let c = RowCondition::col_cmp_const(1, CmpOp::Gt, 100);
+        assert!(c.eval(&tuple![0, 150]).unwrap());
+        assert!(!c.eval(&tuple![0, 100]).unwrap());
+        let ops = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+        let expected = [false, true, true, true, false, false];
+        for (op, exp) in ops.iter().zip(expected) {
+            let c = RowCondition::col_cmp_const(0, *op, 10);
+            assert_eq!(c.eval(&tuple![5]).unwrap(), exp, "{op}");
+        }
+    }
+
+    #[test]
+    fn and_all_with_empty_is_true() {
+        assert_eq!(RowCondition::and_all([]), RowCondition::True);
+        assert!(RowCondition::True.eval(&tuple![]).unwrap());
+        let c = RowCondition::and_all([RowCondition::col_eq(0, 1), RowCondition::col_eq(1, 2)]);
+        assert!(c.eval(&tuple![3, 3, 3]).unwrap());
+        assert!(!c.eval(&tuple![3, 3, 4]).unwrap());
+    }
+
+    #[test]
+    fn max_position() {
+        let c = RowCondition::col_eq(0, 4).or(RowCondition::col_eq_const(2, 7));
+        assert_eq!(c.max_position(), Some(4));
+        assert_eq!(RowCondition::True.max_position(), None);
+    }
+
+    #[test]
+    fn display_is_one_based_like_the_paper() {
+        assert_eq!(RowCondition::col_eq(0, 1).to_string(), "$1 = $2");
+    }
+}

@@ -1,0 +1,208 @@
+//! Database instances (Section 2.1) and active domains.
+
+use crate::{RelError, RelName, RelResult, Relation, Schema};
+use pgq_value::{Tuple, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A database instance `D` over a schema `S`: an assignment of a finite
+/// relation to each relation name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Database {
+    relations: BTreeMap<RelName, Relation>,
+}
+
+impl Database {
+    /// The empty instance.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Inserts (or replaces) a relation under `name`.
+    pub fn add_relation(&mut self, name: impl Into<RelName>, rel: Relation) -> &mut Self {
+        self.relations.insert(name.into(), rel);
+        self
+    }
+
+    /// Builder-style [`Database::add_relation`].
+    pub fn with_relation(mut self, name: impl Into<RelName>, rel: Relation) -> Self {
+        self.add_relation(name, rel);
+        self
+    }
+
+    /// Looks up `R^D`.
+    pub fn get(&self, name: &RelName) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Looks up `R^D`, raising a typed error when absent.
+    pub fn get_required(&self, name: &RelName) -> RelResult<&Relation> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| RelError::UnknownRelation(name.clone()))
+    }
+
+    /// Inserts a single tuple into relation `name`, creating the relation
+    /// with the tuple's arity if it does not exist yet.
+    pub fn insert(&mut self, name: impl Into<RelName>, t: Tuple) -> RelResult<bool> {
+        let name = name.into();
+        let arity = t.arity();
+        self.relations
+            .entry(name)
+            .or_insert_with(|| Relation::empty(arity))
+            .insert(t)
+    }
+
+    /// Iterates over `(name, relation)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&RelName, &Relation)> {
+        self.relations.iter()
+    }
+
+    /// Number of relations stored.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether no relations are stored.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// The active domain `adom(D)`: all constants appearing in `D`
+    /// (Section 2.1), in the fixed value order. FO quantifiers and the
+    /// complements used by the FO→PGQ translation range over this set.
+    pub fn active_domain(&self) -> BTreeSet<Value> {
+        let mut dom = BTreeSet::new();
+        for rel in self.relations.values() {
+            rel.collect_adom(&mut dom);
+        }
+        dom
+    }
+
+    /// The active domain as a unary [`Relation`] — the query `Q_A` used
+    /// as the base of complements in Theorem 6.2's translation.
+    pub fn active_domain_relation(&self) -> Relation {
+        Relation::unary(self.active_domain())
+    }
+
+    /// `adom(D)^k` as a relation — `A^(k)` in Theorem 6.2.
+    pub fn active_domain_power(&self, k: usize) -> Relation {
+        let adom = self.active_domain_relation();
+        let mut acc = Relation::r#true();
+        for _ in 0..k {
+            acc = acc.product(&adom);
+        }
+        acc
+    }
+
+    /// The schema induced by the stored relations.
+    pub fn schema(&self) -> Schema {
+        let mut s = Schema::new();
+        for (name, rel) in &self.relations {
+            if rel.arity() > 0 {
+                s.add(name.clone(), rel.arity());
+            }
+        }
+        s
+    }
+
+    /// Checks this instance against a declared schema: every declared
+    /// relation must be present with the declared arity.
+    pub fn conforms_to(&self, schema: &Schema) -> RelResult<()> {
+        for (name, arity) in schema.iter() {
+            let rel = self.get_required(name)?;
+            if rel.arity() != arity {
+                return Err(RelError::ArityMismatch {
+                    context: "schema conformance",
+                    expected: arity,
+                    found: rel.arity(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of tuples across all relations (the size measure `|D|`
+    /// used in the data-complexity experiments).
+    pub fn tuple_count(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, rel) in &self.relations {
+            writeln!(f, "{name} {rel}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_value::tuple;
+
+    #[test]
+    fn insert_creates_relation() {
+        let mut db = Database::new();
+        assert!(db.insert("R", tuple![1, 2]).unwrap());
+        assert!(!db.insert("R", tuple![1, 2]).unwrap());
+        assert!(db.insert("R", tuple![1]).is_err());
+        assert_eq!(db.get(&"R".into()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn get_required_errors_on_missing() {
+        let db = Database::new();
+        assert_eq!(
+            db.get_required(&"Nope".into()),
+            Err(RelError::UnknownRelation("Nope".into()))
+        );
+    }
+
+    #[test]
+    fn active_domain_spans_all_relations() {
+        let mut db = Database::new();
+        db.insert("R", tuple![1, "a"]).unwrap();
+        db.insert("S", tuple![true]).unwrap();
+        let dom = db.active_domain();
+        assert_eq!(dom.len(), 3);
+        assert!(dom.contains(&Value::str("a")));
+        assert_eq!(db.active_domain_relation().arity(), 1);
+    }
+
+    #[test]
+    fn active_domain_power() {
+        let mut db = Database::new();
+        db.insert("R", tuple![1]).unwrap();
+        db.insert("R", tuple![2]).unwrap();
+        let sq = db.active_domain_power(2);
+        assert_eq!(sq.arity(), 2);
+        assert_eq!(sq.len(), 4);
+        assert_eq!(db.active_domain_power(0), Relation::r#true());
+    }
+
+    #[test]
+    fn schema_and_conformance() {
+        let mut db = Database::new();
+        db.insert("R", tuple![1, 2]).unwrap();
+        let schema = db.schema();
+        assert_eq!(schema.arity_of(&"R".into()), Some(2));
+        assert!(db.conforms_to(&schema).is_ok());
+
+        let wrong = Schema::new().with("R", 3);
+        assert!(db.conforms_to(&wrong).is_err());
+        let missing = Schema::new().with("S", 1);
+        assert!(db.conforms_to(&missing).is_err());
+    }
+
+    #[test]
+    fn tuple_count_sums() {
+        let mut db = Database::new();
+        db.insert("R", tuple![1]).unwrap();
+        db.insert("R", tuple![2]).unwrap();
+        db.insert("S", tuple![1, 2]).unwrap();
+        assert_eq!(db.tuple_count(), 3);
+    }
+}

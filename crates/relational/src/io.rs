@@ -1,0 +1,227 @@
+//! A plain-text interchange format for database instances, used by the
+//! examples and handy for debugging:
+//!
+//! ```text
+//! # comment
+//! Account(1): "IL01"
+//! Transfer(5): 1, "IL01", "IL02", 1000, 250
+//! ```
+//!
+//! One header line `Name(arity):` may be followed by inline row values;
+//! further `Name: v1, v2, …` lines append rows. Values are integers,
+//! `true`/`false`, or double-quoted strings (with `\"` and `\\`
+//! escapes). Dump → load is the identity (property-tested in `lib.rs`).
+
+use crate::{Database, RelName, Relation};
+use pgq_value::{Tuple, Value};
+use std::fmt::Write as _;
+
+/// Serializes a database in the text format (relations and rows in
+/// deterministic order).
+pub fn dump(db: &Database) -> String {
+    let mut out = String::new();
+    for (name, rel) in db.iter() {
+        let _ = writeln!(out, "{name}({}):", rel.arity());
+        for row in rel.iter() {
+            let cells: Vec<String> = row.iter().map(render_value).collect();
+            let _ = writeln!(out, "{name}: {}", cells.join(", "));
+        }
+    }
+    out
+}
+
+fn render_value(v: &Value) -> String {
+    match v {
+        Value::Int(i) => i.to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Str(s) => {
+            let escaped = s.replace('\\', "\\\\").replace('"', "\\\"");
+            format!("\"{escaped}\"")
+        }
+    }
+}
+
+/// Errors from [`load`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Parses the text format back into a database.
+pub fn load(text: &str) -> Result<Database, LoadError> {
+    let mut db = Database::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = idx + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |message: String| LoadError {
+            line: lineno,
+            message,
+        };
+        let colon = line
+            .find(':')
+            .ok_or_else(|| err("expected `Name(arity):` or `Name: values`".into()))?;
+        let (head, rest) = line.split_at(colon);
+        let rest = &rest[1..];
+        if let Some(open) = head.find('(') {
+            // Declaration: Name(arity):
+            let name = head[..open].trim();
+            let arity_text = head[open + 1..]
+                .trim_end_matches(')')
+                .trim();
+            let arity: usize = arity_text
+                .parse()
+                .map_err(|_| err(format!("bad arity {arity_text:?}")))?;
+            db.add_relation(name, Relation::empty(arity));
+            if !rest.trim().is_empty() {
+                return Err(err("declaration lines take no inline values".into()));
+            }
+        } else {
+            // Row: Name: v1, v2, …
+            let name: RelName = head.trim().into();
+            let values = parse_values(rest).map_err(&err)?;
+            db.insert(name, Tuple::new(values))
+                .map_err(|e| err(e.to_string()))?;
+        }
+    }
+    Ok(db)
+}
+
+fn parse_values(text: &str) -> Result<Vec<Value>, String> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0usize;
+    loop {
+        while i < bytes.len() && (bytes[i] as char).is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            break;
+        }
+        match bytes[i] as char {
+            '"' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i).map(|&b| b as char) {
+                        None => return Err("unterminated string".into()),
+                        Some('"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some('\\') => {
+                            match bytes.get(i + 1).map(|&b| b as char) {
+                                Some('"') => s.push('"'),
+                                Some('\\') => s.push('\\'),
+                                other => {
+                                    return Err(format!("bad escape {other:?}"));
+                                }
+                            }
+                            i += 2;
+                        }
+                        Some(c) => {
+                            s.push(c);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Value::Str(s));
+            }
+            _ => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b',' {
+                    i += 1;
+                }
+                let token = text[start..i].trim();
+                if token.eq_ignore_ascii_case("true") {
+                    out.push(Value::Bool(true));
+                } else if token.eq_ignore_ascii_case("false") {
+                    out.push(Value::Bool(false));
+                } else {
+                    let n: i64 = token
+                        .parse()
+                        .map_err(|_| format!("bad literal {token:?}"))?;
+                    out.push(Value::Int(n));
+                }
+            }
+        }
+        // Skip to the next comma.
+        while i < bytes.len() && (bytes[i] as char).is_ascii_whitespace() {
+            i += 1;
+        }
+        if i < bytes.len() {
+            if bytes[i] != b',' {
+                return Err(format!("expected `,` at byte {i}"));
+            }
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_value::tuple;
+
+    #[test]
+    fn dump_then_load_is_identity() {
+        let mut db = Database::new();
+        db.add_relation("Empty", Relation::empty(2));
+        db.insert("R", tuple![1, "a b", true]).unwrap();
+        db.insert("R", tuple![-5, "quote\" and \\slash", false])
+            .unwrap();
+        db.insert("S", tuple!["x"]).unwrap();
+        let text = dump(&db);
+        let back = load(&text).unwrap();
+        assert_eq!(back, db);
+    }
+
+    #[test]
+    fn declarations_preserve_empty_relations() {
+        let db = load("Empty(3):\n").unwrap();
+        assert_eq!(db.get(&"Empty".into()).unwrap().arity(), 3);
+        assert!(db.get(&"Empty".into()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skip() {
+        let db = load("# header\n\nR: 1, 2\n").unwrap();
+        assert_eq!(db.get(&"R".into()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = load("R 1 2").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = load("R: 1\nR: \"unterminated").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = load("R(x):").unwrap_err();
+        assert!(e.message.contains("bad arity"));
+        let e = load("R: banana").unwrap_err();
+        assert!(e.message.contains("bad literal"));
+        // Arity mismatch across rows.
+        let e = load("R: 1, 2\nR: 1").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let mut db = Database::new();
+        db.insert("R", tuple!["\\", "\"", "a,b"]).unwrap();
+        assert_eq!(load(&dump(&db)).unwrap(), db);
+    }
+}

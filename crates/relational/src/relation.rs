@@ -1,0 +1,444 @@
+//! Finite relations over the ordered domain (Section 2.1).
+//!
+//! A relation is a finite *set* of equal-arity tuples. Tuples live in a
+//! `BTreeSet`, which gives set semantics, deterministic iteration order,
+//! and — together with the total order on [`Value`] — the *ordered
+//! structures* assumption of Remark 2.1 for free.
+
+use crate::{RelError, RelResult};
+use pgq_value::{Tuple, Value};
+use std::collections::{BTreeSet, HashSet};
+use std::fmt;
+
+/// A finite set of tuples of a fixed arity.
+///
+/// The empty relation at any arity is representable; arity 0 is permitted
+/// for *internal* results (a Boolean query result is a 0-ary relation that
+/// is either `{()}` = true or `{}` = false), although schema-declared
+/// relations are positive-arity.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Relation {
+    arity: usize,
+    tuples: BTreeSet<Tuple>,
+}
+
+impl Relation {
+    /// The empty relation of the given arity.
+    pub fn empty(arity: usize) -> Self {
+        Relation {
+            arity,
+            tuples: BTreeSet::new(),
+        }
+    }
+
+    /// The 0-ary relation `{()}` (Boolean *true*).
+    pub fn r#true() -> Self {
+        let mut r = Relation::empty(0);
+        r.tuples.insert(Tuple::empty());
+        r
+    }
+
+    /// The 0-ary empty relation (Boolean *false*).
+    pub fn r#false() -> Self {
+        Relation::empty(0)
+    }
+
+    /// Builds a relation from rows, checking that every row has `arity`.
+    pub fn from_rows<I>(arity: usize, rows: I) -> RelResult<Self>
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        let mut r = Relation::empty(arity);
+        for t in rows {
+            r.insert(t)?;
+        }
+        Ok(r)
+    }
+
+    /// Builds a unary relation from values.
+    pub fn unary<I, V>(values: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        let tuples = values
+            .into_iter()
+            .map(|v| Tuple::unary(v.into()))
+            .collect();
+        Relation { arity: 1, tuples }
+    }
+
+    /// The relation's arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Interpreting a 0-or-more-ary relation as a Boolean: non-empty = true.
+    pub fn as_bool(&self) -> bool {
+        !self.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Inserts a tuple, checking its arity.
+    pub fn insert(&mut self, t: Tuple) -> RelResult<bool> {
+        if t.arity() != self.arity {
+            return Err(RelError::ArityMismatch {
+                context: "relation insert",
+                expected: self.arity,
+                found: t.arity(),
+            });
+        }
+        Ok(self.tuples.insert(t))
+    }
+
+    /// Iterates over tuples in deterministic (lexicographic) order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.tuples.iter()
+    }
+
+    /// Consumes into the underlying tuple set.
+    pub fn into_tuples(self) -> BTreeSet<Tuple> {
+        self.tuples
+    }
+
+    /// Set union `Q ∪ Q′` (Figure 4). Arities must agree.
+    pub fn union(&self, other: &Relation) -> RelResult<Relation> {
+        self.check_compatible("union", other)?;
+        let mut tuples = self.tuples.clone();
+        tuples.extend(other.tuples.iter().cloned());
+        Ok(Relation {
+            arity: self.arity,
+            tuples,
+        })
+    }
+
+    /// Set difference `Q − Q′` (Figure 4).
+    pub fn difference(&self, other: &Relation) -> RelResult<Relation> {
+        self.check_compatible("difference", other)?;
+        Ok(Relation {
+            arity: self.arity,
+            tuples: self.tuples.difference(&other.tuples).cloned().collect(),
+        })
+    }
+
+    /// Set intersection (derived: `Q ∩ Q′ = Q − (Q − Q′)`), provided
+    /// directly for efficiency.
+    pub fn intersection(&self, other: &Relation) -> RelResult<Relation> {
+        self.check_compatible("intersection", other)?;
+        Ok(Relation {
+            arity: self.arity,
+            tuples: self.tuples.intersection(&other.tuples).cloned().collect(),
+        })
+    }
+
+    /// Cartesian product `Q × Q′` (Figure 4).
+    pub fn product(&self, other: &Relation) -> Relation {
+        let mut tuples = BTreeSet::new();
+        for a in &self.tuples {
+            for b in &other.tuples {
+                tuples.insert(a.concat(b));
+            }
+        }
+        Relation {
+            arity: self.arity + other.arity,
+            tuples,
+        }
+    }
+
+    /// Projection `π_{$i1,…,$ik}` with 0-based positions; positions may
+    /// repeat and reorder (Figure 4 semantics).
+    pub fn project(&self, positions: &[usize]) -> RelResult<Relation> {
+        for &p in positions {
+            if p >= self.arity {
+                return Err(RelError::PositionOutOfRange {
+                    position: p,
+                    arity: self.arity,
+                });
+            }
+        }
+        let mut tuples = BTreeSet::new();
+        for t in &self.tuples {
+            // Indices were checked against the arity above.
+            tuples.insert(t.project(positions).expect("checked positions"));
+        }
+        Ok(Relation {
+            arity: positions.len(),
+            tuples,
+        })
+    }
+
+    /// Selection by an arbitrary predicate; algebra-level selections with
+    /// the paper's `θ` conditions are built on top of this.
+    pub fn select<F>(&self, mut pred: F) -> Relation
+    where
+        F: FnMut(&Tuple) -> bool,
+    {
+        Relation {
+            arity: self.arity,
+            tuples: self.tuples.iter().filter(|t| pred(t)).cloned().collect(),
+        }
+    }
+
+    /// Natural join on explicit position pairs: keeps `(ā, b̄)`
+    /// concatenations where `ā[i] == b̄[j]` for every `(i, j)` in `on`.
+    ///
+    /// This is the derived operator the paper uses when realizing
+    /// parameterized unions as joins (Lemma 9.4: `ψreach(G_c̄) ⋈ σ_{p̄=c̄}(C)`).
+    pub fn join_on(&self, other: &Relation, on: &[(usize, usize)]) -> RelResult<Relation> {
+        for &(i, j) in on {
+            if i >= self.arity {
+                return Err(RelError::PositionOutOfRange {
+                    position: i,
+                    arity: self.arity,
+                });
+            }
+            if j >= other.arity {
+                return Err(RelError::PositionOutOfRange {
+                    position: j,
+                    arity: other.arity,
+                });
+            }
+        }
+        // Hash-join on the key of `on` positions.
+        let mut index: std::collections::HashMap<Vec<&Value>, Vec<&Tuple>> =
+            std::collections::HashMap::new();
+        for b in &other.tuples {
+            let key: Vec<&Value> = on.iter().map(|&(_, j)| &b[j]).collect();
+            index.entry(key).or_default().push(b);
+        }
+        let mut tuples = BTreeSet::new();
+        for a in &self.tuples {
+            let key: Vec<&Value> = on.iter().map(|&(i, _)| &a[i]).collect();
+            if let Some(bs) = index.get(&key) {
+                for b in bs {
+                    tuples.insert(a.concat(b));
+                }
+            }
+        }
+        Ok(Relation {
+            arity: self.arity + other.arity,
+            tuples,
+        })
+    }
+
+    /// All values appearing in any tuple, merged into `acc` — the
+    /// relation's contribution to the active domain `adom(D)`.
+    pub fn collect_adom(&self, acc: &mut BTreeSet<Value>) {
+        for t in &self.tuples {
+            for v in t {
+                acc.insert(v.clone());
+            }
+        }
+    }
+
+    /// Interprets the relation as the graph of a function
+    /// `X → Y` where `X` is the first `key_arity` columns: checks that no
+    /// key occurs with two distinct completions (Section 2.1, "Relations
+    /// as (partial) functions"). Returns `true` for *partial* functions;
+    /// use [`Relation::is_total_function_on`] for totality.
+    pub fn is_partial_function(&self, key_arity: usize) -> bool {
+        if key_arity > self.arity {
+            return false;
+        }
+        let mut seen: HashSet<&[Value]> = HashSet::with_capacity(self.tuples.len());
+        for t in &self.tuples {
+            if !seen.insert(&t.values()[..key_arity]) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Checks that the relation encodes a *total* function from `domain`
+    /// (tuples of arity `key_arity`) — i.e. it is a partial function and
+    /// every element of `domain` occurs as a key.
+    pub fn is_total_function_on(&self, key_arity: usize, domain: &Relation) -> bool {
+        if !self.is_partial_function(key_arity) || domain.arity() != key_arity {
+            return false;
+        }
+        if self.tuples.len() != domain.len() {
+            return false;
+        }
+        let keys: BTreeSet<&[Value]> = self
+            .tuples
+            .iter()
+            .map(|t| &t.values()[..key_arity])
+            .collect();
+        domain.iter().all(|d| keys.contains(d.values()))
+    }
+
+    fn check_compatible(&self, op: &'static str, other: &Relation) -> RelResult<()> {
+        if self.arity != other.arity {
+            return Err(RelError::IncompatibleArities {
+                op,
+                left: self.arity,
+                right: other.arity,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "-- {} tuple(s), arity {}", self.len(), self.arity)?;
+        for t in &self.tuples {
+            writeln!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Relation {
+    type Item = &'a Tuple;
+    type IntoIter = std::collections::btree_set::Iter<'a, Tuple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_value::tuple;
+
+    fn r(rows: &[&[i64]]) -> Relation {
+        let arity = rows.first().map_or(0, |r| r.len());
+        Relation::from_rows(
+            arity,
+            rows.iter()
+                .map(|row| row.iter().map(|&v| Value::int(v)).collect::<Tuple>()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_checks_arity() {
+        let mut rel = Relation::empty(2);
+        assert!(rel.insert(tuple![1, 2]).unwrap());
+        assert!(!rel.insert(tuple![1, 2]).unwrap()); // set semantics
+        assert!(rel.insert(tuple![1]).is_err());
+        assert_eq!(rel.len(), 1);
+    }
+
+    #[test]
+    fn boolean_relations() {
+        assert!(Relation::r#true().as_bool());
+        assert!(!Relation::r#false().as_bool());
+        assert_eq!(Relation::r#true().arity(), 0);
+    }
+
+    #[test]
+    fn union_difference_intersection() {
+        let a = r(&[&[1], &[2]]);
+        let b = r(&[&[2], &[3]]);
+        assert_eq!(a.union(&b).unwrap(), r(&[&[1], &[2], &[3]]));
+        assert_eq!(a.difference(&b).unwrap(), r(&[&[1]]));
+        assert_eq!(a.intersection(&b).unwrap(), r(&[&[2]]));
+        let c = r(&[&[1, 2]]);
+        assert!(a.union(&c).is_err());
+        assert!(a.difference(&c).is_err());
+        assert!(a.intersection(&c).is_err());
+    }
+
+    #[test]
+    fn product_concatenates() {
+        let a = r(&[&[1], &[2]]);
+        let b = r(&[&[10, 20]]);
+        let p = a.product(&b);
+        assert_eq!(p.arity(), 3);
+        assert_eq!(p, r(&[&[1, 10, 20], &[2, 10, 20]]));
+        // Product with empty is empty.
+        assert!(a.product(&Relation::empty(1)).is_empty());
+    }
+
+    #[test]
+    fn projection_repeats_and_reorders() {
+        let a = r(&[&[1, 2], &[3, 4]]);
+        assert_eq!(a.project(&[1, 0]).unwrap(), r(&[&[2, 1], &[4, 3]]));
+        assert_eq!(a.project(&[0, 0]).unwrap(), r(&[&[1, 1], &[3, 3]]));
+        assert!(a.project(&[2]).is_err());
+        // Projection can merge tuples (set semantics).
+        let b = r(&[&[1, 2], &[1, 3]]);
+        assert_eq!(b.project(&[0]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn select_by_predicate() {
+        let a = r(&[&[1, 1], &[1, 2]]);
+        let s = a.select(|t| t[0] == t[1]);
+        assert_eq!(s, r(&[&[1, 1]]));
+    }
+
+    #[test]
+    fn join_on_positions() {
+        let a = r(&[&[1, 10], &[2, 20]]);
+        let b = r(&[&[10, 100], &[30, 300]]);
+        let j = a.join_on(&b, &[(1, 0)]).unwrap();
+        assert_eq!(j, r(&[&[1, 10, 10, 100]]));
+        assert!(a.join_on(&b, &[(5, 0)]).is_err());
+        assert!(a.join_on(&b, &[(0, 5)]).is_err());
+    }
+
+    #[test]
+    fn join_on_empty_key_is_product() {
+        let a = r(&[&[1], &[2]]);
+        let b = r(&[&[3]]);
+        assert_eq!(a.join_on(&b, &[]).unwrap(), a.product(&b));
+    }
+
+    #[test]
+    fn adom_collection() {
+        let a = r(&[&[1, 2], &[2, 3]]);
+        let mut dom = BTreeSet::new();
+        a.collect_adom(&mut dom);
+        assert_eq!(
+            dom.into_iter().collect::<Vec<_>>(),
+            vec![Value::int(1), Value::int(2), Value::int(3)]
+        );
+    }
+
+    #[test]
+    fn partial_and_total_functions() {
+        // {(1,10),(2,20)} is a function on key arity 1.
+        let f = r(&[&[1, 10], &[2, 20]]);
+        assert!(f.is_partial_function(1));
+        // {(1,10),(1,20)} is not.
+        let g = r(&[&[1, 10], &[1, 20]]);
+        assert!(!g.is_partial_function(1));
+        let dom = r(&[&[1], &[2]]);
+        assert!(f.is_total_function_on(1, &dom));
+        let bigger = r(&[&[1], &[2], &[3]]);
+        assert!(!f.is_total_function_on(1, &bigger));
+        // Key arity larger than tuple arity is rejected.
+        assert!(!f.is_partial_function(3));
+    }
+
+    #[test]
+    fn unary_builder() {
+        let u = Relation::unary([1i64, 2, 1]);
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.arity(), 1);
+    }
+
+    #[test]
+    fn deterministic_iteration_order() {
+        let a = r(&[&[3], &[1], &[2]]);
+        let order: Vec<i64> = a.iter().map(|t| t[0].as_int().unwrap()).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Relation names and database schemas (Section 2.1).
+//!
+//! We follow the paper's *unnamed perspective*: a schema `S ⊆ R` is a
+//! finite set of relation names, each with a positive arity; columns are
+//! addressed positionally (`$1, $2, …` in the paper, 0-based here).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A relation name `R ∈ R`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelName(Arc<str>);
+
+impl RelName {
+    /// Creates a relation name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        RelName(Arc::from(name.as_ref()))
+    }
+
+    /// The textual name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for RelName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for RelName {
+    fn from(s: &str) -> Self {
+        RelName::new(s)
+    }
+}
+
+impl From<String> for RelName {
+    fn from(s: String) -> Self {
+        RelName::new(s)
+    }
+}
+
+/// A database schema: relation names with their arities.
+///
+/// The paper requires positive arities (`arity(R)` is a positive integer);
+/// [`Schema::add`] enforces this.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    arities: BTreeMap<RelName, usize>,
+}
+
+impl Schema {
+    /// The empty schema.
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Adds (or overwrites) a relation name with the given arity.
+    ///
+    /// # Panics
+    /// Panics if `arity == 0`; the paper associates each relation name
+    /// with a *positive* integer arity.
+    pub fn add(&mut self, name: impl Into<RelName>, arity: usize) -> &mut Self {
+        assert!(arity > 0, "schema arities must be positive");
+        self.arities.insert(name.into(), arity);
+        self
+    }
+
+    /// Builder-style [`Schema::add`].
+    pub fn with(mut self, name: impl Into<RelName>, arity: usize) -> Self {
+        self.add(name, arity);
+        self
+    }
+
+    /// Arity of `name`, if declared.
+    pub fn arity_of(&self, name: &RelName) -> Option<usize> {
+        self.arities.get(name).copied()
+    }
+
+    /// Whether the schema declares `name`.
+    pub fn contains(&self, name: &RelName) -> bool {
+        self.arities.contains_key(name)
+    }
+
+    /// Iterates over `(name, arity)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&RelName, usize)> {
+        self.arities.iter().map(|(n, &a)| (n, a))
+    }
+
+    /// Number of declared relation names.
+    pub fn len(&self) -> usize {
+        self.arities.len()
+    }
+
+    /// Whether the schema is empty.
+    pub fn is_empty(&self) -> bool {
+        self.arities.is_empty()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        write!(f, "{{")?;
+        for (n, a) in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{n}/{a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let s = Schema::new().with("Account", 1).with("Transfer", 5);
+        assert_eq!(s.arity_of(&"Account".into()), Some(1));
+        assert_eq!(s.arity_of(&"Transfer".into()), Some(5));
+        assert_eq!(s.arity_of(&"Missing".into()), None);
+        assert!(s.contains(&"Account".into()));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_arity_rejected() {
+        Schema::new().with("R", 0);
+    }
+
+    #[test]
+    fn display_lists_sorted() {
+        let s = Schema::new().with("B", 2).with("A", 1);
+        assert_eq!(s.to_string(), "{A/1, B/2}");
+    }
+
+    #[test]
+    fn overwrite_updates_arity() {
+        let mut s = Schema::new();
+        s.add("R", 2);
+        s.add("R", 3);
+        assert_eq!(s.arity_of(&"R".into()), Some(3));
+        assert_eq!(s.len(), 1);
+    }
+}

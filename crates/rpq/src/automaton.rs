@@ -1,0 +1,289 @@
+//! Thompson construction and product-graph evaluation for RPQs.
+//!
+//! The standard evaluation algorithm for (2)RPQs: compile the regular
+//! expression into an ε-NFA whose alphabet is (direction, label test),
+//! then run a BFS over the product of the graph and the automaton. For
+//! each source node the reachable `(node, state)` pairs are explored at
+//! most once, giving the textbook `O(|V| · (|V| + |E|) · |Q|)` bound —
+//! RPQ evaluation is NL in data complexity, the baseline the paper's
+//! expressiveness ladder starts from.
+
+use crate::regex::Rpq;
+use pgq_graph::{ElementId, PropertyGraph};
+use pgq_pattern::PairSet;
+use pgq_value::Label;
+use std::collections::{BTreeSet, VecDeque};
+
+/// One NFA transition step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Step {
+    /// ε-move.
+    Eps,
+    /// Traverse an edge: forward (`true`) or backward, with an optional
+    /// label requirement (`None` = any edge).
+    Move {
+        forward: bool,
+        label: Option<Label>,
+    },
+}
+
+/// An ε-NFA compiled from an [`Rpq`].
+#[derive(Debug, Clone)]
+pub struct RpqAutomaton {
+    /// `transitions[s]` lists `(step, target)` pairs.
+    transitions: Vec<Vec<(Step, usize)>>,
+    start: usize,
+    accept: usize,
+}
+
+impl RpqAutomaton {
+    /// Thompson construction.
+    pub fn compile(r: &Rpq) -> Self {
+        let mut a = RpqAutomaton {
+            transitions: Vec::new(),
+            start: 0,
+            accept: 0,
+        };
+        let (s, f) = a.build(r);
+        a.start = s;
+        a.accept = f;
+        a
+    }
+
+    /// Number of automaton states.
+    pub fn state_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    fn fresh(&mut self) -> usize {
+        self.transitions.push(Vec::new());
+        self.transitions.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, step: Step, to: usize) {
+        self.transitions[from].push((step, to));
+    }
+
+    fn build(&mut self, r: &Rpq) -> (usize, usize) {
+        match r {
+            Rpq::Epsilon => {
+                let s = self.fresh();
+                let f = self.fresh();
+                self.edge(s, Step::Eps, f);
+                (s, f)
+            }
+            Rpq::Label(l) => self.atom(true, Some(l.clone())),
+            Rpq::Inverse(l) => self.atom(false, Some(l.clone())),
+            Rpq::Any => self.atom(true, None),
+            Rpq::AnyInverse => self.atom(false, None),
+            Rpq::Concat(a, b) => {
+                let (s1, f1) = self.build(a);
+                let (s2, f2) = self.build(b);
+                self.edge(f1, Step::Eps, s2);
+                (s1, f2)
+            }
+            Rpq::Union(a, b) => {
+                let s = self.fresh();
+                let f = self.fresh();
+                let (s1, f1) = self.build(a);
+                let (s2, f2) = self.build(b);
+                self.edge(s, Step::Eps, s1);
+                self.edge(s, Step::Eps, s2);
+                self.edge(f1, Step::Eps, f);
+                self.edge(f2, Step::Eps, f);
+                (s, f)
+            }
+            Rpq::Star(a) => {
+                let s = self.fresh();
+                let f = self.fresh();
+                let (s1, f1) = self.build(a);
+                self.edge(s, Step::Eps, s1);
+                self.edge(s, Step::Eps, f);
+                self.edge(f1, Step::Eps, s1);
+                self.edge(f1, Step::Eps, f);
+                (s, f)
+            }
+        }
+    }
+
+    fn atom(&mut self, forward: bool, label: Option<Label>) -> (usize, usize) {
+        let s = self.fresh();
+        let f = self.fresh();
+        self.edge(s, Step::Move { forward, label }, f);
+        (s, f)
+    }
+
+    /// All `(source, target)` node pairs connected by a path whose label
+    /// word is in the language — product BFS from every source node.
+    pub fn eval(&self, g: &PropertyGraph) -> PairSet {
+        let mut out = PairSet::new();
+        for src in g.nodes() {
+            for tgt in self.reachable_from(g, src) {
+                out.insert((src.clone(), tgt));
+            }
+        }
+        out
+    }
+
+    /// Target nodes reachable from one source.
+    pub fn reachable_from(&self, g: &PropertyGraph, src: &ElementId) -> BTreeSet<ElementId> {
+        let mut seen: BTreeSet<(ElementId, usize)> = BTreeSet::new();
+        let mut queue: VecDeque<(ElementId, usize)> = VecDeque::new();
+        let mut out = BTreeSet::new();
+        seen.insert((src.clone(), self.start));
+        queue.push_back((src.clone(), self.start));
+        while let Some((node, state)) = queue.pop_front() {
+            if state == self.accept {
+                out.insert(node.clone());
+            }
+            for (step, next_state) in &self.transitions[state] {
+                match step {
+                    Step::Eps => {
+                        let key = (node.clone(), *next_state);
+                        if seen.insert(key.clone()) {
+                            queue.push_back(key);
+                        }
+                    }
+                    Step::Move { forward, label } => {
+                        let edges = if *forward {
+                            g.out_edges(&node)
+                        } else {
+                            g.in_edges(&node)
+                        };
+                        for e in edges {
+                            if let Some(l) = label {
+                                if !g.has_label(e, l) {
+                                    continue;
+                                }
+                            }
+                            let next_node = if *forward { g.tgt(e) } else { g.src(e) }
+                                .expect("edge endpoints total")
+                                .clone();
+                            let key = (next_node, *next_state);
+                            if seen.insert(key.clone()) {
+                                queue.push_back(key);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Evaluate an RPQ on a property graph (compile + product BFS).
+pub fn eval_rpq(r: &Rpq, g: &PropertyGraph) -> PairSet {
+    RpqAutomaton::compile(r).eval(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_graph::PropertyGraphBuilder;
+    use pgq_value::Value;
+
+    /// a --knows--> b --knows--> c --likes--> d, plus d --knows--> a.
+    fn sample() -> PropertyGraph {
+        let mut b = PropertyGraphBuilder::unary();
+        for n in ["a", "b", "c", "d"] {
+            b.node1(Value::str(n)).unwrap();
+        }
+        let mut add = |id: i64, s: &str, t: &str, l: &str| {
+            b.edge1(Value::int(id), Value::str(s), Value::str(t)).unwrap();
+            b.label(ElementId::unary(Value::int(id)), Value::str(l)).unwrap();
+        };
+        add(1, "a", "b", "knows");
+        add(2, "b", "c", "knows");
+        add(3, "c", "d", "likes");
+        add(4, "d", "a", "knows");
+        b.finish()
+    }
+
+    fn pair(s: &str, t: &str) -> (ElementId, ElementId) {
+        (
+            ElementId::unary(Value::str(s)),
+            ElementId::unary(Value::str(t)),
+        )
+    }
+
+    #[test]
+    fn single_label_matches_edges() {
+        let g = sample();
+        let got = eval_rpq(&Rpq::label("knows"), &g);
+        assert_eq!(
+            got,
+            [pair("a", "b"), pair("b", "c"), pair("d", "a")].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn epsilon_is_node_identity() {
+        let g = sample();
+        let got = eval_rpq(&Rpq::Epsilon, &g);
+        assert_eq!(got.len(), 4);
+        assert!(got.contains(&pair("a", "a")));
+    }
+
+    #[test]
+    fn star_reaches_transitively() {
+        let g = sample();
+        let got = eval_rpq(&Rpq::label("knows").star(), &g);
+        // knows* from a: a (0 steps), b, c (2 steps; c→d is likes).
+        assert!(got.contains(&pair("a", "a")));
+        assert!(got.contains(&pair("a", "c")));
+        assert!(!got.contains(&pair("a", "d")));
+    }
+
+    #[test]
+    fn concat_crosses_label_boundary() {
+        let g = sample();
+        let r = Rpq::label("knows").star().then(Rpq::label("likes"));
+        let got = eval_rpq(&r, &g);
+        assert!(got.contains(&pair("a", "d")));
+        assert!(got.contains(&pair("c", "d")));
+    }
+
+    #[test]
+    fn inverse_traverses_backwards() {
+        let g = sample();
+        let got = eval_rpq(&Rpq::inverse("knows"), &g);
+        assert!(got.contains(&pair("b", "a")));
+        assert!(got.contains(&pair("a", "d")));
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn two_way_round_trip() {
+        let g = sample();
+        // knows · knows⁻ : forward then back — returns to a node with a
+        // shared "knows" predecessor.
+        let r = Rpq::label("knows").then(Rpq::inverse("knows"));
+        let got = eval_rpq(&r, &g);
+        assert!(got.contains(&pair("a", "a")));
+    }
+
+    #[test]
+    fn any_ignores_labels() {
+        let g = sample();
+        let got = eval_rpq(&Rpq::Any.plus(), &g);
+        // The graph is a single directed cycle a→b→c→d→a: everything
+        // reaches everything.
+        assert_eq!(got.len(), 16);
+    }
+
+    #[test]
+    fn union_is_set_union() {
+        let g = sample();
+        let l = eval_rpq(&Rpq::label("knows"), &g);
+        let r = eval_rpq(&Rpq::label("likes"), &g);
+        let u = eval_rpq(&Rpq::label("knows").or(Rpq::label("likes")), &g);
+        assert_eq!(u, l.union(&r).cloned().collect());
+    }
+
+    #[test]
+    fn missing_label_matches_nothing() {
+        let g = sample();
+        assert!(eval_rpq(&Rpq::label("absent"), &g).is_empty());
+    }
+}

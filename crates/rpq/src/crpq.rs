@@ -1,0 +1,338 @@
+//! Conjunctive regular path queries (CRPQs).
+//!
+//! A CRPQ is a conjunction of RPQ atoms `(x_i, r_i, y_i)` over node
+//! variables, with an output projection — the formalism of the paper's
+//! related-work baseline [3, 4, 6]. Two evaluators are provided:
+//!
+//! * [`Crpq::eval`] — direct: evaluate each atom's RPQ to a pair set,
+//!   then join on shared variables;
+//! * [`Crpq::to_pgqro`] — a lowering into a `PGQro` query (Figure 3):
+//!   one pattern call per atom over the six base-view relations, glued
+//!   with `×`/`σ`/`π`. This makes the containment "CRPQ ⊆ PGQro"
+//!   executable, the starting rung of the paper's expressiveness ladder.
+//!
+//! The lowering targets unary-identifier views (`pgView`, Definition
+//! 3.2), matching the classical CRPQ setting of edge-labeled graphs.
+
+use crate::automaton::RpqAutomaton;
+use crate::regex::Rpq;
+use crate::to_pattern::rpq_to_pattern;
+use pgq_core::{Query, ViewOp};
+use pgq_graph::{ElementId, PropertyGraph};
+use pgq_pattern::{OutputPattern, Pattern};
+use pgq_relational::{Relation, RelName, RowCondition};
+use pgq_value::{Tuple, Var};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One CRPQ atom `(x, r, y)`: an `r`-labeled path from `μ(x)` to `μ(y)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrpqAtom {
+    /// Source node variable.
+    pub src: Var,
+    /// The path language.
+    pub regex: Rpq,
+    /// Target node variable.
+    pub tgt: Var,
+}
+
+impl CrpqAtom {
+    /// Build an atom.
+    pub fn new(src: impl Into<Var>, regex: Rpq, tgt: impl Into<Var>) -> Self {
+        CrpqAtom { src: src.into(), regex, tgt: tgt.into() }
+    }
+}
+
+impl fmt::Display for CrpqAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}) -[{}]-> ({})", self.src, self.regex, self.tgt)
+    }
+}
+
+/// A conjunctive regular path query `Ans(z̄) ← ⋀ᵢ (xᵢ, rᵢ, yᵢ)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Crpq {
+    /// Output variables `z̄` (each must occur in some atom).
+    pub head: Vec<Var>,
+    /// The conjunction of path atoms.
+    pub atoms: Vec<CrpqAtom>,
+}
+
+/// Static CRPQ errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrpqError {
+    /// A head variable not occurring in any atom.
+    UnboundHeadVar {
+        /// The offending variable.
+        var: Var,
+    },
+    /// The query has no atoms (the join would be over nothing).
+    Empty,
+}
+
+impl fmt::Display for CrpqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrpqError::UnboundHeadVar { var } => write!(f, "head variable {var} unbound"),
+            CrpqError::Empty => write!(f, "CRPQ with no atoms"),
+        }
+    }
+}
+
+impl std::error::Error for CrpqError {}
+
+impl Crpq {
+    /// Build and statically check a CRPQ.
+    pub fn new<I, V>(head: I, atoms: Vec<CrpqAtom>) -> Result<Self, CrpqError>
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Var>,
+    {
+        let q = Crpq {
+            head: head.into_iter().map(Into::into).collect(),
+            atoms,
+        };
+        q.check()?;
+        Ok(q)
+    }
+
+    fn check(&self) -> Result<(), CrpqError> {
+        if self.atoms.is_empty() {
+            return Err(CrpqError::Empty);
+        }
+        for v in &self.head {
+            if !self.atoms.iter().any(|a| a.src == *v || a.tgt == *v) {
+                return Err(CrpqError::UnboundHeadVar { var: v.clone() });
+            }
+        }
+        Ok(())
+    }
+
+    /// Direct evaluation: per-atom automaton runs joined on shared
+    /// variables. Output columns follow `head` (identifiers flattened,
+    /// `k` columns each on a `k`-ary-identifier graph).
+    pub fn eval(&self, g: &PropertyGraph) -> Result<Relation, CrpqError> {
+        self.check()?;
+        let pair_sets: Vec<Vec<(ElementId, ElementId)>> = self
+            .atoms
+            .iter()
+            .map(|a| RpqAutomaton::compile(&a.regex).eval(g).into_iter().collect())
+            .collect();
+        let mut out = Relation::empty(self.head.len() * g.id_arity());
+        let mut binding: BTreeMap<Var, ElementId> = BTreeMap::new();
+        self.join(&pair_sets, 0, &mut binding, &mut out);
+        Ok(out)
+    }
+
+    fn join(
+        &self,
+        pair_sets: &[Vec<(ElementId, ElementId)>],
+        depth: usize,
+        binding: &mut BTreeMap<Var, ElementId>,
+        out: &mut Relation,
+    ) {
+        if depth == self.atoms.len() {
+            let mut row: Vec<pgq_value::Value> = Vec::new();
+            for v in &self.head {
+                row.extend(binding[v].iter().cloned());
+            }
+            let _ = out.insert(Tuple::new(row));
+            return;
+        }
+        let atom = &self.atoms[depth];
+        for (s, t) in &pair_sets[depth] {
+            let mut added: Vec<Var> = Vec::new();
+            let ok = bind(binding, &mut added, &atom.src, s)
+                && bind(binding, &mut added, &atom.tgt, t);
+            if ok {
+                self.join(pair_sets, depth + 1, binding, out);
+            }
+            for v in added {
+                binding.remove(&v);
+            }
+        }
+    }
+
+    /// Lower to a `PGQro` query over the six named base relations
+    /// `views = (R1, …, R6)` in canonical order. The result query uses
+    /// one `ψΩ(R̄)` pattern call per atom, products them, selects the
+    /// shared-variable equalities, and projects the head — all within
+    /// the Figure 3 read-only grammar (the containment CRPQ ⊆ PGQro).
+    pub fn to_pgqro(&self, views: &[RelName; 6]) -> Result<Query, CrpqError> {
+        self.check()?;
+        let base: [Query; 6] = views.clone().map(Query::Rel);
+
+        // One pattern call per atom: (x) ψ_r (y) with Ω = (x, y).
+        let mut q: Option<Query> = None;
+        for atom in &self.atoms {
+            let pat = Pattern::Concat(
+                Box::new(Pattern::Node(Some(atom.src.clone()))),
+                Box::new(Pattern::Concat(
+                    Box::new(rpq_to_pattern(&atom.regex)),
+                    Box::new(Pattern::Node(Some(atom.tgt.clone()))),
+                )),
+            );
+            let out = OutputPattern::vars(pat, [atom.src.clone(), atom.tgt.clone()])
+                .expect("head vars are free in the pattern");
+            let call = Query::Pattern {
+                out,
+                views: Box::new(base.clone()),
+                op: ViewOp::Unary,
+            };
+            q = Some(match q {
+                None => call,
+                Some(acc) => Query::Product(Box::new(acc), Box::new(call)),
+            });
+        }
+        let mut q = q.expect("checked nonempty");
+
+        // Column of the first occurrence of each variable; equalities for
+        // the rest. Atom i occupies columns 2i (src) and 2i+1 (tgt).
+        let mut first: BTreeMap<&Var, usize> = BTreeMap::new();
+        let mut eqs: Vec<RowCondition> = Vec::new();
+        for (i, atom) in self.atoms.iter().enumerate() {
+            for (v, col) in [(&atom.src, 2 * i), (&atom.tgt, 2 * i + 1)] {
+                match first.get(v) {
+                    None => {
+                        first.insert(v, col);
+                    }
+                    Some(&c) => eqs.push(RowCondition::col_eq(c, col)),
+                }
+            }
+        }
+        if !eqs.is_empty() {
+            q = Query::Select(RowCondition::and_all(eqs), Box::new(q));
+        }
+        let positions: Vec<usize> = self.head.iter().map(|v| first[v]).collect();
+        Ok(Query::Project(positions, Box::new(q)))
+    }
+}
+
+impl fmt::Display for Crpq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ans(")?;
+        for (i, v) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ") ← ")?;
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+fn bind(
+    binding: &mut BTreeMap<Var, ElementId>,
+    added: &mut Vec<Var>,
+    v: &Var,
+    id: &ElementId,
+) -> bool {
+    match binding.get(v) {
+        Some(existing) => existing == id,
+        None => {
+            binding.insert(v.clone(), id.clone());
+            added.push(v.clone());
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_graph::PropertyGraphBuilder;
+    use pgq_value::Value;
+
+    fn triangle() -> PropertyGraph {
+        // 0 -a-> 1, 1 -b-> 2, 0 -b-> 2
+        let mut b = PropertyGraphBuilder::unary();
+        for n in 0..3i64 {
+            b.node1(Value::int(n)).unwrap();
+        }
+        let mut add = |id: i64, s: i64, t: i64, l: &str| {
+            b.edge1(Value::int(id), Value::int(s), Value::int(t)).unwrap();
+            b.label(ElementId::unary(Value::int(id)), Value::str(l)).unwrap();
+        };
+        add(10, 0, 1, "a");
+        add(11, 1, 2, "b");
+        add(12, 0, 2, "b");
+        b.finish()
+    }
+
+    #[test]
+    fn two_atom_join() {
+        // Ans(x, z) ← (x) -a-> (y) ∧ (y) -b-> (z): only 0 -a-> 1 -b-> 2.
+        let q = Crpq::new(
+            ["x", "z"],
+            vec![
+                CrpqAtom::new("x", Rpq::label("a"), "y"),
+                CrpqAtom::new("y", Rpq::label("b"), "z"),
+            ],
+        )
+        .unwrap();
+        let r = q.eval(&triangle()).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&Tuple::new(vec![Value::int(0), Value::int(2)])));
+    }
+
+    #[test]
+    fn shared_target_enforces_confluence() {
+        // Ans(x, y) ← (x) -b-> (z) ∧ (y) -b-> (z): pairs writing to the
+        // same node via b.
+        let q = Crpq::new(
+            ["x", "y"],
+            vec![
+                CrpqAtom::new("x", Rpq::label("b"), "z"),
+                CrpqAtom::new("y", Rpq::label("b"), "z"),
+            ],
+        )
+        .unwrap();
+        let r = q.eval(&triangle()).unwrap();
+        // Writers into 2 via b: 1 and 0 — all four ordered pairs.
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn head_must_be_bound() {
+        let e = Crpq::new(
+            ["nope"],
+            vec![CrpqAtom::new("x", Rpq::Any, "y")],
+        )
+        .unwrap_err();
+        assert!(matches!(e, CrpqError::UnboundHeadVar { .. }));
+    }
+
+    #[test]
+    fn empty_crpq_rejected() {
+        assert!(matches!(Crpq::new(["x"], vec![]), Err(CrpqError::Empty)));
+    }
+
+    #[test]
+    fn repeated_head_vars_allowed() {
+        let q = Crpq::new(
+            ["x", "x"],
+            vec![CrpqAtom::new("x", Rpq::label("a"), "y")],
+        )
+        .unwrap();
+        let r = q.eval(&triangle()).unwrap();
+        assert!(r.contains(&Tuple::new(vec![Value::int(0), Value::int(0)])));
+    }
+
+    #[test]
+    fn boolean_crpq_has_zero_columns() {
+        let q = Crpq::new(
+            Vec::<Var>::new(),
+            vec![CrpqAtom::new("x", Rpq::label("a"), "y")],
+        )
+        .unwrap();
+        let r = q.eval(&triangle()).unwrap();
+        assert!(r.as_bool());
+    }
+}

@@ -1,0 +1,178 @@
+//! # pgq-rpq
+//!
+//! Regular path queries — RPQ, two-way 2RPQ, and conjunctive CRPQ —
+//! over property graph views: the classical graph-querying formalisms
+//! of the paper's related work ([3, 4, 6, 7]), implemented as a
+//! baseline layer beneath the SQL/PGQ fragments.
+//!
+//! Three executable routes answer the same query, and the tests hold
+//! them equal:
+//!
+//! 1. the textbook product automaton ([`automaton`]);
+//! 2. the paper's pattern language, via the lowering RPQ → Figure 1
+//!    pattern ([`to_pattern`]) evaluated with Figure 2 semantics;
+//! 3. for CRPQs, a lowering into a full `PGQro` query ([`crpq`]) run by
+//!    the `pgq-core` evaluator — the executable containment
+//!    "CRPQ ⊆ PGQro" at the bottom of the expressiveness ladder.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod automaton;
+pub mod crpq;
+pub mod parse;
+pub mod regex;
+pub mod to_pattern;
+
+pub use automaton::{eval_rpq, RpqAutomaton};
+pub use crpq::{Crpq, CrpqAtom, CrpqError};
+pub use parse::{parse_rpq, RpqParseError};
+pub use regex::Rpq;
+pub use to_pattern::rpq_to_pattern;
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use pgq_graph::{pg_view, PropertyGraph, ViewRelations};
+    use pgq_pattern::{endpoint_pairs, eval_pattern};
+    use pgq_relational::{Database, Relation, RelName};
+    use pgq_value::{Tuple, Value, Var};
+    use proptest::prelude::*;
+
+    /// A random labeled graph, produced both as the six canonical
+    /// relations (for the PGQro route) and as the constructed view (for
+    /// the automaton/pattern routes).
+    fn arb_labeled_db() -> impl Strategy<Value = (Database, PropertyGraph)> {
+        (
+            2i64..6,
+            proptest::collection::vec((0i64..6, 0i64..6, 0usize..3), 0..12),
+        )
+            .prop_map(|(n, edges)| {
+                let labels = ["a", "b", "c"];
+                let mut nodes = Relation::empty(1);
+                let mut eids = Relation::empty(1);
+                let mut src = Relation::empty(2);
+                let mut tgt = Relation::empty(2);
+                let mut lab = Relation::empty(2);
+                for i in 0..n {
+                    nodes.insert(Tuple::unary(i)).unwrap();
+                }
+                for (j, (s, t, li)) in edges.into_iter().enumerate() {
+                    let (s, t) = (s % n, t % n);
+                    let id = Tuple::unary(100 + j as i64);
+                    eids.insert(id.clone()).unwrap();
+                    src.insert(id.concat(&Tuple::unary(s))).unwrap();
+                    tgt.insert(id.concat(&Tuple::unary(t))).unwrap();
+                    lab.insert(id.concat(&Tuple::unary(Value::str(labels[li])))).unwrap();
+                }
+                let rels = ViewRelations::new(
+                    nodes.clone(),
+                    eids.clone(),
+                    src.clone(),
+                    tgt.clone(),
+                    lab.clone(),
+                    Relation::empty(3),
+                );
+                let g = pg_view(&rels).expect("constructed view is valid");
+                let db = Database::new()
+                    .with_relation("N", nodes)
+                    .with_relation("E", eids)
+                    .with_relation("S", src)
+                    .with_relation("T", tgt)
+                    .with_relation("L", lab)
+                    .with_relation("P", Relation::empty(3));
+                (db, g)
+            })
+    }
+
+    /// Random (2)RPQ expressions over labels {a, b, c}.
+    fn arb_rpq(depth: u32) -> BoxedStrategy<Rpq> {
+        let leaf = prop_oneof![
+            prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(Rpq::label),
+            prop_oneof![Just("a"), Just("b")].prop_map(Rpq::inverse),
+            Just(Rpq::Any),
+            Just(Rpq::Epsilon),
+        ];
+        if depth == 0 {
+            return leaf.boxed();
+        }
+        let sub = arb_rpq(depth - 1);
+        let sub2 = arb_rpq(depth - 1);
+        prop_oneof![
+            3 => leaf,
+            2 => (sub.clone(), sub2.clone()).prop_map(|(a, b)| a.then(b)),
+            2 => (sub.clone(), sub2).prop_map(|(a, b)| a.or(b)),
+            1 => sub.prop_map(Rpq::star),
+        ]
+        .boxed()
+    }
+
+    fn view_names() -> [RelName; 6] {
+        ["N", "E", "S", "T", "L", "P"].map(RelName::new)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Route 1 ≡ route 2: the automaton agrees with the Figure 2
+        /// pattern semantics through the RPQ → pattern lowering.
+        #[test]
+        fn automaton_matches_pattern_semantics(
+            (_db, g) in arb_labeled_db(),
+            r in arb_rpq(3),
+        ) {
+            let via_automaton = eval_rpq(&r, &g);
+            let p = rpq_to_pattern(&r);
+            prop_assert!(p.free_vars().is_empty());
+            let via_pattern = endpoint_pairs(&eval_pattern(&p, &g).unwrap());
+            prop_assert_eq!(via_automaton, via_pattern, "rpq {}", r);
+        }
+
+        /// Route 1 ≡ route 3: a two-atom CRPQ evaluated directly equals
+        /// its PGQro lowering run by the core evaluator.
+        #[test]
+        fn crpq_direct_matches_pgqro_lowering(
+            (db, g) in arb_labeled_db(),
+            r1 in arb_rpq(2),
+            r2 in arb_rpq(2),
+        ) {
+            let q = Crpq::new(
+                ["x", "z"],
+                vec![
+                    CrpqAtom::new("x", r1, "y"),
+                    CrpqAtom::new("y", r2, "z"),
+                ],
+            ).unwrap();
+            let direct = q.eval(&g).unwrap();
+            let lowered = q.to_pgqro(&view_names()).unwrap();
+            prop_assert!(lowered.fragment().within(pgq_core::Fragment::Ro));
+            let via_core = pgq_core::eval(&lowered, &db).unwrap();
+            prop_assert_eq!(direct, via_core, "crpq {}", q);
+        }
+
+        /// display ∘ parse is the identity on RPQ expressions.
+        #[test]
+        fn display_parse_round_trip(r in arb_rpq(4)) {
+            let rendered = r.to_string();
+            let parsed = parse_rpq(&rendered).unwrap();
+            // `plus`/`optional` are derived forms, so compare the
+            // rendered normal forms rather than the ASTs.
+            prop_assert_eq!(parsed.to_string(), rendered);
+        }
+
+        /// Boolean CRPQs agree too (zero-column corner).
+        #[test]
+        fn boolean_crpq_agrees(
+            (db, g) in arb_labeled_db(),
+            r in arb_rpq(2),
+        ) {
+            let q = Crpq::new(
+                Vec::<Var>::new(),
+                vec![CrpqAtom::new("x", r, "y")],
+            ).unwrap();
+            let direct = q.eval(&g).unwrap();
+            let via_core = pgq_core::eval(&q.to_pgqro(&view_names()).unwrap(), &db).unwrap();
+            prop_assert_eq!(direct.as_bool(), via_core.as_bool());
+        }
+    }
+}

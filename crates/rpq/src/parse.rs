@@ -1,0 +1,313 @@
+//! A text syntax for (2)RPQ expressions, used by examples and tests.
+//!
+//! ```text
+//! expr   := term ('|' term)*            alternation
+//! term   := factor factor*              concatenation (juxtaposition)
+//!         | factor ('.' factor)*        explicit concatenation
+//! factor := atom ('*' | '+' | '?')*     postfix repetition
+//! atom   := label | label'^-' | '_' | '()' | '(' expr ')'
+//! label  := bare identifier or 'quoted string'
+//! ```
+//!
+//! `label^-` is the 2RPQ inverse (`⁻` also accepted), `_` matches any
+//! forward edge (`_^-` any backward edge), and `()` is ε.
+
+use crate::regex::Rpq;
+use pgq_value::Value;
+use std::fmt;
+
+/// A parse failure with a byte offset and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RpqParseError {
+    /// Byte offset into the source.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for RpqParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RPQ parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for RpqParseError {}
+
+/// Parse an RPQ expression (see module docs for the grammar).
+pub fn parse_rpq(src: &str) -> Result<Rpq, RpqParseError> {
+    let mut p = P { src: src.as_bytes(), pos: 0 };
+    let e = p.alternation()?;
+    p.ws();
+    if !p.done() {
+        return Err(p.fail("trailing input"));
+    }
+    Ok(e)
+}
+
+struct P<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn done(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn fail(&self, message: &str) -> RpqParseError {
+        RpqParseError { offset: self.pos, message: message.into() }
+    }
+
+    fn alternation(&mut self) -> Result<Rpq, RpqParseError> {
+        let mut acc = self.concatenation()?;
+        loop {
+            self.ws();
+            if self.peek() == Some(b'|') {
+                self.pos += 1;
+                acc = acc.or(self.concatenation()?);
+            } else {
+                return Ok(acc);
+            }
+        }
+    }
+
+    fn concatenation(&mut self) -> Result<Rpq, RpqParseError> {
+        let mut acc = self.postfix()?;
+        loop {
+            self.ws();
+            if self.peek() == Some(b'.') {
+                self.pos += 1;
+                acc = acc.then(self.postfix()?);
+                continue;
+            }
+            // `·` — the Display form of concatenation.
+            if self.src[self.pos..].starts_with("·".as_bytes()) {
+                self.pos += "·".len();
+                acc = acc.then(self.postfix()?);
+                continue;
+            }
+            // Juxtaposition: another atom starts here.
+            match self.peek() {
+                Some(c)
+                    if c == b'('
+                        || c == b'_'
+                        || c == b'\''
+                        || c == b'"'
+                        || c.is_ascii_alphanumeric() =>
+                {
+                    acc = acc.then(self.postfix()?);
+                }
+                Some(0xce) if self.src[self.pos..].starts_with("ε".as_bytes()) => {
+                    acc = acc.then(self.postfix()?);
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Rpq, RpqParseError> {
+        let mut acc = self.atom()?;
+        loop {
+            self.ws();
+            match self.peek() {
+                Some(b'*') => {
+                    self.pos += 1;
+                    acc = acc.star();
+                }
+                Some(b'+') => {
+                    self.pos += 1;
+                    acc = acc.plus();
+                }
+                Some(b'?') => {
+                    self.pos += 1;
+                    acc = acc.optional();
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<Rpq, RpqParseError> {
+        self.ws();
+        // `ε` — the Display form of the empty word.
+        if self.src[self.pos..].starts_with("ε".as_bytes()) {
+            self.pos += "ε".len();
+            return Ok(Rpq::Epsilon);
+        }
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                self.ws();
+                if self.peek() == Some(b')') {
+                    self.pos += 1;
+                    return Ok(Rpq::Epsilon);
+                }
+                let inner = self.alternation()?;
+                self.ws();
+                if self.peek() == Some(b')') {
+                    self.pos += 1;
+                    Ok(inner)
+                } else {
+                    Err(self.fail("expected `)`"))
+                }
+            }
+            Some(b'_') => {
+                self.pos += 1;
+                if self.inverse_marker() {
+                    Ok(Rpq::AnyInverse)
+                } else {
+                    Ok(Rpq::Any)
+                }
+            }
+            Some(q @ (b'\'' | b'"')) => {
+                self.pos += 1;
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c == q {
+                        let label = std::str::from_utf8(&self.src[start..self.pos])
+                            .map_err(|_| self.fail("non-UTF-8 label"))?
+                            .to_owned();
+                        self.pos += 1;
+                        return Ok(self.finish_label(label));
+                    }
+                    self.pos += 1;
+                }
+                Err(self.fail("unterminated label literal"))
+            }
+            Some(c) if c.is_ascii_alphanumeric() => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+                    self.pos += 1;
+                }
+                let label = std::str::from_utf8(&self.src[start..self.pos])
+                    .expect("ASCII identifier")
+                    .to_owned();
+                Ok(self.finish_label(label))
+            }
+            _ => Err(self.fail("expected a label, `_`, or `(`")),
+        }
+    }
+
+    /// `^-` (ASCII) or `⁻` (U+207B) after a label makes it an inverse.
+    fn inverse_marker(&mut self) -> bool {
+        if self.src[self.pos..].starts_with(b"^-") {
+            self.pos += 2;
+            return true;
+        }
+        let sup_minus = "⁻".as_bytes();
+        if self.src[self.pos..].starts_with(sup_minus) {
+            self.pos += sup_minus.len();
+            return true;
+        }
+        false
+    }
+
+    fn finish_label(&mut self, label: String) -> Rpq {
+        if self.inverse_marker() {
+            Rpq::Inverse(Value::str(label))
+        } else {
+            Rpq::Label(Value::str(label))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atoms_parse() {
+        assert_eq!(parse_rpq("knows").unwrap(), Rpq::label("knows"));
+        assert_eq!(parse_rpq("knows^-").unwrap(), Rpq::inverse("knows"));
+        assert_eq!(parse_rpq("knows⁻").unwrap(), Rpq::inverse("knows"));
+        assert_eq!(parse_rpq("_").unwrap(), Rpq::Any);
+        assert_eq!(parse_rpq("_^-").unwrap(), Rpq::AnyInverse);
+        assert_eq!(parse_rpq("()").unwrap(), Rpq::Epsilon);
+        assert_eq!(parse_rpq("'two words'").unwrap(), Rpq::label("two words"));
+    }
+
+    #[test]
+    fn postfix_operators() {
+        assert_eq!(parse_rpq("a*").unwrap(), Rpq::label("a").star());
+        assert_eq!(parse_rpq("a+").unwrap(), Rpq::label("a").plus());
+        assert_eq!(parse_rpq("a?").unwrap(), Rpq::label("a").optional());
+        // Stacked postfix applies left to right.
+        assert_eq!(parse_rpq("a*+").unwrap(), Rpq::label("a").star().plus());
+    }
+
+    #[test]
+    fn concatenation_both_ways() {
+        let expect = Rpq::label("a").then(Rpq::label("b"));
+        assert_eq!(parse_rpq("a.b").unwrap(), expect);
+        assert_eq!(parse_rpq("a b").unwrap(), expect);
+    }
+
+    #[test]
+    fn precedence_star_then_concat_then_union() {
+        // a.b* | c  parses as  (a·(b)*) | c
+        let got = parse_rpq("a.b* | c").unwrap();
+        let expect = Rpq::label("a").then(Rpq::label("b").star()).or(Rpq::label("c"));
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn parentheses_override() {
+        // (a|b)* groups the union under the star.
+        let got = parse_rpq("(a|b)*").unwrap();
+        let expect = Rpq::label("a").or(Rpq::label("b")).star();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn parsed_queries_evaluate() {
+        use crate::automaton::eval_rpq;
+        use pgq_graph::{ElementId, PropertyGraphBuilder};
+        use pgq_value::Value;
+        let mut b = PropertyGraphBuilder::unary();
+        for i in 0..3i64 {
+            b.node1(Value::int(i)).unwrap();
+        }
+        b.edge1(Value::int(10), Value::int(0), Value::int(1)).unwrap();
+        b.label(ElementId::unary(Value::int(10)), Value::str("knows")).unwrap();
+        b.edge1(Value::int(11), Value::int(1), Value::int(2)).unwrap();
+        b.label(ElementId::unary(Value::int(11)), Value::str("likes")).unwrap();
+        let g = b.finish();
+        let r = parse_rpq("knows.likes | likes^-").unwrap();
+        let pairs = eval_rpq(&r, &g);
+        assert_eq!(pairs.len(), 2); // 0→2 via concat, 2→1 via inverse
+    }
+
+    #[test]
+    fn display_round_trips() {
+        // Rpq::Display prints ε, ·, ⁻, and double-quoted labels — all of
+        // which the parser accepts, so display ∘ parse is the identity.
+        let cases = [
+            Rpq::label("a").then(Rpq::label("b")).star(),
+            Rpq::inverse("knows").optional().or(Rpq::Epsilon),
+            Rpq::Any.plus().then(Rpq::AnyInverse),
+        ];
+        for r in cases {
+            assert_eq!(parse_rpq(&r.to_string()).unwrap(), r, "via {}", r);
+        }
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let e = parse_rpq("a |").unwrap_err();
+        assert!(e.message.contains("expected a label"));
+        assert!(parse_rpq("(a").is_err());
+        assert!(parse_rpq("'oops").is_err());
+        assert!(parse_rpq("a ) b").is_err());
+        assert!(parse_rpq("*a").is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! Regular path query expressions.
+//!
+//! The classical RPQ formalism ([3, 4, 7] in the paper's related work):
+//! a regular expression over edge labels, matched against *paths* of a
+//! graph. The two-way extension (2RPQ) adds inverse atoms `ℓ⁻` that
+//! traverse an edge against its direction. These formalisms predate the
+//! property graph model — they see only edge labels, not properties —
+//! which is exactly the gap the paper's Section 1/related-work
+//! discussion draws between classical RPQ theory and SQL/PGQ.
+
+use pgq_value::Label;
+use std::fmt;
+
+/// A (two-way) regular path query over edge labels.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rpq {
+    /// `ℓ` — traverse one forward edge carrying label `ℓ`.
+    Label(Label),
+    /// `ℓ⁻` — traverse one edge carrying label `ℓ` *backwards* (the
+    /// 2RPQ inverse atom).
+    Inverse(Label),
+    /// `_` — traverse one forward edge with any labeling.
+    Any,
+    /// `_⁻` — traverse one edge backwards, any labeling.
+    AnyInverse,
+    /// `ε` — the empty word: stay on the current node.
+    Epsilon,
+    /// `r1 · r2` — concatenation.
+    Concat(Box<Rpq>, Box<Rpq>),
+    /// `r1 | r2` — alternation.
+    Union(Box<Rpq>, Box<Rpq>),
+    /// `r*` — Kleene star.
+    Star(Box<Rpq>),
+}
+
+impl Rpq {
+    /// `ℓ` from anything label-like.
+    pub fn label(l: impl Into<Label>) -> Self {
+        Rpq::Label(l.into())
+    }
+
+    /// `ℓ⁻`.
+    pub fn inverse(l: impl Into<Label>) -> Self {
+        Rpq::Inverse(l.into())
+    }
+
+    /// `self · other`.
+    pub fn then(self, other: Rpq) -> Self {
+        Rpq::Concat(Box::new(self), Box::new(other))
+    }
+
+    /// `self | other`.
+    pub fn or(self, other: Rpq) -> Self {
+        Rpq::Union(Box::new(self), Box::new(other))
+    }
+
+    /// `self*`.
+    pub fn star(self) -> Self {
+        Rpq::Star(Box::new(self))
+    }
+
+    /// `self+ = self · self*`.
+    pub fn plus(self) -> Self {
+        self.clone().then(self.star())
+    }
+
+    /// `self? = ε | self`.
+    pub fn optional(self) -> Self {
+        Rpq::Epsilon.or(self)
+    }
+
+    /// Concatenate a sequence of expressions (`ε` for an empty input).
+    pub fn seq<I: IntoIterator<Item = Rpq>>(parts: I) -> Self {
+        parts
+            .into_iter()
+            .reduce(Rpq::then)
+            .unwrap_or(Rpq::Epsilon)
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            Rpq::Label(_) | Rpq::Inverse(_) | Rpq::Any | Rpq::AnyInverse | Rpq::Epsilon => 1,
+            Rpq::Concat(a, b) | Rpq::Union(a, b) => 1 + a.size() + b.size(),
+            Rpq::Star(a) => 1 + a.size(),
+        }
+    }
+
+    /// Whether any inverse atom occurs (i.e. the query is a proper
+    /// 2RPQ rather than a plain RPQ).
+    pub fn is_two_way(&self) -> bool {
+        match self {
+            Rpq::Inverse(_) | Rpq::AnyInverse => true,
+            Rpq::Label(_) | Rpq::Any | Rpq::Epsilon => false,
+            Rpq::Concat(a, b) | Rpq::Union(a, b) => a.is_two_way() || b.is_two_way(),
+            Rpq::Star(a) => a.is_two_way(),
+        }
+    }
+}
+
+impl fmt::Display for Rpq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rpq::Label(l) => write!(f, "{l}"),
+            Rpq::Inverse(l) => write!(f, "{l}⁻"),
+            Rpq::Any => write!(f, "_"),
+            Rpq::AnyInverse => write!(f, "_⁻"),
+            Rpq::Epsilon => write!(f, "ε"),
+            Rpq::Concat(a, b) => write!(f, "({a}·{b})"),
+            Rpq::Union(a, b) => write!(f, "({a}|{b})"),
+            Rpq::Star(a) => write!(f, "({a})*"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let r = Rpq::label("knows").plus().then(Rpq::inverse("follows").optional());
+        assert!(r.is_two_way());
+        assert!(r.size() >= 6);
+    }
+
+    #[test]
+    fn one_way_detection() {
+        let r = Rpq::label("a").then(Rpq::label("b").star()).or(Rpq::Any);
+        assert!(!r.is_two_way());
+    }
+
+    #[test]
+    fn seq_of_nothing_is_epsilon() {
+        assert_eq!(Rpq::seq([]), Rpq::Epsilon);
+    }
+
+    #[test]
+    fn display_is_parenthesized() {
+        // String labels render quoted (the `Value` Display convention).
+        let r = Rpq::label("a").or(Rpq::label("b")).star();
+        assert_eq!(r.to_string(), "((\"a\"|\"b\"))*");
+    }
+}

@@ -1,0 +1,119 @@
+//! Lowering RPQs into the paper's pattern language (Figure 1).
+//!
+//! Every (2)RPQ is expressible as a core PGQ pattern: a label atom `ℓ`
+//! becomes an edge atom filtered by `ℓ(e)`, inverses use the backward
+//! edge atom, and the regular operators map to concatenation, `+`, and
+//! unbounded repetition. This is the containment "RPQs live inside the
+//! pattern-matching layer" that lets the paper treat classical RPQ
+//! expressiveness results as a lower bound for `PGQro`.
+//!
+//! One subtlety: Figure 1 requires `fv(ψ1) = fv(ψ2)` for a union
+//! `ψ1 + ψ2`, and an edge atom carrying a filter needs a variable. We
+//! therefore wrap every filtered atom in a trivial repetition
+//! `ψ^{1..1}`, which by Figure 1 *discards* bindings (`fv(ψ^{n..m}) =
+//! ∅`). All lowered patterns are thus variable-free, and unions are
+//! always well formed.
+
+use crate::regex::Rpq;
+use pgq_pattern::{Condition, Direction, Pattern, RepBound};
+use pgq_value::VarGen;
+
+/// Lower an RPQ to a variable-free core pattern. Endpoint semantics of
+/// the result (Figure 2) coincide with automaton evaluation
+/// ([`crate::automaton::eval_rpq`]); this is property-tested in
+/// `lib.rs`.
+pub fn rpq_to_pattern(r: &Rpq) -> Pattern {
+    let mut vars = VarGen::new();
+    lower(r, &mut vars)
+}
+
+fn lower(r: &Rpq, vars: &mut VarGen) -> Pattern {
+    match r {
+        Rpq::Epsilon => Pattern::Node(None),
+        Rpq::Any => Pattern::Edge(None, Direction::Forward),
+        Rpq::AnyInverse => Pattern::Edge(None, Direction::Backward),
+        Rpq::Label(l) => labeled_edge(l.clone(), Direction::Forward, vars),
+        Rpq::Inverse(l) => labeled_edge(l.clone(), Direction::Backward, vars),
+        Rpq::Concat(a, b) => Pattern::Concat(
+            Box::new(lower(a, vars)),
+            Box::new(lower(b, vars)),
+        ),
+        Rpq::Union(a, b) => Pattern::Union(
+            Box::new(lower(a, vars)),
+            Box::new(lower(b, vars)),
+        ),
+        Rpq::Star(a) => Pattern::Repeat(Box::new(lower(a, vars)), 0, RepBound::Infinite),
+    }
+}
+
+/// `-e->⟨ℓ(e)⟩` wrapped in `^{1..1}` to discard the binding of `e`.
+fn labeled_edge(l: pgq_value::Label, dir: Direction, vars: &mut VarGen) -> Pattern {
+    let e = vars.fresh("e");
+    let filtered = Pattern::Filter(
+        Box::new(Pattern::Edge(Some(e.clone()), dir)),
+        Condition::HasLabel(e, l),
+    );
+    Pattern::Repeat(Box::new(filtered), 1, RepBound::Finite(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::eval_rpq;
+    use pgq_graph::{ElementId, PropertyGraphBuilder};
+    use pgq_pattern::{endpoint_pairs, eval_pattern};
+    use pgq_value::Value;
+
+    fn diamond() -> pgq_graph::PropertyGraph {
+        // 0 -a-> 1 -b-> 3, 0 -b-> 2 -a-> 3, 3 -a-> 0
+        let mut b = PropertyGraphBuilder::unary();
+        for n in 0..4i64 {
+            b.node1(Value::int(n)).unwrap();
+        }
+        let mut add = |id: i64, s: i64, t: i64, l: &str| {
+            b.edge1(Value::int(id), Value::int(s), Value::int(t)).unwrap();
+            b.label(ElementId::unary(Value::int(id)), Value::str(l)).unwrap();
+        };
+        add(10, 0, 1, "a");
+        add(11, 1, 3, "b");
+        add(12, 0, 2, "b");
+        add(13, 2, 3, "a");
+        add(14, 3, 0, "a");
+        b.finish()
+    }
+
+    fn check(r: &Rpq) {
+        let g = diamond();
+        let via_automaton = eval_rpq(r, &g);
+        let p = rpq_to_pattern(r);
+        assert!(p.free_vars().is_empty(), "lowered pattern must be closed: {p:?}");
+        let via_pattern = endpoint_pairs(&eval_pattern(&p, &g).unwrap());
+        assert_eq!(via_automaton, via_pattern, "rpq: {r}");
+    }
+
+    #[test]
+    fn atoms_agree() {
+        check(&Rpq::label("a"));
+        check(&Rpq::label("b"));
+        check(&Rpq::inverse("a"));
+        check(&Rpq::Any);
+        check(&Rpq::AnyInverse);
+        check(&Rpq::Epsilon);
+    }
+
+    #[test]
+    fn composites_agree() {
+        check(&Rpq::label("a").then(Rpq::label("b")));
+        check(&Rpq::label("a").or(Rpq::label("b")));
+        check(&Rpq::label("a").star());
+        check(&Rpq::label("a").or(Rpq::label("b")).plus());
+        check(&Rpq::label("a").then(Rpq::inverse("b")).optional());
+    }
+
+    #[test]
+    fn union_of_mixed_direction_atoms_is_well_formed() {
+        // The whole point of the ^{1..1} wrapping: ℓ | ℓ⁻ unions atoms
+        // with different fresh variables.
+        check(&Rpq::label("a").or(Rpq::inverse("a")).star());
+    }
+}

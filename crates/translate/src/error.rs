@@ -1,0 +1,104 @@
+//! Errors of the constructive translations.
+
+use std::fmt;
+
+/// Why a translation could not be produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TranslateError {
+    /// A relation name outside the schema.
+    UnknownRelation(String),
+    /// A positional reference out of range.
+    PositionOutOfRange {
+        /// 0-based position.
+        position: usize,
+        /// Arity it was applied against.
+        arity: usize,
+    },
+    /// Set operation over different arities.
+    ArityMismatch {
+        /// Left arity.
+        left: usize,
+        /// Right arity.
+        right: usize,
+    },
+    /// The six view subqueries do not have the `(k, k, 2k, 2k, k+1,
+    /// k+2)` arity shape.
+    ViewShape {
+        /// Expected arity.
+        expected: usize,
+        /// Found arity.
+        found: usize,
+    },
+    /// Identifier arity 0 (view over 0-ary node query).
+    ZeroIdentifierArity,
+    /// A condition outside the translatable fragment (order comparisons
+    /// need a built-in order relation that core FO lacks).
+    UnsupportedCondition(String),
+    /// An output item references a variable never bound by the pattern.
+    UnboundOutputVar(String),
+    /// Pattern-layer error (stringified).
+    Pattern(String),
+    /// Query-layer error (stringified).
+    Query(String),
+    /// The schema declares no relations, so the active-domain query
+    /// `Q_A` of Theorem 6.2 cannot be formed.
+    EmptySchema,
+    /// The formula exceeds the requested `FO[TCn]` fragment.
+    TcArityExceeded {
+        /// Largest TC arity found.
+        found: usize,
+        /// The requested bound.
+        bound: usize,
+    },
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::UnknownRelation(n) => write!(f, "unknown relation {n}"),
+            TranslateError::PositionOutOfRange { position, arity } => {
+                write!(f, "position ${} out of range for arity {arity}", position + 1)
+            }
+            TranslateError::ArityMismatch { left, right } => {
+                write!(f, "set operation over arities {left} and {right}")
+            }
+            TranslateError::ViewShape { expected, found } => {
+                write!(f, "view subquery arity {found}, expected {expected}")
+            }
+            TranslateError::ZeroIdentifierArity => write!(f, "identifier arity 0"),
+            TranslateError::UnsupportedCondition(s) => write!(f, "unsupported condition: {s}"),
+            TranslateError::UnboundOutputVar(v) => {
+                write!(f, "output references unbound variable {v}")
+            }
+            TranslateError::Pattern(s) => write!(f, "pattern error: {s}"),
+            TranslateError::Query(s) => write!(f, "query error: {s}"),
+            TranslateError::EmptySchema => write!(f, "schema declares no relations"),
+            TranslateError::TcArityExceeded { found, bound } => {
+                write!(f, "TC arity {found} exceeds the FO[TC{bound}] bound")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(TranslateError::UnknownRelation("R".into())
+            .to_string()
+            .contains('R'));
+        assert!(TranslateError::PositionOutOfRange {
+            position: 2,
+            arity: 1
+        }
+        .to_string()
+        .contains("$3"));
+        assert!(TranslateError::TcArityExceeded { found: 3, bound: 2 }
+            .to_string()
+            .contains("FO[TC2]"));
+    }
+}

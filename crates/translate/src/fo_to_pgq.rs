@@ -1,0 +1,709 @@
+//! `T : FO[TC] → PGQext` — Theorem 6.2, with the graph-view construction
+//! of Lemma 9.4 (repaired; DESIGN.md notes 9 and 10).
+//!
+//! The `TC` clause builds, *inside the query*, a property graph whose
+//! composite identifiers fold in the closure parameters:
+//!
+//! * edge identifiers `(ā, b̄, c̄)` for each step `φ(ā, b̄, c̄)` with
+//!   `ā ≠ b̄` (self-loops dropped — harmless, `TC` is reflexive, and
+//!   necessary: the paper's duplicated node ids `(ā, ā)` collide with
+//!   self-loop edge ids);
+//! * node identifiers `(ā, ā, c̄)` — the duplication gives nodes and
+//!   edges the common arity `2k + ℓ` that `pgView_ext` requires;
+//! * `src(ā, b̄, c̄) = (ā, ā, c̄)` and `tgt(ā, b̄, c̄) = (b̄, b̄, c̄)` (the
+//!   printed lemma's `π_v̄(E)`/`π_ū(E)` have the wrong arity for R3/R4);
+//! * because both endpoints of every edge carry the same `c̄`, a single
+//!   instance-independent reachability query replaces the paper's
+//!   instance-dependent union `⋃_{c̄ ∈ C}`;
+//! * the reflexive pairs `adom^k × adom^ℓ` are restored by an explicit
+//!   union (the view's `ψ⁰` only covers nodes occurring in some edge).
+//!
+//! **Finding F1**: a `TCk` subformula with `ℓ` parameters yields
+//! identifier arity `2k + ℓ`, not `k`; [`FoToPgqResult::max_view_arity`]
+//! reports the arity actually used (measured in experiment E8).
+
+use crate::error::TranslateError;
+use pgq_core::{builders, Query};
+use pgq_logic::{Formula, Term};
+use pgq_relational::{RowCondition, Schema};
+use pgq_value::{Value, Var};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The result of translating a formula: the query plus the largest
+/// identifier arity any constructed view uses (Finding F1's measurement).
+#[derive(Debug, Clone)]
+pub struct FoToPgqResult {
+    /// The equivalent `PGQext` query, with columns in the order
+    /// requested from [`fo_to_pgq`].
+    pub query: Query,
+    /// Maximum identifier arity across all constructed graph views
+    /// (`0` when the formula has no `TC`).
+    pub max_view_arity: usize,
+}
+
+/// Translates `φ(x̄)` into a `PGQext` query whose columns follow `order`
+/// (Theorem 6.2). Variables in `order` that are not free in `φ` range
+/// over the active domain, mirroring `eval_ordered`.
+pub fn fo_to_pgq(
+    phi: &Formula,
+    order: &[Var],
+    schema: &Schema,
+) -> Result<FoToPgqResult, TranslateError> {
+    phi.validate()
+        .map_err(|e| TranslateError::Query(e.to_string()))?;
+    let mut tr = Translator {
+        schema,
+        max_view_arity: 0,
+    };
+    let q = tr.formula(phi)?;
+    // Reorder/pad to the requested order.
+    let mut target: Vec<Var> = q.vars.clone();
+    for v in order {
+        if !target.contains(v) {
+            target.push(v.clone());
+        }
+    }
+    target.sort();
+    target.dedup();
+    let wide = tr.pad_to(q, &target)?;
+    let positions: Vec<usize> = order
+        .iter()
+        .map(|v| wide.vars.iter().position(|w| w == v).expect("superset"))
+        .collect();
+    Ok(FoToPgqResult {
+        query: wide.query.project(positions),
+        max_view_arity: tr.max_view_arity,
+    })
+}
+
+/// Like [`fo_to_pgq`] but enforcing the `FO[TCn]` fragment bound first
+/// (Theorem 6.6's hypothesis). The produced query still uses views of
+/// arity up to `2n + ℓ` — Finding F1.
+pub fn fo_tcn_to_pgq(
+    phi: &Formula,
+    order: &[Var],
+    schema: &Schema,
+    n: usize,
+) -> Result<FoToPgqResult, TranslateError> {
+    let found = phi.max_tc_arity();
+    if found > n {
+        return Err(TranslateError::TcArityExceeded { found, bound: n });
+    }
+    fo_to_pgq(phi, order, schema)
+}
+
+/// A query with named, sorted columns.
+struct QCols {
+    query: Query,
+    /// Sorted column variables.
+    vars: Vec<Var>,
+}
+
+struct Translator<'a> {
+    schema: &'a Schema,
+    max_view_arity: usize,
+}
+
+impl<'a> Translator<'a> {
+    fn adom(&self) -> Result<Query, TranslateError> {
+        builders::active_domain(self.schema).ok_or(TranslateError::EmptySchema)
+    }
+
+    fn unit(&self) -> Result<Query, TranslateError> {
+        builders::unit(self.schema).ok_or(TranslateError::EmptySchema)
+    }
+
+    /// An always-empty query of the given arity (σ with a contradictory
+    /// condition on the cheap unary active-domain query, then a
+    /// duplicating projection).
+    fn empty_of(&self, arity: usize) -> Result<Query, TranslateError> {
+        let none = self
+            .adom()?
+            .select(RowCondition::col_eq(0, 0).not());
+        Ok(none.project(vec![0; arity]))
+    }
+
+    /// `σ_{$i = c}` staying in the core grammar: product with the
+    /// constant query, positional equality, project away the helper
+    /// column (the `PGQrw` idiom for constant selection).
+    fn select_eq_const(&self, q: Query, arity: usize, i: usize, c: &Value) -> Query {
+        q.product(Query::constant(c.clone()))
+            .select(RowCondition::col_eq(i, arity))
+            .project((0..arity).collect::<Vec<_>>())
+    }
+
+    /// Pads `q` to the sorted superset `target` (missing columns range
+    /// over the active domain) and reorders.
+    fn pad_to(&self, q: QCols, target: &[Var]) -> Result<QCols, TranslateError> {
+        debug_assert!(target.windows(2).all(|w| w[0] < w[1]));
+        if q.vars == target {
+            return Ok(q);
+        }
+        let missing: Vec<&Var> = target.iter().filter(|v| !q.vars.contains(v)).collect();
+        let mut query = q.query;
+        for _ in 0..missing.len() {
+            query = query.product(self.adom()?);
+        }
+        let mut current: Vec<&Var> = q.vars.iter().collect();
+        current.extend(missing);
+        let positions: Vec<usize> = target
+            .iter()
+            .map(|v| current.iter().position(|c| *c == v).expect("superset"))
+            .collect();
+        Ok(QCols {
+            query: query.project(positions),
+            vars: target.to_vec(),
+        })
+    }
+
+    /// Natural join over shared columns.
+    fn join(&self, a: QCols, b: QCols) -> QCols {
+        let na = a.vars.len();
+        let mut query = a.query.product(b.query);
+        let mut conds: Vec<RowCondition> = Vec::new();
+        for (j, v) in b.vars.iter().enumerate() {
+            if let Some(i) = a.vars.iter().position(|w| w == v) {
+                conds.push(RowCondition::col_eq(i, na + j));
+            }
+        }
+        if !conds.is_empty() {
+            query = query.select(RowCondition::and_all(conds));
+        }
+        // Keep the first occurrence of each var, sorted.
+        let mut vars: Vec<Var> = a.vars.clone();
+        let mut positions: Vec<usize> = (0..na).collect();
+        for (j, v) in b.vars.iter().enumerate() {
+            if !a.vars.contains(v) {
+                vars.push(v.clone());
+                positions.push(na + j);
+            }
+        }
+        let mut paired: Vec<(Var, usize)> = vars.into_iter().zip(positions).collect();
+        paired.sort_by(|x, y| x.0.cmp(&y.0));
+        let (vars, positions): (Vec<Var>, Vec<usize>) = paired.into_iter().unzip();
+        QCols {
+            query: query.project(positions),
+            vars,
+        }
+    }
+
+    fn formula(&mut self, phi: &Formula) -> Result<QCols, TranslateError> {
+        match phi {
+            Formula::True => Ok(QCols {
+                query: self.unit()?,
+                vars: vec![],
+            }),
+            Formula::False => Ok(QCols {
+                query: self.empty_of(0)?,
+                vars: vec![],
+            }),
+
+            Formula::Atom(name, ts) => {
+                let arity = self
+                    .schema
+                    .arity_of(name)
+                    .ok_or_else(|| TranslateError::UnknownRelation(name.to_string()))?;
+                if arity != ts.len() {
+                    return Err(TranslateError::ArityMismatch {
+                        left: arity,
+                        right: ts.len(),
+                    });
+                }
+                let mut query = Query::rel(name.clone());
+                // Pin constants, equate repeated variables.
+                let mut first: BTreeMap<&Var, usize> = BTreeMap::new();
+                let mut eqs: Vec<RowCondition> = Vec::new();
+                for (i, t) in ts.iter().enumerate() {
+                    match t {
+                        Term::Const(c) => {
+                            query = self.select_eq_const(query, arity, i, c);
+                        }
+                        Term::Var(v) => match first.get(v) {
+                            Some(&f) => eqs.push(RowCondition::col_eq(f, i)),
+                            None => {
+                                first.insert(v, i);
+                            }
+                        },
+                    }
+                }
+                if !eqs.is_empty() {
+                    query = query.select(RowCondition::and_all(eqs));
+                }
+                let vars: Vec<Var> = first.keys().map(|v| (*v).clone()).collect();
+                let positions: Vec<usize> = first.values().copied().collect();
+                Ok(QCols {
+                    query: query.project(positions),
+                    vars,
+                })
+            }
+
+            Formula::Eq(a, b) => match (a, b) {
+                (Term::Const(c1), Term::Const(c2)) => Ok(QCols {
+                    query: if c1 == c2 {
+                        self.unit()?
+                    } else {
+                        self.empty_of(0)?
+                    },
+                    vars: vec![],
+                }),
+                (Term::Var(x), Term::Const(c)) | (Term::Const(c), Term::Var(x)) => Ok(QCols {
+                    // ⟦c⟧ is already {c} ∩ adom — exactly x = c under
+                    // active-domain semantics.
+                    query: Query::constant(c.clone()),
+                    vars: vec![x.clone()],
+                }),
+                (Term::Var(x), Term::Var(y)) if x == y => Ok(QCols {
+                    query: self.adom()?,
+                    vars: vec![x.clone()],
+                }),
+                (Term::Var(x), Term::Var(y)) => {
+                    let q = self
+                        .adom()?
+                        .product(self.adom()?)
+                        .select(RowCondition::col_eq(0, 1));
+                    let mut vars = vec![x.clone(), y.clone()];
+                    vars.sort();
+                    Ok(QCols { query: q, vars })
+                }
+            },
+
+            Formula::Not(f) => {
+                let inner = self.formula(f)?;
+                let full = if inner.vars.is_empty() {
+                    self.unit()?
+                } else {
+                    let mut acc = self.adom()?;
+                    for _ in 1..inner.vars.len() {
+                        acc = acc.product(self.adom()?);
+                    }
+                    acc
+                };
+                Ok(QCols {
+                    query: full.diff(inner.query),
+                    vars: inner.vars,
+                })
+            }
+
+            Formula::And(a, b) => {
+                let left = self.formula(a)?;
+                let right = self.formula(b)?;
+                Ok(self.join(left, right))
+            }
+
+            Formula::Or(a, b) => {
+                let left = self.formula(a)?;
+                let right = self.formula(b)?;
+                let mut all: BTreeSet<Var> = left.vars.iter().cloned().collect();
+                all.extend(right.vars.iter().cloned());
+                let target: Vec<Var> = all.into_iter().collect();
+                let l = self.pad_to(left, &target)?;
+                let r = self.pad_to(right, &target)?;
+                Ok(QCols {
+                    query: l.query.union(r.query),
+                    vars: target,
+                })
+            }
+
+            Formula::Exists(vs, f) => {
+                let inner = self.formula(f)?;
+                let mut all: BTreeSet<Var> = inner.vars.iter().cloned().collect();
+                all.extend(vs.iter().cloned());
+                let target: Vec<Var> = all.into_iter().collect();
+                let wide = self.pad_to(inner, &target)?;
+                let keep: Vec<usize> = wide
+                    .vars
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| !vs.contains(v))
+                    .map(|(i, _)| i)
+                    .collect();
+                let vars: Vec<Var> = keep.iter().map(|&i| wide.vars[i].clone()).collect();
+                Ok(QCols {
+                    query: wide.query.project(keep),
+                    vars,
+                })
+            }
+
+            Formula::Forall(vs, f) => {
+                let rewritten = Formula::exists(vs.clone(), f.as_ref().clone().not()).not();
+                self.formula(&rewritten)
+            }
+
+            Formula::Tc { u, v, body, x, y } => self.tc(u, v, body, x, y),
+        }
+    }
+
+    /// The repaired Lemma 9.4 construction (module docs).
+    fn tc(
+        &mut self,
+        u: &[Var],
+        v: &[Var],
+        body: &Formula,
+        x: &[Term],
+        y: &[Term],
+    ) -> Result<QCols, TranslateError> {
+        let k = u.len();
+        // Parameters: sorted fv(body) − ū − v̄.
+        let mut param_set: BTreeSet<Var> = body.free_vars();
+        for w in u.iter().chain(v) {
+            param_set.remove(w);
+        }
+        let params: Vec<Var> = param_set.iter().cloned().collect();
+        let l = params.len();
+        let m = 2 * k + l; // identifier arity (Finding F1)
+        self.max_view_arity = self.max_view_arity.max(m);
+
+        // Step table T(φ) over columns [ū, v̄, p̄] (in that order).
+        let body_q = self.formula(body)?;
+        let mut target: Vec<Var> = param_set.iter().cloned().collect();
+        target.extend(u.iter().cloned());
+        target.extend(v.iter().cloned());
+        target.sort();
+        target.dedup();
+        let wide = self.pad_to(body_q, &target)?;
+        let col = |w: &Var| wide.vars.iter().position(|c| c == w).expect("covered");
+        let mut order: Vec<usize> = u.iter().map(&col).collect();
+        order.extend(v.iter().map(&col));
+        order.extend(params.iter().map(&col));
+        let steps = wide.query.project(order); // arity 2k + ℓ
+
+        // Edges: drop self-loops (ū = v̄ componentwise).
+        let diag_cond =
+            RowCondition::and_all((0..k).map(|i| RowCondition::col_eq(i, k + i)));
+        let edges = steps.clone().select(diag_cond.clone().not()); // (ā, b̄, c̄)
+
+        // Nodes: (ā, ā, c̄) ∪ (b̄, b̄, c̄) from the edges.
+        let src_dup: Vec<usize> = (0..k).chain(0..k).chain(2 * k..2 * k + l).collect();
+        let tgt_dup: Vec<usize> = (k..2 * k).chain(k..2 * k).chain(2 * k..2 * k + l).collect();
+        let nodes = edges
+            .clone()
+            .project(src_dup.clone())
+            .union(edges.clone().project(tgt_dup.clone()));
+
+        // src: edge id ++ source node id; tgt analogous.
+        let all: Vec<usize> = (0..m).collect();
+        let src_proj: Vec<usize> = all.iter().copied().chain(src_dup).collect();
+        let tgt_proj: Vec<usize> = all.iter().copied().chain(tgt_dup).collect();
+        let src_q = edges.clone().project(src_proj);
+        let tgt_q = edges.clone().project(tgt_proj);
+
+        // ψreach over the constructed view (labels/properties empty).
+        let reach = Query::pattern_ext(
+            builders::reachability_output(),
+            [
+                nodes,
+                edges,
+                src_q,
+                tgt_q,
+                self.empty_of(m + 1)?,
+                self.empty_of(m + 2)?,
+            ],
+        );
+        // reach columns: [ā, ā, c̄, b̄, b̄, c̄′] (c̄ = c̄′ since paths stay
+        // within one parameter slice). Project to [x̄-slots, ȳ-slots, p̄].
+        let pair_proj: Vec<usize> = (0..k)
+            .chain(m..m + k) // b̄ from the second identifier
+            .chain(2 * k..2 * k + l)
+            .collect();
+        let paths = reach.project(pair_proj);
+
+        // Reflexive pairs: (ā, ā) for every ā ∈ adom^k, for every c̄.
+        let mut diag = builders::adom_power(self.schema, k)
+            .ok_or(TranslateError::EmptySchema)?
+            .project((0..k).chain(0..k).collect::<Vec<_>>());
+        for _ in 0..l {
+            diag = diag.product(self.adom()?);
+        }
+        let pairs = paths.union(diag); // columns [x̄ (k), ȳ (k), p̄ (ℓ)]
+
+        // Apply the term patterns x̄, ȳ and expose the free variables.
+        let arity = 2 * k + l;
+        let mut query = pairs;
+        let mut first: BTreeMap<Var, usize> = BTreeMap::new();
+        let mut eqs: Vec<RowCondition> = Vec::new();
+        for (pos, term) in x
+            .iter()
+            .enumerate()
+            .chain(y.iter().enumerate().map(|(i, t)| (k + i, t)))
+        {
+            match term {
+                Term::Const(c) => {
+                    query = self.select_eq_const(query, arity, pos, c);
+                }
+                Term::Var(w) => match first.get(w) {
+                    Some(&f) => eqs.push(RowCondition::col_eq(f, pos)),
+                    None => {
+                        first.insert(w.clone(), pos);
+                    }
+                },
+            }
+        }
+        for (j, p) in params.iter().enumerate() {
+            let pos = 2 * k + j;
+            match first.get(p) {
+                Some(&f) => eqs.push(RowCondition::col_eq(f, pos)),
+                None => {
+                    first.insert(p.clone(), pos);
+                }
+            }
+        }
+        if !eqs.is_empty() {
+            query = query.select(RowCondition::and_all(eqs));
+        }
+        let vars: Vec<Var> = first.keys().cloned().collect();
+        let positions: Vec<usize> = first.values().copied().collect();
+        Ok(QCols {
+            query: query.project(positions),
+            vars,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_core::eval as eval_pgq;
+    use pgq_logic::eval_ordered;
+    use pgq_relational::{Database, Relation};
+    use pgq_value::tuple;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        for (s, t) in [(0i64, 1i64), (1, 2), (2, 3)] {
+            db.insert("E", tuple![s, t]).unwrap();
+        }
+        db.insert("V", tuple![0]).unwrap();
+        db.insert("V", tuple![9]).unwrap();
+        db
+    }
+
+    fn v(s: &str) -> Var {
+        Var::new(s)
+    }
+
+    fn check_equal(phi: &Formula, order: &[Var], db: &Database) -> FoToPgqResult {
+        let res = fo_to_pgq(phi, order, &db.schema()).unwrap();
+        let via_pgq = eval_pgq(&res.query, db).unwrap();
+        let via_fo = eval_ordered(phi, order, db).unwrap();
+        assert_eq!(via_pgq, via_fo, "formula {phi}");
+        res
+    }
+
+    #[test]
+    fn atoms_equality_booleans() {
+        let d = db();
+        let xy = [v("x"), v("y")];
+        check_equal(&Formula::atom("E", ["x", "y"]), &xy, &d);
+        check_equal(&Formula::atom("E", [Term::constant(1), Term::var("y")]), &xy, &d);
+        check_equal(&Formula::atom("E", ["x", "x"]), &[v("x")], &d);
+        check_equal(&Formula::eq(Term::var("x"), Term::var("y")), &xy, &d);
+        check_equal(&Formula::eq(Term::var("x"), Term::constant(2)), &[v("x")], &d);
+        check_equal(&Formula::eq(Term::constant(1), Term::constant(1)), &[], &d);
+        check_equal(&Formula::eq(Term::constant(1), Term::constant(2)), &[], &d);
+        check_equal(&Formula::True, &[], &d);
+        check_equal(&Formula::False, &[], &d);
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let d = db();
+        let xy = [v("x"), v("y")];
+        let e = Formula::atom("E", ["x", "y"]);
+        let vx = Formula::atom("V", ["x"]);
+        check_equal(&e.clone().and(vx.clone()), &xy, &d);
+        check_equal(&e.clone().or(vx.clone()), &xy, &d);
+        check_equal(&e.clone().not(), &xy, &d);
+        check_equal(&vx.clone().not(), &[v("x")], &d);
+        check_equal(&e.and(vx.not()).not(), &xy, &d);
+    }
+
+    #[test]
+    fn quantifiers() {
+        let d = db();
+        let e = Formula::atom("E", ["x", "y"]);
+        check_equal(&Formula::exists(["y"], e.clone()), &[v("x")], &d);
+        check_equal(&Formula::forall(["y"], e.clone()), &[v("x")], &d);
+        check_equal(
+            &Formula::exists(["x", "y"], e.clone()),
+            &[],
+            &d,
+        );
+        // ∀x ∃y: not all nodes have successors.
+        check_equal(
+            &Formula::forall(["x"], Formula::exists(["y"], e)),
+            &[],
+            &d,
+        );
+    }
+
+    #[test]
+    fn tc_without_parameters() {
+        let d = db();
+        let tc = Formula::tc(
+            vec![v("u")],
+            vec![v("w")],
+            Formula::atom("E", ["u", "w"]),
+            vec![Term::var("x")],
+            vec![Term::var("y")],
+        );
+        let res = check_equal(&tc, &[v("x"), v("y")], &d);
+        // Finding F1: identifier arity 2·1 + 0.
+        assert_eq!(res.max_view_arity, 2);
+    }
+
+    #[test]
+    fn tc_applied_to_constants() {
+        let d = db();
+        let tc = |a: i64, b: i64| {
+            Formula::tc(
+                vec![v("u")],
+                vec![v("w")],
+                Formula::atom("E", ["u", "w"]),
+                vec![Term::constant(a)],
+                vec![Term::constant(b)],
+            )
+        };
+        check_equal(&tc(0, 3), &[], &d);
+        check_equal(&tc(3, 0), &[], &d);
+        check_equal(&tc(9, 9), &[], &d); // reflexive on an isolated node
+    }
+
+    #[test]
+    fn tc_with_parameters() {
+        let mut d = Database::new();
+        d.insert("E", tuple![0, 1, "red"]).unwrap();
+        d.insert("E", tuple![1, 2, "blue"]).unwrap();
+        d.insert("E", tuple![1, 2, "red"]).unwrap();
+        let tc = Formula::tc(
+            vec![v("u")],
+            vec![v("w")],
+            Formula::atom("E", ["u", "w", "p"]),
+            vec![Term::var("x")],
+            vec![Term::var("y")],
+        );
+        let res = check_equal(&tc, &[v("x"), v("y"), v("p")], &d);
+        // 2·1 + 1 parameter.
+        assert_eq!(res.max_view_arity, 3);
+    }
+
+    #[test]
+    fn tc_repeated_and_param_sharing_terms() {
+        let d = db();
+        // TC[E](x, x): reflexive only.
+        let tc = Formula::tc(
+            vec![v("u")],
+            vec![v("w")],
+            Formula::atom("E", ["u", "w"]),
+            vec![Term::var("x")],
+            vec![Term::var("x")],
+        );
+        check_equal(&tc, &[v("x")], &d);
+    }
+
+    #[test]
+    fn binary_tc_pairs() {
+        let mut d = Database::new();
+        d.insert("E4", tuple![0, 0, 0, 1]).unwrap();
+        d.insert("E4", tuple![0, 1, 1, 1]).unwrap();
+        let tc = Formula::tc(
+            vec![v("u1"), v("u2")],
+            vec![v("w1"), v("w2")],
+            Formula::atom("E4", ["u1", "u2", "w1", "w2"]),
+            vec![Term::var("x1"), Term::var("x2")],
+            vec![Term::var("y1"), Term::var("y2")],
+        );
+        let res = check_equal(&tc, &[v("x1"), v("x2"), v("y1"), v("y2")], &d);
+        assert_eq!(res.max_view_arity, 4);
+    }
+
+    #[test]
+    fn nested_tc_inside_connectives() {
+        let d = db();
+        let reach = |a: &str, b: &str| {
+            Formula::tc(
+                vec![v("u")],
+                vec![v("w")],
+                Formula::atom("E", ["u", "w"]),
+                vec![Term::var(a)],
+                vec![Term::var(b)],
+            )
+        };
+        // Mutual reachability.
+        let f = reach("x", "y").and(reach("y", "x"));
+        check_equal(&f, &[v("x"), v("y")], &d);
+        // Reachable from 0 but not V.
+        let f = Formula::exists(
+            ["x"],
+            Formula::eq(Term::var("x"), Term::constant(0)).and(reach("x", "y")),
+        )
+        .and(Formula::atom("V", ["y"]).not());
+        check_equal(&f, &[v("y")], &d);
+    }
+
+    #[test]
+    fn fragment_bound_is_enforced() {
+        let d = db();
+        let tc2 = Formula::tc(
+            vec![v("u1"), v("u2")],
+            vec![v("w1"), v("w2")],
+            Formula::atom("E", ["u1", "w1"]).and(Formula::atom("E", ["u2", "w2"])),
+            vec![Term::var("x1"), Term::var("x2")],
+            vec![Term::var("y1"), Term::var("y2")],
+        );
+        let err =
+            fo_tcn_to_pgq(&tc2, &[v("x1"), v("x2"), v("y1"), v("y2")], &d.schema(), 1)
+                .unwrap_err();
+        assert_eq!(err, TranslateError::TcArityExceeded { found: 2, bound: 1 });
+        assert!(fo_tcn_to_pgq(
+            &tc2,
+            &[v("x1"), v("x2"), v("y1"), v("y2")],
+            &d.schema(),
+            2
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn empty_schema_is_an_error() {
+        let phi = Formula::True;
+        assert_eq!(
+            fo_to_pgq(&phi, &[], &Schema::new()).unwrap_err(),
+            TranslateError::EmptySchema
+        );
+    }
+
+    #[test]
+    fn requested_order_vars_not_free_range_over_adom() {
+        let d = db();
+        let phi = Formula::atom("V", ["x"]);
+        let res = fo_to_pgq(&phi, &[v("x"), v("z")], &d.schema()).unwrap();
+        let rel = eval_pgq(&res.query, &d).unwrap();
+        let expected = eval_ordered(&phi, &[v("x"), v("z")], &d).unwrap();
+        assert_eq!(rel, expected);
+        assert!(rel.len() >= 2);
+    }
+
+    #[test]
+    fn produced_query_is_ext_fragment_with_tc() {
+        let d = db();
+        let tc = Formula::tc(
+            vec![v("u")],
+            vec![v("w")],
+            Formula::atom("E", ["u", "w"]),
+            vec![Term::var("x")],
+            vec![Term::var("y")],
+        );
+        let res = fo_to_pgq(&tc, &[v("x"), v("y")], &d.schema()).unwrap();
+        assert_eq!(res.query.fragment(), pgq_core::Fragment::Ext);
+        // Plain FO stays within the RA core (PGQrw because of constants,
+        // or even PGQro without them).
+        let plain = fo_to_pgq(&Formula::atom("E", ["x", "y"]), &[v("x"), v("y")], &d.schema())
+            .unwrap();
+        assert!(plain
+            .query
+            .fragment()
+            .within(pgq_core::Fragment::Rw));
+        assert_eq!(plain.max_view_arity, 0);
+        let _ = Relation::r#true(); // silence unused import on some cfgs
+    }
+}

@@ -1,0 +1,140 @@
+//! Substitution of terms for free variables in FO\[TC\] formulas.
+//!
+//! The syntax-directed translations instantiate view formulas
+//! `φ1 … φ6` at every atom use (Lemma 9.3), which requires substituting
+//! argument terms for the formulas' free variable tuples. All bound
+//! variables produced by the translator come from a [`pgq_value::VarGen`]
+//! with a reserved prefix, so substitution here never needs to rename
+//! binders — we assert that instead of silently capturing.
+
+use pgq_logic::{Formula, Term};
+use pgq_value::Var;
+use std::collections::BTreeMap;
+
+/// Applies `map` to the free variables of `f`.
+///
+/// # Panics
+/// Debug-asserts that no binder in `f` collides with a key of `map` or
+/// with a variable of a substituted term (the translator's freshness
+/// discipline guarantees this; violating it would capture).
+pub fn subst(f: &Formula, map: &BTreeMap<Var, Term>) -> Formula {
+    match f {
+        Formula::True => Formula::True,
+        Formula::False => Formula::False,
+        Formula::Atom(r, ts) => {
+            Formula::Atom(r.clone(), ts.iter().map(|t| subst_term(t, map)).collect())
+        }
+        Formula::Eq(a, b) => Formula::Eq(subst_term(a, map), subst_term(b, map)),
+        Formula::Not(g) => subst(g, map).not(),
+        Formula::And(a, b) => subst(a, map).and(subst(b, map)),
+        Formula::Or(a, b) => subst(a, map).or(subst(b, map)),
+        Formula::Exists(vs, g) => {
+            debug_assert_binders_fresh(vs, map);
+            Formula::Exists(vs.clone(), Box::new(subst(g, map)))
+        }
+        Formula::Forall(vs, g) => {
+            debug_assert_binders_fresh(vs, map);
+            Formula::Forall(vs.clone(), Box::new(subst(g, map)))
+        }
+        Formula::Tc { u, v, body, x, y } => {
+            debug_assert_binders_fresh(u, map);
+            debug_assert_binders_fresh(v, map);
+            Formula::Tc {
+                u: u.clone(),
+                v: v.clone(),
+                body: Box::new(subst(body, map)),
+                x: x.iter().map(|t| subst_term(t, map)).collect(),
+                y: y.iter().map(|t| subst_term(t, map)).collect(),
+            }
+        }
+    }
+}
+
+fn subst_term(t: &Term, map: &BTreeMap<Var, Term>) -> Term {
+    match t {
+        Term::Var(v) => map.get(v).cloned().unwrap_or_else(|| t.clone()),
+        Term::Const(_) => t.clone(),
+    }
+}
+
+fn debug_assert_binders_fresh(binders: &[Var], map: &BTreeMap<Var, Term>) {
+    debug_assert!(
+        binders.iter().all(|b| {
+            !map.contains_key(b)
+                && !map
+                    .values()
+                    .any(|t| matches!(t, Term::Var(v) if v == b))
+        }),
+        "substitution would capture a binder; translator freshness discipline violated"
+    );
+}
+
+/// Builds a substitution mapping each of `from` to the corresponding
+/// term of `to`.
+///
+/// # Panics
+/// Panics if lengths differ (translator invariant).
+pub fn tuple_map(from: &[Var], to: &[Term]) -> BTreeMap<Var, Term> {
+    assert_eq!(from.len(), to.len(), "tuple substitution length mismatch");
+    from.iter().cloned().zip(to.iter().cloned()).collect()
+}
+
+/// Variables-to-variables convenience over [`tuple_map`].
+pub fn var_map(from: &[Var], to: &[Var]) -> BTreeMap<Var, Term> {
+    tuple_map(
+        from,
+        &to.iter().cloned().map(Term::Var).collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_value::Value;
+
+    fn v(s: &str) -> Var {
+        Var::new(s)
+    }
+
+    #[test]
+    fn substitutes_free_occurrences() {
+        let f = Formula::atom("R", ["x", "y"]).and(Formula::eq(Term::var("x"), Term::var("z")));
+        let map = tuple_map(&[v("x")], &[Term::Const(Value::int(7))]);
+        let g = subst(&f, &map);
+        assert_eq!(g.to_string(), "(R(7, y) ∧ 7 = z)");
+    }
+
+    #[test]
+    fn leaves_bound_variables_alone() {
+        // ∃q R(q, x) with x ↦ q' renames only x.
+        let f = Formula::exists(["q"], Formula::atom("R", ["q", "x"]));
+        let map = var_map(&[v("x")], &[v("fresh")]);
+        let g = subst(&f, &map);
+        assert_eq!(g.to_string(), "∃ q. (R(q, fresh))");
+    }
+
+    #[test]
+    fn substitutes_inside_tc_applied_terms_and_body_params() {
+        let f = Formula::tc(
+            vec![v("u")],
+            vec![v("w")],
+            Formula::atom("E", ["u", "w", "p"]),
+            vec![Term::var("x")],
+            vec![Term::var("y")],
+        );
+        let map = tuple_map(
+            &[v("x"), v("p")],
+            &[Term::Const(Value::int(1)), Term::var("p2")],
+        );
+        let g = subst(&f, &map);
+        let fv = g.free_vars();
+        assert!(fv.contains(&v("p2")) && fv.contains(&v("y")));
+        assert!(!fv.contains(&v("p")) && !fv.contains(&v("x")));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn tuple_map_checks_lengths() {
+        tuple_map(&[v("a")], &[]);
+    }
+}

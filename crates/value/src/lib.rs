@@ -1,0 +1,82 @@
+//! # pgq-value
+//!
+//! The domain layer shared by every crate in the `sqlpgq` workspace:
+//! domain constants ([`Value`]), tuples and composite identifiers
+//! ([`Tuple`]), and variables ([`Var`], [`VarGen`]).
+//!
+//! This realizes Section 2.1 of *"On the Expressiveness of Languages for
+//! Querying Property Graphs in Relational Databases"* (PODS 2025): a
+//! countable ordered domain `C` with `N ∪ E ∪ P ⊆ C`, where node and edge
+//! identifiers of the extended fragments are value *tuples*
+//! (Definition 5.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod tuple;
+mod value;
+mod var;
+
+pub use tuple::Tuple;
+pub use value::{Key, Label, Value};
+pub use var::{Var, VarGen};
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Strategy for arbitrary values.
+    pub fn arb_value() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            any::<bool>().prop_map(Value::Bool),
+            (-1000i64..1000).prop_map(Value::Int),
+            "[a-z]{0,6}".prop_map(Value::Str),
+        ]
+    }
+
+    fn arb_tuple(max_arity: usize) -> impl Strategy<Value = Tuple> {
+        prop::collection::vec(arb_value(), 0..=max_arity).prop_map(Tuple::new)
+    }
+
+    proptest! {
+        #[test]
+        fn value_order_is_total_and_consistent(a in arb_value(), b in arb_value()) {
+            use std::cmp::Ordering::*;
+            match a.cmp(&b) {
+                Less => prop_assert_eq!(b.cmp(&a), Greater),
+                Greater => prop_assert_eq!(b.cmp(&a), Less),
+                Equal => prop_assert_eq!(&a, &b),
+            }
+        }
+
+        #[test]
+        fn concat_arity_adds(a in arb_tuple(4), b in arb_tuple(4)) {
+            prop_assert_eq!(a.concat(&b).arity(), a.arity() + b.arity());
+        }
+
+        #[test]
+        fn concat_then_split_roundtrips(a in arb_tuple(4), b in arb_tuple(4)) {
+            let c = a.concat(&b);
+            let (p, s) = c.split_at(a.arity());
+            prop_assert_eq!(p, a);
+            prop_assert_eq!(s, b);
+        }
+
+        #[test]
+        fn identity_projection(t in arb_tuple(5)) {
+            let idx: Vec<usize> = (0..t.arity()).collect();
+            prop_assert_eq!(t.project(&idx).unwrap(), t);
+        }
+
+        #[test]
+        fn projection_composes(t in arb_tuple(5)) {
+            // π_{0}(π_{i,j}(t)) == π_{i}(t) whenever defined.
+            if t.arity() >= 2 {
+                let once = t.project(&[1, 0]).unwrap();
+                let twice = once.project(&[0]).unwrap();
+                prop_assert_eq!(twice, t.project(&[1]).unwrap());
+            }
+        }
+    }
+}

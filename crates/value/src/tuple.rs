@@ -1,0 +1,226 @@
+//! Tuples over the domain `C`.
+//!
+//! Tuples serve three roles in the executable model:
+//! rows of relations (Section 2.1), *composite node/edge identifiers* of
+//! the extended fragments (Definition 5.1: identifiers are `n`-ary tuples),
+//! and assignments flowing through the FO\[TC\] evaluator.
+
+use crate::Value;
+use std::fmt;
+use std::ops::Index;
+
+/// An ordered tuple of domain values.
+///
+/// `Tuple` is the identifier type of the `n`-ary property graph views of
+/// Section 5: a classical (unary) identifier is simply a 1-tuple.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tuple(Vec<Value>);
+
+impl Tuple {
+    /// The empty tuple (arity 0).
+    pub fn empty() -> Self {
+        Tuple(Vec::new())
+    }
+
+    /// Builds a tuple from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple(values)
+    }
+
+    /// Builds a 1-tuple, the unary identifiers of `PGQro`/`PGQrw`.
+    pub fn unary(v: impl Into<Value>) -> Self {
+        Tuple(vec![v.into()])
+    }
+
+    /// Number of components (the paper's `arity`).
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether this is the empty tuple.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Component access without panicking.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.0.get(i)
+    }
+
+    /// Borrow the components as a slice.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Consume into the component vector.
+    pub fn into_values(self) -> Vec<Value> {
+        self.0
+    }
+
+    /// Concatenation `(t̄, t̄′)`, used for products and identifier folding.
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Tuple(v)
+    }
+
+    /// Projection `π_{i1,…,ik}(t̄)`; positions are 0-based and may repeat
+    /// or reorder, exactly like the paper's `$i` positional projections.
+    ///
+    /// Returns `None` when some index is out of bounds (the semantics in
+    /// Figure 4 restricts `1 ≤ i ≤ n`; out-of-range projections are a
+    /// static error surfaced by the caller).
+    pub fn project(&self, indices: &[usize]) -> Option<Tuple> {
+        let mut v = Vec::with_capacity(indices.len());
+        for &i in indices {
+            v.push(self.0.get(i)?.clone());
+        }
+        Some(Tuple(v))
+    }
+
+    /// Splits the tuple at `mid` into `(prefix, suffix)`.
+    pub fn split_at(&self, mid: usize) -> (Tuple, Tuple) {
+        let (a, b) = self.0.split_at(mid);
+        (Tuple(a.to_vec()), Tuple(b.to_vec()))
+    }
+
+    /// `(t̄, t̄)` — the duplication used by the repaired Lemma 9.4 view
+    /// construction to give node identifiers the same arity as edges.
+    pub fn duplicated(&self) -> Tuple {
+        self.concat(self)
+    }
+
+    /// Iterate over components.
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.0.iter()
+    }
+
+    /// Push one more component (builder-style).
+    pub fn push(&mut self, v: Value) {
+        self.0.push(v);
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(v: Vec<Value>) -> Self {
+        Tuple(v)
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Tuple(iter.into_iter().collect())
+    }
+}
+
+impl IntoIterator for Tuple {
+    type Item = Value;
+    type IntoIter = std::vec::IntoIter<Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Tuple {
+    type Item = &'a Value;
+    type IntoIter = std::slice::Iter<'a, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Builds a [`Tuple`] from a heterogeneous list of `Into<Value>` items:
+/// `tuple![1, "a", true]`.
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vs: &[i64]) -> Tuple {
+        vs.iter().map(|&i| Value::int(i)).collect()
+    }
+
+    #[test]
+    fn arity_and_access() {
+        let x = t(&[1, 2, 3]);
+        assert_eq!(x.arity(), 3);
+        assert_eq!(x[1], Value::int(2));
+        assert_eq!(x.get(2), Some(&Value::int(3)));
+        assert_eq!(x.get(3), None);
+        assert!(Tuple::empty().is_empty());
+    }
+
+    #[test]
+    fn concat_and_split() {
+        let a = t(&[1, 2]);
+        let b = t(&[3]);
+        let c = a.concat(&b);
+        assert_eq!(c, t(&[1, 2, 3]));
+        let (p, s) = c.split_at(2);
+        assert_eq!(p, a);
+        assert_eq!(s, b);
+    }
+
+    #[test]
+    fn projection_reorders_and_repeats() {
+        let x = t(&[10, 20, 30]);
+        assert_eq!(x.project(&[2, 0, 0]), Some(t(&[30, 10, 10])));
+        assert_eq!(x.project(&[]), Some(Tuple::empty()));
+        assert_eq!(x.project(&[3]), None);
+    }
+
+    #[test]
+    fn duplication_matches_lemma_9_4_shape() {
+        let x = t(&[7, 8]);
+        assert_eq!(x.duplicated(), t(&[7, 8, 7, 8]));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(t(&[1, 2]) < t(&[1, 3]));
+        assert!(t(&[1]) < t(&[1, 0]));
+        assert!(t(&[2]) > t(&[1, 9]));
+    }
+
+    #[test]
+    fn tuple_macro_mixes_types() {
+        let x = tuple![1i64, "a", true];
+        assert_eq!(
+            x.values(),
+            &[Value::int(1), Value::str("a"), Value::bool(true)]
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(t(&[1, 2]).to_string(), "(1, 2)");
+        assert_eq!(Tuple::empty().to_string(), "()");
+    }
+}

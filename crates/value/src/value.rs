@@ -1,0 +1,168 @@
+//! The domain of constants `C` (Section 2.1 of the paper).
+//!
+//! The paper assumes a countable domain of constants with
+//! `N ∪ E ∪ P ⊆ C` (Section 2.3.2) so that pattern-matching outputs can be
+//! interpreted relationally, and assumes structures are *ordered*
+//! (Remark 2.1). [`Value`] realizes both assumptions: node/edge identifier
+//! components, labels, keys and property values are all `Value`s, and
+//! `Value` carries a total order (`Bool < Int < Str`, then the natural
+//! order within each variant).
+
+use std::fmt;
+
+/// A single domain element of the relational domain `C`.
+///
+/// The ordering across variants is fixed (`Bool < Int < Str`) and
+/// documented; together with the per-variant orders it makes every database
+/// an ordered structure, as the paper assumes throughout (Remark 2.1).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// A Boolean constant.
+    Bool(bool),
+    /// A 64-bit integer constant.
+    Int(i64),
+    /// A string constant (also used for labels and property keys).
+    Str(String),
+}
+
+impl Value {
+    /// Builds a string value. Convenience over `Value::Str(s.to_string())`.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Builds an integer value.
+    pub const fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Builds a Boolean value.
+    pub const fn bool(b: bool) -> Self {
+        Value::Bool(b)
+    }
+
+    /// Returns the integer payload if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the Boolean payload if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// A short tag naming the variant, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Str(_) => "str",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+/// Labels `ℓ ∈ L` are stored in the label relation `R5 ⊆ (R1 ∪ R2) × C`,
+/// i.e. they are ordinary domain constants.
+pub type Label = Value;
+
+/// Property keys `k ∈ K`; stored in `R6`, so also domain constants.
+pub type Key = Value;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_variant_order_is_bool_int_str() {
+        assert!(Value::bool(true) < Value::int(i64::MIN));
+        assert!(Value::int(i64::MAX) < Value::str(""));
+        assert!(Value::bool(false) < Value::bool(true));
+    }
+
+    #[test]
+    fn within_variant_order_is_natural() {
+        assert!(Value::int(-3) < Value::int(7));
+        assert!(Value::str("a") < Value::str("ab"));
+        assert!(Value::str("ab") < Value::str("b"));
+    }
+
+    #[test]
+    fn accessors_roundtrip() {
+        assert_eq!(Value::int(42).as_int(), Some(42));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::bool(true).as_bool(), Some(true));
+        assert_eq!(Value::int(1).as_str(), None);
+        assert_eq!(Value::str("x").as_int(), None);
+        assert_eq!(Value::int(0).as_bool(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::int(-5).to_string(), "-5");
+        assert_eq!(Value::str("ib an").to_string(), "\"ib an\"");
+        assert_eq!(Value::bool(false).to_string(), "false");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::int(3));
+        assert_eq!(Value::from("s"), Value::str("s"));
+        assert_eq!(Value::from(true), Value::bool(true));
+        assert_eq!(Value::from(String::from("t")), Value::str("t"));
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::bool(true).type_name(), "bool");
+        assert_eq!(Value::int(0).type_name(), "int");
+        assert_eq!(Value::str("").type_name(), "str");
+    }
+}

@@ -1,0 +1,194 @@
+//! Parameterized instance families: paths, cycles, grids, layered DAGs,
+//! plus walk-length spectra (experiments E4, E9, E10).
+
+use pgq_relational::{Database, Relation};
+use pgq_value::Tuple;
+use std::collections::BTreeMap;
+
+/// Canonical six-relation database (`N,E,S,T,L,P`) for a directed path
+/// `0 → 1 → … → n`.
+pub fn path_db(n: usize) -> Database {
+    graph_db((0..=n as i64).collect(), (0..n).map(|i| (i as i64, i as i64 + 1)).collect())
+}
+
+/// Canonical database for a directed cycle of length `n` (nodes
+/// `0..n`).
+pub fn cycle_db(n: usize) -> Database {
+    assert!(n > 0);
+    graph_db(
+        (0..n as i64).collect(),
+        (0..n).map(|i| (i as i64, ((i + 1) % n) as i64)).collect(),
+    )
+}
+
+/// Canonical database for two disjoint cycles of lengths `p` and `q`
+/// (nodes `0..p` and `p..p+q`), bridged by an edge from node 0 to node
+/// `p` when `bridge` is set. Used by the E4 spectra experiments.
+pub fn two_cycles_db(p: usize, q: usize, bridge: bool) -> Database {
+    assert!(p > 0 && q > 0);
+    let mut edges: Vec<(i64, i64)> = (0..p)
+        .map(|i| (i as i64, ((i + 1) % p) as i64))
+        .collect();
+    edges.extend((0..q).map(|i| (p as i64 + i as i64, p as i64 + ((i + 1) % q) as i64)));
+    if bridge {
+        edges.push((0, p as i64));
+    }
+    graph_db((0..(p + q) as i64).collect(), edges)
+}
+
+/// Canonical database for a `w × h` grid with edges right and down —
+/// the layered structure used by the scaling experiment E10.
+pub fn grid_db(w: usize, h: usize) -> Database {
+    let id = |x: usize, y: usize| (y * w + x) as i64;
+    let mut edges = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                edges.push((id(x, y), id(x + 1, y)));
+            }
+            if y + 1 < h {
+                edges.push((id(x, y), id(x, y + 1)));
+            }
+        }
+    }
+    graph_db((0..(w * h) as i64).collect(), edges)
+}
+
+/// Assembles the canonical six relations from explicit node ids and
+/// edges (edge ids are `10_000 + index`, disjoint from node ids).
+pub fn graph_db(nodes: Vec<i64>, edges: Vec<(i64, i64)>) -> Database {
+    let mut db = Database::new();
+    let mut n = Relation::empty(1);
+    let mut e = Relation::empty(1);
+    let mut s = Relation::empty(2);
+    let mut t = Relation::empty(2);
+    for v in &nodes {
+        n.insert(Tuple::unary(*v)).unwrap();
+    }
+    for (i, (from, to)) in edges.iter().enumerate() {
+        let eid = Tuple::unary(10_000 + i as i64);
+        s.insert(eid.concat(&Tuple::unary(*from))).unwrap();
+        t.insert(eid.concat(&Tuple::unary(*to))).unwrap();
+        e.insert(eid).unwrap();
+    }
+    db.add_relation("N", n);
+    db.add_relation("E", e);
+    db.add_relation("S", s);
+    db.add_relation("T", t);
+    db.add_relation("L", Relation::empty(2));
+    db.add_relation("P", Relation::empty(3));
+    db
+}
+
+/// The *walk-length spectrum* from `s` to `t`: `bits[ℓ] = true` iff a
+/// walk of exactly `ℓ` edges connects them, for `ℓ < horizon`. This is
+/// the set the Theorem 4.2 argument proves semilinear for `PGQrw`-
+/// definable length detections (experiment E4 certifies the periodicity
+/// of measured spectra with `pgq_logic::detect_period`).
+pub fn walk_length_spectrum(db: &Database, s: i64, t: i64, horizon: usize) -> Vec<bool> {
+    // Successor map from the canonical relations: join S and T on the
+    // edge id.
+    let src = db.get(&"S".into()).expect("canonical schema");
+    let tgt = db.get(&"T".into()).expect("canonical schema");
+    let mut succ: BTreeMap<i64, Vec<i64>> = BTreeMap::new();
+    let mut tgt_map: BTreeMap<Tuple, i64> = BTreeMap::new();
+    for row in tgt.iter() {
+        let (e, n) = row.split_at(1);
+        tgt_map.insert(e, n[0].as_int().expect("int ids"));
+    }
+    for row in src.iter() {
+        let (e, n) = row.split_at(1);
+        if let Some(&to) = tgt_map.get(&e) {
+            succ.entry(n[0].as_int().expect("int ids")).or_default().push(to);
+        }
+    }
+    // DP over lengths.
+    let mut bits = vec![false; horizon];
+    let mut reachable: std::collections::BTreeSet<i64> = [s].into_iter().collect();
+    if horizon > 0 {
+        bits[0] = s == t;
+    }
+    for slot in bits.iter_mut().skip(1) {
+        let mut next = std::collections::BTreeSet::new();
+        for u in &reachable {
+            if let Some(vs) = succ.get(u) {
+                next.extend(vs.iter().copied());
+            }
+        }
+        *slot = next.contains(&t);
+        reachable = next;
+        if reachable.is_empty() {
+            break;
+        }
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_core::{builders, eval, Query};
+    use pgq_logic::detect_period;
+
+    #[test]
+    fn path_and_cycle_shapes() {
+        let p = path_db(5);
+        assert_eq!(p.get(&"N".into()).unwrap().len(), 6);
+        assert_eq!(p.get(&"E".into()).unwrap().len(), 5);
+        let c = cycle_db(4);
+        assert_eq!(c.get(&"E".into()).unwrap().len(), 4);
+        // Valid canonical views: reachability evaluates.
+        let q = Query::pattern_ro(
+            builders::reachability_output(),
+            ["N", "E", "S", "T", "L", "P"],
+        );
+        assert_eq!(eval(&q, &c).unwrap().len(), 16); // complete on a cycle
+    }
+
+    #[test]
+    fn grid_counts() {
+        let g = grid_db(3, 2);
+        assert_eq!(g.get(&"N".into()).unwrap().len(), 6);
+        // Horizontal: 2 per row × 2 rows; vertical: 3.
+        assert_eq!(g.get(&"E".into()).unwrap().len(), 7);
+    }
+
+    #[test]
+    fn spectrum_on_a_path_is_a_singleton() {
+        let db = path_db(6);
+        let bits = walk_length_spectrum(&db, 0, 4, 12);
+        let expected: Vec<bool> = (0..12).map(|l| l == 4).collect();
+        assert_eq!(bits, expected);
+    }
+
+    #[test]
+    fn spectrum_on_a_cycle_is_periodic() {
+        let db = cycle_db(3);
+        let bits = walk_length_spectrum(&db, 0, 0, 64);
+        // Multiples of 3.
+        assert!(bits[0] && bits[3] && bits[63]);
+        assert!(!bits[1] && !bits[2] && !bits[4]);
+        let (threshold, period) = detect_period(&bits, 16, 8).unwrap();
+        assert_eq!(period, 3);
+        assert_eq!(threshold, 0);
+    }
+
+    #[test]
+    fn spectrum_of_two_bridged_cycles_mixes_periods() {
+        // From node 0 (on the p-cycle) to node p (on the q-cycle):
+        // lengths a·p + 1 + b·q — an ultimately periodic set with period
+        // dividing lcm(p, q) = 6.
+        let db = two_cycles_db(2, 3, true);
+        let bits = walk_length_spectrum(&db, 0, 2, 96);
+        assert!(bits[1]); // direct bridge
+        let (_, period) = detect_period(&bits, 48, 12).unwrap();
+        assert!(6 % period == 0 || period % 6 == 0 || period <= 6);
+    }
+
+    #[test]
+    fn spectrum_handles_unreachable() {
+        let db = two_cycles_db(2, 3, false);
+        let bits = walk_length_spectrum(&db, 0, 2, 32);
+        assert!(bits.iter().all(|&b| !b));
+    }
+}

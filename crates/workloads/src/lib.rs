@@ -1,0 +1,25 @@
+//! # pgq-workloads
+//!
+//! Workload and instance-family generators for the reproduction's
+//! experiments (system S10; see DESIGN.md):
+//!
+//! * [`transfers`] — the paper's running bank-transfer example
+//!   (Examples 1.1/2.1), random and deterministic;
+//! * [`alternating`] — the Theorem 4.1 red/blue separation family and
+//!   its competing queries (E3);
+//! * [`families`] — paths, cycles, grids, and walk-length spectra for
+//!   the Theorem 4.2 semilinearity experiment (E4) and scaling runs
+//!   (E10);
+//! * [`increasing`] — the Example 5.3 "increasing values on edges"
+//!   workload with three independent implementations (E5);
+//! * [`random`] — seeded random databases and navigational patterns for
+//!   benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alternating;
+pub mod families;
+pub mod increasing;
+pub mod random;
+pub mod transfers;

@@ -1,0 +1,120 @@
+//! Seeded random generators (non-proptest) for benches and examples:
+//! databases over `{V/1, E/2}`, canonical graph databases, and random
+//! navigational patterns.
+
+use pgq_pattern::Pattern;
+use pgq_relational::{Database, Relation};
+use pgq_value::{tuple, Tuple};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A random database over `{V/1, E/2}` with `n` vertices and `m` edges
+/// (the schema of the logic round-trip experiments E6/E7).
+pub fn ve_db(n: usize, m: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    db.add_relation("V", Relation::empty(1));
+    db.add_relation("E", Relation::empty(2));
+    for i in 0..n {
+        db.insert("V", tuple![i as i64]).unwrap();
+    }
+    for _ in 0..m {
+        let s = rng.random_range(0..n) as i64;
+        let t = rng.random_range(0..n) as i64;
+        db.insert("E", tuple![s, t]).unwrap();
+    }
+    db
+}
+
+/// A random canonical graph database (`N,E,S,T,L,P`) with `n` nodes and
+/// `m` edges; every edge gets label `T` and an integer weight property
+/// `w` in `0..wmax`.
+pub fn canonical_graph_db(n: usize, m: usize, wmax: i64, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    let mut nodes = Relation::empty(1);
+    let mut edges = Relation::empty(1);
+    let mut src = Relation::empty(2);
+    let mut tgt = Relation::empty(2);
+    let mut labels = Relation::empty(2);
+    let mut props = Relation::empty(3);
+    for i in 0..n {
+        nodes.insert(Tuple::unary(i as i64)).unwrap();
+    }
+    for j in 0..m {
+        let id = Tuple::unary(1_000_000 + j as i64);
+        let s = Tuple::unary(rng.random_range(0..n) as i64);
+        let t = Tuple::unary(rng.random_range(0..n) as i64);
+        src.insert(id.concat(&s)).unwrap();
+        tgt.insert(id.concat(&t)).unwrap();
+        labels.insert(id.concat(&Tuple::unary("T"))).unwrap();
+        props
+            .insert(id.concat(&tuple!["w", rng.random_range(0..wmax)]))
+            .unwrap();
+        edges.insert(id).unwrap();
+    }
+    db.add_relation("N", nodes);
+    db.add_relation("E", edges);
+    db.add_relation("S", src);
+    db.add_relation("T", tgt);
+    db.add_relation("L", labels);
+    db.add_relation("P", props);
+    db
+}
+
+/// A random navigational pattern of roughly `len` atoms: a spine of
+/// forward/backward edges with occasional bounded or unbounded
+/// repetitions. Always NFA-compilable.
+pub fn random_spine_pattern(len: usize, seed: u64) -> Pattern {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut parts: Vec<Pattern> = vec![Pattern::node("x")];
+    for _ in 0..len {
+        let edge = if rng.random_bool(0.8) {
+            Pattern::any_edge()
+        } else {
+            Pattern::any_edge_back()
+        };
+        let wrapped = match rng.random_range(0..5u8) {
+            0 => edge.star(),
+            1 => edge.plus(),
+            2 => edge.repeat(1, rng.random_range(1..4)),
+            _ => edge,
+        };
+        parts.push(wrapped);
+    }
+    parts.push(Pattern::node("y"));
+    Pattern::seq(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_core::{builders, eval, Query};
+
+    #[test]
+    fn ve_db_shape() {
+        let db = ve_db(10, 20, 3);
+        assert_eq!(db.get(&"V".into()).unwrap().len(), 10);
+        assert!(db.get(&"E".into()).unwrap().len() <= 20);
+        assert_eq!(ve_db(10, 20, 3), ve_db(10, 20, 3));
+    }
+
+    #[test]
+    fn canonical_graph_is_valid_view() {
+        let db = canonical_graph_db(12, 30, 10, 4);
+        let q = Query::pattern_ro(
+            builders::labeled_reachability_output("T"),
+            ["N", "E", "S", "T", "L", "P"],
+        );
+        assert!(eval(&q, &db).is_ok());
+    }
+
+    #[test]
+    fn spine_patterns_compile_to_nfa() {
+        for seed in 0..10 {
+            let p = random_spine_pattern(5, seed);
+            assert!(pgq_pattern::Nfa::compile(&p).is_ok(), "seed {seed}");
+            assert!(p.validate().is_ok());
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Section 8's future-work direction, running: graphs as first-class
+//! query values. Two transfer networks live in one relational database
+//! as separate view layers; the query language unions them, filters the
+//! result, matches a pattern on the composition, and finally outputs
+//! the composed graph back into six relations — crossing the
+//! relational/graph boundary three times.
+//!
+//! ```sh
+//! cargo run --example composition
+//! ```
+
+use sqlpgq::compose::{eval_graph, eval_match, output_graph, GraphExpr};
+use sqlpgq::core::ViewOp;
+use sqlpgq::pattern::OutputPattern;
+use sqlpgq::prelude::{Database, Pattern, Relation, Tuple, Value};
+
+/// One database, two graph layers over a shared account table: the
+/// SEPA wire network and the internal book-transfer network.
+fn build_db() -> Database {
+    let mut n = Relation::empty(1);
+    for i in 0..6i64 {
+        n.insert(Tuple::unary(Value::int(i))).unwrap();
+    }
+    let layer = |base: i64, edges: &[(i64, i64)], label: &str| {
+        let mut e = Relation::empty(1);
+        let mut s = Relation::empty(2);
+        let mut t = Relation::empty(2);
+        let mut l = Relation::empty(2);
+        for (j, (from, to)) in edges.iter().enumerate() {
+            let id = Tuple::unary(Value::int(base + j as i64));
+            e.insert(id.clone()).unwrap();
+            s.insert(id.concat(&Tuple::unary(Value::int(*from)))).unwrap();
+            t.insert(id.concat(&Tuple::unary(Value::int(*to)))).unwrap();
+            l.insert(id.concat(&Tuple::unary(Value::str(label)))).unwrap();
+        }
+        (e, s, t, l)
+    };
+    let (e1, s1, t1, l1) = layer(100, &[(0, 1), (1, 2), (2, 3)], "sepa");
+    let (e2, s2, t2, l2) = layer(200, &[(3, 4), (4, 5), (5, 0)], "book");
+    Database::new()
+        .with_relation("Acct", n)
+        .with_relation("Sepa", e1)
+        .with_relation("SepaS", s1)
+        .with_relation("SepaT", t1)
+        .with_relation("SepaL", l1)
+        .with_relation("Book", e2)
+        .with_relation("BookS", s2)
+        .with_relation("BookT", t2)
+        .with_relation("BookL", l2)
+        .with_relation("NoProps", Relation::empty(3))
+}
+
+fn main() {
+    let db = build_db();
+
+    let sepa = GraphExpr::view_ro(
+        ["Acct", "Sepa", "SepaS", "SepaT", "SepaL", "NoProps"],
+        ViewOp::Unary,
+    );
+    let book = GraphExpr::view_ro(
+        ["Acct", "Book", "BookS", "BookT", "BookL", "NoProps"],
+        ViewOp::Unary,
+    );
+
+    // Each layer alone is an open chain; their union is a 6-cycle.
+    let reach = OutputPattern::vars(
+        Pattern::node("x")
+            .then(Pattern::any_edge().plus())
+            .then(Pattern::node("y")),
+        ["x", "y"],
+    )
+    .unwrap();
+
+    for (name, expr) in [
+        ("sepa", sepa.clone()),
+        ("book", book.clone()),
+        ("sepa ∪ book", sepa.clone().union(book.clone())),
+    ] {
+        let g = eval_graph(&expr, &db).unwrap();
+        let pairs = eval_match(&expr, &reach, &db).unwrap();
+        println!(
+            "{name:<12}  {} nodes, {} edges, {} transfer-connected pairs",
+            g.node_count(),
+            g.edge_count(),
+            pairs.len()
+        );
+    }
+
+    let combined = sepa.clone().union(book.clone());
+    let all = eval_match(&combined, &reach, &db).unwrap();
+    assert_eq!(all.len(), 36, "the union closes the cycle: all pairs connected");
+
+    // Compose further: drop the book layer's edges again — back to sepa.
+    let stripped = combined.clone().minus_edges(book.clone());
+    assert_eq!(
+        eval_graph(&stripped, &db).unwrap(),
+        eval_graph(&sepa, &db).unwrap()
+    );
+    println!("\n(sepa ∪ book) ∖ₑ book = sepa ✓   [expression: {stripped}]");
+
+    // And "outputted" (Section 8): the composed graph back as relations.
+    let rels = output_graph(&combined, &db).unwrap();
+    println!(
+        "output_graph(sepa ∪ book): R1..R6 with |R1|={}, |R2|={}, |R5|={} — \
+         ready to store or to feed another pgView",
+        rels.nodes.len(),
+        rels.edges.len(),
+        rels.labels.len()
+    );
+}

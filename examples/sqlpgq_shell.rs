@@ -1,0 +1,128 @@
+//! A miniature SQL/PGQ shell: loads data rows and statements from a
+//! script file (or runs a built-in demo) and prints each result.
+//!
+//! Script format: SQL/PGQ statements separated by `;`, plus a tiny
+//! `INSERT INTO table VALUES (v, …);`-style data syntax handled here in
+//! the shell (the formal model is read-only, Section 7 "Updates").
+//!
+//! ```sh
+//! cargo run --example sqlpgq_shell            # built-in demo
+//! cargo run --example sqlpgq_shell -- my.pgq  # run a script file
+//! ```
+
+use sqlpgq::prelude::*;
+
+const DEMO: &str = r#"
+CREATE TABLE Account (iban);
+CREATE TABLE Transfer (t_id, src_iban, tgt_iban, ts, amount);
+INSERT INTO Account VALUES ('IL01');
+INSERT INTO Account VALUES ('IL02');
+INSERT INTO Account VALUES ('IL03');
+INSERT INTO Transfer VALUES (1, 'IL01', 'IL02', 100, 500);
+INSERT INTO Transfer VALUES (2, 'IL02', 'IL03', 101, 750);
+CREATE PROPERTY GRAPH Transfers (
+  NODES TABLE Account KEY (iban) LABEL Account,
+  EDGES TABLE Transfer KEY (t_id)
+    SOURCE KEY src_iban REFERENCES Account
+    TARGET KEY tgt_iban REFERENCES Account
+    LABELS Transfer PROPERTIES (ts, amount));
+SELECT * FROM GRAPH_TABLE (Transfers
+  MATCH (x) -[t:Transfer]->+ (y)
+  WHERE t.amount > 100
+  RETURN (x.iban, y.iban));
+"#;
+
+fn main() {
+    let script = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        None => DEMO.to_string(),
+    };
+    let mut db = Database::new();
+    let mut session = Session::new();
+
+    // Split on `;` at the top level and route INSERTs to the shell's own
+    // handler; everything else goes through the real parser.
+    for raw in split_statements(&script) {
+        let stmt = raw.trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        if stmt.to_ascii_uppercase().starts_with("INSERT INTO") {
+            insert(&mut db, stmt);
+            continue;
+        }
+        match session.run_script(&format!("{stmt};"), &db) {
+            Ok(outcomes) => {
+                for outcome in outcomes {
+                    match outcome {
+                        Outcome::TableDefined(n) => println!("-- table {n} defined"),
+                        Outcome::GraphDefined(n) => println!("-- property graph {n} defined"),
+                        Outcome::Rows(rows) => {
+                            println!("-- {} row(s)", rows.len());
+                            for row in rows.iter() {
+                                println!("{row}");
+                            }
+                        }
+                    }
+                }
+            }
+            Err(e) => println!("!! {e}"),
+        }
+    }
+}
+
+/// Naive `INSERT INTO t VALUES (…)` for the shell: integers, booleans
+/// and single-quoted strings.
+fn insert(db: &mut Database, stmt: &str) {
+    let open = stmt.find('(').expect("INSERT needs VALUES (…)");
+    let close = stmt.rfind(')').expect("INSERT needs closing paren");
+    let table = stmt["INSERT INTO".len()..]
+        .split_whitespace()
+        .next()
+        .expect("table name")
+        .to_string();
+    let values: Vec<Value> = stmt[open + 1..close]
+        .split(',')
+        .map(|v| parse_value(v.trim()))
+        .collect();
+    db.insert(table, Tuple::new(values)).expect("consistent arity");
+}
+
+fn parse_value(v: &str) -> Value {
+    if let Some(stripped) = v.strip_prefix('\'') {
+        return Value::str(stripped.trim_end_matches('\''));
+    }
+    if v.eq_ignore_ascii_case("true") {
+        return Value::bool(true);
+    }
+    if v.eq_ignore_ascii_case("false") {
+        return Value::bool(false);
+    }
+    Value::int(v.parse().unwrap_or_else(|_| panic!("bad literal {v}")))
+}
+
+/// Splits on `;` while respecting single-quoted strings and
+/// parenthesized SELECT bodies (a `;` never occurs inside them in our
+/// grammar, so quotes are the only concern).
+fn split_statements(script: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let mut in_string = false;
+    for c in script.chars() {
+        match c {
+            '\'' => {
+                in_string = !in_string;
+                current.push(c);
+            }
+            ';' if !in_string => {
+                out.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        out.push(current);
+    }
+    out
+}

@@ -1,0 +1,206 @@
+//! Integration: the baseline layers added around the core reproduction
+//! — linear Datalog (Section 4.1's NL benchmark), RPQ/CRPQ (related
+//! work), and updates (Section 7) — against the core engines, on shared
+//! workloads.
+
+use sqlpgq::core::{builders, eval as eval_query, Fragment, Query};
+use sqlpgq::datalog::{
+    classify_recursion, compile_formula, evaluate, parse_program, query, Recursion,
+};
+use sqlpgq::graph::{apply_all, pg_view, relations_of, Update, ViewRelations};
+use sqlpgq::logic::{eval_ordered, Formula, Term};
+use sqlpgq::prelude::{Crpq, CrpqAtom, Rpq, Tuple, Value, Var};
+use sqlpgq::rpq::{eval_rpq, rpq_to_pattern};
+use sqlpgq::workloads::{families, random};
+
+fn view_rels(db: &sqlpgq::prelude::Database) -> ViewRelations {
+    ViewRelations::new(
+        db.get(&"N".into()).unwrap().clone(),
+        db.get(&"E".into()).unwrap().clone(),
+        db.get(&"S".into()).unwrap().clone(),
+        db.get(&"T".into()).unwrap().clone(),
+        db.get(&"L".into()).unwrap().clone(),
+        db.get(&"P".into()).unwrap().clone(),
+    )
+}
+
+/// Four engines, one answer, across random graphs (E11 at test scale).
+#[test]
+fn four_engines_agree_on_reachability() {
+    let program = parse_program(
+        "reach(X, X) :- N(X).\n\
+         reach(X, Z) :- reach(X, Y), step(Y, Z).\n\
+         step(X, Y) :- S(E, X), T(E, Y).",
+    )
+    .unwrap();
+    assert_eq!(classify_recursion(&program), Recursion::Linear);
+    let step = Formula::exists(
+        ["e"],
+        Formula::atom("S", ["e", "u"]).and(Formula::atom("T", ["e", "v"])),
+    );
+    let phi = Formula::tc(
+        vec![Var::new("u")],
+        vec![Var::new("v")],
+        step,
+        vec![Term::var("x")],
+        vec![Term::var("y")],
+    )
+    .and(Formula::atom("N", ["x"]).and(Formula::atom("N", ["y"])));
+    let compiled = compile_formula(&phi).unwrap();
+
+    for seed in 0..5u64 {
+        let db = random::canonical_graph_db(8, 14, 50, seed);
+        let q = Query::pattern_ro(
+            builders::reachability_output(),
+            ["N", "E", "S", "T", "L", "P"],
+        );
+        let via_pgq = eval_query(&q, &db).unwrap();
+        let via_logic = eval_ordered(&phi, &[Var::new("x"), Var::new("y")], &db).unwrap();
+        let via_datalog = query(&program, &db, &"reach".into()).unwrap();
+        let model = evaluate(&compiled.program, &db).unwrap();
+        let via_bridge = model.get(&compiled.goal).unwrap();
+        assert_eq!(via_pgq, via_logic, "seed {seed}");
+        assert_eq!(via_pgq, via_datalog, "seed {seed}");
+        assert_eq!(&via_pgq, via_bridge, "seed {seed}");
+    }
+}
+
+/// RPQ and CRPQ routes agree on the labeled random workload, and the
+/// CRPQ lowering stays inside PGQro.
+#[test]
+fn rpq_layers_agree_on_random_graphs() {
+    for seed in 0..4u64 {
+        let db = random::canonical_graph_db(10, 20, 50, seed);
+        let g = pg_view(&view_rels(&db)).unwrap();
+        // Every edge in this workload carries label "T".
+        let r = Rpq::label("T").plus();
+        let via_auto = eval_rpq(&r, &g);
+        let via_pattern = sqlpgq::pattern::endpoint_pairs(
+            &sqlpgq::pattern::eval_pattern(&rpq_to_pattern(&r), &g).unwrap(),
+        );
+        assert_eq!(via_auto, via_pattern, "seed {seed}");
+
+        let crpq = Crpq::new(
+            ["x", "y"],
+            vec![
+                CrpqAtom::new("x", Rpq::label("T"), "m"),
+                CrpqAtom::new("m", Rpq::label("T").star(), "y"),
+            ],
+        )
+        .unwrap();
+        let direct = crpq.eval(&g).unwrap();
+        let lowered = crpq
+            .to_pgqro(&["N", "E", "S", "T", "L", "P"].map(Into::into))
+            .unwrap();
+        assert!(lowered.fragment().within(Fragment::Ro));
+        assert_eq!(direct, eval_query(&lowered, &db).unwrap(), "seed {seed}");
+    }
+}
+
+/// Updates rebuild the relations; the rebuilt view answers exactly like
+/// a graph built from scratch with the same content (Section 7).
+#[test]
+fn updates_equal_rebuild_from_scratch() {
+    let db = families::grid_db(3, 3);
+    let rels = view_rels(&db);
+    let shortcut = Update::AddEdge {
+        id: Tuple::unary(Value::int(70_000)),
+        src: Tuple::unary(Value::int(8)),
+        tgt: Tuple::unary(Value::int(0)),
+    };
+    let (next, g_updated) = apply_all(&rels, &[shortcut]).unwrap();
+
+    // Rebuild from scratch: grid plus the same extra edge.
+    let db2 = families::graph_db(
+        (0..9).collect(),
+        {
+            let mut edges: Vec<(i64, i64)> = Vec::new();
+            for y in 0..3i64 {
+                for x in 0..3i64 {
+                    if x + 1 < 3 {
+                        edges.push((y * 3 + x, y * 3 + x + 1));
+                    }
+                    if y + 1 < 3 {
+                        edges.push((y * 3 + x, (y + 1) * 3 + x));
+                    }
+                }
+            }
+            edges
+        },
+    );
+    let mut rels2 = view_rels(&db2);
+    sqlpgq::graph::apply(
+        &mut rels2,
+        &Update::AddEdge {
+            id: Tuple::unary(Value::int(70_000)),
+            src: Tuple::unary(Value::int(8)),
+            tgt: Tuple::unary(Value::int(0)),
+        },
+    )
+    .unwrap();
+    let g_scratch = pg_view(&rels2).unwrap();
+
+    // Same nodes, same reachable pairs (edge ids differ by generator).
+    assert_eq!(g_updated.node_count(), g_scratch.node_count());
+    let reach = builders::reachability_output();
+    assert_eq!(
+        reach.eval(&g_updated).unwrap(),
+        reach.eval(&g_scratch).unwrap()
+    );
+
+    // And the canonical relations extracted back agree with what was
+    // applied (round trip through the graph).
+    let back = relations_of(&g_updated);
+    assert_eq!(back.nodes, next.nodes);
+    assert_eq!(back.src, next.src);
+}
+
+/// The fraud query of Example 2.1 keeps working after updates: add a
+/// high-amount transfer, see the pair appear; remove it, see it vanish.
+#[test]
+fn updates_interact_with_pattern_conditions() {
+    use sqlpgq::pattern::{Condition, OutputPattern, Pattern};
+
+    let mut n = sqlpgq::prelude::Relation::empty(1);
+    for i in 0..3i64 {
+        n.insert(Tuple::unary(Value::int(i))).unwrap();
+    }
+    let rels = ViewRelations::new(
+        n,
+        sqlpgq::prelude::Relation::empty(1),
+        sqlpgq::prelude::Relation::empty(2),
+        sqlpgq::prelude::Relation::empty(2),
+        sqlpgq::prelude::Relation::empty(2),
+        sqlpgq::prelude::Relation::empty(3),
+    );
+    let tid = Tuple::unary(Value::int(500));
+    let (rels1, g1) = apply_all(
+        &rels,
+        &[
+            Update::AddEdge {
+                id: tid.clone(),
+                src: Tuple::unary(Value::int(0)),
+                tgt: Tuple::unary(Value::int(1)),
+            },
+            Update::AddLabel(tid.clone(), Value::str("Transfer")),
+            Update::SetProp(tid.clone(), Value::str("amount"), Value::int(900)),
+        ],
+    )
+    .unwrap();
+
+    // (x) -[t]-> (y) ⟨Transfer(t) ∧ t.amount = t.amount⟩ with a label
+    // check; the formal core has no constant comparison, so check the
+    // label and that the property exists via the extension condition.
+    let psi = Pattern::node("x")
+        .then(Pattern::edge("t"))
+        .then(Pattern::node("y"));
+    let psi = Pattern::Filter(
+        Box::new(psi),
+        Condition::HasLabel(Var::new("t"), Value::str("Transfer")),
+    );
+    let out = OutputPattern::vars(psi, ["x", "y"]).unwrap();
+    assert_eq!(out.eval(&g1).unwrap().len(), 1);
+
+    let (_, g2) = apply_all(&rels1, &[Update::RemoveEdge(tid)]).unwrap();
+    assert_eq!(out.eval(&g2).unwrap().len(), 0);
+}

@@ -1,0 +1,117 @@
+//! Integration: the full stack on the paper's running example —
+//! surface SQL → catalog → pgView → pattern engine → relational results,
+//! cross-checked against the formal core API and both translations.
+
+use sqlpgq::core::{builders, eval as eval_query, Query};
+use sqlpgq::logic::eval_ordered;
+use sqlpgq::parser::{Outcome, Session};
+use sqlpgq::prelude::*;
+use sqlpgq::translate::pgq_to_fo;
+use sqlpgq::workloads::transfers::{
+    canonical_transfers_db, random_transfers_db, TRANSFERS_DDL, TRANSFERS_QUERY,
+};
+
+#[test]
+fn example_1_1_and_2_1_agree_with_core_api() {
+    let db = random_transfers_db(15, 30, 1000, 99);
+    let mut session = Session::new();
+    session.run_script(TRANSFERS_DDL, &db).unwrap();
+
+    // Through the surface syntax.
+    let outcomes = session.run_script(TRANSFERS_QUERY, &db).unwrap();
+    let Outcome::Rows(surface_rows) = &outcomes[0] else {
+        panic!("SELECT returns rows")
+    };
+
+    // Through the formal layers: build the same graph from the catalog,
+    // evaluate the same output pattern directly.
+    let graph = session
+        .catalog
+        .build_graph("Transfers", &db, ViewMode::Strict)
+        .unwrap();
+    let step = Pattern::Edge(Some(Var::new("t")), sqlpgq::pattern::Direction::Forward)
+        .filter(Condition::has_label("t", "Transfer"))
+        .filter(Condition::prop_cmp(
+            "t",
+            "amount",
+            sqlpgq::relational::CmpOp::Gt,
+            100i64,
+        ));
+    let out = OutputPattern::new(
+        Pattern::node("x")
+            .then(step.plus())
+            .then(Pattern::node("y")),
+        vec![
+            OutputItem::Component(Var::new("x"), 1),
+            OutputItem::Component(Var::new("y"), 1),
+        ],
+    )
+    .unwrap();
+    let direct = out.eval(&graph).unwrap();
+    assert_eq!(&direct, surface_rows);
+}
+
+#[test]
+fn canonical_relations_round_trip_through_translation() {
+    let db = canonical_transfers_db(10, 20, 500, 5);
+    let q = Query::pattern_ro(
+        builders::reachability_output(),
+        ["N", "E", "S", "T", "L", "P"],
+    );
+    let direct = eval_query(&q, &db).unwrap();
+    let fo = pgq_to_fo(&q, &db.schema()).unwrap();
+    let via_logic = eval_ordered(&fo.formula, &fo.vars, &db).unwrap();
+    assert_eq!(direct, via_logic);
+}
+
+#[test]
+fn composite_key_graph_definition() {
+    // Example 5.1's composite account keys (bank, branch, acct).
+    let mut db = Database::new();
+    db.insert("Account", tuple!["hapoalim", 1, 777]).unwrap();
+    db.insert("Account", tuple!["leumi", 2, 888]).unwrap();
+    db.insert(
+        "Transfer",
+        tuple![1, "hapoalim", 1, 777, "leumi", 2, 888, 1000, 250],
+    )
+    .unwrap();
+    let mut session = Session::new();
+    let outcomes = session
+        .run_script(
+            "CREATE TABLE Account (bank, branch, acct);
+             CREATE TABLE Transfer (t_id, bankSrc, branchSrc, acctSrc,
+                                    bankTgt, branchTgt, acctTgt, ts, amount);
+             CREATE PROPERTY GRAPH Transfers2 (
+               NODES TABLE Account KEY (bank, branch, acct),
+               EDGES TABLE Transfer KEY (t_id)
+                 SOURCE KEY (bankSrc, branchSrc, acctSrc) REFERENCES Account
+                 TARGET KEY (bankTgt, branchTgt, acctTgt) REFERENCES Account
+                 LABELS Transfer);
+             SELECT * FROM GRAPH_TABLE (Transfers2
+               MATCH (x) -[t:Transfer]->+ (y)
+               RETURN (x.bank, x.branch, y.bank, y.branch));",
+            &db,
+        )
+        .unwrap();
+    let Outcome::Rows(rows) = &outcomes[3] else { panic!() };
+    // The Example 5.1 output: banks and branches of both endpoints.
+    assert!(rows.contains(&tuple!["hapoalim", 1, "leumi", 2]));
+    assert_eq!(rows.len(), 1);
+    // Identifier arity: 1 (table tag) + 3 (max key).
+    assert_eq!(session.catalog.id_arity("Transfers2").unwrap(), 4);
+}
+
+#[test]
+fn fragments_are_classified_across_the_stack() {
+    let ro = Query::pattern_ro(
+        builders::boolean_reachability(),
+        ["N", "E", "S", "T", "L", "P"],
+    );
+    assert_eq!(ro.fragment(), Fragment::Ro);
+    let rw = sqlpgq::workloads::alternating::rw_alternating_query(2);
+    assert_eq!(rw.fragment(), Fragment::Rw);
+    let ext = sqlpgq::workloads::increasing::increasing_pairs_query();
+    assert!(matches!(ext.fragment(), Fragment::N(4)));
+    assert!(Fragment::Ro.within(rw.fragment()));
+    assert!(rw.fragment().within(ext.fragment()));
+}

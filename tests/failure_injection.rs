@@ -1,0 +1,168 @@
+//! Integration: failure injection across the stack. Every malformed
+//! input must surface as a *typed error* — never a panic, never a wrong
+//! answer (DESIGN.md §7).
+
+use sqlpgq::core::{builders, eval as eval_query, Query, QueryError};
+use sqlpgq::graph::{pg_view, ViewError, ViewRelations};
+use sqlpgq::parser::{LowerError, ScriptError, Session};
+use sqlpgq::pattern::{OutputError, OutputPattern, Pattern, PatternError};
+use sqlpgq::prelude::*;
+use sqlpgq::relational::RelError;
+
+fn canonical_db() -> Database {
+    sqlpgq::workloads::families::path_db(3)
+}
+
+#[test]
+fn view_condition_violations_are_typed() {
+    // Disjointness (condition 1).
+    let rels = ViewRelations::bare(
+        Relation::unary(["a"]),
+        Relation::unary(["a"]),
+        Relation::empty(2),
+        Relation::empty(2),
+    );
+    assert!(matches!(
+        pg_view(&rels).unwrap_err(),
+        ViewError::NodesEdgesOverlap(_)
+    ));
+
+    // Totality (condition 2): edge without src.
+    let rels = ViewRelations::bare(
+        Relation::unary(["a"]),
+        Relation::unary(["e"]),
+        Relation::empty(2),
+        Relation::empty(2),
+    );
+    assert!(matches!(
+        pg_view(&rels).unwrap_err(),
+        ViewError::MissingEndpoint { .. }
+    ));
+}
+
+#[test]
+fn query_layer_wraps_errors() {
+    let db = canonical_db();
+    // Unknown relation.
+    let q = Query::rel("Nope");
+    assert!(matches!(
+        eval_query(&q, &db).unwrap_err(),
+        QueryError::Rel(RelError::UnknownRelation(_))
+    ));
+    // Arity-incompatible union.
+    let q = Query::rel("N").union(Query::rel("S"));
+    assert!(matches!(
+        eval_query(&q, &db).unwrap_err(),
+        QueryError::Rel(RelError::IncompatibleArities { .. })
+    ));
+    // Out-of-range projection.
+    let q = Query::rel("N").project(vec![5]);
+    assert!(matches!(
+        eval_query(&q, &db).unwrap_err(),
+        QueryError::Rel(RelError::PositionOutOfRange { .. })
+    ));
+    // Invalid view inside a pattern call.
+    let q = Query::pattern_rw(
+        builders::boolean_reachability(),
+        [
+            Query::rel("N"),
+            Query::rel("N"), // same set as nodes: disjointness fails
+            Query::rel("S"),
+            Query::rel("T"),
+            Query::rel("L"),
+            Query::rel("P"),
+        ],
+    );
+    assert!(matches!(
+        eval_query(&q, &db).unwrap_err(),
+        QueryError::View(ViewError::NodesEdgesOverlap(_))
+    ));
+}
+
+#[test]
+fn pattern_layer_static_errors() {
+    // Union with different free variables.
+    let bad = Pattern::node("x").or(Pattern::node("y"));
+    assert!(matches!(
+        bad.validate().unwrap_err(),
+        PatternError::UnionFreeVarMismatch { .. }
+    ));
+    // Empty repetition range.
+    let bad = Pattern::any_edge().repeat(3, 1);
+    assert!(matches!(
+        bad.validate().unwrap_err(),
+        PatternError::EmptyRepetitionRange { .. }
+    ));
+    // Output over a hidden (repetition-bound) variable.
+    let p = Pattern::node("x").then(Pattern::any_edge()).repeat(1, 2);
+    assert!(matches!(
+        OutputPattern::vars(p, ["x"]).unwrap_err(),
+        OutputError::VarNotFree(_)
+    ));
+}
+
+#[test]
+fn parser_and_catalog_errors() {
+    let db = Database::new();
+    let mut session = Session::new();
+    // Parse error with position.
+    let err = session.run_script("SELECT banana", &db).unwrap_err();
+    assert!(matches!(err, ScriptError::Parse(_)));
+    // Unknown graph.
+    let err = session
+        .run_script(
+            "SELECT * FROM GRAPH_TABLE (Ghost MATCH (x) -> (y) RETURN (x));",
+            &db,
+        )
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        ScriptError::Lower(LowerError::Catalog(_))
+    ));
+    // Graph over a missing table.
+    let err = session
+        .run_script(
+            "CREATE PROPERTY GRAPH G (NODES TABLE Missing KEY (k));",
+            &db,
+        )
+        .unwrap_err();
+    assert!(matches!(err, ScriptError::Lower(LowerError::Catalog(_))));
+}
+
+#[test]
+fn dangling_edges_strict_vs_lenient_end_to_end() {
+    let mut db = Database::new();
+    db.insert("Account", tuple!["IL1"]).unwrap();
+    db.insert("Transfer", tuple![1, "IL1", "GHOST", 0, 10]).unwrap();
+    let mut session = Session::new();
+    session
+        .run_script(sqlpgq::workloads::transfers::TRANSFERS_DDL, &db)
+        .unwrap();
+    let q = "SELECT * FROM GRAPH_TABLE (Transfers MATCH (x) -> (y) RETURN (x.iban));";
+    // Strict (default): typed error.
+    assert!(session.run_script(q, &db).is_err());
+    // Lenient: the dangling edge is dropped, query runs.
+    session.mode = ViewMode::Lenient;
+    let outcomes = session.run_script(q, &db).unwrap();
+    let Outcome::Rows(rows) = &outcomes[0] else { panic!() };
+    assert!(rows.is_empty());
+}
+
+#[test]
+fn translation_rejects_untranslatable_conditions() {
+    use sqlpgq::translate::{pgq_to_fo, TranslateError};
+    let db = canonical_db();
+    let q = Query::pattern_ro(
+        OutputPattern::boolean(
+            Pattern::Edge(Some(Var::new("t")), sqlpgq::pattern::Direction::Forward).filter(
+                Condition::prop_cmp("t", "w", sqlpgq::relational::CmpOp::Lt, 5i64),
+            ),
+        )
+        .unwrap(),
+        ["N", "E", "S", "T", "L", "P"],
+    );
+    assert!(matches!(
+        pgq_to_fo(&q, &db.schema()).unwrap_err(),
+        TranslateError::UnsupportedCondition(_)
+    ));
+}

@@ -1,0 +1,92 @@
+//! Integration: Remark 5.1 mixed-arity views under the full pattern
+//! layer — patterns, outputs, and conditions all work on the embedded
+//! uniform graph.
+
+use sqlpgq::graph::{pg_view_mixed, MixedViewRelations, ViewMode};
+use sqlpgq::pattern::{Condition, OutputItem, OutputPattern, Pattern};
+use sqlpgq::prelude::*;
+
+/// Accounts with unary ids; transfers with composite (batch, leg) ids.
+fn ledger() -> MixedViewRelations {
+    MixedViewRelations {
+        nodes: Relation::unary(["a", "b", "c"]),
+        edges: Relation::from_rows(2, [tuple![9, 1], tuple![9, 2]]).unwrap(),
+        src: Relation::from_rows(3, [tuple![9, 1, "a"], tuple![9, 2, "b"]]).unwrap(),
+        tgt: Relation::from_rows(3, [tuple![9, 1, "b"], tuple![9, 2, "c"]]).unwrap(),
+        node_labels: Relation::from_rows(
+            2,
+            [tuple!["a", "Account"], tuple!["b", "Account"], tuple!["c", "Account"]],
+        )
+        .unwrap(),
+        edge_labels: Relation::from_rows(3, [tuple![9, 1, "Leg"], tuple![9, 2, "Leg"]])
+            .unwrap(),
+        node_props: Relation::empty(3),
+        edge_props: Relation::from_rows(
+            4,
+            [tuple![9, 1, "amount", 100], tuple![9, 2, "amount", 300]],
+        )
+        .unwrap(),
+    }
+}
+
+#[test]
+fn reachability_over_mixed_view() {
+    let g = pg_view_mixed(&ledger(), ViewMode::Strict).unwrap();
+    let out = OutputPattern::vars(
+        Pattern::node("x")
+            .then(Pattern::any_edge().plus())
+            .then(Pattern::node("y")),
+        ["x", "y"],
+    )
+    .unwrap();
+    let rel = out.eval(&g).unwrap();
+    // Identifiers are (tag, …, pad): arity 3 each, output arity 6.
+    assert_eq!(rel.arity(), 6);
+    // a reaches c through the two legs.
+    assert!(rel.contains(&tuple![0, "a", 0, 0, "c", 0]));
+    assert_eq!(rel.len(), 3);
+}
+
+#[test]
+fn conditions_and_component_outputs() {
+    let g = pg_view_mixed(&ledger(), ViewMode::Strict).unwrap();
+    // Only legs with amount > 100: just leg 2 (b → c).
+    let step = Pattern::Edge(Some(Var::new("t")), sqlpgq::pattern::Direction::Forward).filter(
+        Condition::has_label("t", "Leg").and(Condition::prop_cmp(
+            "t",
+            "amount",
+            sqlpgq::relational::CmpOp::Gt,
+            100i64,
+        )),
+    );
+    let out = OutputPattern::new(
+        Pattern::node("x").then(step).then(Pattern::node("y")),
+        vec![
+            // Raw node id = component 1 (component 0 is the sort tag).
+            OutputItem::Component(Var::new("x"), 1),
+            OutputItem::Component(Var::new("y"), 1),
+            // The edge's composite raw id: components 1 and 2.
+            OutputItem::Component(Var::new("t"), 1),
+            OutputItem::Component(Var::new("t"), 2),
+        ],
+    )
+    .unwrap();
+    let rel = out.eval(&g).unwrap();
+    assert_eq!(rel.len(), 1);
+    assert!(rel.contains(&tuple!["b", "c", 9, 2]));
+}
+
+#[test]
+fn mixed_view_composes_with_core_queries() {
+    // Mixed views are ordinary property graphs after embedding, so the
+    // same graph can also be produced through pgView_ext from the
+    // embedded relations — spot-check the node/edge counts match.
+    let g = pg_view_mixed(&ledger(), ViewMode::Strict).unwrap();
+    assert_eq!(g.id_arity(), 3);
+    assert_eq!(g.node_count(), 3);
+    assert_eq!(g.edge_count(), 2);
+    for e in g.edges() {
+        assert!(g.is_node(g.src(e).unwrap()));
+        assert!(g.is_node(g.tgt(e).unwrap()));
+    }
+}

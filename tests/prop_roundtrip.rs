@@ -1,0 +1,112 @@
+//! Cross-crate property tests: translations composed with the
+//! normalizers (`pgq_logic::simplify`, `pgq_core::optimize`) stay
+//! semantics-preserving, and the binary-TC fragment round-trips.
+
+use pgq_logic::testgen::{arb_database, arb_formula};
+use pgq_pattern::testgen::{arb_graph, strip_vars};
+use proptest::prelude::*;
+use sqlpgq::core::{eval as eval_query, optimize, Query};
+use sqlpgq::logic::{eval_ordered, simplify, Formula, Term};
+use sqlpgq::pattern::{OutputPattern, Pattern};
+use sqlpgq::relational::{Database, Relation};
+use sqlpgq::translate::{fo_to_pgq, pgq_to_fo};
+use sqlpgq::value::{Tuple, Var};
+
+fn graph_to_db(g: &sqlpgq::graph::PropertyGraph) -> Database {
+    let mut db = Database::new();
+    let mut n = Relation::empty(1);
+    let mut e = Relation::empty(1);
+    let mut s = Relation::empty(2);
+    let mut t = Relation::empty(2);
+    let mut l = Relation::empty(2);
+    let mut p = Relation::empty(3);
+    for node in g.nodes() {
+        n.insert(node.clone()).unwrap();
+        for lab in g.labels(node) {
+            l.insert(node.concat(&Tuple::unary(lab.clone()))).unwrap();
+        }
+        for (k, v) in g.props_of(node) {
+            p.insert(Tuple::new(vec![node[0].clone(), k.clone(), v.clone()]))
+                .unwrap();
+        }
+    }
+    for edge in g.edges() {
+        e.insert(edge.clone()).unwrap();
+        s.insert(edge.concat(g.src(edge).unwrap())).unwrap();
+        t.insert(edge.concat(g.tgt(edge).unwrap())).unwrap();
+        for lab in g.labels(edge) {
+            l.insert(edge.concat(&Tuple::unary(lab.clone()))).unwrap();
+        }
+        for (k, v) in g.props_of(edge) {
+            p.insert(Tuple::new(vec![edge[0].clone(), k.clone(), v.clone()]))
+                .unwrap();
+        }
+    }
+    db.add_relation("N", n);
+    db.add_relation("E", e);
+    db.add_relation("S", s);
+    db.add_relation("T", t);
+    db.add_relation("L", l);
+    db.add_relation("P", p);
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// T(φ) and optimize(T(φ)) evaluate identically, and the optimizer
+    /// never grows the query.
+    #[test]
+    fn optimize_after_fo_to_pgq(db in arb_database(), f in arb_formula(2)) {
+        let order = [Var::new("x"), Var::new("y")];
+        let res = fo_to_pgq(&f, &order, &db.schema()).unwrap();
+        let optimized = optimize(&res.query, &db.schema()).unwrap();
+        prop_assert!(optimized.size() <= res.query.size());
+        prop_assert_eq!(
+            eval_query(&res.query, &db).unwrap(),
+            eval_query(&optimized, &db).unwrap()
+        );
+    }
+
+    /// τ(Q) and simplify(τ(Q)) evaluate identically, and simplification
+    /// never grows the formula.
+    #[test]
+    fn simplify_after_pgq_to_fo(g in arb_graph(), p in pgq_pattern::testgen::arb_nfa_pattern(2)) {
+        let db = graph_to_db(&g);
+        let pattern = Pattern::node("x")
+            .then(strip_vars(&p))
+            .then(Pattern::node("y"));
+        let out = OutputPattern::vars(pattern, ["x", "y"]).unwrap();
+        let q = Query::pattern_ro(out, ["N", "E", "S", "T", "L", "P"]);
+        let fo = pgq_to_fo(&q, &db.schema()).unwrap();
+        let simplified = simplify(&fo.formula);
+        prop_assert!(simplified.size() <= fo.formula.size());
+        prop_assert_eq!(
+            eval_ordered(&fo.formula, &fo.vars, &db).unwrap(),
+            eval_ordered(&simplified, &fo.vars, &db).unwrap()
+        );
+    }
+
+    /// Binary-TC formulas (the arity-2 level that captures everything on
+    /// ordered structures, Theorem 6.8) round-trip through PGQ.
+    #[test]
+    fn tc2_roundtrip(db in arb_database(), use_v_filter in proptest::bool::ANY) {
+        let mut body = Formula::atom("E", ["u1", "w1"]).and(Formula::atom("E", ["u2", "w2"]));
+        if use_v_filter {
+            body = body.and(Formula::atom("V", ["u1"]));
+        }
+        let phi = Formula::tc(
+            vec![Var::new("u1"), Var::new("u2")],
+            vec![Var::new("w1"), Var::new("w2")],
+            body,
+            vec![Term::var("x1"), Term::var("x2")],
+            vec![Term::var("y1"), Term::var("y2")],
+        );
+        let order: Vec<Var> = phi.free_vars().into_iter().collect();
+        let res = fo_to_pgq(&phi, &order, &db.schema()).unwrap();
+        prop_assert_eq!(res.max_view_arity, 4); // Finding F1 at k=2, ℓ=0
+        let via_fo = eval_ordered(&phi, &order, &db).unwrap();
+        let via_pgq = eval_query(&res.query, &db).unwrap();
+        prop_assert_eq!(via_fo, via_pgq);
+    }
+}

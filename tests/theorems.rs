@@ -1,0 +1,122 @@
+//! Integration: the paper's theorem-level claims, checked mechanically
+//! at workspace scope (the per-crate property tests cover the same
+//! ground on random inputs; these are the headline scenarios).
+
+use sqlpgq::core::{eval as eval_query, Query};
+use sqlpgq::logic::{detect_period, eval_ordered, powers_of_two_bits, Formula, Term};
+use sqlpgq::translate::{fo_tcn_to_pgq, fo_to_pgq, pgq_to_fo, TranslateError};
+use sqlpgq::value::Var;
+use sqlpgq::workloads::{alternating, families, increasing, random};
+
+/// Theorem 4.1: the PGQrw union-view query decides alternating paths at
+/// every length; bounded (FO) unrollings fail beyond their radius; no
+/// base-relation assignment forms a PGQro view (Proposition 9.2).
+#[test]
+fn theorem_4_1_separation() {
+    let min_edges = 10;
+    for length in [10usize, 20, 40] {
+        let db = alternating::alternating_path_db(length, None);
+        let truth = alternating::has_alternating_path(&db, min_edges);
+        let rw = eval_query(&alternating::rw_alternating_query(min_edges), &db)
+            .unwrap()
+            .as_bool();
+        assert_eq!(rw, truth, "PGQrw at length {length}");
+        let bounded = eval_query(
+            &alternating::bounded_alternating_query(min_edges, 4),
+            &db,
+        )
+        .unwrap()
+        .as_bool();
+        if length >= min_edges {
+            assert!(truth && !bounded, "locality failure at length {length}");
+        }
+    }
+    let db = alternating::alternating_path_db(12, None);
+    let (_, valid) = alternating::enumerate_ro_views(&db);
+    assert_eq!(valid, 0, "Proposition 9.2");
+}
+
+/// Theorem 4.2: walk-length spectra reachable by PGQrw repetition are
+/// ultimately periodic; the powers of two admit no such description.
+#[test]
+fn theorem_4_2_semilinearity() {
+    for (p, q) in [(2usize, 3usize), (3, 5), (4, 7)] {
+        let db = families::two_cycles_db(p, q, true);
+        let bits = families::walk_length_spectrum(&db, 0, p as i64, 256);
+        assert!(
+            detect_period(&bits, 128, 64).is_some(),
+            "spectrum of ({p},{q}) must be ultimately periodic"
+        );
+    }
+    assert_eq!(detect_period(&powers_of_two_bits(1024), 512, 64), None);
+}
+
+/// Example 5.3 / Theorem 5.2's flavor: the increasing-amount query is
+/// computed identically by the PGQext view construction, the FO[TC2]
+/// formula, and a direct dynamic program.
+#[test]
+fn example_5_3_three_way_agreement() {
+    for seed in 0..3u64 {
+        let db = increasing::random_ledger(8, 16, 10, seed);
+        let via_pgq = eval_query(&increasing::increasing_pairs_query(), &db).unwrap();
+        let order = [Var::new("x"), Var::new("y")];
+        let via_fo = eval_ordered(&increasing::increasing_pairs_formula(), &order, &db).unwrap();
+        let baseline = increasing::increasing_pairs_baseline(&db);
+        assert_eq!(via_pgq.len(), baseline.len(), "seed {seed}");
+        assert_eq!(via_fo, via_pgq, "seed {seed}");
+    }
+}
+
+/// Corollary 6.3 (PGQext = FO[TC]): both directions, composed.
+#[test]
+fn corollary_6_3_equivalence() {
+    let db = random::ve_db(9, 18, 11);
+    let phi = Formula::tc(
+        vec![Var::new("u")],
+        vec![Var::new("w")],
+        Formula::atom("E", ["u", "w"]).and(Formula::atom("V", ["u"])),
+        vec![Term::var("x")],
+        vec![Term::var("y")],
+    )
+    .and(Formula::atom("V", ["x"]));
+    let order = [Var::new("x"), Var::new("y")];
+    let reference = eval_ordered(&phi, &order, &db).unwrap();
+    // φ → PGQext → FO[TC] → evaluate.
+    let t = fo_to_pgq(&phi, &order, &db.schema()).unwrap();
+    assert_eq!(eval_query(&t.query, &db).unwrap(), reference);
+    let tau = pgq_to_fo(&t.query, &db.schema()).unwrap();
+    assert_eq!(eval_ordered(&tau.formula, &tau.vars, &db).unwrap(), reference);
+}
+
+/// Theorems 6.5/6.6 with Finding F1: the τ direction stays within
+/// FO[TCn]; the constructive T direction enforces the FO[TCn] input
+/// bound and reports identifier arity 2k+ℓ.
+#[test]
+fn arity_fragments_and_finding_f1() {
+    let db = random::ve_db(6, 12, 13);
+    // A PGQ1 query translates into FO[TC1].
+    let db2 = random::canonical_graph_db(8, 14, 5, 13);
+    let q = Query::pattern_ro(
+        sqlpgq::core::builders::reachability_output(),
+        ["N", "E", "S", "T", "L", "P"],
+    );
+    let fo = pgq_to_fo(&q, &db2.schema()).unwrap();
+    assert!(fo.formula.max_tc_arity() <= 1, "PGQ1 ⊆ FO[TC1]");
+
+    // A TC2 formula is rejected by the TC1-bounded translation and
+    // accepted (with arity 4 views) by the TC2-bounded one.
+    let tc2 = Formula::tc(
+        vec![Var::new("u1"), Var::new("u2")],
+        vec![Var::new("w1"), Var::new("w2")],
+        Formula::atom("E", ["u1", "w1"]).and(Formula::atom("E", ["u2", "w2"])),
+        vec![Term::var("x1"), Term::var("x2")],
+        vec![Term::var("y1"), Term::var("y2")],
+    );
+    let order: Vec<Var> = tc2.free_vars().into_iter().collect();
+    assert!(matches!(
+        fo_tcn_to_pgq(&tc2, &order, &db.schema(), 1),
+        Err(TranslateError::TcArityExceeded { found: 2, bound: 1 })
+    ));
+    let ok = fo_tcn_to_pgq(&tc2, &order, &db.schema(), 2).unwrap();
+    assert_eq!(ok.max_view_arity, 4, "Finding F1: 2k + ℓ with k=2, ℓ=0");
+}
