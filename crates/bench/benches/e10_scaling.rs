@@ -2,10 +2,10 @@
 //! query across instance sizes and shapes, with the NFA-vs-reference
 //! evaluator ablation (DESIGN.md §3).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pgq_core::{builders, eval_with, EvalConfig, Query};
 use pgq_workloads::families::{cycle_db, grid_db, path_db};
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e10_scaling");

@@ -6,13 +6,13 @@
 //! semi-naive Datalog and the NFA pattern engine sit well below the
 //! quantifier-enumerating logic evaluator.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pgq_core::{builders, Query};
 use pgq_datalog::{compile_formula, evaluate, evaluate_naive, parse_program};
 use pgq_logic::{eval_ordered, Formula, Term};
 use pgq_value::Var;
 use pgq_workloads::families;
+use std::time::Duration;
 
 fn reach_formula() -> Formula {
     let step = Formula::exists(

@@ -1,10 +1,10 @@
 //! E1 — Examples 1.1/2.1: full surface-stack cost (parse, catalog,
 //! pgView, match) on growing transfer ledgers.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pgq_parser::Session;
 use pgq_workloads::transfers::{random_transfers_db, TRANSFERS_DDL, TRANSFERS_QUERY};
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_transfers");
@@ -14,16 +14,12 @@ fn bench(c: &mut Criterion) {
     for (accounts, transfers) in [(50usize, 150usize), (100, 300), (200, 600)] {
         let db = random_transfers_db(accounts, transfers, 1000, 7);
         // Parse + DDL only.
-        group.bench_with_input(
-            BenchmarkId::new("parse_and_ddl", accounts),
-            &db,
-            |b, db| {
-                b.iter(|| {
-                    let mut s = Session::new();
-                    s.run_script(TRANSFERS_DDL, db).unwrap()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("parse_and_ddl", accounts), &db, |b, db| {
+            b.iter(|| {
+                let mut s = Session::new();
+                s.run_script(TRANSFERS_DDL, db).unwrap()
+            })
+        });
         // Full query (Example 2.1).
         let mut session = Session::new();
         session.run_script(TRANSFERS_DDL, &db).unwrap();

@@ -2,11 +2,11 @@
 //! on the same pattern and graph (Prop 9.1 equivalence is asserted in
 //! tests; here we measure the price of each semantics).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pgq_core::{build_view, EvalConfig, Query, ViewOp};
 use pgq_pattern::{eval_pattern, eval_pattern_paths, try_eval_pairs, Pattern};
 use pgq_workloads::random::canonical_graph_db;
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2_semantics");

@@ -1,12 +1,12 @@
 //! E3 — Theorem 4.1: cost of the recursive `PGQrw` query vs the bounded
 //! unrolling on alternating-path instances of growing length.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pgq_core::eval;
 use pgq_workloads::alternating::{
     alternating_path_db, enumerate_ro_views, ro_unrolled_query, rw_alternating_query,
 };
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_alternating");
@@ -23,9 +23,11 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("bounded_r8", length), &db, |b, db| {
             b.iter(|| eval(&bounded, db).unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("prop_9_2_enumeration", length), &db, |b, db| {
-            b.iter(|| enumerate_ro_views(db))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("prop_9_2_enumeration", length),
+            &db,
+            |b, db| b.iter(|| enumerate_ro_views(db)),
+        );
     }
     group.finish();
 }

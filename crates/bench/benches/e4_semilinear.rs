@@ -1,10 +1,10 @@
 //! E4 — Theorem 4.2: spectrum computation, periodicity detection, and
 //! semilinear-set algebra costs.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pgq_logic::{detect_period, powers_of_two_bits, UpSet};
 use pgq_workloads::families::{two_cycles_db, walk_length_spectrum};
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4_semilinear");

@@ -1,7 +1,6 @@
 //! E5 — Example 5.3 / Figure 5: the PGQext copy-graph construction vs
 //! the FO[TC2] route vs the direct dynamic program.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pgq_core::eval;
 use pgq_logic::eval_ordered;
@@ -9,6 +8,7 @@ use pgq_value::Var;
 use pgq_workloads::increasing::{
     increasing_pairs_baseline, increasing_pairs_formula, increasing_pairs_query, random_ledger,
 };
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5_increasing");

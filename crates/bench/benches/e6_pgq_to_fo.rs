@@ -1,12 +1,12 @@
 //! E6 — Theorem 6.1: cost of the τ translation and the overhead of
 //! evaluating τ(Q) in the logic engine vs Q natively.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pgq_core::{builders, eval, Query};
 use pgq_logic::eval_ordered;
 use pgq_translate::pgq_to_fo;
 use pgq_workloads::random::canonical_graph_db;
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_pgq_to_fo");

@@ -1,13 +1,13 @@
 //! E7 — Theorem 6.2: cost of the T translation and of evaluating T(φ)
 //! (reachability over a constructed view) vs native TC evaluation.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pgq_core::eval;
 use pgq_logic::{eval_ordered, Formula, Term};
 use pgq_translate::fo_to_pgq;
 use pgq_value::Var;
 use pgq_workloads::random::ve_db;
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_fo_to_pgq");

@@ -1,13 +1,13 @@
 //! E8 — Theorems 6.5/6.6: evaluation cost per TC arity k (configuration
 //! space ≈ n^k) and the Finding F1 translation arities.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pgq_core::eval;
 use pgq_logic::{eval_ordered, Formula, Term};
 use pgq_translate::fo_to_pgq;
 use pgq_value::Var;
 use pgq_workloads::random::ve_db;
+use std::time::Duration;
 
 fn tck_formula(k: usize) -> (Formula, Vec<Var>) {
     let u: Vec<Var> = (0..k).map(|i| Var::new(format!("u{i}"))).collect();

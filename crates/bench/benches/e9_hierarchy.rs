@@ -3,13 +3,13 @@
 //! translation, plus the cardinality check that rules unary identifiers
 //! out.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pgq_core::eval;
 use pgq_logic::{eval_ordered, Formula, Term};
 use pgq_relational::Database;
 use pgq_translate::fo_to_pgq;
 use pgq_value::{tuple, Var};
+use std::time::Duration;
 
 fn torus_db(n: usize) -> Database {
     let mut db = Database::new();

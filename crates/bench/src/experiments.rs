@@ -19,19 +19,46 @@ pub fn full_report() -> String {
     let mut out = String::new();
     for (name, body) in [
         ("E1 — Examples 1.1/2.1 end to end", e1_transfers()),
-        ("E2 — Figure 2 ≡ Figure 6 (Prop 9.1) and engine agreement", e2_semantics()),
+        (
+            "E2 — Figure 2 ≡ Figure 6 (Prop 9.1) and engine agreement",
+            e2_semantics(),
+        ),
         ("E3 — Theorem 4.1: PGQro ⊊ PGQrw", e3_alternating()),
-        ("E4 — Theorem 4.2: semilinear spectra vs powers of two", e4_semilinear()),
-        ("E5 — Example 5.3 / Figure 5: increasing amounts", e5_increasing()),
+        (
+            "E4 — Theorem 4.2: semilinear spectra vs powers of two",
+            e4_semilinear(),
+        ),
+        (
+            "E5 — Example 5.3 / Figure 5: increasing amounts",
+            e5_increasing(),
+        ),
         ("E6 — Theorem 6.1: PGQext → FO[TC]", e6_pgq_to_fo()),
         ("E7 — Theorem 6.2: FO[TC] → PGQext", e7_fo_to_pgq()),
-        ("E8 — Theorems 6.5/6.6: arity accounting (Finding F1)", e8_arity()),
+        (
+            "E8 — Theorems 6.5/6.6: arity accounting (Finding F1)",
+            e8_arity(),
+        ),
         ("E9 — Theorem 5.2/6.8: hierarchy evidence", e9_hierarchy()),
-        ("E10 — Corollary 6.4: data-complexity scaling", e10_scaling()),
-        ("E11 — Section 4.1: the NL baselines (FO[TC] ≡ linear Datalog ≡ PGQrw)", e11_baselines()),
-        ("E12 — Related work: RPQ/CRPQ containment in the pattern layer and PGQro", e12_rpq()),
-        ("E13 — Section 7: updates by rebuild-and-reapply", e13_updates()),
-        ("E14 — Section 8: compositional graph queries", e14_compose()),
+        (
+            "E10 — Corollary 6.4: data-complexity scaling",
+            e10_scaling(),
+        ),
+        (
+            "E11 — Section 4.1: the NL baselines (FO[TC] ≡ linear Datalog ≡ PGQrw)",
+            e11_baselines(),
+        ),
+        (
+            "E12 — Related work: RPQ/CRPQ containment in the pattern layer and PGQro",
+            e12_rpq(),
+        ),
+        (
+            "E13 — Section 7: updates by rebuild-and-reapply",
+            e13_updates(),
+        ),
+        (
+            "E14 — Section 8: compositional graph queries",
+            e14_compose(),
+        ),
     ] {
         let _ = writeln!(out, "## {name}\n\n{body}");
     }
@@ -51,7 +78,9 @@ pub fn e1_transfers() -> String {
         let mut session = Session::new();
         session.run_script(transfers::TRANSFERS_DDL, &db).unwrap();
         let outcomes = session.run_script(transfers::TRANSFERS_QUERY, &db).unwrap();
-        let Outcome::Rows(rows) = &outcomes[0] else { unreachable!() };
+        let Outcome::Rows(rows) = &outcomes[0] else {
+            unreachable!()
+        };
         let _ = writeln!(
             out,
             "| {n} | {m} | {} | parse→catalog→pgView→match runs ✓ |",
@@ -150,7 +179,12 @@ pub fn e4_semilinear() -> String {
         ("path(12), 0→7", families::path_db(12), 0, 7),
         ("cycle(3), 0→0", families::cycle_db(3), 0, 0),
         ("cycle(5), 0→2", families::cycle_db(5), 0, 2),
-        ("two cycles 2,3 bridged, 0→2", families::two_cycles_db(2, 3, true), 0, 2),
+        (
+            "two cycles 2,3 bridged, 0→2",
+            families::two_cycles_db(2, 3, true),
+            0,
+            2,
+        ),
     ];
     for (name, db, s, t) in cases {
         let bits = families::walk_length_spectrum(&db, s, t, 128);
@@ -211,7 +245,11 @@ pub fn e6_pgq_to_fo() -> String {
         out,
         "| graph (n, m) | pattern atoms | |⟦Q⟧| | ⟦Q⟧ = ⟦τ(Q)⟧ | TC arity |\n|---|---|---|---|---|"
     );
-    for (n, m, plen, seed) in [(6usize, 10usize, 2usize, 1u64), (8, 16, 3, 2), (10, 20, 4, 3)] {
+    for (n, m, plen, seed) in [
+        (6usize, 10usize, 2usize, 1u64),
+        (8, 16, 3, 2),
+        (10, 20, 4, 3),
+    ] {
         let db = random::canonical_graph_db(n, m, 5, seed);
         let p = random::random_spine_pattern(plen, seed);
         let q = Query::pattern_ro(
@@ -248,10 +286,9 @@ pub fn e7_fo_to_pgq() -> String {
     );
     let sink_reach = Formula::exists(
         ["y"],
-        reach.clone().and(Formula::forall(
-            ["z"],
-            Formula::atom("E", ["y", "z"]).not(),
-        )),
+        reach
+            .clone()
+            .and(Formula::forall(["z"], Formula::atom("E", ["y", "z"]).not())),
     );
     let formulas = [("TC[E](x, y)", reach), ("∃y (TC ∧ sink(y))", sink_reach)];
     for (n, m, seed) in [(8usize, 14usize, 1u64), (12, 24, 2)] {
@@ -285,9 +322,10 @@ pub fn e8_arity() -> String {
         for l in 0..=1usize {
             let u: Vec<Var> = (0..k).map(|i| Var::new(format!("u{i}"))).collect();
             let w: Vec<Var> = (0..k).map(|i| Var::new(format!("w{i}"))).collect();
-            let mut body = Formula::and_all((0..k).map(|i| {
-                Formula::atom("E", [Term::Var(u[i].clone()), Term::Var(w[i].clone())])
-            }));
+            let mut body =
+                Formula::and_all((0..k).map(|i| {
+                    Formula::atom("E", [Term::Var(u[i].clone()), Term::Var(w[i].clone())])
+                }));
             if l == 1 {
                 body = body.and(Formula::atom("V", ["p"]));
             }
@@ -305,11 +343,7 @@ pub fn e8_arity() -> String {
             let via_fo = eval_ordered(&phi, &order, &db).unwrap();
             let via_pgq = eval_query(&res.query, &db).unwrap();
             assert_eq!(via_fo, via_pgq);
-            let _ = writeln!(
-                out,
-                "| {k} | {l} | ✓ | {k} | {} |",
-                res.max_view_arity
-            );
+            let _ = writeln!(out, "| {k} | {l} | ✓ | {k} | {} |", res.max_view_arity);
         }
     }
     let _ = writeln!(
@@ -452,10 +486,8 @@ pub fn e11_baselines() -> String {
             ["N", "E", "S", "T", "L", "P"],
         );
         let via_pgq = eval_query(&q, &db).unwrap();
-        let via_logic =
-            eval_ordered(&phi, &[Var::new("x"), Var::new("y")], &db).unwrap();
-        let via_datalog =
-            pgq_datalog::query(&program, &db, &"reach".into()).unwrap();
+        let via_logic = eval_ordered(&phi, &[Var::new("x"), Var::new("y")], &db).unwrap();
+        let via_datalog = pgq_datalog::query(&program, &db, &"reach".into()).unwrap();
         let compiled = compile_formula(&phi).unwrap();
         let via_bridge = evaluate(&compiled.program, &db).unwrap();
         let via_bridge = via_bridge.get(&compiled.goal).unwrap();
@@ -534,18 +566,28 @@ pub fn e12_rpq() -> String {
         .with_relation("L", lab)
         .with_relation("P", pgq_relational::Relation::empty(3));
 
-    let _ = writeln!(out, "| query | pairs | routes agree | fragment |\n|---|---|---|---|");
+    let _ = writeln!(
+        out,
+        "| query | pairs | routes agree | fragment |\n|---|---|---|---|"
+    );
     let rpqs: Vec<(&str, Rpq)> = vec![
         ("(a·b)*", Rpq::label("a").then(Rpq::label("b")).star()),
         ("(a|b)+", Rpq::label("a").or(Rpq::label("b")).plus()),
-        ("c·(a|b)*", Rpq::label("c").then(Rpq::label("a").or(Rpq::label("b")).star())),
+        (
+            "c·(a|b)*",
+            Rpq::label("c").then(Rpq::label("a").or(Rpq::label("b")).star()),
+        ),
         ("a⁻·c (2RPQ)", Rpq::inverse("a").then(Rpq::label("c"))),
     ];
     for (name, r) in &rpqs {
         let via_auto = eval_rpq(r, &g);
         let via_pattern = ep(&evp(&rpq_to_pattern(r), &g).unwrap());
         assert_eq!(via_auto, via_pattern, "{name}");
-        let _ = writeln!(out, "| RPQ {name} | {} | ✓ | pattern layer |", via_auto.len());
+        let _ = writeln!(
+            out,
+            "| RPQ {name} | {} | ✓ | pattern layer |",
+            via_auto.len()
+        );
     }
 
     // A CRPQ joining two atoms, lowered to PGQro.
@@ -558,7 +600,9 @@ pub fn e12_rpq() -> String {
     )
     .unwrap();
     let direct = crpq.eval(&g).unwrap();
-    let lowered = crpq.to_pgqro(&["N", "E", "S", "T", "L", "P"].map(Into::into)).unwrap();
+    let lowered = crpq
+        .to_pgqro(&["N", "E", "S", "T", "L", "P"].map(Into::into))
+        .unwrap();
     assert!(lowered.fragment().within(Fragment::Ro));
     let via_core = eval_query(&lowered, &db).unwrap();
     assert_eq!(direct, via_core);
@@ -603,7 +647,10 @@ pub fn e13_updates() -> String {
         outp.eval(g).unwrap().len()
     };
 
-    let _ = writeln!(out, "| step | nodes | edges | reach pairs |\n|---|---|---|---|");
+    let _ = writeln!(
+        out,
+        "| step | nodes | edges | reach pairs |\n|---|---|---|---|"
+    );
     let _ = writeln!(
         out,
         "| initial 3×3 grid | {} | {} | {} |",
@@ -630,11 +677,18 @@ pub fn e13_updates() -> String {
         g1.edge_count(),
         reach_pairs(&g1)
     );
-    assert_eq!(reach_pairs(&g1), 81, "cycle closure makes reachability total");
+    assert_eq!(
+        reach_pairs(&g1),
+        81,
+        "cycle closure makes reachability total"
+    );
 
     // Detach-remove the center node: the grid loses its crossing paths.
-    let (_, g2) = apply_all(&rels1, &[Update::DetachRemoveNode(Tuple::unary(Value::int(4)))])
-        .unwrap();
+    let (_, g2) = apply_all(
+        &rels1,
+        &[Update::DetachRemoveNode(Tuple::unary(Value::int(4)))],
+    )
+    .unwrap();
     let _ = writeln!(
         out,
         "| − node 4 (detach) | {} | {} | {} |",
@@ -673,7 +727,8 @@ pub fn e14_compose() -> String {
         for (j, (from, to)) in edges.iter().enumerate() {
             let id = Tuple::unary(Value::int(base + j as i64));
             e.insert(id.clone()).unwrap();
-            s.insert(id.concat(&Tuple::unary(Value::int(*from)))).unwrap();
+            s.insert(id.concat(&Tuple::unary(Value::int(*from))))
+                .unwrap();
             t.insert(id.concat(&Tuple::unary(Value::int(*to)))).unwrap();
         }
         (e, s, t)
@@ -695,12 +750,18 @@ pub fn e14_compose() -> String {
     let b = GraphExpr::view_ro(["N", "E2", "S2", "T2", "L0", "P0"], pgq_core::ViewOp::Unary);
     let reach = builders::reachability_plus_output();
 
-    let _ = writeln!(out, "| expression | nodes | edges | →+ pairs |\n|---|---|---|---|");
+    let _ = writeln!(
+        out,
+        "| expression | nodes | edges | →+ pairs |\n|---|---|---|---|"
+    );
     for (name, expr) in [
         ("pgView(layer A)", a.clone()),
         ("pgView(layer B)", b.clone()),
         ("A ∪ B", a.clone().union(b.clone())),
-        ("(A ∪ B) ∖ₑ B", a.clone().union(b.clone()).minus_edges(b.clone())),
+        (
+            "(A ∪ B) ∖ₑ B",
+            a.clone().union(b.clone()).minus_edges(b.clone()),
+        ),
     ] {
         let g = eval_graph(&expr, &db).unwrap();
         let pairs = eval_match(&expr, &reach, &db).unwrap();
@@ -748,7 +809,12 @@ mod tests {
     #[test]
     fn e3_runs() {
         let r = e3_alternating();
-        assert!(r.contains("0 valid") || r.contains(", 0 valid") || r.contains("0 valid (claim: 0)") || r.contains('✓'));
+        assert!(
+            r.contains("0 valid")
+                || r.contains(", 0 valid")
+                || r.contains("0 valid (claim: 0)")
+                || r.contains('✓')
+        );
     }
     #[test]
     fn e4_runs() {

@@ -73,7 +73,8 @@ impl From<RelError> for AlgebraError {
 }
 
 fn check_arity(a: &PropertyGraph, b: &PropertyGraph) -> Result<(), AlgebraError> {
-    if a.id_arity() == b.id_arity() || a.node_count() + a.edge_count() == 0
+    if a.id_arity() == b.id_arity()
+        || a.node_count() + a.edge_count() == 0
         || b.node_count() + b.edge_count() == 0
     {
         Ok(())
@@ -225,7 +226,8 @@ fn head(t: &pgq_value::Tuple, k: usize) -> pgq_value::Tuple {
 }
 
 fn suffix(t: &pgq_value::Tuple, k: usize) -> pgq_value::Tuple {
-    t.project(&(k..t.arity()).collect::<Vec<_>>()).expect("arity 2k")
+    t.project(&(k..t.arity()).collect::<Vec<_>>())
+        .expect("arity 2k")
 }
 
 fn prefix(t: &pgq_value::Tuple, id: &pgq_value::Tuple, k: usize) -> bool {
@@ -247,7 +249,8 @@ mod tests {
         let mut b = PropertyGraphBuilder::unary();
         b.node1(Value::int(0)).unwrap();
         b.node1(Value::int(1)).unwrap();
-        b.edge1(Value::int(10), Value::int(0), Value::int(1)).unwrap();
+        b.edge1(Value::int(10), Value::int(0), Value::int(1))
+            .unwrap();
         b.label(nid(10), Value::str("a")).unwrap();
         b.prop(nid(0), Value::str("w"), Value::int(1)).unwrap();
         b.finish()
@@ -258,7 +261,8 @@ mod tests {
         let mut b = PropertyGraphBuilder::unary();
         b.node1(Value::int(1)).unwrap();
         b.node1(Value::int(2)).unwrap();
-        b.edge1(Value::int(11), Value::int(1), Value::int(2)).unwrap();
+        b.edge1(Value::int(11), Value::int(1), Value::int(2))
+            .unwrap();
         b.label(nid(11), Value::str("b")).unwrap();
         b.finish()
     }
@@ -286,7 +290,8 @@ mod tests {
         let mut b = PropertyGraphBuilder::unary();
         b.node1(Value::int(0)).unwrap();
         b.node1(Value::int(1)).unwrap();
-        b.edge1(Value::int(10), Value::int(1), Value::int(0)).unwrap();
+        b.edge1(Value::int(10), Value::int(1), Value::int(0))
+            .unwrap();
         let conflicting = b.finish();
         assert!(matches!(
             union(&g1(), &conflicting),
@@ -300,7 +305,10 @@ mod tests {
         let mut b = PropertyGraphBuilder::unary();
         b.node1(Value::int(10)).unwrap();
         let clashing = b.finish();
-        assert!(matches!(union(&g1(), &clashing), Err(AlgebraError::Invalid(_))));
+        assert!(matches!(
+            union(&g1(), &clashing),
+            Err(AlgebraError::Invalid(_))
+        ));
     }
 
     #[test]
@@ -309,7 +317,10 @@ mod tests {
         b.node1(Value::int(0)).unwrap();
         b.prop(nid(0), Value::str("w"), Value::int(2)).unwrap();
         let conflicting = b.finish();
-        assert!(matches!(union(&g1(), &conflicting), Err(AlgebraError::Invalid(_))));
+        assert!(matches!(
+            union(&g1(), &conflicting),
+            Err(AlgebraError::Invalid(_))
+        ));
 
         let mut b = PropertyGraphBuilder::unary();
         b.node1(Value::int(0)).unwrap();
@@ -330,7 +341,8 @@ mod tests {
         let mut b = PropertyGraphBuilder::unary();
         b.node1(Value::int(0)).unwrap();
         b.node1(Value::int(1)).unwrap();
-        b.edge1(Value::int(10), Value::int(1), Value::int(0)).unwrap(); // reversed
+        b.edge1(Value::int(10), Value::int(1), Value::int(0))
+            .unwrap(); // reversed
         let reversed = b.finish();
         let i = intersect(&g1(), &reversed).unwrap();
         assert_eq!(i.node_count(), 2);
@@ -357,7 +369,8 @@ mod tests {
             b.node1(Value::int(i)).unwrap();
         }
         for i in 0..3i64 {
-            b.edge1(Value::int(10 + i), Value::int(i), Value::int(i + 1)).unwrap();
+            b.edge1(Value::int(10 + i), Value::int(i), Value::int(i + 1))
+                .unwrap();
         }
         for i in [0i64, 1, 2] {
             b.label(nid(i), Value::str("Core")).unwrap();
@@ -379,7 +392,8 @@ mod tests {
     #[test]
     fn arity_mismatch_rejected() {
         let mut b = PropertyGraphBuilder::new(2);
-        b.node(Tuple::new(vec![Value::int(0), Value::int(0)])).unwrap();
+        b.node(Tuple::new(vec![Value::int(0), Value::int(0)]))
+            .unwrap();
         let wide = b.finish();
         assert!(matches!(
             union(&g1(), &wide),

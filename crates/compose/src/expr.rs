@@ -49,7 +49,10 @@ pub enum GraphExpr {
 impl GraphExpr {
     /// `pgView⋆(Q̄)` from six queries.
     pub fn view(views: [Query; 6], op: ViewOp) -> Self {
-        GraphExpr::View { views: Box::new(views), op }
+        GraphExpr::View {
+            views: Box::new(views),
+            op,
+        }
     }
 
     /// `pgView(R1, …, R6)` over six stored relations.
@@ -162,22 +165,18 @@ impl From<OutputError> for ComposeError {
 /// Evaluate a graph expression to a property graph value.
 pub fn eval_graph(e: &GraphExpr, db: &Database) -> Result<PropertyGraph, ComposeError> {
     match e {
-        GraphExpr::View { views, op } => {
-            Ok(build_view(views, *op, db, EvalConfig::default())?)
-        }
+        GraphExpr::View { views, op } => Ok(build_view(views, *op, db, EvalConfig::default())?),
         GraphExpr::Literal(g) => Ok(g.clone()),
-        GraphExpr::Union(a, b) => {
-            Ok(algebra::union(&eval_graph(a, db)?, &eval_graph(b, db)?)?)
-        }
-        GraphExpr::Intersect(a, b) => {
-            Ok(algebra::intersect(&eval_graph(a, db)?, &eval_graph(b, db)?)?)
-        }
-        GraphExpr::Minus(a, b) => {
-            Ok(algebra::minus(&eval_graph(a, db)?, &eval_graph(b, db)?)?)
-        }
-        GraphExpr::MinusEdges(a, b) => {
-            Ok(algebra::minus_edges(&eval_graph(a, db)?, &eval_graph(b, db)?)?)
-        }
+        GraphExpr::Union(a, b) => Ok(algebra::union(&eval_graph(a, db)?, &eval_graph(b, db)?)?),
+        GraphExpr::Intersect(a, b) => Ok(algebra::intersect(
+            &eval_graph(a, db)?,
+            &eval_graph(b, db)?,
+        )?),
+        GraphExpr::Minus(a, b) => Ok(algebra::minus(&eval_graph(a, db)?, &eval_graph(b, db)?)?),
+        GraphExpr::MinusEdges(a, b) => Ok(algebra::minus_edges(
+            &eval_graph(a, db)?,
+            &eval_graph(b, db)?,
+        )?),
         GraphExpr::InducedByNodeLabel(a, l) => {
             Ok(algebra::induced_by_node_label(&eval_graph(a, db)?, l)?)
         }
@@ -227,9 +226,11 @@ mod tests {
             for (j, (from, to)) in edges.iter().enumerate() {
                 let id = Tuple::unary(Value::int(base + j as i64));
                 e.insert(id.clone()).unwrap();
-                s.insert(id.concat(&Tuple::unary(Value::int(*from)))).unwrap();
+                s.insert(id.concat(&Tuple::unary(Value::int(*from))))
+                    .unwrap();
                 t.insert(id.concat(&Tuple::unary(Value::int(*to)))).unwrap();
-                l.insert(id.concat(&Tuple::unary(Value::str(label)))).unwrap();
+                l.insert(id.concat(&Tuple::unary(Value::str(label))))
+                    .unwrap();
             }
             (e, s, t, l)
         };
@@ -330,9 +331,6 @@ mod tests {
     fn query_layer_errors_propagate() {
         let db = layered_db();
         let bad = GraphExpr::view_ro(["N", "E1", "S1", "T1", "L1", "MISSING"], ViewOp::Unary);
-        assert!(matches!(
-            eval_graph(&bad, &db),
-            Err(ComposeError::Query(_))
-        ));
+        assert!(matches!(eval_graph(&bad, &db), Err(ComposeError::Query(_))));
     }
 }

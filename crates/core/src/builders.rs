@@ -74,7 +74,9 @@ pub fn labeled_reachability_output(label: impl Into<Label>) -> OutputPattern {
     let step = Pattern::Edge(Some(e.clone()), pgq_pattern::Direction::Forward)
         .filter(Condition::HasLabel(e, label.into()));
     OutputPattern::vars(
-        Pattern::node("x").then(step.plus()).then(Pattern::node("y")),
+        Pattern::node("x")
+            .then(step.plus())
+            .then(Pattern::node("y")),
         ["x", "y"],
     )
     .expect("statically valid")

@@ -14,7 +14,9 @@
 //! fast path for differential testing and ablation benches.
 
 use crate::query::{Query, QueryError, ViewOp};
-use pgq_graph::{pg_view_bounded, pg_view_exact, pg_view_ext, PropertyGraph, ViewMode, ViewRelations};
+use pgq_graph::{
+    pg_view_bounded, pg_view_exact, pg_view_ext, PropertyGraph, ViewMode, ViewRelations,
+};
 use pgq_pattern::{Nfa, OutputItem, OutputPattern, Pattern};
 use pgq_relational::{Database, RelError, Relation};
 use pgq_value::Var;

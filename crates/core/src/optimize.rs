@@ -52,10 +52,7 @@ fn rewrite(q: &Query, schema: &Schema) -> Query {
             }
             // Fusion: σ_θ(σ_η(Q)) = σ_{η ∧ θ}(Q).
             if let Query::Select(inner_cond, innermost) = inner {
-                return Query::Select(
-                    inner_cond.and(cond.clone()),
-                    innermost,
-                );
+                return Query::Select(inner_cond.and(cond.clone()), innermost);
             }
             Query::Select(cond.clone(), Box::new(inner))
         }
@@ -76,10 +73,7 @@ fn rewrite(q: &Query, schema: &Schema) -> Query {
                 // one copy (valid whenever the arity is positive; 0-ary
                 // differences stay as they are).
                 if a.arity(schema).map(|k| k > 0).unwrap_or(false) {
-                    return Query::Select(
-                        RowCondition::col_eq(0, 0).not(),
-                        Box::new(a),
-                    );
+                    return Query::Select(RowCondition::col_eq(0, 0).not(), Box::new(a));
                 }
             }
             Query::Diff(Box::new(a), Box::new(b))
@@ -193,7 +187,9 @@ mod tests {
         ];
         let q = Query::pattern_rw(builders::boolean_reachability(), views);
         let o = optimize(&q, &d.schema()).unwrap();
-        let Query::Pattern { views, .. } = &o else { panic!() };
+        let Query::Pattern { views, .. } = &o else {
+            panic!()
+        };
         assert_eq!(views[0], Query::Rel("N".into()));
         assert_eq!(eval(&q, &d).unwrap(), eval(&o, &d).unwrap());
     }

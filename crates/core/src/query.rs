@@ -272,10 +272,7 @@ impl Query {
                     (ViewOp::Bounded(n), _) => Fragment::N(*n),
                     (ViewOp::Ext, _) => Fragment::Ext,
                 };
-                views
-                    .iter()
-                    .map(Query::fragment)
-                    .fold(base, Fragment::join)
+                views.iter().map(Query::fragment).fold(base, Fragment::join)
             }
         }
     }
@@ -343,9 +340,7 @@ impl Query {
             Query::Product(a, b) | Query::Union(a, b) | Query::Diff(a, b) => {
                 1 + a.size() + b.size()
             }
-            Query::Pattern { views, .. } => {
-                1 + views.iter().map(Query::size).sum::<usize>()
-            }
+            Query::Pattern { views, .. } => 1 + views.iter().map(Query::size).sum::<usize>(),
         }
     }
 }
@@ -394,7 +389,9 @@ mod tests {
 
     #[test]
     fn fragment_of_plain_ra_is_ro() {
-        let q = Query::rel("R").project(vec![0]).union(Query::rel("S").project(vec![1]));
+        let q = Query::rel("R")
+            .project(vec![0])
+            .union(Query::rel("S").project(vec![1]));
         assert_eq!(q.fragment(), Fragment::Ro);
     }
 
@@ -454,19 +451,33 @@ mod tests {
 
     #[test]
     fn static_arity() {
-        let schema = Schema::new().with("R", 2).with("N", 1).with("E", 1)
-            .with("S", 2).with("T", 2).with("L", 2).with("P", 3);
+        let schema = Schema::new()
+            .with("R", 2)
+            .with("N", 1)
+            .with("E", 1)
+            .with("S", 2)
+            .with("T", 2)
+            .with("L", 2)
+            .with("P", 3);
         assert_eq!(Query::rel("R").arity(&schema).unwrap(), 2);
         assert_eq!(Query::constant(1).arity(&schema).unwrap(), 1);
         assert_eq!(
-            Query::rel("R").product(Query::constant(1)).arity(&schema).unwrap(),
+            Query::rel("R")
+                .product(Query::constant(1))
+                .arity(&schema)
+                .unwrap(),
             3
         );
-        assert!(Query::rel("R").union(Query::constant(1)).arity(&schema).is_err());
+        assert!(Query::rel("R")
+            .union(Query::constant(1))
+            .arity(&schema)
+            .is_err());
         assert!(Query::rel("R").project(vec![5]).arity(&schema).is_err());
         let p = Query::pattern_ro(
             OutputPattern::vars(
-                Pattern::node("x").then(Pattern::any_edge()).then(Pattern::node("y")),
+                Pattern::node("x")
+                    .then(Pattern::any_edge())
+                    .then(Pattern::node("y")),
                 ["x", "y"],
             )
             .unwrap(),

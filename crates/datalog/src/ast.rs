@@ -143,12 +143,18 @@ pub struct Literal {
 impl Literal {
     /// A positive literal.
     pub fn pos(atom: Atom) -> Self {
-        Literal { positive: true, atom }
+        Literal {
+            positive: true,
+            atom,
+        }
     }
 
     /// A negated literal.
     pub fn neg(atom: Atom) -> Self {
-        Literal { positive: false, atom }
+        Literal {
+            positive: false,
+            atom,
+        }
     }
 }
 
@@ -179,7 +185,10 @@ impl Rule {
 
     /// A ground fact `p(c̄).`
     pub fn fact(head: Atom) -> Self {
-        Rule { head, body: Vec::new() }
+        Rule {
+            head,
+            body: Vec::new(),
+        }
     }
 
     /// Range-restriction (safety): every variable of the head and of
@@ -275,7 +284,11 @@ impl fmt::Display for ProgramError {
             ProgramError::UnsafeVariable { rule, var } => {
                 write!(f, "unsafe variable {var} in rule `{rule}`")
             }
-            ProgramError::ArityClash { pred, first, second } => {
+            ProgramError::ArityClash {
+                pred,
+                first,
+                second,
+            } => {
                 write!(f, "predicate {pred} used with arities {first} and {second}")
             }
             ProgramError::ReservedHead { pred } => {
@@ -459,7 +472,10 @@ mod tests {
             Atom::new(ADOM, [DlTerm::var("x")]),
             vec![Literal::pos(Atom::new("e", [DlTerm::var("x")]))],
         ));
-        assert!(matches!(p.validate(), Err(ProgramError::ReservedHead { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(ProgramError::ReservedHead { .. })
+        ));
     }
 
     #[test]
@@ -472,14 +488,22 @@ mod tests {
                 Literal::neg(Atom::new("blocked", [DlTerm::var("z")])),
             ],
         );
-        assert_eq!(r.to_string(), "path(x, z) :- path(x, y), edge(y, z), !blocked(z).");
+        assert_eq!(
+            r.to_string(),
+            "path(x, z) :- path(x, y), edge(y, z), !blocked(z)."
+        );
     }
 
     #[test]
     fn vars_first_occurrence_order() {
         let a = Atom::new(
             "p",
-            [DlTerm::var("b"), DlTerm::constant(3i64), DlTerm::var("a"), DlTerm::var("b")],
+            [
+                DlTerm::var("b"),
+                DlTerm::constant(3i64),
+                DlTerm::var("a"),
+                DlTerm::var("b"),
+            ],
         );
         let vs: Vec<&str> = a.vars().iter().map(|v| v.name()).collect();
         assert_eq!(vs, ["b", "a"]);

@@ -119,7 +119,8 @@ impl Compiler {
         match phi {
             Formula::True => {
                 let name = self.fresh_pred("true");
-                self.program.push(Rule::fact(Atom::new(name.clone(), Vec::<DlTerm>::new())));
+                self.program
+                    .push(Rule::fact(Atom::new(name.clone(), Vec::<DlTerm>::new())));
                 Ok(Pred { name, vars: vec![] })
             }
             Formula::False => {
@@ -134,7 +135,8 @@ impl Compiler {
                     rel.clone(),
                     terms.iter().map(term_to_dl).collect::<Vec<_>>(),
                 ));
-                self.program.push(Rule::new(head_atom(&name, &hv), vec![body]));
+                self.program
+                    .push(Rule::new(head_atom(&name, &hv), vec![body]));
                 Ok(Pred { name, vars: hv })
             }
             Formula::Eq(a, b) => self.compile_eq(a, b),
@@ -145,7 +147,9 @@ impl Compiler {
                 let mut body: Vec<Literal> = hv.iter().map(Self::adom_guard).collect();
                 body.push(Literal::neg(Atom::new(
                     inner.name.clone(),
-                    hv.iter().map(|v| DlTerm::Var(v.clone())).collect::<Vec<_>>(),
+                    hv.iter()
+                        .map(|v| DlTerm::Var(v.clone()))
+                        .collect::<Vec<_>>(),
                 )));
                 self.program.push(Rule::new(head_atom(&name, &hv), body));
                 Ok(Pred { name, vars: hv })
@@ -167,7 +171,11 @@ impl Compiler {
                 for p in [&p1, &p2] {
                     let covered: BTreeSet<&Var> = p.vars.iter().collect();
                     let mut body = vec![pred_literal(p)];
-                    body.extend(hv.iter().filter(|v| !covered.contains(v)).map(Self::adom_guard));
+                    body.extend(
+                        hv.iter()
+                            .filter(|v| !covered.contains(v))
+                            .map(Self::adom_guard),
+                    );
                     self.program.push(Rule::new(head_atom(&name, &hv), body));
                 }
                 Ok(Pred { name, vars: hv })
@@ -180,7 +188,11 @@ impl Compiler {
                 let mut body = vec![pred_literal(&inner)];
                 // A quantified variable absent from the body still ranges
                 // over the active domain: ∃x φ ≡ φ ∧ ∃x adom(x).
-                body.extend(vs.iter().filter(|v| !inner_fv.contains(v)).map(Self::adom_guard));
+                body.extend(
+                    vs.iter()
+                        .filter(|v| !inner_fv.contains(v))
+                        .map(Self::adom_guard),
+                );
                 self.program.push(Rule::new(head_atom(&name, &hv), body));
                 Ok(Pred { name, vars: hv })
             }
@@ -205,7 +217,10 @@ impl Compiler {
                     head_atom(&name, std::slice::from_ref(x)),
                     vec![Self::adom_guard(x)],
                 ));
-                Ok(Pred { name, vars: vec![x.clone()] })
+                Ok(Pred {
+                    name,
+                    vars: vec![x.clone()],
+                })
             }
             (Term::Var(x), Term::Var(y)) => {
                 let name = self.fresh_pred("eq");
@@ -215,7 +230,10 @@ impl Compiler {
                 // relation is the adom diagonal.
                 let w = self.vars.fresh("eq");
                 self.program.push(Rule::new(
-                    Atom::new(name.clone(), [DlTerm::Var(w.clone()), DlTerm::Var(w.clone())]),
+                    Atom::new(
+                        name.clone(),
+                        [DlTerm::Var(w.clone()), DlTerm::Var(w.clone())],
+                    ),
                     vec![Self::adom_guard(&w)],
                 ));
                 Ok(Pred { name, vars: hv })
@@ -228,14 +246,18 @@ impl Compiler {
                     Atom::new(name.clone(), [DlTerm::Const(c.clone())]),
                     vec![Literal::pos(Atom::new(ADOM, [DlTerm::Const(c.clone())]))],
                 ));
-                Ok(Pred { name, vars: vec![x.clone()] })
+                Ok(Pred {
+                    name,
+                    vars: vec![x.clone()],
+                })
             }
             (Term::Const(c1), Term::Const(c2)) => {
                 // Ground equality: true/false regardless of the domain
                 // (the evaluator compares resolved values directly).
                 let name = self.fresh_pred("eq");
                 if c1 == c2 {
-                    self.program.push(Rule::fact(Atom::new(name.clone(), Vec::<DlTerm>::new())));
+                    self.program
+                        .push(Rule::fact(Atom::new(name.clone(), Vec::<DlTerm>::new())));
                 } else {
                     self.program.declare(name.clone(), 0);
                 }
@@ -275,7 +297,8 @@ impl Compiler {
             terms.extend(params.iter().map(|p| DlTerm::Var(p.clone())));
             let mut guards: Vec<Literal> = s.iter().map(Self::adom_guard).collect();
             guards.extend(params.iter().map(Self::adom_guard));
-            self.program.push(Rule::new(Atom::new(tc.clone(), terms), guards));
+            self.program
+                .push(Rule::new(Atom::new(tc.clone(), terms), guards));
         }
         // Step (the only recursive rule — linear by construction):
         // tc(s̄, w̄, p̄) :- tc(s̄, t̄, p̄), step(t̄→ū, w̄→v̄, p̄), guards.
@@ -297,7 +320,8 @@ impl Compiler {
                     lits.push(Self::adom_guard(&w[i]));
                 }
             }
-            self.program.push(Rule::new(Atom::new(tc.clone(), head), lits));
+            self.program
+                .push(Rule::new(Atom::new(tc.clone(), head), lits));
         }
 
         // Application: p(fv) :- tc(x̄, ȳ, p̄).
@@ -332,13 +356,21 @@ fn term_to_dl(t: &Term) -> DlTerm {
 }
 
 fn head_atom(name: &RelName, vars: &[Var]) -> Atom {
-    Atom::new(name.clone(), vars.iter().map(|v| DlTerm::Var(v.clone())).collect::<Vec<_>>())
+    Atom::new(
+        name.clone(),
+        vars.iter()
+            .map(|v| DlTerm::Var(v.clone()))
+            .collect::<Vec<_>>(),
+    )
 }
 
 fn pred_literal(p: &Pred) -> Literal {
     Literal::pos(Atom::new(
         p.name.clone(),
-        p.vars.iter().map(|v| DlTerm::Var(v.clone())).collect::<Vec<_>>(),
+        p.vars
+            .iter()
+            .map(|v| DlTerm::Var(v.clone()))
+            .collect::<Vec<_>>(),
     ))
 }
 
@@ -444,7 +476,9 @@ mod tests {
     fn edge_db(edges: &[(i64, i64)]) -> Database {
         let rel = Relation::from_rows(
             2,
-            edges.iter().map(|&(a, b)| Tuple::new(vec![Value::int(a), Value::int(b)])),
+            edges
+                .iter()
+                .map(|&(a, b)| Tuple::new(vec![Value::int(a), Value::int(b)])),
         )
         .unwrap();
         Database::new().with_relation("E", rel)
@@ -457,7 +491,11 @@ mod tests {
         let model = evaluate(&compiled.program, db).unwrap();
         let got = model.get(&compiled.goal).unwrap();
         let want = eval_ordered(phi, &compiled.head_vars, db).unwrap();
-        assert_eq!(got, &want, "formula: {phi:?}\nprogram:\n{}", compiled.program);
+        assert_eq!(
+            got, &want,
+            "formula: {phi:?}\nprogram:\n{}",
+            compiled.program
+        );
     }
 
     #[test]
@@ -477,8 +515,16 @@ mod tests {
         let f = Formula::Eq(Term::constant(7i64), Term::constant(8i64));
         let ct = compile_formula(&t).unwrap();
         let cf = compile_formula(&f).unwrap();
-        assert!(evaluate(&ct.program, &db).unwrap().get(&ct.goal).unwrap().as_bool());
-        assert!(!evaluate(&cf.program, &db).unwrap().get(&cf.goal).unwrap().as_bool());
+        assert!(evaluate(&ct.program, &db)
+            .unwrap()
+            .get(&ct.goal)
+            .unwrap()
+            .as_bool());
+        assert!(!evaluate(&cf.program, &db)
+            .unwrap()
+            .get(&cf.goal)
+            .unwrap()
+            .as_bool());
     }
 
     #[test]
@@ -489,7 +535,10 @@ mod tests {
         check_against_logic(&e.clone().and(Formula::eq("x", "y")), &db);
         check_against_logic(&e.clone().or(Formula::eq("x", "y")), &db);
         check_against_logic(&Formula::exists(["y"], e.clone()), &db);
-        check_against_logic(&Formula::forall(["y"], e.clone().or(Formula::eq("y", "y").not())), &db);
+        check_against_logic(
+            &Formula::forall(["y"], e.clone().or(Formula::eq("y", "y").not())),
+            &db,
+        );
     }
 
     #[test]
@@ -497,7 +546,10 @@ mod tests {
         let db = edge_db(&[(1, 2)]);
         // ∃z E(x,y) — z does not occur; still requires a nonempty domain.
         check_against_logic(
-            &Formula::Exists(vec![Var::new("z")], Box::new(Formula::atom("E", ["x", "y"]))),
+            &Formula::Exists(
+                vec![Var::new("z")],
+                Box::new(Formula::atom("E", ["x", "y"])),
+            ),
             &db,
         );
     }
@@ -574,8 +626,7 @@ mod tests {
         let model = evaluate(&compiled.program, &db).unwrap();
         assert!(model.get(&compiled.goal).unwrap().is_empty());
         // The deliberately slow satisfaction-based oracle agrees too.
-        let rows =
-            pgq_logic::all_satisfying(&phi, &[Var::new("y")], &db).unwrap();
+        let rows = pgq_logic::all_satisfying(&phi, &[Var::new("y")], &db).unwrap();
         assert!(rows.is_empty());
     }
 
@@ -594,7 +645,11 @@ mod tests {
             );
             let compiled = compile_formula(&phi).unwrap();
             let model = evaluate(&compiled.program, &db).unwrap();
-            assert_eq!(model.get(&compiled.goal).unwrap().as_bool(), expect, "c = {c}");
+            assert_eq!(
+                model.get(&compiled.goal).unwrap().as_bool(),
+                expect,
+                "c = {c}"
+            );
         }
     }
 

@@ -46,7 +46,11 @@ impl std::fmt::Display for EvalError {
         match self {
             EvalError::Static(e) => write!(f, "{e}"),
             EvalError::UnknownPredicate { pred } => write!(f, "unknown predicate {pred}"),
-            EvalError::EdbArityMismatch { pred, program, database } => write!(
+            EvalError::EdbArityMismatch {
+                pred,
+                program,
+                database,
+            } => write!(
                 f,
                 "predicate {pred} has arity {program} in the program but {database} in the database"
             ),
@@ -132,7 +136,12 @@ pub fn evaluate(program: &Program, db: &Database) -> Result<Model, EvalError> {
 
     let mut total: BTreeMap<RelName, Relation> = idb
         .iter()
-        .map(|p| (p.clone(), Relation::empty(arities.get(p).copied().unwrap_or(0))))
+        .map(|p| {
+            (
+                p.clone(),
+                Relation::empty(arities.get(p).copied().unwrap_or(0)),
+            )
+        })
         .collect();
     let adom_rel = db.active_domain_relation();
     run_strata(program, &strat, db, &adom_rel, &mut total);
@@ -253,7 +262,9 @@ fn fire_rule(
     adom_name: &RelName,
 ) -> Vec<Tuple> {
     // Order: positives (in source order), then negatives.
-    let mut order: Vec<usize> = (0..rule.body.len()).filter(|&i| rule.body[i].positive).collect();
+    let mut order: Vec<usize> = (0..rule.body.len())
+        .filter(|&i| rule.body[i].positive)
+        .collect();
     order.extend((0..rule.body.len()).filter(|&i| !rule.body[i].positive));
 
     let rel_of = |i: usize| -> Relation {
@@ -268,7 +279,9 @@ fn fire_rule(
         } else if let Some(r) = total.get(pred) {
             r.clone()
         } else {
-            db.get(pred).cloned().expect("EDB checked before evaluation")
+            db.get(pred)
+                .cloned()
+                .expect("EDB checked before evaluation")
         }
     };
     let rels: Vec<Relation> = order.iter().map(|&i| rel_of(i)).collect();
@@ -379,14 +392,21 @@ mod tests {
 
     fn pairs(rel: &Relation) -> Vec<(i64, i64)> {
         rel.iter()
-            .map(|t| (t.get(0).unwrap().as_int().unwrap(), t.get(1).unwrap().as_int().unwrap()))
+            .map(|t| {
+                (
+                    t.get(0).unwrap().as_int().unwrap(),
+                    t.get(1).unwrap().as_int().unwrap(),
+                )
+            })
             .collect()
     }
 
     fn edge_db(edges: &[(i64, i64)]) -> Database {
         let rel = Relation::from_rows(
             2,
-            edges.iter().map(|&(a, b)| Tuple::new(vec![Value::int(a), Value::int(b)])),
+            edges
+                .iter()
+                .map(|&(a, b)| Tuple::new(vec![Value::int(a), Value::int(b)])),
         )
         .unwrap();
         Database::new().with_relation("edge", rel)
@@ -441,7 +461,10 @@ mod tests {
         ));
         let db = Database::new().with_relation("unused", Relation::empty(1));
         let m = evaluate(&p, &db).unwrap();
-        assert!(m.get(&RelName::new("next")).unwrap().contains(&Tuple::unary(7i64)));
+        assert!(m
+            .get(&RelName::new("next"))
+            .unwrap()
+            .contains(&Tuple::unary(7i64)));
     }
 
     #[test]
@@ -450,7 +473,10 @@ mod tests {
         let mut p = Program::new();
         p.push(Rule::new(
             Atom::new("from_one", [DlTerm::var("y")]),
-            vec![Literal::pos(Atom::new("edge", [DlTerm::constant(1i64), DlTerm::var("y")]))],
+            vec![Literal::pos(Atom::new(
+                "edge",
+                [DlTerm::constant(1i64), DlTerm::var("y")],
+            ))],
         ));
         let r = query(&p, &db, &RelName::new("from_one")).unwrap();
         assert_eq!(r.len(), 2);
@@ -462,7 +488,10 @@ mod tests {
         let mut p = Program::new();
         p.push(Rule::new(
             Atom::new("self_loop", [DlTerm::var("x")]),
-            vec![Literal::pos(Atom::new("edge", [DlTerm::var("x"), DlTerm::var("x")]))],
+            vec![Literal::pos(Atom::new(
+                "edge",
+                [DlTerm::var("x"), DlTerm::var("x")],
+            ))],
         ));
         let r = query(&p, &db, &RelName::new("self_loop")).unwrap();
         assert_eq!(r.len(), 2);
@@ -488,7 +517,10 @@ mod tests {
         let mut p = Program::new();
         p.push(Rule::new(
             Atom::new("edge", [DlTerm::var("x"), DlTerm::var("y")]),
-            vec![Literal::pos(Atom::new("edge", [DlTerm::var("x"), DlTerm::var("y")]))],
+            vec![Literal::pos(Atom::new(
+                "edge",
+                [DlTerm::var("x"), DlTerm::var("y")],
+            ))],
         ));
         assert!(matches!(
             evaluate(&p, &db),
@@ -567,7 +599,12 @@ mod tests {
             .with_relation("flat", flat)
             .with_relation("down", down);
         let mut p = Program::new();
-        let (x, y, u, v) = (DlTerm::var("x"), DlTerm::var("y"), DlTerm::var("u"), DlTerm::var("v"));
+        let (x, y, u, v) = (
+            DlTerm::var("x"),
+            DlTerm::var("y"),
+            DlTerm::var("u"),
+            DlTerm::var("v"),
+        );
         p.push(Rule::new(
             Atom::new("sg", [x.clone(), y.clone()]),
             vec![Literal::pos(Atom::new("flat", [x.clone(), y.clone()]))],

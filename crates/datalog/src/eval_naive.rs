@@ -51,7 +51,12 @@ pub fn evaluate_naive(program: &Program, db: &Database) -> Result<Model, EvalErr
 
     let mut total: std::collections::BTreeMap<RelName, Relation> = idb
         .iter()
-        .map(|p| (p.clone(), Relation::empty(arities.get(p).copied().unwrap_or(0))))
+        .map(|p| {
+            (
+                p.clone(),
+                Relation::empty(arities.get(p).copied().unwrap_or(0)),
+            )
+        })
         .collect();
     let adom_rel = db.active_domain_relation();
 
@@ -60,8 +65,7 @@ pub fn evaluate_naive(program: &Program, db: &Database) -> Result<Model, EvalErr
             let mut grew = false;
             for &i in layer {
                 let rule = &program.rules[i];
-                let derived =
-                    crate::eval::fire_rule_full(rule, db, &adom_rel, &total, &adom_name);
+                let derived = crate::eval::fire_rule_full(rule, db, &adom_rel, &total, &adom_name);
                 let rel = total.get_mut(&rule.head.pred).expect("pre-seeded");
                 for t in derived {
                     if rel.insert(t).expect("arity checked") {

@@ -40,8 +40,8 @@ pub use stratify::{classify_recursion, stratify, Recursion, Stratification};
 #[cfg(test)]
 mod prop_tests {
     use super::*;
-    use pgq_logic::testgen::{arb_database, arb_formula};
     use pgq_logic::eval_ordered;
+    use pgq_logic::testgen::{arb_database, arb_formula};
     use proptest::prelude::*;
 
     proptest! {

@@ -36,7 +36,10 @@ impl std::error::Error for ParseError {}
 
 /// Parse a Datalog program (see module docs for the grammar).
 pub fn parse_program(src: &str) -> Result<Program, ParseError> {
-    let mut p = Parser { src: src.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        src: src.as_bytes(),
+        pos: 0,
+    };
     let mut program = Program::new();
     loop {
         p.skip_trivia();
@@ -69,7 +72,10 @@ impl<'a> Parser<'a> {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { offset: self.pos, message: message.into() })
+        Err(ParseError {
+            offset: self.pos,
+            message: message.into(),
+        })
     }
 
     fn skip_trivia(&mut self) {
@@ -242,7 +248,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(p.rules.len(), 2);
-        assert_eq!(p.rules[1].to_string(), "path(X, Z) :- path(X, Y), edge(Y, Z).");
+        assert_eq!(
+            p.rules[1].to_string(),
+            "path(X, Z) :- path(X, Y), edge(Y, Z)."
+        );
     }
 
     #[test]

@@ -146,8 +146,14 @@ impl PropertyGraph {
 
     pub(crate) fn insert_edge(&mut self, id: ElementId, src: ElementId, tgt: ElementId) {
         debug_assert_eq!(id.arity(), self.id_arity);
-        self.out_edges.entry(src.clone()).or_default().push(id.clone());
-        self.in_edges.entry(tgt.clone()).or_default().push(id.clone());
+        self.out_edges
+            .entry(src.clone())
+            .or_default()
+            .push(id.clone());
+        self.in_edges
+            .entry(tgt.clone())
+            .or_default()
+            .push(id.clone());
         self.src.insert(id.clone(), src);
         self.tgt.insert(id.clone(), tgt);
         self.edges.insert(id);

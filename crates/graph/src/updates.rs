@@ -126,12 +126,16 @@ pub fn relations_of(g: &PropertyGraph) -> ViewRelations {
     }
     for e in g.edges() {
         edges.insert(e.clone()).expect("arity k");
-        src.insert(e.concat(g.src(e).expect("total"))).expect("arity 2k");
-        tgt.insert(e.concat(g.tgt(e).expect("total"))).expect("arity 2k");
+        src.insert(e.concat(g.src(e).expect("total")))
+            .expect("arity 2k");
+        tgt.insert(e.concat(g.tgt(e).expect("total")))
+            .expect("arity 2k");
     }
     for id in g.nodes().chain(g.edges()) {
         for l in g.labels(id) {
-            labels.insert(id.concat(&Tuple::unary(l.clone()))).expect("arity k+1");
+            labels
+                .insert(id.concat(&Tuple::unary(l.clone())))
+                .expect("arity k+1");
         }
         for (key, value) in g.props_of(id) {
             props
@@ -149,7 +153,10 @@ pub fn apply(rels: &mut ViewRelations, update: &Update) -> Result<(), UpdateErro
         if id.arity() == k {
             Ok(())
         } else {
-            Err(UpdateError::ArityMismatch { expected: k, found: id.arity() })
+            Err(UpdateError::ArityMismatch {
+                expected: k,
+                found: id.arity(),
+            })
         }
     };
     match update {
@@ -218,7 +225,9 @@ pub fn apply(rels: &mut ViewRelations, update: &Update) -> Result<(), UpdateErro
             if !rels.nodes.contains(id) && !rels.edges.contains(id) {
                 return Err(UpdateError::NoSuchElement(id.clone()));
             }
-            rels.labels.insert(id.concat(&Tuple::unary(l.clone()))).expect("arity k+1");
+            rels.labels
+                .insert(id.concat(&Tuple::unary(l.clone())))
+                .expect("arity k+1");
         }
         Update::RemoveLabel(id, l) => {
             check_arity(id)?;
@@ -314,9 +323,11 @@ mod tests {
         let mut b = PropertyGraphBuilder::unary();
         b.node1(Value::int(0)).unwrap();
         b.node1(Value::int(1)).unwrap();
-        b.edge1(Value::int(100), Value::int(0), Value::int(1)).unwrap();
+        b.edge1(Value::int(100), Value::int(0), Value::int(1))
+            .unwrap();
         b.label(nid(100), Value::str("knows")).unwrap();
-        b.prop(nid(0), Value::str("name"), Value::str("ada")).unwrap();
+        b.prop(nid(0), Value::str("name"), Value::str("ada"))
+            .unwrap();
         relations_of(&b.finish())
     }
 
@@ -340,7 +351,11 @@ mod tests {
             &rels,
             &[
                 Update::AddNode(nid(2)),
-                Update::AddEdge { id: nid(101), src: nid(1), tgt: nid(2) },
+                Update::AddEdge {
+                    id: nid(101),
+                    src: nid(1),
+                    tgt: nid(2),
+                },
             ],
         )
         .unwrap();
@@ -377,7 +392,11 @@ mod tests {
         // And vice versa.
         let e = apply_all(
             &rels,
-            &[Update::AddEdge { id: nid(0), src: nid(0), tgt: nid(1) }],
+            &[Update::AddEdge {
+                id: nid(0),
+                src: nid(0),
+                tgt: nid(1),
+            }],
         )
         .unwrap_err();
         assert!(matches!(e, UpdateError::IdInUse(_)));
@@ -388,7 +407,11 @@ mod tests {
         let rels = base();
         let e = apply_all(
             &rels,
-            &[Update::AddEdge { id: nid(101), src: nid(0), tgt: nid(9) }],
+            &[Update::AddEdge {
+                id: nid(101),
+                src: nid(0),
+                tgt: nid(9),
+            }],
         )
         .unwrap_err();
         assert!(matches!(e, UpdateError::DanglingEndpoint(_)));
@@ -405,7 +428,10 @@ mod tests {
             ],
         )
         .unwrap();
-        assert_eq!(g.prop(&nid(0), &Value::str("name")), Some(&Value::str("grace")));
+        assert_eq!(
+            g.prop(&nid(0), &Value::str("name")),
+            Some(&Value::str("grace"))
+        );
         assert_eq!(g.prop(&nid(0), &Value::str("age")), Some(&Value::int(36)));
         // Exactly one row per (id, key).
         assert_eq!(next.props.len(), 2);
@@ -460,7 +486,11 @@ mod tests {
             0 => Update::AddNode(nid(a)),
             1 => Update::RemoveNode(nid(a)),
             2 => Update::DetachRemoveNode(nid(a)),
-            3 => Update::AddEdge { id: nid(100 + a), src: nid(b), tgt: nid(c) },
+            3 => Update::AddEdge {
+                id: nid(100 + a),
+                src: nid(b),
+                tgt: nid(c),
+            },
             4 => Update::RemoveEdge(nid(100 + a)),
             5 => Update::AddLabel(nid(a), Value::int(b)),
             6 => Update::RemoveLabel(nid(a), Value::int(b)),
@@ -509,7 +539,11 @@ mod tests {
         let eid = Tuple::new(vec![Value::str("t"), Value::int(9)]);
         let (_, g) = apply_all(
             &rels,
-            &[Update::AddEdge { id: eid.clone(), src: n0.clone(), tgt: n1.clone() }],
+            &[Update::AddEdge {
+                id: eid.clone(),
+                src: n0.clone(),
+                tgt: n1.clone(),
+            }],
         )
         .unwrap();
         assert_eq!(g.id_arity(), 2);

@@ -108,10 +108,16 @@ impl fmt::Display for ViewError {
                 None => write!(f, "identifier arity {found} is not a positive integer"),
             },
             ViewError::NodesEdgesOverlap(id) => {
-                write!(f, "identifier {id} appears in both R1 (nodes) and R2 (edges)")
+                write!(
+                    f,
+                    "identifier {id} appears in both R1 (nodes) and R2 (edges)"
+                )
             }
             ViewError::MissingEndpoint { which, edge } => {
-                write!(f, "edge {edge} has no {which} entry (function must be total)")
+                write!(
+                    f,
+                    "edge {edge} has no {which} entry (function must be total)"
+                )
             }
             ViewError::NonFunctionalEndpoint { which, edge } => {
                 write!(f, "edge {edge} has multiple {which} entries")
@@ -533,8 +539,7 @@ mod tests {
             pg_view(&rels).unwrap_err(),
             ViewError::PropSubjectUnknown(Tuple::unary("ghost"))
         );
-        rels.props =
-            Relation::from_rows(3, [tuple!["e", "k", 1], tuple!["e", "k", 2]]).unwrap();
+        rels.props = Relation::from_rows(3, [tuple!["e", "k", 1], tuple!["e", "k", 2]]).unwrap();
         assert_eq!(
             pg_view(&rels).unwrap_err(),
             ViewError::NonFunctionalProp(Tuple::unary("e"))

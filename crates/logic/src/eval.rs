@@ -43,7 +43,10 @@ impl fmt::Display for LogicError {
                 name,
                 expected,
                 found,
-            } => write!(f, "atom {name} has {found} terms, relation has arity {expected}"),
+            } => write!(
+                f,
+                "atom {name} has {found} terms, relation has arity {expected}"
+            ),
             LogicError::TcShape(e) => write!(f, "{e}"),
         }
     }
@@ -77,7 +80,11 @@ impl Answer {
     fn boolean(b: bool) -> Answer {
         Answer {
             vars: Vec::new(),
-            rel: if b { Relation::r#true() } else { Relation::r#false() },
+            rel: if b {
+                Relation::r#true()
+            } else {
+                Relation::r#false()
+            },
         }
     }
 
@@ -702,7 +709,7 @@ mod tests {
         let f = Formula::atom("E", ["y", "x"]); // columns sorted: x, y
         let rel = eval_ordered(&f, &[v("y"), v("x")], &d).unwrap();
         assert!(rel.contains(&tuple![0, 1])); // y=0, x=1
-        // Extra requested vars range over adom.
+                                              // Extra requested vars range over adom.
         let rel = eval_ordered(&Formula::atom("V", ["x"]), &[v("x"), v("z")], &d).unwrap();
         assert_eq!(rel.len(), 5);
     }

@@ -251,7 +251,10 @@ mod tests {
         let alpha = Assignment::new();
         let f = Formula::exists(["x", "y"], Formula::atom("E", ["x", "y"]));
         assert!(satisfies(&f, &alpha, &d).unwrap());
-        let f = Formula::forall(["x"], Formula::exists(["y"], Formula::atom("E", ["x", "y"])));
+        let f = Formula::forall(
+            ["x"],
+            Formula::exists(["y"], Formula::atom("E", ["x", "y"])),
+        );
         assert!(!satisfies(&f, &alpha, &d).unwrap()); // 3 has no successor
     }
 

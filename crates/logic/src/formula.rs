@@ -169,13 +169,7 @@ impl Formula {
     }
 
     /// `TC_{ū,v̄}[body](x̄, ȳ)`.
-    pub fn tc(
-        u: Vec<Var>,
-        v: Vec<Var>,
-        body: Formula,
-        x: Vec<Term>,
-        y: Vec<Term>,
-    ) -> Self {
+    pub fn tc(u: Vec<Var>, v: Vec<Var>, body: Formula, x: Vec<Term>, y: Vec<Term>) -> Self {
         Formula::Tc {
             u,
             v,

@@ -38,21 +38,19 @@ pub mod testgen {
 
     /// A small database over schema `{E/2, V/1}` with integer constants.
     pub fn arb_database() -> impl Strategy<Value = Database> {
-        (1i64..5, proptest::collection::vec((0i64..5, 0i64..5), 0..8)).prop_map(
-            |(nv, edges)| {
-                let mut db = Database::new();
-                // Declare both schema relations even when empty.
-                db.add_relation("V", pgq_relational::Relation::empty(1));
-                db.add_relation("E", pgq_relational::Relation::empty(2));
-                for i in 0..nv {
-                    db.insert("V", tuple![i]).unwrap();
-                }
-                for (s, t) in edges {
-                    db.insert("E", tuple![s, t]).unwrap();
-                }
-                db
-            },
-        )
+        (1i64..5, proptest::collection::vec((0i64..5, 0i64..5), 0..8)).prop_map(|(nv, edges)| {
+            let mut db = Database::new();
+            // Declare both schema relations even when empty.
+            db.add_relation("V", pgq_relational::Relation::empty(1));
+            db.add_relation("E", pgq_relational::Relation::empty(2));
+            for i in 0..nv {
+                db.insert("V", tuple![i]).unwrap();
+            }
+            for (s, t) in edges {
+                db.insert("E", tuple![s, t]).unwrap();
+            }
+            db
+        })
     }
 
     /// Random FO\[TC\] formulas over `{E/2, V/1}` with free variables

@@ -299,10 +299,7 @@ pub fn detect_period(
                 break;
             }
             let tail = &bits[threshold..];
-            let consistent = tail
-                .iter()
-                .enumerate()
-                .all(|(i, &b)| b == tail[i % period]);
+            let consistent = tail.iter().enumerate().all(|(i, &b)| b == tail[i % period]);
             if consistent {
                 return Some((threshold, period));
             }

@@ -101,8 +101,7 @@ fn simplify_quantifier(vs: &[pgq_value::Var], f: &Formula, universal: bool) -> F
             // they only re-assert domain non-emptiness, which variables
             // that *do* occur already assert. Keep one if all vanish.
             let fv = body.free_vars();
-            let (used, unused): (Vec<_>, Vec<_>) =
-                vars.into_iter().partition(|v| fv.contains(v));
+            let (used, unused): (Vec<_>, Vec<_>) = vars.into_iter().partition(|v| fv.contains(v));
             let vars = if used.is_empty() {
                 unused.into_iter().take(1).collect()
             } else {
@@ -157,7 +156,10 @@ mod tests {
 
     #[test]
     fn nested_quantifiers_flatten() {
-        let f = Formula::exists(["a"], Formula::exists(["b"], Formula::atom("R", ["a", "b"])));
+        let f = Formula::exists(
+            ["a"],
+            Formula::exists(["b"], Formula::atom("R", ["a", "b"])),
+        );
         let s = simplify(&f);
         match s {
             Formula::Exists(vs, _) => assert_eq!(vs.len(), 2),
@@ -189,8 +191,14 @@ mod tests {
         let f = Formula::forall(["x"], Formula::False);
         assert!(matches!(simplify(&f), Formula::Forall(..)));
         // But ∃x ⊥ = ⊥ and ∀x ⊤ = ⊤ unconditionally.
-        assert_eq!(simplify(&Formula::exists(["x"], Formula::False)), Formula::False);
-        assert_eq!(simplify(&Formula::forall(["x"], Formula::True)), Formula::True);
+        assert_eq!(
+            simplify(&Formula::exists(["x"], Formula::False)),
+            Formula::False
+        );
+        assert_eq!(
+            simplify(&Formula::forall(["x"], Formula::True)),
+            Formula::True
+        );
     }
 
     #[test]

@@ -171,7 +171,10 @@ impl Catalog {
             col_positions(&et.table, &et.source_key)?;
             col_positions(&et.table, &et.target_key)?;
             col_positions(&et.table, &et.properties)?;
-            for (reference, key) in [(&et.source_ref, &et.source_key), (&et.target_ref, &et.target_key)] {
+            for (reference, key) in [
+                (&et.source_ref, &et.source_key),
+                (&et.target_ref, &et.target_key),
+            ] {
                 let node = cg
                     .node_tables
                     .iter()
@@ -364,8 +367,8 @@ impl Catalog {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parser::{parse_statement, parse_script};
     use crate::ast::Statement;
+    use crate::parser::{parse_script, parse_statement};
     use pgq_value::tuple;
 
     fn setup() -> (Catalog, Database) {
@@ -391,8 +394,10 @@ mod tests {
         db.insert("Account", tuple!["IL1"]).unwrap();
         db.insert("Account", tuple!["IL2"]).unwrap();
         db.insert("Account", tuple!["IL3"]).unwrap();
-        db.insert("Transfer", tuple![1, "IL1", "IL2", 10, 500]).unwrap();
-        db.insert("Transfer", tuple![2, "IL2", "IL3", 11, 250]).unwrap();
+        db.insert("Transfer", tuple![1, "IL1", "IL2", 10, 500])
+            .unwrap();
+        db.insert("Transfer", tuple![2, "IL2", "IL3", 11, 250])
+            .unwrap();
         (cat, db)
     }
 
@@ -422,7 +427,8 @@ mod tests {
     #[test]
     fn dangling_reference_strict_vs_lenient() {
         let (cat, mut db) = setup();
-        db.insert("Transfer", tuple![3, "IL1", "GHOST", 12, 1]).unwrap();
+        db.insert("Transfer", tuple![3, "IL1", "GHOST", 12, 1])
+            .unwrap();
         assert!(matches!(
             cat.build_graph("Transfers", &db, ViewMode::Strict),
             Err(CatalogError::View(_))
@@ -441,10 +447,9 @@ mod tests {
             columns: vec!["k".into()],
         });
         // Unknown table in graph definition.
-        let Statement::CreateGraph(bad) = parse_statement(
-            "CREATE PROPERTY GRAPH G (NODES TABLE Missing KEY (k))",
-        )
-        .unwrap() else {
+        let Statement::CreateGraph(bad) =
+            parse_statement("CREATE PROPERTY GRAPH G (NODES TABLE Missing KEY (k))").unwrap()
+        else {
             panic!()
         };
         assert!(matches!(

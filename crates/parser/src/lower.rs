@@ -10,9 +10,7 @@
 //! the standard's per-step reading of Example 2.1's
 //! `WHERE t.amount > 100`).
 
-use crate::ast::{
-    CmpToken, Expr, GraphQuery, PathElement, Quantifier, ReturnItem, Rhs, Statement,
-};
+use crate::ast::{CmpToken, Expr, GraphQuery, PathElement, Quantifier, ReturnItem, Rhs, Statement};
 use crate::catalog::{Catalog, CatalogError, ColumnResolution};
 use pgq_graph::ViewMode;
 use pgq_pattern::{Condition, Direction, OutputItem, OutputPattern, Pattern};
@@ -108,8 +106,7 @@ pub fn lower_query(q: &GraphQuery, catalog: &Catalog) -> Result<OutputPattern, L
                     return Err(LowerError::UnknownVar(v.clone()));
                 }
             }
-            let q_vars: Vec<&String> =
-                vars.iter().filter(|v| quantified.contains(*v)).collect();
+            let q_vars: Vec<&String> = vars.iter().filter(|v| quantified.contains(*v)).collect();
             let cond = expr_to_condition(&conjunct, &q.graph, catalog)?;
             match q_vars.as_slice() {
                 [] => top_conditions.push(cond),
@@ -262,15 +259,9 @@ fn cmp_op(op: CmpToken) -> CmpOp {
     }
 }
 
-fn expr_to_condition(
-    e: &Expr,
-    graph: &str,
-    catalog: &Catalog,
-) -> Result<Condition, LowerError> {
+fn expr_to_condition(e: &Expr, graph: &str, catalog: &Catalog) -> Result<Condition, LowerError> {
     match e {
-        Expr::HasLabel { var, label } => {
-            Ok(Condition::has_label(var.as_str(), label.as_str()))
-        }
+        Expr::HasLabel { var, label } => Ok(Condition::has_label(var.as_str(), label.as_str())),
         Expr::Cmp {
             var,
             column,
@@ -311,10 +302,12 @@ fn expr_to_condition(
                 }
             }
         }
-        Expr::And(a, b) => Ok(expr_to_condition(a, graph, catalog)?
-            .and(expr_to_condition(b, graph, catalog)?)),
-        Expr::Or(a, b) => Ok(expr_to_condition(a, graph, catalog)?
-            .or(expr_to_condition(b, graph, catalog)?)),
+        Expr::And(a, b) => {
+            Ok(expr_to_condition(a, graph, catalog)?.and(expr_to_condition(b, graph, catalog)?))
+        }
+        Expr::Or(a, b) => {
+            Ok(expr_to_condition(a, graph, catalog)?.or(expr_to_condition(b, graph, catalog)?))
+        }
         Expr::Not(a) => Ok(expr_to_condition(a, graph, catalog)?.not()),
     }
 }
@@ -346,11 +339,7 @@ impl Session {
     }
 
     /// Executes one parsed statement against `db`.
-    pub fn execute(
-        &mut self,
-        stmt: &Statement,
-        db: &Database,
-    ) -> Result<Outcome, LowerError> {
+    pub fn execute(&mut self, stmt: &Statement, db: &Database) -> Result<Outcome, LowerError> {
         match stmt {
             Statement::CreateTable(ct) => {
                 self.catalog.define_table(ct);
@@ -373,11 +362,7 @@ impl Session {
 
     /// Parses and executes a whole script, returning each statement's
     /// outcome.
-    pub fn run_script(
-        &mut self,
-        script: &str,
-        db: &Database,
-    ) -> Result<Vec<Outcome>, ScriptError> {
+    pub fn run_script(&mut self, script: &str, db: &Database) -> Result<Vec<Outcome>, ScriptError> {
         let stmts = crate::parser::parse_script(script).map_err(ScriptError::Parse)?;
         let mut out = Vec::with_capacity(stmts.len());
         for stmt in &stmts {
@@ -418,9 +403,12 @@ mod tests {
             db.insert("Account", tuple![iban]).unwrap();
         }
         // Chain IL1 →500→ IL2 →250→ IL3 →800→ IL4.
-        db.insert("Transfer", tuple![1, "IL1", "IL2", 10, 500]).unwrap();
-        db.insert("Transfer", tuple![2, "IL2", "IL3", 11, 250]).unwrap();
-        db.insert("Transfer", tuple![3, "IL3", "IL4", 12, 800]).unwrap();
+        db.insert("Transfer", tuple![1, "IL1", "IL2", 10, 500])
+            .unwrap();
+        db.insert("Transfer", tuple![2, "IL2", "IL3", 11, 250])
+            .unwrap();
+        db.insert("Transfer", tuple![3, "IL3", "IL4", 12, 800])
+            .unwrap();
         db
     }
 
@@ -449,7 +437,9 @@ mod tests {
                 &db,
             )
             .unwrap();
-        let Outcome::Rows(rows) = &outcomes[0] else { panic!() };
+        let Outcome::Rows(rows) = &outcomes[0] else {
+            panic!()
+        };
         // All-transfer chains have every step > 100 except none — every
         // step is > 100 here (500, 250, 800), so full reachability.
         assert!(rows.contains(&tuple!["IL1", "IL4"]));
@@ -471,7 +461,9 @@ mod tests {
                 &db,
             )
             .unwrap();
-        let Outcome::Rows(rows) = &outcomes[0] else { panic!() };
+        let Outcome::Rows(rows) = &outcomes[0] else {
+            panic!()
+        };
         // Only the 500 and 800 edges qualify, and they are not adjacent.
         assert!(rows.contains(&tuple!["IL1", "IL2"]));
         assert!(rows.contains(&tuple!["IL3", "IL4"]));
@@ -516,7 +508,9 @@ mod tests {
                 &db,
             )
             .unwrap();
-        let Outcome::Rows(rows) = &outcomes[0] else { panic!() };
+        let Outcome::Rows(rows) = &outcomes[0] else {
+            panic!()
+        };
         assert_eq!(rows.len(), 3);
     }
 
@@ -532,7 +526,9 @@ mod tests {
                 &db,
             )
             .unwrap();
-        let Outcome::Rows(rows) = &outcomes[0] else { panic!() };
+        let Outcome::Rows(rows) = &outcomes[0] else {
+            panic!()
+        };
         // Identifier arity 2: (table, key).
         assert_eq!(rows.arity(), 2);
         assert!(rows.contains(&tuple!["Account", "IL1"]));
@@ -572,10 +568,7 @@ mod tests {
                 &db,
             )
             .unwrap_err();
-        assert!(matches!(
-            err,
-            ScriptError::Lower(LowerError::UnknownVar(_))
-        ));
+        assert!(matches!(err, ScriptError::Lower(LowerError::UnknownVar(_))));
     }
 
     #[test]
@@ -591,7 +584,9 @@ mod tests {
                 &db,
             )
             .unwrap();
-        let Outcome::Rows(rows) = &outcomes[0] else { panic!() };
+        let Outcome::Rows(rows) = &outcomes[0] else {
+            panic!()
+        };
         // Two backward steps: x ←← y, i.e. y reaches x in 2 steps.
         assert!(rows.contains(&tuple!["IL3", "IL1"]));
         assert_eq!(rows.len(), 2);
@@ -609,7 +604,9 @@ mod tests {
                 &db,
             )
             .unwrap();
-        let Outcome::Rows(rows) = &outcomes[0] else { panic!() };
+        let Outcome::Rows(rows) = &outcomes[0] else {
+            panic!()
+        };
         assert!(rows.as_bool());
         assert_eq!(rows.arity(), 0);
     }
@@ -626,7 +623,9 @@ mod tests {
                 &db,
             )
             .unwrap();
-        let Outcome::Rows(rows) = &outcomes[0] else { panic!() };
+        let Outcome::Rows(rows) = &outcomes[0] else {
+            panic!()
+        };
         assert_eq!(rows.len(), 3);
     }
 }

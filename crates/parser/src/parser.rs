@@ -601,8 +601,7 @@ mod tests {
             ("->{2,5}", Quantifier::Range(2, 5)),
             ("->{3,}", Quantifier::AtLeast(3)),
         ] {
-            let sql =
-                format!("SELECT * FROM GRAPH_TABLE (G MATCH (x) {src} (y) RETURN (x))");
+            let sql = format!("SELECT * FROM GRAPH_TABLE (G MATCH (x) {src} (y) RETURN (x))");
             let Statement::GraphQuery(q) = parse_statement(&sql).unwrap() else {
                 panic!()
             };

@@ -251,9 +251,7 @@ impl Pattern {
             Pattern::Concat(a, b) | Pattern::Union(a, b) => {
                 a.has_unbounded_repetition() || b.has_unbounded_repetition()
             }
-            Pattern::Repeat(p, _, m) => {
-                *m == RepBound::Infinite || p.has_unbounded_repetition()
-            }
+            Pattern::Repeat(p, _, m) => *m == RepBound::Infinite || p.has_unbounded_repetition(),
             Pattern::Filter(p, _) => p.has_unbounded_repetition(),
         }
     }
@@ -334,7 +332,9 @@ mod tests {
         assert!(Pattern::any_edge().star().has_unbounded_repetition());
         assert!(Pattern::any_edge().plus().has_unbounded_repetition());
         assert!(!Pattern::any_edge().repeat(0, 9).has_unbounded_repetition());
-        let nested = Pattern::any_node().then(Pattern::any_edge().star()).or(Pattern::any_node().then(Pattern::any_node()));
+        let nested = Pattern::any_node()
+            .then(Pattern::any_edge().star())
+            .or(Pattern::any_node().then(Pattern::any_node()));
         assert!(nested.has_unbounded_repetition());
     }
 

@@ -51,12 +51,7 @@ impl Condition {
     }
 
     /// Extension: `x.k op c`.
-    pub fn prop_cmp(
-        x: impl Into<Var>,
-        k: impl Into<Key>,
-        op: CmpOp,
-        c: impl Into<Value>,
-    ) -> Self {
+    pub fn prop_cmp(x: impl Into<Var>, k: impl Into<Key>, op: CmpOp, c: impl Into<Value>) -> Self {
         Condition::PropCmpConst(x.into(), k.into(), op, c.into())
     }
 
@@ -129,9 +124,7 @@ impl Condition {
                     _ => false,
                 }
             }
-            Condition::HasLabel(x, l) => {
-                mu.get(x).is_some_and(|id| g.has_label(id, l))
-            }
+            Condition::HasLabel(x, l) => mu.get(x).is_some_and(|id| g.has_label(id, l)),
             Condition::PropCmpConst(x, k, op, c) => {
                 let Some(id) = mu.get(x) else { return false };
                 match g.prop(id, k) {
@@ -227,8 +220,12 @@ mod tests {
     #[test]
     fn boolean_combinations_and_negation() {
         let g = graph();
-        let c = Condition::has_label("t", "Transfer")
-            .and(Condition::prop_cmp("t", "amount", CmpOp::Gt, 100i64));
+        let c = Condition::has_label("t", "Transfer").and(Condition::prop_cmp(
+            "t",
+            "amount",
+            CmpOp::Gt,
+            100i64,
+        ));
         assert!(c.eval(&mu(), &g));
         assert!(!c.clone().not().eval(&mu(), &g));
         let d = Condition::has_label("t", "Nope").or(c);
@@ -252,16 +249,19 @@ mod tests {
 
     #[test]
     fn vars_collected() {
-        let c = Condition::prop_eq("x", "k", "y", "k")
-            .and(Condition::has_label("z", "L").not());
+        let c = Condition::prop_eq("x", "k", "y", "k").and(Condition::has_label("z", "L").not());
         let vs: Vec<String> = c.vars().iter().map(|v| v.to_string()).collect();
         assert_eq!(vs, vec!["x", "y", "z"]);
     }
 
     #[test]
     fn display() {
-        let c = Condition::has_label("t", "Transfer")
-            .and(Condition::prop_cmp("t", "amount", CmpOp::Gt, 100i64));
+        let c = Condition::has_label("t", "Transfer").and(Condition::prop_cmp(
+            "t",
+            "amount",
+            CmpOp::Gt,
+            100i64,
+        ));
         assert_eq!(c.to_string(), "(\"Transfer\"(t) ∧ t.\"amount\" > 100)");
     }
 }

@@ -275,7 +275,9 @@ mod tests {
         assert_eq!(m.len(), 2);
         // Incompatible reuse of the same variable on different elements:
         // (x) -> (x) requires src = tgt, impossible in the chain.
-        let p = Pattern::node("x").then(Pattern::any_edge()).then(Pattern::node("x"));
+        let p = Pattern::node("x")
+            .then(Pattern::any_edge())
+            .then(Pattern::node("x"));
         assert!(eval_pattern(&p, &g).unwrap().is_empty());
     }
 

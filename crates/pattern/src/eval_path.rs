@@ -152,10 +152,7 @@ impl From<PatternError> for PathEvalError {
 }
 
 /// Evaluates `⟦ψ⟧^path_G` (Figure 6) with default limits.
-pub fn eval_pattern_paths(
-    psi: &Pattern,
-    g: &PropertyGraph,
-) -> Result<PathMatchSet, PathEvalError> {
+pub fn eval_pattern_paths(psi: &Pattern, g: &PropertyGraph) -> Result<PathMatchSet, PathEvalError> {
     eval_pattern_paths_limited(psi, g, PathLimits::default())
 }
 

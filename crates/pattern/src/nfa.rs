@@ -442,7 +442,9 @@ mod tests {
         assert_agrees(&labeled_edge.clone().plus(), &g);
         let labeled_node = Pattern::node("s").filter(Condition::has_label("s", "Start"));
         assert_agrees(
-            &labeled_node.then(Pattern::any_edge().star()).then(Pattern::any_node()),
+            &labeled_node
+                .then(Pattern::any_edge().star())
+                .then(Pattern::any_node()),
             &g,
         );
     }
@@ -474,7 +476,9 @@ mod tests {
 
     #[test]
     fn rejects_repeated_variable() {
-        let p = Pattern::node("x").then(Pattern::any_edge()).then(Pattern::node("x"));
+        let p = Pattern::node("x")
+            .then(Pattern::any_edge())
+            .then(Pattern::node("x"));
         assert!(matches!(
             Nfa::compile(&p),
             Err(Unsupported::RepeatedVariable(_))

@@ -140,7 +140,9 @@ impl OutputPattern {
     {
         OutputPattern::new(
             pattern,
-            vars.into_iter().map(|v| OutputItem::Var(v.into())).collect(),
+            vars.into_iter()
+                .map(|v| OutputItem::Var(v.into()))
+                .collect(),
         )
     }
 
@@ -166,7 +168,11 @@ impl OutputPattern {
 
     /// Like [`OutputPattern::eval`] but over a precomputed match set
     /// (used by engines that share pattern results).
-    pub fn eval_with(&self, matches: &MatchSet, g: &PropertyGraph) -> Result<Relation, OutputError> {
+    pub fn eval_with(
+        &self,
+        matches: &MatchSet,
+        g: &PropertyGraph,
+    ) -> Result<Relation, OutputError> {
         // Validate component ranges once against the graph's arity.
         for item in &self.items {
             if let OutputItem::Component(x, i) = item {
@@ -190,14 +196,18 @@ impl OutputPattern {
                         None => continue 'triples, // μ_Ω undefined
                     },
                     OutputItem::Prop(x, k) => {
-                        let Some(idv) = mu.get(x) else { continue 'triples };
+                        let Some(idv) = mu.get(x) else {
+                            continue 'triples;
+                        };
                         match g.prop(idv, k) {
                             Some(v) => row.push(v.clone()),
                             None => continue 'triples,
                         }
                     }
                     OutputItem::Component(x, i) => {
-                        let Some(idv) = mu.get(x) else { continue 'triples };
+                        let Some(idv) = mu.get(x) else {
+                            continue 'triples;
+                        };
                         row.push(idv[*i].clone());
                     }
                 }
@@ -274,8 +284,7 @@ mod tests {
 
         // Property undefined on every match → empty result, not an error.
         let out =
-            OutputPattern::new(p, vec![OutputItem::Prop(Var::new("x"), "missing".into())])
-                .unwrap();
+            OutputPattern::new(p, vec![OutputItem::Prop(Var::new("x"), "missing".into())]).unwrap();
         assert!(out.eval(&g).unwrap().is_empty());
     }
 
@@ -284,10 +293,7 @@ mod tests {
         let g = transfers();
         let yes = OutputPattern::boolean(Pattern::any_edge()).unwrap();
         assert!(yes.eval(&g).unwrap().as_bool());
-        let no = OutputPattern::boolean(
-            Pattern::any_edge().filter_into("nope"),
-        )
-        .unwrap();
+        let no = OutputPattern::boolean(Pattern::any_edge().filter_into("nope")).unwrap();
         assert!(!no.eval(&g).unwrap().as_bool());
     }
 
@@ -342,11 +348,8 @@ mod tests {
         assert!(rel.contains(&tuple!["hapoalim", "leumi"]));
 
         // Out-of-range component is a typed error.
-        let out = OutputPattern::new(
-            p.clone(),
-            vec![OutputItem::Component(Var::new("x"), 5)],
-        )
-        .unwrap();
+        let out =
+            OutputPattern::new(p.clone(), vec![OutputItem::Component(Var::new("x"), 5)]).unwrap();
         assert!(matches!(
             out.eval(&g).unwrap_err(),
             OutputError::ComponentOutOfRange { .. }
@@ -361,7 +364,9 @@ mod tests {
 
     #[test]
     fn output_arity_accounting() {
-        let p = Pattern::node("x").then(Pattern::edge("t")).then(Pattern::node("y"));
+        let p = Pattern::node("x")
+            .then(Pattern::edge("t"))
+            .then(Pattern::node("y"));
         let out = OutputPattern::new(
             p,
             vec![
@@ -379,14 +384,9 @@ mod tests {
     fn example_2_1_shape() {
         // ((x) (-t->⟨Transfer(t) ∧ t.amount>100⟩)^{1..∞} (y))_{x.iban, y.iban}
         let g = transfers();
-        let step = Pattern::edge("t").filter(
-            Condition::has_label("t", "Transfer").and(Condition::prop_cmp(
-                "t",
-                "amount",
-                pgq_relational::CmpOp::Gt,
-                100i64,
-            )),
-        );
+        let step = Pattern::edge("t").filter(Condition::has_label("t", "Transfer").and(
+            Condition::prop_cmp("t", "amount", pgq_relational::CmpOp::Gt, 100i64),
+        ));
         let p = Pattern::node("x")
             .then(step.repeat_at_least(1))
             .then(Pattern::node("y"));

@@ -254,10 +254,7 @@ mod tests {
     fn static_arity_checks() {
         let schema = Schema::new().with("R", 2).with("S", 1);
         assert_eq!(RaExpr::rel("R").arity(&schema).unwrap(), 2);
-        assert_eq!(
-            RaExpr::rel("R").project(vec![0]).arity(&schema).unwrap(),
-            1
-        );
+        assert_eq!(RaExpr::rel("R").project(vec![0]).arity(&schema).unwrap(), 1);
         assert!(RaExpr::rel("R").project(vec![2]).arity(&schema).is_err());
         assert!(RaExpr::rel("R")
             .union(RaExpr::rel("S"))

@@ -244,7 +244,14 @@ mod tests {
         let c = RowCondition::col_cmp_const(1, CmpOp::Gt, 100);
         assert!(c.eval(&tuple![0, 150]).unwrap());
         assert!(!c.eval(&tuple![0, 100]).unwrap());
-        let ops = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+        let ops = [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ];
         let expected = [false, true, true, true, false, false];
         for (op, exp) in ops.iter().zip(expected) {
             let c = RowCondition::col_cmp_const(0, *op, 10);

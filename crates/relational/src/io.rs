@@ -79,9 +79,7 @@ pub fn load(text: &str) -> Result<Database, LoadError> {
         if let Some(open) = head.find('(') {
             // Declaration: Name(arity):
             let name = head[..open].trim();
-            let arity_text = head[open + 1..]
-                .trim_end_matches(')')
-                .trim();
+            let arity_text = head[open + 1..].trim_end_matches(')').trim();
             let arity: usize = arity_text
                 .parse()
                 .map_err(|_| err(format!("bad arity {arity_text:?}")))?;

@@ -30,6 +30,39 @@ pub use relation::Relation;
 pub use schema::{RelName, Schema};
 
 #[cfg(test)]
+mod smoke {
+    use super::*;
+    use pgq_value::tuple;
+
+    /// Deterministic end-to-end smoke: build a three-edge cycle, run a
+    /// two-hop reachability query through the full RA pipeline (product,
+    /// selection, projection — Figure 3's core operators), and check the
+    /// exact answer.
+    #[test]
+    fn two_hop_query_over_small_db() {
+        let mut db = Database::new();
+        db.add_relation(
+            "E",
+            Relation::from_rows(2, [tuple![0, 1], tuple![1, 2], tuple![2, 0]]).unwrap(),
+        );
+
+        let q = RaExpr::rel("E")
+            .product(RaExpr::rel("E"))
+            .select(RowCondition::Cmp(
+                Operand::Col(1),
+                CmpOp::Eq,
+                Operand::Col(2),
+            ))
+            .project([0, 3]);
+        assert_eq!(q.arity(&db.schema()).unwrap(), 2);
+
+        let two_hops = q.eval(&db).unwrap();
+        let expected = Relation::from_rows(2, [tuple![0, 2], tuple![1, 0], tuple![2, 1]]).unwrap();
+        assert_eq!(two_hops, expected);
+    }
+}
+
+#[cfg(test)]
 mod prop_tests {
     use super::*;
     use pgq_value::{Tuple, Value};
@@ -37,9 +70,8 @@ mod prop_tests {
 
     fn arb_rel(arity: usize) -> impl Strategy<Value = Relation> {
         prop::collection::btree_set(
-            prop::collection::vec(0i64..6, arity).prop_map(|vs| {
-                vs.into_iter().map(Value::int).collect::<Tuple>()
-            }),
+            prop::collection::vec(0i64..6, arity)
+                .prop_map(|vs| vs.into_iter().map(Value::int).collect::<Tuple>()),
             0..12,
         )
         .prop_map(move |ts| Relation::from_rows(arity, ts).unwrap())

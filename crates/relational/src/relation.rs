@@ -61,10 +61,7 @@ impl Relation {
         I: IntoIterator<Item = V>,
         V: Into<Value>,
     {
-        let tuples = values
-            .into_iter()
-            .map(|v| Tuple::unary(v.into()))
-            .collect();
+        let tuples = values.into_iter().map(|v| Tuple::unary(v.into())).collect();
         Relation { arity: 1, tuples }
     }
 

@@ -21,10 +21,7 @@ enum Step {
     Eps,
     /// Traverse an edge: forward (`true`) or backward, with an optional
     /// label requirement (`None` = any edge).
-    Move {
-        forward: bool,
-        label: Option<Label>,
-    },
+    Move { forward: bool, label: Option<Label> },
 }
 
 /// An ε-NFA compiled from an [`Rpq`].
@@ -190,8 +187,10 @@ mod tests {
             b.node1(Value::str(n)).unwrap();
         }
         let mut add = |id: i64, s: &str, t: &str, l: &str| {
-            b.edge1(Value::int(id), Value::str(s), Value::str(t)).unwrap();
-            b.label(ElementId::unary(Value::int(id)), Value::str(l)).unwrap();
+            b.edge1(Value::int(id), Value::str(s), Value::str(t))
+                .unwrap();
+            b.label(ElementId::unary(Value::int(id)), Value::str(l))
+                .unwrap();
         };
         add(1, "a", "b", "knows");
         add(2, "b", "c", "knows");
@@ -213,7 +212,9 @@ mod tests {
         let got = eval_rpq(&Rpq::label("knows"), &g);
         assert_eq!(
             got,
-            [pair("a", "b"), pair("b", "c"), pair("d", "a")].into_iter().collect()
+            [pair("a", "b"), pair("b", "c"), pair("d", "a")]
+                .into_iter()
+                .collect()
         );
     }
 

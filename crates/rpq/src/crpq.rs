@@ -20,7 +20,7 @@ use crate::to_pattern::rpq_to_pattern;
 use pgq_core::{Query, ViewOp};
 use pgq_graph::{ElementId, PropertyGraph};
 use pgq_pattern::{OutputPattern, Pattern};
-use pgq_relational::{Relation, RelName, RowCondition};
+use pgq_relational::{RelName, Relation, RowCondition};
 use pgq_value::{Tuple, Var};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -39,7 +39,11 @@ pub struct CrpqAtom {
 impl CrpqAtom {
     /// Build an atom.
     pub fn new(src: impl Into<Var>, regex: Rpq, tgt: impl Into<Var>) -> Self {
-        CrpqAtom { src: src.into(), regex, tgt: tgt.into() }
+        CrpqAtom {
+            src: src.into(),
+            regex,
+            tgt: tgt.into(),
+        }
     }
 }
 
@@ -116,7 +120,12 @@ impl Crpq {
         let pair_sets: Vec<Vec<(ElementId, ElementId)>> = self
             .atoms
             .iter()
-            .map(|a| RpqAutomaton::compile(&a.regex).eval(g).into_iter().collect())
+            .map(|a| {
+                RpqAutomaton::compile(&a.regex)
+                    .eval(g)
+                    .into_iter()
+                    .collect()
+            })
             .collect();
         let mut out = Relation::empty(self.head.len() * g.id_arity());
         let mut binding: BTreeMap<Var, ElementId> = BTreeMap::new();
@@ -142,8 +151,8 @@ impl Crpq {
         let atom = &self.atoms[depth];
         for (s, t) in &pair_sets[depth] {
             let mut added: Vec<Var> = Vec::new();
-            let ok = bind(binding, &mut added, &atom.src, s)
-                && bind(binding, &mut added, &atom.tgt, t);
+            let ok =
+                bind(binding, &mut added, &atom.src, s) && bind(binding, &mut added, &atom.tgt, t);
             if ok {
                 self.join(pair_sets, depth + 1, binding, out);
             }
@@ -257,8 +266,10 @@ mod tests {
             b.node1(Value::int(n)).unwrap();
         }
         let mut add = |id: i64, s: i64, t: i64, l: &str| {
-            b.edge1(Value::int(id), Value::int(s), Value::int(t)).unwrap();
-            b.label(ElementId::unary(Value::int(id)), Value::str(l)).unwrap();
+            b.edge1(Value::int(id), Value::int(s), Value::int(t))
+                .unwrap();
+            b.label(ElementId::unary(Value::int(id)), Value::str(l))
+                .unwrap();
         };
         add(10, 0, 1, "a");
         add(11, 1, 2, "b");
@@ -301,11 +312,7 @@ mod tests {
 
     #[test]
     fn head_must_be_bound() {
-        let e = Crpq::new(
-            ["nope"],
-            vec![CrpqAtom::new("x", Rpq::Any, "y")],
-        )
-        .unwrap_err();
+        let e = Crpq::new(["nope"], vec![CrpqAtom::new("x", Rpq::Any, "y")]).unwrap_err();
         assert!(matches!(e, CrpqError::UnboundHeadVar { .. }));
     }
 
@@ -316,11 +323,7 @@ mod tests {
 
     #[test]
     fn repeated_head_vars_allowed() {
-        let q = Crpq::new(
-            ["x", "x"],
-            vec![CrpqAtom::new("x", Rpq::label("a"), "y")],
-        )
-        .unwrap();
+        let q = Crpq::new(["x", "x"], vec![CrpqAtom::new("x", Rpq::label("a"), "y")]).unwrap();
         let r = q.eval(&triangle()).unwrap();
         assert!(r.contains(&Tuple::new(vec![Value::int(0), Value::int(0)])));
     }

@@ -35,7 +35,7 @@ mod prop_tests {
     use super::*;
     use pgq_graph::{pg_view, PropertyGraph, ViewRelations};
     use pgq_pattern::{endpoint_pairs, eval_pattern};
-    use pgq_relational::{Database, Relation, RelName};
+    use pgq_relational::{Database, RelName, Relation};
     use pgq_value::{Tuple, Value, Var};
     use proptest::prelude::*;
 
@@ -63,7 +63,8 @@ mod prop_tests {
                     eids.insert(id.clone()).unwrap();
                     src.insert(id.concat(&Tuple::unary(s))).unwrap();
                     tgt.insert(id.concat(&Tuple::unary(t))).unwrap();
-                    lab.insert(id.concat(&Tuple::unary(Value::str(labels[li])))).unwrap();
+                    lab.insert(id.concat(&Tuple::unary(Value::str(labels[li]))))
+                        .unwrap();
                 }
                 let rels = ViewRelations::new(
                     nodes.clone(),

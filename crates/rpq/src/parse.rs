@@ -27,7 +27,11 @@ pub struct RpqParseError {
 
 impl fmt::Display for RpqParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "RPQ parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "RPQ parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -35,7 +39,10 @@ impl std::error::Error for RpqParseError {}
 
 /// Parse an RPQ expression (see module docs for the grammar).
 pub fn parse_rpq(src: &str) -> Result<Rpq, RpqParseError> {
-    let mut p = P { src: src.as_bytes(), pos: 0 };
+    let mut p = P {
+        src: src.as_bytes(),
+        pos: 0,
+    };
     let e = p.alternation()?;
     p.ws();
     if !p.done() {
@@ -65,7 +72,10 @@ impl<'a> P<'a> {
     }
 
     fn fail(&self, message: &str) -> RpqParseError {
-        RpqParseError { offset: self.pos, message: message.into() }
+        RpqParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
     }
 
     fn alternation(&mut self) -> Result<Rpq, RpqParseError> {
@@ -256,7 +266,9 @@ mod tests {
     fn precedence_star_then_concat_then_union() {
         // a.b* | c  parses as  (a·(b)*) | c
         let got = parse_rpq("a.b* | c").unwrap();
-        let expect = Rpq::label("a").then(Rpq::label("b").star()).or(Rpq::label("c"));
+        let expect = Rpq::label("a")
+            .then(Rpq::label("b").star())
+            .or(Rpq::label("c"));
         assert_eq!(got, expect);
     }
 
@@ -277,10 +289,14 @@ mod tests {
         for i in 0..3i64 {
             b.node1(Value::int(i)).unwrap();
         }
-        b.edge1(Value::int(10), Value::int(0), Value::int(1)).unwrap();
-        b.label(ElementId::unary(Value::int(10)), Value::str("knows")).unwrap();
-        b.edge1(Value::int(11), Value::int(1), Value::int(2)).unwrap();
-        b.label(ElementId::unary(Value::int(11)), Value::str("likes")).unwrap();
+        b.edge1(Value::int(10), Value::int(0), Value::int(1))
+            .unwrap();
+        b.label(ElementId::unary(Value::int(10)), Value::str("knows"))
+            .unwrap();
+        b.edge1(Value::int(11), Value::int(1), Value::int(2))
+            .unwrap();
+        b.label(ElementId::unary(Value::int(11)), Value::str("likes"))
+            .unwrap();
         let g = b.finish();
         let r = parse_rpq("knows.likes | likes^-").unwrap();
         let pairs = eval_rpq(&r, &g);

@@ -71,10 +71,7 @@ impl Rpq {
 
     /// Concatenate a sequence of expressions (`ε` for an empty input).
     pub fn seq<I: IntoIterator<Item = Rpq>>(parts: I) -> Self {
-        parts
-            .into_iter()
-            .reduce(Rpq::then)
-            .unwrap_or(Rpq::Epsilon)
+        parts.into_iter().reduce(Rpq::then).unwrap_or(Rpq::Epsilon)
     }
 
     /// Number of AST nodes.
@@ -119,7 +116,9 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let r = Rpq::label("knows").plus().then(Rpq::inverse("follows").optional());
+        let r = Rpq::label("knows")
+            .plus()
+            .then(Rpq::inverse("follows").optional());
         assert!(r.is_two_way());
         assert!(r.size() >= 6);
     }

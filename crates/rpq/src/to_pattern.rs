@@ -34,14 +34,8 @@ fn lower(r: &Rpq, vars: &mut VarGen) -> Pattern {
         Rpq::AnyInverse => Pattern::Edge(None, Direction::Backward),
         Rpq::Label(l) => labeled_edge(l.clone(), Direction::Forward, vars),
         Rpq::Inverse(l) => labeled_edge(l.clone(), Direction::Backward, vars),
-        Rpq::Concat(a, b) => Pattern::Concat(
-            Box::new(lower(a, vars)),
-            Box::new(lower(b, vars)),
-        ),
-        Rpq::Union(a, b) => Pattern::Union(
-            Box::new(lower(a, vars)),
-            Box::new(lower(b, vars)),
-        ),
+        Rpq::Concat(a, b) => Pattern::Concat(Box::new(lower(a, vars)), Box::new(lower(b, vars))),
+        Rpq::Union(a, b) => Pattern::Union(Box::new(lower(a, vars)), Box::new(lower(b, vars))),
         Rpq::Star(a) => Pattern::Repeat(Box::new(lower(a, vars)), 0, RepBound::Infinite),
     }
 }
@@ -71,8 +65,10 @@ mod tests {
             b.node1(Value::int(n)).unwrap();
         }
         let mut add = |id: i64, s: i64, t: i64, l: &str| {
-            b.edge1(Value::int(id), Value::int(s), Value::int(t)).unwrap();
-            b.label(ElementId::unary(Value::int(id)), Value::str(l)).unwrap();
+            b.edge1(Value::int(id), Value::int(s), Value::int(t))
+                .unwrap();
+            b.label(ElementId::unary(Value::int(id)), Value::str(l))
+                .unwrap();
         };
         add(10, 0, 1, "a");
         add(11, 1, 3, "b");
@@ -86,7 +82,10 @@ mod tests {
         let g = diamond();
         let via_automaton = eval_rpq(r, &g);
         let p = rpq_to_pattern(r);
-        assert!(p.free_vars().is_empty(), "lowered pattern must be closed: {p:?}");
+        assert!(
+            p.free_vars().is_empty(),
+            "lowered pattern must be closed: {p:?}"
+        );
         let via_pattern = endpoint_pairs(&eval_pattern(&p, &g).unwrap());
         assert_eq!(via_automaton, via_pattern, "rpq: {r}");
     }

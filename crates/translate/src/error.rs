@@ -57,7 +57,11 @@ impl fmt::Display for TranslateError {
         match self {
             TranslateError::UnknownRelation(n) => write!(f, "unknown relation {n}"),
             TranslateError::PositionOutOfRange { position, arity } => {
-                write!(f, "position ${} out of range for arity {arity}", position + 1)
+                write!(
+                    f,
+                    "position ${} out of range for arity {arity}",
+                    position + 1
+                )
             }
             TranslateError::ArityMismatch { left, right } => {
                 write!(f, "set operation over arities {left} and {right}")

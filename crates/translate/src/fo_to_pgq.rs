@@ -117,9 +117,7 @@ impl<'a> Translator<'a> {
     /// condition on the cheap unary active-domain query, then a
     /// duplicating projection).
     fn empty_of(&self, arity: usize) -> Result<Query, TranslateError> {
-        let none = self
-            .adom()?
-            .select(RowCondition::col_eq(0, 0).not());
+        let none = self.adom()?.select(RowCondition::col_eq(0, 0).not());
         Ok(none.project(vec![0; arity]))
     }
 
@@ -368,8 +366,7 @@ impl<'a> Translator<'a> {
         let steps = wide.query.project(order); // arity 2k + ℓ
 
         // Edges: drop self-loops (ū = v̄ componentwise).
-        let diag_cond =
-            RowCondition::and_all((0..k).map(|i| RowCondition::col_eq(i, k + i)));
+        let diag_cond = RowCondition::and_all((0..k).map(|i| RowCondition::col_eq(i, k + i)));
         let edges = steps.clone().select(diag_cond.clone().not()); // (ā, b̄, c̄)
 
         // Nodes: (ā, ā, c̄) ∪ (b̄, b̄, c̄) from the edges.
@@ -494,10 +491,18 @@ mod tests {
         let d = db();
         let xy = [v("x"), v("y")];
         check_equal(&Formula::atom("E", ["x", "y"]), &xy, &d);
-        check_equal(&Formula::atom("E", [Term::constant(1), Term::var("y")]), &xy, &d);
+        check_equal(
+            &Formula::atom("E", [Term::constant(1), Term::var("y")]),
+            &xy,
+            &d,
+        );
         check_equal(&Formula::atom("E", ["x", "x"]), &[v("x")], &d);
         check_equal(&Formula::eq(Term::var("x"), Term::var("y")), &xy, &d);
-        check_equal(&Formula::eq(Term::var("x"), Term::constant(2)), &[v("x")], &d);
+        check_equal(
+            &Formula::eq(Term::var("x"), Term::constant(2)),
+            &[v("x")],
+            &d,
+        );
         check_equal(&Formula::eq(Term::constant(1), Term::constant(1)), &[], &d);
         check_equal(&Formula::eq(Term::constant(1), Term::constant(2)), &[], &d);
         check_equal(&Formula::True, &[], &d);
@@ -523,17 +528,9 @@ mod tests {
         let e = Formula::atom("E", ["x", "y"]);
         check_equal(&Formula::exists(["y"], e.clone()), &[v("x")], &d);
         check_equal(&Formula::forall(["y"], e.clone()), &[v("x")], &d);
-        check_equal(
-            &Formula::exists(["x", "y"], e.clone()),
-            &[],
-            &d,
-        );
+        check_equal(&Formula::exists(["x", "y"], e.clone()), &[], &d);
         // ∀x ∃y: not all nodes have successors.
-        check_equal(
-            &Formula::forall(["x"], Formula::exists(["y"], e)),
-            &[],
-            &d,
-        );
+        check_equal(&Formula::forall(["x"], Formula::exists(["y"], e)), &[], &d);
     }
 
     #[test]
@@ -651,16 +648,9 @@ mod tests {
             vec![Term::var("y1"), Term::var("y2")],
         );
         let err =
-            fo_tcn_to_pgq(&tc2, &[v("x1"), v("x2"), v("y1"), v("y2")], &d.schema(), 1)
-                .unwrap_err();
+            fo_tcn_to_pgq(&tc2, &[v("x1"), v("x2"), v("y1"), v("y2")], &d.schema(), 1).unwrap_err();
         assert_eq!(err, TranslateError::TcArityExceeded { found: 2, bound: 1 });
-        assert!(fo_tcn_to_pgq(
-            &tc2,
-            &[v("x1"), v("x2"), v("y1"), v("y2")],
-            &d.schema(),
-            2
-        )
-        .is_ok());
+        assert!(fo_tcn_to_pgq(&tc2, &[v("x1"), v("x2"), v("y1"), v("y2")], &d.schema(), 2).is_ok());
     }
 
     #[test]
@@ -697,12 +687,13 @@ mod tests {
         assert_eq!(res.query.fragment(), pgq_core::Fragment::Ext);
         // Plain FO stays within the RA core (PGQrw because of constants,
         // or even PGQro without them).
-        let plain = fo_to_pgq(&Formula::atom("E", ["x", "y"]), &[v("x"), v("y")], &d.schema())
-            .unwrap();
-        assert!(plain
-            .query
-            .fragment()
-            .within(pgq_core::Fragment::Rw));
+        let plain = fo_to_pgq(
+            &Formula::atom("E", ["x", "y"]),
+            &[v("x"), v("y")],
+            &d.schema(),
+        )
+        .unwrap();
+        assert!(plain.query.fragment().within(pgq_core::Fragment::Rw));
         assert_eq!(plain.max_view_arity, 0);
         let _ = Relation::r#true(); // silence unused import on some cfgs
     }

@@ -212,10 +212,7 @@ impl<'a> Translator<'a> {
                     });
                 }
                 // Rename the right result tuple onto the left's.
-                let renamed = subst(
-                    &right.formula,
-                    &tuple_map(&right.vars, &terms(&left.vars)),
-                );
+                let renamed = subst(&right.formula, &tuple_map(&right.vars, &terms(&left.vars)));
                 let formula = match q {
                     Query::Union(..) => left.formula.or(renamed),
                     _ => left.formula.and(renamed.not()),
@@ -378,11 +375,7 @@ impl<'a> Translator<'a> {
                     pgq_pattern::Direction::Forward => (s, t),
                     pgq_pattern::Direction::Backward => (t, s),
                 };
-                Ok(TrPattern {
-                    formula,
-                    src,
-                    tgt,
-                })
+                Ok(TrPattern { formula, src, tgt })
             }
             // (T4) Concatenation: glue target-of-left to source-of-right,
             // hiding the middle tuple (unless it is a binding tuple).
@@ -552,10 +545,13 @@ impl<'a> Translator<'a> {
                 };
                 let s = self.gen.fresh_tuple("ss", k);
                 let t = self.gen.fresh_tuple("st", k);
-                let star = macros
-                    .n(&s)
-                    .and(macros.n(&t))
-                    .and(Formula::tc(u, v, body, terms(&s), terms(&t)));
+                let star = macros.n(&s).and(macros.n(&t)).and(Formula::tc(
+                    u,
+                    v,
+                    body,
+                    terms(&s),
+                    terms(&t),
+                ));
                 let star = TrPattern {
                     formula: star,
                     src: s,
@@ -569,8 +565,7 @@ impl<'a> Translator<'a> {
                         .formula
                         .and(star.formula)
                         .and(eq_tuples(&prefix.tgt, &star.src));
-                    let keep: BTreeSet<Var> =
-                        prefix.src.iter().chain(&star.tgt).cloned().collect();
+                    let keep: BTreeSet<Var> = prefix.src.iter().chain(&star.tgt).cloned().collect();
                     Ok(TrPattern {
                         formula: close_except(formula, &keep),
                         src: prefix.src,
@@ -631,10 +626,7 @@ impl<'a> Translator<'a> {
                         )))
                     }
                 };
-                Formula::exists(
-                    [w.clone()],
-                    macros.prop(&t, key, Term::Var(w)).and(cmp),
-                )
+                Formula::exists([w.clone()], macros.prop(&t, key, Term::Var(w)).and(cmp))
             }
             Condition::And(a, b) => self
                 .condition(a, macros, ctx, scope)?
@@ -653,14 +645,15 @@ impl<'a> Translator<'a> {
 fn row_condition_to_fo(cond: &RowCondition, vars: &[Var]) -> Result<Formula, TranslateError> {
     let operand = |o: &Operand| -> Result<Term, TranslateError> {
         match o {
-            Operand::Col(i) => vars
-                .get(*i)
-                .cloned()
-                .map(Term::Var)
-                .ok_or(TranslateError::PositionOutOfRange {
-                    position: *i,
-                    arity: vars.len(),
-                }),
+            Operand::Col(i) => {
+                vars.get(*i)
+                    .cloned()
+                    .map(Term::Var)
+                    .ok_or(TranslateError::PositionOutOfRange {
+                        position: *i,
+                        arity: vars.len(),
+                    })
+            }
             Operand::Const(c) => Ok(Term::Const(c.clone())),
         }
     };
@@ -679,12 +672,8 @@ fn row_condition_to_fo(cond: &RowCondition, vars: &[Var]) -> Result<Formula, Tra
             }
         }
         RowCondition::Not(c) => row_condition_to_fo(c, vars)?.not(),
-        RowCondition::And(a, b) => {
-            row_condition_to_fo(a, vars)?.and(row_condition_to_fo(b, vars)?)
-        }
-        RowCondition::Or(a, b) => {
-            row_condition_to_fo(a, vars)?.or(row_condition_to_fo(b, vars)?)
-        }
+        RowCondition::And(a, b) => row_condition_to_fo(a, vars)?.and(row_condition_to_fo(b, vars)?),
+        RowCondition::Or(a, b) => row_condition_to_fo(a, vars)?.or(row_condition_to_fo(b, vars)?),
     })
 }
 
@@ -911,10 +900,12 @@ mod tests {
     fn order_comparisons_are_rejected() {
         let d = db();
         let q = Query::pattern_ro(
-            OutputPattern::boolean(
-                Pattern::edge("t")
-                    .filter(Condition::prop_cmp("t", "amount", CmpOp::Gt, 100i64)),
-            )
+            OutputPattern::boolean(Pattern::edge("t").filter(Condition::prop_cmp(
+                "t",
+                "amount",
+                CmpOp::Gt,
+                100i64,
+            )))
             .unwrap(),
             ["N", "E", "S", "T", "L", "P"],
         );

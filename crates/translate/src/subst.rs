@@ -60,10 +60,7 @@ fn subst_term(t: &Term, map: &BTreeMap<Var, Term>) -> Term {
 fn debug_assert_binders_fresh(binders: &[Var], map: &BTreeMap<Var, Term>) {
     debug_assert!(
         binders.iter().all(|b| {
-            !map.contains_key(b)
-                && !map
-                    .values()
-                    .any(|t| matches!(t, Term::Var(v) if v == b))
+            !map.contains_key(b) && !map.values().any(|t| matches!(t, Term::Var(v) if v == b))
         }),
         "substitution would capture a binder; translator freshness discipline violated"
     );
@@ -81,10 +78,7 @@ pub fn tuple_map(from: &[Var], to: &[Term]) -> BTreeMap<Var, Term> {
 
 /// Variables-to-variables convenience over [`tuple_map`].
 pub fn var_map(from: &[Var], to: &[Var]) -> BTreeMap<Var, Term> {
-    tuple_map(
-        from,
-        &to.iter().cloned().map(Term::Var).collect::<Vec<_>>(),
-    )
+    tuple_map(from, &to.iter().cloned().map(Term::Var).collect::<Vec<_>>())
 }
 
 #[cfg(test)]

@@ -22,6 +22,43 @@ pub use value::{Key, Label, Value};
 pub use var::{Var, VarGen};
 
 #[cfg(test)]
+mod smoke {
+    use super::*;
+
+    /// Deterministic end-to-end smoke over the whole domain layer:
+    /// composite identifiers (Definition 5.1) build, concatenate, split,
+    /// and project exactly as rows of relations must.
+    #[test]
+    fn composite_identifier_lifecycle() {
+        let node = tuple![7, "alice"];
+        let edge = tuple![42, "transfer", true];
+        assert_eq!(node.arity(), 2);
+        assert_eq!(edge.get(1), Some(&Value::str("transfer")));
+
+        let row = node.concat(&edge);
+        assert_eq!(row.arity(), 5);
+        let (n, e) = row.split_at(2);
+        assert_eq!((n, e), (node.clone(), edge));
+
+        assert_eq!(row.project(&[3, 0]).unwrap(), tuple!["transfer", 7]);
+        assert!(row.project(&[5]).is_none(), "out-of-range projection");
+        assert_eq!(Tuple::unary(7).concat(&Tuple::empty()), Tuple::unary(7));
+        assert!(node < row, "prefixes order before their extensions");
+    }
+
+    /// Variables are interned by name; the generator never collides with
+    /// existing ones.
+    #[test]
+    fn var_generation_is_fresh() {
+        let x = Var::new("x");
+        assert_eq!(x, Var::new("x"));
+        let mut gen = VarGen::default();
+        let fresh = gen.fresh("x");
+        assert_ne!(fresh, x);
+    }
+}
+
+#[cfg(test)]
 mod prop_tests {
     use super::*;
     use proptest::prelude::*;

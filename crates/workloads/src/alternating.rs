@@ -345,10 +345,7 @@ mod tests {
             // replaced by a never-matching filter.
             let p = Pattern::Repeat(Box::new(step), lo, pgq_pattern::RepBound::Finite(lo));
             let never = p.filter(Condition::has_label("nope", "Nope"));
-            return Query::pattern_rw(
-                OutputPattern::boolean(never).unwrap(),
-                union_view_queries(),
-            );
+            return Query::pattern_rw(OutputPattern::boolean(never).unwrap(), union_view_queries());
         }
         let p = Pattern::Repeat(Box::new(step), lo, pgq_pattern::RepBound::Finite(hi));
         Query::pattern_rw(OutputPattern::boolean(p).unwrap(), union_view_queries())

@@ -8,7 +8,10 @@ use std::collections::BTreeMap;
 /// Canonical six-relation database (`N,E,S,T,L,P`) for a directed path
 /// `0 → 1 → … → n`.
 pub fn path_db(n: usize) -> Database {
-    graph_db((0..=n as i64).collect(), (0..n).map(|i| (i as i64, i as i64 + 1)).collect())
+    graph_db(
+        (0..=n as i64).collect(),
+        (0..n).map(|i| (i as i64, i as i64 + 1)).collect(),
+    )
 }
 
 /// Canonical database for a directed cycle of length `n` (nodes
@@ -26,9 +29,7 @@ pub fn cycle_db(n: usize) -> Database {
 /// `p` when `bridge` is set. Used by the E4 spectra experiments.
 pub fn two_cycles_db(p: usize, q: usize, bridge: bool) -> Database {
     assert!(p > 0 && q > 0);
-    let mut edges: Vec<(i64, i64)> = (0..p)
-        .map(|i| (i as i64, ((i + 1) % p) as i64))
-        .collect();
+    let mut edges: Vec<(i64, i64)> = (0..p).map(|i| (i as i64, ((i + 1) % p) as i64)).collect();
     edges.extend((0..q).map(|i| (p as i64 + i as i64, p as i64 + ((i + 1) % q) as i64)));
     if bridge {
         edges.push((0, p as i64));
@@ -99,7 +100,9 @@ pub fn walk_length_spectrum(db: &Database, s: i64, t: i64, horizon: usize) -> Ve
     for row in src.iter() {
         let (e, n) = row.split_at(1);
         if let Some(&to) = tgt_map.get(&e) {
-            succ.entry(n[0].as_int().expect("int ids")).or_default().push(to);
+            succ.entry(n[0].as_int().expect("int ids"))
+                .or_default()
+                .push(to);
         }
     }
     // DP over lengths.

@@ -126,16 +126,15 @@ pub fn increasing_pairs_query() -> Query {
 /// written directly and routed through the Theorem 6.2 translation in
 /// tests/benches. Free variables: `x`, `y`.
 pub fn increasing_pairs_formula() -> Formula {
-    let (u, lu, v, lv) = (
-        Var::new("u"),
-        Var::new("lu"),
-        Var::new("v"),
-        Var::new("lv"),
-    );
+    let (u, lu, v, lv) = (Var::new("u"), Var::new("lu"), Var::new("v"), Var::new("lv"));
     // step((u, lu) → (v, lv)) := Xfer(u, v, lv) ∧ Lt(lu, lv)
     let step = Formula::atom(
         "Xfer",
-        [Term::Var(u.clone()), Term::Var(v.clone()), Term::Var(lv.clone())],
+        [
+            Term::Var(u.clone()),
+            Term::Var(v.clone()),
+            Term::Var(lv.clone()),
+        ],
     )
     .and(Formula::atom(
         "Lt",
@@ -155,10 +154,9 @@ pub fn increasing_pairs_formula() -> Formula {
     let nontrivial = Formula::eq(Term::var("m"), Term::constant(0)).not();
     Formula::exists(
         ["m"],
-        tc.and(nontrivial).and(Formula::atom("Acct", ["x"])).and(Formula::atom(
-            "Acct",
-            ["y"],
-        )),
+        tc.and(nontrivial)
+            .and(Formula::atom("Acct", ["x"]))
+            .and(Formula::atom("Acct", ["y"])),
     )
 }
 

@@ -111,10 +111,8 @@ pub fn canonical_transfers_db(
         s.insert(id.concat(&src)).unwrap();
         t_rel.insert(id.concat(&tgt)).unwrap();
         l.insert(id.concat(&Tuple::unary("Transfer"))).unwrap();
-        p.insert(
-            id.concat(&Tuple::new(vec![Value::str("amount"), Value::int(amount)])),
-        )
-        .unwrap();
+        p.insert(id.concat(&Tuple::new(vec![Value::str("amount"), Value::int(amount)])))
+            .unwrap();
         e.insert(id).unwrap();
     }
     db.add_relation("N", n);

@@ -30,11 +30,16 @@ fn main() {
     // `min_edges` edges exists".
     let min_edges = 8;
     println!("\nproperty: alternating path with ≥ {min_edges} edges");
-    println!("{:>8} {:>8} {:>12} {:>12} {:>12}", "length", "truth", "unroll r=4", "unroll r=8", "PGQrw");
+    println!(
+        "{:>8} {:>8} {:>12} {:>12} {:>12}",
+        "length", "truth", "unroll r=4", "unroll r=8", "PGQrw"
+    );
     for length in [2usize, 4, 6, 8, 12, 16, 24] {
         let db = alternating_path_db(length, None);
         let truth = has_alternating_path(&db, min_edges);
-        let rw = eval(&rw_alternating_query(min_edges), &db).unwrap().as_bool();
+        let rw = eval(&rw_alternating_query(min_edges), &db)
+            .unwrap()
+            .as_bool();
         let small = eval(&bounded_alternating_query(min_edges, 4), &db)
             .unwrap()
             .as_bool();

@@ -29,9 +29,11 @@ fn build_db() -> Database {
         for (j, (from, to)) in edges.iter().enumerate() {
             let id = Tuple::unary(Value::int(base + j as i64));
             e.insert(id.clone()).unwrap();
-            s.insert(id.concat(&Tuple::unary(Value::int(*from)))).unwrap();
+            s.insert(id.concat(&Tuple::unary(Value::int(*from))))
+                .unwrap();
             t.insert(id.concat(&Tuple::unary(Value::int(*to)))).unwrap();
-            l.insert(id.concat(&Tuple::unary(Value::str(label)))).unwrap();
+            l.insert(id.concat(&Tuple::unary(Value::str(label))))
+                .unwrap();
         }
         (e, s, t, l)
     };
@@ -88,7 +90,11 @@ fn main() {
 
     let combined = sepa.clone().union(book.clone());
     let all = eval_match(&combined, &reach, &db).unwrap();
-    assert_eq!(all.len(), 36, "the union closes the cycle: all pairs connected");
+    assert_eq!(
+        all.len(),
+        36,
+        "the union closes the cycle: all pairs connected"
+    );
 
     // Compose further: drop the book layer's edges again — back to sepa.
     let stripped = combined.clone().minus_edges(book.clone());

@@ -18,7 +18,10 @@ use sqlpgq::workloads::families;
 
 fn main() {
     let db = families::grid_db(5, 4);
-    println!("database: 5×4 grid, {} tuples over (N,E,S,T,L,P)\n", db.tuple_count());
+    println!(
+        "database: 5×4 grid, {} tuples over (N,E,S,T,L,P)\n",
+        db.tuple_count()
+    );
 
     // Route 1 — the paper's own machinery: build the graph view, run
     // the reachability pattern (x) →* (y).
@@ -27,7 +30,10 @@ fn main() {
         ["N", "E", "S", "T", "L", "P"],
     );
     let via_pgq = eval_query(&q, &db).unwrap();
-    println!("PGQrw pattern  ⟦(x) →* (y)⟧            : {} pairs", via_pgq.len());
+    println!(
+        "PGQrw pattern  ⟦(x) →* (y)⟧            : {} pairs",
+        via_pgq.len()
+    );
 
     // Route 2 — FO[TC] over the same schema.
     let step = Formula::exists(
@@ -43,7 +49,10 @@ fn main() {
     )
     .and(Formula::atom("N", ["x"]).and(Formula::atom("N", ["y"])));
     let via_logic = eval_ordered(&phi, &[Var::new("x"), Var::new("y")], &db).unwrap();
-    println!("FO[TC] formula (Section 6.1 semantics) : {} pairs", via_logic.len());
+    println!(
+        "FO[TC] formula (Section 6.1 semantics) : {} pairs",
+        via_logic.len()
+    );
 
     // Route 3 — Datalog as a user would write it (the WITH RECURSIVE
     // shape: one recursive call per rule).
@@ -76,7 +85,10 @@ fn main() {
     assert_eq!(&via_pgq, via_bridge);
     println!("\nall four engines agree ✓");
 
-    println!("\ncompiled program (goal {}):\n{}", compiled.goal, compiled.program);
+    println!(
+        "\ncompiled program (goal {}):\n{}",
+        compiled.goal, compiled.program
+    );
     println!(
         "every rule has at most one recursive body literal — FO[TC] fits in the\n\
          WITH RECURSIVE fragment, which is why PGQext stays inside NL (Cor 6.4)."

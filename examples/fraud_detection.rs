@@ -28,7 +28,10 @@ fn main() {
            WHERE t.amount > 800
            RETURN ( x.iban , y.iban ) );",
     );
-    println!("high-value chains (every hop > 800): {} pair(s)", rows.len());
+    println!(
+        "high-value chains (every hop > 800): {} pair(s)",
+        rows.len()
+    );
 
     // 2. Round trips: money leaves x and comes back within 2..4 hops.
     // RETURN both endpoints and keep x = y pairs.

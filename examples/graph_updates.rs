@@ -39,7 +39,8 @@ fn ledger() -> ViewRelations {
         e.insert(id.clone()).unwrap();
         s.insert(id.concat(&acct(from))).unwrap();
         t.insert(id.concat(&acct(to))).unwrap();
-        l.insert(id.concat(&Tuple::unary(Value::str("Transfer")))).unwrap();
+        l.insert(id.concat(&Tuple::unary(Value::str("Transfer"))))
+            .unwrap();
         p.insert(id.concat(&Tuple::new(vec![Value::str("amount"), Value::int(amount)])))
             .unwrap();
     }
@@ -49,23 +50,34 @@ fn ledger() -> ViewRelations {
 fn main() {
     let rels = ledger();
     let g = pg_view(&rels).unwrap();
-    println!("initial graph: {} accounts, {} transfers", g.node_count(), g.edge_count());
+    println!(
+        "initial graph: {} accounts, {} transfers",
+        g.node_count(),
+        g.edge_count()
+    );
 
     // The monitoring query: which accounts are connected by ≥1 transfer?
     let reach = Pattern::node("x")
         .then(Pattern::any_edge().plus())
         .then(Pattern::node("y"));
-    let flows = |g: &sqlpgq::graph::PropertyGraph| {
-        endpoint_pairs(&eval_pattern(&reach, g).unwrap()).len()
-    };
+    let flows =
+        |g: &sqlpgq::graph::PropertyGraph| endpoint_pairs(&eval_pattern(&reach, g).unwrap()).len();
     println!("transfer-connected pairs: {}\n", flows(&g));
 
     // Batch 1: a new account and two transfers that bridge the two
     // previously disconnected clusters.
     let batch1 = [
         Update::AddNode(acct(6)),
-        Update::AddEdge { id: tid(10), src: acct(2), tgt: acct(6) },
-        Update::AddEdge { id: tid(11), src: acct(6), tgt: acct(3) },
+        Update::AddEdge {
+            id: tid(10),
+            src: acct(2),
+            tgt: acct(6),
+        },
+        Update::AddEdge {
+            id: tid(11),
+            src: acct(6),
+            tgt: acct(3),
+        },
         Update::SetProp(tid(10), Value::str("amount"), Value::int(240)),
         Update::SetProp(tid(11), Value::str("amount"), Value::int(230)),
         Update::AddLabel(tid(10), Value::str("Transfer")),
@@ -100,7 +112,11 @@ fn main() {
     // Invalid updates are rejected atomically, never half-applied.
     let err = apply_all(
         &rels2,
-        &[Update::AddEdge { id: tid(99), src: acct(0), tgt: acct(42) }],
+        &[Update::AddEdge {
+            id: tid(99),
+            src: acct(0),
+            tgt: acct(42),
+        }],
     )
     .unwrap_err();
     println!("rejected as expected: {err}");

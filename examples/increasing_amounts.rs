@@ -34,7 +34,10 @@ fn main() {
     // 1. The PGQext query, built exactly as in Example 5.3.
     let q = increasing_pairs_query();
     let via_pgq = eval(&q, &db).unwrap();
-    println!("PGQext (Example 5.3 construction): {} pair(s)", via_pgq.len());
+    println!(
+        "PGQext (Example 5.3 construction): {} pair(s)",
+        via_pgq.len()
+    );
 
     // 2. The FO[TC2] formula through the Theorem 6.2 translation.
     let phi = increasing_pairs_formula();
@@ -70,7 +73,10 @@ fn main() {
 
     // Figure 5: size of the constructed graph G′ vs the base graph.
     println!("\nFigure 5 blow-up across random ledgers (accounts=20):");
-    println!("{:>10} {:>8} {:>8} {:>10}", "transfers", "|N'|", "|E'|", "pairs");
+    println!(
+        "{:>10} {:>8} {:>8} {:>10}",
+        "transfers", "|N'|", "|E'|", "pairs"
+    );
     for m in [10usize, 20, 40, 80] {
         let db = random_ledger(20, m, 50, 42);
         let (n, e) = constructed_sizes(&db);

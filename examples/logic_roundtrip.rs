@@ -35,10 +35,7 @@ fn main() {
     // ---- T : FO[TC] → PGQext (Theorem 6.2) ----
     let db = ve_db(10, 18, 5);
     // "Nodes that reach some sink (a node with no outgoing edge)."
-    let sink = Formula::forall(
-        ["z"],
-        Formula::atom("E", ["y", "z"]).not(),
-    );
+    let sink = Formula::forall(["z"], Formula::atom("E", ["y", "z"]).not());
     let reach = Formula::tc(
         vec![Var::new("u")],
         vec![Var::new("w")],
@@ -67,9 +64,7 @@ fn main() {
         let u: Vec<Var> = (0..k).map(|i| Var::new(format!("u{i}"))).collect();
         let w: Vec<Var> = (0..k).map(|i| Var::new(format!("w{i}"))).collect();
         let body = Formula::and_all(
-            (0..k).map(|i| {
-                Formula::atom("E", [Term::Var(u[i].clone()), Term::Var(w[i].clone())])
-            }),
+            (0..k).map(|i| Formula::atom("E", [Term::Var(u[i].clone()), Term::Var(w[i].clone())])),
         );
         let x: Vec<Term> = (0..k).map(|i| Term::var(format!("x{i}"))).collect();
         let y: Vec<Term> = (0..k).map(|i| Term::var(format!("y{i}"))).collect();

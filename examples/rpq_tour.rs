@@ -68,16 +68,28 @@ fn main() {
     // RPQs, two routes each.
     let queries: Vec<(&str, Rpq)> = vec![
         ("wire+", Rpq::label("wire").plus()),
-        ("cash·wire*", Rpq::label("cash").then(Rpq::label("wire").star())),
-        ("(wire|cash)+", Rpq::label("wire").or(Rpq::label("cash")).plus()),
-        ("wire⁻·cash (2RPQ)", Rpq::inverse("wire").then(Rpq::label("cash"))),
+        (
+            "cash·wire*",
+            Rpq::label("cash").then(Rpq::label("wire").star()),
+        ),
+        (
+            "(wire|cash)+",
+            Rpq::label("wire").or(Rpq::label("cash")).plus(),
+        ),
+        (
+            "wire⁻·cash (2RPQ)",
+            Rpq::inverse("wire").then(Rpq::label("cash")),
+        ),
     ];
     for (name, r) in &queries {
         let via_auto = eval_rpq(r, &g);
         let pat = rpq_to_pattern(r);
         let via_pattern = endpoint_pairs(&eval_pattern(&pat, &g).unwrap());
         assert_eq!(via_auto, via_pattern);
-        println!("RPQ {name:<22} {} pairs  (automaton ≡ Figure 2 pattern semantics ✓)", via_auto.len());
+        println!(
+            "RPQ {name:<22} {} pairs  (automaton ≡ Figure 2 pattern semantics ✓)",
+            via_auto.len()
+        );
     }
 
     // A CRPQ: accounts x that can move money to z by cash-then-wires
@@ -93,7 +105,9 @@ fn main() {
     .unwrap();
     println!("\nCRPQ: {crpq}");
     let direct = crpq.eval(&g).unwrap();
-    let lowered = crpq.to_pgqro(&["N", "E", "S", "T", "L", "P"].map(Into::into)).unwrap();
+    let lowered = crpq
+        .to_pgqro(&["N", "E", "S", "T", "L", "P"].map(Into::into))
+        .unwrap();
     assert!(lowered.fragment().within(Fragment::Ro));
     let via_core = eval_query(&lowered, &db).unwrap();
     assert_eq!(direct, via_core);

@@ -34,8 +34,9 @@ SELECT * FROM GRAPH_TABLE (Transfers
 
 fn main() {
     let script = match std::env::args().nth(1) {
-        Some(path) => std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        Some(path) => {
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+        }
         None => DEMO.to_string(),
     };
     let mut db = Database::new();
@@ -86,7 +87,8 @@ fn insert(db: &mut Database, stmt: &str) {
         .split(',')
         .map(|v| parse_value(v.trim()))
         .collect();
-    db.insert(table, Tuple::new(values)).expect("consistent arity");
+    db.insert(table, Tuple::new(values))
+        .expect("consistent arity");
 }
 
 fn parse_value(v: &str) -> Value {

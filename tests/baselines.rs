@@ -111,23 +111,20 @@ fn updates_equal_rebuild_from_scratch() {
     let (next, g_updated) = apply_all(&rels, &[shortcut]).unwrap();
 
     // Rebuild from scratch: grid plus the same extra edge.
-    let db2 = families::graph_db(
-        (0..9).collect(),
-        {
-            let mut edges: Vec<(i64, i64)> = Vec::new();
-            for y in 0..3i64 {
-                for x in 0..3i64 {
-                    if x + 1 < 3 {
-                        edges.push((y * 3 + x, y * 3 + x + 1));
-                    }
-                    if y + 1 < 3 {
-                        edges.push((y * 3 + x, (y + 1) * 3 + x));
-                    }
+    let db2 = families::graph_db((0..9).collect(), {
+        let mut edges: Vec<(i64, i64)> = Vec::new();
+        for y in 0..3i64 {
+            for x in 0..3i64 {
+                if x + 1 < 3 {
+                    edges.push((y * 3 + x, y * 3 + x + 1));
+                }
+                if y + 1 < 3 {
+                    edges.push((y * 3 + x, (y + 1) * 3 + x));
                 }
             }
-            edges
-        },
-    );
+        }
+        edges
+    });
     let mut rels2 = view_rels(&db2);
     sqlpgq::graph::apply(
         &mut rels2,

@@ -93,7 +93,9 @@ fn composite_key_graph_definition() {
             &db,
         )
         .unwrap();
-    let Outcome::Rows(rows) = &outcomes[3] else { panic!() };
+    let Outcome::Rows(rows) = &outcomes[3] else {
+        panic!()
+    };
     // The Example 5.1 output: banks and branches of both endpoints.
     assert!(rows.contains(&tuple!["hapoalim", 1, "leumi", 2]));
     assert_eq!(rows.len(), 1);

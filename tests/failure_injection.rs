@@ -115,10 +115,7 @@ fn parser_and_catalog_errors() {
             &db,
         )
         .unwrap_err();
-    assert!(matches!(
-        err,
-        ScriptError::Lower(LowerError::Catalog(_))
-    ));
+    assert!(matches!(err, ScriptError::Lower(LowerError::Catalog(_))));
     // Graph over a missing table.
     let err = session
         .run_script(
@@ -133,7 +130,8 @@ fn parser_and_catalog_errors() {
 fn dangling_edges_strict_vs_lenient_end_to_end() {
     let mut db = Database::new();
     db.insert("Account", tuple!["IL1"]).unwrap();
-    db.insert("Transfer", tuple![1, "IL1", "GHOST", 0, 10]).unwrap();
+    db.insert("Transfer", tuple![1, "IL1", "GHOST", 0, 10])
+        .unwrap();
     let mut session = Session::new();
     session
         .run_script(sqlpgq::workloads::transfers::TRANSFERS_DDL, &db)
@@ -144,7 +142,9 @@ fn dangling_edges_strict_vs_lenient_end_to_end() {
     // Lenient: the dangling edge is dropped, query runs.
     session.mode = ViewMode::Lenient;
     let outcomes = session.run_script(q, &db).unwrap();
-    let Outcome::Rows(rows) = &outcomes[0] else { panic!() };
+    let Outcome::Rows(rows) = &outcomes[0] else {
+        panic!()
+    };
     assert!(rows.is_empty());
 }
 

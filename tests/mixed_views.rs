@@ -15,11 +15,14 @@ fn ledger() -> MixedViewRelations {
         tgt: Relation::from_rows(3, [tuple![9, 1, "b"], tuple![9, 2, "c"]]).unwrap(),
         node_labels: Relation::from_rows(
             2,
-            [tuple!["a", "Account"], tuple!["b", "Account"], tuple!["c", "Account"]],
+            [
+                tuple!["a", "Account"],
+                tuple!["b", "Account"],
+                tuple!["c", "Account"],
+            ],
         )
         .unwrap(),
-        edge_labels: Relation::from_rows(3, [tuple![9, 1, "Leg"], tuple![9, 2, "Leg"]])
-            .unwrap(),
+        edge_labels: Relation::from_rows(3, [tuple![9, 1, "Leg"], tuple![9, 2, "Leg"]]).unwrap(),
         node_props: Relation::empty(3),
         edge_props: Relation::from_rows(
             4,

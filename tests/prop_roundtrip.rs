@@ -52,7 +52,7 @@ fn graph_to_db(g: &sqlpgq::graph::PropertyGraph) -> Database {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+    #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// T(φ) and optimize(T(φ)) evaluate identically, and the optimizer
     /// never grows the query.

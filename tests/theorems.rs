@@ -21,12 +21,9 @@ fn theorem_4_1_separation() {
             .unwrap()
             .as_bool();
         assert_eq!(rw, truth, "PGQrw at length {length}");
-        let bounded = eval_query(
-            &alternating::bounded_alternating_query(min_edges, 4),
-            &db,
-        )
-        .unwrap()
-        .as_bool();
+        let bounded = eval_query(&alternating::bounded_alternating_query(min_edges, 4), &db)
+            .unwrap()
+            .as_bool();
         if length >= min_edges {
             assert!(truth && !bounded, "locality failure at length {length}");
         }
@@ -85,7 +82,10 @@ fn corollary_6_3_equivalence() {
     let t = fo_to_pgq(&phi, &order, &db.schema()).unwrap();
     assert_eq!(eval_query(&t.query, &db).unwrap(), reference);
     let tau = pgq_to_fo(&t.query, &db.schema()).unwrap();
-    assert_eq!(eval_ordered(&tau.formula, &tau.vars, &db).unwrap(), reference);
+    assert_eq!(
+        eval_ordered(&tau.formula, &tau.vars, &db).unwrap(),
+        reference
+    );
 }
 
 /// Theorems 6.5/6.6 with Finding F1: the τ direction stays within

@@ -1,0 +1,36 @@
+//! The `any::<T>()` entry point for types with a canonical strategy.
+
+use crate::strategy::Strategy;
+
+/// Types with a canonical "arbitrary value" strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy value.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Mirror of `proptest::arbitrary::any`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+impl Arbitrary for bool {
+    type Strategy = crate::bool::Any;
+    fn arbitrary() -> Self::Strategy {
+        crate::bool::ANY
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = std::ops::RangeInclusive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                <$t>::MIN..=<$t>::MAX
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(i8, i16, i32, u8, u16, u32);

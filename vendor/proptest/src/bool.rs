@@ -1,0 +1,18 @@
+//! Boolean strategies (`proptest::bool::ANY`).
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Uniform `bool` strategy type.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any;
+
+/// Uniform `bool` strategy value, mirroring `proptest::bool::ANY`.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}

@@ -1,0 +1,163 @@
+//! An offline, API-compatible subset of the real `proptest` crate.
+//!
+//! This build environment has no access to a crates.io registry, so the
+//! workspace vendors the slice of proptest's API that the `sqlpgq`
+//! test-suites use: the [`strategy::Strategy`] trait with `prop_map` /
+//! `prop_flat_map` / `boxed`, integer-range and tuple strategies,
+//! [`strategy::Just`], weighted unions via [`prop_oneof!`], collection
+//! strategies ([`collection::vec`], [`collection::btree_set`]), a tiny
+//! regex-class string strategy, [`arbitrary::any`], and the
+//! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros backed
+//! by [`test_runner::TestRunner`].
+//!
+//! Differences from the real crate: generation is a deterministic
+//! seeded PRNG (override with `PROPTEST_SEED`), and failing cases are
+//! reported but **not shrunk**. The generated distribution is uniform
+//! rather than proptest's bias-toward-edge-cases, which is adequate for
+//! the structural properties tested here. Swapping back to the real
+//! crate is a one-line change in the workspace manifest.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod bool;
+pub mod collection;
+pub mod rng;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// One-stop imports mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirror of the real prelude's `prop` module alias.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::string;
+    }
+}
+
+/// Weighted / unweighted choice between strategies, all boxed to a
+/// common type. Mirrors `proptest::prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+/// Mirror of `proptest::proptest!`: a block of `#[test]` functions whose
+/// arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { [$cfg] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            [$crate::test_runner::ProptestConfig::default()] $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ([$cfg:expr]) => {};
+    ([$cfg:expr]
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner =
+                $crate::test_runner::TestRunner::new_for_test(config, stringify!($name));
+            let strategy = ($($strat,)+);
+            runner
+                .run(&strategy, |($($arg,)+)| {
+                    $body
+                    Ok(())
+                })
+                .unwrap();
+        }
+        $crate::__proptest_tests! { [$cfg] $($rest)* }
+    };
+}
+
+/// Mirror of `proptest::prop_assert!`: fail the current case (the runner
+/// reports it) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Mirror of `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+}
+
+/// Mirror of `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}

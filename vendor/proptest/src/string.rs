@@ -1,0 +1,114 @@
+//! `&str`-as-regex string strategies.
+//!
+//! The real proptest interprets a `&str` strategy as a full regex. The
+//! shim supports the fragment the workspace uses: a sequence of
+//! literal characters and character classes `[a-z]`, each optionally
+//! repeated with `{lo,hi}`, `{n}`, `*`, `+`, or `?`.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+#[derive(Clone, Debug)]
+enum Piece {
+    Lit(char),
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Clone, Debug)]
+struct Rep {
+    piece: Piece,
+    lo: usize,
+    hi: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Rep> {
+    let mut chars = pattern.chars().peekable();
+    let mut out = Vec::new();
+    while let Some(c) = chars.next() {
+        let piece = if c == '[' {
+            let mut ranges = Vec::new();
+            loop {
+                match chars.next() {
+                    None => panic!("unterminated class in pattern {pattern:?}"),
+                    Some(']') => break,
+                    Some(lo) => {
+                        if chars.peek() == Some(&'-') {
+                            chars.next();
+                            let hi = chars
+                                .next()
+                                .unwrap_or_else(|| panic!("dangling '-' in {pattern:?}"));
+                            ranges.push((lo, hi));
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                }
+            }
+            Piece::Class(ranges)
+        } else {
+            Piece::Lit(c)
+        };
+        let (lo, hi) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (lo.parse().unwrap(), hi.parse().unwrap()),
+                    None => {
+                        let n = spec.parse().unwrap();
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        out.push(Rep { piece, lo, hi });
+    }
+    out
+}
+
+/// Strategy produced by interpreting a pattern string.
+#[derive(Clone, Debug)]
+pub struct StringParam {
+    reps: Vec<Rep>,
+}
+
+impl Strategy for StringParam {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let mut s = String::new();
+        for rep in &self.reps {
+            let n = rep.lo + rng.below((rep.hi - rep.lo + 1) as u64) as usize;
+            for _ in 0..n {
+                match &rep.piece {
+                    Piece::Lit(c) => s.push(*c),
+                    Piece::Class(ranges) => {
+                        let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+                        let span = hi as u32 - lo as u32 + 1;
+                        s.push(char::from_u32(lo as u32 + rng.below(span as u64) as u32).unwrap());
+                    }
+                }
+            }
+        }
+        s
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        StringParam { reps: parse(self) }.sample(rng)
+    }
+}

@@ -1,0 +1,131 @@
+//! Case runner backing the [`crate::proptest!`] macro and direct
+//! `TestRunner::run` callers.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+use std::fmt;
+
+/// Runner configuration. Only `cases` is honoured by the shim.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; the shim trades a little
+        // coverage for suite latency. `PROPTEST_CASES` overrides.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// A single case's failure. Mirrors `TestCaseError::Fail`.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Fail the current case with `reason`.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError(reason.into())
+    }
+
+    /// Alias kept for API compatibility (the shim never retries
+    /// rejected cases; a reject is reported like a failure).
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// A property failure: the case error plus which case hit it.
+#[derive(Clone, Debug)]
+pub struct TestError {
+    message: String,
+}
+
+impl fmt::Display for TestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.message.fmt(f)
+    }
+}
+
+impl std::error::Error for TestError {}
+
+/// Drives a strategy through `cases` samples of a property.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl Default for TestRunner {
+    fn default() -> Self {
+        TestRunner::new(ProptestConfig::default())
+    }
+}
+
+fn base_seed() -> u64 {
+    std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x5EED_CAFE_F00D_D00D)
+}
+
+impl TestRunner {
+    /// A runner with the given config and the process-wide seed.
+    pub fn new(config: ProptestConfig) -> Self {
+        let rng = TestRng::new(base_seed());
+        TestRunner { config, rng }
+    }
+
+    /// A runner whose seed additionally mixes in the test name, so
+    /// sibling properties explore different parts of the space.
+    pub fn new_for_test(config: ProptestConfig, name: &str) -> Self {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+        }
+        let rng = TestRng::new(base_seed() ^ h);
+        TestRunner { config, rng }
+    }
+
+    /// Sample `strategy` `cases` times, applying `test` to each value.
+    /// The first failing case aborts the run (no shrinking).
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), TestError>
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        for case in 0..self.config.cases {
+            let value = strategy.sample(&mut self.rng);
+            if let Err(e) = test(value) {
+                return Err(TestError {
+                    message: format!(
+                        "property failed at case {}/{} (seed {:#x}, no shrinking): {}",
+                        case + 1,
+                        self.config.cases,
+                        base_seed(),
+                        e
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}

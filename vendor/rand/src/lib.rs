@@ -1,0 +1,119 @@
+//! An offline, API-compatible subset of the `rand` crate.
+//!
+//! This build environment has no registry access, so the workspace
+//! vendors the slice of `rand`'s API that `pgq-workloads` uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the
+//! [`RngExt`] extension trait with `random_range` / `random_bool`.
+//! `StdRng` here is SplitMix64, not ChaCha12 — statistically plenty for
+//! workload generation, and deterministic per seed, but not
+//! cryptographic. Swapping back to the real crate is a one-line change
+//! in the workspace manifest.
+
+#![forbid(unsafe_code)]
+
+/// Named generator types.
+pub mod rngs {
+    /// The workspace's standard deterministic generator (SplitMix64 in
+    /// the shim; ChaCha12 in the real crate).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl RngCore for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Derive a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng {
+            state: seed ^ 0xD6E8_FEB8_6659_FD93,
+        }
+    }
+}
+
+/// Integer types [`RngExt::random_range`] can produce (every primitive
+/// fits losslessly in `i128`).
+pub trait UniformInt: Copy {
+    /// Widen to `i128`.
+    fn to_i128(self) -> i128;
+    /// Narrow from `i128` (caller guarantees the value is in range).
+    fn from_i128(v: i128) -> Self;
+}
+
+/// Ranges [`RngExt::random_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Inclusive `(low, high)` bounds; panics if the range is empty.
+    fn bounds(self) -> (T, T);
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn bounds(self) -> ($t, $t) {
+                assert!(self.start < self.end, "cannot sample empty range");
+                (self.start, self.end - 1)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn bounds(self) -> ($t, $t) {
+                assert!(self.start() <= self.end(), "cannot sample empty range");
+                (*self.start(), *self.end())
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// The sampling methods `pgq-workloads` uses (a subset of rand 0.9's
+/// `Rng`, under the post-0.9 `random_*` names).
+pub trait RngExt: RngCore {
+    /// Uniform draw from `range`.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformInt,
+        R: SampleRange<T>,
+    {
+        let (lo, hi) = range.bounds();
+        let (lo, hi) = (lo.to_i128(), hi.to_i128());
+        let span = (hi - lo + 1) as u128;
+        let draw = u128::from(self.next_u64()) % span;
+        T::from_i128(lo + draw as i128)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<T: RngCore> RngExt for T {}
