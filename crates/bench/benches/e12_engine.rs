@@ -1,0 +1,49 @@
+//! E12 bench — the S15 engine ablation (experiment E15): the hash-join
+//! physical path against the product-then-filter reference on the
+//! largest `e10_scaling` and `transfers` instances, plus the
+//! reachability routes (semi-naive fixpoint vs NFA BFS vs reference).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgq_bench::perf::endpoint_join;
+use pgq_core::{builders, eval_with, EvalConfig, Query};
+use pgq_workloads::{families, transfers};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_engine");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+
+    let join = endpoint_join();
+    let reach = Query::pattern_ro(
+        builders::reachability_output(),
+        ["N", "E", "S", "T", "L", "P"],
+    );
+
+    for (name, db) in [
+        ("path_200", families::path_db(200)),
+        ("grid_40x5", families::grid_db(40, 5)),
+        (
+            "transfers_500x1000",
+            transfers::canonical_transfers_db(500, 1000, 1_000, 7),
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::new("join_reference", name), &db, |b, db| {
+            b.iter(|| join.eval(db).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("join_physical", name), &db, |b, db| {
+            b.iter(|| pgq_exec::eval_ra(&join, db).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("reach_nfa", name), &db, |b, db| {
+            b.iter(|| eval_with(&reach, db, EvalConfig::default()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("reach_physical", name), &db, |b, db| {
+            b.iter(|| eval_with(&reach, db, EvalConfig::physical()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

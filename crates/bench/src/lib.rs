@@ -1,6 +1,6 @@
 //! # pgq-bench
 //!
-//! Experiment harness (system S11; DESIGN.md §3): the E1–E10 experiments
+//! Experiment harness (system S11; DESIGN.md §3): the E1–E15 experiments
 //! as library functions shared by the `report` binary (which regenerates
 //! the measured section of `EXPERIMENTS.md`) and the Criterion benches
 //! under `benches/` (which measure wall-clock shapes).
@@ -9,5 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod perf;
 
 pub use experiments::full_report;
+pub use perf::{engine_suite, to_json};

@@ -1,0 +1,162 @@
+//! The machine-readable perf smoke behind `BENCH_2.json`.
+//!
+//! `cargo run --release -p pgq-bench --bin report -- --json [path]`
+//! runs a reduced-size engine-ablation suite (the `e12_engine`
+//! Criterion bench's shapes at CI-friendly sizes) and serializes
+//! `bench name → { mean ns, input size }`, so the perf trajectory
+//! accumulates a data point per PR instead of living only in bench
+//! logs.
+
+use pgq_core::{builders, eval_with, EvalConfig, Query};
+use pgq_relational::{Database, RaExpr, RowCondition};
+use pgq_workloads::{families, transfers};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured bench point.
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// Bench name, `shape/instance`.
+    pub name: String,
+    /// Instance size as total tuple count.
+    pub input_size: usize,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: u128,
+}
+
+/// Mean nanoseconds of `f` over `iters` timed runs (after one warm-up).
+pub fn mean_ns<F: FnMut()>(iters: usize, mut f: F) -> u128 {
+    f(); // warm-up
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() / iters as u128
+}
+
+/// The edge-endpoint join `π_{$2,$4}(σ_{$1=$3}(S × T))` — the
+/// product-then-filter shape the reference evaluator materializes in
+/// full and the physical planner turns into a hash join.
+pub fn endpoint_join() -> RaExpr {
+    RaExpr::rel("S")
+        .product(RaExpr::rel("T"))
+        .select(RowCondition::col_eq(0, 2))
+        .project(vec![1, 3])
+}
+
+/// Runs the reduced-size engine ablation and returns the measured
+/// entries. `scale` multiplies the instance sizes (1 = CI smoke).
+pub fn engine_suite(scale: usize) -> Vec<BenchEntry> {
+    let scale = scale.max(1);
+    let reach = Query::pattern_ro(
+        builders::reachability_output(),
+        ["N", "E", "S", "T", "L", "P"],
+    );
+    let join = endpoint_join();
+    let mut out = Vec::new();
+
+    let instances: Vec<(String, Database, usize)> = vec![
+        (
+            format!("grid_{}x5", 40 * scale),
+            families::grid_db(40 * scale, 5),
+            10,
+        ),
+        (
+            format!("transfers_{}x{}", 500 * scale, 1000 * scale),
+            transfers::canonical_transfers_db(500 * scale, 1000 * scale, 1_000, 7),
+            3,
+        ),
+    ];
+    for (name, db, iters) in &instances {
+        let size = db.tuple_count();
+        out.push(BenchEntry {
+            name: format!("join_reference/{name}"),
+            input_size: size,
+            mean_ns: mean_ns(*iters, || {
+                join.eval(db).unwrap();
+            }),
+        });
+        out.push(BenchEntry {
+            name: format!("join_physical/{name}"),
+            input_size: size,
+            mean_ns: mean_ns(*iters, || {
+                pgq_exec::eval_ra(&join, db).unwrap();
+            }),
+        });
+    }
+
+    // Reachability routes on the grid instance only (the closure is the
+    // dominant cost; the join ablation above covers the transfers db).
+    let (name, db, _) = &instances[0];
+    let size = db.tuple_count();
+    out.push(BenchEntry {
+        name: format!("reach_nfa/{name}"),
+        input_size: size,
+        mean_ns: mean_ns(5, || {
+            eval_with(&reach, db, EvalConfig::default()).unwrap();
+        }),
+    });
+    out.push(BenchEntry {
+        name: format!("reach_physical/{name}"),
+        input_size: size,
+        mean_ns: mean_ns(5, || {
+            eval_with(&reach, db, EvalConfig::physical()).unwrap();
+        }),
+    });
+    out
+}
+
+/// Serializes entries as the `BENCH_2.json` object:
+/// `{ "<name>": { "mean_ns": …, "input_size": … }, … }`.
+pub fn to_json(entries: &[BenchEntry]) -> String {
+    let mut out = String::from("{\n");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "  \"{}\": {{ \"mean_ns\": {}, \"input_size\": {} }}{comma}",
+            e.name, e.mean_ns, e.input_size
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_stable() {
+        let entries = vec![
+            BenchEntry {
+                name: "join_reference/tiny".into(),
+                input_size: 10,
+                mean_ns: 1234,
+            },
+            BenchEntry {
+                name: "join_physical/tiny".into(),
+                input_size: 10,
+                mean_ns: 56,
+            },
+        ];
+        let json = to_json(&entries);
+        assert!(
+            json.contains("\"join_reference/tiny\": { \"mean_ns\": 1234, \"input_size\": 10 },")
+        );
+        assert!(json.trim_end().ends_with('}'));
+        // Exactly one entry separator: the last entry has no trailing comma.
+        assert_eq!(json.matches("},").count(), 1);
+        assert!(json.contains("\"join_physical/tiny\": { \"mean_ns\": 56, \"input_size\": 10 }\n"));
+    }
+
+    #[test]
+    fn join_shapes_agree_on_a_small_instance() {
+        let db = families::grid_db(4, 3);
+        let join = endpoint_join();
+        assert_eq!(
+            pgq_exec::eval_ra(&join, &db).unwrap(),
+            join.eval(&db).unwrap()
+        );
+    }
+}

@@ -21,11 +21,28 @@ use pgq_pattern::{Nfa, OutputItem, OutputPattern, Pattern};
 use pgq_relational::{Database, RelError, Relation};
 use pgq_value::Var;
 
+/// Which engine answers a query (DESIGN.md §5). All three routes are
+/// semantically identical; the suites enforce the agreement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Reference semantics only — the literal Figure 2/4 evaluators,
+    /// used for differential testing and ablation baselines.
+    Reference,
+    /// The NFA product-graph BFS fast path for navigational pattern
+    /// calls (the historical default).
+    Nfa,
+    /// The S15 physical engine (`pgq-exec`): the relational shell is
+    /// planned into hash-join plans, reachability pattern calls run on
+    /// the semi-naive fixpoint operator, and everything else falls back
+    /// to the NFA/reference routes.
+    Physical,
+}
+
 /// Evaluation options.
 #[derive(Debug, Clone, Copy)]
 pub struct EvalConfig {
-    /// Use the NFA fast path for navigational pattern calls.
-    pub use_fast_engine: bool,
+    /// Engine selection.
+    pub engine: Engine,
     /// View validation mode (`Strict` is the paper's semantics).
     pub view_mode: ViewMode,
 }
@@ -33,7 +50,7 @@ pub struct EvalConfig {
 impl Default for EvalConfig {
     fn default() -> Self {
         EvalConfig {
-            use_fast_engine: true,
+            engine: Engine::Nfa,
             view_mode: ViewMode::Strict,
         }
     }
@@ -44,7 +61,15 @@ impl EvalConfig {
     /// testing).
     pub fn reference() -> Self {
         EvalConfig {
-            use_fast_engine: false,
+            engine: Engine::Reference,
+            view_mode: ViewMode::Strict,
+        }
+    }
+
+    /// The physical execution engine (substrate S15).
+    pub fn physical() -> Self {
+        EvalConfig {
+            engine: Engine::Physical,
             view_mode: ViewMode::Strict,
         }
     }
@@ -57,6 +82,9 @@ pub fn eval(q: &Query, db: &Database) -> Result<Relation, QueryError> {
 
 /// Evaluates a query with the given configuration.
 pub fn eval_with(q: &Query, db: &Database, cfg: EvalConfig) -> Result<Relation, QueryError> {
+    if cfg.engine == Engine::Physical {
+        return crate::physical::eval_physical(q, db, cfg);
+    }
     match q {
         Query::Rel(name) => Ok(db.get_required(name)?.clone()),
         Query::Const(c) => {
@@ -83,7 +111,15 @@ pub fn eval_with(q: &Query, db: &Database, cfg: EvalConfig) -> Result<Relation, 
         }
         Query::Product(a, b) => Ok(eval_with(a, db, cfg)?.product(&eval_with(b, db, cfg)?)),
         Query::Union(a, b) => Ok(eval_with(a, db, cfg)?.union(&eval_with(b, db, cfg)?)?),
-        Query::Diff(a, b) => Ok(eval_with(a, db, cfg)?.difference(&eval_with(b, db, cfg)?)?),
+        Query::Diff(a, b) => {
+            // The derived intersection `Q − (Q − Q′)` (`Query::intersect`)
+            // would evaluate `Q` three times if taken literally;
+            // evaluate each operand once instead.
+            if let Some((l, r)) = q.as_intersection() {
+                return Ok(eval_with(l, db, cfg)?.intersection(&eval_with(r, db, cfg)?)?);
+            }
+            Ok(eval_with(a, db, cfg)?.difference(&eval_with(b, db, cfg)?)?)
+        }
         Query::Pattern { out, views, op } => {
             let graph = build_view(views, *op, db, cfg)?;
             eval_output(out, &graph, cfg)
@@ -127,7 +163,7 @@ fn eval_output(
     g: &PropertyGraph,
     cfg: EvalConfig,
 ) -> Result<Relation, QueryError> {
-    if cfg.use_fast_engine {
+    if cfg.engine != Engine::Reference {
         if let Some(rel) = try_fast(out, g)? {
             return Ok(rel);
         }
@@ -141,7 +177,10 @@ fn eval_output(
 /// * endpoint projections `( (x) … (y) )_{x,y}` (or `_{y,x}`): the
 ///   NFA's pair set, flattened (identifiers of arity `k` contribute `k`
 ///   columns each, matching `OutputItem::Var` semantics).
-fn try_fast(out: &OutputPattern, g: &PropertyGraph) -> Result<Option<Relation>, QueryError> {
+pub(crate) fn try_fast(
+    out: &OutputPattern,
+    g: &PropertyGraph,
+) -> Result<Option<Relation>, QueryError> {
     // The pattern must be NFA-compilable at all.
     let Ok(nfa) = Nfa::compile(&out.pattern) else {
         return Ok(None);
@@ -186,7 +225,7 @@ fn try_fast(out: &OutputPattern, g: &PropertyGraph) -> Result<Option<Relation>, 
 /// spine, provided the endpoint of the whole pattern is that atom's
 /// element (filters preserve endpoints; unions/repeats do not determine
 /// a unique binder).
-fn leftmost_node_var(p: &Pattern) -> Option<Var> {
+pub(crate) fn leftmost_node_var(p: &Pattern) -> Option<Var> {
     match p {
         Pattern::Node(v) => v.clone(),
         Pattern::Concat(a, _) => leftmost_node_var(a),
@@ -195,7 +234,7 @@ fn leftmost_node_var(p: &Pattern) -> Option<Var> {
     }
 }
 
-fn rightmost_node_var(p: &Pattern) -> Option<Var> {
+pub(crate) fn rightmost_node_var(p: &Pattern) -> Option<Var> {
     match p {
         Pattern::Node(v) => v.clone(),
         Pattern::Concat(_, b) => rightmost_node_var(b),

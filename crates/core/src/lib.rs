@@ -41,10 +41,12 @@
 pub mod builders;
 pub mod eval;
 pub mod optimize;
+pub mod physical;
 pub mod query;
 
-pub use eval::{build_view, eval, eval_with, EvalConfig};
+pub use eval::{build_view, eval, eval_with, Engine, EvalConfig};
 pub use optimize::optimize;
+pub use physical::explain;
 pub use query::{Fragment, Query, QueryError, ViewOp};
 
 #[cfg(test)]

@@ -7,13 +7,22 @@
 //! * `π_p(π_q(Q)) = π_{q∘p}(Q)` — projection fusion;
 //! * `σ_θ(σ_η(Q)) = σ_{θ∧η}(Q)` — selection fusion;
 //! * `σ_⊤(Q) = Q` and identity projections (`π_{$1,…,$n}` at arity `n`);
+//! * `σ_θ(Q ∪ Q′) = σ_θ(Q) ∪ σ_θ(Q′)` — selection pushdown through
+//!   unions;
+//! * `σ_θ(Q × Q′) = σ_rest(σ_l(Q) × σ_r(Q′))` — conjuncts of a product
+//!   selection whose positions fall entirely within one factor move
+//!   below it (`σ_r` rebased); *cross* conjuncts stay above, where the
+//!   physical planner (`pgq-exec`) recognizes the equality ones as
+//!   hash-join keys — the two optimizers compose;
 //! * `Q ∪ Q = Q` and `Q − Q = ∅` (syntactic idempotence; the empty
 //!   result is realized as a contradictory selection, which evaluates
 //!   `Q` once and filters everything — constant-time per row);
 //! * recursion into pattern-call view subqueries.
 //!
-//! The rewrite is size-monotone and, like every transformation in this
-//! workspace, property-tested for semantic equality (`lib.rs`).
+//! The rewrite is size-monotone except for the two distributive
+//! pushdowns (which may duplicate a condition to unlock the physical
+//! planner) and, like every transformation in this workspace,
+//! property-tested for semantic equality (`lib.rs`).
 
 use crate::query::{Query, QueryError};
 use pgq_relational::{RowCondition, Schema};
@@ -45,17 +54,7 @@ fn rewrite(q: &Query, schema: &Schema) -> Query {
             }
             Query::Project(pos.clone(), Box::new(inner))
         }
-        Query::Select(cond, inner) => {
-            let inner = rewrite(inner, schema);
-            if *cond == RowCondition::True {
-                return inner;
-            }
-            // Fusion: σ_θ(σ_η(Q)) = σ_{η ∧ θ}(Q).
-            if let Query::Select(inner_cond, innermost) = inner {
-                return Query::Select(inner_cond.and(cond.clone()), innermost);
-            }
-            Query::Select(cond.clone(), Box::new(inner))
-        }
+        Query::Select(cond, inner) => rewrite_select(cond.clone(), rewrite(inner, schema), schema),
         Query::Product(a, b) => {
             Query::Product(Box::new(rewrite(a, schema)), Box::new(rewrite(b, schema)))
         }
@@ -96,6 +95,63 @@ fn rewrite(q: &Query, schema: &Schema) -> Query {
     }
 }
 
+/// Selection-specific rewrites, applied to an already-rewritten input:
+/// `⊤`-elimination, fusion, and the two distributive pushdowns.
+fn rewrite_select(cond: RowCondition, inner: Query, schema: &Schema) -> Query {
+    if cond == RowCondition::True {
+        return inner;
+    }
+    match inner {
+        // Fusion: σ_θ(σ_η(Q)) = σ_{η ∧ θ}(Q), then retry (the fused
+        // condition may distribute further).
+        Query::Select(inner_cond, innermost) => {
+            rewrite_select(inner_cond.and(cond), *innermost, schema)
+        }
+        // Pushdown: σ_θ(Q ∪ Q′) = σ_θ(Q) ∪ σ_θ(Q′).
+        Query::Union(a, b) => Query::Union(
+            Box::new(rewrite_select(cond.clone(), *a, schema)),
+            Box::new(rewrite_select(cond, *b, schema)),
+        ),
+        // Pushdown: single-side conjuncts of σ_θ(Q × Q′) move below the
+        // product; cross conjuncts stay above for the physical planner.
+        Query::Product(a, b) => {
+            // `optimize` validated the query, so the arity is known.
+            let la = a.arity(schema).expect("validated by optimize");
+            let mut left: Vec<RowCondition> = Vec::new();
+            let mut right: Vec<RowCondition> = Vec::new();
+            let mut cross: Vec<RowCondition> = Vec::new();
+            for conjunct in cond.conjuncts() {
+                let cols = conjunct.columns();
+                if cols.iter().all(|&c| c < la) {
+                    left.push(conjunct);
+                } else if cols.iter().all(|&c| c >= la) {
+                    right.push(conjunct.shifted_left(la));
+                } else {
+                    cross.push(conjunct);
+                }
+            }
+            if left.is_empty() && right.is_empty() {
+                return Query::Select(cond, Box::new(Query::Product(a, b)));
+            }
+            let a = push_conjuncts(*a, left, schema);
+            let b = push_conjuncts(*b, right, schema);
+            let product = Query::Product(Box::new(a), Box::new(b));
+            match RowCondition::and_all(cross) {
+                RowCondition::True => product,
+                residual => Query::Select(residual, Box::new(product)),
+            }
+        }
+        other => Query::Select(cond, Box::new(other)),
+    }
+}
+
+fn push_conjuncts(q: Query, conds: Vec<RowCondition>, schema: &Schema) -> Query {
+    match RowCondition::and_all(conds) {
+        RowCondition::True => q,
+        cond => rewrite_select(cond, q, schema),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,10 +168,17 @@ mod tests {
     }
 
     fn check(q: &Query) -> Query {
+        let o = check_semantics(q);
+        assert!(o.size() <= q.size(), "{o} grew from {q}");
+        o
+    }
+
+    /// Like [`check`] but without the size bound — the distributive
+    /// pushdowns may duplicate a condition.
+    fn check_semantics(q: &Query) -> Query {
         let d = db();
         let o = optimize(q, &d.schema()).unwrap();
         assert_eq!(eval(q, &d).unwrap(), eval(&o, &d).unwrap(), "{q} vs {o}");
-        assert!(o.size() <= q.size(), "{o} grew from {q}");
         o
     }
 
@@ -165,6 +228,65 @@ mod tests {
         // Different operands untouched.
         let q = Query::rel("S").union(Query::rel("R").project(vec![0]));
         check(&q);
+    }
+
+    #[test]
+    fn selection_pushes_through_union() {
+        let q = Query::rel("R")
+            .union(Query::rel("R").project(vec![1, 0]))
+            .select(RowCondition::col_eq_const(0, 1));
+        let o = check_semantics(&q);
+        let Query::Union(a, b) = &o else {
+            panic!("expected a union at the root, got {o}");
+        };
+        assert!(matches!(**a, Query::Select(..)), "{o}");
+        assert!(matches!(**b, Query::Select(..)), "{o}");
+    }
+
+    #[test]
+    fn selection_splits_over_product() {
+        // σ_{$1=1 ∧ $4=1}(R × R): both conjuncts are single-side.
+        let cond = RowCondition::col_eq_const(0, 1).and(RowCondition::col_eq_const(3, 1));
+        let q = Query::rel("R").product(Query::rel("R")).select(cond);
+        let o = check_semantics(&q);
+        let Query::Product(a, b) = &o else {
+            panic!("expected a bare product at the root, got {o}");
+        };
+        assert!(matches!(**a, Query::Select(..)), "{o}");
+        // The right conjunct is rebased to the factor's own columns.
+        let Query::Select(rc, _) = &**b else {
+            panic!("expected a selection on the right factor, got {o}");
+        };
+        assert_eq!(*rc, RowCondition::col_eq_const(1, 1));
+    }
+
+    #[test]
+    fn cross_conjuncts_stay_above_product() {
+        // σ_{$2=$3 ∧ $1=1}(R × S): the join conjunct must stay above
+        // (for the physical planner), the left one moves down.
+        let cond = RowCondition::col_eq(1, 2).and(RowCondition::col_eq_const(0, 1));
+        let q = Query::rel("R").product(Query::rel("S")).select(cond);
+        let o = check_semantics(&q);
+        let Query::Select(residual, inner) = &o else {
+            panic!("expected a residual selection, got {o}");
+        };
+        assert_eq!(*residual, RowCondition::col_eq(1, 2));
+        let Query::Product(a, _) = &**inner else {
+            panic!("expected a product under the residual, got {o}");
+        };
+        assert!(matches!(**a, Query::Select(..)), "{o}");
+    }
+
+    #[test]
+    fn fused_selections_still_distribute() {
+        // σ_θ(σ_η(Q ∪ Q′)) fuses and then pushes through the union.
+        let q = Query::rel("S")
+            .union(Query::rel("S"))
+            .select(RowCondition::col_eq_const(0, 1))
+            .select(RowCondition::col_eq_const(0, 3));
+        let o = check_semantics(&q);
+        // Union idempotence collapses first, so the root is a fused σ.
+        assert!(matches!(o, Query::Select(RowCondition::And(..), _)), "{o}");
     }
 
     #[test]

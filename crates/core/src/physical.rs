@@ -1,0 +1,528 @@
+//! The `Engine::Physical` route: Figure 3's relational shell planned
+//! onto the S15 physical engine (`pgq-exec`), with reachability pattern
+//! calls lowered to the semi-naive fixpoint operator.
+//!
+//! The route is exactly as expressive as the references — anything it
+//! cannot plan natively (general pattern calls, property conditions) is
+//! answered by the NFA or Figure 2 evaluators and spliced into the plan
+//! as a materialized [`PhysPlan::Values`] batch — and the differential
+//! suites (`tests/prop_engine.rs`) hold all three routes to identical
+//! results. See DESIGN.md §5.
+
+use crate::eval::{build_view, try_fast, EvalConfig};
+use crate::query::{Query, QueryError, ViewOp};
+use pgq_exec::{execute, intersect_plan, optimize_plan, transitive_closure, Batch, PhysPlan};
+use pgq_graph::PropertyGraph;
+use pgq_pattern::{Direction, OutputItem, OutputPattern, Pattern, RepBound};
+use pgq_relational::{Database, Relation, Schema};
+use pgq_value::Var;
+use std::fmt::Write as _;
+
+/// Evaluates a query through the physical engine.
+pub(crate) fn eval_physical(
+    q: &Query,
+    db: &Database,
+    cfg: EvalConfig,
+) -> Result<Relation, QueryError> {
+    let plan = lower(q, db, cfg)?;
+    let plan = optimize_plan(plan, &db.schema()).map_err(QueryError::Rel)?;
+    let batch = execute(&plan, db).map_err(QueryError::Rel)?;
+    Ok(batch.into_relation())
+}
+
+/// Lowers the relational shell of a query onto the physical IR.
+/// Pattern calls and constants become materialized `Values` leaves
+/// (evaluated with the same configuration, so nested shells are planned
+/// too).
+fn lower(q: &Query, db: &Database, cfg: EvalConfig) -> Result<PhysPlan, QueryError> {
+    Ok(match q {
+        Query::Rel(name) => match db.get(name) {
+            // `Database::schema` omits 0-ary relations (the paper's
+            // schemas are positive-arity), so scan those by value.
+            Some(rel) if rel.arity() == 0 => PhysPlan::Values(Batch::from_relation(rel)),
+            _ => PhysPlan::Scan(name.clone()),
+        },
+        Query::Const(c) => {
+            // ⟦c⟧_D := c where c ∈ adom(D) (Figure 4).
+            let mut rel = Relation::empty(1);
+            if db.active_domain().contains(c) {
+                rel.insert(pgq_value::Tuple::unary(c.clone()))
+                    .map_err(QueryError::Rel)?;
+            }
+            PhysPlan::Values(Batch::from_relation(&rel))
+        }
+        Query::Project(pos, q) => lower(q, db, cfg)?.project(pos.clone()),
+        Query::Select(cond, q) => lower(q, db, cfg)?.filter(cond.clone()),
+        Query::Product(a, b) => PhysPlan::Product {
+            left: Box::new(lower(a, db, cfg)?),
+            right: Box::new(lower(b, db, cfg)?),
+        },
+        Query::Union(a, b) => PhysPlan::Union {
+            left: Box::new(lower(a, db, cfg)?),
+            right: Box::new(lower(b, db, cfg)?),
+        },
+        Query::Diff(a, b) => {
+            // Plan the derived intersection `Q − (Q − Q′)` as a real
+            // intersection join (`Query::intersect`).
+            if let Some((l, r)) = q.as_intersection() {
+                return Ok(intersect_plan(lower(l, db, cfg)?, lower(r, db, cfg)?));
+            }
+            PhysPlan::Diff {
+                left: Box::new(lower(a, db, cfg)?),
+                right: Box::new(lower(b, db, cfg)?),
+            }
+        }
+        Query::Pattern { out, views, op } => {
+            let rel = eval_pattern_physical(out, views, *op, db, cfg)?;
+            PhysPlan::Values(Batch::from_relation(&rel))
+        }
+    })
+}
+
+/// A pattern call on the physical route: the view is built from
+/// physically-evaluated subqueries; reachability shapes run on the
+/// fixpoint operator; everything else falls back to NFA, then reference.
+fn eval_pattern_physical(
+    out: &OutputPattern,
+    views: &[Query; 6],
+    op: ViewOp,
+    db: &Database,
+    cfg: EvalConfig,
+) -> Result<Relation, QueryError> {
+    let graph = build_view(views, op, db, cfg)?;
+    if let Some(rel) = try_fixpoint_reach(out, &graph)? {
+        return Ok(rel);
+    }
+    if let Some(rel) = try_fast(out, &graph)? {
+        return Ok(rel);
+    }
+    Ok(out.eval(&graph)?)
+}
+
+/// The reachability spine `(x) →^{n..∞} (y)` with a bare forward edge
+/// and `n ≤ 1` — the `ψreach`/`ψreach+` shapes of Lemma 9.4 and the
+/// transfers workloads.
+struct ReachShape {
+    x: Var,
+    y: Var,
+    at_least_one: bool,
+}
+
+fn reach_shape(p: &Pattern) -> Option<ReachShape> {
+    let mut atoms = Vec::new();
+    flatten_concat(p, &mut atoms);
+    match atoms.as_slice() {
+        [Pattern::Node(Some(x)), Pattern::Repeat(inner, lo, RepBound::Infinite), Pattern::Node(Some(y))]
+            if *lo <= 1
+                && x != y // (x) →* (x) constrains to cycles; not plain reachability
+                && matches!(inner.as_ref(), Pattern::Edge(None, Direction::Forward)) =>
+        {
+            Some(ReachShape {
+                x: x.clone(),
+                y: y.clone(),
+                at_least_one: *lo == 1,
+            })
+        }
+        _ => None,
+    }
+}
+
+fn flatten_concat<'a>(p: &'a Pattern, out: &mut Vec<&'a Pattern>) {
+    if let Pattern::Concat(a, b) = p {
+        flatten_concat(a, out);
+        flatten_concat(b, out);
+    } else {
+        out.push(p);
+    }
+}
+
+/// Answers reachability outputs with the semi-naive fixpoint operator:
+/// the graph's edges become `(src, tgt)` rows, `pgq_exec::transitive_closure`
+/// computes the ≥1-step pairs, and `ψ^{0..∞}` restores the reflexive
+/// pairs over the view's nodes. Returns `None` when the output is not a
+/// Boolean or endpoint projection of the reachability spine.
+fn try_fixpoint_reach(
+    out: &OutputPattern,
+    g: &PropertyGraph,
+) -> Result<Option<Relation>, QueryError> {
+    let Some(shape) = reach_shape(&out.pattern) else {
+        return Ok(None);
+    };
+    let swap = if out.items.is_empty() {
+        None
+    } else if let [OutputItem::Var(a), OutputItem::Var(b)] = out.items.as_slice() {
+        if (a, b) == (&shape.x, &shape.y) {
+            Some(false)
+        } else if (a, b) == (&shape.y, &shape.x) {
+            Some(true)
+        } else {
+            return Ok(None);
+        }
+    } else {
+        return Ok(None);
+    };
+    out.pattern.validate()?;
+
+    let k = g.id_arity();
+    let mut edges = Batch::empty(2 * k);
+    for e in g.edges() {
+        let (s, t) = (
+            g.src(e).expect("edge has a source"),
+            g.tgt(e).expect("edge has a target"),
+        );
+        edges.push(s.concat(t)).map_err(QueryError::Rel)?;
+    }
+    let closure = transitive_closure(edges, k, 0).map_err(QueryError::Rel)?;
+
+    let Some(swap) = swap else {
+        // Boolean output: a 0-length path exists iff the view has a node.
+        let holds = !closure.is_empty() || (!shape.at_least_one && g.node_count() > 0);
+        return Ok(Some(if holds {
+            Relation::r#true()
+        } else {
+            Relation::r#false()
+        }));
+    };
+
+    let mut rel = Relation::empty(2 * k);
+    for row in closure.iter() {
+        let (s, t) = row.split_at(k);
+        let pair = if swap { t.concat(&s) } else { s.concat(&t) };
+        rel.insert(pair).map_err(QueryError::Rel)?;
+    }
+    if !shape.at_least_one {
+        for n in g.nodes() {
+            rel.insert(n.concat(n)).map_err(QueryError::Rel)?;
+        }
+    }
+    Ok(Some(rel))
+}
+
+/// Whether the output is a Boolean or an endpoint projection of the
+/// given pair — the shapes the fixpoint and NFA routes answer.
+fn endpoint_output(out: &OutputPattern, x: &Var, y: &Var) -> bool {
+    match out.items.as_slice() {
+        [] => true,
+        [OutputItem::Var(a), OutputItem::Var(b)] => (a, b) == (x, y) || (a, b) == (y, x),
+        _ => false,
+    }
+}
+
+/// The route `eval_pattern_physical` takes for this output — mirrors
+/// the actual dispatch so `EXPLAIN` never lies.
+fn route_label(out: &OutputPattern) -> &'static str {
+    if let Some(shape) = reach_shape(&out.pattern) {
+        if endpoint_output(out, &shape.x, &shape.y) {
+            return "semi-naive fixpoint over view edges";
+        }
+    }
+    if pgq_pattern::Nfa::compile(&out.pattern).is_ok() {
+        let endpoints = (
+            crate::eval::leftmost_node_var(&out.pattern),
+            crate::eval::rightmost_node_var(&out.pattern),
+        );
+        if let (Some(l), Some(r)) = endpoints {
+            if endpoint_output(out, &l, &r) {
+                return "NFA product-graph BFS";
+            }
+        } else if out.items.is_empty() {
+            return "NFA product-graph BFS";
+        }
+    }
+    "reference (Figure 2) semantics"
+}
+
+/// Renders the physical plan of a query as an `EXPLAIN`-style tree —
+/// without evaluating anything. The relational shell is planned exactly
+/// as `Engine::Physical` would plan it; each pattern call appears as a
+/// `⟨matchN⟩` placeholder whose route (fixpoint / NFA / reference) and
+/// view subplans are listed below the main tree.
+pub fn explain(q: &Query, schema: &Schema) -> Result<String, QueryError> {
+    q.arity(schema)?;
+    let mut sections: Vec<String> = Vec::new();
+    let mut aug = schema.clone();
+    let plan = explain_plan(q, schema, &mut aug, &mut sections)?;
+    let plan = optimize_plan(plan, &aug).map_err(QueryError::Rel)?;
+    let mut text = plan.to_string();
+    for s in sections {
+        text.push('\n');
+        text.push_str(&s);
+    }
+    Ok(text)
+}
+
+fn explain_plan(
+    q: &Query,
+    schema: &Schema,
+    aug: &mut Schema,
+    sections: &mut Vec<String>,
+) -> Result<PhysPlan, QueryError> {
+    Ok(match q {
+        Query::Rel(name) => PhysPlan::Scan(name.clone()),
+        Query::Const(c) => {
+            let mut b = Batch::empty(1);
+            b.push(pgq_value::Tuple::unary(c.clone()))
+                .map_err(QueryError::Rel)?;
+            PhysPlan::Values(b)
+        }
+        Query::Project(pos, q) => explain_plan(q, schema, aug, sections)?.project(pos.clone()),
+        Query::Select(cond, q) => explain_plan(q, schema, aug, sections)?.filter(cond.clone()),
+        Query::Product(a, b) => PhysPlan::Product {
+            left: Box::new(explain_plan(a, schema, aug, sections)?),
+            right: Box::new(explain_plan(b, schema, aug, sections)?),
+        },
+        Query::Union(a, b) => PhysPlan::Union {
+            left: Box::new(explain_plan(a, schema, aug, sections)?),
+            right: Box::new(explain_plan(b, schema, aug, sections)?),
+        },
+        Query::Diff(a, b) => {
+            if let Some((l, r)) = q.as_intersection() {
+                return Ok(intersect_plan(
+                    explain_plan(l, schema, aug, sections)?,
+                    explain_plan(r, schema, aug, sections)?,
+                ));
+            }
+            PhysPlan::Diff {
+                left: Box::new(explain_plan(a, schema, aug, sections)?),
+                right: Box::new(explain_plan(b, schema, aug, sections)?),
+            }
+        }
+        Query::Pattern { out, views, op } => {
+            let arity = q.arity(schema)?;
+            let route = route_label(out);
+            // Render the view subplans first: nested pattern calls push
+            // their own sections during this recursion, so numbering off
+            // `sections.len()` afterwards keeps every placeholder unique.
+            let mut body = String::new();
+            let labels = ["nodes", "edges", "src", "tgt", "labels", "props"];
+            for (label, view) in labels.iter().zip(views.iter()) {
+                let sub = explain_plan(view, schema, aug, sections)?;
+                let sub = optimize_plan(sub, aug).map_err(QueryError::Rel)?;
+                let _ = writeln!(body, "  {label}:");
+                for line in sub.to_string().lines() {
+                    let _ = writeln!(body, "    {line}");
+                }
+            }
+            let name = format!("⟨match{}⟩", sections.len() + 1);
+            let mut section = String::new();
+            let _ = writeln!(section, "{name} := {out} via {op} [route: {route}]");
+            section.push_str(&body);
+            sections.push(section);
+            if arity == 0 {
+                // Schemas are positive-arity; a Boolean pattern call
+                // cannot be a placeholder scan.
+                PhysPlan::Values(Batch::empty(0))
+            } else {
+                aug.add(name.as_str(), arity);
+                PhysPlan::Scan(name.as_str().into())
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_with, Engine};
+    use crate::{builders, Query};
+    use pgq_relational::RowCondition;
+    use pgq_value::tuple;
+
+    /// The canonical 4-chain a→b→c→d.
+    fn db() -> Database {
+        let mut db = Database::new();
+        for n in ["a", "b", "c", "d"] {
+            db.insert("N", tuple![n]).unwrap();
+        }
+        for (e, s, t) in [("e1", "a", "b"), ("e2", "b", "c"), ("e3", "c", "d")] {
+            db.insert("E", tuple![e]).unwrap();
+            db.insert("S", tuple![e, s]).unwrap();
+            db.insert("T", tuple![e, t]).unwrap();
+        }
+        db.add_relation("L", Relation::empty(2));
+        db.add_relation("P", Relation::empty(3));
+        db
+    }
+
+    fn reach_query() -> Query {
+        Query::pattern_ro(
+            builders::reachability_output(),
+            ["N", "E", "S", "T", "L", "P"],
+        )
+    }
+
+    #[test]
+    fn physical_reachability_agrees_with_references() {
+        let d = db();
+        let q = reach_query();
+        let phys = eval_with(&q, &d, EvalConfig::physical()).unwrap();
+        let nfa = eval_with(&q, &d, EvalConfig::default()).unwrap();
+        let reference = eval_with(&q, &d, EvalConfig::reference()).unwrap();
+        assert_eq!(phys, nfa);
+        assert_eq!(phys, reference);
+        assert_eq!(phys.len(), 10); // 4 reflexive + 6 forward pairs
+    }
+
+    #[test]
+    fn physical_plus_and_boolean_shapes() {
+        let d = db();
+        let plus = Query::pattern_ro(
+            builders::reachability_plus_output(),
+            ["N", "E", "S", "T", "L", "P"],
+        );
+        assert_eq!(
+            eval_with(&plus, &d, EvalConfig::physical()).unwrap(),
+            eval_with(&plus, &d, EvalConfig::reference()).unwrap()
+        );
+        let boolean = Query::pattern_ro(
+            pgq_pattern::OutputPattern::boolean(
+                Pattern::node("x")
+                    .then(Pattern::any_edge().star())
+                    .then(Pattern::node("y")),
+            )
+            .unwrap(),
+            ["N", "E", "S", "T", "L", "P"],
+        );
+        assert_eq!(
+            eval_with(&boolean, &d, EvalConfig::physical()).unwrap(),
+            Relation::r#true()
+        );
+    }
+
+    #[test]
+    fn physical_relational_shell_agrees() {
+        let d = db();
+        let q = Query::rel("S")
+            .product(Query::rel("T"))
+            .select(RowCondition::col_eq(0, 2))
+            .project(vec![1, 3])
+            .union(Query::rel("S").project(vec![1, 1]));
+        assert_eq!(
+            eval_with(&q, &d, EvalConfig::physical()).unwrap(),
+            eval_with(&q, &d, EvalConfig::reference()).unwrap()
+        );
+        let q = Query::rel("N").intersect(Query::rel("S").project(vec![1]));
+        assert_eq!(
+            eval_with(&q, &d, EvalConfig::physical()).unwrap(),
+            eval_with(&q, &d, EvalConfig::reference()).unwrap()
+        );
+    }
+
+    #[test]
+    fn physical_errors_stay_typed() {
+        let d = db();
+        let q = Query::rel("Missing");
+        assert!(matches!(
+            eval_with(&q, &d, EvalConfig::physical()).unwrap_err(),
+            QueryError::Rel(_)
+        ));
+        let q = Query::rel("S").project(vec![9]);
+        assert!(matches!(
+            eval_with(&q, &d, EvalConfig::physical()).unwrap_err(),
+            QueryError::Rel(_)
+        ));
+        // Invalid views error identically through the physical route.
+        let q = Query::pattern_rw(
+            builders::reachability_output(),
+            [
+                Query::rel("N"),
+                Query::rel("N"),
+                Query::rel("S"),
+                Query::rel("T"),
+                Query::rel("L"),
+                Query::rel("P"),
+            ],
+        );
+        assert!(matches!(
+            eval_with(&q, &d, EvalConfig::physical()).unwrap_err(),
+            QueryError::View(_)
+        ));
+    }
+
+    #[test]
+    fn cycle_constraint_pattern_is_not_misrouted() {
+        // (x) →+ (x) constrains start = end (a cycle); the fixpoint
+        // reachability route must decline it. The 4-chain is acyclic,
+        // so every route answers false.
+        let d = db();
+        let q = Query::pattern_ro(
+            pgq_pattern::OutputPattern::boolean(
+                Pattern::node("x")
+                    .then(Pattern::any_edge().plus())
+                    .then(Pattern::node("x")),
+            )
+            .unwrap(),
+            ["N", "E", "S", "T", "L", "P"],
+        );
+        let phys = eval_with(&q, &d, EvalConfig::physical()).unwrap();
+        assert_eq!(phys, eval_with(&q, &d, EvalConfig::reference()).unwrap());
+        assert_eq!(phys, Relation::r#false());
+    }
+
+    #[test]
+    fn non_reachability_patterns_fall_back() {
+        let d = db();
+        // A backward-edge pattern: not the fixpoint shape, still correct.
+        let q = Query::pattern_ro(
+            pgq_pattern::OutputPattern::vars(
+                Pattern::node("x")
+                    .then(Pattern::any_edge_back())
+                    .then(Pattern::node("y")),
+                ["x", "y"],
+            )
+            .unwrap(),
+            ["N", "E", "S", "T", "L", "P"],
+        );
+        assert_eq!(
+            eval_with(&q, &d, EvalConfig::physical()).unwrap(),
+            eval_with(&q, &d, EvalConfig::reference()).unwrap()
+        );
+        assert_eq!(EvalConfig::physical().engine, Engine::Physical);
+    }
+
+    #[test]
+    fn explain_renders_plan_and_routes() {
+        let d = db();
+        let q = Query::rel("S")
+            .product(Query::rel("T"))
+            .select(RowCondition::col_eq(0, 2))
+            .project(vec![1, 3]);
+        let text = explain(&q, &d.schema()).unwrap();
+        assert!(text.contains("HashJoin"), "{text}");
+        assert!(!text.contains("Product"), "{text}");
+
+        let text = explain(&reach_query(), &d.schema()).unwrap();
+        assert!(text.contains("⟨match1⟩"), "{text}");
+        assert!(text.contains("semi-naive fixpoint"), "{text}");
+        assert!(text.contains("Scan N"), "{text}");
+
+        // Invalid queries error instead of rendering.
+        assert!(explain(&Query::rel("Missing"), &d.schema()).is_err());
+    }
+
+    #[test]
+    fn explain_numbers_nested_pattern_sections_uniquely() {
+        // A pattern call whose nodes view is itself a pattern call:
+        // each gets its own ⟨matchN⟩ section.
+        let d = db();
+        let inner_nodes = Query::pattern_ro(
+            builders::reachability_output(),
+            ["N", "E", "S", "T", "L", "P"],
+        )
+        .project(vec![0]);
+        let q = Query::pattern_rw(
+            builders::reachability_output(),
+            [
+                inner_nodes,
+                Query::rel("E"),
+                Query::rel("S"),
+                Query::rel("T"),
+                Query::rel("L"),
+                Query::rel("P"),
+            ],
+        );
+        let text = explain(&q, &d.schema()).unwrap();
+        assert!(text.contains("⟨match1⟩ :="), "{text}");
+        assert!(text.contains("⟨match2⟩ :="), "{text}");
+    }
+}

@@ -210,9 +210,27 @@ impl Query {
         Query::Diff(Box::new(self), Box::new(other))
     }
 
-    /// Derived intersection `Q ∩ Q′ = Q − (Q − Q′)`.
+    /// Derived intersection `Q ∩ Q′ = Q − (Q − Q′)` — the paper's
+    /// encoding, kept syntactically so fragment membership is unchanged.
+    /// The evaluators recognize the shape and evaluate each operand
+    /// exactly once (the physical engine plans a real intersection
+    /// join).
     pub fn intersect(self, other: Query) -> Self {
         self.clone().diff(self.diff(other))
+    }
+
+    /// Recognizes the [`Query::intersect`] encoding: `self` is
+    /// `Q − (Q − Q′)` for some `(Q, Q′)`. The single source of truth for
+    /// the shape — the evaluator, the physical lowering, and the
+    /// `explain` renderer all dispatch on it.
+    pub fn as_intersection(&self) -> Option<(&Query, &Query)> {
+        let Query::Diff(a, b) = self else {
+            return None;
+        };
+        let Query::Diff(b1, b2) = b.as_ref() else {
+            return None;
+        };
+        (a == b1).then(|| (a.as_ref(), b2.as_ref()))
     }
 
     /// `ψΩ(R̄)` — the `PGQro` pattern construct over stored relations.

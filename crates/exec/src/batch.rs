@@ -1,0 +1,185 @@
+//! Row batches — the executor's working representation.
+//!
+//! The reference evaluators (S2/S5/S7) keep every intermediate result in
+//! a `BTreeSet`, paying an ordered-set insertion per produced tuple. The
+//! physical engine instead flows plain row vectors between operators and
+//! defers deduplication to the few places set semantics actually demands
+//! it (explicit `Distinct`, the right side of `Diff`, fixpoint
+//! accumulators, and the final conversion back to a [`Relation`]).
+//! Because every Figure 4 operator is monotone in duplicates except the
+//! *right* operand of difference — which the executor always dedups — a
+//! bag-valued pipeline with a set-valued boundary computes exactly the
+//! reference set semantics.
+
+use pgq_relational::{RelError, RelResult, Relation};
+use pgq_value::{Tuple, Value};
+use std::collections::HashSet;
+
+/// A batch of equal-arity rows, possibly containing duplicates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Batch {
+    arity: usize,
+    rows: Vec<Tuple>,
+}
+
+impl Batch {
+    /// The empty batch of the given arity.
+    pub fn empty(arity: usize) -> Self {
+        Batch {
+            arity,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Builds a batch from rows, checking every row has `arity`.
+    pub fn from_rows<I>(arity: usize, rows: I) -> RelResult<Self>
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        let mut b = Batch::empty(arity);
+        for t in rows {
+            b.push(t)?;
+        }
+        Ok(b)
+    }
+
+    /// Copies a [`Relation`] into a batch (already duplicate-free).
+    pub fn from_relation(rel: &Relation) -> Self {
+        Batch {
+            arity: rel.arity(),
+            rows: rel.iter().cloned().collect(),
+        }
+    }
+
+    /// Converts back to a set-semantics [`Relation`], deduplicating.
+    pub fn into_relation(self) -> Relation {
+        Relation::from_rows(self.arity, self.rows).expect("batch rows have the batch arity")
+    }
+
+    /// The batch arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of rows, counting duplicates.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row, checking its arity.
+    pub fn push(&mut self, t: Tuple) -> RelResult<()> {
+        if t.arity() != self.arity {
+            return Err(RelError::ArityMismatch {
+                context: "batch push",
+                expected: self.arity,
+                found: t.arity(),
+            });
+        }
+        self.rows.push(t);
+        Ok(())
+    }
+
+    /// Iterates over rows in pipeline order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
+        self.rows.iter()
+    }
+
+    /// Borrows the rows as a slice.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Consumes into the row vector.
+    pub fn into_rows(self) -> Vec<Tuple> {
+        self.rows
+    }
+
+    /// Removes duplicate rows, keeping first occurrences in order.
+    pub fn dedup(&mut self) {
+        let mut seen: HashSet<Tuple> = HashSet::with_capacity(self.rows.len());
+        self.rows.retain(|t| seen.insert(t.clone()));
+    }
+
+    /// Builds a hash index over the projection of each row to
+    /// `key_positions`: key → indices of matching rows. Positions must
+    /// have been validated against the arity by the caller.
+    pub fn hash_index(&self, key_positions: &[usize]) -> HashIndex<'_> {
+        let mut map: std::collections::HashMap<Vec<&Value>, Vec<usize>> =
+            std::collections::HashMap::with_capacity(self.rows.len());
+        for (i, row) in self.rows.iter().enumerate() {
+            let key: Vec<&Value> = key_positions.iter().map(|&p| &row[p]).collect();
+            map.entry(key).or_default().push(i);
+        }
+        HashIndex { map }
+    }
+}
+
+/// A hash index from key values to row indices of the indexed batch.
+pub struct HashIndex<'a> {
+    map: std::collections::HashMap<Vec<&'a Value>, Vec<usize>>,
+}
+
+impl<'a> HashIndex<'a> {
+    /// Row indices whose key equals `key`, empty when absent.
+    pub fn probe(&self, key: &[&'a Value]) -> &[usize] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_value::tuple;
+
+    #[test]
+    fn push_checks_arity_and_keeps_duplicates() {
+        let mut b = Batch::empty(2);
+        b.push(tuple![1, 2]).unwrap();
+        b.push(tuple![1, 2]).unwrap();
+        assert!(b.push(tuple![1]).is_err());
+        assert_eq!(b.len(), 2);
+        b.dedup();
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn relation_roundtrip_dedups() {
+        let rel = Relation::unary([1i64, 2, 3]);
+        let mut b = Batch::from_relation(&rel);
+        b.push(Tuple::unary(2i64)).unwrap();
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.into_relation(), rel);
+    }
+
+    #[test]
+    fn zero_arity_batches() {
+        let mut b = Batch::empty(0);
+        b.push(Tuple::empty()).unwrap();
+        b.push(Tuple::empty()).unwrap();
+        assert_eq!(b.clone().into_relation(), Relation::r#true());
+        b.dedup();
+        assert_eq!(b.len(), 1);
+        assert_eq!(Batch::empty(0).into_relation(), Relation::r#false());
+    }
+
+    #[test]
+    fn hash_index_probes() {
+        let b = Batch::from_rows(2, [tuple![1, 10], tuple![2, 20], tuple![1, 30]]).unwrap();
+        let idx = b.hash_index(&[0]);
+        assert_eq!(idx.distinct_keys(), 2);
+        let one = Value::int(1);
+        assert_eq!(idx.probe(&[&one]), &[0, 2]);
+        let nine = Value::int(9);
+        assert!(idx.probe(&[&nine]).is_empty());
+    }
+}

@@ -1,0 +1,384 @@
+//! The batch executor.
+//!
+//! Every operator consumes whole input batches and produces one output
+//! batch; joins and fixpoints build hash indexes instead of scanning
+//! ordered sets. All failure modes are relational-layer conditions
+//! (unknown relations, out-of-range positions, arity mismatches), so the
+//! executor reports plain [`RelError`]s — the per-layer error policy of
+//! DESIGN.md §7 is satisfied by the callers wrapping them (`QueryError`,
+//! `LogicError`, …) exactly as they wrap reference-evaluator errors.
+
+use crate::batch::Batch;
+use crate::plan::PhysPlan;
+use pgq_relational::{Database, RelError, RelResult, RowCondition};
+use pgq_value::{Tuple, Value};
+use std::collections::HashSet;
+
+/// Executes a physical plan against a database instance.
+pub fn execute(plan: &PhysPlan, db: &Database) -> RelResult<Batch> {
+    match plan {
+        PhysPlan::Scan(name) => Ok(Batch::from_relation(db.get_required(name)?)),
+        PhysPlan::Values(b) => Ok(b.clone()),
+        PhysPlan::AdomScan => Ok(Batch::from_relation(&db.active_domain_relation())),
+        PhysPlan::Filter { cond, input } => {
+            let batch = execute(input, db)?;
+            filter(cond, batch)
+        }
+        PhysPlan::Project { positions, input } => {
+            let batch = execute(input, db)?;
+            project(positions, &batch)
+        }
+        PhysPlan::HashJoin { left, right, keys } => {
+            let l = execute(left, db)?;
+            let r = execute(right, db)?;
+            hash_join(&l, &r, keys)
+        }
+        PhysPlan::Product { left, right } => {
+            let l = execute(left, db)?;
+            let r = execute(right, db)?;
+            let mut out = Batch::empty(l.arity() + r.arity());
+            for a in l.iter() {
+                for b in r.iter() {
+                    out.push(a.concat(b))?;
+                }
+            }
+            Ok(out)
+        }
+        PhysPlan::Union { left, right } => {
+            let l = execute(left, db)?;
+            let r = execute(right, db)?;
+            check_same_arity("union", &l, &r)?;
+            let mut out = l;
+            for t in r.into_rows() {
+                out.push(t)?;
+            }
+            Ok(out)
+        }
+        PhysPlan::Diff { left, right } => {
+            let l = execute(left, db)?;
+            let r = execute(right, db)?;
+            check_same_arity("difference", &l, &r)?;
+            let exclude: HashSet<&Tuple> = r.iter().collect();
+            let mut out = Batch::empty(l.arity());
+            for t in l.iter() {
+                if !exclude.contains(t) {
+                    out.push(t.clone())?;
+                }
+            }
+            Ok(out)
+        }
+        PhysPlan::Distinct { input } => {
+            let mut batch = execute(input, db)?;
+            batch.dedup();
+            Ok(batch)
+        }
+        PhysPlan::Fixpoint {
+            base,
+            step,
+            join,
+            project,
+        } => {
+            let base = execute(base, db)?;
+            let step = execute(step, db)?;
+            fixpoint(base, &step, join, project)
+        }
+    }
+}
+
+fn check_same_arity(op: &'static str, l: &Batch, r: &Batch) -> RelResult<()> {
+    if l.arity() != r.arity() {
+        return Err(RelError::IncompatibleArities {
+            op,
+            left: l.arity(),
+            right: r.arity(),
+        });
+    }
+    Ok(())
+}
+
+fn filter(cond: &RowCondition, batch: Batch) -> RelResult<Batch> {
+    if let Some(max) = cond.max_position() {
+        if max >= batch.arity() {
+            return Err(RelError::PositionOutOfRange {
+                position: max,
+                arity: batch.arity(),
+            });
+        }
+    }
+    let arity = batch.arity();
+    let rows = batch
+        .into_rows()
+        .into_iter()
+        // Positions were validated against the arity above.
+        .filter(|t| cond.eval(t).unwrap_or(false))
+        .collect::<Vec<_>>();
+    Batch::from_rows(arity, rows)
+}
+
+fn project(positions: &[usize], batch: &Batch) -> RelResult<Batch> {
+    for &p in positions {
+        if p >= batch.arity() {
+            return Err(RelError::PositionOutOfRange {
+                position: p,
+                arity: batch.arity(),
+            });
+        }
+    }
+    let mut out = Batch::empty(positions.len());
+    for t in batch.iter() {
+        out.push(t.project(positions).expect("checked positions"))?;
+    }
+    Ok(out)
+}
+
+fn validate_keys(keys: &[(usize, usize)], la: usize, ra: usize) -> RelResult<()> {
+    for &(i, j) in keys {
+        if i >= la {
+            return Err(RelError::PositionOutOfRange {
+                position: i,
+                arity: la,
+            });
+        }
+        if j >= ra {
+            return Err(RelError::PositionOutOfRange {
+                position: j,
+                arity: ra,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn hash_join(l: &Batch, r: &Batch, keys: &[(usize, usize)]) -> RelResult<Batch> {
+    // Empty key set: the all-columns intersection (`PhysPlan::HashJoin`
+    // docs) — keep left rows that occur on the right.
+    if keys.is_empty() {
+        check_same_arity("intersection", l, r)?;
+        let right: HashSet<&Tuple> = r.iter().collect();
+        let mut out = Batch::empty(l.arity());
+        for a in l.iter() {
+            if right.contains(a) {
+                out.push(a.clone())?;
+            }
+        }
+        return Ok(out);
+    }
+    validate_keys(keys, l.arity(), r.arity())?;
+    let right_positions: Vec<usize> = keys.iter().map(|&(_, j)| j).collect();
+    let index = r.hash_index(&right_positions);
+    let mut out = Batch::empty(l.arity() + r.arity());
+    for a in l.iter() {
+        let key: Vec<&Value> = keys.iter().map(|&(i, _)| &a[i]).collect();
+        for &bi in index.probe(&key) {
+            out.push(a.concat(&r.rows()[bi]))?;
+        }
+    }
+    Ok(out)
+}
+
+/// Semi-naive evaluation: each round joins only the rows discovered in
+/// the previous round (`Δ`) against the step batch, so the step side is
+/// indexed once and no derivation is recomputed. `pub(crate)` so
+/// `transitive_closure` can drive it without staging `Values` copies.
+pub(crate) fn fixpoint(
+    base: Batch,
+    step: &Batch,
+    join: &[(usize, usize)],
+    project: &[usize],
+) -> RelResult<Batch> {
+    let arity = base.arity();
+    validate_keys(join, arity, step.arity())?;
+    for &p in project {
+        if p >= arity + step.arity() {
+            return Err(RelError::PositionOutOfRange {
+                position: p,
+                arity: arity + step.arity(),
+            });
+        }
+    }
+    if project.len() != arity {
+        return Err(RelError::IncompatibleArities {
+            op: "fixpoint projection",
+            left: arity,
+            right: project.len(),
+        });
+    }
+
+    let step_positions: Vec<usize> = join.iter().map(|&(_, j)| j).collect();
+    let index = step.hash_index(&step_positions);
+
+    let mut known: HashSet<Tuple> = HashSet::with_capacity(base.len());
+    let mut delta: Vec<Tuple> = Vec::with_capacity(base.len());
+    for t in base.into_rows() {
+        if known.insert(t.clone()) {
+            delta.push(t);
+        }
+    }
+
+    while !delta.is_empty() {
+        let mut next: Vec<Tuple> = Vec::new();
+        for acc in &delta {
+            let key: Vec<&Value> = join.iter().map(|&(i, _)| &acc[i]).collect();
+            for &si in index.probe(&key) {
+                let wide = acc.concat(&step.rows()[si]);
+                let grown = wide.project(project).expect("checked positions");
+                if known.insert(grown.clone()) {
+                    next.push(grown);
+                }
+            }
+        }
+        delta = next;
+    }
+
+    Batch::from_rows(arity, known)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_relational::Relation;
+    use pgq_value::tuple;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.insert("R", tuple![1, 10]).unwrap();
+        db.insert("R", tuple![2, 20]).unwrap();
+        db.insert("S", tuple![10]).unwrap();
+        db.insert("E", tuple![0, 1]).unwrap();
+        db.insert("E", tuple![1, 2]).unwrap();
+        db.insert("E", tuple![2, 3]).unwrap();
+        db
+    }
+
+    #[test]
+    fn scan_filter_project() {
+        let d = db();
+        let plan = PhysPlan::Scan("R".into())
+            .filter(RowCondition::col_eq_const(0, 1))
+            .project(vec![1]);
+        let out = execute(&plan, &d).unwrap().into_relation();
+        assert_eq!(out, Relation::unary([10i64]));
+        assert!(execute(&PhysPlan::Scan("Nope".into()), &d).is_err());
+    }
+
+    #[test]
+    fn hash_join_equals_filtered_product() {
+        let d = db();
+        let join = PhysPlan::Scan("R".into()).hash_join(PhysPlan::Scan("S".into()), vec![(1, 0)]);
+        let reference = PhysPlan::Product {
+            left: Box::new(PhysPlan::Scan("R".into())),
+            right: Box::new(PhysPlan::Scan("S".into())),
+        }
+        .filter(RowCondition::col_eq(1, 2));
+        assert_eq!(
+            execute(&join, &d).unwrap().into_relation(),
+            execute(&reference, &d).unwrap().into_relation()
+        );
+    }
+
+    #[test]
+    fn union_diff_distinct() {
+        let d = db();
+        let s = PhysPlan::Scan("S".into());
+        let r1 = PhysPlan::Scan("R".into()).project(vec![1]);
+        let u = PhysPlan::Union {
+            left: Box::new(r1.clone()),
+            right: Box::new(s.clone()),
+        };
+        assert_eq!(execute(&u, &d).unwrap().into_relation().len(), 2);
+        let diff = PhysPlan::Diff {
+            left: Box::new(r1.clone()),
+            right: Box::new(s.clone()),
+        };
+        assert_eq!(
+            execute(&diff, &d).unwrap().into_relation(),
+            Relation::unary([20i64])
+        );
+        let mismatched = PhysPlan::Union {
+            left: Box::new(PhysPlan::Scan("R".into())),
+            right: Box::new(s),
+        };
+        assert!(execute(&mismatched, &d).is_err());
+        let dup = PhysPlan::Distinct {
+            input: Box::new(PhysPlan::Union {
+                left: Box::new(r1.clone()),
+                right: Box::new(r1),
+            }),
+        };
+        assert_eq!(execute(&dup, &d).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn fixpoint_transitive_closure() {
+        let d = db();
+        let edges = PhysPlan::Scan("E".into());
+        let tc = PhysPlan::Fixpoint {
+            base: Box::new(edges.clone()),
+            step: Box::new(edges),
+            join: vec![(1, 0)],
+            project: vec![0, 3],
+        };
+        let out = execute(&tc, &d).unwrap().into_relation();
+        // 3+2+1 pairs on the 4-chain.
+        assert_eq!(out.len(), 6);
+        assert!(out.contains(&tuple![0, 3]));
+        assert!(!out.contains(&tuple![3, 0]));
+    }
+
+    #[test]
+    fn fixpoint_on_a_cycle_terminates() {
+        let mut d = Database::new();
+        for (s, t) in [(0i64, 1i64), (1, 2), (2, 0)] {
+            d.insert("C", tuple![s, t]).unwrap();
+        }
+        let edges = PhysPlan::Scan("C".into());
+        let tc = PhysPlan::Fixpoint {
+            base: Box::new(edges.clone()),
+            step: Box::new(edges),
+            join: vec![(1, 0)],
+            project: vec![0, 3],
+        };
+        let out = execute(&tc, &d).unwrap().into_relation();
+        assert_eq!(out.len(), 9); // complete digraph on 3 nodes
+    }
+
+    #[test]
+    fn fixpoint_validates_shape() {
+        let d = db();
+        let edges = PhysPlan::Scan("E".into());
+        let bad = PhysPlan::Fixpoint {
+            base: Box::new(edges.clone()),
+            step: Box::new(edges.clone()),
+            join: vec![(1, 9)],
+            project: vec![0, 3],
+        };
+        assert!(execute(&bad, &d).is_err());
+        let bad = PhysPlan::Fixpoint {
+            base: Box::new(edges.clone()),
+            step: Box::new(edges),
+            join: vec![(1, 0)],
+            project: vec![0],
+        };
+        assert!(execute(&bad, &d).is_err());
+    }
+
+    #[test]
+    fn empty_and_zero_arity_inputs() {
+        let mut d = Database::new();
+        d.add_relation("Empty", Relation::empty(2));
+        let tc = PhysPlan::Fixpoint {
+            base: Box::new(PhysPlan::Scan("Empty".into())),
+            step: Box::new(PhysPlan::Scan("Empty".into())),
+            join: vec![(1, 0)],
+            project: vec![0, 3],
+        };
+        assert!(execute(&tc, &d).unwrap().is_empty());
+        // π_∅ over a non-empty input is Boolean true.
+        d.insert("R", tuple![1]).unwrap();
+        let unit = PhysPlan::Scan("R".into()).project(Vec::<usize>::new());
+        assert_eq!(
+            execute(&unit, &d).unwrap().into_relation(),
+            Relation::r#true()
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! # pgq-exec
+//!
+//! The physical execution engine (substrate S15; DESIGN.md §2, §5).
+//!
+//! Every other evaluation route in the workspace is a tree-walking
+//! interpreter over `BTreeSet` relations: `σ_θ(A × B)` materializes the
+//! full cartesian product before filtering, and closures iterate
+//! naively. This crate supplies the join-aware physical layer those
+//! references are measured against:
+//!
+//! * [`PhysPlan`] — the physical IR (`Scan`, `Values`, `AdomScan`,
+//!   `Filter`, `Project`, `HashJoin`, `Product`, `Union`, `Diff`,
+//!   `Distinct`, `Fixpoint`), with `EXPLAIN`-style [`std::fmt::Display`];
+//! * [`plan_ra`]/[`optimize_plan`] — the planner: lowers the Figure 3
+//!   algebra, recognizes equality-selections-over-products as hash
+//!   joins, pushes remaining selections below products and unions, and
+//!   plans the derived intersection `Q − (Q − Q′)` as a real
+//!   intersection;
+//! * [`execute`] — the batch executor over hash-indexed row vectors;
+//! * [`PhysPlan::Fixpoint`] — a semi-naive least-fixpoint operator; the
+//!   FO\[TC\] evaluator (S5) and the `PGQrw` reachability route (S7,
+//!   `Engine::Physical`) both lower their closures onto it via
+//!   [`transitive_closure`].
+//!
+//! The engine is held to the reference evaluators by differential tests
+//! (`tests/prop_engine.rs` at the workspace root) and benchmarked by
+//! `e12_engine` / experiment E15.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod exec;
+pub mod plan;
+pub mod planner;
+
+pub use batch::Batch;
+pub use exec::execute;
+pub use plan::PhysPlan;
+pub use planner::{eval_ra, intersect_plan, lower_ra, optimize_plan, plan_ra};
+
+use pgq_relational::{RelError, RelResult};
+
+/// The semi-naive transitive closure of a step relation whose rows are
+/// flattened `(s̄, t̄, p̄)` triples: `k` source columns, `k` target
+/// columns, and `params` parameter columns that stay fixed along a path
+/// (the `p̄` of a parameterized `TC`, empty for plain reachability).
+///
+/// Returns every `(s̄, t̄, p̄)` connected by a path of **one or more**
+/// steps sharing the parameter assignment — reflexive pairs are the
+/// caller's business (the paper's `TC` adds them over `adom^k`, the
+/// `ψ^{0..∞}` pattern over the view's nodes).
+pub fn transitive_closure(edges: Batch, k: usize, params: usize) -> RelResult<Batch> {
+    let arity = 2 * k + params;
+    if edges.arity() != arity {
+        return Err(RelError::ArityMismatch {
+            context: "transitive closure step relation",
+            expected: arity,
+            found: edges.arity(),
+        });
+    }
+    // acc.t̄ = step.s̄ and acc.p̄ = step.p̄ …
+    let mut join: Vec<(usize, usize)> = (0..k).map(|i| (k + i, i)).collect();
+    join.extend((0..params).map(|i| (2 * k + i, 2 * k + i)));
+    // … emit (acc.s̄, step.t̄, p̄).
+    let mut project: Vec<usize> = (0..k).collect();
+    project.extend(arity + k..arity + 2 * k);
+    project.extend(arity + 2 * k..arity + 2 * k + params);
+    // Drive the executor's fixpoint directly — this is the closure hot
+    // path, and staging the edges through `Values` nodes would copy the
+    // batch on every clone.
+    exec::fixpoint(edges.clone(), &edges, &join, &project)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_relational::Relation;
+    use pgq_value::tuple;
+
+    #[test]
+    fn closure_of_a_chain() {
+        let edges = Batch::from_rows(2, [tuple![0, 1], tuple![1, 2], tuple![2, 3]]).unwrap();
+        let tc = transitive_closure(edges, 1, 0).unwrap().into_relation();
+        assert_eq!(tc.len(), 6);
+        assert!(tc.contains(&tuple![0, 3]));
+    }
+
+    #[test]
+    fn closure_respects_parameters() {
+        // Two colored edges that only chain within a color.
+        let edges = Batch::from_rows(
+            3,
+            [
+                tuple![0, 1, "red"],
+                tuple![1, 2, "blue"],
+                tuple![1, 2, "red"],
+            ],
+        )
+        .unwrap();
+        let tc = transitive_closure(edges, 1, 1).unwrap().into_relation();
+        assert!(tc.contains(&tuple![0, 2, "red"]));
+        assert!(!tc.contains(&tuple![0, 2, "blue"]));
+    }
+
+    #[test]
+    fn closure_of_binary_identifiers() {
+        // Pair-steps (0,i) → (0,i+1): k = 2.
+        let edges = Batch::from_rows(4, [tuple![0, 0, 0, 1], tuple![0, 1, 0, 2]]).unwrap();
+        let tc = transitive_closure(edges, 2, 0).unwrap().into_relation();
+        assert!(tc.contains(&tuple![0, 0, 0, 2]));
+    }
+
+    #[test]
+    fn closure_arity_is_checked() {
+        let edges = Batch::from_rows(2, [tuple![0, 1]]).unwrap();
+        assert!(transitive_closure(edges.clone(), 2, 0).is_err());
+        assert!(transitive_closure(Batch::empty(2), 1, 0)
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            transitive_closure(edges, 1, 0).unwrap().into_relation(),
+            Relation::from_rows(2, [tuple![0, 1]]).unwrap()
+        );
+    }
+}

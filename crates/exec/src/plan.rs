@@ -1,0 +1,424 @@
+//! The physical-plan IR.
+//!
+//! A [`PhysPlan`] is what the planner produces and the executor runs: a
+//! tree of physical operators over row batches. It is deliberately
+//! *lower-level* than [`pgq_relational::RaExpr`] — joins, distinctness
+//! and fixpoints are explicit operators here, while the logical algebra
+//! only knows `σ/π/×/∪/−`.
+
+use crate::batch::Batch;
+use pgq_relational::{RelError, RelName, RelResult, RowCondition, Schema};
+use std::fmt;
+
+/// A physical query plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PhysPlan {
+    /// Scan a stored relation.
+    Scan(RelName),
+    /// A materialized input batch (constants, pre-evaluated subresults).
+    Values(Batch),
+    /// Scan the active domain `adom(D)` as a unary relation.
+    AdomScan,
+    /// Keep rows satisfying the condition.
+    Filter {
+        /// The row predicate.
+        cond: RowCondition,
+        /// Input operator.
+        input: Box<PhysPlan>,
+    },
+    /// Positional projection (positions may repeat and reorder).
+    Project {
+        /// 0-based output positions into the input row.
+        positions: Vec<usize>,
+        /// Input operator.
+        input: Box<PhysPlan>,
+    },
+    /// Hash join: emit `l ++ r` for every pair with `l[i] = r[j]` for
+    /// all `(i, j)` in `keys`. The right side is indexed, the left side
+    /// probed. An **empty** key set denotes the all-columns
+    /// *intersection* (see `planner::intersect_plan`): the operands
+    /// must share an arity and the result keeps only the probe side's
+    /// columns.
+    HashJoin {
+        /// Probe side.
+        left: Box<PhysPlan>,
+        /// Build side.
+        right: Box<PhysPlan>,
+        /// Equality key pairs `(left position, right position)`.
+        keys: Vec<(usize, usize)>,
+    },
+    /// Cartesian product (nested loops; the planner only leaves this in
+    /// place when no equality key connects the two sides).
+    Product {
+        /// Left input.
+        left: Box<PhysPlan>,
+        /// Right input.
+        right: Box<PhysPlan>,
+    },
+    /// Bag union (set semantics restored at the boundary or by an
+    /// explicit [`PhysPlan::Distinct`]).
+    Union {
+        /// Left input.
+        left: Box<PhysPlan>,
+        /// Right input.
+        right: Box<PhysPlan>,
+    },
+    /// Set difference; the right side is hashed and deduplicated.
+    Diff {
+        /// Left input.
+        left: Box<PhysPlan>,
+        /// Right input.
+        right: Box<PhysPlan>,
+    },
+    /// Explicit duplicate elimination.
+    Distinct {
+        /// Input operator.
+        input: Box<PhysPlan>,
+    },
+    /// Semi-naive least fixpoint: the smallest row set `R ⊇ base`
+    /// closed under `acc ∈ R, s ∈ step, acc[i] = s[j] ∀(i,j) ∈ join
+    /// ⟹ π_project(acc ++ s) ∈ R`. `project` indexes into the
+    /// concatenation and must reproduce the base arity. Each iteration
+    /// joins only the *delta* discovered by the previous one against
+    /// the (hash-indexed, evaluated-once) step batch.
+    Fixpoint {
+        /// Initial rows (also the result arity).
+        base: Box<PhysPlan>,
+        /// Step relation, evaluated once and indexed.
+        step: Box<PhysPlan>,
+        /// Equality key pairs `(accumulated position, step position)`.
+        join: Vec<(usize, usize)>,
+        /// Positions into `acc ++ step_row` forming the new row.
+        project: Vec<usize>,
+    },
+}
+
+impl PhysPlan {
+    /// Filter (builder).
+    pub fn filter(self, cond: RowCondition) -> Self {
+        PhysPlan::Filter {
+            cond,
+            input: Box::new(self),
+        }
+    }
+
+    /// Projection (builder).
+    pub fn project(self, positions: impl Into<Vec<usize>>) -> Self {
+        PhysPlan::Project {
+            positions: positions.into(),
+            input: Box::new(self),
+        }
+    }
+
+    /// Distinct (builder).
+    pub fn distinct(self) -> Self {
+        PhysPlan::Distinct {
+            input: Box::new(self),
+        }
+    }
+
+    /// Hash join (builder).
+    pub fn hash_join(self, right: PhysPlan, keys: Vec<(usize, usize)>) -> Self {
+        PhysPlan::HashJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            keys,
+        }
+    }
+
+    /// Static output arity under a schema, validating positions — the
+    /// physical counterpart of `RaExpr::arity`. `Values` carries its own
+    /// arity and `AdomScan` is unary by definition.
+    pub fn arity(&self, schema: &Schema) -> RelResult<usize> {
+        match self {
+            PhysPlan::Scan(name) => schema
+                .arity_of(name)
+                .ok_or_else(|| RelError::UnknownRelation(name.clone())),
+            PhysPlan::Values(b) => Ok(b.arity()),
+            PhysPlan::AdomScan => Ok(1),
+            PhysPlan::Filter { cond, input } => {
+                let a = input.arity(schema)?;
+                if let Some(max) = cond.max_position() {
+                    if max >= a {
+                        return Err(RelError::PositionOutOfRange {
+                            position: max,
+                            arity: a,
+                        });
+                    }
+                }
+                Ok(a)
+            }
+            PhysPlan::Project { positions, input } => {
+                let a = input.arity(schema)?;
+                for &p in positions {
+                    if p >= a {
+                        return Err(RelError::PositionOutOfRange {
+                            position: p,
+                            arity: a,
+                        });
+                    }
+                }
+                Ok(positions.len())
+            }
+            PhysPlan::HashJoin { left, right, keys } => {
+                let (la, ra) = (left.arity(schema)?, right.arity(schema)?);
+                // An empty key set is the all-columns intersection
+                // (see `planner::intersect_plan`): operands must be
+                // compatible and the result keeps the left columns.
+                if keys.is_empty() {
+                    if la != ra {
+                        return Err(RelError::IncompatibleArities {
+                            op: "intersection",
+                            left: la,
+                            right: ra,
+                        });
+                    }
+                    return Ok(la);
+                }
+                for &(i, j) in keys {
+                    if i >= la {
+                        return Err(RelError::PositionOutOfRange {
+                            position: i,
+                            arity: la,
+                        });
+                    }
+                    if j >= ra {
+                        return Err(RelError::PositionOutOfRange {
+                            position: j,
+                            arity: ra,
+                        });
+                    }
+                }
+                Ok(la + ra)
+            }
+            PhysPlan::Product { left, right } => Ok(left.arity(schema)? + right.arity(schema)?),
+            PhysPlan::Union { left, right } | PhysPlan::Diff { left, right } => {
+                let (la, ra) = (left.arity(schema)?, right.arity(schema)?);
+                if la != ra {
+                    return Err(RelError::IncompatibleArities {
+                        op: "union/difference",
+                        left: la,
+                        right: ra,
+                    });
+                }
+                Ok(la)
+            }
+            PhysPlan::Distinct { input } => input.arity(schema),
+            PhysPlan::Fixpoint {
+                base,
+                step,
+                join,
+                project,
+            } => {
+                let (ba, sa) = (base.arity(schema)?, step.arity(schema)?);
+                for &(i, j) in join {
+                    if i >= ba {
+                        return Err(RelError::PositionOutOfRange {
+                            position: i,
+                            arity: ba,
+                        });
+                    }
+                    if j >= sa {
+                        return Err(RelError::PositionOutOfRange {
+                            position: j,
+                            arity: sa,
+                        });
+                    }
+                }
+                for &p in project {
+                    if p >= ba + sa {
+                        return Err(RelError::PositionOutOfRange {
+                            position: p,
+                            arity: ba + sa,
+                        });
+                    }
+                }
+                if project.len() != ba {
+                    return Err(RelError::IncompatibleArities {
+                        op: "fixpoint projection",
+                        left: ba,
+                        right: project.len(),
+                    });
+                }
+                Ok(ba)
+            }
+        }
+    }
+
+    /// Number of operator nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            PhysPlan::Scan(_) | PhysPlan::Values(_) | PhysPlan::AdomScan => 1,
+            PhysPlan::Filter { input, .. }
+            | PhysPlan::Project { input, .. }
+            | PhysPlan::Distinct { input } => 1 + input.size(),
+            PhysPlan::HashJoin { left, right, .. }
+            | PhysPlan::Product { left, right }
+            | PhysPlan::Union { left, right }
+            | PhysPlan::Diff { left, right } => 1 + left.size() + right.size(),
+            PhysPlan::Fixpoint { base, step, .. } => 1 + base.size() + step.size(),
+        }
+    }
+
+    fn node_label(&self) -> String {
+        match self {
+            PhysPlan::Scan(name) => format!("Scan {name}"),
+            PhysPlan::Values(b) => format!("Values [{} row(s), arity {}]", b.len(), b.arity()),
+            PhysPlan::AdomScan => "AdomScan".to_string(),
+            PhysPlan::Filter { cond, .. } => format!("Filter [{cond}]"),
+            PhysPlan::Project { positions, .. } => {
+                let cols: Vec<String> = positions.iter().map(|p| format!("${}", p + 1)).collect();
+                format!("Project [{}]", cols.join(","))
+            }
+            PhysPlan::HashJoin { keys, .. } => {
+                if keys.is_empty() {
+                    return "HashJoin [∩ all columns]".to_string();
+                }
+                let eqs: Vec<String> = keys
+                    .iter()
+                    .map(|(i, j)| format!("${} = ${}ʳ", i + 1, j + 1))
+                    .collect();
+                format!("HashJoin [{}]", eqs.join(" ∧ "))
+            }
+            PhysPlan::Product { .. } => "Product".to_string(),
+            PhysPlan::Union { .. } => "Union".to_string(),
+            PhysPlan::Diff { .. } => "Diff".to_string(),
+            PhysPlan::Distinct { .. } => "Distinct".to_string(),
+            PhysPlan::Fixpoint { join, project, .. } => {
+                let eqs: Vec<String> = join
+                    .iter()
+                    .map(|(i, j)| format!("${} = ${}ˢ", i + 1, j + 1))
+                    .collect();
+                let cols: Vec<String> = project.iter().map(|p| format!("${}", p + 1)).collect();
+                format!(
+                    "Fixpoint [semi-naive; {} → π[{}]]",
+                    eqs.join(" ∧ "),
+                    cols.join(",")
+                )
+            }
+        }
+    }
+
+    fn children(&self) -> Vec<&PhysPlan> {
+        match self {
+            PhysPlan::Scan(_) | PhysPlan::Values(_) | PhysPlan::AdomScan => Vec::new(),
+            PhysPlan::Filter { input, .. }
+            | PhysPlan::Project { input, .. }
+            | PhysPlan::Distinct { input } => vec![input],
+            PhysPlan::HashJoin { left, right, .. }
+            | PhysPlan::Product { left, right }
+            | PhysPlan::Union { left, right }
+            | PhysPlan::Diff { left, right } => vec![left, right],
+            PhysPlan::Fixpoint { base, step, .. } => vec![base, step],
+        }
+    }
+
+    fn render(
+        &self,
+        out: &mut fmt::Formatter<'_>,
+        prefix: &str,
+        last: bool,
+        root: bool,
+    ) -> fmt::Result {
+        if root {
+            writeln!(out, "{}", self.node_label())?;
+        } else {
+            let branch = if last { "└─ " } else { "├─ " };
+            writeln!(out, "{prefix}{branch}{}", self.node_label())?;
+        }
+        let child_prefix = if root {
+            String::new()
+        } else if last {
+            format!("{prefix}   ")
+        } else {
+            format!("{prefix}│  ")
+        };
+        let children = self.children();
+        let n = children.len();
+        for (i, c) in children.into_iter().enumerate() {
+            c.render(out, &child_prefix, i + 1 == n, false)?;
+        }
+        Ok(())
+    }
+}
+
+/// `EXPLAIN`-style tree rendering:
+///
+/// ```text
+/// HashJoin [$2 = $1ʳ]
+/// ├─ Scan S
+/// └─ Scan T
+/// ```
+impl fmt::Display for PhysPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.render(f, "", true, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new().with("R", 2).with("S", 1)
+    }
+
+    #[test]
+    fn arity_checks_positions() {
+        let s = schema();
+        let p = PhysPlan::Scan("R".into()).project(vec![1]);
+        assert_eq!(p.arity(&s).unwrap(), 1);
+        let p = PhysPlan::Scan("R".into()).project(vec![5]);
+        assert!(p.arity(&s).is_err());
+        let p = PhysPlan::Scan("R".into()).filter(RowCondition::col_eq(0, 4));
+        assert!(p.arity(&s).is_err());
+        let p = PhysPlan::Scan("Missing".into());
+        assert!(p.arity(&s).is_err());
+        assert_eq!(PhysPlan::AdomScan.arity(&s).unwrap(), 1);
+    }
+
+    #[test]
+    fn join_and_fixpoint_arity() {
+        let s = schema();
+        let j = PhysPlan::Scan("R".into()).hash_join(PhysPlan::Scan("S".into()), vec![(1, 0)]);
+        assert_eq!(j.arity(&s).unwrap(), 3);
+        let bad = PhysPlan::Scan("R".into()).hash_join(PhysPlan::Scan("S".into()), vec![(1, 7)]);
+        assert!(bad.arity(&s).is_err());
+        let fx = PhysPlan::Fixpoint {
+            base: Box::new(PhysPlan::Scan("R".into())),
+            step: Box::new(PhysPlan::Scan("R".into())),
+            join: vec![(1, 0)],
+            project: vec![0, 3],
+        };
+        assert_eq!(fx.arity(&s).unwrap(), 2);
+        let bad = PhysPlan::Fixpoint {
+            base: Box::new(PhysPlan::Scan("R".into())),
+            step: Box::new(PhysPlan::Scan("R".into())),
+            join: vec![(1, 0)],
+            project: vec![0],
+        };
+        assert!(bad.arity(&s).is_err());
+    }
+
+    #[test]
+    fn union_arity_mismatch() {
+        let s = schema();
+        let u = PhysPlan::Union {
+            left: Box::new(PhysPlan::Scan("R".into())),
+            right: Box::new(PhysPlan::Scan("S".into())),
+        };
+        assert!(u.arity(&s).is_err());
+    }
+
+    #[test]
+    fn display_is_a_tree() {
+        let j = PhysPlan::Scan("R".into())
+            .hash_join(PhysPlan::Scan("S".into()), vec![(1, 0)])
+            .project(vec![0]);
+        let text = j.to_string();
+        assert!(text.starts_with("Project [$1]"));
+        assert!(text.contains("└─ HashJoin [$2 = $1ʳ]"));
+        assert!(text.contains("   ├─ Scan R"));
+        assert!(text.contains("   └─ Scan S"));
+    }
+}

@@ -1,0 +1,422 @@
+//! Logical-to-physical planning.
+//!
+//! [`lower_ra`] maps the Figure 3 algebra structurally onto the physical
+//! IR (recognizing the derived-intersection shape `Q − (Q − Q′)` as a
+//! real intersection on the way); [`optimize_plan`] then rewrites the
+//! plan:
+//!
+//! * **selection pushdown** — conjuncts of a `Filter` over a `Product`
+//!   that touch only one side move below it; filters over a `Union`
+//!   distribute to both branches; stacked filters merge;
+//! * **hash-join recognition** — cross-side equality conjuncts
+//!   `$i = $j` over a `Product` become the key set of a [`PhysPlan::HashJoin`],
+//!   with any residual cross conjuncts left as a filter above the join;
+//! * **duplicate control** — column-dropping projections get an explicit
+//!   [`PhysPlan::Distinct`] so bag-valued pipelines cannot blow up
+//!   through long operator chains.
+//!
+//! The planner never changes the set of result rows: `prop_engine.rs`
+//! and this module's tests hold it to the reference evaluator.
+
+use crate::batch::Batch;
+use crate::exec::execute;
+use crate::plan::PhysPlan;
+use pgq_relational::{CmpOp, Database, Operand, RaExpr, RelResult, Relation, RowCondition, Schema};
+use std::collections::BTreeSet;
+
+/// Plans and executes a relational algebra expression — the engine's
+/// entry point for `RaExpr` workloads.
+pub fn eval_ra(expr: &RaExpr, db: &Database) -> RelResult<Relation> {
+    // `Database::schema` omits 0-ary relations (the paper's schemas are
+    // positive-arity), so stored 0-ary relations are lowered by value —
+    // matching the reference evaluator, which accepts them.
+    let plan = lower_with(expr, &|name| match db.get(name) {
+        Some(rel) if rel.arity() == 0 => PhysPlan::Values(Batch::from_relation(rel)),
+        _ => PhysPlan::Scan(name.clone()),
+    });
+    let plan = optimize_plan(plan, &db.schema())?;
+    Ok(execute(&plan, db)?.into_relation())
+}
+
+/// Lowers and optimizes an expression under a schema.
+pub fn plan_ra(expr: &RaExpr, schema: &Schema) -> RelResult<PhysPlan> {
+    optimize_plan(lower_ra(expr), schema)
+}
+
+/// Structural lowering of the Figure 3 algebra onto the physical IR.
+///
+/// The derived intersection `Q − (Q − Q′)` (`RaExpr::intersect`) is
+/// recognized and planned as a hash join on all columns — one evaluation
+/// of each operand instead of three of `Q`.
+pub fn lower_ra(expr: &RaExpr) -> PhysPlan {
+    lower_with(expr, &|name| PhysPlan::Scan(name.clone()))
+}
+
+fn lower_with(expr: &RaExpr, rel_leaf: &dyn Fn(&pgq_relational::RelName) -> PhysPlan) -> PhysPlan {
+    match expr {
+        RaExpr::Rel(name) => rel_leaf(name),
+        RaExpr::Singleton(t) => PhysPlan::Values(
+            Batch::from_rows(t.arity(), [t.clone()]).expect("one row of its own arity"),
+        ),
+        RaExpr::ActiveDomain => PhysPlan::AdomScan,
+        RaExpr::Project(pos, q) => lower_with(q, rel_leaf).project(pos.clone()),
+        RaExpr::Select(cond, q) => lower_with(q, rel_leaf).filter(cond.clone()),
+        RaExpr::Product(a, b) => PhysPlan::Product {
+            left: Box::new(lower_with(a, rel_leaf)),
+            right: Box::new(lower_with(b, rel_leaf)),
+        },
+        RaExpr::Union(a, b) => PhysPlan::Union {
+            left: Box::new(lower_with(a, rel_leaf)),
+            right: Box::new(lower_with(b, rel_leaf)),
+        },
+        RaExpr::Diff(a, b) => {
+            // Q − (Q − Q′) = Q ∩ Q′: plan a real intersection.
+            if let Some((l, r)) = expr.as_intersection() {
+                return intersect_plan(lower_with(l, rel_leaf), lower_with(r, rel_leaf));
+            }
+            PhysPlan::Diff {
+                left: Box::new(lower_with(a, rel_leaf)),
+                right: Box::new(lower_with(b, rel_leaf)),
+            }
+        }
+    }
+}
+
+/// `left ∩ right` as a hash join on every column (the right side is
+/// deduplicated so each probe matches at most once), keeping only the
+/// left columns. The arity — and hence the all-columns key set — is only
+/// known under a schema, so the **empty key vector itself denotes the
+/// all-columns intersection**: `PhysPlan::arity` types it as the left
+/// arity and the executor's hash-join arm runs it as a membership
+/// semi-join (see the `PhysPlan::HashJoin` docs). No pass rewrites the
+/// empty key set into explicit keys.
+pub fn intersect_plan(left: PhysPlan, right: PhysPlan) -> PhysPlan {
+    PhysPlan::HashJoin {
+        left: Box::new(left),
+        right: Box::new(right.distinct()),
+        keys: Vec::new(),
+    }
+}
+
+/// Rewrites a plan under a schema: merges and pushes filters, turns
+/// equality-over-product into hash joins, completes all-column
+/// intersection joins, and inserts `Distinct` after column-dropping
+/// projections. Errors only on ill-typed plans (same conditions as
+/// [`PhysPlan::arity`]).
+pub fn optimize_plan(plan: PhysPlan, schema: &Schema) -> RelResult<PhysPlan> {
+    plan.arity(schema)?; // validate up front so rewrites can assume well-typedness
+    Ok(rewrite(plan, schema))
+}
+
+fn rewrite(plan: PhysPlan, schema: &Schema) -> PhysPlan {
+    match plan {
+        PhysPlan::Scan(_) | PhysPlan::Values(_) | PhysPlan::AdomScan => plan,
+        PhysPlan::Filter { cond, input } => rewrite_filter(cond, rewrite(*input, schema), schema),
+        PhysPlan::Project { positions, input } => {
+            let input = rewrite(*input, schema);
+            let arity = input.arity(schema).expect("validated");
+            let drops = {
+                let used: BTreeSet<usize> = positions.iter().copied().collect();
+                used.len() < arity
+            };
+            let projected = input.project(positions);
+            if drops {
+                projected.distinct()
+            } else {
+                projected
+            }
+        }
+        PhysPlan::HashJoin { left, right, keys } => PhysPlan::HashJoin {
+            left: Box::new(rewrite(*left, schema)),
+            right: Box::new(rewrite(*right, schema)),
+            keys,
+        },
+        PhysPlan::Product { left, right } => PhysPlan::Product {
+            left: Box::new(rewrite(*left, schema)),
+            right: Box::new(rewrite(*right, schema)),
+        },
+        PhysPlan::Union { left, right } => PhysPlan::Union {
+            left: Box::new(rewrite(*left, schema)),
+            right: Box::new(rewrite(*right, schema)),
+        },
+        PhysPlan::Diff { left, right } => PhysPlan::Diff {
+            left: Box::new(rewrite(*left, schema)),
+            right: Box::new(rewrite(*right, schema)),
+        },
+        PhysPlan::Distinct { input } => {
+            let input = rewrite(*input, schema);
+            if matches!(input, PhysPlan::Distinct { .. }) {
+                input
+            } else {
+                input.distinct()
+            }
+        }
+        PhysPlan::Fixpoint {
+            base,
+            step,
+            join,
+            project,
+        } => PhysPlan::Fixpoint {
+            base: Box::new(rewrite(*base, schema)),
+            step: Box::new(rewrite(*step, schema)),
+            join,
+            project,
+        },
+    }
+}
+
+/// Filter-specific rewrites: merge stacked filters, distribute over
+/// unions, split/push over products, recognize hash joins.
+fn rewrite_filter(cond: RowCondition, input: PhysPlan, schema: &Schema) -> PhysPlan {
+    if cond == RowCondition::True {
+        return input;
+    }
+    match input {
+        // σ_θ(σ_η(Q)) = σ_{η∧θ}(Q).
+        PhysPlan::Filter {
+            cond: inner,
+            input: innermost,
+        } => rewrite_filter(inner.and(cond), *innermost, schema),
+        // σ_θ(Q ∪ Q′) = σ_θ(Q) ∪ σ_θ(Q′).
+        PhysPlan::Union { left, right } => PhysPlan::Union {
+            left: Box::new(rewrite_filter(cond.clone(), *left, schema)),
+            right: Box::new(rewrite_filter(cond, *right, schema)),
+        },
+        PhysPlan::Product { left, right } => {
+            let la = left.arity(schema).expect("validated");
+            let split = split_over_product(&cond, la);
+            let left = push_filter(*left, split.left, schema);
+            let right = push_filter(*right, split.right, schema);
+            let joined = if split.keys.is_empty() {
+                PhysPlan::Product {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                }
+            } else {
+                PhysPlan::HashJoin {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    keys: split.keys,
+                }
+            };
+            match RowCondition::and_all(split.residual) {
+                RowCondition::True => joined,
+                residual => joined.filter(residual),
+            }
+        }
+        other => other.filter(cond),
+    }
+}
+
+fn push_filter(plan: PhysPlan, conds: Vec<RowCondition>, schema: &Schema) -> PhysPlan {
+    match RowCondition::and_all(conds) {
+        RowCondition::True => plan,
+        cond => rewrite_filter(cond, plan, schema),
+    }
+}
+
+/// The outcome of splitting a product filter's conjuncts by side.
+struct ProductSplit {
+    left: Vec<RowCondition>,
+    right: Vec<RowCondition>,
+    keys: Vec<(usize, usize)>,
+    residual: Vec<RowCondition>,
+}
+
+fn split_over_product(cond: &RowCondition, la: usize) -> ProductSplit {
+    let mut split = ProductSplit {
+        left: Vec::new(),
+        right: Vec::new(),
+        keys: Vec::new(),
+        residual: Vec::new(),
+    };
+    for conjunct in cond.conjuncts() {
+        let cols = conjunct.columns();
+        if cols.iter().all(|&c| c < la) {
+            split.left.push(conjunct);
+        } else if cols.iter().all(|&c| c >= la) {
+            split.right.push(conjunct.shifted_left(la));
+        } else if let Some(key) = cross_equality(&conjunct, la) {
+            split.keys.push(key);
+        } else {
+            split.residual.push(conjunct);
+        }
+    }
+    split
+}
+
+/// `$i = $j` with one side left of the product seam and one right:
+/// a hash-join key.
+fn cross_equality(cond: &RowCondition, la: usize) -> Option<(usize, usize)> {
+    let RowCondition::Cmp(Operand::Col(i), CmpOp::Eq, Operand::Col(j)) = cond else {
+        return None;
+    };
+    match (*i < la, *j < la) {
+        (true, false) => Some((*i, *j - la)),
+        (false, true) => Some((*j, *i - la)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_value::tuple;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        for (s, t) in [(0i64, 1i64), (1, 2), (2, 3), (3, 1)] {
+            db.insert("E", tuple![s, t]).unwrap();
+        }
+        db.insert("V", tuple![1]).unwrap();
+        db.insert("V", tuple![3]).unwrap();
+        db
+    }
+
+    fn assert_agrees(q: &RaExpr) -> PhysPlan {
+        let d = db();
+        let plan = plan_ra(q, &d.schema()).unwrap();
+        let physical = execute(&plan, &d).unwrap().into_relation();
+        let reference = q.eval(&d).unwrap();
+        assert_eq!(physical, reference, "plan:\n{plan}");
+        plan
+    }
+
+    fn contains_node(plan: &PhysPlan, pred: &dyn Fn(&PhysPlan) -> bool) -> bool {
+        if pred(plan) {
+            return true;
+        }
+        match plan {
+            PhysPlan::Scan(_) | PhysPlan::Values(_) | PhysPlan::AdomScan => false,
+            PhysPlan::Filter { input, .. }
+            | PhysPlan::Project { input, .. }
+            | PhysPlan::Distinct { input } => contains_node(input, pred),
+            PhysPlan::HashJoin { left, right, .. }
+            | PhysPlan::Product { left, right }
+            | PhysPlan::Union { left, right }
+            | PhysPlan::Diff { left, right } => {
+                contains_node(left, pred) || contains_node(right, pred)
+            }
+            PhysPlan::Fixpoint { base, step, .. } => {
+                contains_node(base, pred) || contains_node(step, pred)
+            }
+        }
+    }
+
+    #[test]
+    fn equality_product_becomes_hash_join() {
+        // σ_{$2=$3}(E × E): two-step paths.
+        let q = RaExpr::rel("E")
+            .product(RaExpr::rel("E"))
+            .select(RowCondition::col_eq(1, 2));
+        let plan = assert_agrees(&q);
+        assert!(contains_node(&plan, &|p| matches!(
+            p,
+            PhysPlan::HashJoin { .. }
+        )));
+        assert!(!contains_node(&plan, &|p| matches!(
+            p,
+            PhysPlan::Product { .. }
+        )));
+    }
+
+    #[test]
+    fn single_side_conjuncts_are_pushed() {
+        // σ_{$1=0 ∧ $2=$3 ∧ $4=3}(E × E): both constant conjuncts move
+        // below the join.
+        let cond = RowCondition::col_eq_const(0, 0)
+            .and(RowCondition::col_eq(1, 2))
+            .and(RowCondition::col_eq_const(3, 3));
+        let q = RaExpr::rel("E").product(RaExpr::rel("E")).select(cond);
+        let plan = assert_agrees(&q);
+        let PhysPlan::HashJoin { left, right, keys } = &plan else {
+            panic!("expected a top-level hash join, got:\n{plan}");
+        };
+        assert_eq!(keys, &[(1, 0)]);
+        assert!(matches!(**left, PhysPlan::Filter { .. }));
+        assert!(matches!(**right, PhysPlan::Filter { .. }));
+    }
+
+    #[test]
+    fn residual_cross_conjuncts_stay_above() {
+        // A cross non-equality: $1 < $4 over E × E.
+        let cond = RowCondition::col_eq(1, 2).and(RowCondition::Cmp(
+            Operand::Col(0),
+            CmpOp::Lt,
+            Operand::Col(3),
+        ));
+        let q = RaExpr::rel("E").product(RaExpr::rel("E")).select(cond);
+        let plan = assert_agrees(&q);
+        assert!(matches!(plan, PhysPlan::Filter { .. }));
+    }
+
+    #[test]
+    fn filter_distributes_over_union() {
+        let q = RaExpr::rel("E")
+            .union(RaExpr::rel("E").project(vec![1, 0]))
+            .select(RowCondition::col_eq_const(0, 1));
+        let plan = assert_agrees(&q);
+        let PhysPlan::Union { left, right } = &plan else {
+            panic!("expected a union at the root, got:\n{plan}");
+        };
+        assert!(matches!(**left, PhysPlan::Filter { .. }));
+        assert!(contains_node(right, &|p| matches!(
+            p,
+            PhysPlan::Filter { .. }
+        )));
+    }
+
+    #[test]
+    fn derived_intersection_is_planned_as_join() {
+        let v = RaExpr::rel("V");
+        let targets = RaExpr::rel("E").project(vec![1]);
+        let q = v.intersect(targets.clone());
+        let plan = assert_agrees(&q);
+        assert!(contains_node(&plan, &|p| matches!(
+            p,
+            PhysPlan::HashJoin { .. }
+        )));
+        assert!(!contains_node(&plan, &|p| matches!(
+            p,
+            PhysPlan::Diff { .. }
+        )));
+        // Ordinary differences still plan as Diff.
+        let q = RaExpr::rel("V").diff(targets);
+        let plan = assert_agrees(&q);
+        assert!(contains_node(&plan, &|p| matches!(
+            p,
+            PhysPlan::Diff { .. }
+        )));
+    }
+
+    #[test]
+    fn planning_validates_types() {
+        let d = db();
+        let q = RaExpr::rel("E").project(vec![7]);
+        assert!(plan_ra(&q, &d.schema()).is_err());
+        let q = RaExpr::rel("E").union(RaExpr::rel("V"));
+        assert!(plan_ra(&q, &d.schema()).is_err());
+    }
+
+    #[test]
+    fn eval_ra_matches_reference_on_shapes() {
+        let shapes = [
+            RaExpr::rel("V"),
+            RaExpr::ActiveDomain,
+            RaExpr::Singleton(tuple![1, 2]),
+            RaExpr::rel("E").project(vec![1, 1, 0]),
+            RaExpr::rel("E")
+                .product(RaExpr::rel("V"))
+                .select(RowCondition::col_eq(1, 2))
+                .project(vec![0]),
+            RaExpr::rel("V").union(RaExpr::rel("E").project(vec![0])),
+            RaExpr::rel("V").diff(RaExpr::rel("E").project(vec![0])),
+            RaExpr::rel("V").intersect(RaExpr::rel("E").project(vec![0])),
+            RaExpr::rel("E").project(Vec::new()),
+        ];
+        let d = db();
+        for q in shapes {
+            assert_eq!(eval_ra(&q, &d).unwrap(), q.eval(&d).unwrap(), "{q}");
+        }
+    }
+}

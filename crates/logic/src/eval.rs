@@ -6,7 +6,9 @@
 //! columns are the subformula's free variables in sorted order.
 //! Complements and quantifiers range over `adom(D)`; the `TC` operator is
 //! *reflexive* (`TC[φ](ā, ā)` holds for every ā ∈ adom^k — the paper's
-//! length-0 path, see Lemma 9.3 T8).
+//! length-0 path, see Lemma 9.3 T8). The ≥1-step part of every closure
+//! is computed by the physical engine's semi-naive `Fixpoint` operator
+//! (`pgq_exec::transitive_closure`; substrate S15).
 //!
 //! A slow assignment-enumerating evaluator lives in `eval_naive`; the two
 //! are property-tested against each other.
@@ -358,40 +360,26 @@ fn eval_tc(
     let v_cols: Vec<usize> = v.iter().map(|w| wide.col(w)).collect();
     let p_cols: Vec<usize> = params.iter().map(|w| wide.col(w)).collect();
 
-    // Group step-edges by parameter assignment.
-    let mut groups: BTreeMap<Tuple, Vec<(Tuple, Tuple)>> = BTreeMap::new();
+    // The ≥1-step closure runs on the physical engine (S15): one
+    // semi-naive fixpoint over flattened `(s̄, t̄, p̄)` rows, with the
+    // parameters folded into the join key so paths never mix parameter
+    // assignments.
+    let l = params.len();
+    let mut edges = pgq_exec::Batch::empty(2 * k + l);
     for row in wide.rel.iter() {
-        let p = row.project(&p_cols).expect("cols valid");
         let s = row.project(&u_cols).expect("cols valid");
         let t = row.project(&v_cols).expect("cols valid");
-        groups.entry(p).or_default().push((s, t));
+        let p = row.project(&p_cols).expect("cols valid");
+        edges.push(s.concat(&t).concat(&p))?;
     }
+    let closure = pgq_exec::transitive_closure(edges, k, l)?;
 
-    // Reachability per group (non-reflexive part: ≥ 1 step).
+    // Regroup the closure rows by parameter assignment for emission.
     let mut reach: BTreeMap<Tuple, BTreeSet<(Tuple, Tuple)>> = BTreeMap::new();
-    for (p, edges) in &groups {
-        let mut adjacency: BTreeMap<&Tuple, Vec<&Tuple>> = BTreeMap::new();
-        for (s, t) in edges {
-            adjacency.entry(s).or_default().push(t);
-        }
-        let mut pairs: BTreeSet<(Tuple, Tuple)> = BTreeSet::new();
-        for &start in adjacency.keys() {
-            let mut seen: BTreeSet<&Tuple> = BTreeSet::new();
-            let mut stack: Vec<&Tuple> = vec![start];
-            while let Some(node) = stack.pop() {
-                if let Some(nexts) = adjacency.get(node) {
-                    for &nxt in nexts {
-                        if seen.insert(nxt) {
-                            stack.push(nxt);
-                        }
-                    }
-                }
-            }
-            for t in seen {
-                pairs.insert((start.clone(), t.clone()));
-            }
-        }
-        reach.insert(p.clone(), pairs);
+    for row in closure.iter() {
+        let (pair, p) = row.split_at(2 * k);
+        let (s, t) = pair.split_at(k);
+        reach.entry(p).or_default().insert((s, t));
     }
 
     // Assemble the result: free vars of the TC formula.

@@ -69,9 +69,27 @@ impl RaExpr {
         RaExpr::Diff(Box::new(self), Box::new(other))
     }
 
-    /// Derived intersection `Q ∩ Q′ = Q − (Q − Q′)`.
+    /// Derived intersection `Q ∩ Q′ = Q − (Q − Q′)` — the paper's
+    /// encoding, kept syntactically so fragment membership and size
+    /// accounting are unchanged. [`RaExpr::eval`] recognizes the shape
+    /// and evaluates each operand exactly once (and the physical planner
+    /// turns it into a real intersection join).
     pub fn intersect(self, other: RaExpr) -> Self {
         self.clone().diff(self.diff(other))
+    }
+
+    /// Recognizes the [`RaExpr::intersect`] encoding: `self` is
+    /// `Q − (Q − Q′)` for some `(Q, Q′)`. The single source of truth for
+    /// the shape — the reference evaluator and the physical planner both
+    /// dispatch on it.
+    pub fn as_intersection(&self) -> Option<(&RaExpr, &RaExpr)> {
+        let RaExpr::Diff(a, b) = self else {
+            return None;
+        };
+        let RaExpr::Diff(b1, b2) = b.as_ref() else {
+            return None;
+        };
+        (a == b1).then(|| (a.as_ref(), b2.as_ref()))
     }
 
     /// Evaluates the expression on a database instance.
@@ -101,7 +119,15 @@ impl RaExpr {
             }
             RaExpr::Product(a, b) => Ok(a.eval(db)?.product(&b.eval(db)?)),
             RaExpr::Union(a, b) => a.eval(db)?.union(&b.eval(db)?),
-            RaExpr::Diff(a, b) => a.eval(db)?.difference(&b.eval(db)?),
+            RaExpr::Diff(a, b) => {
+                // The derived intersection `Q − (Q − Q′)` would evaluate
+                // `Q` three times if taken literally; evaluate each
+                // operand once instead.
+                if let Some((q, q2)) = self.as_intersection() {
+                    return q.eval(db)?.intersection(&q2.eval(db)?);
+                }
+                a.eval(db)?.difference(&b.eval(db)?)
+            }
         }
     }
 

@@ -157,6 +157,71 @@ impl RowCondition {
         }
     }
 
+    /// Flattens a top-level conjunction into its conjuncts, dropping
+    /// `⊤` (the paper's `θ ∧ θ′` read as a list). Used by the selection
+    /// pushdown rewrites in the logical optimizer and the physical
+    /// planner.
+    pub fn conjuncts(&self) -> Vec<RowCondition> {
+        match self {
+            RowCondition::And(a, b) => {
+                let mut out = a.conjuncts();
+                out.extend(b.conjuncts());
+                out
+            }
+            RowCondition::True => Vec::new(),
+            other => vec![other.clone()],
+        }
+    }
+
+    /// All tuple positions the condition references.
+    pub fn columns(&self) -> std::collections::BTreeSet<usize> {
+        fn operand(o: &Operand, out: &mut std::collections::BTreeSet<usize>) {
+            if let Operand::Col(i) = o {
+                out.insert(*i);
+            }
+        }
+        fn walk(c: &RowCondition, out: &mut std::collections::BTreeSet<usize>) {
+            match c {
+                RowCondition::Cmp(a, _, b) => {
+                    operand(a, out);
+                    operand(b, out);
+                }
+                RowCondition::Not(inner) => walk(inner, out),
+                RowCondition::And(a, b) | RowCondition::Or(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                RowCondition::True => {}
+            }
+        }
+        let mut out = std::collections::BTreeSet::new();
+        walk(self, &mut out);
+        out
+    }
+
+    /// Rebuilds the condition with every position shifted left by
+    /// `delta` — `σ` moving below the right factor of a product. Only
+    /// valid when every referenced position is ≥ `delta` (checked by a
+    /// debug assertion; callers classify conjuncts by
+    /// [`RowCondition::columns`] first).
+    pub fn shifted_left(&self, delta: usize) -> RowCondition {
+        debug_assert!(
+            self.columns().iter().all(|&c| c >= delta),
+            "shifted_left would underflow"
+        );
+        let operand = |o: &Operand| match o {
+            Operand::Col(i) => Operand::Col(i - delta),
+            Operand::Const(v) => Operand::Const(v.clone()),
+        };
+        match self {
+            RowCondition::Cmp(a, op, b) => RowCondition::Cmp(operand(a), *op, operand(b)),
+            RowCondition::Not(inner) => inner.shifted_left(delta).not(),
+            RowCondition::And(a, b) => a.shifted_left(delta).and(b.shifted_left(delta)),
+            RowCondition::Or(a, b) => a.shifted_left(delta).or(b.shifted_left(delta)),
+            RowCondition::True => RowCondition::True,
+        }
+    }
+
     /// Largest position referenced, used for static validation.
     pub fn max_position(&self) -> Option<usize> {
         match self {
@@ -278,5 +343,42 @@ mod tests {
     #[test]
     fn display_is_one_based_like_the_paper() {
         assert_eq!(RowCondition::col_eq(0, 1).to_string(), "$1 = $2");
+    }
+
+    #[test]
+    fn conjuncts_flatten_and_drop_true() {
+        let c = RowCondition::col_eq(0, 1)
+            .and(RowCondition::True)
+            .and(RowCondition::col_eq(1, 2).and(RowCondition::col_eq(2, 3)));
+        assert_eq!(
+            c.conjuncts(),
+            vec![
+                RowCondition::col_eq(0, 1),
+                RowCondition::col_eq(1, 2),
+                RowCondition::col_eq(2, 3),
+            ]
+        );
+        assert!(RowCondition::True.conjuncts().is_empty());
+        // Disjunctions are atomic from the conjunction's point of view.
+        let d = RowCondition::col_eq(0, 1).or(RowCondition::col_eq(1, 2));
+        assert_eq!(d.conjuncts(), vec![d]);
+    }
+
+    #[test]
+    fn columns_collect_every_position() {
+        let c = RowCondition::col_eq(0, 4)
+            .not()
+            .or(RowCondition::col_eq_const(2, 7));
+        assert_eq!(c.columns().into_iter().collect::<Vec<_>>(), vec![0, 2, 4]);
+        assert!(RowCondition::True.columns().is_empty());
+    }
+
+    #[test]
+    fn shifted_left_rebases_positions() {
+        let c = RowCondition::col_eq(2, 3).and(RowCondition::col_eq_const(4, 9));
+        let s = c.shifted_left(2);
+        assert!(s.eval(&tuple![5, 5, 9]).unwrap());
+        assert!(!s.eval(&tuple![5, 6, 9]).unwrap());
+        assert_eq!(s.max_position(), Some(2));
     }
 }

@@ -41,6 +41,17 @@ pub struct FoToPgqResult {
     pub max_view_arity: usize,
 }
 
+impl FoToPgqResult {
+    /// Renders the physical plan the S15 engine would run for the
+    /// translated query (`pgq_core::explain`): the mechanical
+    /// product-selection chains Theorem 6.2 emits are exactly what the
+    /// planner rewrites into hash joins, so this is the quickest way to
+    /// see the translation's executable shape.
+    pub fn explain(&self, schema: &Schema) -> Result<String, TranslateError> {
+        pgq_core::explain(&self.query, schema).map_err(|e| TranslateError::Query(e.to_string()))
+    }
+}
+
 /// Translates `φ(x̄)` into a `PGQext` query whose columns follow `order`
 /// (Theorem 6.2). Variables in `order` that are not free in `φ` range
 /// over the active domain, mirroring `eval_ordered`.
@@ -483,7 +494,23 @@ mod tests {
         let via_pgq = eval_pgq(&res.query, db).unwrap();
         let via_fo = eval_ordered(phi, order, db).unwrap();
         assert_eq!(via_pgq, via_fo, "formula {phi}");
+        // The Theorem 6.2 output must also plan and run on the S15
+        // physical engine, with identical results.
+        let via_physical =
+            pgq_core::eval_with(&res.query, db, pgq_core::EvalConfig::physical()).unwrap();
+        assert_eq!(via_physical, via_fo, "physical engine, formula {phi}");
         res
+    }
+
+    #[test]
+    fn translated_conjunctions_plan_to_hash_joins() {
+        let d = db();
+        // E(x,y) ∧ E(y,z): the translation emits σ_{=}(… × …) chains,
+        // which the physical planner must recognize as joins.
+        let phi = Formula::atom("E", ["x", "y"]).and(Formula::atom("E", ["y", "z"]));
+        let res = fo_to_pgq(&phi, &[v("x"), v("y"), v("z")], &d.schema()).unwrap();
+        let plan = res.explain(&d.schema()).unwrap();
+        assert!(plan.contains("HashJoin"), "{plan}");
     }
 
     #[test]

@@ -3,7 +3,9 @@
 //!
 //! Script format: SQL/PGQ statements separated by `;`, plus a tiny
 //! `INSERT INTO table VALUES (v, …);`-style data syntax handled here in
-//! the shell (the formal model is read-only, Section 7 "Updates").
+//! the shell (the formal model is read-only, Section 7 "Updates"), plus
+//! `EXPLAIN SELECT …;` — prints the S15 physical plan (operator tree,
+//! pattern route, view subplans) instead of running the query.
 //!
 //! ```sh
 //! cargo run --example sqlpgq_shell            # built-in demo
@@ -30,6 +32,10 @@ SELECT * FROM GRAPH_TABLE (Transfers
   MATCH (x) -[t:Transfer]->+ (y)
   WHERE t.amount > 100
   RETURN (x.iban, y.iban));
+EXPLAIN SELECT * FROM GRAPH_TABLE (Transfers
+  MATCH (x) -[t:Transfer]->+ (y)
+  WHERE t.amount > 100
+  RETURN (x.iban, y.iban));
 "#;
 
 fn main() {
@@ -53,6 +59,18 @@ fn main() {
             insert(&mut db, stmt);
             continue;
         }
+        if let Some(inner) = strip_explain(stmt) {
+            match explain(&session, &db, inner) {
+                Ok(text) => {
+                    println!("-- physical plan");
+                    for line in text.lines() {
+                        println!("   {line}");
+                    }
+                }
+                Err(e) => println!("!! {e}"),
+            }
+            continue;
+        }
         match session.run_script(&format!("{stmt};"), &db) {
             Ok(outcomes) => {
                 for outcome in outcomes {
@@ -71,6 +89,56 @@ fn main() {
             Err(e) => println!("!! {e}"),
         }
     }
+}
+
+/// `EXPLAIN <statement>` → the inner statement, `None` otherwise (the
+/// keyword must be a whole word — `EXPLAINED_VIEW …` is not EXPLAIN).
+fn strip_explain(stmt: &str) -> Option<&str> {
+    const KW: &str = "EXPLAIN";
+    if stmt.len() <= KW.len() || !stmt[..KW.len()].eq_ignore_ascii_case(KW) {
+        return None;
+    }
+    let rest = &stmt[KW.len()..];
+    rest.starts_with(char::is_whitespace)
+        .then(|| rest.trim_start())
+}
+
+/// Renders the S15 physical plan of a `GRAPH_TABLE` query without
+/// running it: the graph's six canonical view relations become scratch
+/// scans, the match becomes a `Query::Pattern`, and
+/// `pgq_core::explain` prints the operator tree plus the pattern's
+/// routing decision (semi-naive fixpoint / NFA BFS / reference).
+fn explain(
+    session: &Session,
+    db: &Database,
+    inner: &str,
+) -> Result<String, Box<dyn std::error::Error>> {
+    use sqlpgq::parser::{parse_statement, Statement};
+
+    let stmt = parse_statement(&format!("{inner};"))?;
+    let Statement::GraphQuery(gq) = stmt else {
+        return Ok("EXPLAIN supports GRAPH_TABLE queries".to_string());
+    };
+    let out = sqlpgq::parser::lower_query(&gq, &session.catalog)?;
+    let k = session.catalog.id_arity(&gq.graph)?;
+    let rels = session.catalog.view_relations(&gq.graph, db)?;
+
+    // Stage the six canonical relations as scratch scans so the plan
+    // shows where each view input comes from.
+    let mut scratch = Database::new();
+    let names = ["⟨N⟩", "⟨E⟩", "⟨S⟩", "⟨T⟩", "⟨L⟩", "⟨P⟩"];
+    for (name, rel) in names.iter().zip([
+        rels.nodes,
+        rels.edges,
+        rels.src,
+        rels.tgt,
+        rels.labels,
+        rels.props,
+    ]) {
+        scratch.add_relation(*name, rel);
+    }
+    let q = sqlpgq::core::Query::pattern_n(k, out, names.map(sqlpgq::core::Query::rel));
+    Ok(sqlpgq::core::explain(&q, &scratch.schema())?)
 }
 
 /// Naive `INSERT INTO t VALUES (…)` for the shell: integers, booleans

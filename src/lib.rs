@@ -12,6 +12,7 @@
 //! |--------|-------|----------|
 //! | [`value`] | `pgq-value` | domain constants, tuples, variables |
 //! | [`relational`] | `pgq-relational` | relations, databases, RA |
+//! | [`exec`] | `pgq-exec` | physical plans, hash joins, semi-naive fixpoints |
 //! | [`graph`] | `pgq-graph` | property graphs, `pgView` family |
 //! | [`pattern`] | `pgq-pattern` | patterns, Fig 2/6 semantics, NFA engine |
 //! | [`logic`] | `pgq-logic` | FO\[TC\], FO\[TCn\], semilinear sets |
@@ -29,6 +30,7 @@
 pub use pgq_compose as compose;
 pub use pgq_core as core;
 pub use pgq_datalog as datalog;
+pub use pgq_exec as exec;
 pub use pgq_graph as graph;
 pub use pgq_logic as logic;
 pub use pgq_parser as parser;
@@ -42,8 +44,12 @@ pub use pgq_workloads as workloads;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use pgq_compose::{eval_graph, eval_match, GraphExpr};
-    pub use pgq_core::{builders, eval as eval_query, Fragment, Query, ViewOp};
+    pub use pgq_core::{
+        builders, eval as eval_query, eval_with, explain, Engine, EvalConfig, Fragment, Query,
+        ViewOp,
+    };
     pub use pgq_datalog::{compile_formula, parse_program, Program, Recursion};
+    pub use pgq_exec::{eval_ra, execute, plan_ra, Batch, PhysPlan};
     pub use pgq_graph::{pg_view, pg_view_ext, PropertyGraph, PropertyGraphBuilder, ViewMode};
     pub use pgq_logic::{eval_ordered, eval_sentence, Formula, Term, UpSet};
     pub use pgq_parser::{Outcome, Session};

@@ -1,0 +1,278 @@
+//! Differential property suite for the S15 physical engine
+//! (DESIGN.md §5): on seeded random workloads, the engine's answers
+//! must be *identical* to the reference evaluators' —
+//!
+//! * random `RaExpr` trees: `pgq_exec::eval_ra` vs. the S2 reference
+//!   `RaExpr::eval`;
+//! * `PGQ` queries over random canonical graphs: `Engine::Physical`
+//!   vs. `Engine::Nfa` vs. `Engine::Reference` (S7), composed with the
+//!   logical optimizer;
+//! * FO\[TC\] with the engine-routed closure: the S5 relational
+//!   evaluator vs. the S6 assignment-enumeration oracle;
+//!
+//! plus the empty-relation and zero-arity edge cases.
+
+use pgq_core::{builders, eval_with, optimize, EvalConfig, Query};
+use pgq_exec::eval_ra;
+use pgq_logic::{all_satisfying, Formula, Term};
+use pgq_relational::{Database, RaExpr, Relation, RowCondition};
+use pgq_value::{tuple, Tuple, Value, Var};
+use pgq_workloads::random::{canonical_graph_db, ve_db};
+use proptest::prelude::*;
+
+/// A random `RaExpr` of the given arity over the `{V/1, E/2}` schema.
+fn arb_ra(arity: usize, depth: u32) -> BoxedStrategy<RaExpr> {
+    let leaf = match arity {
+        1 => prop_oneof![
+            Just(RaExpr::rel("V")),
+            Just(RaExpr::ActiveDomain),
+            (0i64..5).prop_map(|c| RaExpr::Singleton(Tuple::unary(c))),
+        ]
+        .boxed(),
+        2 => prop_oneof![
+            Just(RaExpr::rel("E")),
+            (0i64..5, 0i64..5).prop_map(|(a, b)| RaExpr::Singleton(tuple![a, b])),
+        ]
+        .boxed(),
+        _ => (0i64..5)
+            .prop_map(move |c| RaExpr::Singleton(Tuple::new(vec![Value::int(c); arity.max(1)])))
+            .boxed(),
+    };
+    if depth == 0 {
+        return leaf;
+    }
+    let sub = arb_ra(arity, depth - 1);
+    let wider = arb_ra(arity + 1, depth - 1);
+    let mut choices = vec![
+        (3u32, leaf.clone()),
+        (
+            2,
+            (sub.clone(), sub.clone())
+                .prop_map(|(a, b)| a.union(b))
+                .boxed(),
+        ),
+        (
+            1,
+            (sub.clone(), sub.clone())
+                .prop_map(|(a, b)| a.diff(b))
+                .boxed(),
+        ),
+        (
+            1,
+            (sub.clone(), sub.clone())
+                .prop_map(|(a, b)| a.intersect(b))
+                .boxed(),
+        ),
+        (
+            1,
+            (sub.clone(), 0i64..5)
+                .prop_map(move |(q, c)| q.select(RowCondition::col_eq_const(0, c)))
+                .boxed(),
+        ),
+        // Projection from one column wider (drops, may repeat).
+        (
+            1,
+            (wider, proptest::collection::vec(0..arity + 1, arity))
+                .prop_map(|(q, pos)| q.project(pos))
+                .boxed(),
+        ),
+    ];
+    if arity >= 2 {
+        // A product assembling the arity from smaller pieces, with an
+        // equality selection the planner can turn into a hash join.
+        let halves = (arb_ra(1, depth - 1), arb_ra(arity - 1, depth - 1));
+        choices.push((
+            2,
+            halves
+                .prop_map(move |(a, b)| a.product(b).select(RowCondition::col_eq(0, arity - 1)))
+                .boxed(),
+        ));
+    }
+    proptest::strategy::Union::new(choices).boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Physical `RaExpr` evaluation equals the S2 reference on random
+    /// expressions over random `{V/1, E/2}` instances.
+    #[test]
+    fn ra_physical_equals_reference(
+        q in arb_ra(2, 3),
+        n in 1usize..8,
+        m in 0usize..14,
+        seed in 0u64..1000,
+    ) {
+        let db = ve_db(n, m, seed);
+        prop_assert_eq!(eval_ra(&q, &db).unwrap(), q.eval(&db).unwrap(), "{}", q);
+    }
+
+    /// Unary expressions too (exercises adom, constants, intersection).
+    #[test]
+    fn ra_unary_physical_equals_reference(
+        q in arb_ra(1, 3),
+        n in 1usize..8,
+        m in 0usize..14,
+        seed in 0u64..1000,
+    ) {
+        let db = ve_db(n, m, seed);
+        let reference = q.eval(&db);
+        prop_assert!(reference.is_ok(), "reference errored on {}: {:?}", q, reference);
+        let physical = eval_ra(&q, &db);
+        prop_assert!(physical.is_ok(), "physical errored on {}: {:?}", q, physical);
+        prop_assert_eq!(physical.unwrap(), reference.unwrap(), "{}", q);
+    }
+
+    /// The three S7 engines agree on reachability queries over random
+    /// canonical graphs, before and after the logical optimizer.
+    #[test]
+    fn query_engines_agree(n in 1usize..10, m in 0usize..20, seed in 0u64..1000) {
+        let db = canonical_graph_db(n, m, 10, seed);
+        for out in [
+            builders::reachability_output(),
+            builders::reachability_plus_output(),
+        ] {
+            let q = Query::pattern_ro(out, ["N", "E", "S", "T", "L", "P"]);
+            let reference = eval_with(&q, &db, EvalConfig::reference()).unwrap();
+            let nfa = eval_with(&q, &db, EvalConfig::default()).unwrap();
+            let physical = eval_with(&q, &db, EvalConfig::physical()).unwrap();
+            prop_assert_eq!(&nfa, &reference);
+            prop_assert_eq!(&physical, &reference);
+            let optimized = optimize(&q, &db.schema()).unwrap();
+            let physical_opt = eval_with(&optimized, &db, EvalConfig::physical()).unwrap();
+            prop_assert_eq!(&physical_opt, &reference);
+        }
+    }
+
+    /// A relational shell around a pattern call: the optimizer's
+    /// pushdowns compose with the physical planner.
+    #[test]
+    fn shell_around_pattern_agrees(n in 2usize..8, m in 0usize..16, seed in 0u64..1000) {
+        let db = canonical_graph_db(n, m, 10, seed);
+        let reach = Query::pattern_ro(
+            builders::reachability_output(),
+            ["N", "E", "S", "T", "L", "P"],
+        );
+        let q = reach
+            .product(Query::rel("N"))
+            .select(RowCondition::col_eq(1, 2))
+            .project(vec![0, 1])
+            .union(Query::rel("S").select(RowCondition::col_eq(0, 0)));
+        let optimized = optimize(&q, &db.schema()).unwrap();
+        let reference = eval_with(&q, &db, EvalConfig::reference()).unwrap();
+        prop_assert_eq!(
+            &eval_with(&q, &db, EvalConfig::physical()).unwrap(),
+            &reference
+        );
+        prop_assert_eq!(
+            &eval_with(&optimized, &db, EvalConfig::physical()).unwrap(),
+            &reference
+        );
+    }
+
+    /// The engine-routed `TC` (S5) still matches the assignment
+    /// enumeration oracle (S6), including parameterized closures.
+    #[test]
+    fn tc_matches_naive_oracle(n in 1usize..5, m in 0usize..8, seed in 0u64..1000) {
+        let db = ve_db(n, m, seed);
+        let plain_tc = Formula::tc(
+            vec![Var::new("u")],
+            vec![Var::new("w")],
+            Formula::atom("E", ["u", "w"]),
+            vec![Term::var("x")],
+            vec![Term::var("y")],
+        );
+        // Parameterized: steps must share the parameter p (E(u,w) ∧ V(p)).
+        let param_tc = Formula::tc(
+            vec![Var::new("u")],
+            vec![Var::new("w")],
+            Formula::atom("E", ["u", "w"]).and(Formula::atom("V", ["p"])),
+            vec![Term::var("x")],
+            vec![Term::var("y")],
+        );
+        for phi in [plain_tc, param_tc] {
+            let fast = pgq_logic::eval(&phi, &db).unwrap();
+            let slow = all_satisfying(&phi, &fast.vars, &db).unwrap();
+            prop_assert_eq!(
+                fast.rel.clone().into_tuples(),
+                slow,
+                "{}",
+                phi
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_relations_and_zero_arity_edge_cases() {
+    // Empty database: adom is empty, everything is empty.
+    let empty = Database::new();
+    assert!(eval_ra(&RaExpr::ActiveDomain, &empty).unwrap().is_empty());
+
+    // Empty stored relations through every operator.
+    let mut db = Database::new();
+    db.add_relation("V", Relation::empty(1));
+    db.add_relation("E", Relation::empty(2));
+    let shapes = [
+        RaExpr::rel("E").project(vec![1]),
+        RaExpr::rel("E")
+            .product(RaExpr::rel("E"))
+            .select(RowCondition::col_eq(1, 2)),
+        RaExpr::rel("V").union(RaExpr::ActiveDomain),
+        RaExpr::rel("V").intersect(RaExpr::ActiveDomain),
+        RaExpr::rel("V").diff(RaExpr::ActiveDomain),
+    ];
+    for q in shapes {
+        assert_eq!(eval_ra(&q, &db).unwrap(), q.eval(&db).unwrap(), "{q}");
+    }
+
+    // Stored 0-ary relations (Boolean cells) evaluate by value — the
+    // schema omits them, so the engine cannot scan them by name.
+    db.add_relation("B", Relation::r#true());
+    let b = RaExpr::rel("B");
+    assert_eq!(eval_ra(&b, &db).unwrap(), b.eval(&db).unwrap());
+
+    // Zero-arity results: π_∅ is the Boolean projection.
+    db.insert("V", tuple![7]).unwrap();
+    let truthy = RaExpr::rel("V").project(Vec::new());
+    assert_eq!(eval_ra(&truthy, &db).unwrap(), Relation::r#true());
+    let falsy = RaExpr::rel("E").project(Vec::new());
+    assert_eq!(eval_ra(&falsy, &db).unwrap(), Relation::r#false());
+    // 0-ary set operations.
+    let unioned = truthy.clone().union(falsy.clone());
+    assert_eq!(eval_ra(&unioned, &db).unwrap(), unioned.eval(&db).unwrap());
+    let diffed = truthy.clone().diff(falsy.clone());
+    assert_eq!(eval_ra(&diffed, &db).unwrap(), diffed.eval(&db).unwrap());
+    let intersected = truthy.clone().intersect(falsy);
+    assert_eq!(
+        eval_ra(&intersected, &db).unwrap(),
+        intersected.eval(&db).unwrap()
+    );
+
+    // The physical Query route on a pattern over an all-empty view:
+    // Boolean reachability over zero nodes is false.
+    let q = Query::pattern_ro(
+        pgq_pattern::OutputPattern::boolean(
+            pgq_pattern::Pattern::node("x")
+                .then(pgq_pattern::Pattern::any_edge().star())
+                .then(pgq_pattern::Pattern::node("y")),
+        )
+        .unwrap(),
+        ["N", "E", "S", "T", "L", "P"],
+    );
+    let mut gdb = Database::new();
+    gdb.add_relation("N", Relation::empty(1));
+    gdb.add_relation("E", Relation::empty(1));
+    gdb.add_relation("S", Relation::empty(2));
+    gdb.add_relation("T", Relation::empty(2));
+    gdb.add_relation("L", Relation::empty(2));
+    gdb.add_relation("P", Relation::empty(3));
+    assert_eq!(
+        eval_with(&q, &gdb, EvalConfig::physical()).unwrap(),
+        Relation::r#false()
+    );
+    assert_eq!(
+        eval_with(&q, &gdb, EvalConfig::physical()).unwrap(),
+        eval_with(&q, &gdb, EvalConfig::reference()).unwrap()
+    );
+}
