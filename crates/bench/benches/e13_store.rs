@@ -1,0 +1,62 @@
+//! E13 bench — the S16 store ablation (experiment E16): one
+//! reachability/TC workload through three engines — the Figure 2/NFA
+//! routes, the PR 2 hash-join physical engine (which re-materializes
+//! and revalidates the view per query), and the store-backed engine
+//! (frozen CSR adjacency, registered once per session) — plus the
+//! endpoint join on columnar indexes and the one-time registration
+//! cost the session amortizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgq_bench::perf::{canonical_store, endpoint_join};
+use pgq_core::{builders, eval_with, eval_with_store, EvalConfig, Query};
+use pgq_store::Store;
+use pgq_workloads::{families, transfers};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_store");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+
+    let reach = Query::pattern_ro(
+        builders::reachability_output(),
+        ["N", "E", "S", "T", "L", "P"],
+    );
+    for (name, db) in [
+        ("grid_40x5", families::grid_db(40, 5)),
+        ("cycle_150", families::cycle_db(150)),
+    ] {
+        let store = canonical_store(&db);
+        group.bench_with_input(BenchmarkId::new("store_register", name), &db, |b, db| {
+            b.iter(|| canonical_store(db))
+        });
+        group.bench_with_input(BenchmarkId::new("reach_nfa", name), &db, |b, db| {
+            b.iter(|| eval_with(&reach, db, EvalConfig::default()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("reach_physical", name), &db, |b, db| {
+            b.iter(|| eval_with(&reach, db, EvalConfig::physical()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("reach_store", name), &db, |b, db| {
+            b.iter(|| eval_with_store(&reach, db, EvalConfig::physical(), &store).unwrap())
+        });
+    }
+
+    let join = endpoint_join();
+    let db = transfers::canonical_transfers_db(500, 1000, 1_000, 7);
+    let store = Store::from_database(&db);
+    group.bench_with_input(
+        BenchmarkId::new("join_physical", "transfers_500x1000"),
+        &db,
+        |b, db| b.iter(|| pgq_exec::eval_ra(&join, db).unwrap()),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("join_store", "transfers_500x1000"),
+        &db,
+        |b, db| b.iter(|| pgq_exec::eval_ra_with(&join, db, &store).unwrap()),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,14 +1,18 @@
-//! The machine-readable perf smoke behind `BENCH_2.json`.
+//! The machine-readable perf smoke behind `BENCH_2.json` and
+//! `BENCH_3.json`.
 //!
 //! `cargo run --release -p pgq-bench --bin report -- --json [path]`
-//! runs a reduced-size engine-ablation suite (the `e12_engine`
-//! Criterion bench's shapes at CI-friendly sizes) and serializes
-//! `bench name → { mean ns, input size }`, so the perf trajectory
-//! accumulates a data point per PR instead of living only in bench
-//! logs.
+//! runs a reduced-size engine-ablation suite (the `e12_engine` and
+//! `e13_store` Criterion benches' shapes at CI-friendly sizes) and
+//! serializes `bench name → { mean ns, input size }`, so the perf
+//! trajectory accumulates a data point per PR instead of living only
+//! in bench logs. `BENCH_2.json` (committed with PR 2) records the
+//! hash-join engine against the reference; `BENCH_3.json` adds the
+//! S16 store-backed route ([`store_suite`]).
 
-use pgq_core::{builders, eval_with, EvalConfig, Query};
-use pgq_relational::{Database, RaExpr, RowCondition};
+use pgq_core::{builders, eval_with, eval_with_store, EvalConfig, Query};
+use pgq_relational::{Database, RaExpr, RelName, RowCondition};
+use pgq_store::{GraphForm, Store};
 use pgq_workloads::{families, transfers};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -47,6 +51,110 @@ pub fn endpoint_join() -> RaExpr {
 /// Runs the reduced-size engine ablation and returns the measured
 /// entries. `scale` multiplies the instance sizes (1 = CI smoke).
 pub fn engine_suite(scale: usize) -> Vec<BenchEntry> {
+    engine_suite_entries(scale, true)
+}
+
+/// The shared transfers instance both suites measure — one
+/// constructor, so the `(name, data)` pair can never drift apart
+/// between [`engine_suite`] and [`store_suite`].
+fn transfers_instance(scale: usize) -> (String, Database) {
+    (
+        format!("transfers_{}x{}", 500 * scale, 1000 * scale),
+        transfers::canonical_transfers_db(500 * scale, 1000 * scale, 1_000, 7),
+    )
+}
+
+/// The engine ablation, optionally without the shapes [`store_suite`]
+/// also measures (`join_physical` on the transfers instance,
+/// `reach_physical` on the grid) — [`full_suite`] composes the two
+/// without measuring anything twice.
+fn engine_suite_entries(scale: usize, with_shared: bool) -> Vec<BenchEntry> {
+    let scale = scale.max(1);
+    let reach = Query::pattern_ro(
+        builders::reachability_output(),
+        ["N", "E", "S", "T", "L", "P"],
+    );
+    let join = endpoint_join();
+    let mut out = Vec::new();
+
+    let (transfers_name, transfers_db) = transfers_instance(scale);
+    let instances: Vec<(String, Database, usize)> = vec![
+        (
+            format!("grid_{}x5", 40 * scale),
+            families::grid_db(40 * scale, 5),
+            10,
+        ),
+        (transfers_name.clone(), transfers_db, 3),
+    ];
+    for (name, db, iters) in &instances {
+        let size = db.tuple_count();
+        out.push(BenchEntry {
+            name: format!("join_reference/{name}"),
+            input_size: size,
+            mean_ns: mean_ns(*iters, || {
+                join.eval(db).unwrap();
+            }),
+        });
+        // The transfers join baseline is the store suite's when
+        // composing.
+        if with_shared || *name != transfers_name {
+            out.push(BenchEntry {
+                name: format!("join_physical/{name}"),
+                input_size: size,
+                mean_ns: mean_ns(*iters, || {
+                    pgq_exec::eval_ra(&join, db).unwrap();
+                }),
+            });
+        }
+    }
+
+    // Reachability routes on the grid instance only (the closure is the
+    // dominant cost; the join ablation above covers the transfers db).
+    let (name, db, _) = &instances[0];
+    let size = db.tuple_count();
+    out.push(BenchEntry {
+        name: format!("reach_nfa/{name}"),
+        input_size: size,
+        mean_ns: mean_ns(5, || {
+            eval_with(&reach, db, EvalConfig::default()).unwrap();
+        }),
+    });
+    // Likewise the grid reachability baseline.
+    if with_shared {
+        out.push(BenchEntry {
+            name: format!("reach_physical/{name}"),
+            input_size: size,
+            mean_ns: mean_ns(5, || {
+                eval_with(&reach, db, EvalConfig::physical()).unwrap();
+            }),
+        });
+    }
+    out
+}
+
+/// The canonical six view relation names.
+fn canonical_views() -> [RelName; 6] {
+    ["N", "E", "S", "T", "L", "P"].map(Into::into)
+}
+
+/// A session store over `db` with the canonical graph registered —
+/// the one-time setup whose amortization the store suite measures.
+pub fn canonical_store(db: &Database) -> Store {
+    let mut store = Store::from_database(db);
+    store
+        .register_view_graph("G", canonical_views(), db, GraphForm::Exact(1))
+        .expect("canonical workload views are valid");
+    store
+}
+
+/// The S16 store ablation (experiment E16, `BENCH_3.json`): the same
+/// reachability/TC workload through the PR 2 hash-join engine
+/// (`reach_physical`, which rebuilds and revalidates the view per
+/// query) and through the frozen store (`reach_store`, CSR sweeps over
+/// the session catalog), plus the one-time registration cost
+/// (`store_register`) and the endpoint join on columnar indexes
+/// (`join_store`).
+pub fn store_suite(scale: usize) -> Vec<BenchEntry> {
     let scale = scale.max(1);
     let reach = Query::pattern_ro(
         builders::reachability_output(),
@@ -62,51 +170,76 @@ pub fn engine_suite(scale: usize) -> Vec<BenchEntry> {
             10,
         ),
         (
-            format!("transfers_{}x{}", 500 * scale, 1000 * scale),
-            transfers::canonical_transfers_db(500 * scale, 1000 * scale, 1_000, 7),
-            3,
+            format!("cycle_{}", 150 * scale),
+            families::cycle_db(150 * scale),
+            10,
         ),
     ];
     for (name, db, iters) in &instances {
         let size = db.tuple_count();
+        let store = canonical_store(db);
         out.push(BenchEntry {
-            name: format!("join_reference/{name}"),
+            name: format!("store_register/{name}"),
             input_size: size,
             mean_ns: mean_ns(*iters, || {
-                join.eval(db).unwrap();
+                canonical_store(db);
             }),
         });
         out.push(BenchEntry {
-            name: format!("join_physical/{name}"),
+            name: format!("reach_physical/{name}"),
             input_size: size,
             mean_ns: mean_ns(*iters, || {
-                pgq_exec::eval_ra(&join, db).unwrap();
+                eval_with(&reach, db, EvalConfig::physical()).unwrap();
+            }),
+        });
+        out.push(BenchEntry {
+            name: format!("reach_store/{name}"),
+            input_size: size,
+            mean_ns: mean_ns(*iters, || {
+                eval_with_store(&reach, db, EvalConfig::physical(), &store).unwrap();
             }),
         });
     }
 
-    // Reachability routes on the grid instance only (the closure is the
-    // dominant cost; the join ablation above covers the transfers db).
-    let (name, db, _) = &instances[0];
+    // The endpoint join on the transfers instance: hash join over row
+    // vectors vs. AdjacencyExpand over the columnar store. The shared
+    // constructor keeps the baseline name/instance identical to
+    // `engine_suite`'s, which is why `full_suite` measures it once.
+    let (instance, db) = transfers_instance(scale);
+    let store = Store::from_database(&db);
     let size = db.tuple_count();
     out.push(BenchEntry {
-        name: format!("reach_nfa/{name}"),
+        name: format!("join_physical/{instance}"),
         input_size: size,
-        mean_ns: mean_ns(5, || {
-            eval_with(&reach, db, EvalConfig::default()).unwrap();
+        mean_ns: mean_ns(3, || {
+            pgq_exec::eval_ra(&join, &db).unwrap();
         }),
     });
     out.push(BenchEntry {
-        name: format!("reach_physical/{name}"),
+        name: format!("join_store/{instance}"),
         input_size: size,
-        mean_ns: mean_ns(5, || {
-            eval_with(&reach, db, EvalConfig::physical()).unwrap();
+        mean_ns: mean_ns(3, || {
+            pgq_exec::eval_ra_with(&join, &db, &store).unwrap();
         }),
     });
     out
 }
 
-/// Serializes entries as the `BENCH_2.json` object:
+/// [`engine_suite`] plus [`store_suite`] — the `BENCH_3.json` record.
+/// The hash-join baselines both suites cover are measured once, by the
+/// store suite; key uniqueness is asserted so a drift between the two
+/// suites' naming can never silently corrupt the record.
+pub fn full_suite(scale: usize) -> Vec<BenchEntry> {
+    let mut out = engine_suite_entries(scale, false);
+    out.extend(store_suite(scale));
+    let mut seen = std::collections::HashSet::new();
+    for e in &out {
+        assert!(seen.insert(&e.name), "duplicate bench key {}", e.name);
+    }
+    out
+}
+
+/// Serializes entries as the `BENCH_2.json`/`BENCH_3.json` object:
 /// `{ "<name>": { "mean_ns": …, "input_size": … }, … }`.
 pub fn to_json(entries: &[BenchEntry]) -> String {
     let mut out = String::from("{\n");

@@ -80,6 +80,27 @@ pub fn eval(q: &Query, db: &Database) -> Result<Relation, QueryError> {
     eval_with(q, db, EvalConfig::default())
 }
 
+/// Evaluates a query with the given configuration through a shared
+/// session [`pgq_store::Store`] (substrate S16). Only
+/// [`Engine::Physical`] consults the store — base relations scan its
+/// columnar indexes and reachability pattern calls over registered
+/// graphs are answered from frozen CSR adjacency, skipping the
+/// per-query view rebuild; the other engines behave exactly as
+/// [`eval_with`]. The store must be a snapshot of `db` (see
+/// `pgq_store::Store::from_database`); the differential suite
+/// `tests/prop_store.rs` holds all routes to identical results.
+pub fn eval_with_store(
+    q: &Query,
+    db: &Database,
+    cfg: EvalConfig,
+    store: &pgq_store::Store,
+) -> Result<Relation, QueryError> {
+    if cfg.engine == Engine::Physical {
+        return crate::physical::eval_physical_store(q, db, cfg, store);
+    }
+    eval_with(q, db, cfg)
+}
+
 /// Evaluates a query with the given configuration.
 pub fn eval_with(q: &Query, db: &Database, cfg: EvalConfig) -> Result<Relation, QueryError> {
     if cfg.engine == Engine::Physical {

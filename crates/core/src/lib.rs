@@ -44,9 +44,9 @@ pub mod optimize;
 pub mod physical;
 pub mod query;
 
-pub use eval::{build_view, eval, eval_with, Engine, EvalConfig};
+pub use eval::{build_view, eval, eval_with, eval_with_store, Engine, EvalConfig};
 pub use optimize::optimize;
-pub use physical::explain;
+pub use physical::{explain, view_form};
 pub use query::{Fragment, Query, QueryError, ViewOp};
 
 #[cfg(test)]

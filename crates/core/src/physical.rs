@@ -11,10 +11,14 @@
 
 use crate::eval::{build_view, try_fast, EvalConfig};
 use crate::query::{Query, QueryError, ViewOp};
-use pgq_exec::{execute, intersect_plan, optimize_plan, transitive_closure, Batch, PhysPlan};
+use pgq_exec::{
+    execute, execute_with, intersect_plan, optimize_plan, store_plan, transitive_closure, Batch,
+    PhysPlan,
+};
 use pgq_graph::PropertyGraph;
 use pgq_pattern::{Direction, OutputItem, OutputPattern, Pattern, RepBound};
 use pgq_relational::{Database, Relation, Schema};
+use pgq_store::{GraphForm, Store};
 use pgq_value::Var;
 use std::fmt::Write as _;
 
@@ -24,17 +28,111 @@ pub(crate) fn eval_physical(
     db: &Database,
     cfg: EvalConfig,
 ) -> Result<Relation, QueryError> {
-    let plan = lower(q, db, cfg)?;
+    let plan = lower(q, db, cfg, None)?;
     let plan = optimize_plan(plan, &db.schema()).map_err(QueryError::Rel)?;
     let batch = execute(&plan, db).map_err(QueryError::Rel)?;
     Ok(batch.into_relation())
 }
 
+/// The [`GraphForm`] a [`ViewOp`] registers under in a [`Store`].
+pub fn view_form(op: ViewOp) -> GraphForm {
+    match op {
+        ViewOp::Unary => GraphForm::Exact(1),
+        ViewOp::Bounded(n) => GraphForm::Bounded(n),
+        ViewOp::Ext => GraphForm::Ext,
+    }
+}
+
+/// Evaluates a query through the physical engine backed by a session
+/// [`Store`] (substrate S16): base scans run on columnar indexes, and
+/// reachability pattern calls over graphs registered in the store are
+/// answered from their frozen CSR adjacency — no per-query view
+/// rebuild, no hash-join fixpoint. The store must be a snapshot of
+/// `db` (register again after updates).
+pub(crate) fn eval_physical_store(
+    q: &Query,
+    db: &Database,
+    cfg: EvalConfig,
+    store: &Store,
+) -> Result<Relation, QueryError> {
+    // A bare pattern call is the common case and needs no relational
+    // plan around it — answer it directly instead of staging the
+    // result through a `Values` leaf (which would copy it twice).
+    if let Query::Pattern { out, views, op } = q {
+        return eval_pattern_store(out, views, *op, db, cfg, store);
+    }
+    let plan = lower(q, db, cfg, Some(store))?;
+    let plan = optimize_plan(plan, &db.schema()).map_err(QueryError::Rel)?;
+    let plan = store_plan(plan, store);
+    let batch = execute_with(&plan, db, Some(store)).map_err(QueryError::Rel)?;
+    Ok(batch.into_relation())
+}
+
+/// A pattern call on the store route. When the six views are plain
+/// base relations matching a graph frozen in the store, reachability
+/// outputs are answered from its CSR index directly — the view was
+/// validated once at registration, so nothing is rebuilt. Everything
+/// else falls back to the per-query physical route.
+fn eval_pattern_store(
+    out: &OutputPattern,
+    views: &[Query; 6],
+    op: ViewOp,
+    db: &Database,
+    cfg: EvalConfig,
+    store: &Store,
+) -> Result<Relation, QueryError> {
+    if let Some(entry) = registered_entry(views, op, store) {
+        if let Some(shape) = reach_shape(&out.pattern) {
+            if let Some(swap) = reach_output_swap(out, &shape) {
+                out.pattern.validate()?;
+                return Ok(match swap {
+                    None => {
+                        let holds = entry.has_reach_pair()
+                            || (!shape.at_least_one && entry.node_count() > 0);
+                        if holds {
+                            Relation::r#true()
+                        } else {
+                            Relation::r#false()
+                        }
+                    }
+                    Some(swap) => entry.reach_relation(shape.at_least_one, swap),
+                });
+            }
+        }
+    }
+    eval_pattern_physical(out, views, op, db, cfg)
+}
+
+/// The store entry frozen from exactly these views under this
+/// operator, when every view is a plain base relation.
+fn registered_entry<'a>(
+    views: &[Query; 6],
+    op: ViewOp,
+    store: &'a Store,
+) -> Option<&'a pgq_store::GraphEntry> {
+    let mut names = Vec::with_capacity(6);
+    for v in views {
+        match v {
+            Query::Rel(name) => names.push(name.clone()),
+            _ => return None,
+        }
+    }
+    let names: [pgq_relational::RelName; 6] = names.try_into().expect("six views");
+    store.graph_for_views(&names, view_form(op))
+}
+
 /// Lowers the relational shell of a query onto the physical IR.
 /// Pattern calls and constants become materialized `Values` leaves
 /// (evaluated with the same configuration, so nested shells are planned
-/// too).
-fn lower(q: &Query, db: &Database, cfg: EvalConfig) -> Result<PhysPlan, QueryError> {
+/// too). With a store, pattern calls consult its frozen graphs first;
+/// the shell itself lowers identically either way (the storage lowering
+/// happens later, in `store_plan`).
+fn lower(
+    q: &Query,
+    db: &Database,
+    cfg: EvalConfig,
+    store: Option<&Store>,
+) -> Result<PhysPlan, QueryError> {
     Ok(match q {
         Query::Rel(name) => match db.get(name) {
             // `Database::schema` omits 0-ary relations (the paper's
@@ -51,29 +149,35 @@ fn lower(q: &Query, db: &Database, cfg: EvalConfig) -> Result<PhysPlan, QueryErr
             }
             PhysPlan::Values(Batch::from_relation(&rel))
         }
-        Query::Project(pos, q) => lower(q, db, cfg)?.project(pos.clone()),
-        Query::Select(cond, q) => lower(q, db, cfg)?.filter(cond.clone()),
+        Query::Project(pos, q) => lower(q, db, cfg, store)?.project(pos.clone()),
+        Query::Select(cond, q) => lower(q, db, cfg, store)?.filter(cond.clone()),
         Query::Product(a, b) => PhysPlan::Product {
-            left: Box::new(lower(a, db, cfg)?),
-            right: Box::new(lower(b, db, cfg)?),
+            left: Box::new(lower(a, db, cfg, store)?),
+            right: Box::new(lower(b, db, cfg, store)?),
         },
         Query::Union(a, b) => PhysPlan::Union {
-            left: Box::new(lower(a, db, cfg)?),
-            right: Box::new(lower(b, db, cfg)?),
+            left: Box::new(lower(a, db, cfg, store)?),
+            right: Box::new(lower(b, db, cfg, store)?),
         },
         Query::Diff(a, b) => {
             // Plan the derived intersection `Q − (Q − Q′)` as a real
             // intersection join (`Query::intersect`).
             if let Some((l, r)) = q.as_intersection() {
-                return Ok(intersect_plan(lower(l, db, cfg)?, lower(r, db, cfg)?));
+                return Ok(intersect_plan(
+                    lower(l, db, cfg, store)?,
+                    lower(r, db, cfg, store)?,
+                ));
             }
             PhysPlan::Diff {
-                left: Box::new(lower(a, db, cfg)?),
-                right: Box::new(lower(b, db, cfg)?),
+                left: Box::new(lower(a, db, cfg, store)?),
+                right: Box::new(lower(b, db, cfg, store)?),
             }
         }
         Query::Pattern { out, views, op } => {
-            let rel = eval_pattern_physical(out, views, *op, db, cfg)?;
+            let rel = match store {
+                Some(store) => eval_pattern_store(out, views, *op, db, cfg, store)?,
+                None => eval_pattern_physical(out, views, *op, db, cfg)?,
+            };
             PhysPlan::Values(Batch::from_relation(&rel))
         }
     })
@@ -127,6 +231,25 @@ fn reach_shape(p: &Pattern) -> Option<ReachShape> {
     }
 }
 
+/// How a reachability-shaped output consumes the endpoint pair:
+/// `None` — not answerable from the pair set; `Some(None)` — Boolean;
+/// `Some(Some(swap))` — the `(x, y)` projection, `swap`ped when the
+/// items are `(y, x)`-ordered.
+fn reach_output_swap(out: &OutputPattern, shape: &ReachShape) -> Option<Option<bool>> {
+    if out.items.is_empty() {
+        return Some(None);
+    }
+    if let [OutputItem::Var(a), OutputItem::Var(b)] = out.items.as_slice() {
+        if (a, b) == (&shape.x, &shape.y) {
+            return Some(Some(false));
+        }
+        if (a, b) == (&shape.y, &shape.x) {
+            return Some(Some(true));
+        }
+    }
+    None
+}
+
 fn flatten_concat<'a>(p: &'a Pattern, out: &mut Vec<&'a Pattern>) {
     if let Pattern::Concat(a, b) = p {
         flatten_concat(a, out);
@@ -148,17 +271,7 @@ fn try_fixpoint_reach(
     let Some(shape) = reach_shape(&out.pattern) else {
         return Ok(None);
     };
-    let swap = if out.items.is_empty() {
-        None
-    } else if let [OutputItem::Var(a), OutputItem::Var(b)] = out.items.as_slice() {
-        if (a, b) == (&shape.x, &shape.y) {
-            Some(false)
-        } else if (a, b) == (&shape.y, &shape.x) {
-            Some(true)
-        } else {
-            return Ok(None);
-        }
-    } else {
+    let Some(swap) = reach_output_swap(out, &shape) else {
         return Ok(None);
     };
     out.pattern.validate()?;
@@ -387,6 +500,135 @@ mod tests {
             eval_with(&boolean, &d, EvalConfig::physical()).unwrap(),
             Relation::r#true()
         );
+    }
+
+    /// A store with the canonical graph registered — the session setup
+    /// of the S16 route.
+    fn store_for(d: &Database) -> Store {
+        let mut store = Store::from_database(d);
+        store
+            .register_view_graph(
+                "G",
+                ["N", "E", "S", "T", "L", "P"].map(Into::into),
+                d,
+                GraphForm::Exact(1),
+            )
+            .unwrap();
+        store
+    }
+
+    #[test]
+    fn store_route_agrees_on_reachability_shapes() {
+        let d = db();
+        let store = store_for(&d);
+        for q in [
+            reach_query(),
+            Query::pattern_ro(
+                builders::reachability_plus_output(),
+                ["N", "E", "S", "T", "L", "P"],
+            ),
+        ] {
+            assert_eq!(
+                crate::eval_with_store(&q, &d, EvalConfig::physical(), &store).unwrap(),
+                eval_with(&q, &d, EvalConfig::reference()).unwrap(),
+                "{q}"
+            );
+        }
+        // Boolean shape, answered without running the closure.
+        let boolean = Query::pattern_ro(
+            pgq_pattern::OutputPattern::boolean(
+                Pattern::node("x")
+                    .then(Pattern::any_edge().star())
+                    .then(Pattern::node("y")),
+            )
+            .unwrap(),
+            ["N", "E", "S", "T", "L", "P"],
+        );
+        assert_eq!(
+            crate::eval_with_store(&boolean, &d, EvalConfig::physical(), &store).unwrap(),
+            Relation::r#true()
+        );
+        // Swapped endpoint items.
+        let swapped = Query::pattern_ro(
+            pgq_pattern::OutputPattern::vars(
+                Pattern::node("x")
+                    .then(Pattern::any_edge().star())
+                    .then(Pattern::node("y")),
+                ["y", "x"],
+            )
+            .unwrap(),
+            ["N", "E", "S", "T", "L", "P"],
+        );
+        assert_eq!(
+            crate::eval_with_store(&swapped, &d, EvalConfig::physical(), &store).unwrap(),
+            eval_with(&swapped, &d, EvalConfig::reference()).unwrap()
+        );
+    }
+
+    #[test]
+    fn store_route_falls_back_when_unregistered_or_non_reach() {
+        let d = db();
+        // Empty store: every view set misses, the per-query route runs.
+        let empty = Store::from_database(&d);
+        let q = reach_query();
+        assert_eq!(
+            crate::eval_with_store(&q, &d, EvalConfig::physical(), &empty).unwrap(),
+            eval_with(&q, &d, EvalConfig::reference()).unwrap()
+        );
+        // Registered graph but a non-reachability pattern: fall back.
+        let store = store_for(&d);
+        let back = Query::pattern_ro(
+            pgq_pattern::OutputPattern::vars(
+                Pattern::node("x")
+                    .then(Pattern::any_edge_back())
+                    .then(Pattern::node("y")),
+                ["x", "y"],
+            )
+            .unwrap(),
+            ["N", "E", "S", "T", "L", "P"],
+        );
+        assert_eq!(
+            crate::eval_with_store(&back, &d, EvalConfig::physical(), &store).unwrap(),
+            eval_with(&back, &d, EvalConfig::reference()).unwrap()
+        );
+        // Derived (non-Rel) views can't match an entry: fall back.
+        let derived = Query::pattern_rw(
+            builders::reachability_output(),
+            [
+                Query::rel("N").union(Query::rel("N")),
+                Query::rel("E"),
+                Query::rel("S"),
+                Query::rel("T"),
+                Query::rel("L"),
+                Query::rel("P"),
+            ],
+        );
+        assert_eq!(
+            crate::eval_with_store(&derived, &d, EvalConfig::physical(), &store).unwrap(),
+            eval_with(&derived, &d, EvalConfig::reference()).unwrap()
+        );
+        // Non-physical engines ignore the store.
+        assert_eq!(
+            crate::eval_with_store(&q, &d, EvalConfig::default(), &store).unwrap(),
+            eval_with(&q, &d, EvalConfig::default()).unwrap()
+        );
+    }
+
+    #[test]
+    fn store_route_plans_the_relational_shell() {
+        let d = db();
+        let store = store_for(&d);
+        let q = Query::rel("S")
+            .product(Query::rel("T"))
+            .select(RowCondition::col_eq(0, 2))
+            .project(vec![1, 3])
+            .union(reach_query());
+        assert_eq!(
+            crate::eval_with_store(&q, &d, EvalConfig::physical(), &store).unwrap(),
+            eval_with(&q, &d, EvalConfig::reference()).unwrap()
+        );
+        assert_eq!(view_form(ViewOp::Bounded(2)), GraphForm::Bounded(2));
+        assert_eq!(view_form(ViewOp::Ext), GraphForm::Ext);
     }
 
     #[test]

@@ -11,31 +11,55 @@
 use crate::batch::Batch;
 use crate::plan::PhysPlan;
 use pgq_relational::{Database, RelError, RelResult, RowCondition};
+use pgq_store::{CsrIndex, Store};
 use pgq_value::{Tuple, Value};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
-/// Executes a physical plan against a database instance.
+/// Executes a physical plan against a database instance (no store: the
+/// store-backed operators degrade to their database equivalents).
 pub fn execute(plan: &PhysPlan, db: &Database) -> RelResult<Batch> {
+    execute_with(plan, db, None)
+}
+
+/// Executes a physical plan against a database instance and, when
+/// given, a session [`Store`]. `IndexScan` reads the store's columnar
+/// relations, `AdjacencyExpand` probes its CSR indexes, and a
+/// reachability-shaped `Fixpoint` whose step is a CSR-indexed relation
+/// runs as frontier sweeps over the index instead of hash-join rounds.
+/// The store must have been registered from (a snapshot equal to) `db`;
+/// the differential suite `tests/prop_store.rs` holds both paths to
+/// identical results.
+pub fn execute_with(plan: &PhysPlan, db: &Database, store: Option<&Store>) -> RelResult<Batch> {
     match plan {
         PhysPlan::Scan(name) => Ok(Batch::from_relation(db.get_required(name)?)),
+        PhysPlan::IndexScan(name) => index_scan(name, db, store),
+        PhysPlan::AdjacencyExpand {
+            input,
+            key,
+            rel,
+            reverse,
+        } => {
+            let batch = execute_with(input, db, store)?;
+            adjacency_expand(batch, *key, rel, *reverse, db, store)
+        }
         PhysPlan::Values(b) => Ok(b.clone()),
         PhysPlan::AdomScan => Ok(Batch::from_relation(&db.active_domain_relation())),
         PhysPlan::Filter { cond, input } => {
-            let batch = execute(input, db)?;
+            let batch = execute_with(input, db, store)?;
             filter(cond, batch)
         }
         PhysPlan::Project { positions, input } => {
-            let batch = execute(input, db)?;
+            let batch = execute_with(input, db, store)?;
             project(positions, &batch)
         }
         PhysPlan::HashJoin { left, right, keys } => {
-            let l = execute(left, db)?;
-            let r = execute(right, db)?;
+            let l = execute_with(left, db, store)?;
+            let r = execute_with(right, db, store)?;
             hash_join(&l, &r, keys)
         }
         PhysPlan::Product { left, right } => {
-            let l = execute(left, db)?;
-            let r = execute(right, db)?;
+            let l = execute_with(left, db, store)?;
+            let r = execute_with(right, db, store)?;
             let mut out = Batch::empty(l.arity() + r.arity());
             for a in l.iter() {
                 for b in r.iter() {
@@ -45,8 +69,8 @@ pub fn execute(plan: &PhysPlan, db: &Database) -> RelResult<Batch> {
             Ok(out)
         }
         PhysPlan::Union { left, right } => {
-            let l = execute(left, db)?;
-            let r = execute(right, db)?;
+            let l = execute_with(left, db, store)?;
+            let r = execute_with(right, db, store)?;
             check_same_arity("union", &l, &r)?;
             let mut out = l;
             for t in r.into_rows() {
@@ -55,8 +79,8 @@ pub fn execute(plan: &PhysPlan, db: &Database) -> RelResult<Batch> {
             Ok(out)
         }
         PhysPlan::Diff { left, right } => {
-            let l = execute(left, db)?;
-            let r = execute(right, db)?;
+            let l = execute_with(left, db, store)?;
+            let r = execute_with(right, db, store)?;
             check_same_arity("difference", &l, &r)?;
             let exclude: HashSet<&Tuple> = r.iter().collect();
             let mut out = Batch::empty(l.arity());
@@ -68,7 +92,7 @@ pub fn execute(plan: &PhysPlan, db: &Database) -> RelResult<Batch> {
             Ok(out)
         }
         PhysPlan::Distinct { input } => {
-            let mut batch = execute(input, db)?;
+            let mut batch = execute_with(input, db, store)?;
             batch.dedup();
             Ok(batch)
         }
@@ -78,11 +102,119 @@ pub fn execute(plan: &PhysPlan, db: &Database) -> RelResult<Batch> {
             join,
             project,
         } => {
-            let base = execute(base, db)?;
-            let step = execute(step, db)?;
+            let base = execute_with(base, db, store)?;
+            // The ψreach/TC shape over a CSR-indexed step relation runs
+            // on the index: no step batch, no hash probes.
+            if let (Some(store), PhysPlan::IndexScan(name)) = (store, step.as_ref()) {
+                if base.arity() == 2 && join.as_slice() == [(1, 0)] && project.as_slice() == [0, 3]
+                {
+                    if let Some(idx) = store.adjacency(name) {
+                        return csr_fixpoint(base, idx, store);
+                    }
+                }
+            }
+            let step = execute_with(step, db, store)?;
             fixpoint(base, &step, join, project)
         }
     }
+}
+
+/// `IndexScan`: store-backed when possible, database fallback
+/// otherwise. The reserved [`pgq_store::ADOM_REL`] name scans the
+/// active domain.
+fn index_scan(
+    name: &pgq_relational::RelName,
+    db: &Database,
+    store: Option<&Store>,
+) -> RelResult<Batch> {
+    if let Some((col, store)) = store.and_then(|s| s.relation(name).map(|c| (c, s))) {
+        return Batch::from_rows(col.arity(), col.decode_rows(store.dict()));
+    }
+    if name.as_str() == pgq_store::ADOM_REL {
+        return Ok(Batch::from_relation(&db.active_domain_relation()));
+    }
+    Ok(Batch::from_relation(db.get_required(name)?))
+}
+
+/// `AdjacencyExpand`: CSR probes when the store indexes `rel`,
+/// otherwise the equivalent hash join against the stored relation.
+fn adjacency_expand(
+    input: Batch,
+    key: usize,
+    rel: &pgq_relational::RelName,
+    reverse: bool,
+    db: &Database,
+    store: Option<&Store>,
+) -> RelResult<Batch> {
+    if key >= input.arity() {
+        return Err(RelError::PositionOutOfRange {
+            position: key,
+            arity: input.arity(),
+        });
+    }
+    let Some((store, idx)) = store.and_then(|s| s.adjacency(rel).map(|i| (s, i))) else {
+        let right = Batch::from_relation(db.get_required(rel)?);
+        let join_key = if reverse { (key, 1) } else { (key, 0) };
+        return hash_join(&input, &right, &[join_key]);
+    };
+    let mut out = Batch::empty(input.arity() + 2);
+    for row in input.iter() {
+        let Some(dense) = store.encode(&row[key]).and_then(|c| idx.dense_of(c)) else {
+            continue;
+        };
+        let neighbors = if reverse {
+            idx.in_neighbors(dense)
+        } else {
+            idx.out_neighbors(dense)
+        };
+        for &n in neighbors {
+            let v = store.decode(idx.code_of(n)).clone();
+            let pair = if reverse {
+                Tuple::new(vec![v, row[key].clone()])
+            } else {
+                Tuple::new(vec![row[key].clone(), v])
+            };
+            out.push(row.concat(&pair))?;
+        }
+    }
+    Ok(out)
+}
+
+/// The CSR form of the reachability fixpoint: group the base pairs by
+/// their first component, run one multi-source frontier sweep per
+/// group, and decode. Base values outside the index's node universe
+/// stay as 0-step seeds (they have no outgoing edges by definition).
+fn csr_fixpoint(base: Batch, idx: &CsrIndex, store: &Store) -> RelResult<Batch> {
+    // x value → (dense seeds, out-of-universe seed values).
+    let mut groups: Vec<(Value, Vec<u32>, Vec<Value>)> = Vec::new();
+    let mut group_of: HashMap<Value, usize> = HashMap::new();
+    for row in base.iter() {
+        let x = &row[0];
+        let gi = *group_of.entry(x.clone()).or_insert_with(|| {
+            groups.push((x.clone(), Vec::new(), Vec::new()));
+            groups.len() - 1
+        });
+        let y = &row[1];
+        match store.encode(y).and_then(|c| idx.dense_of(c)) {
+            Some(d) => groups[gi].1.push(d),
+            None => {
+                if !groups[gi].2.contains(y) {
+                    groups[gi].2.push(y.clone());
+                }
+            }
+        }
+    }
+    let mut out = Batch::empty(2);
+    for (x, seeds, strays) in groups {
+        for d in idx.reach_from(seeds) {
+            let y = store.decode(idx.code_of(d)).clone();
+            out.push(Tuple::new(vec![x.clone(), y]))?;
+        }
+        for y in strays {
+            out.push(Tuple::new(vec![x.clone(), y]))?;
+        }
+    }
+    Ok(out)
 }
 
 fn check_same_arity(op: &'static str, l: &Batch, r: &Batch) -> RelResult<()> {

@@ -8,26 +8,35 @@
 //! naively. This crate supplies the join-aware physical layer those
 //! references are measured against:
 //!
-//! * [`PhysPlan`] — the physical IR (`Scan`, `Values`, `AdomScan`,
-//!   `Filter`, `Project`, `HashJoin`, `Product`, `Union`, `Diff`,
-//!   `Distinct`, `Fixpoint`), with `EXPLAIN`-style [`std::fmt::Display`];
+//! * [`PhysPlan`] — the physical IR (`Scan`, `IndexScan`, `Values`,
+//!   `AdomScan`, `Filter`, `Project`, `HashJoin`, `AdjacencyExpand`,
+//!   `Product`, `Union`, `Diff`, `Distinct`, `Fixpoint`), with
+//!   `EXPLAIN`-style [`std::fmt::Display`];
 //! * [`plan_ra`]/[`optimize_plan`] — the planner: lowers the Figure 3
 //!   algebra, recognizes equality-selections-over-products as hash
 //!   joins, pushes remaining selections below products and unions, and
 //!   plans the derived intersection `Q − (Q − Q′)` as a real
 //!   intersection;
-//! * [`execute`] — the batch executor over hash-indexed row vectors;
+//! * [`store_plan`] — the storage-aware pass (substrate S16): under a
+//!   session [`pgq_store::Store`], base scans become columnar
+//!   [`PhysPlan::IndexScan`]s, `AdomScan` reads the frozen active
+//!   domain, and joins against CSR-indexed edge relations become
+//!   [`PhysPlan::AdjacencyExpand`] neighbor lookups;
+//! * [`execute`]/[`execute_with`] — the batch executor over
+//!   hash-indexed row vectors, store-backed when given a store;
 //! * [`PhysPlan::Fixpoint`] — a semi-naive least-fixpoint operator; the
 //!   FO\[TC\] evaluator (S5) and the `PGQrw` reachability route (S7,
 //!   `Engine::Physical`) both lower their closures onto it via
-//!   [`transitive_closure`].
+//!   [`transitive_closure`], and [`execute_with`] runs the
+//!   reachability shape as CSR frontier sweeps.
 //!
 //! The engine is held to the reference evaluators by differential tests
-//! (`tests/prop_engine.rs` at the workspace root) and benchmarked by
-//! `e12_engine` / experiment E15.
+//! (`tests/prop_engine.rs` and `tests/prop_store.rs` at the workspace
+//! root) and benchmarked by `e12_engine`/`e13_store` — experiments
+//! E15/E16.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod batch;
 pub mod exec;
@@ -35,9 +44,11 @@ pub mod plan;
 pub mod planner;
 
 pub use batch::Batch;
-pub use exec::execute;
+pub use exec::{execute, execute_with};
 pub use plan::PhysPlan;
-pub use planner::{eval_ra, intersect_plan, lower_ra, optimize_plan, plan_ra};
+pub use planner::{
+    eval_ra, eval_ra_with, intersect_plan, lower_ra, optimize_plan, plan_ra, store_plan,
+};
 
 use pgq_relational::{RelError, RelResult};
 

@@ -15,6 +15,28 @@ use std::fmt;
 pub enum PhysPlan {
     /// Scan a stored relation.
     Scan(RelName),
+    /// Scan a relation registered in the session [`pgq_store::Store`]
+    /// (columnar, dictionary-decoded on the way out). The reserved name
+    /// [`pgq_store::ADOM_REL`] scans the store's frozen active domain.
+    /// Without a store the operator degrades to the equivalent
+    /// database scan, so plans stay executable anywhere.
+    IndexScan(RelName),
+    /// CSR neighbor expansion against a store-indexed **binary**
+    /// relation `rel`: for each input row `t̄`, emit `t̄ ++ r̄` for every
+    /// `rel` row `r̄` with `r̄[0] = t̄[key]` (forward) or `r̄[1] = t̄[key]`
+    /// (reverse) — the adjacency-index form of a hash join against a
+    /// base edge relation. Degrades to that hash join without a store.
+    AdjacencyExpand {
+        /// Rows to expand.
+        input: Box<PhysPlan>,
+        /// Input position probed into the adjacency index.
+        key: usize,
+        /// The indexed binary relation.
+        rel: RelName,
+        /// `false`: match on `rel`'s first column (forward adjacency);
+        /// `true`: match on its second (reverse adjacency).
+        reverse: bool,
+    },
     /// A materialized input batch (constants, pre-evaluated subresults).
     Values(Batch),
     /// Scan the active domain `adom(D)` as a unary relation.
@@ -134,6 +156,39 @@ impl PhysPlan {
             PhysPlan::Scan(name) => schema
                 .arity_of(name)
                 .ok_or_else(|| RelError::UnknownRelation(name.clone())),
+            PhysPlan::IndexScan(name) => {
+                // The reserved adom relation is unary by definition and
+                // deliberately absent from user schemas.
+                if name.as_str() == pgq_store::ADOM_REL {
+                    return Ok(1);
+                }
+                schema
+                    .arity_of(name)
+                    .ok_or_else(|| RelError::UnknownRelation(name.clone()))
+            }
+            PhysPlan::AdjacencyExpand {
+                input, key, rel, ..
+            } => {
+                let a = input.arity(schema)?;
+                if *key >= a {
+                    return Err(RelError::PositionOutOfRange {
+                        position: *key,
+                        arity: a,
+                    });
+                }
+                // The expansion appends the matched binary-relation
+                // row, so the expanded relation must exist and be
+                // binary — same static discipline as `Scan`.
+                match schema.arity_of(rel) {
+                    Some(2) => Ok(a + 2),
+                    Some(other) => Err(RelError::IncompatibleArities {
+                        op: "adjacency expansion",
+                        left: 2,
+                        right: other,
+                    }),
+                    None => Err(RelError::UnknownRelation(rel.clone())),
+                }
+            }
             PhysPlan::Values(b) => Ok(b.arity()),
             PhysPlan::AdomScan => Ok(1),
             PhysPlan::Filter { cond, input } => {
@@ -248,9 +303,13 @@ impl PhysPlan {
     /// Number of operator nodes.
     pub fn size(&self) -> usize {
         match self {
-            PhysPlan::Scan(_) | PhysPlan::Values(_) | PhysPlan::AdomScan => 1,
+            PhysPlan::Scan(_)
+            | PhysPlan::IndexScan(_)
+            | PhysPlan::Values(_)
+            | PhysPlan::AdomScan => 1,
             PhysPlan::Filter { input, .. }
             | PhysPlan::Project { input, .. }
+            | PhysPlan::AdjacencyExpand { input, .. }
             | PhysPlan::Distinct { input } => 1 + input.size(),
             PhysPlan::HashJoin { left, right, .. }
             | PhysPlan::Product { left, right }
@@ -263,6 +322,13 @@ impl PhysPlan {
     fn node_label(&self) -> String {
         match self {
             PhysPlan::Scan(name) => format!("Scan {name}"),
+            PhysPlan::IndexScan(name) => format!("IndexScan {name} [columnar]"),
+            PhysPlan::AdjacencyExpand {
+                key, rel, reverse, ..
+            } => {
+                let arrow = if *reverse { "←" } else { "→" };
+                format!("AdjacencyExpand [${} {arrow} {rel} CSR]", key + 1)
+            }
             PhysPlan::Values(b) => format!("Values [{} row(s), arity {}]", b.len(), b.arity()),
             PhysPlan::AdomScan => "AdomScan".to_string(),
             PhysPlan::Filter { cond, .. } => format!("Filter [{cond}]"),
@@ -301,9 +367,13 @@ impl PhysPlan {
 
     fn children(&self) -> Vec<&PhysPlan> {
         match self {
-            PhysPlan::Scan(_) | PhysPlan::Values(_) | PhysPlan::AdomScan => Vec::new(),
+            PhysPlan::Scan(_)
+            | PhysPlan::IndexScan(_)
+            | PhysPlan::Values(_)
+            | PhysPlan::AdomScan => Vec::new(),
             PhysPlan::Filter { input, .. }
             | PhysPlan::Project { input, .. }
+            | PhysPlan::AdjacencyExpand { input, .. }
             | PhysPlan::Distinct { input } => vec![input],
             PhysPlan::HashJoin { left, right, .. }
             | PhysPlan::Product { left, right }
@@ -398,6 +468,55 @@ mod tests {
             project: vec![0],
         };
         assert!(bad.arity(&s).is_err());
+    }
+
+    #[test]
+    fn store_operator_arity() {
+        let s = schema();
+        assert_eq!(PhysPlan::IndexScan("R".into()).arity(&s).unwrap(), 2);
+        assert!(PhysPlan::IndexScan("Missing".into()).arity(&s).is_err());
+        assert_eq!(
+            PhysPlan::IndexScan(pgq_store::ADOM_REL.into())
+                .arity(&s)
+                .unwrap(),
+            1
+        );
+        let expand = PhysPlan::AdjacencyExpand {
+            input: Box::new(PhysPlan::Scan("S".into())),
+            key: 0,
+            rel: "R".into(),
+            reverse: false,
+        };
+        assert_eq!(expand.arity(&s).unwrap(), 3);
+        assert_eq!(expand.size(), 2);
+        let bad = PhysPlan::AdjacencyExpand {
+            input: Box::new(PhysPlan::Scan("S".into())),
+            key: 5,
+            rel: "R".into(),
+            reverse: true,
+        };
+        assert!(bad.arity(&s).is_err());
+        // The expanded relation must exist and be binary.
+        let non_binary = PhysPlan::AdjacencyExpand {
+            input: Box::new(PhysPlan::Scan("R".into())),
+            key: 0,
+            rel: "S".into(),
+            reverse: false,
+        };
+        assert!(non_binary.arity(&s).is_err());
+        let unknown = PhysPlan::AdjacencyExpand {
+            input: Box::new(PhysPlan::Scan("R".into())),
+            key: 0,
+            rel: "Missing".into(),
+            reverse: false,
+        };
+        assert!(unknown.arity(&s).is_err());
+        let text = expand.to_string();
+        assert!(text.starts_with("AdjacencyExpand [$1 → R CSR]"), "{text}");
+        assert!(text.contains("└─ Scan S"), "{text}");
+        assert!(PhysPlan::IndexScan("R".into())
+            .to_string()
+            .starts_with("IndexScan R [columnar]"));
     }
 
     #[test]

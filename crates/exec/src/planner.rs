@@ -19,23 +19,37 @@
 //! and this module's tests hold it to the reference evaluator.
 
 use crate::batch::Batch;
-use crate::exec::execute;
+use crate::exec::{execute, execute_with};
 use crate::plan::PhysPlan;
 use pgq_relational::{CmpOp, Database, Operand, RaExpr, RelResult, Relation, RowCondition, Schema};
+use pgq_store::Store;
 use std::collections::BTreeSet;
 
-/// Plans and executes a relational algebra expression — the engine's
-/// entry point for `RaExpr` workloads.
-pub fn eval_ra(expr: &RaExpr, db: &Database) -> RelResult<Relation> {
-    // `Database::schema` omits 0-ary relations (the paper's schemas are
-    // positive-arity), so stored 0-ary relations are lowered by value —
-    // matching the reference evaluator, which accepts them.
+/// Lowers and optimizes an expression against a concrete instance.
+/// `Database::schema` omits 0-ary relations (the paper's schemas are
+/// positive-arity), so stored 0-ary relations are lowered by value —
+/// matching the reference evaluator, which accepts them.
+fn plan_for_instance(expr: &RaExpr, db: &Database) -> RelResult<PhysPlan> {
     let plan = lower_with(expr, &|name| match db.get(name) {
         Some(rel) if rel.arity() == 0 => PhysPlan::Values(Batch::from_relation(rel)),
         _ => PhysPlan::Scan(name.clone()),
     });
-    let plan = optimize_plan(plan, &db.schema())?;
+    optimize_plan(plan, &db.schema())
+}
+
+/// Plans and executes a relational algebra expression — the engine's
+/// entry point for `RaExpr` workloads.
+pub fn eval_ra(expr: &RaExpr, db: &Database) -> RelResult<Relation> {
+    let plan = plan_for_instance(expr, db)?;
     Ok(execute(&plan, db)?.into_relation())
+}
+
+/// [`eval_ra`] through a session [`Store`]: the optimized plan is
+/// additionally lowered onto the store's indexes by [`store_plan`]
+/// before running. The store must be a snapshot of `db`.
+pub fn eval_ra_with(expr: &RaExpr, db: &Database, store: &Store) -> RelResult<Relation> {
+    let plan = store_plan(plan_for_instance(expr, db)?, store);
+    Ok(execute_with(&plan, db, Some(store))?.into_relation())
 }
 
 /// Lowers and optimizes an expression under a schema.
@@ -108,9 +122,112 @@ pub fn optimize_plan(plan: PhysPlan, schema: &Schema) -> RelResult<PhysPlan> {
     Ok(rewrite(plan, schema))
 }
 
+/// Lowers a validated plan onto a session store's indexes:
+///
+/// * `Scan R` → `IndexScan R` for registered relations;
+/// * `AdomScan` → `IndexScan ⟨adom⟩` (the store freezes the active
+///   domain at registration);
+/// * a single-key `HashJoin` whose build side is a CSR-indexed binary
+///   relation scanned bare → [`PhysPlan::AdjacencyExpand`];
+/// * the step of a reachability-shaped `Fixpoint` becomes an
+///   `IndexScan`, which [`execute_with`] runs as CSR frontier sweeps.
+///
+/// Apply **after** [`optimize_plan`] (the pass assumes a well-typed
+/// plan and preserves result rows exactly).
+pub fn store_plan(plan: PhysPlan, store: &Store) -> PhysPlan {
+    match plan {
+        PhysPlan::Scan(name) if store.has_relation(&name) => PhysPlan::IndexScan(name),
+        PhysPlan::AdomScan if store.has_relation(&pgq_store::ADOM_REL.into()) => {
+            PhysPlan::IndexScan(pgq_store::ADOM_REL.into())
+        }
+        PhysPlan::Scan(_) | PhysPlan::IndexScan(_) | PhysPlan::Values(_) | PhysPlan::AdomScan => {
+            plan
+        }
+        PhysPlan::Filter { cond, input } => PhysPlan::Filter {
+            cond,
+            input: Box::new(store_plan(*input, store)),
+        },
+        PhysPlan::Project { positions, input } => PhysPlan::Project {
+            positions,
+            input: Box::new(store_plan(*input, store)),
+        },
+        PhysPlan::AdjacencyExpand {
+            input,
+            key,
+            rel,
+            reverse,
+        } => PhysPlan::AdjacencyExpand {
+            input: Box::new(store_plan(*input, store)),
+            key,
+            rel,
+            reverse,
+        },
+        PhysPlan::HashJoin { left, right, keys } => {
+            let left = store_plan(*left, store);
+            let right = store_plan(*right, store);
+            // A bare scan of a CSR-indexed binary relation joined on one
+            // of its columns is an adjacency expansion.
+            if let ([(i, j)], PhysPlan::IndexScan(name)) = (keys.as_slice(), &right) {
+                if (*j == 0 || *j == 1) && store.adjacency(name).is_some() {
+                    return PhysPlan::AdjacencyExpand {
+                        input: Box::new(left),
+                        key: *i,
+                        rel: name.clone(),
+                        reverse: *j == 1,
+                    };
+                }
+            }
+            PhysPlan::HashJoin {
+                left: Box::new(left),
+                right: Box::new(right),
+                keys,
+            }
+        }
+        PhysPlan::Product { left, right } => PhysPlan::Product {
+            left: Box::new(store_plan(*left, store)),
+            right: Box::new(store_plan(*right, store)),
+        },
+        PhysPlan::Union { left, right } => PhysPlan::Union {
+            left: Box::new(store_plan(*left, store)),
+            right: Box::new(store_plan(*right, store)),
+        },
+        PhysPlan::Diff { left, right } => PhysPlan::Diff {
+            left: Box::new(store_plan(*left, store)),
+            right: Box::new(store_plan(*right, store)),
+        },
+        PhysPlan::Distinct { input } => PhysPlan::Distinct {
+            input: Box::new(store_plan(*input, store)),
+        },
+        PhysPlan::Fixpoint {
+            base,
+            step,
+            join,
+            project,
+        } => PhysPlan::Fixpoint {
+            base: Box::new(store_plan(*base, store)),
+            step: Box::new(store_plan(*step, store)),
+            join,
+            project,
+        },
+    }
+}
+
 fn rewrite(plan: PhysPlan, schema: &Schema) -> PhysPlan {
     match plan {
-        PhysPlan::Scan(_) | PhysPlan::Values(_) | PhysPlan::AdomScan => plan,
+        PhysPlan::Scan(_) | PhysPlan::IndexScan(_) | PhysPlan::Values(_) | PhysPlan::AdomScan => {
+            plan
+        }
+        PhysPlan::AdjacencyExpand {
+            input,
+            key,
+            rel,
+            reverse,
+        } => PhysPlan::AdjacencyExpand {
+            input: Box::new(rewrite(*input, schema)),
+            key,
+            rel,
+            reverse,
+        },
         PhysPlan::Filter { cond, input } => rewrite_filter(cond, rewrite(*input, schema), schema),
         PhysPlan::Project { positions, input } => {
             let input = rewrite(*input, schema);
@@ -263,6 +380,8 @@ mod tests {
     use super::*;
     use pgq_value::tuple;
 
+    use crate::exec::execute_with;
+
     fn db() -> Database {
         let mut db = Database::new();
         for (s, t) in [(0i64, 1i64), (1, 2), (2, 3), (3, 1)] {
@@ -287,9 +406,13 @@ mod tests {
             return true;
         }
         match plan {
-            PhysPlan::Scan(_) | PhysPlan::Values(_) | PhysPlan::AdomScan => false,
+            PhysPlan::Scan(_)
+            | PhysPlan::IndexScan(_)
+            | PhysPlan::Values(_)
+            | PhysPlan::AdomScan => false,
             PhysPlan::Filter { input, .. }
             | PhysPlan::Project { input, .. }
+            | PhysPlan::AdjacencyExpand { input, .. }
             | PhysPlan::Distinct { input } => contains_node(input, pred),
             PhysPlan::HashJoin { left, right, .. }
             | PhysPlan::Product { left, right }
@@ -396,6 +519,95 @@ mod tests {
         assert!(plan_ra(&q, &d.schema()).is_err());
         let q = RaExpr::rel("E").union(RaExpr::rel("V"));
         assert!(plan_ra(&q, &d.schema()).is_err());
+    }
+
+    #[test]
+    fn store_plan_lowers_onto_indexes() {
+        let d = db();
+        let store = Store::from_database(&d);
+        // σ_{$2=$3}(E × E) optimizes to a hash join; the store pass
+        // turns it into a CSR expansion over an IndexScan.
+        let q = RaExpr::rel("E")
+            .product(RaExpr::rel("E"))
+            .select(RowCondition::col_eq(1, 2));
+        let plan = plan_ra(&q, &d.schema()).unwrap();
+        let plan = store_plan(plan, &store);
+        assert!(contains_node(&plan, &|p| matches!(
+            p,
+            PhysPlan::AdjacencyExpand { reverse: false, .. }
+        )));
+        assert!(!contains_node(&plan, &|p| matches!(p, PhysPlan::Scan(_))));
+        assert_eq!(
+            execute_with(&plan, &d, Some(&store))
+                .unwrap()
+                .into_relation(),
+            q.eval(&d).unwrap()
+        );
+
+        // Joining on the build side's second column expands in reverse.
+        let q = RaExpr::rel("V")
+            .product(RaExpr::rel("E"))
+            .select(RowCondition::col_eq(0, 2));
+        let plan = store_plan(plan_ra(&q, &d.schema()).unwrap(), &store);
+        assert!(contains_node(&plan, &|p| matches!(
+            p,
+            PhysPlan::AdjacencyExpand { reverse: true, .. }
+        )));
+        assert_eq!(
+            execute_with(&plan, &d, Some(&store))
+                .unwrap()
+                .into_relation(),
+            q.eval(&d).unwrap()
+        );
+
+        // AdomScan lowers onto the frozen active domain.
+        let plan = store_plan(plan_ra(&RaExpr::ActiveDomain, &d.schema()).unwrap(), &store);
+        assert_eq!(plan, PhysPlan::IndexScan(pgq_store::ADOM_REL.into()));
+        assert_eq!(
+            execute_with(&plan, &d, Some(&store))
+                .unwrap()
+                .into_relation(),
+            d.active_domain_relation()
+        );
+    }
+
+    #[test]
+    fn eval_ra_with_store_matches_reference() {
+        let d = db();
+        let store = Store::from_database(&d);
+        let shapes = [
+            RaExpr::rel("V"),
+            RaExpr::ActiveDomain,
+            RaExpr::rel("E")
+                .product(RaExpr::rel("E"))
+                .select(RowCondition::col_eq(1, 2))
+                .project(vec![0, 3]),
+            RaExpr::rel("V").intersect(RaExpr::rel("E").project(vec![0])),
+            RaExpr::rel("V").diff(RaExpr::rel("E").project(vec![1])),
+        ];
+        for q in shapes {
+            assert_eq!(
+                eval_ra_with(&q, &d, &store).unwrap(),
+                q.eval(&d).unwrap(),
+                "{q}"
+            );
+        }
+    }
+
+    #[test]
+    fn csr_fixpoint_matches_hash_fixpoint() {
+        let d = db();
+        let store = Store::from_database(&d);
+        let tc = PhysPlan::Fixpoint {
+            base: Box::new(PhysPlan::Scan("E".into())),
+            step: Box::new(PhysPlan::Scan("E".into())),
+            join: vec![(1, 0)],
+            project: vec![0, 3],
+        };
+        let lowered = store_plan(tc.clone(), &store);
+        let via_csr = execute_with(&lowered, &d, Some(&store)).unwrap();
+        let via_hash = execute(&tc, &d).unwrap();
+        assert_eq!(via_csr.into_relation(), via_hash.into_relation());
     }
 
     #[test]

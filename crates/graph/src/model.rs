@@ -126,6 +126,13 @@ impl PropertyGraph {
         self.in_edges.get(n).map_or(&[], Vec::as_slice)
     }
 
+    /// Every edge with its endpoints, `(e, src(e), tgt(e))`, in edge-id
+    /// order. The bulk-export shape storage layers (S16) freeze into
+    /// adjacency indexes.
+    pub fn edge_triples(&self) -> impl Iterator<Item = (&ElementId, &ElementId, &ElementId)> + '_ {
+        self.edges.iter().map(|e| (e, &self.src[e], &self.tgt[e]))
+    }
+
     /// Node-level successor map (ignoring edge identities): `n ↦ {m : ∃e,
     /// src(e)=n, tgt(e)=m}`. Used by reachability fixpoints.
     pub fn successors(&self) -> BTreeMap<&ElementId, BTreeSet<&ElementId>> {
@@ -397,6 +404,17 @@ mod tests {
         assert_eq!(g.prop(&e1, &Value::str("ts")), None);
         assert_eq!(g.props_of(&e1).count(), 1);
         assert_eq!(g.labels(&Tuple::unary("a")).count(), 0);
+    }
+
+    #[test]
+    fn edge_triples_enumerate_endpoints() {
+        let g = diamond();
+        let triples: Vec<_> = g.edge_triples().collect();
+        assert_eq!(triples.len(), 4);
+        let e1 = Tuple::unary("e1");
+        let found = triples.iter().find(|(e, _, _)| **e == e1).unwrap();
+        assert_eq!(found.1, &Tuple::unary("a"));
+        assert_eq!(found.2, &Tuple::unary("b"));
     }
 
     #[test]

@@ -217,6 +217,11 @@ impl Catalog {
         Ok(1 + max_key)
     }
 
+    /// Names of every registered property graph, in name order.
+    pub fn graph_names(&self) -> impl Iterator<Item = &str> + '_ {
+        self.graphs.keys().map(String::as_str)
+    }
+
     /// Materializes the six canonical relations of a graph from the base
     /// tables stored in `db`.
     pub fn view_relations(

@@ -48,11 +48,23 @@ impl Relation {
     where
         I: IntoIterator<Item = Tuple>,
     {
-        let mut r = Relation::empty(arity);
-        for t in rows {
-            r.insert(t)?;
+        let rows: Vec<Tuple> = rows.into_iter().collect();
+        for t in &rows {
+            if t.arity() != arity {
+                return Err(RelError::ArityMismatch {
+                    context: "relation insert",
+                    expected: arity,
+                    found: t.arity(),
+                });
+            }
         }
-        Ok(r)
+        // Collecting through `FromIterator` takes the standard
+        // library's sort-and-bulk-build path — markedly faster than
+        // per-row ordered inserts on the big batches the engines emit.
+        Ok(Relation {
+            arity,
+            tuples: rows.into_iter().collect(),
+        })
     }
 
     /// Builds a unary relation from values.

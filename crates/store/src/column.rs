@@ -1,0 +1,115 @@
+//! Dictionary-encoded column vectors.
+//!
+//! A [`ColumnarRelation`] is the store's resident form of a
+//! [`Relation`]: one `Vec<u32>` per attribute position, rows aligned by
+//! index, every cell a [`crate::Dictionary`] code. Scans decode lazily —
+//! the set-semantics `BTreeSet` representation is never rebuilt unless a
+//! caller asks for tuples back.
+
+use crate::dict::Dictionary;
+use pgq_relational::Relation;
+use pgq_value::Tuple;
+
+/// A relation stored as dictionary-coded columns.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnarRelation {
+    arity: usize,
+    rows: usize,
+    /// `columns[p][i]` is the code of row `i`'s position-`p` value.
+    columns: Vec<Vec<u32>>,
+}
+
+impl ColumnarRelation {
+    /// Encodes a relation column by column, interning every value.
+    pub fn from_relation(rel: &Relation, dict: &mut Dictionary) -> Self {
+        let arity = rel.arity();
+        let mut columns = vec![Vec::with_capacity(rel.len()); arity];
+        for t in rel.iter() {
+            for (p, v) in t.iter().enumerate() {
+                columns[p].push(dict.intern(v));
+            }
+        }
+        ColumnarRelation {
+            arity,
+            rows: rel.len(),
+            columns,
+        }
+    }
+
+    /// Attribute count.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the relation holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The code at `(row, position)`.
+    pub fn code_at(&self, row: usize, position: usize) -> u32 {
+        self.columns[position][row]
+    }
+
+    /// Borrows one coded column.
+    pub fn column(&self, position: usize) -> &[u32] {
+        &self.columns[position]
+    }
+
+    /// Decodes row `i` back into a tuple.
+    pub fn decode_row(&self, i: usize, dict: &Dictionary) -> Tuple {
+        Tuple::new(
+            self.columns
+                .iter()
+                .map(|col| dict.value(col[i]).clone())
+                .collect(),
+        )
+    }
+
+    /// Decodes every row, in stored (relation-iteration) order.
+    pub fn decode_rows(&self, dict: &Dictionary) -> Vec<Tuple> {
+        (0..self.rows).map(|i| self.decode_row(i, dict)).collect()
+    }
+
+    /// Approximate resident size in bytes (codes only; the dictionary
+    /// is shared store-wide and accounted for separately).
+    pub fn coded_bytes(&self) -> usize {
+        self.rows * self.arity * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_value::tuple;
+
+    #[test]
+    fn roundtrip_preserves_rows() {
+        let rel = Relation::from_rows(2, [tuple![1, "a"], tuple![2, "b"], tuple![1, "b"]]).unwrap();
+        let mut dict = Dictionary::new();
+        let col = ColumnarRelation::from_relation(&rel, &mut dict);
+        assert_eq!(col.arity(), 2);
+        assert_eq!(col.len(), 3);
+        assert_eq!(dict.len(), 4); // 1, 2, "a", "b"
+        let back = Relation::from_rows(2, col.decode_rows(&dict)).unwrap();
+        assert_eq!(back, rel);
+        assert_eq!(col.coded_bytes(), 3 * 2 * 4);
+    }
+
+    #[test]
+    fn zero_arity_and_empty() {
+        let mut dict = Dictionary::new();
+        let truth = ColumnarRelation::from_relation(&Relation::r#true(), &mut dict);
+        assert_eq!(truth.arity(), 0);
+        assert_eq!(truth.len(), 1);
+        assert_eq!(truth.decode_rows(&dict), vec![Tuple::empty()]);
+        let none = ColumnarRelation::from_relation(&Relation::empty(3), &mut dict);
+        assert!(none.is_empty());
+        assert_eq!(none.decode_rows(&dict), Vec::<Tuple>::new());
+    }
+}

@@ -1,0 +1,277 @@
+//! Compressed sparse row adjacency indexes.
+//!
+//! A [`CsrIndex`] freezes a set of `(source, target)` code pairs into
+//! forward and reverse CSR form: one offsets array and one flat
+//! neighbor array per direction, nodes renumbered into a dense
+//! `0..node_count` space. Neighbor enumeration is a slice borrow — no
+//! hashing, no allocation — which is what turns the semi-naive fixpoint
+//! frontier of the physical engine into pointer arithmetic.
+
+use std::collections::HashMap;
+
+/// One direction of adjacency in CSR form over dense node ids.
+#[derive(Debug, Clone, Default)]
+pub struct Csr {
+    /// `offsets[n]..offsets[n + 1]` indexes `targets` for dense node `n`.
+    offsets: Vec<u32>,
+    /// Flat neighbor array, grouped by source, each group sorted.
+    targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds CSR form from `(dense source, dense target)` pairs.
+    fn from_pairs(node_count: usize, pairs: &[(u32, u32)]) -> Self {
+        let mut degree = vec![0u32; node_count];
+        for &(s, _) in pairs {
+            degree[s as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(node_count + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..node_count].to_vec();
+        let mut targets = vec![0u32; pairs.len()];
+        for &(s, t) in pairs {
+            let c = &mut cursor[s as usize];
+            targets[*c as usize] = t;
+            *c += 1;
+        }
+        // Sorted neighbor groups make the layout deterministic and
+        // binary-searchable.
+        for n in 0..node_count {
+            let (lo, hi) = (offsets[n] as usize, offsets[n + 1] as usize);
+            targets[lo..hi].sort_unstable();
+        }
+        Csr { offsets, targets }
+    }
+
+    /// The neighbor slice of dense node `n`.
+    pub fn neighbors(&self, n: u32) -> &[u32] {
+        let (lo, hi) = (
+            self.offsets[n as usize] as usize,
+            self.offsets[n as usize + 1] as usize,
+        );
+        &self.targets[lo..hi]
+    }
+
+    /// Total stored adjacency entries.
+    pub fn entry_count(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+/// A bidirectional CSR index over a fixed node universe.
+///
+/// Nodes are identified by their *dictionary codes* externally and by
+/// dense ids `0..node_count` internally; the index owns the mapping in
+/// both directions. Edge multiplicity is set-like (the inputs come from
+/// set-semantics relations), but parallel edges *between the same
+/// endpoints under different edge identities* collapse to one adjacency
+/// entry — exactly what endpoint reachability consumes.
+#[derive(Debug, Clone, Default)]
+pub struct CsrIndex {
+    /// Dense id → dictionary code.
+    codes: Vec<u32>,
+    /// Dictionary code → dense id.
+    dense: HashMap<u32, u32>,
+    fwd: Csr,
+    rev: Csr,
+}
+
+impl CsrIndex {
+    /// Builds the index over `nodes` (dictionary codes; duplicates
+    /// ignored) with `edges` as `(source code, target code)` pairs.
+    /// Edge endpoints must be members of `nodes`.
+    pub fn build(nodes: impl IntoIterator<Item = u32>, edges: &[(u32, u32)]) -> Self {
+        let mut codes: Vec<u32> = Vec::new();
+        let mut dense: HashMap<u32, u32> = HashMap::new();
+        for c in nodes {
+            dense.entry(c).or_insert_with(|| {
+                let id = u32::try_from(codes.len()).expect("node universe outgrew u32");
+                codes.push(c);
+                id
+            });
+        }
+        let mut fwd_pairs = Vec::with_capacity(edges.len());
+        for &(s, t) in edges {
+            fwd_pairs.push((dense[&s], dense[&t]));
+        }
+        // Parallel edges (distinct identities, same endpoints) collapse
+        // to one adjacency entry — all the endpoint semantics consumes.
+        fwd_pairs.sort_unstable();
+        fwd_pairs.dedup();
+        let rev_pairs: Vec<(u32, u32)> = fwd_pairs.iter().map(|&(s, t)| (t, s)).collect();
+        let n = codes.len();
+        CsrIndex {
+            fwd: Csr::from_pairs(n, &fwd_pairs),
+            rev: Csr::from_pairs(n, &rev_pairs),
+            codes,
+            dense,
+        }
+    }
+
+    /// Number of nodes in the universe.
+    pub fn node_count(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Number of forward adjacency entries (distinct endpoint pairs).
+    pub fn edge_count(&self) -> usize {
+        self.fwd.entry_count()
+    }
+
+    /// Dense id of a dictionary code, when the code is in the universe.
+    pub fn dense_of(&self, code: u32) -> Option<u32> {
+        self.dense.get(&code).copied()
+    }
+
+    /// Dictionary code of a dense id.
+    pub fn code_of(&self, dense: u32) -> u32 {
+        self.codes[dense as usize]
+    }
+
+    /// Iterates the node universe as dictionary codes, dense order.
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// Forward neighbors (dense → dense slice).
+    pub fn out_neighbors(&self, dense: u32) -> &[u32] {
+        self.fwd.neighbors(dense)
+    }
+
+    /// Reverse neighbors (dense → dense slice).
+    pub fn in_neighbors(&self, dense: u32) -> &[u32] {
+        self.rev.neighbors(dense)
+    }
+
+    /// All `(source, target)` pairs connected by a path of **one or
+    /// more** forward steps, as dense ids: a breadth-first sweep per
+    /// source over the frozen neighbor slices.
+    pub fn all_pairs_reach(&self) -> Vec<(u32, u32)> {
+        let n = self.node_count();
+        let mut out = Vec::new();
+        let mut seen = vec![u32::MAX; n];
+        let mut frontier: Vec<u32> = Vec::new();
+        let mut next: Vec<u32> = Vec::new();
+        for s in 0..n as u32 {
+            frontier.clear();
+            // ≥ 1 step: seed with the direct neighbors, not the source.
+            for &t in self.fwd.neighbors(s) {
+                if seen[t as usize] != s {
+                    seen[t as usize] = s;
+                    frontier.push(t);
+                    out.push((s, t));
+                }
+            }
+            while !frontier.is_empty() {
+                next.clear();
+                for &u in &frontier {
+                    for &t in self.fwd.neighbors(u) {
+                        if seen[t as usize] != s {
+                            seen[t as usize] = s;
+                            next.push(t);
+                            out.push((s, t));
+                        }
+                    }
+                }
+                std::mem::swap(&mut frontier, &mut next);
+            }
+        }
+        out
+    }
+
+    /// Dense ids reachable from `seeds` by **zero or more** forward
+    /// steps (the seeds themselves are included). The workhorse of the
+    /// store-backed fixpoint: one multi-source sweep per distinct
+    /// accumulator prefix.
+    pub fn reach_from(&self, seeds: impl IntoIterator<Item = u32>) -> Vec<u32> {
+        let n = self.node_count();
+        let mut seen = vec![false; n];
+        let mut out: Vec<u32> = Vec::new();
+        let mut frontier: Vec<u32> = Vec::new();
+        for s in seeds {
+            if !seen[s as usize] {
+                seen[s as usize] = true;
+                out.push(s);
+                frontier.push(s);
+            }
+        }
+        let mut next: Vec<u32> = Vec::new();
+        while !frontier.is_empty() {
+            next.clear();
+            for &u in &frontier {
+                for &t in self.fwd.neighbors(u) {
+                    if !seen[t as usize] {
+                        seen[t as usize] = true;
+                        out.push(t);
+                        next.push(t);
+                    }
+                }
+            }
+            std::mem::swap(&mut frontier, &mut next);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0 → 1 → 2 → 3 with codes 10·(i+1).
+    fn chain() -> CsrIndex {
+        CsrIndex::build([10, 20, 30, 40], &[(10, 20), (20, 30), (30, 40)])
+    }
+
+    #[test]
+    fn neighbors_and_mapping() {
+        let idx = chain();
+        assert_eq!(idx.node_count(), 4);
+        assert_eq!(idx.edge_count(), 3);
+        let d10 = idx.dense_of(10).unwrap();
+        let d20 = idx.dense_of(20).unwrap();
+        assert_eq!(idx.out_neighbors(d10), &[d20]);
+        assert_eq!(idx.in_neighbors(d10), &[] as &[u32]);
+        assert_eq!(idx.in_neighbors(d20), &[d10]);
+        assert_eq!(idx.code_of(d20), 20);
+        assert_eq!(idx.dense_of(99), None);
+    }
+
+    #[test]
+    fn all_pairs_on_chain_and_cycle() {
+        let idx = chain();
+        assert_eq!(idx.all_pairs_reach().len(), 6); // 3 + 2 + 1
+        let cycle = CsrIndex::build([1, 2, 3], &[(1, 2), (2, 3), (3, 1)]);
+        assert_eq!(cycle.all_pairs_reach().len(), 9);
+    }
+
+    #[test]
+    fn self_loops_and_parallel_endpoint_pairs() {
+        // A self loop reaches itself; duplicated endpoint pairs
+        // collapse in the reachability answer.
+        let idx = CsrIndex::build([1, 2], &[(1, 1), (1, 2), (1, 2)]);
+        assert_eq!(idx.edge_count(), 2);
+        let pairs = idx.all_pairs_reach();
+        let d1 = idx.dense_of(1).unwrap();
+        let d2 = idx.dense_of(2).unwrap();
+        assert!(pairs.contains(&(d1, d1)));
+        assert!(pairs.contains(&(d1, d2)));
+        assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    fn reach_from_includes_seeds() {
+        let idx = chain();
+        let d20 = idx.dense_of(20).unwrap();
+        let got = idx.reach_from([d20]);
+        assert_eq!(got.len(), 3); // 20, 30, 40
+        assert!(got.contains(&d20));
+        let empty = CsrIndex::build([], &[]);
+        assert!(empty.reach_from([]).is_empty());
+        assert!(empty.all_pairs_reach().is_empty());
+    }
+}

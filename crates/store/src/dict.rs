@@ -1,0 +1,78 @@
+//! Dictionary encoding of domain values.
+//!
+//! Every [`Value`] stored anywhere in a [`crate::Store`] is interned
+//! exactly once and referred to by a dense `u32` code thereafter. Codes
+//! are assigned in first-seen order, so encoding is deterministic for a
+//! deterministic registration order (the store registers relations in
+//! `BTreeMap` name order and rows in relation order). Columns and CSR
+//! indexes hold codes, not values — a string IBAN costs four bytes per
+//! occurrence instead of a heap clone.
+
+use pgq_value::Value;
+use std::collections::HashMap;
+
+/// An append-only value dictionary: `Value ↔ u32` in first-seen order.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    values: Vec<Value>,
+    codes: HashMap<Value, u32>,
+}
+
+impl Dictionary {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Dictionary::default()
+    }
+
+    /// Interns `v`, returning its (possibly pre-existing) code.
+    pub fn intern(&mut self, v: &Value) -> u32 {
+        if let Some(&c) = self.codes.get(v) {
+            return c;
+        }
+        let c = u32::try_from(self.values.len()).expect("dictionary outgrew u32 codes");
+        self.values.push(v.clone());
+        self.codes.insert(v.clone(), c);
+        c
+    }
+
+    /// The code of `v`, if it has been interned.
+    pub fn code(&self, v: &Value) -> Option<u32> {
+        self.codes.get(v).copied()
+    }
+
+    /// The value behind a code. Codes are only minted by
+    /// [`Dictionary::intern`], so a code held by any store structure is
+    /// always decodable.
+    pub fn value(&self, code: u32) -> &Value {
+        &self.values[code as usize]
+    }
+
+    /// Number of distinct interned values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern(&Value::str("x"));
+        let b = d.intern(&Value::int(7));
+        let a2 = d.intern(&Value::str("x"));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.value(a), &Value::str("x"));
+        assert_eq!(d.code(&Value::int(7)), Some(b));
+        assert_eq!(d.code(&Value::bool(true)), None);
+    }
+}

@@ -1,0 +1,37 @@
+//! # pgq-store
+//!
+//! The columnar graph store (substrate S16; DESIGN.md §2, §5,
+//! ARCHITECTURE.md). Everything below the physical engine, frozen once
+//! per session:
+//!
+//! * [`Dictionary`] — store-wide value interning, `Value ↔ u32`;
+//! * [`ColumnarRelation`] — relations as dictionary-coded column
+//!   vectors;
+//! * [`CsrIndex`] — compressed-sparse-row forward/reverse adjacency
+//!   over dense node ids, built for every binary relation and for every
+//!   registered graph (overall and per edge label);
+//! * [`Store`] — the session catalog: register a [`pgq_relational::Database`]
+//!   and its `pgView` graphs **once**, then let the physical engine
+//!   (`pgq-exec`'s `IndexScan`/`AdjacencyExpand` operators and the
+//!   store-routed reachability in `pgq-core`) run against the frozen
+//!   layout instead of re-materializing row vectors per query.
+//!
+//! The store is held to the reference evaluators by the differential
+//! suite `tests/prop_store.rs` at the workspace root, and its ablation
+//! against the PR 2 hash-join engine is experiment E16 /
+//! `BENCH_3.json`.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod column;
+pub mod csr;
+pub mod dict;
+pub mod store;
+
+pub use column::ColumnarRelation;
+pub use csr::{Csr, CsrIndex};
+pub use dict::Dictionary;
+pub use store::{
+    GraphEntry, GraphForm, GraphStats, RelationStats, Store, StoreError, StoreStats, ADOM_REL,
+};

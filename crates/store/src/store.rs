@@ -1,0 +1,704 @@
+//! The session-level storage catalog.
+//!
+//! A [`Store`] is registered **once per session** — relations become
+//! dictionary-coded columns, binary relations additionally get CSR
+//! adjacency, and property-graph views are validated by the `pgView`
+//! family a single time and frozen as CSR node/edge indexes (overall
+//! and per edge label). Queries then run against the frozen layout
+//! instead of re-materializing and re-validating base data per call,
+//! which is the architectural difference measured by experiment E16.
+//!
+//! The store is a *snapshot*: it answers for the database state it was
+//! registered from. After updates, re-register (the Section 7 model is
+//! read-only; the shell rebuilds its store when data changes).
+
+use crate::column::ColumnarRelation;
+use crate::csr::CsrIndex;
+use crate::dict::Dictionary;
+use pgq_graph::{
+    pg_view_bounded, pg_view_exact, pg_view_ext, PropertyGraph, ViewError, ViewMode, ViewRelations,
+};
+use pgq_relational::{Database, RelName, Relation};
+use pgq_value::{Label, Tuple, Value};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// The reserved relation name under which the store registers the
+/// active domain `adom(D)` as a unary relation, so `AdomScan` plans can
+/// lower onto an `IndexScan` instead of re-deriving the domain.
+pub const ADOM_REL: &str = "⟨adom⟩";
+
+/// Which `pgView` operator a graph was registered under (mirrors
+/// `pgq_core::ViewOp`, which the store cannot depend on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphForm {
+    /// `pgView=n`: identifiers of exactly this arity.
+    Exact(usize),
+    /// `pgView_n`: identifiers of arity at most `n`, padded.
+    Bounded(usize),
+    /// `pgView_ext`: mixed arities, tagged encoding.
+    Ext,
+}
+
+/// Errors raised by store registration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A view input relation is missing from the database.
+    UnknownRelation(RelName),
+    /// The six relations violate the Definition 3.1/5.1 conditions.
+    View(ViewError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownRelation(n) => write!(f, "unknown relation {n}"),
+            StoreError::View(e) => write!(f, "invalid graph view: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<ViewError> for StoreError {
+    fn from(e: ViewError) -> Self {
+        StoreError::View(e)
+    }
+}
+
+/// A frozen property-graph index: interned identifiers plus CSR
+/// adjacency, overall and per edge label.
+#[derive(Debug, Clone)]
+pub struct GraphEntry {
+    form: GraphForm,
+    views: Option<[RelName; 6]>,
+    id_arity: usize,
+    /// Dense node id → identifier tuple.
+    ids: Vec<Tuple>,
+    /// Node-level adjacency over dense ids (edge identities collapsed).
+    csr: CsrIndex,
+    /// Per-edge-label adjacency over the same dense id space.
+    labels: BTreeMap<Label, CsrIndex>,
+    /// `|E|` of the source graph, parallel edges counted.
+    edge_count: usize,
+}
+
+impl GraphEntry {
+    fn from_graph(g: &PropertyGraph, views: Option<[RelName; 6]>, form: GraphForm) -> Self {
+        let mut ids: Vec<Tuple> = Vec::with_capacity(g.node_count());
+        let mut id_of: HashMap<&Tuple, u32> = HashMap::with_capacity(g.node_count());
+        for n in g.nodes() {
+            id_of.insert(n, ids.len() as u32);
+            ids.push(n.clone());
+        }
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(g.edge_count());
+        let mut by_label: BTreeMap<Label, Vec<(u32, u32)>> = BTreeMap::new();
+        for (e, s, t) in g.edge_triples() {
+            let pair = (id_of[s], id_of[t]);
+            pairs.push(pair);
+            for l in g.labels(e) {
+                by_label.entry(l.clone()).or_default().push(pair);
+            }
+        }
+        let universe = || 0..ids.len() as u32;
+        GraphEntry {
+            form,
+            views,
+            id_arity: g.id_arity(),
+            csr: CsrIndex::build(universe(), &pairs),
+            labels: by_label
+                .into_iter()
+                .map(|(l, ps)| (l, CsrIndex::build(universe(), &ps)))
+                .collect(),
+            edge_count: g.edge_count(),
+            ids,
+        }
+    }
+
+    /// The registered `pgView` form.
+    pub fn form(&self) -> GraphForm {
+        self.form
+    }
+
+    /// Identifier arity `k` of the frozen graph.
+    pub fn id_arity(&self) -> usize {
+        self.id_arity
+    }
+
+    /// `|N|`.
+    pub fn node_count(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `|E|` (parallel edges counted; the CSR collapses them).
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The node-level CSR index.
+    pub fn csr(&self) -> &CsrIndex {
+        &self.csr
+    }
+
+    /// Labels with a per-label adjacency index, in label order.
+    pub fn label_names(&self) -> impl Iterator<Item = &Label> + '_ {
+        self.labels.keys()
+    }
+
+    /// The per-label CSR index, when the label occurs on any edge.
+    pub fn label_csr(&self, label: &Label) -> Option<&CsrIndex> {
+        self.labels.get(label)
+    }
+
+    /// Whether some pair of nodes is connected by a path of ≥ 1 edge —
+    /// equivalently, whether any edge exists. The Boolean `ψreach`
+    /// answers come from here without running the closure.
+    pub fn has_reach_pair(&self) -> bool {
+        self.csr.edge_count() > 0
+    }
+
+    /// The reachability relation of the frozen graph as `(s̄, t̄)` rows
+    /// of arity `2k`: all pairs connected by **one or more** edges, plus
+    /// — when `at_least_one` is false — the reflexive pairs over the
+    /// node set (the `ψ^{0..∞}` semantics). `swap` emits `(t̄, s̄)`
+    /// instead, matching `(y, x)`-ordered output items.
+    ///
+    /// Dense ids are minted in identifier order (the graph iterates its
+    /// node set sorted), so emitting pairs grouped by source with
+    /// sorted targets yields rows already in relation order — the
+    /// result set then builds in one linear pass.
+    pub fn reach_relation(&self, at_least_one: bool, swap: bool) -> Relation {
+        let mut pairs = self.csr.all_pairs_reach();
+        if swap {
+            // `(t̄, s̄)` rows sort by target first.
+            pairs.sort_unstable_by_key(|&(s, t)| (t, s));
+        }
+        let diagonal = if at_least_one { 0 } else { self.ids.len() };
+        let mut rows: Vec<Tuple> = Vec::with_capacity(pairs.len() + diagonal);
+        let mut emit = |s: u32, t: u32| {
+            let (a, b) = (&self.ids[s as usize], &self.ids[t as usize]);
+            rows.push(if swap { b.concat(a) } else { a.concat(b) });
+        };
+        // Walk the contiguous per-lead runs (lead = source, or target
+        // when swapped), sorting each run's trailing ids and merging
+        // the reflexive pair in at its place.
+        let lead = |p: &(u32, u32)| if swap { p.1 } else { p.0 };
+        let mut i = 0;
+        for s in 0..self.ids.len() as u32 {
+            let start = i;
+            while i < pairs.len() && lead(&pairs[i]) == s {
+                i += 1;
+            }
+            let mut trail: Vec<u32> = pairs[start..i]
+                .iter()
+                .map(|p| if swap { p.0 } else { p.1 })
+                .collect();
+            trail.sort_unstable();
+            if !at_least_one {
+                if let Err(pos) = trail.binary_search(&s) {
+                    trail.insert(pos, s);
+                }
+            }
+            for t in trail {
+                if swap {
+                    emit(t, s);
+                } else {
+                    emit(s, t);
+                }
+            }
+        }
+        Relation::from_rows(2 * self.id_arity, rows).expect("identifier tuples have arity k")
+    }
+}
+
+/// The session catalog: dictionary-coded relations, CSR adjacency for
+/// binary relations, and frozen graph views.
+#[derive(Debug, Clone, Default)]
+pub struct Store {
+    dict: Dictionary,
+    relations: BTreeMap<RelName, ColumnarRelation>,
+    adjacency: BTreeMap<RelName, CsrIndex>,
+    graphs: BTreeMap<String, GraphEntry>,
+}
+
+impl Store {
+    /// An empty store.
+    pub fn new() -> Self {
+        Store::default()
+    }
+
+    /// Registers every relation of `db` (columnar + adjacency for the
+    /// binary ones) and the reserved [`ADOM_REL`] active-domain
+    /// relation. The usual way to obtain a store.
+    pub fn from_database(db: &Database) -> Self {
+        let mut s = Store::new();
+        s.register_database(db)
+            .expect("a fresh store has no frozen graphs to re-validate");
+        s
+    }
+
+    /// Registers (or re-registers) the relations of `db`. A
+    /// re-registration must not leave anything answering for the old
+    /// data: relations and adjacency absent from `db` are dropped,
+    /// graph entries registered through [`Store::register_view_graph`]
+    /// are re-validated and re-frozen from the new state (the `Err`
+    /// case is a view that became invalid), and graphs frozen from an
+    /// explicit [`PropertyGraph`] (no view names) cannot be rebuilt
+    /// here and are dropped — their owner re-registers them.
+    pub fn register_database(&mut self, db: &Database) -> Result<(), StoreError> {
+        self.relations.clear();
+        self.adjacency.clear();
+        for (name, rel) in db.iter() {
+            self.register_relation(name.clone(), rel);
+        }
+        self.register_relation(ADOM_REL.into(), &db.active_domain_relation());
+        let rebuild: Vec<(String, [RelName; 6], GraphForm)> = self
+            .graphs
+            .iter()
+            .filter_map(|(n, e)| e.views.clone().map(|v| (n.clone(), v, e.form)))
+            .collect();
+        self.graphs.clear();
+        for (name, views, form) in rebuild {
+            self.register_view_graph(name, views, db, form)?;
+        }
+        Ok(())
+    }
+
+    /// Registers one relation: columnar always, CSR when binary.
+    pub fn register_relation(&mut self, name: RelName, rel: &Relation) {
+        let col = ColumnarRelation::from_relation(rel, &mut self.dict);
+        if rel.arity() == 2 {
+            let pairs: Vec<(u32, u32)> = (0..col.len())
+                .map(|i| (col.code_at(i, 0), col.code_at(i, 1)))
+                .collect();
+            let universe = pairs.iter().flat_map(|&(a, b)| [a, b]);
+            self.adjacency
+                .insert(name.clone(), CsrIndex::build(universe, &pairs));
+        } else {
+            // Re-registration under a different arity must not leave a
+            // stale index behind — plans would expand over dead pairs.
+            self.adjacency.remove(&name);
+        }
+        self.relations.insert(name, col);
+    }
+
+    /// Validates the six named view relations with the strict `pgView`
+    /// operator selected by `form` — **once** — and freezes the result
+    /// as a [`GraphEntry`] under `graph_name`.
+    pub fn register_view_graph(
+        &mut self,
+        graph_name: impl Into<String>,
+        views: [RelName; 6],
+        db: &Database,
+        form: GraphForm,
+    ) -> Result<(), StoreError> {
+        let mut rels = Vec::with_capacity(6);
+        for name in &views {
+            rels.push(
+                db.get(name)
+                    .ok_or_else(|| StoreError::UnknownRelation(name.clone()))?
+                    .clone(),
+            );
+        }
+        let mut it = rels.into_iter();
+        let vr = ViewRelations::new(
+            it.next().unwrap(),
+            it.next().unwrap(),
+            it.next().unwrap(),
+            it.next().unwrap(),
+            it.next().unwrap(),
+            it.next().unwrap(),
+        );
+        let g = match form {
+            GraphForm::Exact(n) => pg_view_exact(n, &vr, ViewMode::Strict)?,
+            GraphForm::Bounded(n) => pg_view_bounded(n, &vr, ViewMode::Strict)?,
+            GraphForm::Ext => pg_view_ext(&vr, ViewMode::Strict)?,
+        };
+        self.register_graph(graph_name, &g, Some(views), form);
+        Ok(())
+    }
+
+    /// Freezes an already-built (hence already-validated) property
+    /// graph. `views` records which six base relations produced it, so
+    /// planners can match pattern calls onto the entry by name.
+    pub fn register_graph(
+        &mut self,
+        graph_name: impl Into<String>,
+        g: &PropertyGraph,
+        views: Option<[RelName; 6]>,
+        form: GraphForm,
+    ) {
+        self.graphs
+            .insert(graph_name.into(), GraphEntry::from_graph(g, views, form));
+    }
+
+    /// The shared dictionary.
+    pub fn dict(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// The code of a value, when any registered row contains it.
+    pub fn encode(&self, v: &Value) -> Option<u32> {
+        self.dict.code(v)
+    }
+
+    /// Decodes a dictionary code.
+    pub fn decode(&self, code: u32) -> &Value {
+        self.dict.value(code)
+    }
+
+    /// A registered columnar relation.
+    pub fn relation(&self, name: &RelName) -> Option<&ColumnarRelation> {
+        self.relations.get(name)
+    }
+
+    /// Whether `name` is registered.
+    pub fn has_relation(&self, name: &RelName) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Decodes a registered relation into rows (stored order).
+    pub fn scan(&self, name: &RelName) -> Option<Vec<Tuple>> {
+        self.relations.get(name).map(|c| c.decode_rows(&self.dict))
+    }
+
+    /// The CSR adjacency of a registered *binary* relation.
+    pub fn adjacency(&self, name: &RelName) -> Option<&CsrIndex> {
+        self.adjacency.get(name)
+    }
+
+    /// A registered graph entry.
+    pub fn graph(&self, name: &str) -> Option<&GraphEntry> {
+        self.graphs.get(name)
+    }
+
+    /// The graph entry registered from exactly these six view relations
+    /// under this form, if any — the planner's match point for pattern
+    /// calls over base relations.
+    pub fn graph_for_views(&self, views: &[RelName; 6], form: GraphForm) -> Option<&GraphEntry> {
+        self.graphs
+            .values()
+            .find(|e| e.form == form && e.views.as_ref() == Some(views))
+    }
+
+    /// Registered graph names with entries, in name order.
+    pub fn graph_names(&self) -> impl Iterator<Item = &str> + '_ {
+        self.graphs.keys().map(String::as_str)
+    }
+
+    /// A storage-layout report (the shell's `STATS` command).
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            dictionary_len: self.dict.len(),
+            relations: self
+                .relations
+                .iter()
+                .map(|(name, c)| RelationStats {
+                    name: name.to_string(),
+                    rows: c.len(),
+                    arity: c.arity(),
+                    coded_bytes: c.coded_bytes(),
+                    indexed: self.adjacency.contains_key(name),
+                })
+                .collect(),
+            graphs: self
+                .graphs
+                .iter()
+                .map(|(name, e)| GraphStats {
+                    name: name.clone(),
+                    nodes: e.node_count(),
+                    edges: e.edge_count(),
+                    id_arity: e.id_arity,
+                    csr_entries: e.csr.edge_count(),
+                    labels: e
+                        .labels
+                        .iter()
+                        // Labels are almost always strings; render them
+                        // bare rather than with `Value`'s quoting.
+                        .map(|(l, idx)| {
+                            let text = l.as_str().map_or_else(|| l.to_string(), String::from);
+                            (text, idx.edge_count())
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Layout numbers for one registered relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationStats {
+    /// Relation name.
+    pub name: String,
+    /// Row count.
+    pub rows: usize,
+    /// Attribute count.
+    pub arity: usize,
+    /// Resident coded size in bytes (dictionary excluded).
+    pub coded_bytes: usize,
+    /// Whether a CSR adjacency index exists (binary relations).
+    pub indexed: bool,
+}
+
+/// Layout numbers for one frozen graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Graph name.
+    pub name: String,
+    /// `|N|`.
+    pub nodes: usize,
+    /// `|E|`.
+    pub edges: usize,
+    /// Identifier arity.
+    pub id_arity: usize,
+    /// Distinct endpoint pairs in the collapsed CSR.
+    pub csr_entries: usize,
+    /// `(label, per-label CSR entries)` in label order.
+    pub labels: Vec<(String, usize)>,
+}
+
+/// The full storage-layout report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Distinct values interned store-wide.
+    pub dictionary_len: usize,
+    /// Per-relation layout, in name order.
+    pub relations: Vec<RelationStats>,
+    /// Per-graph layout, in name order.
+    pub graphs: Vec<GraphStats>,
+}
+
+impl fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "dictionary: {} distinct value(s)", self.dictionary_len)?;
+        for r in &self.relations {
+            write!(
+                f,
+                "relation {}: {} row(s) × {} col(s), {} coded byte(s)",
+                r.name, r.rows, r.arity, r.coded_bytes
+            )?;
+            writeln!(f, "{}", if r.indexed { ", CSR indexed" } else { "" })?;
+        }
+        for g in &self.graphs {
+            write!(
+                f,
+                "graph {}: {} node(s), {} edge(s), id arity {}, {} CSR pair(s)",
+                g.name, g.nodes, g.edges, g.id_arity, g.csr_entries
+            )?;
+            if g.labels.is_empty() {
+                writeln!(f)?;
+            } else {
+                let labels: Vec<String> =
+                    g.labels.iter().map(|(l, n)| format!("{l}({n})")).collect();
+                writeln!(f, "; labels: {}", labels.join(", "))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_value::tuple;
+
+    /// The canonical 4-chain a→b→c→d with one labeled edge.
+    fn chain_db() -> Database {
+        let mut db = Database::new();
+        for n in ["a", "b", "c", "d"] {
+            db.insert("N", tuple![n]).unwrap();
+        }
+        for (e, s, t) in [("e1", "a", "b"), ("e2", "b", "c"), ("e3", "c", "d")] {
+            db.insert("E", tuple![e]).unwrap();
+            db.insert("S", tuple![e, s]).unwrap();
+            db.insert("T", tuple![e, t]).unwrap();
+        }
+        db.insert("L", tuple!["e1", "Transfer"]).unwrap();
+        db.add_relation("P", Relation::empty(3));
+        db
+    }
+
+    fn views() -> [RelName; 6] {
+        ["N", "E", "S", "T", "L", "P"].map(Into::into)
+    }
+
+    #[test]
+    fn database_registration_round_trips() {
+        let db = chain_db();
+        let store = Store::from_database(&db);
+        for (name, rel) in db.iter() {
+            let rows = store.scan(name).unwrap();
+            assert_eq!(
+                Relation::from_rows(rel.arity(), rows).unwrap(),
+                *rel,
+                "{name}"
+            );
+        }
+        // Binary relations carry adjacency; others don't.
+        assert!(store.adjacency(&"S".into()).is_some());
+        assert!(store.adjacency(&"N".into()).is_none());
+        // The reserved adom relation matches the database's.
+        let adom = store.scan(&ADOM_REL.into()).unwrap();
+        assert_eq!(
+            Relation::from_rows(1, adom).unwrap(),
+            db.active_domain_relation()
+        );
+    }
+
+    #[test]
+    fn reregistration_refreezes_view_graphs() {
+        let mut db = chain_db();
+        let mut store = Store::from_database(&db);
+        store
+            .register_view_graph("G", views(), &db, GraphForm::Exact(1))
+            .unwrap();
+        assert_eq!(
+            store.graph("G").unwrap().reach_relation(true, false).len(),
+            6
+        );
+        // New edge d→a closes the cycle; re-registration must see it.
+        db.insert("E", tuple!["e4"]).unwrap();
+        db.insert("S", tuple!["e4", "d"]).unwrap();
+        db.insert("T", tuple!["e4", "a"]).unwrap();
+        store.register_database(&db).unwrap();
+        assert_eq!(
+            store.graph("G").unwrap().reach_relation(true, false).len(),
+            16
+        );
+        // A view that became invalid surfaces as a typed error.
+        db.insert("N", tuple!["e1"]).unwrap(); // node id clashes with an edge id
+        assert!(matches!(
+            store.register_database(&db),
+            Err(StoreError::View(_))
+        ));
+        // Graphs frozen from explicit PropertyGraphs cannot be rebuilt
+        // from the database and are dropped on re-registration.
+        let db = chain_db();
+        let mut store = Store::from_database(&db);
+        let g = pgq_graph::PropertyGraph::empty(1);
+        store.register_graph("ad-hoc", &g, None, GraphForm::Exact(1));
+        store.register_database(&db).unwrap();
+        assert!(store.graph("ad-hoc").is_none());
+
+        // Relations absent from the new database are dropped too.
+        let mut smaller = Database::new();
+        smaller.insert("OnlyThis", tuple![1]).unwrap();
+        store.register_database(&smaller).unwrap();
+        assert!(!store.has_relation(&"N".into()));
+        assert!(store.adjacency(&"S".into()).is_none());
+        assert!(store.has_relation(&"OnlyThis".into()));
+    }
+
+    #[test]
+    fn reregistration_drops_stale_adjacency() {
+        let mut store = Store::new();
+        let binary = Relation::from_rows(2, [tuple![1, 2]]).unwrap();
+        store.register_relation("R".into(), &binary);
+        assert!(store.adjacency(&"R".into()).is_some());
+        let ternary = Relation::from_rows(3, [tuple![1, 2, 3]]).unwrap();
+        store.register_relation("R".into(), &ternary);
+        assert!(store.adjacency(&"R".into()).is_none());
+        assert_eq!(store.relation(&"R".into()).unwrap().arity(), 3);
+    }
+
+    #[test]
+    fn view_graph_registration_and_reachability() {
+        let db = chain_db();
+        let mut store = Store::from_database(&db);
+        store
+            .register_view_graph("G", views(), &db, GraphForm::Exact(1))
+            .unwrap();
+        let entry = store.graph("G").unwrap();
+        assert_eq!(entry.node_count(), 4);
+        assert_eq!(entry.edge_count(), 3);
+        assert!(entry.has_reach_pair());
+        assert_eq!(entry.label_names().count(), 1);
+
+        // ≥1-step pairs on the chain: 3+2+1; 0-step adds 4 reflexive.
+        let plus = entry.reach_relation(true, false);
+        assert_eq!(plus.len(), 6);
+        assert!(plus.contains(&tuple!["a", "d"]));
+        let star = entry.reach_relation(false, false);
+        assert_eq!(star.len(), 10);
+        assert!(star.contains(&tuple!["a", "a"]));
+        let swapped = entry.reach_relation(true, true);
+        assert!(swapped.contains(&tuple!["d", "a"]));
+
+        // The planner's match point.
+        assert!(store
+            .graph_for_views(&views(), GraphForm::Exact(1))
+            .is_some());
+        assert!(store.graph_for_views(&views(), GraphForm::Ext).is_none());
+        let mut other = views();
+        other.swap(2, 3);
+        assert!(store.graph_for_views(&other, GraphForm::Exact(1)).is_none());
+    }
+
+    #[test]
+    fn invalid_views_error_at_registration() {
+        let db = chain_db();
+        let mut store = Store::from_database(&db);
+        // N used as both node and edge set: disjointness fails.
+        let bad = ["N", "N", "S", "T", "L", "P"].map(Into::into);
+        assert!(matches!(
+            store.register_view_graph("bad", bad, &db, GraphForm::Exact(1)),
+            Err(StoreError::View(_))
+        ));
+        let missing = ["Nope", "E", "S", "T", "L", "P"].map(Into::into);
+        assert!(matches!(
+            store.register_view_graph("bad", missing, &db, GraphForm::Exact(1)),
+            Err(StoreError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn stats_report_layout() {
+        let db = chain_db();
+        let mut store = Store::from_database(&db);
+        store
+            .register_view_graph("G", views(), &db, GraphForm::Exact(1))
+            .unwrap();
+        let stats = store.stats();
+        assert!(stats.dictionary_len >= 8);
+        let s_rel = stats.relations.iter().find(|r| r.name == "S").unwrap();
+        assert!(s_rel.indexed);
+        assert_eq!(s_rel.rows, 3);
+        assert_eq!(stats.graphs[0].labels, vec![("Transfer".to_string(), 1)]);
+        let text = stats.to_string();
+        assert!(text.contains("graph G: 4 node(s), 3 edge(s)"));
+        assert!(text.contains("CSR indexed"));
+    }
+
+    #[test]
+    fn empty_graph_and_self_loops() {
+        let mut db = Database::new();
+        db.add_relation("N", Relation::empty(1));
+        db.add_relation("E", Relation::empty(1));
+        db.add_relation("S", Relation::empty(2));
+        db.add_relation("T", Relation::empty(2));
+        db.add_relation("L", Relation::empty(2));
+        db.add_relation("P", Relation::empty(3));
+        let mut store = Store::from_database(&db);
+        store
+            .register_view_graph("empty", views(), &db, GraphForm::Exact(1))
+            .unwrap();
+        let e = store.graph("empty").unwrap();
+        assert!(!e.has_reach_pair());
+        assert!(e.reach_relation(true, false).is_empty());
+        assert!(e.reach_relation(false, false).is_empty());
+
+        // Self loop: a →e→ a.
+        db.insert("N", tuple!["a"]).unwrap();
+        db.insert("E", tuple!["e"]).unwrap();
+        db.insert("S", tuple!["e", "a"]).unwrap();
+        db.insert("T", tuple!["e", "a"]).unwrap();
+        let mut store = Store::from_database(&db);
+        store
+            .register_view_graph("loop", views(), &db, GraphForm::Exact(1))
+            .unwrap();
+        let e = store.graph("loop").unwrap();
+        assert_eq!(e.reach_relation(true, false).len(), 1);
+        assert_eq!(e.reach_relation(false, false).len(), 1);
+    }
+}

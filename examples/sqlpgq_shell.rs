@@ -4,8 +4,13 @@
 //! Script format: SQL/PGQ statements separated by `;`, plus a tiny
 //! `INSERT INTO table VALUES (v, …);`-style data syntax handled here in
 //! the shell (the formal model is read-only, Section 7 "Updates"), plus
-//! `EXPLAIN SELECT …;` — prints the S15 physical plan (operator tree,
-//! pattern route, view subplans) instead of running the query.
+//! two introspection commands:
+//!
+//! * `EXPLAIN SELECT …;` — prints the S15 physical plan (operator
+//!   tree, pattern route, view subplans) instead of running the query;
+//! * `STATS;` — freezes the current data into an S16 store (columnar
+//!   relations, CSR adjacency per graph and edge label) and prints the
+//!   storage layout.
 //!
 //! ```sh
 //! cargo run --example sqlpgq_shell            # built-in demo
@@ -36,6 +41,7 @@ EXPLAIN SELECT * FROM GRAPH_TABLE (Transfers
   MATCH (x) -[t:Transfer]->+ (y)
   WHERE t.amount > 100
   RETURN (x.iban, y.iban));
+STATS;
 "#;
 
 fn main() {
@@ -56,7 +62,21 @@ fn main() {
             continue;
         }
         if stmt.to_ascii_uppercase().starts_with("INSERT INTO") {
-            insert(&mut db, stmt);
+            if let Err(e) = insert(&mut db, stmt) {
+                println!("!! {e}");
+            }
+            continue;
+        }
+        if stmt.eq_ignore_ascii_case("STATS") {
+            match stats(&session, &db) {
+                Ok(text) => {
+                    println!("-- store layout");
+                    for line in text.lines() {
+                        println!("   {line}");
+                    }
+                }
+                Err(e) => println!("!! {e}"),
+            }
             continue;
         }
         if let Some(inner) = strip_explain(stmt) {
@@ -141,35 +161,54 @@ fn explain(
     Ok(sqlpgq::core::explain(&q, &scratch.schema())?)
 }
 
+/// `STATS`: freeze the current database and every defined graph into
+/// an S16 store and render its layout. The store is rebuilt from the
+/// live data each time — it is a snapshot, and the shell's `INSERT`s
+/// mutate the database between calls.
+fn stats(session: &Session, db: &Database) -> Result<String, Box<dyn std::error::Error>> {
+    use sqlpgq::store::{GraphForm, Store};
+
+    let mut store = Store::from_database(db);
+    for name in session.catalog.graph_names() {
+        let graph = session.catalog.build_graph(name, db, session.mode)?;
+        store.register_graph(name, &graph, None, GraphForm::Exact(graph.id_arity()));
+    }
+    Ok(store.stats().to_string())
+}
+
 /// Naive `INSERT INTO t VALUES (…)` for the shell: integers, booleans
-/// and single-quoted strings.
-fn insert(db: &mut Database, stmt: &str) {
-    let open = stmt.find('(').expect("INSERT needs VALUES (…)");
-    let close = stmt.rfind(')').expect("INSERT needs closing paren");
+/// and single-quoted strings. Malformed statements are reported to the
+/// REPL instead of aborting the session.
+fn insert(db: &mut Database, stmt: &str) -> Result<(), String> {
+    let open = stmt.find('(').ok_or("INSERT needs VALUES (…)")?;
+    let close = stmt.rfind(')').ok_or("INSERT needs a closing paren")?;
     let table = stmt["INSERT INTO".len()..]
         .split_whitespace()
         .next()
-        .expect("table name")
+        .ok_or("INSERT needs a table name")?
         .to_string();
     let values: Vec<Value> = stmt[open + 1..close]
         .split(',')
         .map(|v| parse_value(v.trim()))
-        .collect();
+        .collect::<Result<_, _>>()?;
     db.insert(table, Tuple::new(values))
-        .expect("consistent arity");
+        .map_err(|e| e.to_string())?;
+    Ok(())
 }
 
-fn parse_value(v: &str) -> Value {
+fn parse_value(v: &str) -> Result<Value, String> {
     if let Some(stripped) = v.strip_prefix('\'') {
-        return Value::str(stripped.trim_end_matches('\''));
+        return Ok(Value::str(stripped.trim_end_matches('\'')));
     }
     if v.eq_ignore_ascii_case("true") {
-        return Value::bool(true);
+        return Ok(Value::bool(true));
     }
     if v.eq_ignore_ascii_case("false") {
-        return Value::bool(false);
+        return Ok(Value::bool(false));
     }
-    Value::int(v.parse().unwrap_or_else(|_| panic!("bad literal {v}")))
+    v.parse()
+        .map(Value::int)
+        .map_err(|_| format!("bad literal {v}: expected an integer, boolean, or 'string'"))
 }
 
 /// Splits on `;` while respecting single-quoted strings and

@@ -12,6 +12,7 @@
 //! |--------|-------|----------|
 //! | [`value`] | `pgq-value` | domain constants, tuples, variables |
 //! | [`relational`] | `pgq-relational` | relations, databases, RA |
+//! | [`store`] | `pgq-store` | columnar store: dictionary coding, CSR adjacency, session catalog |
 //! | [`exec`] | `pgq-exec` | physical plans, hash joins, semi-naive fixpoints |
 //! | [`graph`] | `pgq-graph` | property graphs, `pgView` family |
 //! | [`pattern`] | `pgq-pattern` | patterns, Fig 2/6 semantics, NFA engine |
@@ -37,6 +38,7 @@ pub use pgq_parser as parser;
 pub use pgq_pattern as pattern;
 pub use pgq_relational as relational;
 pub use pgq_rpq as rpq;
+pub use pgq_store as store;
 pub use pgq_translate as translate;
 pub use pgq_value as value;
 pub use pgq_workloads as workloads;
@@ -45,17 +47,18 @@ pub use pgq_workloads as workloads;
 pub mod prelude {
     pub use pgq_compose::{eval_graph, eval_match, GraphExpr};
     pub use pgq_core::{
-        builders, eval as eval_query, eval_with, explain, Engine, EvalConfig, Fragment, Query,
-        ViewOp,
+        builders, eval as eval_query, eval_with, eval_with_store, explain, Engine, EvalConfig,
+        Fragment, Query, ViewOp,
     };
     pub use pgq_datalog::{compile_formula, parse_program, Program, Recursion};
-    pub use pgq_exec::{eval_ra, execute, plan_ra, Batch, PhysPlan};
+    pub use pgq_exec::{eval_ra, eval_ra_with, execute, execute_with, plan_ra, Batch, PhysPlan};
     pub use pgq_graph::{pg_view, pg_view_ext, PropertyGraph, PropertyGraphBuilder, ViewMode};
     pub use pgq_logic::{eval_ordered, eval_sentence, Formula, Term, UpSet};
     pub use pgq_parser::{Outcome, Session};
     pub use pgq_pattern::{Condition, OutputItem, OutputPattern, Pattern};
     pub use pgq_relational::{Database, RaExpr, Relation, RowCondition, Schema};
     pub use pgq_rpq::{Crpq, CrpqAtom, Rpq};
+    pub use pgq_store::{GraphForm, Store, StoreStats};
     pub use pgq_translate::{fo_to_pgq, pgq_to_fo};
     pub use pgq_value::{tuple, Tuple, Value, Var};
 }

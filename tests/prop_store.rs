@@ -1,0 +1,264 @@
+//! Differential property suite for the S16 columnar store
+//! (DESIGN.md §5, ARCHITECTURE.md): on seeded random workloads, the
+//! store-backed engine's answers must be *identical* to both the S2
+//! reference evaluator and the PR 2 hash-join engine —
+//!
+//! * random `RaExpr` trees: `pgq_exec::eval_ra_with` (IndexScan /
+//!   AdjacencyExpand plans over a registered store) vs. the S2
+//!   reference `RaExpr::eval` vs. the storeless `pgq_exec::eval_ra`;
+//! * `PGQ` reachability over random canonical graphs:
+//!   `eval_with_store` (frozen CSR adjacency) vs. `Engine::Physical`
+//!   (hash-join fixpoint) vs. `Engine::Nfa` vs. `Engine::Reference`;
+//!
+//! plus the empty-graph, self-loop, and parallel-edge edge cases.
+
+use pgq_core::{builders, eval_with, eval_with_store, EvalConfig, Query};
+use pgq_exec::{eval_ra, eval_ra_with};
+use pgq_relational::{Database, RaExpr, RelName, Relation, RowCondition};
+use pgq_store::{GraphForm, Store};
+use pgq_value::{tuple, Tuple, Value};
+use pgq_workloads::random::{canonical_graph_db, ve_db};
+use proptest::prelude::*;
+
+fn views() -> [RelName; 6] {
+    ["N", "E", "S", "T", "L", "P"].map(Into::into)
+}
+
+/// Registers a database and its canonical graph, the session setup
+/// every store-backed query assumes.
+fn store_for(db: &Database) -> Store {
+    let mut store = Store::from_database(db);
+    store
+        .register_view_graph("G", views(), db, GraphForm::Exact(1))
+        .expect("canonical workload views are valid");
+    store
+}
+
+/// A random `RaExpr` of the given arity over the `{V/1, E/2}` schema —
+/// biased toward the join shapes the store pass lowers onto
+/// `AdjacencyExpand`.
+fn arb_ra(arity: usize, depth: u32) -> BoxedStrategy<RaExpr> {
+    let leaf = match arity {
+        1 => prop_oneof![
+            Just(RaExpr::rel("V")),
+            Just(RaExpr::ActiveDomain),
+            (0i64..5).prop_map(|c| RaExpr::Singleton(Tuple::unary(c))),
+        ]
+        .boxed(),
+        2 => prop_oneof![
+            Just(RaExpr::rel("E")),
+            (0i64..5, 0i64..5).prop_map(|(a, b)| RaExpr::Singleton(tuple![a, b])),
+        ]
+        .boxed(),
+        _ => (0i64..5)
+            .prop_map(move |c| RaExpr::Singleton(Tuple::new(vec![Value::int(c); arity.max(1)])))
+            .boxed(),
+    };
+    if depth == 0 {
+        return leaf;
+    }
+    let sub = arb_ra(arity, depth - 1);
+    let mut choices = vec![
+        (3u32, leaf.clone()),
+        (
+            2,
+            (sub.clone(), sub.clone())
+                .prop_map(|(a, b)| a.union(b))
+                .boxed(),
+        ),
+        (
+            1,
+            (sub.clone(), sub.clone())
+                .prop_map(|(a, b)| a.diff(b))
+                .boxed(),
+        ),
+        (
+            1,
+            (sub.clone(), sub.clone())
+                .prop_map(|(a, b)| a.intersect(b))
+                .boxed(),
+        ),
+        (
+            1,
+            (sub.clone(), 0i64..5)
+                .prop_map(move |(q, c)| q.select(RowCondition::col_eq_const(0, c)))
+                .boxed(),
+        ),
+    ];
+    if arity >= 1 {
+        // A join against the edge relation on its source or target
+        // column — the AdjacencyExpand shape.
+        let left = arb_ra(arity, depth - 1);
+        choices.push((
+            3,
+            (left, 0..arity, proptest::bool::ANY)
+                .prop_map(move |(a, col, rev)| {
+                    let edge_col = arity + if rev { 1 } else { 0 };
+                    a.product(RaExpr::rel("E"))
+                        .select(RowCondition::col_eq(col, edge_col))
+                        .project((0..arity).collect::<Vec<_>>())
+                })
+                .boxed(),
+        ));
+    }
+    proptest::strategy::Union::new(choices).boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Store-backed `RaExpr` evaluation equals the S2 reference and the
+    /// storeless hash-join engine on random expressions and instances.
+    #[test]
+    fn ra_store_equals_reference_and_hash_join(
+        q in arb_ra(2, 3),
+        n in 1usize..8,
+        m in 0usize..14,
+        seed in 0u64..1000,
+    ) {
+        let db = ve_db(n, m, seed);
+        let store = Store::from_database(&db);
+        let via_store = eval_ra_with(&q, &db, &store).unwrap();
+        prop_assert_eq!(&via_store, &q.eval(&db).unwrap(), "reference disagrees on {}", &q);
+        prop_assert_eq!(&via_store, &eval_ra(&q, &db).unwrap(), "hash-join engine disagrees on {}", &q);
+    }
+
+    /// Unary expressions exercise the frozen active domain and the
+    /// reverse expansion.
+    #[test]
+    fn ra_unary_store_equals_reference(
+        q in arb_ra(1, 3),
+        n in 1usize..8,
+        m in 0usize..14,
+        seed in 0u64..1000,
+    ) {
+        let db = ve_db(n, m, seed);
+        let store = Store::from_database(&db);
+        prop_assert_eq!(eval_ra_with(&q, &db, &store).unwrap(), q.eval(&db).unwrap(), "{}", q);
+    }
+
+    /// All four engines agree on reachability over random canonical
+    /// graphs: frozen-CSR store, hash-join physical, NFA, reference.
+    #[test]
+    fn reach_engines_agree(n in 1usize..10, m in 0usize..20, seed in 0u64..1000) {
+        let db = canonical_graph_db(n, m, 10, seed);
+        let store = store_for(&db);
+        for out in [
+            builders::reachability_output(),
+            builders::reachability_plus_output(),
+        ] {
+            let q = Query::pattern_ro(out, ["N", "E", "S", "T", "L", "P"]);
+            let reference = eval_with(&q, &db, EvalConfig::reference()).unwrap();
+            prop_assert_eq!(&eval_with(&q, &db, EvalConfig::physical()).unwrap(), &reference);
+            prop_assert_eq!(
+                &eval_with_store(&q, &db, EvalConfig::physical(), &store).unwrap(),
+                &reference
+            );
+        }
+    }
+
+    /// A relational shell around a store-answered pattern call.
+    #[test]
+    fn shell_around_store_pattern_agrees(n in 2usize..8, m in 0usize..16, seed in 0u64..1000) {
+        let db = canonical_graph_db(n, m, 10, seed);
+        let store = store_for(&db);
+        let reach = Query::pattern_ro(
+            builders::reachability_output(),
+            ["N", "E", "S", "T", "L", "P"],
+        );
+        let q = reach
+            .product(Query::rel("N"))
+            .select(RowCondition::col_eq(1, 2))
+            .project(vec![0, 1])
+            .union(Query::rel("S"));
+        prop_assert_eq!(
+            eval_with_store(&q, &db, EvalConfig::physical(), &store).unwrap(),
+            eval_with(&q, &db, EvalConfig::reference()).unwrap()
+        );
+    }
+}
+
+#[test]
+fn empty_graph_self_loops_and_parallel_edges() {
+    // Empty graph: no nodes, no pairs, Boolean false.
+    let mut db = Database::new();
+    db.add_relation("N", Relation::empty(1));
+    db.add_relation("E", Relation::empty(1));
+    db.add_relation("S", Relation::empty(2));
+    db.add_relation("T", Relation::empty(2));
+    db.add_relation("L", Relation::empty(2));
+    db.add_relation("P", Relation::empty(3));
+    let store = store_for(&db);
+    let star = Query::pattern_ro(
+        builders::reachability_output(),
+        ["N", "E", "S", "T", "L", "P"],
+    );
+    let cfg = EvalConfig::physical();
+    assert!(eval_with_store(&star, &db, cfg, &store).unwrap().is_empty());
+    let boolean = Query::pattern_ro(
+        pgq_pattern::OutputPattern::boolean(
+            pgq_pattern::Pattern::node("x")
+                .then(pgq_pattern::Pattern::any_edge().star())
+                .then(pgq_pattern::Pattern::node("y")),
+        )
+        .unwrap(),
+        ["N", "E", "S", "T", "L", "P"],
+    );
+    assert_eq!(
+        eval_with_store(&boolean, &db, cfg, &store).unwrap(),
+        Relation::r#false()
+    );
+
+    // Self loop a→a plus parallel edges a→b (two edge identities).
+    db.insert("N", tuple!["a"]).unwrap();
+    db.insert("N", tuple!["b"]).unwrap();
+    for (e, s, t) in [("l", "a", "a"), ("e1", "a", "b"), ("e2", "a", "b")] {
+        db.insert("E", tuple![e]).unwrap();
+        db.insert("S", tuple![e, s]).unwrap();
+        db.insert("T", tuple![e, t]).unwrap();
+    }
+    let store = store_for(&db);
+    for q in [
+        &star,
+        &Query::pattern_ro(
+            builders::reachability_plus_output(),
+            ["N", "E", "S", "T", "L", "P"],
+        ),
+    ] {
+        assert_eq!(
+            eval_with_store(q, &db, cfg, &store).unwrap(),
+            eval_with(q, &db, EvalConfig::reference()).unwrap(),
+            "{q}"
+        );
+    }
+    let plus = eval_with_store(
+        &Query::pattern_ro(
+            builders::reachability_plus_output(),
+            ["N", "E", "S", "T", "L", "P"],
+        ),
+        &db,
+        cfg,
+        &store,
+    )
+    .unwrap();
+    // ≥1-step pairs: (a,a) via the loop, (a,b) once despite the
+    // parallel edges.
+    assert_eq!(plus.len(), 2);
+    assert!(plus.contains(&tuple!["a", "a"]));
+    assert!(plus.contains(&tuple!["a", "b"]));
+
+    // Stored 0-ary relations still evaluate by value under a store.
+    let mut bdb = Database::new();
+    bdb.insert("V", tuple![1]).unwrap();
+    bdb.add_relation("B", Relation::r#true());
+    let store = Store::from_database(&bdb);
+    let b = RaExpr::rel("B");
+    assert_eq!(
+        eval_ra_with(&b, &bdb, &store).unwrap(),
+        b.eval(&bdb).unwrap()
+    );
+    assert_eq!(
+        eval_ra_with(&RaExpr::rel("V").project(Vec::new()), &bdb, &store).unwrap(),
+        Relation::r#true()
+    );
+}
