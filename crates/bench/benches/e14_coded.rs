@@ -1,0 +1,59 @@
+//! E14 bench — the coded-execution ablation (experiment E17): the
+//! same store-backed plans in both batch representations. `coded`
+//! flows dictionary codes through every operator (hash probes,
+//! selection predicates, fixpoint dedup are `u32` work) and decodes
+//! once at the set-semantics boundary; `decoded` is the PR 3
+//! decode-at-scan route, paying `Value` clones and compares in every
+//! hot loop. Shapes: the reachability closure of the derived step
+//! relation on grid/cycle, and the endpoint join on the string-valued
+//! transfers instance (the widest representation gap).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgq_bench::perf::{endpoint_join, reach_tc_plan};
+use pgq_exec::{eval_ra_mode, execute_mode, store_plan, BatchMode};
+use pgq_store::Store;
+use pgq_workloads::{families, transfers};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_coded");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+
+    for (name, db) in [
+        ("grid_40x5", families::grid_db(40, 5)),
+        ("cycle_150", families::cycle_db(150)),
+    ] {
+        let store = Store::from_database(&db);
+        let plan = store_plan(reach_tc_plan(&db), &store);
+        for (mode_name, mode) in [("coded", BatchMode::Coded), ("decoded", BatchMode::Decoded)] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("reach_store_{mode_name}"), name),
+                &db,
+                |b, db| {
+                    b.iter(|| {
+                        execute_mode(&plan, db, Some(&store), mode)
+                            .unwrap()
+                            .into_relation(Some(&store))
+                    })
+                },
+            );
+        }
+    }
+
+    let join = endpoint_join();
+    let db = transfers::canonical_transfers_db(500, 1000, 1_000, 7);
+    let store = Store::from_database(&db);
+    for (mode_name, mode) in [("coded", BatchMode::Coded), ("decoded", BatchMode::Decoded)] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("join_store_{mode_name}"), "transfers_500x1000"),
+            &db,
+            |b, db| b.iter(|| eval_ra_mode(&join, db, &store, mode).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! # pgq-bench
 //!
-//! Experiment harness (system S11; DESIGN.md §3): the E1–E16 experiments
+//! Experiment harness (system S11; DESIGN.md §3): the E1–E17 experiments
 //! as library functions shared by the `report` binary (which regenerates
 //! the measured section of `EXPERIMENTS.md`) and the Criterion benches
 //! under `benches/` (which measure wall-clock shapes).
@@ -12,4 +12,7 @@ pub mod experiments;
 pub mod perf;
 
 pub use experiments::full_report;
-pub use perf::{canonical_store, engine_suite, full_suite, store_suite, to_json};
+pub use perf::{
+    assert_coded_floors, canonical_store, coded_suite, engine_suite, full_suite, store_suite,
+    to_json,
+};

@@ -1,16 +1,19 @@
-//! The machine-readable perf smoke behind `BENCH_2.json` and
-//! `BENCH_3.json`.
+//! The machine-readable perf smoke behind `BENCH_2.json`,
+//! `BENCH_3.json` and `BENCH_4.json`.
 //!
 //! `cargo run --release -p pgq-bench --bin report -- --json [path]`
-//! runs a reduced-size engine-ablation suite (the `e12_engine` and
-//! `e13_store` Criterion benches' shapes at CI-friendly sizes) and
-//! serializes `bench name → { mean ns, input size }`, so the perf
-//! trajectory accumulates a data point per PR instead of living only
-//! in bench logs. `BENCH_2.json` (committed with PR 2) records the
-//! hash-join engine against the reference; `BENCH_3.json` adds the
-//! S16 store-backed route ([`store_suite`]).
+//! runs a reduced-size engine-ablation suite (the `e12_engine`,
+//! `e13_store` and `e14_coded` Criterion benches' shapes at
+//! CI-friendly sizes) and serializes `bench name → { mean ns, input
+//! size }`, so the perf trajectory accumulates a data point per PR
+//! instead of living only in bench logs. `BENCH_2.json` (committed
+//! with PR 2) records the hash-join engine against the reference;
+//! `BENCH_3.json` adds the S16 store-backed route ([`store_suite`]);
+//! `BENCH_4.json` adds the coded-vs-decoded execution ablation
+//! ([`coded_suite`], experiment E17).
 
 use pgq_core::{builders, eval_with, eval_with_store, EvalConfig, Query};
+use pgq_exec::{execute_mode, plan_ra, store_plan, BatchMode, PhysPlan};
 use pgq_relational::{Database, RaExpr, RelName, RowCondition};
 use pgq_store::{GraphForm, Store};
 use pgq_workloads::{families, transfers};
@@ -225,13 +228,91 @@ pub fn store_suite(scale: usize) -> Vec<BenchEntry> {
     out
 }
 
-/// [`engine_suite`] plus [`store_suite`] — the `BENCH_3.json` record.
-/// The hash-join baselines both suites cover are measured once, by the
-/// store suite; key uniqueness is asserted so a drift between the two
-/// suites' naming can never silently corrupt the record.
+/// The reachability plan of the coded-vs-decoded ablation: the
+/// transitive closure of the *derived* step relation
+/// `π_{$2,$4}(σ_{$1=$3}(S × T))` over a canonical graph database —
+/// the FO\[TC\]-style pipeline every layer of the engine participates
+/// in. The optimizer turns the step into a hash join (the store pass
+/// then into a CSR `AdjacencyExpand`) with an explicit `Distinct`, and
+/// the closure runs on the general semi-naive fixpoint, so the
+/// ablation exercises coded scans, expansion, projection, dedup and
+/// fixpoint accumulation — per-tuple `u32` work coded vs. per-tuple
+/// `Value` work decoded.
+pub fn reach_tc_plan(db: &Database) -> PhysPlan {
+    let step = plan_ra(&endpoint_join(), &db.schema()).expect("canonical schema has S/T");
+    PhysPlan::Fixpoint {
+        base: Box::new(step.clone()),
+        step: Box::new(step),
+        join: vec![(1, 0)],
+        project: vec![0, 3],
+    }
+}
+
+/// The E17 coded-execution ablation (`BENCH_4.json`): the
+/// reachability closure over the grid/cycle workloads and the endpoint
+/// join over the (string-valued) transfers instance, each through the
+/// store-backed engine in both representations —
+/// `*_coded` (dictionary codes end-to-end, one decode at the result
+/// boundary) vs. `*_decoded` (the PR 3 decode-at-scan route).
+pub fn coded_suite(scale: usize) -> Vec<BenchEntry> {
+    let scale = scale.max(1);
+    let mut out = Vec::new();
+    let instances: Vec<(String, Database, usize)> = vec![
+        (
+            format!("grid_{}x5", 40 * scale),
+            families::grid_db(40 * scale, 5),
+            10,
+        ),
+        (
+            format!("cycle_{}", 150 * scale),
+            families::cycle_db(150 * scale),
+            10,
+        ),
+    ];
+    for (name, db, iters) in &instances {
+        let size = db.tuple_count();
+        let store = Store::from_database(db);
+        let plan = store_plan(reach_tc_plan(db), &store);
+        for (mode_name, mode) in [("coded", BatchMode::Coded), ("decoded", BatchMode::Decoded)] {
+            out.push(BenchEntry {
+                name: format!("reach_store_{mode_name}/{name}"),
+                input_size: size,
+                mean_ns: mean_ns(*iters, || {
+                    execute_mode(&plan, db, Some(&store), mode)
+                        .unwrap()
+                        .into_relation(Some(&store));
+                }),
+            });
+        }
+    }
+    // The endpoint join over string IBANs: per-tuple work is a heap
+    // compare decoded and a `u32` compare coded, so this is where the
+    // representation gap is widest.
+    let (instance, db) = transfers_instance(scale);
+    let store = Store::from_database(&db);
+    let join = endpoint_join();
+    let size = db.tuple_count();
+    for (mode_name, mode) in [("coded", BatchMode::Coded), ("decoded", BatchMode::Decoded)] {
+        out.push(BenchEntry {
+            name: format!("join_store_{mode_name}/{instance}"),
+            input_size: size,
+            mean_ns: mean_ns(3, || {
+                pgq_exec::eval_ra_mode(&join, &db, &store, mode).unwrap();
+            }),
+        });
+    }
+    out
+}
+
+/// [`engine_suite`] plus [`store_suite`] plus [`coded_suite`] — the
+/// `BENCH_4.json` record. The hash-join baselines the first two suites
+/// both cover are measured once, by the store suite; key uniqueness is
+/// asserted so a drift between the suites' naming can never silently
+/// corrupt the record.
 pub fn full_suite(scale: usize) -> Vec<BenchEntry> {
     let mut out = engine_suite_entries(scale, false);
     out.extend(store_suite(scale));
+    out.extend(coded_suite(scale));
     let mut seen = std::collections::HashSet::new();
     for e in &out {
         assert!(seen.insert(&e.name), "duplicate bench key {}", e.name);
@@ -239,7 +320,52 @@ pub fn full_suite(scale: usize) -> Vec<BenchEntry> {
     out
 }
 
-/// Serializes entries as the `BENCH_2.json`/`BENCH_3.json` object:
+/// The E17 acceptance floors, checked on a measured entry set from an
+/// **optimized** build (the CI bench smoke runs `report --json` in
+/// release): the coded route must beat the decoded PR 3 route on the
+/// largest grid/cycle reachability instance (≥ 1.05×) and on the
+/// string-valued join (≥ 1.2×). The floors are far below the measured
+/// ratios (~1.3–1.5× and ~2×) so scheduler noise cannot flake CI, but
+/// a regression that makes coded execution *slower* than decoding at
+/// scan still fails the build.
+pub fn assert_coded_floors(entries: &[BenchEntry]) {
+    // Entry names are asserted present so a rename in `coded_suite`
+    // cannot silently turn this gate into a no-op.
+    let find = |name: &str| {
+        entries
+            .iter()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("coded floor gate: bench entry {name} missing"))
+    };
+    let ratio = |decoded: &str, coded: &str| -> (usize, f64) {
+        let (d, c) = (find(decoded), find(coded));
+        (c.input_size, d.mean_ns as f64 / c.mean_ns.max(1) as f64)
+    };
+    let (_, speedup) = ["grid_40x5", "cycle_150"]
+        .iter()
+        .map(|i| {
+            ratio(
+                &format!("reach_store_decoded/{i}"),
+                &format!("reach_store_coded/{i}"),
+            )
+        })
+        .max_by_key(|&(size, _)| size)
+        .expect("two reachability instances");
+    assert!(
+        speedup >= 1.05,
+        "coded reachability should beat decode-at-scan (got {speedup:.2}×)"
+    );
+    let (_, speedup) = ratio(
+        "join_store_decoded/transfers_500x1000",
+        "join_store_coded/transfers_500x1000",
+    );
+    assert!(
+        speedup >= 1.2,
+        "the coded string join should beat decode-at-scan (got {speedup:.2}×)"
+    );
+}
+
+/// Serializes entries as the `BENCH_*.json` object:
 /// `{ "<name>": { "mean_ns": …, "input_size": … }, … }`.
 pub fn to_json(entries: &[BenchEntry]) -> String {
     let mut out = String::from("{\n");
@@ -291,5 +417,26 @@ mod tests {
             pgq_exec::eval_ra(&join, &db).unwrap(),
             join.eval(&db).unwrap()
         );
+    }
+
+    #[test]
+    fn coded_and_decoded_reach_plans_agree() {
+        let db = families::grid_db(4, 3);
+        let store = Store::from_database(&db);
+        let plan = store_plan(reach_tc_plan(&db), &store);
+        let coded = execute_mode(&plan, &db, Some(&store), BatchMode::Coded)
+            .unwrap()
+            .into_relation(Some(&store));
+        let decoded = execute_mode(&plan, &db, Some(&store), BatchMode::Decoded)
+            .unwrap()
+            .into_relation(Some(&store));
+        let storeless = pgq_exec::execute(&reach_tc_plan(&db), &db)
+            .unwrap()
+            .into_relation();
+        assert_eq!(coded, decoded);
+        assert_eq!(coded, storeless);
+        // The ablation really measures two representations: the plan
+        // runs fully coded in Coded mode.
+        assert!(plan.runs_coded(&store));
     }
 }

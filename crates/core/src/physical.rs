@@ -12,8 +12,8 @@
 use crate::eval::{build_view, try_fast, EvalConfig};
 use crate::query::{Query, QueryError, ViewOp};
 use pgq_exec::{
-    execute, execute_with, intersect_plan, optimize_plan, store_plan, transitive_closure, Batch,
-    PhysPlan,
+    execute, execute_mode, intersect_plan, optimize_plan, store_plan, transitive_closure, Batch,
+    BatchMode, PhysPlan,
 };
 use pgq_graph::PropertyGraph;
 use pgq_pattern::{Direction, OutputItem, OutputPattern, Pattern, RepBound};
@@ -44,11 +44,13 @@ pub fn view_form(op: ViewOp) -> GraphForm {
 }
 
 /// Evaluates a query through the physical engine backed by a session
-/// [`Store`] (substrate S16): base scans run on columnar indexes, and
-/// reachability pattern calls over graphs registered in the store are
-/// answered from their frozen CSR adjacency — no per-query view
-/// rebuild, no hash-join fixpoint. The store must be a snapshot of
-/// `db` (register again after updates).
+/// [`Store`] (substrate S16): base scans run on columnar indexes,
+/// dictionary codes flow through the whole operator pipeline (decoding
+/// exactly once at the set-semantics boundary), and reachability
+/// pattern calls over graphs registered in the store are answered from
+/// their frozen CSR adjacency — no per-query view rebuild, no
+/// hash-join fixpoint. The store must be a snapshot of `db` (register
+/// again after updates).
 pub(crate) fn eval_physical_store(
     q: &Query,
     db: &Database,
@@ -64,8 +66,8 @@ pub(crate) fn eval_physical_store(
     let plan = lower(q, db, cfg, Some(store))?;
     let plan = optimize_plan(plan, &db.schema()).map_err(QueryError::Rel)?;
     let plan = store_plan(plan, store);
-    let batch = execute_with(&plan, db, Some(store)).map_err(QueryError::Rel)?;
-    Ok(batch.into_relation())
+    let batch = execute_mode(&plan, db, Some(store), BatchMode::Coded).map_err(QueryError::Rel)?;
+    Ok(batch.into_relation(Some(store)))
 }
 
 /// A pattern call on the store route. When the six views are plain
@@ -351,12 +353,30 @@ fn route_label(out: &OutputPattern) -> &'static str {
 /// `⟨matchN⟩` placeholder whose route (fixpoint / NFA / reference) and
 /// view subplans are listed below the main tree.
 pub fn explain(q: &Query, schema: &Schema) -> Result<String, QueryError> {
+    explain_with(q, schema, None)
+}
+
+/// [`explain`] under an optional session [`Store`]: the plan is
+/// additionally lowered onto the store's indexes (`IndexScan`,
+/// `AdjacencyExpand`, CSR fixpoints) and annotated with the coded
+/// routing decision — which operators run on dictionary codes
+/// (`⟨coded⟩`), where a coded subtree is decoded to meet an uncoded
+/// one (`⟨decode⟩`), and whether the pipeline decodes once at the
+/// result boundary. Mirrors exactly what `eval_with_store` executes.
+pub fn explain_with(
+    q: &Query,
+    schema: &Schema,
+    store: Option<&Store>,
+) -> Result<String, QueryError> {
     q.arity(schema)?;
     let mut sections: Vec<String> = Vec::new();
     let mut aug = schema.clone();
-    let plan = explain_plan(q, schema, &mut aug, &mut sections)?;
+    let plan = explain_plan(q, schema, &mut aug, &mut sections, store)?;
     let plan = optimize_plan(plan, &aug).map_err(QueryError::Rel)?;
-    let mut text = plan.to_string();
+    let mut text = match store {
+        Some(store) => store_plan(plan, store).display_with(Some(store)),
+        None => plan.to_string(),
+    };
     for s in sections {
         text.push('\n');
         text.push_str(&s);
@@ -369,6 +389,7 @@ fn explain_plan(
     schema: &Schema,
     aug: &mut Schema,
     sections: &mut Vec<String>,
+    store: Option<&Store>,
 ) -> Result<PhysPlan, QueryError> {
     Ok(match q {
         Query::Rel(name) => PhysPlan::Scan(name.clone()),
@@ -378,26 +399,30 @@ fn explain_plan(
                 .map_err(QueryError::Rel)?;
             PhysPlan::Values(b)
         }
-        Query::Project(pos, q) => explain_plan(q, schema, aug, sections)?.project(pos.clone()),
-        Query::Select(cond, q) => explain_plan(q, schema, aug, sections)?.filter(cond.clone()),
+        Query::Project(pos, q) => {
+            explain_plan(q, schema, aug, sections, store)?.project(pos.clone())
+        }
+        Query::Select(cond, q) => {
+            explain_plan(q, schema, aug, sections, store)?.filter(cond.clone())
+        }
         Query::Product(a, b) => PhysPlan::Product {
-            left: Box::new(explain_plan(a, schema, aug, sections)?),
-            right: Box::new(explain_plan(b, schema, aug, sections)?),
+            left: Box::new(explain_plan(a, schema, aug, sections, store)?),
+            right: Box::new(explain_plan(b, schema, aug, sections, store)?),
         },
         Query::Union(a, b) => PhysPlan::Union {
-            left: Box::new(explain_plan(a, schema, aug, sections)?),
-            right: Box::new(explain_plan(b, schema, aug, sections)?),
+            left: Box::new(explain_plan(a, schema, aug, sections, store)?),
+            right: Box::new(explain_plan(b, schema, aug, sections, store)?),
         },
         Query::Diff(a, b) => {
             if let Some((l, r)) = q.as_intersection() {
                 return Ok(intersect_plan(
-                    explain_plan(l, schema, aug, sections)?,
-                    explain_plan(r, schema, aug, sections)?,
+                    explain_plan(l, schema, aug, sections, store)?,
+                    explain_plan(r, schema, aug, sections, store)?,
                 ));
             }
             PhysPlan::Diff {
-                left: Box::new(explain_plan(a, schema, aug, sections)?),
-                right: Box::new(explain_plan(b, schema, aug, sections)?),
+                left: Box::new(explain_plan(a, schema, aug, sections, store)?),
+                right: Box::new(explain_plan(b, schema, aug, sections, store)?),
             }
         }
         Query::Pattern { out, views, op } => {
@@ -409,10 +434,14 @@ fn explain_plan(
             let mut body = String::new();
             let labels = ["nodes", "edges", "src", "tgt", "labels", "props"];
             for (label, view) in labels.iter().zip(views.iter()) {
-                let sub = explain_plan(view, schema, aug, sections)?;
+                let sub = explain_plan(view, schema, aug, sections, store)?;
                 let sub = optimize_plan(sub, aug).map_err(QueryError::Rel)?;
+                let sub_text = match store {
+                    Some(store) => store_plan(sub, store).display_with(Some(store)),
+                    None => sub.to_string(),
+                };
                 let _ = writeln!(body, "  {label}:");
-                for line in sub.to_string().lines() {
+                for line in sub_text.lines() {
                     let _ = writeln!(body, "    {line}");
                 }
             }
@@ -740,6 +769,40 @@ mod tests {
 
         // Invalid queries error instead of rendering.
         assert!(explain(&Query::rel("Missing"), &d.schema()).is_err());
+    }
+
+    #[test]
+    fn explain_with_store_shows_coded_routing() {
+        let d = db();
+        let store = store_for(&d);
+        let q = Query::rel("S")
+            .product(Query::rel("T"))
+            .select(RowCondition::col_eq(0, 2))
+            .project(vec![1, 3]);
+        let text = explain_with(&q, &d.schema(), Some(&store)).unwrap();
+        // The store pass lowers scans onto the columnar indexes and the
+        // join onto CSR expansion; everything runs coded, decoding once
+        // at the boundary.
+        assert!(text.contains("IndexScan"), "{text}");
+        assert!(text.contains("⟨coded⟩"), "{text}");
+        assert!(
+            text.contains("pipeline: coded (decode once at the result boundary)"),
+            "{text}"
+        );
+        // A Values stage (pattern-call placeholder scans stay uncoded
+        // relational scans) keeps the decode boundary visible.
+        let mixed = Query::rel("S").union(
+            Query::Const(pgq_value::Value::str("a"))
+                .product(Query::Const(pgq_value::Value::str("b"))),
+        );
+        let text = explain_with(&mixed, &d.schema(), Some(&store)).unwrap();
+        assert!(text.contains("pipeline: mixed"), "{text}");
+        assert!(text.contains("⟨decode⟩"), "{text}");
+        // Without a store, explain_with is plain explain.
+        assert_eq!(
+            explain_with(&q, &d.schema(), None).unwrap(),
+            explain(&q, &d.schema()).unwrap()
+        );
     }
 
     #[test]

@@ -1,0 +1,526 @@
+//! Dictionary-coded batches — the executor's working representation
+//! under a session [`Store`].
+//!
+//! PR 3's store froze every relation into dictionary-coded columns,
+//! but the executor immediately decoded them back into owned
+//! [`pgq_value::Value`] rows at every scan, so the hot loops — hash-join
+//! probes, selection predicates, fixpoint dedup — still cloned and
+//! compared heap values. A [`CodedBatch`] keeps the codes flowing: rows
+//! are flat `u32` slices, joins hash `u32` keys, dedup hashes `u32`
+//! rows, and the pipeline decodes **exactly once**, at the
+//! set-semantics boundary ([`EitherBatch::into_relation`]). The
+//! dictionary is a bijection, so coded evaluation is reference
+//! evaluation — `tests/prop_store.rs` holds coded ≡ decoded ≡ S2 on
+//! random workloads.
+//!
+//! Two subtleties keep the equivalence exact:
+//!
+//! * **Order predicates.** Codes are minted in first-seen order, which
+//!   is not the value order, so [`CodedCond`] compares codes only for
+//!   equality and *decodes on compare* for `<`/`≤`/`>`/`≥` — an index
+//!   into the dictionary's value vector, no hashing, no clone.
+//! * **Constants.** A plan-time literal absent from the dictionary can
+//!   equal no stored value: coded equality against it is
+//!   constant-false (and `≠` constant-true) without any decode.
+//!   Sessions may pre-intern literals via `Store::intern_literal`, but
+//!   correctness never requires it.
+
+use crate::batch::Batch;
+use pgq_relational::{CmpOp, Operand, RelError, RelResult, Relation, RowCondition};
+use pgq_store::{ColumnarRelation, Dictionary, Store};
+use pgq_value::{Tuple, Value};
+use std::collections::{HashMap, HashSet};
+
+/// A batch of equal-arity rows of dictionary codes, possibly with
+/// duplicates — the coded twin of [`Batch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodedBatch {
+    arity: usize,
+    rows: usize,
+    /// Row-major: row `i` is `codes[i*arity .. (i+1)*arity]`.
+    codes: Vec<u32>,
+}
+
+impl CodedBatch {
+    /// The empty coded batch of the given arity.
+    pub fn empty(arity: usize) -> Self {
+        CodedBatch {
+            arity,
+            rows: 0,
+            codes: Vec::new(),
+        }
+    }
+
+    /// Transposes a store-resident columnar relation into row-major
+    /// coded form — the coded `IndexScan`. No dictionary access.
+    pub fn from_columnar(col: &ColumnarRelation) -> Self {
+        let (arity, rows) = (col.arity(), col.len());
+        let mut codes = Vec::with_capacity(arity * rows);
+        for i in 0..rows {
+            for p in 0..arity {
+                codes.push(col.code_at(i, p));
+            }
+        }
+        CodedBatch { arity, rows, codes }
+    }
+
+    /// The batch arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of rows, counting duplicates.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Row `i` as a code slice (empty for 0-ary batches).
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.codes[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// Iterates rows in pipeline order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        (0..self.rows).map(|i| self.row(i))
+    }
+
+    /// Appends a row, checking its arity.
+    pub fn push(&mut self, row: &[u32]) -> RelResult<()> {
+        if row.len() != self.arity {
+            return Err(RelError::ArityMismatch {
+                context: "coded batch push",
+                expected: self.arity,
+                found: row.len(),
+            });
+        }
+        self.codes.extend_from_slice(row);
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Appends the concatenation of two rows (arity must equal the sum;
+    /// callers construct the batch with that arity).
+    pub fn push_concat(&mut self, a: &[u32], b: &[u32]) -> RelResult<()> {
+        if a.len() + b.len() != self.arity {
+            return Err(RelError::ArityMismatch {
+                context: "coded batch push",
+                expected: self.arity,
+                found: a.len() + b.len(),
+            });
+        }
+        self.codes.extend_from_slice(a);
+        self.codes.extend_from_slice(b);
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Removes duplicate rows, keeping first occurrences in order.
+    pub fn dedup(&mut self) {
+        let mut seen: HashSet<Vec<u32>> = HashSet::with_capacity(self.rows);
+        let mut out = Vec::with_capacity(self.codes.len());
+        let mut kept = 0;
+        for i in 0..self.rows {
+            let row = self.row(i);
+            if seen.insert(row.to_vec()) {
+                out.extend_from_slice(row);
+                kept += 1;
+            }
+        }
+        self.codes = out;
+        self.rows = kept;
+    }
+
+    /// Builds a hash index over the projection of each row to
+    /// `key_positions`: key codes → indices of matching rows.
+    /// Positions must have been validated against the arity.
+    pub fn hash_index(&self, key_positions: &[usize]) -> CodedHashIndex {
+        let mut map: HashMap<Vec<u32>, Vec<usize>> = HashMap::with_capacity(self.rows);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let key: Vec<u32> = key_positions.iter().map(|&p| row[p]).collect();
+            map.entry(key).or_default().push(i);
+        }
+        CodedHashIndex { map }
+    }
+
+    /// Decodes every row into a [`Batch`] — the representation bridge
+    /// used when a coded pipeline meets a decoded one mid-plan.
+    pub fn decode(&self, dict: &Dictionary) -> Batch {
+        let mut out = Batch::empty(self.arity);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let t = Tuple::new(row.iter().map(|&c| dict.value(c).clone()).collect());
+            out.push(t).expect("decoded row keeps the batch arity");
+        }
+        out
+    }
+
+    /// Decodes straight into a set-semantics [`Relation`] — the **one**
+    /// decode of a fully coded pipeline, at the result boundary.
+    ///
+    /// The ordered set is built cheaply by exploiting the dictionary:
+    /// the (few) distinct codes are ranked by their decoded values
+    /// once, rows are sorted by rank — plain `u32` comparisons, and
+    /// rank order is value order because ranking is strictly monotone —
+    /// and the `BTreeSet` then bulk-builds from already-sorted input
+    /// instead of comparison-sorting heap `Value` tuples.
+    pub fn into_relation(self, dict: &Dictionary) -> Relation {
+        // Distinct codes in this batch, ranked by decoded value.
+        let mut distinct: Vec<u32> = self.codes.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let mut by_value = distinct.clone();
+        by_value.sort_by(|&a, &b| dict.value(a).cmp(dict.value(b)));
+        // Rank lookup: a dense table (direct index per cell) when the
+        // dictionary is comparable in size to the batch, binary search
+        // over the batch's own distinct codes otherwise — a huge
+        // session dictionary must not cost O(|dict|) per small result.
+        let ranked: Vec<u32> = if dict.len() <= (self.codes.len().max(256)).saturating_mul(4) {
+            let mut rank: Vec<u32> = vec![0; dict.len()];
+            for (r, &c) in by_value.iter().enumerate() {
+                rank[c as usize] = r as u32;
+            }
+            self.codes.iter().map(|&c| rank[c as usize]).collect()
+        } else {
+            let mut rank_of_distinct: Vec<u32> = vec![0; distinct.len()];
+            for (r, &c) in by_value.iter().enumerate() {
+                let i = distinct.binary_search(&c).expect("code from this batch");
+                rank_of_distinct[i] = r as u32;
+            }
+            self.codes
+                .iter()
+                .map(|&c| {
+                    let i = distinct.binary_search(&c).expect("code from this batch");
+                    rank_of_distinct[i]
+                })
+                .collect()
+        };
+        // Order row indices by rank tuples (lexicographic u32 order =
+        // lexicographic value order), dropping coded duplicates before
+        // any decode happens.
+        let row_rank = |i: usize| &ranked[i * self.arity..(i + 1) * self.arity];
+        let mut order: Vec<usize> = (0..self.rows).collect();
+        order.sort_unstable_by(|&a, &b| row_rank(a).cmp(row_rank(b)));
+        order.dedup_by(|&mut a, &mut b| row_rank(a) == row_rank(b));
+        let rows: Vec<Tuple> = order
+            .into_iter()
+            .map(|i| Tuple::new(self.row(i).iter().map(|&c| dict.value(c).clone()).collect()))
+            .collect();
+        // `BTreeSet` collection bulk-builds from sorted, deduplicated
+        // input in linear time.
+        Relation::from_rows(self.arity, rows).expect("decoded rows keep the batch arity")
+    }
+}
+
+/// A hash index from coded keys to row indices of the indexed batch.
+pub struct CodedHashIndex {
+    map: HashMap<Vec<u32>, Vec<usize>>,
+}
+
+impl CodedHashIndex {
+    /// Row indices whose key equals `key`, empty when absent.
+    pub fn probe(&self, key: &[u32]) -> &[usize] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// How the executor represents intermediate batches under a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchMode {
+    /// Dictionary codes flow end-to-end; decode once at the boundary
+    /// (the default since PR 4).
+    Coded,
+    /// Decode at every store read — the PR 3 behavior, kept as the
+    /// E17 ablation baseline and a differential-testing foil.
+    Decoded,
+}
+
+/// An executor result in either representation. Coded batches only
+/// arise when a [`Store`] is attached, so the decoding entry points
+/// take the same optional store the executor ran with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EitherBatch {
+    /// Owned `Value` rows.
+    Rows(Batch),
+    /// Dictionary-coded rows.
+    Coded(CodedBatch),
+}
+
+impl EitherBatch {
+    /// The batch arity.
+    pub fn arity(&self) -> usize {
+        match self {
+            EitherBatch::Rows(b) => b.arity(),
+            EitherBatch::Coded(c) => c.arity(),
+        }
+    }
+
+    /// Number of rows, counting duplicates.
+    pub fn len(&self) -> usize {
+        match self {
+            EitherBatch::Rows(b) => b.len(),
+            EitherBatch::Coded(c) => c.len(),
+        }
+    }
+
+    /// Whether the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the batch is in coded form.
+    pub fn is_coded(&self) -> bool {
+        matches!(self, EitherBatch::Coded(_))
+    }
+
+    /// Decodes into a row [`Batch`]. A coded batch can only have been
+    /// produced under a store, so `store` must be the one the executor
+    /// ran with.
+    pub fn decode(self, store: Option<&Store>) -> Batch {
+        match self {
+            EitherBatch::Rows(b) => b,
+            EitherBatch::Coded(c) => c.decode(
+                store
+                    .expect("coded batches only arise under a store")
+                    .dict(),
+            ),
+        }
+    }
+
+    /// Converts to a set-semantics [`Relation`], decoding coded rows
+    /// exactly once on the way — the pipeline's decode boundary.
+    pub fn into_relation(self, store: Option<&Store>) -> Relation {
+        match self {
+            EitherBatch::Rows(b) => b.into_relation(),
+            EitherBatch::Coded(c) => c.into_relation(
+                store
+                    .expect("coded batches only arise under a store")
+                    .dict(),
+            ),
+        }
+    }
+}
+
+/// One side of a coded comparison.
+pub enum CodedOperand {
+    /// A tuple position (codes come from the row).
+    Col(usize),
+    /// A plan-time constant: its code when interned, plus the value
+    /// itself for decode-on-compare order predicates.
+    Const(Option<u32>, Value),
+}
+
+/// A [`RowCondition`] precompiled against a store dictionary, evaluable
+/// on coded rows without decoding (except order comparisons, which
+/// decode on compare — code order is not value order).
+pub enum CodedCond {
+    /// A comparison between two coded operands.
+    Cmp(CodedOperand, CmpOp, CodedOperand),
+    /// `¬θ`
+    Not(Box<CodedCond>),
+    /// `θ ∧ θ′`
+    And(Box<CodedCond>, Box<CodedCond>),
+    /// `θ ∨ θ′`
+    Or(Box<CodedCond>, Box<CodedCond>),
+    /// Constant truth.
+    True,
+}
+
+impl CodedCond {
+    /// Compiles a condition, resolving constants against the store's
+    /// dictionary once instead of per row.
+    pub fn compile(cond: &RowCondition, store: &Store) -> Self {
+        let operand = |o: &Operand| match o {
+            Operand::Col(i) => CodedOperand::Col(*i),
+            Operand::Const(v) => CodedOperand::Const(store.encode(v), v.clone()),
+        };
+        match cond {
+            RowCondition::Cmp(a, op, b) => CodedCond::Cmp(operand(a), *op, operand(b)),
+            RowCondition::Not(c) => CodedCond::Not(Box::new(CodedCond::compile(c, store))),
+            RowCondition::And(a, b) => CodedCond::And(
+                Box::new(CodedCond::compile(a, store)),
+                Box::new(CodedCond::compile(b, store)),
+            ),
+            RowCondition::Or(a, b) => CodedCond::Or(
+                Box::new(CodedCond::compile(a, store)),
+                Box::new(CodedCond::compile(b, store)),
+            ),
+            RowCondition::True => CodedCond::True,
+        }
+    }
+
+    /// Evaluates the condition on a coded row. Positions were validated
+    /// against the batch arity by the caller (same discipline as the
+    /// decoded filter).
+    pub fn eval(&self, row: &[u32], dict: &Dictionary) -> bool {
+        match self {
+            CodedCond::Cmp(a, op, b) => {
+                // Equality decides on codes alone: the dictionary is a
+                // bijection, and a never-interned constant equals no
+                // stored value.
+                if matches!(op, CmpOp::Eq | CmpOp::Ne) {
+                    let code = |o: &CodedOperand| match o {
+                        CodedOperand::Col(i) => Some(row[*i]),
+                        CodedOperand::Const(c, _) => *c,
+                    };
+                    let eq = match (code(a), code(b)) {
+                        (Some(x), Some(y)) => x == y,
+                        // An un-interned constant: columns can't match
+                        // it; two un-interned constants are compared by
+                        // value below (both sides `Const`).
+                        (None, None) => {
+                            let (CodedOperand::Const(_, x), CodedOperand::Const(_, y)) = (a, b)
+                            else {
+                                unreachable!("codeless operands are constants")
+                            };
+                            x == y
+                        }
+                        _ => false,
+                    };
+                    return if *op == CmpOp::Eq { eq } else { !eq };
+                }
+                // Order predicates decode on compare: intern order is
+                // not value order.
+                fn value<'a>(o: &'a CodedOperand, row: &[u32], dict: &'a Dictionary) -> &'a Value {
+                    match o {
+                        CodedOperand::Col(i) => dict.value(row[*i]),
+                        CodedOperand::Const(_, v) => v,
+                    }
+                }
+                let value = |o| value(o, row, dict);
+                let (x, y) = (value(a), value(b));
+                match op {
+                    CmpOp::Lt => x < y,
+                    CmpOp::Le => x <= y,
+                    CmpOp::Gt => x > y,
+                    CmpOp::Ge => x >= y,
+                    CmpOp::Eq | CmpOp::Ne => unreachable!("handled above"),
+                }
+            }
+            CodedCond::Not(c) => !c.eval(row, dict),
+            CodedCond::And(a, b) => a.eval(row, dict) && b.eval(row, dict),
+            CodedCond::Or(a, b) => a.eval(row, dict) || b.eval(row, dict),
+            CodedCond::True => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_relational::Database;
+    use pgq_value::tuple;
+
+    fn store() -> Store {
+        let mut db = Database::new();
+        // Intern order: relation rows iterate in value order, so mix
+        // types to force code order ≠ value order (Int < Str but the
+        // column interleaves them by row order of the BTreeSet).
+        db.insert("R", tuple![200, "high"]).unwrap();
+        db.insert("R", tuple![5, "low"]).unwrap();
+        Store::from_database(&db)
+    }
+
+    #[test]
+    fn batch_roundtrip_and_dedup() {
+        let s = store();
+        let col = s.relation(&"R".into()).unwrap();
+        let mut b = CodedBatch::from_columnar(col);
+        assert_eq!(b.arity(), 2);
+        assert_eq!(b.len(), 2);
+        let first: Vec<u32> = b.row(0).to_vec();
+        b.push(&first).unwrap();
+        assert!(b.push(&[0]).is_err());
+        assert_eq!(b.len(), 3);
+        b.dedup();
+        assert_eq!(b.len(), 2);
+        let rel = b.into_relation(s.dict());
+        assert_eq!(rel.len(), 2);
+        assert!(rel.contains(&tuple![200, "high"]));
+    }
+
+    #[test]
+    fn coded_hash_index_probes() {
+        let s = store();
+        let b = CodedBatch::from_columnar(s.relation(&"R".into()).unwrap());
+        let idx = b.hash_index(&[0]);
+        assert_eq!(idx.distinct_keys(), 2);
+        let c5 = s.encode(&Value::int(5)).unwrap();
+        assert_eq!(idx.probe(&[c5]).len(), 1);
+        assert!(idx.probe(&[u32::MAX]).is_empty());
+    }
+
+    #[test]
+    fn coded_conditions_match_decoded_semantics() {
+        let s = store();
+        let b = CodedBatch::from_columnar(s.relation(&"R".into()).unwrap());
+        let cases = [
+            RowCondition::col_eq_const(0, 5),
+            RowCondition::col_eq_const(0, 7), // never interned
+            RowCondition::col_cmp_const(0, CmpOp::Gt, 100),
+            RowCondition::col_cmp_const(1, CmpOp::Lt, Value::str("m")),
+            RowCondition::col_eq(0, 1),
+            RowCondition::col_eq_const(0, 5)
+                .not()
+                .or(RowCondition::col_cmp_const(0, CmpOp::Ge, 200)),
+            RowCondition::Cmp(
+                Operand::Const(Value::int(9)),
+                CmpOp::Ne,
+                Operand::Const(Value::int(9)),
+            ),
+        ];
+        for cond in cases {
+            let coded = CodedCond::compile(&cond, &s);
+            for i in 0..b.len() {
+                let row = b.row(i);
+                let decoded: Tuple = Tuple::new(row.iter().map(|&c| s.decode(c).clone()).collect());
+                assert_eq!(
+                    coded.eval(row, s.dict()),
+                    cond.eval(&decoded).unwrap(),
+                    "{cond} on {decoded}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_arity_coded_batches() {
+        let mut b = CodedBatch::empty(0);
+        b.push(&[]).unwrap();
+        b.push(&[]).unwrap();
+        assert_eq!(b.len(), 2);
+        b.dedup();
+        assert_eq!(b.len(), 1);
+        let dict = Dictionary::new();
+        assert_eq!(b.into_relation(&dict), Relation::r#true());
+        assert_eq!(
+            CodedBatch::empty(0).into_relation(&dict),
+            Relation::r#false()
+        );
+    }
+
+    #[test]
+    fn either_batch_boundaries() {
+        let s = store();
+        let coded = EitherBatch::Coded(CodedBatch::from_columnar(s.relation(&"R".into()).unwrap()));
+        assert!(coded.is_coded());
+        assert_eq!(coded.arity(), 2);
+        assert_eq!(coded.len(), 2);
+        let rel = coded.clone().into_relation(Some(&s));
+        assert_eq!(rel.len(), 2);
+        assert_eq!(coded.decode(Some(&s)).into_relation(), rel);
+        let rows = EitherBatch::Rows(Batch::from_relation(&rel));
+        assert!(!rows.is_coded());
+        assert_eq!(rows.into_relation(None), rel);
+    }
+}

@@ -7,8 +7,20 @@
 //! executor reports plain [`RelError`]s — the per-layer error policy of
 //! DESIGN.md §7 is satisfied by the callers wrapping them (`QueryError`,
 //! `LogicError`, …) exactly as they wrap reference-evaluator errors.
+//!
+//! Under a session [`Store`] the executor is *coded*: store reads
+//! produce [`CodedBatch`]es of dictionary codes, every operator has a
+//! coded twin (`u32` hash keys, `u32` dedup, [`crate::coded::CodedCond`]
+//! predicates), and the pipeline decodes exactly once — at the
+//! [`EitherBatch::into_relation`] set-semantics boundary. Mixed plans (a
+//! coded scan meeting an uncoded `Values` stage) reconcile by decoding
+//! the coded side at the meeting operator; [`BatchMode::Decoded`] forces
+//! the PR 3 decode-at-scan behavior for ablation and differential
+//! testing. The codedness analysis `PhysPlan::runs_coded` mirrors this
+//! dispatch exactly, so `EXPLAIN` never lies about the boundary.
 
 use crate::batch::Batch;
+use crate::coded::{BatchMode, CodedBatch, CodedCond, EitherBatch};
 use crate::plan::PhysPlan;
 use pgq_relational::{Database, RelError, RelResult, RowCondition};
 use pgq_store::{CsrIndex, Store};
@@ -22,79 +34,161 @@ pub fn execute(plan: &PhysPlan, db: &Database) -> RelResult<Batch> {
 }
 
 /// Executes a physical plan against a database instance and, when
-/// given, a session [`Store`]. `IndexScan` reads the store's columnar
-/// relations, `AdjacencyExpand` probes its CSR indexes, and a
-/// reachability-shaped `Fixpoint` whose step is a CSR-indexed relation
-/// runs as frontier sweeps over the index instead of hash-join rounds.
-/// The store must have been registered from (a snapshot equal to) `db`;
-/// the differential suite `tests/prop_store.rs` holds both paths to
-/// identical results.
+/// given, a session [`Store`], decoding any coded result into rows.
+/// Callers that consume the result as a set should prefer
+/// [`execute_mode`] + [`EitherBatch::into_relation`], which decodes
+/// once at the set boundary instead of materializing rows first.
 pub fn execute_with(plan: &PhysPlan, db: &Database, store: Option<&Store>) -> RelResult<Batch> {
+    Ok(execute_mode(plan, db, store, BatchMode::Coded)?.decode(store))
+}
+
+/// Executes a physical plan in the given representation mode.
+/// `IndexScan` reads the store's columnar relations (as codes under
+/// [`BatchMode::Coded`], as decoded rows under [`BatchMode::Decoded`]),
+/// `AdjacencyExpand` probes its CSR indexes, and a reachability-shaped
+/// `Fixpoint` whose step is a CSR-indexed relation runs as frontier
+/// sweeps over the index instead of hash-join rounds. The store must
+/// have been registered from (a snapshot equal to) `db`; the
+/// differential suite `tests/prop_store.rs` holds coded, decoded and
+/// storeless paths to identical results.
+pub fn execute_mode(
+    plan: &PhysPlan,
+    db: &Database,
+    store: Option<&Store>,
+    mode: BatchMode,
+) -> RelResult<EitherBatch> {
     match plan {
-        PhysPlan::Scan(name) => Ok(Batch::from_relation(db.get_required(name)?)),
-        PhysPlan::IndexScan(name) => index_scan(name, db, store),
+        PhysPlan::Scan(name) => Ok(rows(Batch::from_relation(db.get_required(name)?))),
+        PhysPlan::IndexScan(name) => index_scan(name, db, store, mode),
         PhysPlan::AdjacencyExpand {
             input,
             key,
             rel,
             reverse,
         } => {
-            let batch = execute_with(input, db, store)?;
+            let batch = execute_mode(input, db, store, mode)?;
             adjacency_expand(batch, *key, rel, *reverse, db, store)
         }
-        PhysPlan::Values(b) => Ok(b.clone()),
-        PhysPlan::AdomScan => Ok(Batch::from_relation(&db.active_domain_relation())),
+        PhysPlan::Values(b) => Ok(rows(b.clone())),
+        PhysPlan::AdomScan => Ok(rows(Batch::from_relation(&db.active_domain_relation()))),
         PhysPlan::Filter { cond, input } => {
-            let batch = execute_with(input, db, store)?;
-            filter(cond, batch)
+            let batch = execute_mode(input, db, store, mode)?;
+            match batch {
+                EitherBatch::Coded(cb) => {
+                    let store = store.expect("coded batches only arise under a store");
+                    Ok(EitherBatch::Coded(filter_coded(cond, cb, store)?))
+                }
+                EitherBatch::Rows(b) => Ok(rows(filter(cond, b)?)),
+            }
         }
         PhysPlan::Project { positions, input } => {
-            let batch = execute_with(input, db, store)?;
-            project(positions, &batch)
+            let batch = execute_mode(input, db, store, mode)?;
+            match batch {
+                EitherBatch::Coded(cb) => Ok(EitherBatch::Coded(project_coded(positions, &cb)?)),
+                EitherBatch::Rows(b) => Ok(rows(project(positions, &b)?)),
+            }
         }
         PhysPlan::HashJoin { left, right, keys } => {
-            let l = execute_with(left, db, store)?;
-            let r = execute_with(right, db, store)?;
-            hash_join(&l, &r, keys)
+            let l = execute_mode(left, db, store, mode)?;
+            let r = execute_mode(right, db, store, mode)?;
+            match (l, r) {
+                // Both sides coded: join on code keys, stay coded.
+                (EitherBatch::Coded(l), EitherBatch::Coded(r)) => {
+                    Ok(EitherBatch::Coded(hash_join_coded(&l, &r, keys)?))
+                }
+                // Mixed: reconcile at this operator by decoding the
+                // coded side (always possible; the other direction —
+                // encoding arbitrary `Values` rows — is not, since the
+                // dictionary may not contain them).
+                (l, r) => Ok(rows(hash_join(&l.decode(store), &r.decode(store), keys)?)),
+            }
         }
         PhysPlan::Product { left, right } => {
-            let l = execute_with(left, db, store)?;
-            let r = execute_with(right, db, store)?;
-            let mut out = Batch::empty(l.arity() + r.arity());
-            for a in l.iter() {
-                for b in r.iter() {
-                    out.push(a.concat(b))?;
+            let l = execute_mode(left, db, store, mode)?;
+            let r = execute_mode(right, db, store, mode)?;
+            match (l, r) {
+                (EitherBatch::Coded(l), EitherBatch::Coded(r)) => {
+                    let mut out = CodedBatch::empty(l.arity() + r.arity());
+                    for a in l.iter() {
+                        for b in r.iter() {
+                            out.push_concat(a, b)?;
+                        }
+                    }
+                    Ok(EitherBatch::Coded(out))
+                }
+                (l, r) => {
+                    let (l, r) = (l.decode(store), r.decode(store));
+                    let mut out = Batch::empty(l.arity() + r.arity());
+                    for a in l.iter() {
+                        for b in r.iter() {
+                            out.push(a.concat(b))?;
+                        }
+                    }
+                    Ok(rows(out))
                 }
             }
-            Ok(out)
         }
         PhysPlan::Union { left, right } => {
-            let l = execute_with(left, db, store)?;
-            let r = execute_with(right, db, store)?;
+            let l = execute_mode(left, db, store, mode)?;
+            let r = execute_mode(right, db, store, mode)?;
             check_same_arity("union", &l, &r)?;
-            let mut out = l;
-            for t in r.into_rows() {
-                out.push(t)?;
-            }
-            Ok(out)
-        }
-        PhysPlan::Diff { left, right } => {
-            let l = execute_with(left, db, store)?;
-            let r = execute_with(right, db, store)?;
-            check_same_arity("difference", &l, &r)?;
-            let exclude: HashSet<&Tuple> = r.iter().collect();
-            let mut out = Batch::empty(l.arity());
-            for t in l.iter() {
-                if !exclude.contains(t) {
-                    out.push(t.clone())?;
+            match (l, r) {
+                (EitherBatch::Coded(l), EitherBatch::Coded(r)) => {
+                    let mut out = l;
+                    for row in r.iter() {
+                        out.push(row)?;
+                    }
+                    Ok(EitherBatch::Coded(out))
+                }
+                (l, r) => {
+                    let mut out = l.decode(store);
+                    for t in r.decode(store).into_rows() {
+                        out.push(t)?;
+                    }
+                    Ok(rows(out))
                 }
             }
-            Ok(out)
+        }
+        PhysPlan::Diff { left, right } => {
+            let l = execute_mode(left, db, store, mode)?;
+            let r = execute_mode(right, db, store, mode)?;
+            check_same_arity("difference", &l, &r)?;
+            match (l, r) {
+                (EitherBatch::Coded(l), EitherBatch::Coded(r)) => {
+                    let exclude: HashSet<&[u32]> = r.iter().collect();
+                    let mut out = CodedBatch::empty(l.arity());
+                    for row in l.iter() {
+                        if !exclude.contains(row) {
+                            out.push(row)?;
+                        }
+                    }
+                    Ok(EitherBatch::Coded(out))
+                }
+                (l, r) => {
+                    let (l, r) = (l.decode(store), r.decode(store));
+                    let exclude: HashSet<&Tuple> = r.iter().collect();
+                    let mut out = Batch::empty(l.arity());
+                    for t in l.iter() {
+                        if !exclude.contains(t) {
+                            out.push(t.clone())?;
+                        }
+                    }
+                    Ok(rows(out))
+                }
+            }
         }
         PhysPlan::Distinct { input } => {
-            let mut batch = execute_with(input, db, store)?;
-            batch.dedup();
-            Ok(batch)
+            let batch = execute_mode(input, db, store, mode)?;
+            match batch {
+                EitherBatch::Coded(mut cb) => {
+                    cb.dedup();
+                    Ok(EitherBatch::Coded(cb))
+                }
+                EitherBatch::Rows(mut b) => {
+                    b.dedup();
+                    Ok(rows(b))
+                }
+            }
         }
         PhysPlan::Fixpoint {
             base,
@@ -102,88 +196,146 @@ pub fn execute_with(plan: &PhysPlan, db: &Database, store: Option<&Store>) -> Re
             join,
             project,
         } => {
-            let base = execute_with(base, db, store)?;
+            let base = execute_mode(base, db, store, mode)?;
             // The ψreach/TC shape over a CSR-indexed step relation runs
-            // on the index: no step batch, no hash probes.
+            // on the index: no step batch, no hash probes. Coded bases
+            // sweep and emit codes; decoded bases sweep on values.
             if let (Some(store), PhysPlan::IndexScan(name)) = (store, step.as_ref()) {
                 if base.arity() == 2 && join.as_slice() == [(1, 0)] && project.as_slice() == [0, 3]
                 {
                     if let Some(idx) = store.adjacency(name) {
-                        return csr_fixpoint(base, idx, store);
+                        return match base {
+                            EitherBatch::Coded(cb) => {
+                                Ok(EitherBatch::Coded(csr_fixpoint_coded(cb, idx)?))
+                            }
+                            EitherBatch::Rows(b) => Ok(rows(csr_fixpoint(b, idx, store)?)),
+                        };
                     }
                 }
             }
-            let step = execute_with(step, db, store)?;
-            fixpoint(base, &step, join, project)
+            let step = execute_mode(step, db, store, mode)?;
+            match (base, step) {
+                (EitherBatch::Coded(base), EitherBatch::Coded(step)) => Ok(EitherBatch::Coded(
+                    fixpoint_coded(base, &step, join, project)?,
+                )),
+                (base, step) => Ok(rows(fixpoint(
+                    base.decode(store),
+                    &step.decode(store),
+                    join,
+                    project,
+                )?)),
+            }
         }
     }
 }
 
+fn rows(b: Batch) -> EitherBatch {
+    EitherBatch::Rows(b)
+}
+
 /// `IndexScan`: store-backed when possible, database fallback
 /// otherwise. The reserved [`pgq_store::ADOM_REL`] name scans the
-/// active domain.
+/// active domain. Under [`BatchMode::Coded`] the columnar codes are
+/// handed to the pipeline as-is; [`BatchMode::Decoded`] reproduces the
+/// PR 3 decode-at-scan behavior.
 fn index_scan(
     name: &pgq_relational::RelName,
     db: &Database,
     store: Option<&Store>,
-) -> RelResult<Batch> {
+    mode: BatchMode,
+) -> RelResult<EitherBatch> {
     if let Some((col, store)) = store.and_then(|s| s.relation(name).map(|c| (c, s))) {
-        return Batch::from_rows(col.arity(), col.decode_rows(store.dict()));
+        return Ok(match mode {
+            BatchMode::Coded => EitherBatch::Coded(CodedBatch::from_columnar(col)),
+            BatchMode::Decoded => rows(Batch::from_rows(
+                col.arity(),
+                col.decode_rows(store.dict()),
+            )?),
+        });
     }
     if name.as_str() == pgq_store::ADOM_REL {
-        return Ok(Batch::from_relation(&db.active_domain_relation()));
+        return Ok(rows(Batch::from_relation(&db.active_domain_relation())));
     }
-    Ok(Batch::from_relation(db.get_required(name)?))
+    Ok(rows(Batch::from_relation(db.get_required(name)?)))
 }
 
-/// `AdjacencyExpand`: CSR probes when the store indexes `rel`,
-/// otherwise the equivalent hash join against the stored relation.
+/// `AdjacencyExpand`: CSR probes when the store indexes `rel` (staying
+/// coded for coded inputs), otherwise the equivalent hash join against
+/// the stored relation.
 fn adjacency_expand(
-    input: Batch,
+    input: EitherBatch,
     key: usize,
     rel: &pgq_relational::RelName,
     reverse: bool,
     db: &Database,
     store: Option<&Store>,
-) -> RelResult<Batch> {
+) -> RelResult<EitherBatch> {
     if key >= input.arity() {
         return Err(RelError::PositionOutOfRange {
             position: key,
             arity: input.arity(),
         });
     }
-    let Some((store, idx)) = store.and_then(|s| s.adjacency(rel).map(|i| (s, i))) else {
+    let Some((store_ref, idx)) = store.and_then(|s| s.adjacency(rel).map(|i| (s, i))) else {
         let right = Batch::from_relation(db.get_required(rel)?);
         let join_key = if reverse { (key, 1) } else { (key, 0) };
-        return hash_join(&input, &right, &[join_key]);
+        return Ok(rows(hash_join(&input.decode(store), &right, &[join_key])?));
     };
-    let mut out = Batch::empty(input.arity() + 2);
-    for row in input.iter() {
-        let Some(dense) = store.encode(&row[key]).and_then(|c| idx.dense_of(c)) else {
-            continue;
-        };
-        let neighbors = if reverse {
-            idx.in_neighbors(dense)
-        } else {
-            idx.out_neighbors(dense)
-        };
-        for &n in neighbors {
-            let v = store.decode(idx.code_of(n)).clone();
-            let pair = if reverse {
-                Tuple::new(vec![v, row[key].clone()])
-            } else {
-                Tuple::new(vec![row[key].clone(), v])
-            };
-            out.push(row.concat(&pair))?;
+    match input {
+        EitherBatch::Coded(cb) => {
+            let mut out = CodedBatch::empty(cb.arity() + 2);
+            for row in cb.iter() {
+                let Some(dense) = idx.dense_of(row[key]) else {
+                    continue;
+                };
+                let neighbors = if reverse {
+                    idx.in_neighbors(dense)
+                } else {
+                    idx.out_neighbors(dense)
+                };
+                for &n in neighbors {
+                    let ncode = idx.code_of(n);
+                    let pair = if reverse {
+                        [ncode, row[key]]
+                    } else {
+                        [row[key], ncode]
+                    };
+                    out.push_concat(row, &pair)?;
+                }
+            }
+            Ok(EitherBatch::Coded(out))
+        }
+        EitherBatch::Rows(b) => {
+            let mut out = Batch::empty(b.arity() + 2);
+            for row in b.iter() {
+                let Some(dense) = store_ref.encode(&row[key]).and_then(|c| idx.dense_of(c)) else {
+                    continue;
+                };
+                let neighbors = if reverse {
+                    idx.in_neighbors(dense)
+                } else {
+                    idx.out_neighbors(dense)
+                };
+                for &n in neighbors {
+                    let v = store_ref.decode(idx.code_of(n)).clone();
+                    let pair = if reverse {
+                        Tuple::new(vec![v, row[key].clone()])
+                    } else {
+                        Tuple::new(vec![row[key].clone(), v])
+                    };
+                    out.push(row.concat(&pair))?;
+                }
+            }
+            Ok(rows(out))
         }
     }
-    Ok(out)
 }
 
-/// The CSR form of the reachability fixpoint: group the base pairs by
-/// their first component, run one multi-source frontier sweep per
-/// group, and decode. Base values outside the index's node universe
-/// stay as 0-step seeds (they have no outgoing edges by definition).
+/// The CSR form of the reachability fixpoint over a *decoded* base:
+/// group the base pairs by their first component, run one multi-source
+/// frontier sweep per group, and decode. Base values outside the
+/// index's node universe stay as 0-step seeds (they have no outgoing
+/// edges by definition).
 fn csr_fixpoint(base: Batch, idx: &CsrIndex, store: &Store) -> RelResult<Batch> {
     // x value → (dense seeds, out-of-universe seed values).
     let mut groups: Vec<(Value, Vec<u32>, Vec<Value>)> = Vec::new();
@@ -217,26 +369,67 @@ fn csr_fixpoint(base: Batch, idx: &CsrIndex, store: &Store) -> RelResult<Batch> 
     Ok(out)
 }
 
-fn check_same_arity(op: &'static str, l: &Batch, r: &Batch) -> RelResult<()> {
-    if l.arity() != r.arity() {
-        return Err(RelError::IncompatibleArities {
-            op,
-            left: l.arity(),
-            right: r.arity(),
+/// The coded CSR reachability fixpoint: identical sweep structure, but
+/// groups key on `u32` codes and the output rows are code pairs — no
+/// value touches the hot loop. Base target codes outside the index's
+/// node universe stay as 0-step seeds, exactly as in the decoded form.
+fn csr_fixpoint_coded(base: CodedBatch, idx: &CsrIndex) -> RelResult<CodedBatch> {
+    // x code → (dense seeds, out-of-universe seed codes).
+    let mut groups: Vec<(u32, Vec<u32>, Vec<u32>)> = Vec::new();
+    let mut group_of: HashMap<u32, usize> = HashMap::new();
+    for row in base.iter() {
+        let x = row[0];
+        let gi = *group_of.entry(x).or_insert_with(|| {
+            groups.push((x, Vec::new(), Vec::new()));
+            groups.len() - 1
         });
+        let y = row[1];
+        match idx.dense_of(y) {
+            Some(d) => groups[gi].1.push(d),
+            None => {
+                if !groups[gi].2.contains(&y) {
+                    groups[gi].2.push(y);
+                }
+            }
+        }
+    }
+    let mut out = CodedBatch::empty(2);
+    for (x, seeds, strays) in groups {
+        for d in idx.reach_from(seeds) {
+            out.push(&[x, idx.code_of(d)])?;
+        }
+        for y in strays {
+            out.push(&[x, y])?;
+        }
+    }
+    Ok(out)
+}
+
+fn check_arities(op: &'static str, left: usize, right: usize) -> RelResult<()> {
+    if left != right {
+        return Err(RelError::IncompatibleArities { op, left, right });
+    }
+    Ok(())
+}
+
+fn check_same_arity(op: &'static str, l: &EitherBatch, r: &EitherBatch) -> RelResult<()> {
+    check_arities(op, l.arity(), r.arity())
+}
+
+fn validate_filter_positions(cond: &RowCondition, arity: usize) -> RelResult<()> {
+    if let Some(max) = cond.max_position() {
+        if max >= arity {
+            return Err(RelError::PositionOutOfRange {
+                position: max,
+                arity,
+            });
+        }
     }
     Ok(())
 }
 
 fn filter(cond: &RowCondition, batch: Batch) -> RelResult<Batch> {
-    if let Some(max) = cond.max_position() {
-        if max >= batch.arity() {
-            return Err(RelError::PositionOutOfRange {
-                position: max,
-                arity: batch.arity(),
-            });
-        }
-    }
+    validate_filter_positions(cond, batch.arity())?;
     let arity = batch.arity();
     let rows = batch
         .into_rows()
@@ -247,18 +440,45 @@ fn filter(cond: &RowCondition, batch: Batch) -> RelResult<Batch> {
     Batch::from_rows(arity, rows)
 }
 
-fn project(positions: &[usize], batch: &Batch) -> RelResult<Batch> {
-    for &p in positions {
-        if p >= batch.arity() {
-            return Err(RelError::PositionOutOfRange {
-                position: p,
-                arity: batch.arity(),
-            });
+fn filter_coded(cond: &RowCondition, batch: CodedBatch, store: &Store) -> RelResult<CodedBatch> {
+    validate_filter_positions(cond, batch.arity())?;
+    let compiled = CodedCond::compile(cond, store);
+    let dict = store.dict();
+    let mut out = CodedBatch::empty(batch.arity());
+    for row in batch.iter() {
+        if compiled.eval(row, dict) {
+            out.push(row)?;
         }
     }
+    Ok(out)
+}
+
+fn validate_project_positions(positions: &[usize], arity: usize) -> RelResult<()> {
+    for &p in positions {
+        if p >= arity {
+            return Err(RelError::PositionOutOfRange { position: p, arity });
+        }
+    }
+    Ok(())
+}
+
+fn project(positions: &[usize], batch: &Batch) -> RelResult<Batch> {
+    validate_project_positions(positions, batch.arity())?;
     let mut out = Batch::empty(positions.len());
     for t in batch.iter() {
         out.push(t.project(positions).expect("checked positions"))?;
+    }
+    Ok(out)
+}
+
+fn project_coded(positions: &[usize], batch: &CodedBatch) -> RelResult<CodedBatch> {
+    validate_project_positions(positions, batch.arity())?;
+    let mut out = CodedBatch::empty(positions.len());
+    let mut scratch: Vec<u32> = Vec::with_capacity(positions.len());
+    for row in batch.iter() {
+        scratch.clear();
+        scratch.extend(positions.iter().map(|&p| row[p]));
+        out.push(&scratch)?;
     }
     Ok(out)
 }
@@ -285,7 +505,7 @@ fn hash_join(l: &Batch, r: &Batch, keys: &[(usize, usize)]) -> RelResult<Batch> 
     // Empty key set: the all-columns intersection (`PhysPlan::HashJoin`
     // docs) — keep left rows that occur on the right.
     if keys.is_empty() {
-        check_same_arity("intersection", l, r)?;
+        check_arities("intersection", l.arity(), r.arity())?;
         let right: HashSet<&Tuple> = r.iter().collect();
         let mut out = Batch::empty(l.arity());
         for a in l.iter() {
@@ -308,6 +528,63 @@ fn hash_join(l: &Batch, r: &Batch, keys: &[(usize, usize)]) -> RelResult<Batch> 
     Ok(out)
 }
 
+fn hash_join_coded(
+    l: &CodedBatch,
+    r: &CodedBatch,
+    keys: &[(usize, usize)],
+) -> RelResult<CodedBatch> {
+    // Empty key set: the all-columns intersection, on codes.
+    if keys.is_empty() {
+        check_arities("intersection", l.arity(), r.arity())?;
+        let right: HashSet<&[u32]> = r.iter().collect();
+        let mut out = CodedBatch::empty(l.arity());
+        for a in l.iter() {
+            if right.contains(a) {
+                out.push(a)?;
+            }
+        }
+        return Ok(out);
+    }
+    validate_keys(keys, l.arity(), r.arity())?;
+    let right_positions: Vec<usize> = keys.iter().map(|&(_, j)| j).collect();
+    let index = r.hash_index(&right_positions);
+    let mut out = CodedBatch::empty(l.arity() + r.arity());
+    let mut key: Vec<u32> = Vec::with_capacity(keys.len());
+    for a in l.iter() {
+        key.clear();
+        key.extend(keys.iter().map(|&(i, _)| a[i]));
+        for &bi in index.probe(&key) {
+            out.push_concat(a, r.row(bi))?;
+        }
+    }
+    Ok(out)
+}
+
+fn validate_fixpoint_shape(
+    join: &[(usize, usize)],
+    project: &[usize],
+    arity: usize,
+    step_arity: usize,
+) -> RelResult<()> {
+    validate_keys(join, arity, step_arity)?;
+    for &p in project {
+        if p >= arity + step_arity {
+            return Err(RelError::PositionOutOfRange {
+                position: p,
+                arity: arity + step_arity,
+            });
+        }
+    }
+    if project.len() != arity {
+        return Err(RelError::IncompatibleArities {
+            op: "fixpoint projection",
+            left: arity,
+            right: project.len(),
+        });
+    }
+    Ok(())
+}
+
 /// Semi-naive evaluation: each round joins only the rows discovered in
 /// the previous round (`Δ`) against the step batch, so the step side is
 /// indexed once and no derivation is recomputed. `pub(crate)` so
@@ -319,22 +596,7 @@ pub(crate) fn fixpoint(
     project: &[usize],
 ) -> RelResult<Batch> {
     let arity = base.arity();
-    validate_keys(join, arity, step.arity())?;
-    for &p in project {
-        if p >= arity + step.arity() {
-            return Err(RelError::PositionOutOfRange {
-                position: p,
-                arity: arity + step.arity(),
-            });
-        }
-    }
-    if project.len() != arity {
-        return Err(RelError::IncompatibleArities {
-            op: "fixpoint projection",
-            left: arity,
-            right: project.len(),
-        });
-    }
+    validate_fixpoint_shape(join, project, arity, step.arity())?;
 
     let step_positions: Vec<usize> = join.iter().map(|&(_, j)| j).collect();
     let index = step.hash_index(&step_positions);
@@ -363,6 +625,57 @@ pub(crate) fn fixpoint(
     }
 
     Batch::from_rows(arity, known)
+}
+
+/// The coded semi-naive fixpoint: identical round structure, but the
+/// accumulator dedup set, join keys and projections are all `u32` rows
+/// — the per-derivation work the data-complexity argument counts is a
+/// handful of integer hashes instead of `Value` clones and compares.
+fn fixpoint_coded(
+    base: CodedBatch,
+    step: &CodedBatch,
+    join: &[(usize, usize)],
+    project: &[usize],
+) -> RelResult<CodedBatch> {
+    let arity = base.arity();
+    validate_fixpoint_shape(join, project, arity, step.arity())?;
+
+    let step_positions: Vec<usize> = join.iter().map(|&(_, j)| j).collect();
+    let index = step.hash_index(&step_positions);
+
+    let mut known: HashSet<Vec<u32>> = HashSet::with_capacity(base.len());
+    let mut delta: Vec<Vec<u32>> = Vec::with_capacity(base.len());
+    for row in base.iter() {
+        if known.insert(row.to_vec()) {
+            delta.push(row.to_vec());
+        }
+    }
+
+    let mut key: Vec<u32> = Vec::with_capacity(join.len());
+    let mut wide: Vec<u32> = Vec::with_capacity(arity + step.arity());
+    while !delta.is_empty() {
+        let mut next: Vec<Vec<u32>> = Vec::new();
+        for acc in &delta {
+            key.clear();
+            key.extend(join.iter().map(|&(i, _)| acc[i]));
+            for &si in index.probe(&key) {
+                wide.clear();
+                wide.extend_from_slice(acc);
+                wide.extend_from_slice(step.row(si));
+                let grown: Vec<u32> = project.iter().map(|&p| wide[p]).collect();
+                if known.insert(grown.clone()) {
+                    next.push(grown);
+                }
+            }
+        }
+        delta = next;
+    }
+
+    let mut out = CodedBatch::empty(arity);
+    for row in known {
+        out.push(&row)?;
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -512,5 +825,87 @@ mod tests {
             execute(&unit, &d).unwrap().into_relation(),
             Relation::r#true()
         );
+    }
+
+    /// Every store-backed operator in both modes against the storeless
+    /// truth — the unit-sized version of `tests/prop_store.rs`.
+    #[test]
+    fn coded_and_decoded_modes_agree_with_storeless() {
+        let d = db();
+        let store = Store::from_database(&d);
+        let tc = PhysPlan::Fixpoint {
+            base: Box::new(PhysPlan::IndexScan("E".into())),
+            step: Box::new(PhysPlan::IndexScan("E".into())),
+            join: vec![(1, 0)],
+            project: vec![0, 3],
+        };
+        let plans = [
+            PhysPlan::IndexScan("R".into()).filter(RowCondition::col_cmp_const(
+                1,
+                pgq_relational::CmpOp::Gt,
+                15,
+            )),
+            PhysPlan::IndexScan("R".into())
+                .hash_join(PhysPlan::IndexScan("S".into()), vec![(1, 0)]),
+            PhysPlan::AdjacencyExpand {
+                input: Box::new(PhysPlan::IndexScan("E".into()).project(vec![1])),
+                key: 0,
+                rel: "E".into(),
+                reverse: false,
+            }
+            .project(vec![2]),
+            PhysPlan::AdjacencyExpand {
+                input: Box::new(PhysPlan::IndexScan("E".into()).project(vec![0])),
+                key: 0,
+                rel: "E".into(),
+                reverse: true,
+            },
+            PhysPlan::Union {
+                left: Box::new(PhysPlan::IndexScan("S".into())),
+                right: Box::new(PhysPlan::IndexScan("R".into()).project(vec![1]).distinct()),
+            },
+            PhysPlan::Diff {
+                left: Box::new(PhysPlan::IndexScan("R".into()).project(vec![1])),
+                right: Box::new(PhysPlan::IndexScan("S".into())),
+            },
+            tc.clone(),
+            // Mixed boundary: coded scan united with an uncoded Values.
+            PhysPlan::Union {
+                left: Box::new(PhysPlan::IndexScan("S".into())),
+                right: Box::new(PhysPlan::Values(Batch::from_rows(1, [tuple![77]]).unwrap())),
+            },
+        ];
+        for plan in &plans {
+            // The no-store executor degrades IndexScan/AdjacencyExpand
+            // to database scans and hash joins — the storeless truth.
+            let truth = execute(plan, &d).unwrap().into_relation();
+            let coded = execute_mode(plan, &d, Some(&store), BatchMode::Coded)
+                .unwrap()
+                .into_relation(Some(&store));
+            let decoded = execute_mode(plan, &d, Some(&store), BatchMode::Decoded)
+                .unwrap()
+                .into_relation(Some(&store));
+            assert_eq!(coded, truth, "coded disagrees on:\n{plan}");
+            assert_eq!(decoded, truth, "decoded disagrees on:\n{plan}");
+        }
+        // The coded pipeline really is coded (and the decoded one is not).
+        let probe = execute_mode(&tc, &d, Some(&store), BatchMode::Coded).unwrap();
+        assert!(probe.is_coded());
+        let probe = execute_mode(&tc, &d, Some(&store), BatchMode::Decoded).unwrap();
+        assert!(!probe.is_coded());
+    }
+
+    /// The expand probe key must be validated in both representations.
+    #[test]
+    fn coded_expand_validates_key() {
+        let d = db();
+        let store = Store::from_database(&d);
+        let bad = PhysPlan::AdjacencyExpand {
+            input: Box::new(PhysPlan::IndexScan("S".into())),
+            key: 5,
+            rel: "E".into(),
+            reverse: false,
+        };
+        assert!(execute_mode(&bad, &d, Some(&store), BatchMode::Coded).is_err());
     }
 }

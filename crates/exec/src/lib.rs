@@ -22,8 +22,17 @@
 //!   [`PhysPlan::IndexScan`]s, `AdomScan` reads the frozen active
 //!   domain, and joins against CSR-indexed edge relations become
 //!   [`PhysPlan::AdjacencyExpand`] neighbor lookups;
-//! * [`execute`]/[`execute_with`] — the batch executor over
-//!   hash-indexed row vectors, store-backed when given a store;
+//! * [`execute`]/[`execute_with`]/[`execute_mode`] — the batch
+//!   executor, store-backed when given a store. Under a store the
+//!   pipeline is **coded** (substrate S16, PR 4): store reads produce
+//!   [`CodedBatch`]es of dictionary codes, every operator has a coded
+//!   twin, and the pipeline decodes exactly once at the
+//!   [`EitherBatch::into_relation`] set-semantics boundary —
+//!   per-tuple work in the hot loops is a `u32` compare, not a
+//!   `Value` compare. [`BatchMode::Decoded`] keeps the PR 3
+//!   decode-at-scan route alive as the E17 ablation baseline, and
+//!   [`PhysPlan::runs_coded`]/[`PhysPlan::display_with`] surface the
+//!   routing decision through `EXPLAIN`;
 //! * [`PhysPlan::Fixpoint`] — a semi-naive least-fixpoint operator; the
 //!   FO\[TC\] evaluator (S5) and the `PGQrw` reachability route (S7,
 //!   `Engine::Physical`) both lower their closures onto it via
@@ -39,15 +48,18 @@
 #![deny(missing_docs)]
 
 pub mod batch;
+pub mod coded;
 pub mod exec;
 pub mod plan;
 pub mod planner;
 
 pub use batch::Batch;
-pub use exec::{execute, execute_with};
+pub use coded::{BatchMode, CodedBatch, CodedCond, EitherBatch};
+pub use exec::{execute, execute_mode, execute_with};
 pub use plan::PhysPlan;
 pub use planner::{
-    eval_ra, eval_ra_with, intersect_plan, lower_ra, optimize_plan, plan_ra, store_plan,
+    eval_ra, eval_ra_mode, eval_ra_with, intersect_plan, lower_ra, optimize_plan, plan_ra,
+    store_plan,
 };
 
 use pgq_relational::{RelError, RelResult};

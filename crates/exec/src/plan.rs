@@ -300,6 +300,105 @@ impl PhysPlan {
         }
     }
 
+    /// Whether this subtree runs on dictionary codes under `store` in
+    /// [`crate::coded::BatchMode::Coded`] — a static mirror of the
+    /// executor's representation dispatch (kept in lockstep so
+    /// `EXPLAIN` never lies):
+    ///
+    /// * `IndexScan` is coded when the store registers the relation;
+    /// * `AdjacencyExpand` stays coded when its input is coded and the
+    ///   relation is CSR-indexed;
+    /// * unary operators (`Filter`/`Project`/`Distinct`) inherit;
+    /// * binary operators and `Fixpoint` are coded only when **all**
+    ///   children are — a mixed meeting point decodes the coded side;
+    /// * `Scan`/`Values`/`AdomScan` produce decoded rows.
+    pub fn runs_coded(&self, store: &pgq_store::Store) -> bool {
+        match self {
+            PhysPlan::IndexScan(name) => store.has_relation(name),
+            PhysPlan::Scan(_) | PhysPlan::Values(_) | PhysPlan::AdomScan => false,
+            PhysPlan::AdjacencyExpand { input, rel, .. } => {
+                input.runs_coded(store) && store.adjacency(rel).is_some()
+            }
+            PhysPlan::Filter { input, .. }
+            | PhysPlan::Project { input, .. }
+            | PhysPlan::Distinct { input } => input.runs_coded(store),
+            PhysPlan::HashJoin { left, right, .. }
+            | PhysPlan::Product { left, right }
+            | PhysPlan::Union { left, right }
+            | PhysPlan::Diff { left, right } => left.runs_coded(store) && right.runs_coded(store),
+            PhysPlan::Fixpoint { base, step, .. } => {
+                base.runs_coded(store) && step.runs_coded(store)
+            }
+        }
+    }
+
+    /// The `EXPLAIN` tree annotated with the coded-execution routing
+    /// under `store`: nodes running on dictionary codes are marked
+    /// `⟨coded⟩`, each point where a coded subtree is decoded to meet
+    /// an uncoded one is marked `⟨decode⟩`, and a trailing line states
+    /// where the pipeline's decode boundary sits. With no store this is
+    /// plain [`std::fmt::Display`] plus a `decoded` summary line.
+    pub fn display_with(&self, store: Option<&pgq_store::Store>) -> String {
+        let Some(store) = store else {
+            return format!("{self}pipeline: decoded (no session store)\n");
+        };
+        let mut out = String::new();
+        self.render_coded(&mut out, store, "", true, true, false);
+        if self.runs_coded(store) {
+            out.push_str("pipeline: coded (decode once at the result boundary)\n");
+        } else if self.any_coded(store) {
+            out.push_str("pipeline: mixed (decode at the marked ⟨decode⟩ boundaries)\n");
+        } else {
+            out.push_str("pipeline: decoded\n");
+        }
+        out
+    }
+
+    /// Whether any node of the subtree runs coded.
+    fn any_coded(&self, store: &pgq_store::Store) -> bool {
+        self.runs_coded(store) || self.children().iter().any(|c| c.any_coded(store))
+    }
+
+    fn render_coded(
+        &self,
+        out: &mut String,
+        store: &pgq_store::Store,
+        prefix: &str,
+        last: bool,
+        root: bool,
+        parent_coded: bool,
+    ) {
+        use std::fmt::Write as _;
+        let coded = self.runs_coded(store);
+        let marker = if coded && !parent_coded && !root {
+            // A coded subtree feeding a decoded parent: the executor
+            // decodes this operator's output before the parent runs.
+            " ⟨coded⟩ ⟨decode⟩"
+        } else if coded {
+            " ⟨coded⟩"
+        } else {
+            ""
+        };
+        if root {
+            let _ = writeln!(out, "{}{marker}", self.node_label());
+        } else {
+            let branch = if last { "└─ " } else { "├─ " };
+            let _ = writeln!(out, "{prefix}{branch}{}{marker}", self.node_label());
+        }
+        let child_prefix = if root {
+            String::new()
+        } else if last {
+            format!("{prefix}   ")
+        } else {
+            format!("{prefix}│  ")
+        };
+        let children = self.children();
+        let n = children.len();
+        for (i, c) in children.into_iter().enumerate() {
+            c.render_coded(out, store, &child_prefix, i + 1 == n, false, coded);
+        }
+    }
+
     /// Number of operator nodes.
     pub fn size(&self) -> usize {
         match self {
@@ -527,6 +626,56 @@ mod tests {
             right: Box::new(PhysPlan::Scan("S".into())),
         };
         assert!(u.arity(&s).is_err());
+    }
+
+    #[test]
+    fn coded_display_marks_routing_and_boundaries() {
+        use crate::batch::Batch;
+        let mut db = pgq_relational::Database::new();
+        db.insert("R", pgq_value::tuple![1, 2]).unwrap();
+        db.insert("S", pgq_value::tuple![1]).unwrap();
+        let store = pgq_store::Store::from_database(&db);
+
+        // Fully coded pipeline: decode only at the result boundary.
+        let coded = PhysPlan::IndexScan("R".into())
+            .hash_join(PhysPlan::IndexScan("S".into()), vec![(0, 0)])
+            .project(vec![1]);
+        assert!(coded.runs_coded(&store));
+        let text = coded.display_with(Some(&store));
+        assert!(text.contains("Project [$2] ⟨coded⟩"), "{text}");
+        assert!(
+            text.contains("pipeline: coded (decode once at the result boundary)"),
+            "{text}"
+        );
+        assert!(!text.contains("⟨decode⟩"), "{text}");
+
+        // Mixed: an uncoded Values stage forces a decode boundary at
+        // the union, marked on the coded child.
+        let mixed = PhysPlan::Union {
+            left: Box::new(PhysPlan::IndexScan("S".into())),
+            right: Box::new(PhysPlan::Values(
+                Batch::from_rows(1, [pgq_value::tuple![9]]).unwrap(),
+            )),
+        };
+        assert!(!mixed.runs_coded(&store));
+        let text = mixed.display_with(Some(&store));
+        assert!(
+            text.contains("IndexScan S [columnar] ⟨coded⟩ ⟨decode⟩"),
+            "{text}"
+        );
+        assert!(text.contains("pipeline: mixed"), "{text}");
+
+        // No store: everything is decoded.
+        let text = coded.display_with(None);
+        assert!(
+            text.contains("pipeline: decoded (no session store)"),
+            "{text}"
+        );
+        assert!(!text.contains("⟨coded⟩"), "{text}");
+        // A store that doesn't register the relation: plain decoded.
+        let empty = pgq_store::Store::new();
+        let text = PhysPlan::Scan("R".into()).display_with(Some(&empty));
+        assert!(text.contains("pipeline: decoded\n"), "{text}");
     }
 
     #[test]

@@ -19,7 +19,8 @@
 //! and this module's tests hold it to the reference evaluator.
 
 use crate::batch::Batch;
-use crate::exec::{execute, execute_with};
+use crate::coded::BatchMode;
+use crate::exec::{execute, execute_mode};
 use crate::plan::PhysPlan;
 use pgq_relational::{CmpOp, Database, Operand, RaExpr, RelResult, Relation, RowCondition, Schema};
 use pgq_store::Store;
@@ -45,11 +46,26 @@ pub fn eval_ra(expr: &RaExpr, db: &Database) -> RelResult<Relation> {
 }
 
 /// [`eval_ra`] through a session [`Store`]: the optimized plan is
-/// additionally lowered onto the store's indexes by [`store_plan`]
-/// before running. The store must be a snapshot of `db`.
+/// additionally lowered onto the store's indexes by [`store_plan`],
+/// runs **coded** (dictionary codes end-to-end), and decodes exactly
+/// once at the set-semantics boundary. The store must be a snapshot of
+/// `db`.
 pub fn eval_ra_with(expr: &RaExpr, db: &Database, store: &Store) -> RelResult<Relation> {
+    eval_ra_mode(expr, db, store, BatchMode::Coded)
+}
+
+/// [`eval_ra_with`] with an explicit representation mode —
+/// [`BatchMode::Decoded`] reproduces the PR 3 decode-at-scan store
+/// route, which the E17 ablation and the differential suite
+/// (`tests/prop_store.rs`) hold against the coded default.
+pub fn eval_ra_mode(
+    expr: &RaExpr,
+    db: &Database,
+    store: &Store,
+    mode: BatchMode,
+) -> RelResult<Relation> {
     let plan = store_plan(plan_for_instance(expr, db)?, store);
-    Ok(execute_with(&plan, db, Some(store))?.into_relation())
+    Ok(execute_mode(&plan, db, Some(store), mode)?.into_relation(Some(store)))
 }
 
 /// Lowers and optimizes an expression under a schema.
@@ -130,7 +146,7 @@ pub fn optimize_plan(plan: PhysPlan, schema: &Schema) -> RelResult<PhysPlan> {
 /// * a single-key `HashJoin` whose build side is a CSR-indexed binary
 ///   relation scanned bare → [`PhysPlan::AdjacencyExpand`];
 /// * the step of a reachability-shaped `Fixpoint` becomes an
-///   `IndexScan`, which [`execute_with`] runs as CSR frontier sweeps.
+///   `IndexScan`, which [`crate::execute_with`] runs as CSR frontier sweeps.
 ///
 /// Apply **after** [`optimize_plan`] (the pass assumes a well-typed
 /// plan and preserves result rows exactly).

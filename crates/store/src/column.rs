@@ -7,6 +7,7 @@
 //! caller asks for tuples back.
 
 use crate::dict::Dictionary;
+use crate::store::StoreError;
 use pgq_relational::Relation;
 use pgq_value::Tuple;
 
@@ -21,19 +22,21 @@ pub struct ColumnarRelation {
 
 impl ColumnarRelation {
     /// Encodes a relation column by column, interning every value.
-    pub fn from_relation(rel: &Relation, dict: &mut Dictionary) -> Self {
+    /// Fails with [`StoreError::DictionaryFull`] when the dictionary's
+    /// code space is exhausted mid-encode.
+    pub fn from_relation(rel: &Relation, dict: &mut Dictionary) -> Result<Self, StoreError> {
         let arity = rel.arity();
         let mut columns = vec![Vec::with_capacity(rel.len()); arity];
         for t in rel.iter() {
             for (p, v) in t.iter().enumerate() {
-                columns[p].push(dict.intern(v));
+                columns[p].push(dict.intern(v)?);
             }
         }
-        ColumnarRelation {
+        Ok(ColumnarRelation {
             arity,
             rows: rel.len(),
             columns,
-        }
+        })
     }
 
     /// Attribute count.
@@ -92,7 +95,7 @@ mod tests {
     fn roundtrip_preserves_rows() {
         let rel = Relation::from_rows(2, [tuple![1, "a"], tuple![2, "b"], tuple![1, "b"]]).unwrap();
         let mut dict = Dictionary::new();
-        let col = ColumnarRelation::from_relation(&rel, &mut dict);
+        let col = ColumnarRelation::from_relation(&rel, &mut dict).unwrap();
         assert_eq!(col.arity(), 2);
         assert_eq!(col.len(), 3);
         assert_eq!(dict.len(), 4); // 1, 2, "a", "b"
@@ -104,11 +107,11 @@ mod tests {
     #[test]
     fn zero_arity_and_empty() {
         let mut dict = Dictionary::new();
-        let truth = ColumnarRelation::from_relation(&Relation::r#true(), &mut dict);
+        let truth = ColumnarRelation::from_relation(&Relation::r#true(), &mut dict).unwrap();
         assert_eq!(truth.arity(), 0);
         assert_eq!(truth.len(), 1);
         assert_eq!(truth.decode_rows(&dict), vec![Tuple::empty()]);
-        let none = ColumnarRelation::from_relation(&Relation::empty(3), &mut dict);
+        let none = ColumnarRelation::from_relation(&Relation::empty(3), &mut dict).unwrap();
         assert!(none.is_empty());
         assert_eq!(none.decode_rows(&dict), Vec::<Tuple>::new());
     }

@@ -7,32 +7,76 @@
 //! `BTreeMap` name order and rows in relation order). Columns and CSR
 //! indexes hold codes, not values — a string IBAN costs four bytes per
 //! occurrence instead of a heap clone.
+//!
+//! Because codes are handed out in *first-seen* order, the code order
+//! is **not** the value order: a store that interned `200` before `5`
+//! maps the larger value to the smaller code. Coded execution
+//! (`pgq-exec`) therefore compares codes only for equality and decodes
+//! through [`Dictionary::value`] for order predicates.
+//!
+//! The dictionary is **append-only**: re-registering a store never
+//! removes codes, so values that left the database keep their slot
+//! (see the compaction discussion in the crate docs).
 
+use crate::store::StoreError;
 use pgq_value::Value;
 use std::collections::HashMap;
 
 /// An append-only value dictionary: `Value ↔ u32` in first-seen order.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Dictionary {
     values: Vec<Value>,
     codes: HashMap<Value, u32>,
+    /// Maximum number of codes this dictionary may mint. Defaults to
+    /// the full `u32` space; tests lower it to exercise the
+    /// [`StoreError::DictionaryFull`] path without 2³² interns.
+    limit: usize,
+}
+
+impl Default for Dictionary {
+    fn default() -> Self {
+        Dictionary {
+            values: Vec::new(),
+            codes: HashMap::new(),
+            limit: Dictionary::MAX_CODES,
+        }
+    }
 }
 
 impl Dictionary {
+    /// The full `u32` code space: the hard ceiling on distinct values.
+    pub const MAX_CODES: usize = u32::MAX as usize + 1;
+
     /// An empty dictionary.
     pub fn new() -> Self {
         Dictionary::default()
     }
 
-    /// Interns `v`, returning its (possibly pre-existing) code.
-    pub fn intern(&mut self, v: &Value) -> u32 {
-        if let Some(&c) = self.codes.get(v) {
-            return c;
+    /// An empty dictionary that refuses to mint more than `limit`
+    /// codes (capped at [`Dictionary::MAX_CODES`]). Exists so admission
+    /// control and tests can exercise the exhaustion path cheaply.
+    pub fn with_limit(limit: usize) -> Self {
+        Dictionary {
+            limit: limit.min(Dictionary::MAX_CODES),
+            ..Dictionary::default()
         }
-        let c = u32::try_from(self.values.len()).expect("dictionary outgrew u32 codes");
+    }
+
+    /// Interns `v`, returning its (possibly pre-existing) code, or
+    /// [`StoreError::DictionaryFull`] when the code space is exhausted
+    /// — the error every registration path propagates instead of
+    /// panicking mid-load.
+    pub fn intern(&mut self, v: &Value) -> Result<u32, StoreError> {
+        if let Some(&c) = self.codes.get(v) {
+            return Ok(c);
+        }
+        if self.values.len() >= self.limit {
+            return Err(StoreError::DictionaryFull { limit: self.limit });
+        }
+        let c = self.values.len() as u32;
         self.values.push(v.clone());
         self.codes.insert(v.clone(), c);
-        c
+        Ok(c)
     }
 
     /// The code of `v`, if it has been interned.
@@ -47,7 +91,9 @@ impl Dictionary {
         &self.values[code as usize]
     }
 
-    /// Number of distinct interned values.
+    /// Number of distinct interned values (total codes ever minted —
+    /// the append-only dictionary never forgets; see
+    /// `Store::stats` for live vs. total accounting).
     pub fn len(&self) -> usize {
         self.values.len()
     }
@@ -65,14 +111,28 @@ mod tests {
     #[test]
     fn intern_is_idempotent() {
         let mut d = Dictionary::new();
-        let a = d.intern(&Value::str("x"));
-        let b = d.intern(&Value::int(7));
-        let a2 = d.intern(&Value::str("x"));
+        let a = d.intern(&Value::str("x")).unwrap();
+        let b = d.intern(&Value::int(7)).unwrap();
+        let a2 = d.intern(&Value::str("x")).unwrap();
         assert_eq!(a, a2);
         assert_ne!(a, b);
         assert_eq!(d.len(), 2);
         assert_eq!(d.value(a), &Value::str("x"));
         assert_eq!(d.code(&Value::int(7)), Some(b));
         assert_eq!(d.code(&Value::bool(true)), None);
+    }
+
+    #[test]
+    fn exhaustion_is_an_error_not_a_panic() {
+        let mut d = Dictionary::with_limit(2);
+        d.intern(&Value::int(1)).unwrap();
+        d.intern(&Value::int(2)).unwrap();
+        // Pre-existing values still intern fine at the limit.
+        assert_eq!(d.intern(&Value::int(1)).unwrap(), 0);
+        assert!(matches!(
+            d.intern(&Value::int(3)),
+            Err(StoreError::DictionaryFull { limit: 2 })
+        ));
+        assert_eq!(d.len(), 2);
     }
 }

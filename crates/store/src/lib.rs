@@ -19,7 +19,36 @@
 //! The store is held to the reference evaluators by the differential
 //! suite `tests/prop_store.rs` at the workspace root, and its ablation
 //! against the PR 2 hash-join engine is experiment E16 /
-//! `BENCH_3.json`.
+//! `BENCH_3.json`. The coded execution pipeline that keeps these codes
+//! flowing through every physical operator (decoding once at the
+//! set-semantics boundary) lives in `pgq-exec`; its ablation is
+//! experiment E17 / `BENCH_4.json`.
+//!
+//! ## Code order vs. value order
+//!
+//! Codes are minted in first-seen order, which is **not** the value
+//! order: coded operators compare codes only for *equality* and decode
+//! through the shared [`Dictionary`] for order predicates
+//! (`t.amount > 100`-style conditions decode on compare — an index
+//! into the dictionary's value vector, not a hash lookup).
+//!
+//! ## Compaction
+//!
+//! The dictionary is append-only: [`Store::register_database`] drops
+//! relations, adjacency and graphs that no longer exist, but codes
+//! minted for departed values stay resident forever (dropping them
+//! would dangle any structure still holding the code, and renumbering
+//! would invalidate every frozen column and CSR index at once). The
+//! store therefore *tracks* the gap instead: [`StoreStats`] reports
+//! live vs. total codes (surfaced by the shell's `STATS` command), and
+//! the supported compaction story is a **rebuild** — construct a fresh
+//! `Store::from_database` (re-registering graphs), which re-interns
+//! exactly the live values, and drop the old store. That matches the
+//! snapshot discipline: stores answer for the state they were
+//! registered from, and a session that has churned enough data to care
+//! about residency is due a fresh snapshot anyway. Code space is a
+//! hard `u32` ceiling ([`Dictionary::MAX_CODES`]); exhaustion is a
+//! typed [`StoreError::DictionaryFull`], not a panic.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]

@@ -47,6 +47,14 @@ pub enum StoreError {
     UnknownRelation(RelName),
     /// The six relations violate the Definition 3.1/5.1 conditions.
     View(ViewError),
+    /// The value dictionary ran out of codes: more than `limit`
+    /// distinct values were interned. Registration propagates this
+    /// instead of panicking mid-load (`Dictionary::MAX_CODES` is the
+    /// hard ceiling; tests lower the limit to reach it).
+    DictionaryFull {
+        /// The code-space limit that was hit.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -54,6 +62,9 @@ impl fmt::Display for StoreError {
         match self {
             StoreError::UnknownRelation(n) => write!(f, "unknown relation {n}"),
             StoreError::View(e) => write!(f, "invalid graph view: {e}"),
+            StoreError::DictionaryFull { limit } => {
+                write!(f, "value dictionary full: {limit} code(s) exhausted")
+            }
         }
     }
 }
@@ -230,10 +241,19 @@ impl Store {
     /// Registers every relation of `db` (columnar + adjacency for the
     /// binary ones) and the reserved [`ADOM_REL`] active-domain
     /// relation. The usual way to obtain a store.
+    ///
+    /// # Panics
+    ///
+    /// On a fresh store the only possible registration failure is
+    /// [`StoreError::DictionaryFull`] — more than [`Dictionary::MAX_CODES`]
+    /// distinct values in one database. Callers loading instances that
+    /// could plausibly reach 2³² distinct values should build with
+    /// [`Store::new`] + [`Store::register_database`] and handle the
+    /// error.
     pub fn from_database(db: &Database) -> Self {
         let mut s = Store::new();
         s.register_database(db)
-            .expect("a fresh store has no frozen graphs to re-validate");
+            .expect("a fresh store has no graphs to re-validate and a full u32 code space");
         s
     }
 
@@ -249,9 +269,9 @@ impl Store {
         self.relations.clear();
         self.adjacency.clear();
         for (name, rel) in db.iter() {
-            self.register_relation(name.clone(), rel);
+            self.register_relation(name.clone(), rel)?;
         }
-        self.register_relation(ADOM_REL.into(), &db.active_domain_relation());
+        self.register_relation(ADOM_REL.into(), &db.active_domain_relation())?;
         let rebuild: Vec<(String, [RelName; 6], GraphForm)> = self
             .graphs
             .iter()
@@ -265,8 +285,10 @@ impl Store {
     }
 
     /// Registers one relation: columnar always, CSR when binary.
-    pub fn register_relation(&mut self, name: RelName, rel: &Relation) {
-        let col = ColumnarRelation::from_relation(rel, &mut self.dict);
+    /// Fails with [`StoreError::DictionaryFull`] when interning the
+    /// relation's values exhausts the dictionary's code space.
+    pub fn register_relation(&mut self, name: RelName, rel: &Relation) -> Result<(), StoreError> {
+        let col = ColumnarRelation::from_relation(rel, &mut self.dict)?;
         if rel.arity() == 2 {
             let pairs: Vec<(u32, u32)> = (0..col.len())
                 .map(|i| (col.code_at(i, 0), col.code_at(i, 1)))
@@ -280,6 +302,7 @@ impl Store {
             self.adjacency.remove(&name);
         }
         self.relations.insert(name, col);
+        Ok(())
     }
 
     /// Validates the six named view relations with the strict `pgView`
@@ -337,6 +360,19 @@ impl Store {
         &self.dict
     }
 
+    /// Interns a plan-time literal constant into the shared dictionary,
+    /// so coded filters can compare it against column codes without a
+    /// decode. This is an **optional** entry point for sessions that
+    /// hold a mutable store while preparing queries — nothing in the
+    /// engine calls it today, because the coded executor degrades
+    /// gracefully for *un*-interned constants (an equality against a
+    /// value no stored row contains is constant-false, and order
+    /// comparisons decode on compare). Interning is an optimization,
+    /// never a correctness requirement.
+    pub fn intern_literal(&mut self, v: &Value) -> Result<u32, StoreError> {
+        self.dict.intern(v)
+    }
+
     /// The code of a value, when any registered row contains it.
     pub fn encode(&self, v: &Value) -> Option<u32> {
         self.dict.code(v)
@@ -386,10 +422,29 @@ impl Store {
         self.graphs.keys().map(String::as_str)
     }
 
+    /// Codes referenced by the *currently registered* relations — the
+    /// live subset of the append-only dictionary. Because the
+    /// dictionary never forgets, re-registration after deletes leaves
+    /// stale codes behind; `stats` surfaces the gap so sessions can
+    /// decide when a rebuild (the compaction story — see the crate
+    /// docs) is worth it.
+    pub fn live_codes(&self) -> usize {
+        let mut live = vec![false; self.dict.len()];
+        for col in self.relations.values() {
+            for p in 0..col.arity() {
+                for &c in col.column(p) {
+                    live[c as usize] = true;
+                }
+            }
+        }
+        live.iter().filter(|&&b| b).count()
+    }
+
     /// A storage-layout report (the shell's `STATS` command).
     pub fn stats(&self) -> StoreStats {
         StoreStats {
-            dictionary_len: self.dict.len(),
+            dictionary_total: self.dict.len(),
+            dictionary_live: self.live_codes(),
             relations: self
                 .relations
                 .iter()
@@ -461,17 +516,35 @@ pub struct GraphStats {
 /// The full storage-layout report.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StoreStats {
-    /// Distinct values interned store-wide.
-    pub dictionary_len: usize,
+    /// Codes ever minted (the append-only dictionary never forgets).
+    pub dictionary_total: usize,
+    /// Codes referenced by currently registered relations. The
+    /// difference `total − live` is the residency cost of stale codes
+    /// left behind by re-registration; compaction = rebuilding a fresh
+    /// store (see the `pgq-store` crate docs).
+    pub dictionary_live: usize,
     /// Per-relation layout, in name order.
     pub relations: Vec<RelationStats>,
     /// Per-graph layout, in name order.
     pub graphs: Vec<GraphStats>,
 }
 
+impl StoreStats {
+    /// Stale codes: minted but unreferenced by any registered relation.
+    pub fn dictionary_stale(&self) -> usize {
+        self.dictionary_total - self.dictionary_live
+    }
+}
+
 impl fmt::Display for StoreStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "dictionary: {} distinct value(s)", self.dictionary_len)?;
+        writeln!(
+            f,
+            "dictionary: {} code(s) minted, {} live, {} stale",
+            self.dictionary_total,
+            self.dictionary_live,
+            self.dictionary_stale()
+        )?;
         for r in &self.relations {
             write!(
                 f,
@@ -594,10 +667,10 @@ mod tests {
     fn reregistration_drops_stale_adjacency() {
         let mut store = Store::new();
         let binary = Relation::from_rows(2, [tuple![1, 2]]).unwrap();
-        store.register_relation("R".into(), &binary);
+        store.register_relation("R".into(), &binary).unwrap();
         assert!(store.adjacency(&"R".into()).is_some());
         let ternary = Relation::from_rows(3, [tuple![1, 2, 3]]).unwrap();
-        store.register_relation("R".into(), &ternary);
+        store.register_relation("R".into(), &ternary).unwrap();
         assert!(store.adjacency(&"R".into()).is_none());
         assert_eq!(store.relation(&"R".into()).unwrap().arity(), 3);
     }
@@ -660,7 +733,10 @@ mod tests {
             .register_view_graph("G", views(), &db, GraphForm::Exact(1))
             .unwrap();
         let stats = store.stats();
-        assert!(stats.dictionary_len >= 8);
+        assert!(stats.dictionary_total >= 8);
+        // A fresh registration references every code it minted.
+        assert_eq!(stats.dictionary_live, stats.dictionary_total);
+        assert_eq!(stats.dictionary_stale(), 0);
         let s_rel = stats.relations.iter().find(|r| r.name == "S").unwrap();
         assert!(s_rel.indexed);
         assert_eq!(s_rel.rows, 3);
@@ -668,6 +744,57 @@ mod tests {
         let text = stats.to_string();
         assert!(text.contains("graph G: 4 node(s), 3 edge(s)"));
         assert!(text.contains("CSR indexed"));
+        assert!(text.contains("0 stale"));
+    }
+
+    #[test]
+    fn reregistration_tracks_stale_codes() {
+        let mut store = Store::new();
+        let mut db = Database::new();
+        db.insert("R", tuple!["gone", "kept"]).unwrap();
+        store.register_database(&db).unwrap();
+        let before = store.stats();
+        assert_eq!(before.dictionary_stale(), 0);
+        // Replace the row: the dictionary keeps "gone" forever.
+        let mut db = Database::new();
+        db.insert("R", tuple!["fresh", "kept"]).unwrap();
+        store.register_database(&db).unwrap();
+        let after = store.stats();
+        assert_eq!(after.dictionary_total, 3);
+        assert_eq!(after.dictionary_live, 2);
+        assert_eq!(after.dictionary_stale(), 1);
+        // Stale codes still decode — they are unreachable, not dangling.
+        let gone = store.encode(&Value::str("gone")).unwrap();
+        assert_eq!(store.decode(gone), &Value::str("gone"));
+    }
+
+    #[test]
+    fn dictionary_exhaustion_propagates_through_registration() {
+        let mut store = Store {
+            dict: Dictionary::with_limit(3),
+            ..Store::new()
+        };
+        let mut db = Database::new();
+        for i in 0..4i64 {
+            db.insert("V", tuple![i]).unwrap();
+        }
+        assert!(matches!(
+            store.register_database(&db),
+            Err(StoreError::DictionaryFull { limit: 3 })
+        ));
+        // Within the limit, registration (and literal interning) works.
+        let mut small = Database::new();
+        small.insert("V", tuple![1]).unwrap();
+        let mut store = Store {
+            dict: Dictionary::with_limit(2),
+            ..Store::new()
+        };
+        store.register_database(&small).unwrap();
+        assert!(store.intern_literal(&Value::int(99)).is_ok());
+        assert!(matches!(
+            store.intern_literal(&Value::int(100)),
+            Err(StoreError::DictionaryFull { .. })
+        ));
     }
 
     #[test]

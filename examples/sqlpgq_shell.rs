@@ -6,11 +6,15 @@
 //! the shell (the formal model is read-only, Section 7 "Updates"), plus
 //! two introspection commands:
 //!
-//! * `EXPLAIN SELECT …;` — prints the S15 physical plan (operator
-//!   tree, pattern route, view subplans) instead of running the query;
+//! * `EXPLAIN SELECT …;` — prints the S15/S16 physical plan (operator
+//!   tree, pattern route, view subplans) instead of running the query,
+//!   including the coded-execution routing: which operators run on
+//!   dictionary codes (`⟨coded⟩`) and where the pipeline decodes;
 //! * `STATS;` — freezes the current data into an S16 store (columnar
 //!   relations, CSR adjacency per graph and edge label) and prints the
-//!   storage layout.
+//!   storage layout, including dictionary residency (codes minted vs.
+//!   live — the append-only dictionary keeps stale codes until the
+//!   store is rebuilt).
 //!
 //! ```sh
 //! cargo run --example sqlpgq_shell            # built-in demo
@@ -123,17 +127,21 @@ fn strip_explain(stmt: &str) -> Option<&str> {
         .then(|| rest.trim_start())
 }
 
-/// Renders the S15 physical plan of a `GRAPH_TABLE` query without
+/// Renders the S15/S16 physical plan of a `GRAPH_TABLE` query without
 /// running it: the graph's six canonical view relations become scratch
 /// scans, the match becomes a `Query::Pattern`, and
-/// `pgq_core::explain` prints the operator tree plus the pattern's
-/// routing decision (semi-naive fixpoint / NFA BFS / reference).
+/// `pgq_core::explain_with` prints the operator tree, the pattern's
+/// routing decision (semi-naive fixpoint / NFA BFS / reference), and —
+/// because the scratch relations are registered in a session store —
+/// the coded-execution routing (`IndexScan`/`AdjacencyExpand` leaves,
+/// `⟨coded⟩` markers, and the pipeline's decode boundary).
 fn explain(
     session: &Session,
     db: &Database,
     inner: &str,
 ) -> Result<String, Box<dyn std::error::Error>> {
     use sqlpgq::parser::{parse_statement, Statement};
+    use sqlpgq::store::Store;
 
     let stmt = parse_statement(&format!("{inner};"))?;
     let Statement::GraphQuery(gq) = stmt else {
@@ -157,8 +165,13 @@ fn explain(
     ]) {
         scratch.add_relation(*name, rel);
     }
+    let store = Store::from_database(&scratch);
     let q = sqlpgq::core::Query::pattern_n(k, out, names.map(sqlpgq::core::Query::rel));
-    Ok(sqlpgq::core::explain(&q, &scratch.schema())?)
+    Ok(sqlpgq::core::explain_with(
+        &q,
+        &scratch.schema(),
+        Some(&store),
+    )?)
 }
 
 /// `STATS`: freeze the current database and every defined graph into

@@ -9,12 +9,19 @@
 //! * `PGQ` reachability over random canonical graphs:
 //!   `eval_with_store` (frozen CSR adjacency) vs. `Engine::Physical`
 //!   (hash-join fixpoint) vs. `Engine::Nfa` vs. `Engine::Reference`;
+//! * the **coded pipeline** (PR 4): `BatchMode::Coded` (dictionary
+//!   codes end-to-end, one decode at the boundary) vs.
+//!   `BatchMode::Decoded` (the PR 3 decode-at-scan route) vs. the S2
+//!   reference, on workloads that mix value types (so code order ≠
+//!   value order), pile up duplicates (self-unions, column-dropping
+//!   projections), and select with order predicates that must decode
+//!   on compare;
 //!
 //! plus the empty-graph, self-loop, and parallel-edge edge cases.
 
 use pgq_core::{builders, eval_with, eval_with_store, EvalConfig, Query};
-use pgq_exec::{eval_ra, eval_ra_with};
-use pgq_relational::{Database, RaExpr, RelName, Relation, RowCondition};
+use pgq_exec::{eval_ra, eval_ra_mode, eval_ra_with, BatchMode};
+use pgq_relational::{CmpOp, Database, RaExpr, RelName, Relation, RowCondition};
 use pgq_store::{GraphForm, Store};
 use pgq_value::{tuple, Tuple, Value};
 use pgq_workloads::random::{canonical_graph_db, ve_db};
@@ -104,8 +111,149 @@ fn arb_ra(arity: usize, depth: u32) -> BoxedStrategy<RaExpr> {
     proptest::strategy::Union::new(choices).boxed()
 }
 
+/// The mixed-type value pool: integers, strings and booleans
+/// interleave, so first-seen intern order disagrees with the
+/// `Bool < Int < Str` value order and any coded operator that
+/// compared codes for *order* would be caught.
+fn mixed_value(k: u8) -> Value {
+    match k % 8 {
+        0 => Value::int(1),
+        1 => Value::str("b"),
+        2 => Value::int(200),
+        3 => Value::bool(true),
+        4 => Value::str("a"),
+        5 => Value::int(-3),
+        6 => Value::bool(false),
+        _ => Value::str("zz"),
+    }
+}
+
+/// A `{V/1, E/2}` instance over the mixed-type pool, deterministic in
+/// `seed`.
+fn mixed_ve_db(n: usize, m: usize, seed: u64) -> Database {
+    let mut db = Database::new();
+    db.add_relation("V", Relation::empty(1));
+    db.add_relation("E", Relation::empty(2));
+    // A cheap LCG keeps the generator self-contained and seed-stable.
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as u8
+    };
+    for _ in 0..n {
+        let v = mixed_value(next());
+        db.insert("V", Tuple::unary(v)).unwrap();
+    }
+    for _ in 0..m {
+        let (s, t) = (mixed_value(next()), mixed_value(next()));
+        db.insert("E", Tuple::new(vec![s, t])).unwrap();
+    }
+    db
+}
+
+/// A random order/equality predicate over position 0, with constants
+/// drawn from (and beyond) the mixed pool — some are never interned.
+fn arb_order_cond() -> BoxedStrategy<RowCondition> {
+    let op = prop_oneof![
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Eq),
+    ];
+    (op, 0u8..12)
+        .prop_map(|(op, k)| {
+            // k ≥ 8 yields constants outside the instance pool: the
+            // un-interned-literal path.
+            let c = if k < 8 {
+                mixed_value(k)
+            } else {
+                Value::str(format!("missing{k}"))
+            };
+            RowCondition::col_cmp_const(0, op, c)
+        })
+        .boxed()
+}
+
+/// A random `RaExpr` over the mixed-type `{V/1, E/2}` schema, biased
+/// toward the shapes the coded pipeline must get right: order
+/// predicates (decode-on-compare), duplicate-heavy self-unions, and
+/// column-dropping projections (coded dedup).
+fn arb_mixed_ra(depth: u32) -> BoxedStrategy<RaExpr> {
+    let leaf = prop_oneof![
+        Just(RaExpr::rel("V")),
+        Just(RaExpr::ActiveDomain),
+        (0u8..10).prop_map(|k| RaExpr::Singleton(Tuple::unary(mixed_value(k)))),
+        Just(RaExpr::rel("E").project(vec![1])),
+    ]
+    .boxed();
+    if depth == 0 {
+        return leaf;
+    }
+    let sub = arb_mixed_ra(depth - 1);
+    proptest::strategy::Union::new(vec![
+        (3u32, leaf),
+        (
+            2,
+            (sub.clone(), arb_order_cond())
+                .prop_map(|(q, c)| q.select(c))
+                .boxed(),
+        ),
+        // Self-union: a duplicate-heavy bag pipeline.
+        (2, sub.clone().prop_map(|q| q.clone().union(q)).boxed()),
+        (
+            1,
+            (sub.clone(), sub.clone())
+                .prop_map(|(a, b)| a.diff(b))
+                .boxed(),
+        ),
+        (
+            1,
+            (sub.clone(), sub.clone())
+                .prop_map(|(a, b)| a.intersect(b))
+                .boxed(),
+        ),
+        // Join against the edge relation then drop its columns: the
+        // optimizer inserts a Distinct, exercising coded dedup.
+        (
+            2,
+            (sub.clone(), proptest::bool::ANY)
+                .prop_map(|(a, rev)| {
+                    let edge_col = if rev { 2 } else { 1 };
+                    a.product(RaExpr::rel("E"))
+                        .select(RowCondition::col_eq(0, edge_col))
+                        .project(vec![0])
+                })
+                .boxed(),
+        ),
+    ])
+    .boxed()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The coded-pipeline differential (PR 4): coded ≡ decoded ≡ S2
+    /// reference on random mixed-type, duplicate-heavy workloads with
+    /// order predicates over non-order-preserving codes.
+    #[test]
+    fn coded_pipeline_differential(
+        q in arb_mixed_ra(3),
+        n in 1usize..10,
+        m in 0usize..16,
+        seed in 0u64..1000,
+    ) {
+        let db = mixed_ve_db(n, m, seed);
+        let store = Store::from_database(&db);
+        let reference = q.eval(&db).unwrap();
+        let coded = eval_ra_mode(&q, &db, &store, BatchMode::Coded).unwrap();
+        let decoded = eval_ra_mode(&q, &db, &store, BatchMode::Decoded).unwrap();
+        prop_assert_eq!(&coded, &reference, "coded vs reference on {}", &q);
+        prop_assert_eq!(&coded, &decoded, "coded vs decoded on {}", &q);
+    }
 
     /// Store-backed `RaExpr` evaluation equals the S2 reference and the
     /// storeless hash-join engine on random expressions and instances.
