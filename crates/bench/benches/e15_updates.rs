@@ -1,0 +1,61 @@
+//! E15 bench — incremental store maintenance (experiment E18): the
+//! cost of making a registered store see an update. `incremental`
+//! applies the standard mixed batch through `Store::apply_updates`
+//! (columnar append/tombstone, CSR delta overlays, in-place graph
+//! entry maintenance — O(Δ) work); `reregister` is the pre-PR 5
+//! alternative, a full `Store::from_database` + `register_view_graph`
+//! of the updated instance (re-intern everything, rebuild every CSR,
+//! re-validate `pgView` — O(|D|) work). `query_after_update` measures
+//! the reachability read through the resulting overlay.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgq_bench::perf::{canonical_database_of, canonical_store, canonical_update_batch};
+use pgq_core::{builders, eval_with_store, EvalConfig, Query};
+use pgq_workloads::families;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e15_updates");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+
+    let batch = canonical_update_batch(16, 4);
+    for (name, db) in [
+        ("grid_40x5", families::grid_db(40, 5)),
+        ("cycle_150", families::cycle_db(150)),
+    ] {
+        let base = canonical_store(&db);
+        let mut updated = base.clone();
+        updated.apply_updates("G", &batch).unwrap();
+        let updated_db = canonical_database_of(&updated);
+
+        group.bench_with_input(BenchmarkId::new("incremental", name), &base, |b, base| {
+            b.iter_batched(
+                || base.clone(),
+                |mut s| s.apply_updates("G", &batch).unwrap(),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(
+            BenchmarkId::new("reregister", name),
+            &updated_db,
+            |b, db| b.iter(|| canonical_store(db)),
+        );
+        let reach = Query::pattern_ro(
+            builders::reachability_output(),
+            ["N", "E", "S", "T", "L", "P"],
+        );
+        group.bench_with_input(
+            BenchmarkId::new("query_after_update", name),
+            &updated_db,
+            |b, db| {
+                b.iter(|| eval_with_store(&reach, db, EvalConfig::physical(), &updated).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! # pgq-bench
 //!
-//! Experiment harness (system S11; DESIGN.md §3): the E1–E17 experiments
+//! Experiment harness (system S11; DESIGN.md §3): the E1–E18 experiments
 //! as library functions shared by the `report` binary (which regenerates
 //! the measured section of `EXPERIMENTS.md`) and the Criterion benches
 //! under `benches/` (which measure wall-clock shapes).
@@ -13,6 +13,6 @@ pub mod perf;
 
 pub use experiments::full_report;
 pub use perf::{
-    assert_coded_floors, canonical_store, coded_suite, engine_suite, full_suite, store_suite,
-    to_json,
+    assert_coded_floors, assert_update_floors, canonical_store, coded_suite, engine_suite,
+    full_suite, store_suite, to_json, update_suite,
 };

@@ -304,15 +304,172 @@ pub fn coded_suite(scale: usize) -> Vec<BenchEntry> {
     out
 }
 
-/// [`engine_suite`] plus [`store_suite`] plus [`coded_suite`] — the
-/// `BENCH_4.json` record. The hash-join baselines the first two suites
-/// both cover are measured once, by the store suite; key uniqueness is
-/// asserted so a drift between the suites' naming can never silently
-/// corrupt the record.
+/// The E18 update batch against a canonical `families` instance:
+/// `adds` fresh nodes chained off node `0` and `removes` of the
+/// generated edges (ids `10_000 + i`), plus one property write — a
+/// mixed insert/delete workload whose size is independent of the
+/// database, so incremental maintenance has something to amortize.
+pub fn canonical_update_batch(adds: usize, removes: usize) -> Vec<pgq_graph::Update> {
+    use pgq_graph::Update;
+    use pgq_value::{Tuple, Value};
+    let node = |i: i64| Tuple::unary(Value::int(i));
+    let mut out = Vec::with_capacity(2 * adds + removes + 1);
+    let mut prev = node(0);
+    for i in 0..adds {
+        let fresh = node(900_000 + i as i64);
+        out.push(Update::AddNode(fresh.clone()));
+        out.push(Update::AddEdge {
+            id: node(910_000 + i as i64),
+            src: prev,
+            tgt: fresh.clone(),
+        });
+        prev = fresh;
+    }
+    for i in 0..removes {
+        out.push(Update::RemoveEdge(node(10_000 + i as i64)));
+    }
+    out.push(Update::SetProp(
+        node(0),
+        Value::str("w"),
+        Value::int(adds as i64),
+    ));
+    out
+}
+
+/// Reconstructs a [`Database`] from a store's live canonical six
+/// relations — how the E18 shapes obtain "the updated database" for
+/// the re-registration baseline and the post-update queries. Shared by
+/// [`update_suite`], experiment E18, and the `e15_updates` bench so
+/// the three can never measure different instances.
+pub fn canonical_database_of(store: &Store) -> Database {
+    let mut db = Database::new();
+    for rel in ["N", "E", "S", "T", "L", "P"] {
+        let arity = store
+            .relation(&rel.into())
+            .expect("canonical relation registered")
+            .arity();
+        let rows = store.scan(&rel.into()).expect("registered");
+        db.add_relation(
+            rel,
+            pgq_relational::Relation::from_rows(arity, rows).expect("scan is well-typed"),
+        );
+    }
+    db
+}
+
+/// Mean nanoseconds to absorb `batch` through `Store::apply_updates`,
+/// each iteration on a pristine clone of `base` — the clone is
+/// excluded from the timing (it is setup, not the work under
+/// measurement).
+pub fn time_incremental_apply(base: &Store, batch: &[pgq_graph::Update], iters: usize) -> u128 {
+    let mut total = 0u128;
+    for _ in 0..iters {
+        let mut s = base.clone();
+        let t0 = Instant::now();
+        s.apply_updates("G", batch).expect("valid batch");
+        total += t0.elapsed().as_nanos();
+    }
+    total / iters as u128
+}
+
+/// The E18 update ablation (`BENCH_5.json`): for each canonical
+/// instance, the cost of absorbing [`canonical_update_batch`]
+/// **incrementally** (`Store::apply_updates` on a registered store:
+/// append/tombstone + delta overlays) vs. the only pre-PR 5 option — a
+/// **full re-registration** of the updated database (re-intern, CSR
+/// rebuild, `pgView` re-validation) — plus the reachability latency on
+/// the updated store (`query_after_update`, reads through the
+/// overlay).
+pub fn update_suite(scale: usize) -> Vec<BenchEntry> {
+    let scale = scale.max(1);
+    let reach = Query::pattern_ro(
+        builders::reachability_output(),
+        ["N", "E", "S", "T", "L", "P"],
+    );
+    let batch = canonical_update_batch(16, 4);
+    let mut out = Vec::new();
+    let instances: Vec<(String, Database, usize)> = vec![
+        (
+            format!("grid_{}x5", 40 * scale),
+            families::grid_db(40 * scale, 5),
+            10,
+        ),
+        (
+            format!("cycle_{}", 150 * scale),
+            families::cycle_db(150 * scale),
+            10,
+        ),
+    ];
+    for (name, db, iters) in &instances {
+        let size = db.tuple_count();
+        let base = canonical_store(db);
+        // The updated database, for the re-registration baseline and
+        // the query measurements.
+        let mut updated = base.clone();
+        updated
+            .apply_updates("G", &batch)
+            .expect("the canonical batch is valid");
+        let updated_db = canonical_database_of(&updated);
+        out.push(BenchEntry {
+            name: format!("update_incremental/{name}"),
+            input_size: size,
+            mean_ns: time_incremental_apply(&base, &batch, *iters),
+        });
+        // Full re-registration of the updated state — the pre-PR 5
+        // way to make a store see an update.
+        out.push(BenchEntry {
+            name: format!("update_reregister/{name}"),
+            input_size: size,
+            mean_ns: mean_ns(*iters, || {
+                canonical_store(&updated_db);
+            }),
+        });
+        // Query latency straight after the update (overlay reads).
+        out.push(BenchEntry {
+            name: format!("query_after_update/{name}"),
+            input_size: size,
+            mean_ns: mean_ns(*iters, || {
+                eval_with_store(&reach, &updated_db, EvalConfig::physical(), &updated).unwrap();
+            }),
+        });
+    }
+    out
+}
+
+/// The E18 acceptance floor, checked on a measured entry set from an
+/// **optimized** build: absorbing the standard update batch
+/// incrementally must be strictly cheaper than a full re-registration
+/// on every instance — with a 2× margin so scheduler noise cannot
+/// flake CI (the measured gap is far larger: the batch is O(Δ) work,
+/// the rebuild is O(|D|) re-interning plus `pgView` re-validation).
+pub fn assert_update_floors(entries: &[BenchEntry]) {
+    let find = |name: &str| {
+        entries
+            .iter()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("update floor gate: bench entry {name} missing"))
+    };
+    for inst in ["grid_40x5", "cycle_150"] {
+        let incremental = find(&format!("update_incremental/{inst}"));
+        let reregister = find(&format!("update_reregister/{inst}"));
+        let speedup = reregister.mean_ns as f64 / incremental.mean_ns.max(1) as f64;
+        assert!(
+            speedup >= 2.0,
+            "incremental apply should beat re-registration on {inst} (got {speedup:.2}×)"
+        );
+    }
+}
+
+/// [`engine_suite`] plus [`store_suite`] plus [`coded_suite`] plus
+/// [`update_suite`] — the `BENCH_5.json` record. The hash-join
+/// baselines the first two suites both cover are measured once, by the
+/// store suite; key uniqueness is asserted so a drift between the
+/// suites' naming can never silently corrupt the record.
 pub fn full_suite(scale: usize) -> Vec<BenchEntry> {
     let mut out = engine_suite_entries(scale, false);
     out.extend(store_suite(scale));
     out.extend(coded_suite(scale));
+    out.extend(update_suite(scale));
     let mut seen = std::collections::HashSet::new();
     for e in &out {
         assert!(seen.insert(&e.name), "duplicate bench key {}", e.name);

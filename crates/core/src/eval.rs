@@ -86,9 +86,15 @@ pub fn eval(q: &Query, db: &Database) -> Result<Relation, QueryError> {
 /// columnar indexes and reachability pattern calls over registered
 /// graphs are answered from frozen CSR adjacency, skipping the
 /// per-query view rebuild; the other engines behave exactly as
-/// [`eval_with`]. The store must be a snapshot of `db` (see
-/// `pgq_store::Store::from_database`); the differential suite
-/// `tests/prop_store.rs` holds all routes to identical results.
+/// [`eval_with`]. The store must agree with `db` — registered from it
+/// (see `pgq_store::Store::from_database`) and, after changes, kept in
+/// step either by re-registration or **incrementally** through
+/// `Store::insert_row`/`Store::delete_row`/`Store::apply_updates`
+/// (PR 5): registered relations, CSR overlays and graph entries then
+/// answer for the post-update state with cost proportional to the
+/// delta. The differential suite `tests/prop_store.rs` holds all
+/// routes — including updated-in-place and post-`compact()` stores —
+/// to identical results.
 pub fn eval_with_store(
     q: &Query,
     db: &Database,

@@ -48,9 +48,11 @@ pub fn view_form(op: ViewOp) -> GraphForm {
 /// dictionary codes flow through the whole operator pipeline (decoding
 /// exactly once at the set-semantics boundary), and reachability
 /// pattern calls over graphs registered in the store are answered from
-/// their frozen CSR adjacency — no per-query view rebuild, no
-/// hash-join fixpoint. The store must be a snapshot of `db` (register
-/// again after updates).
+/// their frozen CSR adjacency (read through any update overlay) — no
+/// per-query view rebuild, no hash-join fixpoint. The store must agree
+/// with `db`: registered from it, then kept in step by re-registration
+/// or by the incremental update path (`Store::apply_updates` and the
+/// row-level mutators).
 pub(crate) fn eval_physical_store(
     q: &Query,
     db: &Database,

@@ -52,11 +52,12 @@ impl CodedBatch {
     }
 
     /// Transposes a store-resident columnar relation into row-major
-    /// coded form — the coded `IndexScan`. No dictionary access.
+    /// coded form — the coded `IndexScan`. No dictionary access; rows
+    /// tombstoned by updates are skipped.
     pub fn from_columnar(col: &ColumnarRelation) -> Self {
         let (arity, rows) = (col.arity(), col.len());
         let mut codes = Vec::with_capacity(arity * rows);
-        for i in 0..rows {
+        for i in col.live_rows() {
             for p in 0..arity {
                 codes.push(col.code_at(i, p));
             }

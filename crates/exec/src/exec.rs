@@ -23,7 +23,7 @@ use crate::batch::Batch;
 use crate::coded::{BatchMode, CodedBatch, CodedCond, EitherBatch};
 use crate::plan::PhysPlan;
 use pgq_relational::{Database, RelError, RelResult, RowCondition};
-use pgq_store::{CsrIndex, Store};
+use pgq_store::{AdjacencyView, Store};
 use pgq_value::{Tuple, Value};
 use std::collections::{HashMap, HashSet};
 
@@ -198,17 +198,18 @@ pub fn execute_mode(
         } => {
             let base = execute_mode(base, db, store, mode)?;
             // The ψreach/TC shape over a CSR-indexed step relation runs
-            // on the index: no step batch, no hash probes. Coded bases
-            // sweep and emit codes; decoded bases sweep on values.
+            // on the index (read through its delta overlay): no step
+            // batch, no hash probes. Coded bases sweep and emit codes;
+            // decoded bases sweep on values.
             if let (Some(store), PhysPlan::IndexScan(name)) = (store, step.as_ref()) {
                 if base.arity() == 2 && join.as_slice() == [(1, 0)] && project.as_slice() == [0, 3]
                 {
-                    if let Some(idx) = store.adjacency(name) {
+                    if let Some(view) = store.adjacency(name) {
                         return match base {
                             EitherBatch::Coded(cb) => {
-                                Ok(EitherBatch::Coded(csr_fixpoint_coded(cb, idx)?))
+                                Ok(EitherBatch::Coded(csr_fixpoint_coded(cb, &view)?))
                             }
-                            EitherBatch::Rows(b) => Ok(rows(csr_fixpoint(b, idx, store)?)),
+                            EitherBatch::Rows(b) => Ok(rows(csr_fixpoint(b, &view, store)?)),
                         };
                     }
                 }
@@ -259,9 +260,9 @@ fn index_scan(
     Ok(rows(Batch::from_relation(db.get_required(name)?)))
 }
 
-/// `AdjacencyExpand`: CSR probes when the store indexes `rel` (staying
-/// coded for coded inputs), otherwise the equivalent hash join against
-/// the stored relation.
+/// `AdjacencyExpand`: CSR probes (through the delta overlay) when the
+/// store indexes `rel` (staying coded for coded inputs), otherwise the
+/// equivalent hash join against the stored relation.
 fn adjacency_expand(
     input: EitherBatch,
     key: usize,
@@ -276,7 +277,7 @@ fn adjacency_expand(
             arity: input.arity(),
         });
     }
-    let Some((store_ref, idx)) = store.and_then(|s| s.adjacency(rel).map(|i| (s, i))) else {
+    let Some((store_ref, view)) = store.and_then(|s| s.adjacency(rel).map(|v| (s, v))) else {
         let right = Batch::from_relation(db.get_required(rel)?);
         let join_key = if reverse { (key, 1) } else { (key, 0) };
         return Ok(rows(hash_join(&input.decode(store), &right, &[join_key])?));
@@ -284,48 +285,54 @@ fn adjacency_expand(
     match input {
         EitherBatch::Coded(cb) => {
             let mut out = CodedBatch::empty(cb.arity() + 2);
+            let mut err = Ok(());
             for row in cb.iter() {
-                let Some(dense) = idx.dense_of(row[key]) else {
-                    continue;
-                };
-                let neighbors = if reverse {
-                    idx.in_neighbors(dense)
-                } else {
-                    idx.out_neighbors(dense)
-                };
-                for &n in neighbors {
-                    let ncode = idx.code_of(n);
+                let probe = |ncode: u32| {
                     let pair = if reverse {
                         [ncode, row[key]]
                     } else {
                         [row[key], ncode]
                     };
-                    out.push_concat(row, &pair)?;
+                    if err.is_ok() {
+                        err = out.push_concat(row, &pair);
+                    }
+                };
+                if reverse {
+                    view.for_each_in(row[key], probe);
+                } else {
+                    view.for_each_out(row[key], probe);
                 }
             }
+            err?;
             Ok(EitherBatch::Coded(out))
         }
         EitherBatch::Rows(b) => {
             let mut out = Batch::empty(b.arity() + 2);
+            let mut err = Ok(());
             for row in b.iter() {
-                let Some(dense) = store_ref.encode(&row[key]).and_then(|c| idx.dense_of(c)) else {
+                // A value the dictionary never interned occurs in no
+                // stored row, frozen or delta: no neighbors.
+                let Some(code) = store_ref.encode(&row[key]) else {
                     continue;
                 };
-                let neighbors = if reverse {
-                    idx.in_neighbors(dense)
-                } else {
-                    idx.out_neighbors(dense)
-                };
-                for &n in neighbors {
-                    let v = store_ref.decode(idx.code_of(n)).clone();
+                let probe = |ncode: u32| {
+                    let v = store_ref.decode(ncode).clone();
                     let pair = if reverse {
                         Tuple::new(vec![v, row[key].clone()])
                     } else {
                         Tuple::new(vec![row[key].clone(), v])
                     };
-                    out.push(row.concat(&pair))?;
+                    if err.is_ok() {
+                        err = out.push(row.concat(&pair));
+                    }
+                };
+                if reverse {
+                    view.for_each_in(code, probe);
+                } else {
+                    view.for_each_out(code, probe);
                 }
             }
+            err?;
             Ok(rows(out))
         }
     }
@@ -333,11 +340,11 @@ fn adjacency_expand(
 
 /// The CSR form of the reachability fixpoint over a *decoded* base:
 /// group the base pairs by their first component, run one multi-source
-/// frontier sweep per group, and decode. Base values outside the
-/// index's node universe stay as 0-step seeds (they have no outgoing
-/// edges by definition).
-fn csr_fixpoint(base: Batch, idx: &CsrIndex, store: &Store) -> RelResult<Batch> {
-    // x value → (dense seeds, out-of-universe seed values).
+/// frontier sweep per group through the adjacency view (frozen CSR
+/// plus delta overlay), and decode. Base values the dictionary never
+/// interned stay as 0-step seeds (no stored edge can leave them).
+fn csr_fixpoint(base: Batch, view: &AdjacencyView<'_>, store: &Store) -> RelResult<Batch> {
+    // x value → (seed codes, un-interned seed values).
     let mut groups: Vec<(Value, Vec<u32>, Vec<Value>)> = Vec::new();
     let mut group_of: HashMap<Value, usize> = HashMap::new();
     for row in base.iter() {
@@ -347,8 +354,8 @@ fn csr_fixpoint(base: Batch, idx: &CsrIndex, store: &Store) -> RelResult<Batch> 
             groups.len() - 1
         });
         let y = &row[1];
-        match store.encode(y).and_then(|c| idx.dense_of(c)) {
-            Some(d) => groups[gi].1.push(d),
+        match store.encode(y) {
+            Some(c) => groups[gi].1.push(c),
             None => {
                 if !groups[gi].2.contains(y) {
                     groups[gi].2.push(y.clone());
@@ -358,8 +365,8 @@ fn csr_fixpoint(base: Batch, idx: &CsrIndex, store: &Store) -> RelResult<Batch> 
     }
     let mut out = Batch::empty(2);
     for (x, seeds, strays) in groups {
-        for d in idx.reach_from(seeds) {
-            let y = store.decode(idx.code_of(d)).clone();
+        for c in view.reach_from(seeds) {
+            let y = store.decode(c).clone();
             out.push(Tuple::new(vec![x.clone(), y]))?;
         }
         for y in strays {
@@ -371,35 +378,25 @@ fn csr_fixpoint(base: Batch, idx: &CsrIndex, store: &Store) -> RelResult<Batch> 
 
 /// The coded CSR reachability fixpoint: identical sweep structure, but
 /// groups key on `u32` codes and the output rows are code pairs — no
-/// value touches the hot loop. Base target codes outside the index's
-/// node universe stay as 0-step seeds, exactly as in the decoded form.
-fn csr_fixpoint_coded(base: CodedBatch, idx: &CsrIndex) -> RelResult<CodedBatch> {
-    // x code → (dense seeds, out-of-universe seed codes).
-    let mut groups: Vec<(u32, Vec<u32>, Vec<u32>)> = Vec::new();
+/// value touches the hot loop. The view handles codes outside the
+/// frozen universe (delta-only nodes expand through the overlay;
+/// everything else is a 0-step seed).
+fn csr_fixpoint_coded(base: CodedBatch, view: &AdjacencyView<'_>) -> RelResult<CodedBatch> {
+    // x code → seed codes.
+    let mut groups: Vec<(u32, Vec<u32>)> = Vec::new();
     let mut group_of: HashMap<u32, usize> = HashMap::new();
     for row in base.iter() {
         let x = row[0];
         let gi = *group_of.entry(x).or_insert_with(|| {
-            groups.push((x, Vec::new(), Vec::new()));
+            groups.push((x, Vec::new()));
             groups.len() - 1
         });
-        let y = row[1];
-        match idx.dense_of(y) {
-            Some(d) => groups[gi].1.push(d),
-            None => {
-                if !groups[gi].2.contains(&y) {
-                    groups[gi].2.push(y);
-                }
-            }
-        }
+        groups[gi].1.push(row[1]);
     }
     let mut out = CodedBatch::empty(2);
-    for (x, seeds, strays) in groups {
-        for d in idx.reach_from(seeds) {
-            out.push(&[x, idx.code_of(d)])?;
-        }
-        for y in strays {
-            out.push(&[x, y])?;
+    for (x, seeds) in groups {
+        for c in view.reach_from(seeds) {
+            out.push(&[x, c])?;
         }
     }
     Ok(out)
@@ -893,6 +890,67 @@ mod tests {
         assert!(probe.is_coded());
         let probe = execute_mode(&tc, &d, Some(&store), BatchMode::Decoded).unwrap();
         assert!(!probe.is_coded());
+    }
+
+    /// After in-place updates (tombstones + adjacency deltas), every
+    /// store-backed operator must answer for the post-update state —
+    /// identical to a store rebuilt from the updated database.
+    #[test]
+    fn updated_store_matches_rebuilt_store() {
+        let mut d = db();
+        let mut store = Store::from_database(&d);
+        // Delete the chain head, splice in a shortcut 0→3, and add a
+        // brand-new node 9 with an edge 3→9 — through the store's
+        // incremental API and the database in lockstep.
+        let gone = tuple![0, 1];
+        store.delete_row(&"E".into(), &gone).unwrap();
+        d.add_relation("E", d.get(&"E".into()).unwrap().select(|row| *row != gone));
+        for (rel, t) in [("E", tuple![0, 3]), ("E", tuple![3, 9])] {
+            store.insert_row(rel, &t).unwrap();
+            d.insert(rel, t).unwrap();
+        }
+        assert!(store.adjacency(&"E".into()).unwrap().has_delta());
+        let rebuilt = Store::from_database(&d);
+        let tc = PhysPlan::Fixpoint {
+            base: Box::new(PhysPlan::IndexScan("E".into())),
+            step: Box::new(PhysPlan::IndexScan("E".into())),
+            join: vec![(1, 0)],
+            project: vec![0, 3],
+        };
+        let plans = [
+            PhysPlan::IndexScan("E".into()),
+            PhysPlan::AdjacencyExpand {
+                input: Box::new(PhysPlan::IndexScan("E".into()).project(vec![1])),
+                key: 0,
+                rel: "E".into(),
+                reverse: false,
+            },
+            PhysPlan::AdjacencyExpand {
+                input: Box::new(PhysPlan::IndexScan("E".into()).project(vec![0])),
+                key: 0,
+                rel: "E".into(),
+                reverse: true,
+            },
+            tc.clone(),
+        ];
+        for plan in &plans {
+            for mode in [BatchMode::Coded, BatchMode::Decoded] {
+                let incremental = execute_mode(plan, &d, Some(&store), mode)
+                    .unwrap()
+                    .into_relation(Some(&store));
+                let fresh = execute_mode(plan, &d, Some(&rebuilt), mode)
+                    .unwrap()
+                    .into_relation(Some(&rebuilt));
+                assert_eq!(incremental, fresh, "{mode:?} disagrees on:\n{plan}");
+            }
+        }
+        // The closure really reflects the delta: 0 now reaches 9 via
+        // the shortcut, and 1 no longer follows from 0.
+        let reach = execute_mode(&tc, &d, Some(&store), BatchMode::Coded)
+            .unwrap()
+            .into_relation(Some(&store));
+        assert!(reach.contains(&tuple![0, 9]));
+        assert!(!reach.contains(&tuple![0, 1]));
     }
 
     /// The expand probe key must be validated in both representations.

@@ -332,12 +332,52 @@ impl PhysPlan {
         }
     }
 
+    /// Whether **this operator** reads store state through an update
+    /// overlay: an `IndexScan` over a relation with tombstoned rows,
+    /// or an adjacency read (`AdjacencyExpand`, the CSR-routed
+    /// reachability `Fixpoint`) whose index carries a non-empty delta.
+    /// `EXPLAIN` marks such nodes `⟨delta⟩` — the answer is exact, but
+    /// part of it is merged from the overlay at read time until
+    /// `Store::compact` folds it back.
+    pub fn reads_overlay(&self, store: &pgq_store::Store) -> bool {
+        match self {
+            PhysPlan::IndexScan(name) => store.relation(name).is_some_and(|c| c.tombstones() > 0),
+            PhysPlan::AdjacencyExpand { rel, .. } => {
+                store.adjacency(rel).is_some_and(|v| v.has_delta())
+            }
+            // The executor's CSR reachability route (step = indexed
+            // binary relation, TC shape) sweeps the adjacency view.
+            PhysPlan::Fixpoint {
+                step,
+                join,
+                project,
+                ..
+            } => {
+                if let PhysPlan::IndexScan(name) = step.as_ref() {
+                    join.as_slice() == [(1, 0)]
+                        && project.as_slice() == [0, 3]
+                        && store.adjacency(name).is_some_and(|v| v.has_delta())
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether any node of the subtree reads through an overlay.
+    fn any_overlay(&self, store: &pgq_store::Store) -> bool {
+        self.reads_overlay(store) || self.children().iter().any(|c| c.any_overlay(store))
+    }
+
     /// The `EXPLAIN` tree annotated with the coded-execution routing
     /// under `store`: nodes running on dictionary codes are marked
     /// `⟨coded⟩`, each point where a coded subtree is decoded to meet
-    /// an uncoded one is marked `⟨decode⟩`, and a trailing line states
-    /// where the pipeline's decode boundary sits. With no store this is
-    /// plain [`std::fmt::Display`] plus a `decoded` summary line.
+    /// an uncoded one is marked `⟨decode⟩`, nodes reading through an
+    /// update overlay (tombstones or adjacency deltas) are marked
+    /// `⟨delta⟩`, and a trailing line states where the pipeline's
+    /// decode boundary sits. With no store this is plain
+    /// [`std::fmt::Display`] plus a `decoded` summary line.
     pub fn display_with(&self, store: Option<&pgq_store::Store>) -> String {
         let Some(store) = store else {
             return format!("{self}pipeline: decoded (no session store)\n");
@@ -350,6 +390,11 @@ impl PhysPlan {
             out.push_str("pipeline: mixed (decode at the marked ⟨decode⟩ boundaries)\n");
         } else {
             out.push_str("pipeline: decoded\n");
+        }
+        if self.any_overlay(store) {
+            out.push_str(
+                "overlay: ⟨delta⟩ operators merge update overlays at read time (COMPACT folds them)\n",
+            );
         }
         out
     }
@@ -370,7 +415,7 @@ impl PhysPlan {
     ) {
         use std::fmt::Write as _;
         let coded = self.runs_coded(store);
-        let marker = if coded && !parent_coded && !root {
+        let mut marker = String::from(if coded && !parent_coded && !root {
             // A coded subtree feeding a decoded parent: the executor
             // decodes this operator's output before the parent runs.
             " ⟨coded⟩ ⟨decode⟩"
@@ -378,7 +423,10 @@ impl PhysPlan {
             " ⟨coded⟩"
         } else {
             ""
-        };
+        });
+        if self.reads_overlay(store) {
+            marker.push_str(" ⟨delta⟩");
+        }
         if root {
             let _ = writeln!(out, "{}{marker}", self.node_label());
         } else {
@@ -676,6 +724,49 @@ mod tests {
         let empty = pgq_store::Store::new();
         let text = PhysPlan::Scan("R".into()).display_with(Some(&empty));
         assert!(text.contains("pipeline: decoded\n"), "{text}");
+    }
+
+    #[test]
+    fn delta_markers_surface_update_overlays() {
+        let mut db = pgq_relational::Database::new();
+        db.insert("E", pgq_value::tuple![1, 2]).unwrap();
+        db.insert("V", pgq_value::tuple![1]).unwrap();
+        let mut store = pgq_store::Store::from_database(&db);
+        let expand = PhysPlan::AdjacencyExpand {
+            input: Box::new(PhysPlan::IndexScan("V".into())),
+            key: 0,
+            rel: "E".into(),
+            reverse: false,
+        };
+        let tc = PhysPlan::Fixpoint {
+            base: Box::new(PhysPlan::IndexScan("E".into())),
+            step: Box::new(PhysPlan::IndexScan("E".into())),
+            join: vec![(1, 0)],
+            project: vec![0, 3],
+        };
+        // Fresh store: no overlay, no markers.
+        assert!(!expand.reads_overlay(&store));
+        assert!(!expand.display_with(Some(&store)).contains("⟨delta⟩"));
+        // An insert puts a pair in the adjacency overlay…
+        store.insert_row("E", &pgq_value::tuple![2, 3]).unwrap();
+        assert!(expand.reads_overlay(&store));
+        assert!(tc.reads_overlay(&store));
+        let text = expand.display_with(Some(&store));
+        assert!(
+            text.contains("AdjacencyExpand [$1 → E CSR] ⟨coded⟩ ⟨delta⟩"),
+            "{text}"
+        );
+        assert!(text.contains("overlay: ⟨delta⟩ operators"), "{text}");
+        // …and a delete tombstones a row, marking the scan too.
+        store
+            .delete_row(&"V".into(), &pgq_value::tuple![1])
+            .unwrap();
+        assert!(PhysPlan::IndexScan("V".into()).reads_overlay(&store));
+        // Compaction folds everything: the markers disappear.
+        store.compact().unwrap();
+        assert!(!expand.reads_overlay(&store));
+        assert!(!PhysPlan::IndexScan("V".into()).reads_overlay(&store));
+        assert!(!expand.display_with(Some(&store)).contains("⟨delta⟩"));
     }
 
     #[test]

@@ -252,9 +252,24 @@ impl Catalog {
             }
             Ok((rel, columns))
         };
-        let positions = |columns: &[String], cols: &[String]| -> Vec<usize> {
+        // Graphs are validated against the tables at definition time,
+        // but a table can be *redefined* afterwards with different
+        // columns — materialization must then surface a typed error,
+        // not panic on the stale definition.
+        let positions = |table: &str,
+                         columns: &[String],
+                         cols: &[String]|
+         -> Result<Vec<usize>, CatalogError> {
             cols.iter()
-                .map(|c| columns.iter().position(|x| x == c).expect("validated"))
+                .map(|c| {
+                    columns
+                        .iter()
+                        .position(|x| x == c)
+                        .ok_or_else(|| CatalogError::UnknownColumn {
+                            table: table.to_string(),
+                            column: c.clone(),
+                        })
+                })
                 .collect()
         };
         let make_id = |table: &str, row: &Tuple, key_pos: &[usize]| -> Tuple {
@@ -274,8 +289,8 @@ impl Catalog {
 
         for nt in &cg.node_tables {
             let (rel, columns) = base(&nt.table)?;
-            let key_pos = positions(&columns, &nt.key);
-            let prop_pos = positions(&columns, &nt.properties);
+            let key_pos = positions(&nt.table, &columns, &nt.key)?;
+            let prop_pos = positions(&nt.table, &columns, &nt.properties)?;
             for row in rel.iter() {
                 let id = make_id(&nt.table, row, &key_pos);
                 for label in &nt.labels {
@@ -292,10 +307,10 @@ impl Catalog {
         }
         for et in &cg.edge_tables {
             let (rel, columns) = base(&et.table)?;
-            let key_pos = positions(&columns, &et.key);
-            let src_pos = positions(&columns, &et.source_key);
-            let tgt_pos = positions(&columns, &et.target_key);
-            let prop_pos = positions(&columns, &et.properties);
+            let key_pos = positions(&et.table, &columns, &et.key)?;
+            let src_pos = positions(&et.table, &columns, &et.source_key)?;
+            let tgt_pos = positions(&et.table, &columns, &et.target_key)?;
+            let prop_pos = positions(&et.table, &columns, &et.properties)?;
             for row in rel.iter() {
                 let id = make_id(&et.table, row, &key_pos);
                 let s = make_id(&et.source_ref, row, &src_pos);
@@ -498,6 +513,33 @@ mod tests {
         assert!(matches!(
             cat.view_relations("Transfers", &db),
             Err(CatalogError::TableArity { .. })
+        ));
+    }
+
+    /// Redefining a table after a graph was validated against it must
+    /// surface a typed `UnknownColumn` at materialization — the PR 5
+    /// fix for the `expect("validated")` panic.
+    #[test]
+    fn redefined_table_errors_instead_of_panicking() {
+        let (mut cat, mut db) = setup();
+        // `Transfer` loses the columns the graph's edge table keys on.
+        cat.define_table(&CreateTable {
+            name: "Transfer".into(),
+            columns: vec!["t_id".into(), "note".into()],
+        });
+        db.add_relation("Transfer", Relation::empty(2));
+        let err = cat.view_relations("Transfers", &db).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                CatalogError::UnknownColumn { table, column }
+                    if table == "Transfer" && column == "src_iban"
+            ),
+            "{err}"
+        );
+        assert!(matches!(
+            cat.build_graph("Transfers", &db, ViewMode::Strict),
+            Err(CatalogError::UnknownColumn { .. })
         ));
     }
 

@@ -53,6 +53,13 @@ impl Database {
             .insert(t)
     }
 
+    /// Removes a single tuple from relation `name`; `false` when the
+    /// relation or the tuple is absent. The relation stays registered
+    /// (an emptied relation is meaningful — schemas outlive rows).
+    pub fn remove(&mut self, name: &RelName, t: &Tuple) -> bool {
+        self.relations.get_mut(name).is_some_and(|r| r.remove(t))
+    }
+
     /// Iterates over `(name, relation)` pairs in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&RelName, &Relation)> {
         self.relations.iter()

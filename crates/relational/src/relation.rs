@@ -114,6 +114,11 @@ impl Relation {
         Ok(self.tuples.insert(t))
     }
 
+    /// Removes a tuple; `true` when it was present.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        self.tuples.remove(t)
+    }
+
     /// Iterates over tuples in deterministic (lexicographic) order.
     pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
         self.tuples.iter()

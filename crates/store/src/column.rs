@@ -5,38 +5,99 @@
 //! index, every cell a [`crate::Dictionary`] code. Scans decode lazily —
 //! the set-semantics `BTreeSet` representation is never rebuilt unless a
 //! caller asks for tuples back.
+//!
+//! Since PR 5 the columns are **append-plus-tombstone**: updates append
+//! rows at the end and mark deleted rows dead in a validity bitmap
+//! instead of rewriting the vectors (a row-hash makes the membership
+//! probe O(1)), so an update edits rows in place instead of
+//! re-encoding the relation. Readers iterate
+//! [`ColumnarRelation::live_rows`]; `Store::compact` drops the dead
+//! rows for good.
 
 use crate::dict::Dictionary;
 use crate::store::StoreError;
 use pgq_relational::Relation;
 use pgq_value::Tuple;
+use std::collections::HashMap;
 
-/// A relation stored as dictionary-coded columns.
+/// A relation stored as dictionary-coded columns with a validity
+/// bitmap.
 #[derive(Debug, Clone, Default)]
 pub struct ColumnarRelation {
     arity: usize,
-    rows: usize,
+    /// Physical rows, live and tombstoned.
+    physical: usize,
+    /// Live rows (`physical − tombstones`).
+    live: usize,
     /// `columns[p][i]` is the code of row `i`'s position-`p` value.
     columns: Vec<Vec<u32>>,
+    /// `dead[i]` marks row `i` tombstoned.
+    dead: Vec<bool>,
+    /// Row codes → physical index, so membership probes are O(1)
+    /// instead of a column scan. At most one physical row exists per
+    /// code vector (sources are set-semantics relations, and the
+    /// store's append path revives a tombstoned twin instead of
+    /// appending a duplicate), so the map is total over the rows.
+    index: HashMap<Vec<u32>, usize>,
 }
 
 impl ColumnarRelation {
+    /// An empty columnar relation of the given arity.
+    pub fn empty(arity: usize) -> Self {
+        ColumnarRelation {
+            arity,
+            physical: 0,
+            live: 0,
+            columns: vec![Vec::new(); arity],
+            dead: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
     /// Encodes a relation column by column, interning every value.
     /// Fails with [`StoreError::DictionaryFull`] when the dictionary's
     /// code space is exhausted mid-encode.
     pub fn from_relation(rel: &Relation, dict: &mut Dictionary) -> Result<Self, StoreError> {
         let arity = rel.arity();
         let mut columns = vec![Vec::with_capacity(rel.len()); arity];
-        for t in rel.iter() {
+        let mut index = HashMap::with_capacity(rel.len());
+        for (i, t) in rel.iter().enumerate() {
+            let mut row = Vec::with_capacity(arity);
             for (p, v) in t.iter().enumerate() {
-                columns[p].push(dict.intern(v)?);
+                let code = dict.intern(v)?;
+                columns[p].push(code);
+                row.push(code);
             }
+            index.insert(row, i);
         }
         Ok(ColumnarRelation {
             arity,
-            rows: rel.len(),
+            physical: rel.len(),
+            live: rel.len(),
             columns,
+            dead: vec![false; rel.len()],
+            index,
         })
+    }
+
+    /// Builds a unary relation directly from codes — used by the store
+    /// to refresh the frozen active domain after updates without a
+    /// decode/re-encode round trip.
+    pub fn unary_from_codes(codes: Vec<u32>) -> Self {
+        let n = codes.len();
+        let index = codes
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (vec![c], i))
+            .collect();
+        ColumnarRelation {
+            arity: 1,
+            physical: n,
+            live: n,
+            dead: vec![false; n],
+            columns: vec![codes],
+            index,
+        }
     }
 
     /// Attribute count.
@@ -44,27 +105,108 @@ impl ColumnarRelation {
         self.arity
     }
 
-    /// Row count.
+    /// Number of **live** rows — the semantic row count every scan and
+    /// stats line reports.
     pub fn len(&self) -> usize {
-        self.rows
+        self.live
     }
 
-    /// Whether the relation holds no rows.
+    /// Whether the relation holds no live rows.
     pub fn is_empty(&self) -> bool {
-        self.rows == 0
+        self.live == 0
     }
 
-    /// The code at `(row, position)`.
+    /// Physical rows resident, tombstoned ones included.
+    pub fn physical_len(&self) -> usize {
+        self.physical
+    }
+
+    /// Tombstoned (dead but still resident) rows — reclaimed by
+    /// `Store::compact`.
+    pub fn tombstones(&self) -> usize {
+        self.physical - self.live
+    }
+
+    /// Whether physical row `i` is live.
+    pub fn is_live(&self, i: usize) -> bool {
+        !self.dead[i]
+    }
+
+    /// Iterates the physical indices of live rows, in insertion order.
+    pub fn live_rows(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.physical).filter(|&i| !self.dead[i])
+    }
+
+    /// The code at `(physical row, position)` — dead rows included;
+    /// pair with [`ColumnarRelation::is_live`] when iterating raw.
     pub fn code_at(&self, row: usize, position: usize) -> u32 {
         self.columns[position][row]
     }
 
-    /// Borrows one coded column.
+    /// Borrows one coded column (physical layout, dead rows included).
     pub fn column(&self, position: usize) -> &[u32] {
         &self.columns[position]
     }
 
-    /// Decodes row `i` back into a tuple.
+    /// Appends a live row of codes. The caller guarantees the arity
+    /// and that no physical row (live or dead) already holds these
+    /// codes — the store's append path probes [`ColumnarRelation::find_live`]
+    /// / [`ColumnarRelation::find_dead`] first.
+    pub fn append(&mut self, codes: &[u32]) {
+        debug_assert_eq!(codes.len(), self.arity);
+        debug_assert!(!self.index.contains_key(codes));
+        for (p, &c) in codes.iter().enumerate() {
+            self.columns[p].push(c);
+        }
+        self.index.insert(codes.to_vec(), self.physical);
+        self.dead.push(false);
+        self.physical += 1;
+        self.live += 1;
+    }
+
+    /// Physical index of the first **live** row equal to `codes`.
+    pub fn find_live(&self, codes: &[u32]) -> Option<usize> {
+        self.find_where(codes, false)
+    }
+
+    /// Physical index of the first **tombstoned** row equal to `codes`
+    /// — revived instead of re-appended so churn does not grow the
+    /// columns without bound.
+    pub fn find_dead(&self, codes: &[u32]) -> Option<usize> {
+        self.find_where(codes, true)
+    }
+
+    fn find_where(&self, codes: &[u32], dead: bool) -> Option<usize> {
+        if codes.len() != self.arity {
+            return None;
+        }
+        self.index
+            .get(codes)
+            .copied()
+            .filter(|&i| self.dead[i] == dead)
+    }
+
+    /// Tombstones physical row `i`; `false` when it was already dead.
+    pub fn tombstone(&mut self, i: usize) -> bool {
+        if self.dead[i] {
+            return false;
+        }
+        self.dead[i] = true;
+        self.live -= 1;
+        true
+    }
+
+    /// Revives tombstoned physical row `i`; `false` when it was live.
+    pub fn revive(&mut self, i: usize) -> bool {
+        if !self.dead[i] {
+            return false;
+        }
+        self.dead[i] = false;
+        self.live += 1;
+        true
+    }
+
+    /// Decodes physical row `i` back into a tuple.
     pub fn decode_row(&self, i: usize, dict: &Dictionary) -> Tuple {
         Tuple::new(
             self.columns
@@ -74,15 +216,38 @@ impl ColumnarRelation {
         )
     }
 
-    /// Decodes every row, in stored (relation-iteration) order.
+    /// Decodes every **live** row, in stored order.
     pub fn decode_rows(&self, dict: &Dictionary) -> Vec<Tuple> {
-        (0..self.rows).map(|i| self.decode_row(i, dict)).collect()
+        self.live_rows().map(|i| self.decode_row(i, dict)).collect()
     }
 
-    /// Approximate resident size in bytes (codes only; the dictionary
+    /// Drops tombstoned rows and rewrites every surviving code through
+    /// `remap` (old code → new code) — the per-relation step of
+    /// `Store::compact`. Returns the number of rows dropped.
+    pub fn compact_remap(&mut self, remap: &mut dyn FnMut(u32) -> u32) -> usize {
+        let dropped = self.tombstones();
+        let keep: Vec<usize> = self.live_rows().collect();
+        for col in &mut self.columns {
+            let mut next = Vec::with_capacity(keep.len());
+            for &i in &keep {
+                next.push(remap(col[i]));
+            }
+            *col = next;
+        }
+        self.physical = keep.len();
+        self.live = keep.len();
+        self.dead = vec![false; keep.len()];
+        self.index = (0..self.physical)
+            .map(|i| ((0..self.arity).map(|p| self.columns[p][i]).collect(), i))
+            .collect();
+        dropped
+    }
+
+    /// Approximate resident size in bytes (codes only, tombstoned rows
+    /// included — they stay resident until compaction; the dictionary
     /// is shared store-wide and accounted for separately).
     pub fn coded_bytes(&self) -> usize {
-        self.rows * self.arity * std::mem::size_of::<u32>()
+        self.physical * self.arity * std::mem::size_of::<u32>()
     }
 }
 
@@ -114,5 +279,35 @@ mod tests {
         let none = ColumnarRelation::from_relation(&Relation::empty(3), &mut dict).unwrap();
         assert!(none.is_empty());
         assert_eq!(none.decode_rows(&dict), Vec::<Tuple>::new());
+    }
+
+    #[test]
+    fn append_tombstone_revive() {
+        let rel = Relation::from_rows(2, [tuple![1, 2]]).unwrap();
+        let mut dict = Dictionary::new();
+        let mut col = ColumnarRelation::from_relation(&rel, &mut dict).unwrap();
+        let c3 = dict.intern(&pgq_value::Value::int(3)).unwrap();
+        let c1 = dict.intern(&pgq_value::Value::int(1)).unwrap();
+        col.append(&[c1, c3]);
+        assert_eq!(col.len(), 2);
+        assert_eq!(col.physical_len(), 2);
+        let row = col.find_live(&[c1, c3]).unwrap();
+        assert!(col.tombstone(row));
+        assert!(!col.tombstone(row));
+        assert_eq!(col.len(), 1);
+        assert_eq!(col.tombstones(), 1);
+        assert_eq!(col.decode_rows(&dict).len(), 1);
+        assert_eq!(col.find_live(&[c1, c3]), None);
+        assert_eq!(col.find_dead(&[c1, c3]), Some(row));
+        assert!(col.revive(row));
+        assert!(!col.revive(row));
+        assert_eq!(col.len(), 2);
+        // Tombstoned rows stay resident until compaction.
+        col.tombstone(row);
+        assert_eq!(col.coded_bytes(), 2 * 2 * 4);
+        let dropped = col.compact_remap(&mut |c| c);
+        assert_eq!(dropped, 1);
+        assert_eq!(col.physical_len(), 1);
+        assert_eq!(col.coded_bytes(), 2 * 4);
     }
 }

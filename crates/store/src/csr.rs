@@ -1,4 +1,4 @@
-//! Compressed sparse row adjacency indexes.
+//! Compressed sparse row adjacency indexes and their delta overlays.
 //!
 //! A [`CsrIndex`] freezes a set of `(source, target)` code pairs into
 //! forward and reverse CSR form: one offsets array and one flat
@@ -6,8 +6,18 @@
 //! `0..node_count` space. Neighbor enumeration is a slice borrow — no
 //! hashing, no allocation — which is what turns the semi-naive fixpoint
 //! frontier of the physical engine into pointer arithmetic.
+//!
+//! Since PR 5 the frozen index is no longer the whole story: a
+//! [`DeltaAdjacency`] records edges added and removed *after* the
+//! freeze, and an [`AdjacencyView`] answers neighbor and reachability
+//! queries through base-plus-overlay without rebuilding the CSR. The
+//! overlay is folded back into a fresh index when it grows past a
+//! threshold (`Store::compact`, or automatically after large update
+//! batches), so steady-state reads stay on the pointer-arithmetic
+//! path.
 
-use std::collections::HashMap;
+use crate::store::StoreError;
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// One direction of adjacency in CSR form over dense node ids.
 #[derive(Debug, Clone, Default)]
@@ -82,18 +92,44 @@ pub struct CsrIndex {
 }
 
 impl CsrIndex {
+    /// The full dense-id space: the hard ceiling on distinct nodes one
+    /// index can hold (parity with `Dictionary::MAX_CODES`).
+    pub const MAX_NODES: usize = u32::MAX as usize + 1;
+
     /// Builds the index over `nodes` (dictionary codes; duplicates
     /// ignored) with `edges` as `(source code, target code)` pairs.
-    /// Edge endpoints must be members of `nodes`.
-    pub fn build(nodes: impl IntoIterator<Item = u32>, edges: &[(u32, u32)]) -> Self {
+    /// Edge endpoints must be members of `nodes`. Fails with
+    /// [`StoreError::NodeUniverseFull`] instead of panicking when the
+    /// universe outgrows the dense `u32` id space — the same typed
+    /// error discipline as dictionary exhaustion.
+    pub fn build(
+        nodes: impl IntoIterator<Item = u32>,
+        edges: &[(u32, u32)],
+    ) -> Result<Self, StoreError> {
+        Self::build_with_limit(nodes, edges, Self::MAX_NODES)
+    }
+
+    /// [`CsrIndex::build`] with an explicit node-universe limit (capped
+    /// at [`CsrIndex::MAX_NODES`]). Exists so tests can exercise the
+    /// exhaustion path without 2³² nodes.
+    pub fn build_with_limit(
+        nodes: impl IntoIterator<Item = u32>,
+        edges: &[(u32, u32)],
+        limit: usize,
+    ) -> Result<Self, StoreError> {
+        let limit = limit.min(Self::MAX_NODES);
         let mut codes: Vec<u32> = Vec::new();
         let mut dense: HashMap<u32, u32> = HashMap::new();
         for c in nodes {
-            dense.entry(c).or_insert_with(|| {
-                let id = u32::try_from(codes.len()).expect("node universe outgrew u32");
-                codes.push(c);
-                id
-            });
+            if dense.contains_key(&c) {
+                continue;
+            }
+            if codes.len() >= limit {
+                return Err(StoreError::NodeUniverseFull { limit });
+            }
+            // `len < limit ≤ 2³²`, so the cast cannot wrap.
+            dense.insert(c, codes.len() as u32);
+            codes.push(c);
         }
         let mut fwd_pairs = Vec::with_capacity(edges.len());
         for &(s, t) in edges {
@@ -105,12 +141,12 @@ impl CsrIndex {
         fwd_pairs.dedup();
         let rev_pairs: Vec<(u32, u32)> = fwd_pairs.iter().map(|&(s, t)| (t, s)).collect();
         let n = codes.len();
-        CsrIndex {
+        Ok(CsrIndex {
             fwd: Csr::from_pairs(n, &fwd_pairs),
             rev: Csr::from_pairs(n, &rev_pairs),
             codes,
             dense,
-        }
+        })
     }
 
     /// Number of nodes in the universe.
@@ -146,6 +182,16 @@ impl CsrIndex {
     /// Reverse neighbors (dense → dense slice).
     pub fn in_neighbors(&self, dense: u32) -> &[u32] {
         self.rev.neighbors(dense)
+    }
+
+    /// Whether the frozen index holds the `(source, target)` pair,
+    /// given as external codes. Neighbor groups are sorted, so this is
+    /// a binary search, no hashing.
+    pub fn has_pair(&self, s: u32, t: u32) -> bool {
+        match (self.dense_of(s), self.dense_of(t)) {
+            (Some(ds), Some(dt)) => self.fwd.neighbors(ds).binary_search(&dt).is_ok(),
+            _ => false,
+        }
     }
 
     /// All `(source, target)` pairs connected by a path of **one or
@@ -218,13 +264,315 @@ impl CsrIndex {
     }
 }
 
+/// Edges added and removed since the underlying [`CsrIndex`] was
+/// frozen, keyed on the same external codes the index maps.
+///
+/// Invariants maintained by [`DeltaAdjacency::add`] /
+/// [`DeltaAdjacency::remove`] (callers pass whether the pair is in the
+/// base index):
+///
+/// * `added ∩ base = ∅` — re-adding a frozen pair only cancels a prior
+///   removal;
+/// * `removed ⊆ base` — removing a never-frozen pair only retracts it
+///   from `added`.
+///
+/// The effective pair set is therefore exactly
+/// `(base ∖ removed) ∪ added`, and its size is
+/// `base.edge_count() − removed.len() + added.len()`.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaAdjacency {
+    added_out: HashMap<u32, BTreeSet<u32>>,
+    added_in: HashMap<u32, BTreeSet<u32>>,
+    removed: HashSet<(u32, u32)>,
+    added_pairs: usize,
+}
+
+impl DeltaAdjacency {
+    /// An empty overlay.
+    pub fn new() -> Self {
+        DeltaAdjacency::default()
+    }
+
+    /// Records the pair `(s, t)` as present. `in_base` says whether the
+    /// frozen index already holds it (the caller knows; the overlay has
+    /// no base reference).
+    pub fn add(&mut self, s: u32, t: u32, in_base: bool) {
+        if in_base {
+            self.removed.remove(&(s, t));
+            return;
+        }
+        if self.added_out.entry(s).or_default().insert(t) {
+            self.added_in.entry(t).or_default().insert(s);
+            self.added_pairs += 1;
+        }
+    }
+
+    /// Records the pair `(s, t)` as absent.
+    pub fn remove(&mut self, s: u32, t: u32, in_base: bool) {
+        if in_base {
+            self.removed.insert((s, t));
+            return;
+        }
+        if let Some(set) = self.added_out.get_mut(&s) {
+            if set.remove(&t) {
+                self.added_pairs -= 1;
+                if set.is_empty() {
+                    self.added_out.remove(&s);
+                }
+                if let Some(rev) = self.added_in.get_mut(&t) {
+                    rev.remove(&s);
+                    if rev.is_empty() {
+                        self.added_in.remove(&t);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether `(s, t)` was added on top of the base.
+    pub fn has_added(&self, s: u32, t: u32) -> bool {
+        self.added_out.get(&s).is_some_and(|set| set.contains(&t))
+    }
+
+    /// Whether `(s, t)` was removed from the base.
+    pub fn is_removed(&self, s: u32, t: u32) -> bool {
+        self.removed.contains(&(s, t))
+    }
+
+    /// Pairs added on top of the base.
+    pub fn added_len(&self) -> usize {
+        self.added_pairs
+    }
+
+    /// Pairs removed from the base.
+    pub fn removed_len(&self) -> usize {
+        self.removed.len()
+    }
+
+    /// Total overlay size (additions plus removals) — what the
+    /// fold-on-threshold policy and `STATS` measure.
+    pub fn change_count(&self) -> usize {
+        self.added_pairs + self.removed.len()
+    }
+
+    /// Whether the overlay records no changes.
+    pub fn is_empty(&self) -> bool {
+        self.change_count() == 0
+    }
+
+    /// Added forward neighbors of `s`, ascending.
+    pub fn added_out(&self, s: u32) -> impl Iterator<Item = u32> + '_ {
+        self.added_out.get(&s).into_iter().flatten().copied()
+    }
+
+    /// Added reverse neighbors of `t`, ascending.
+    pub fn added_in(&self, t: u32) -> impl Iterator<Item = u32> + '_ {
+        self.added_in.get(&t).into_iter().flatten().copied()
+    }
+
+    /// Every added pair, grouped by source (deterministic order).
+    pub fn added_pairs(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        // BTreeMap-like determinism despite the HashMap: sort sources.
+        let mut sources: Vec<u32> = self.added_out.keys().copied().collect();
+        sources.sort_unstable();
+        sources.into_iter().flat_map(move |s| {
+            self.added_out
+                .get(&s)
+                .into_iter()
+                .flatten()
+                .map(move |&t| (s, t))
+        })
+    }
+}
+
+/// A read view through a frozen [`CsrIndex`] and an optional
+/// [`DeltaAdjacency`] overlay — what `AdjacencyExpand` probes and the
+/// CSR fixpoint sweeps run on since the store became updatable.
+///
+/// All methods speak *external codes* (the same space
+/// [`CsrIndex::dense_of`] maps); keys outside the frozen universe are
+/// legal and simply have whatever neighbors the overlay gives them.
+/// With no overlay every path degrades to the frozen slice walks.
+#[derive(Clone, Copy)]
+pub struct AdjacencyView<'a> {
+    base: &'a CsrIndex,
+    delta: Option<&'a DeltaAdjacency>,
+}
+
+impl<'a> AdjacencyView<'a> {
+    /// A view over `base` with an optional overlay; an empty overlay is
+    /// normalized away so the fast paths stay branch-predictable.
+    pub fn new(base: &'a CsrIndex, delta: Option<&'a DeltaAdjacency>) -> Self {
+        AdjacencyView {
+            base,
+            delta: delta.filter(|d| !d.is_empty()),
+        }
+    }
+
+    /// The frozen index underneath.
+    pub fn base(&self) -> &'a CsrIndex {
+        self.base
+    }
+
+    /// Whether reads go through a (non-empty) delta overlay — surfaced
+    /// by `EXPLAIN`'s `⟨delta⟩` markers.
+    pub fn has_delta(&self) -> bool {
+        self.delta.is_some()
+    }
+
+    /// Effective number of distinct endpoint pairs:
+    /// `base − removed + added` (exact under the overlay invariants).
+    pub fn edge_count(&self) -> usize {
+        let base = self.base.edge_count();
+        match self.delta {
+            None => base,
+            Some(d) => base - d.removed_len() + d.added_len(),
+        }
+    }
+
+    /// Whether the effective pair set holds `(s, t)`.
+    pub fn has_pair(&self, s: u32, t: u32) -> bool {
+        match self.delta {
+            None => self.base.has_pair(s, t),
+            Some(d) => (self.base.has_pair(s, t) && !d.is_removed(s, t)) || d.has_added(s, t),
+        }
+    }
+
+    /// Calls `f` for every effective forward neighbor of `key` (base
+    /// minus removed, then added; codes, not dense ids).
+    pub fn for_each_out(&self, key: u32, mut f: impl FnMut(u32)) {
+        match self.delta {
+            None => {
+                if let Some(d) = self.base.dense_of(key) {
+                    for &t in self.base.out_neighbors(d) {
+                        f(self.base.code_of(t));
+                    }
+                }
+            }
+            Some(delta) => {
+                if let Some(d) = self.base.dense_of(key) {
+                    for &t in self.base.out_neighbors(d) {
+                        let tc = self.base.code_of(t);
+                        if !delta.is_removed(key, tc) {
+                            f(tc);
+                        }
+                    }
+                }
+                for t in delta.added_out(key) {
+                    f(t);
+                }
+            }
+        }
+    }
+
+    /// Calls `f` for every effective reverse neighbor of `key`.
+    pub fn for_each_in(&self, key: u32, mut f: impl FnMut(u32)) {
+        match self.delta {
+            None => {
+                if let Some(d) = self.base.dense_of(key) {
+                    for &t in self.base.in_neighbors(d) {
+                        f(self.base.code_of(t));
+                    }
+                }
+            }
+            Some(delta) => {
+                if let Some(d) = self.base.dense_of(key) {
+                    for &t in self.base.in_neighbors(d) {
+                        let sc = self.base.code_of(t);
+                        if !delta.is_removed(sc, key) {
+                            f(sc);
+                        }
+                    }
+                }
+                for s in delta.added_in(key) {
+                    f(s);
+                }
+            }
+        }
+    }
+
+    /// Keys reachable from `seeds` by **zero or more** effective
+    /// forward steps (seeds included, deduplicated). Keys outside the
+    /// frozen universe are valid seeds — they contribute themselves
+    /// plus whatever the overlay hangs off them. Without an overlay
+    /// the sweep runs on the dense frozen arrays.
+    pub fn reach_from(&self, seeds: impl IntoIterator<Item = u32>) -> Vec<u32> {
+        if self.delta.is_none() {
+            // Dense fast path: split seeds into in-universe (swept on
+            // the frozen arrays) and strays (0-step, no out-edges).
+            let mut dense_seeds: Vec<u32> = Vec::new();
+            let mut strays: Vec<u32> = Vec::new();
+            for s in seeds {
+                match self.base.dense_of(s) {
+                    Some(d) => dense_seeds.push(d),
+                    None => strays.push(s),
+                }
+            }
+            let mut out: Vec<u32> = self
+                .base
+                .reach_from(dense_seeds)
+                .into_iter()
+                .map(|d| self.base.code_of(d))
+                .collect();
+            strays.sort_unstable();
+            strays.dedup();
+            out.extend(strays);
+            return out;
+        }
+        // Overlay sweep in key space.
+        let mut seen: HashSet<u32> = HashSet::new();
+        let mut out: Vec<u32> = Vec::new();
+        let mut frontier: Vec<u32> = Vec::new();
+        for s in seeds {
+            if seen.insert(s) {
+                out.push(s);
+                frontier.push(s);
+            }
+        }
+        let mut next: Vec<u32> = Vec::new();
+        while !frontier.is_empty() {
+            next.clear();
+            for &u in &frontier {
+                self.for_each_out(u, |t| {
+                    if seen.insert(t) {
+                        out.push(t);
+                        next.push(t);
+                    }
+                });
+            }
+            std::mem::swap(&mut frontier, &mut next);
+        }
+        out
+    }
+
+    /// The full effective pair set, deterministic order — what a fold
+    /// rebuilds a fresh [`CsrIndex`] from.
+    pub fn effective_pairs(&self) -> Vec<(u32, u32)> {
+        let mut out: Vec<(u32, u32)> = Vec::with_capacity(self.edge_count());
+        for d in 0..self.base.node_count() as u32 {
+            let s = self.base.code_of(d);
+            for &t in self.base.out_neighbors(d) {
+                let tc = self.base.code_of(t);
+                if !self.delta.is_some_and(|dl| dl.is_removed(s, tc)) {
+                    out.push((s, tc));
+                }
+            }
+        }
+        if let Some(d) = self.delta {
+            out.extend(d.added_pairs());
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     /// 0 → 1 → 2 → 3 with codes 10·(i+1).
     fn chain() -> CsrIndex {
-        CsrIndex::build([10, 20, 30, 40], &[(10, 20), (20, 30), (30, 40)])
+        CsrIndex::build([10, 20, 30, 40], &[(10, 20), (20, 30), (30, 40)]).unwrap()
     }
 
     #[test]
@@ -239,13 +587,26 @@ mod tests {
         assert_eq!(idx.in_neighbors(d20), &[d10]);
         assert_eq!(idx.code_of(d20), 20);
         assert_eq!(idx.dense_of(99), None);
+        assert!(idx.has_pair(10, 20));
+        assert!(!idx.has_pair(20, 10));
+        assert!(!idx.has_pair(10, 99));
+    }
+
+    #[test]
+    fn node_universe_exhaustion_is_a_typed_error() {
+        // Four distinct nodes under a limit of 3: the PR 4 parity fix
+        // for the old `expect("node universe outgrew u32")` panic.
+        let err = CsrIndex::build_with_limit([1, 2, 3, 4], &[], 3).unwrap_err();
+        assert!(matches!(err, StoreError::NodeUniverseFull { limit: 3 }));
+        // Duplicates don't count against the limit.
+        assert!(CsrIndex::build_with_limit([1, 1, 2, 2, 3, 3], &[], 3).is_ok());
     }
 
     #[test]
     fn all_pairs_on_chain_and_cycle() {
         let idx = chain();
         assert_eq!(idx.all_pairs_reach().len(), 6); // 3 + 2 + 1
-        let cycle = CsrIndex::build([1, 2, 3], &[(1, 2), (2, 3), (3, 1)]);
+        let cycle = CsrIndex::build([1, 2, 3], &[(1, 2), (2, 3), (3, 1)]).unwrap();
         assert_eq!(cycle.all_pairs_reach().len(), 9);
     }
 
@@ -253,7 +614,7 @@ mod tests {
     fn self_loops_and_parallel_endpoint_pairs() {
         // A self loop reaches itself; duplicated endpoint pairs
         // collapse in the reachability answer.
-        let idx = CsrIndex::build([1, 2], &[(1, 1), (1, 2), (1, 2)]);
+        let idx = CsrIndex::build([1, 2], &[(1, 1), (1, 2), (1, 2)]).unwrap();
         assert_eq!(idx.edge_count(), 2);
         let pairs = idx.all_pairs_reach();
         let d1 = idx.dense_of(1).unwrap();
@@ -270,8 +631,79 @@ mod tests {
         let got = idx.reach_from([d20]);
         assert_eq!(got.len(), 3); // 20, 30, 40
         assert!(got.contains(&d20));
-        let empty = CsrIndex::build([], &[]);
+        let empty = CsrIndex::build([], &[]).unwrap();
         assert!(empty.reach_from([]).is_empty());
         assert!(empty.all_pairs_reach().is_empty());
+    }
+
+    #[test]
+    fn delta_overlay_add_remove_invariants() {
+        let idx = chain();
+        let mut d = DeltaAdjacency::new();
+        assert!(d.is_empty());
+        // Remove a frozen edge, add a novel one, add one to a novel node.
+        d.remove(10, 20, idx.has_pair(10, 20));
+        d.add(40, 10, idx.has_pair(40, 10));
+        d.add(99, 10, idx.has_pair(99, 10));
+        assert_eq!(d.change_count(), 3);
+        let view = AdjacencyView::new(&idx, Some(&d));
+        assert!(view.has_delta());
+        assert_eq!(view.edge_count(), 4); // 3 − 1 + 2
+        assert!(!view.has_pair(10, 20));
+        assert!(view.has_pair(40, 10));
+        assert!(view.has_pair(99, 10));
+        assert!(view.has_pair(20, 30));
+        // Neighbor enumeration merges base and overlay.
+        let mut out = Vec::new();
+        view.for_each_out(40, |t| out.push(t));
+        assert_eq!(out, vec![10]);
+        let mut ins = Vec::new();
+        view.for_each_in(10, |s| ins.push(s));
+        ins.sort_unstable();
+        assert_eq!(ins, vec![40, 99]);
+        // Re-adding the removed base pair cancels the removal; removing
+        // an added pair retracts it.
+        d.add(10, 20, idx.has_pair(10, 20));
+        d.remove(99, 10, idx.has_pair(99, 10));
+        assert_eq!(d.change_count(), 1);
+        let view = AdjacencyView::new(&idx, Some(&d));
+        assert!(view.has_pair(10, 20));
+        assert!(!view.has_pair(99, 10));
+    }
+
+    #[test]
+    fn view_reach_matches_rebuilt_index() {
+        let idx = chain();
+        let mut d = DeltaAdjacency::new();
+        d.remove(30, 40, true); // cut the chain
+        d.add(40, 10, false); // new back edge
+        d.add(77, 40, false); // dangling new node into the chain
+        let view = AdjacencyView::new(&idx, Some(&d));
+        let rebuilt = CsrIndex::build([10, 20, 30, 40, 77], &view.effective_pairs()).unwrap();
+        let fresh = AdjacencyView::new(&rebuilt, None);
+        assert!(!fresh.has_delta());
+        for seed in [10u32, 20, 30, 40, 77, 999] {
+            let mut a = view.reach_from([seed]);
+            let mut b = fresh.reach_from([seed]);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "seed {seed}");
+        }
+        assert_eq!(view.edge_count(), rebuilt.edge_count());
+        // The stray seed reaches only itself in both.
+        assert_eq!(view.reach_from([999]), vec![999]);
+    }
+
+    #[test]
+    fn empty_overlay_normalizes_away() {
+        let idx = chain();
+        let d = DeltaAdjacency::new();
+        let view = AdjacencyView::new(&idx, Some(&d));
+        assert!(!view.has_delta());
+        assert_eq!(view.edge_count(), 3);
+        // Dedup of stray seeds on the dense fast path.
+        let got = view.reach_from([99, 99, 10]);
+        assert_eq!(got.iter().filter(|&&c| c == 99).count(), 1);
+        assert!(got.contains(&40));
     }
 }

@@ -79,6 +79,12 @@ impl Dictionary {
         Ok(c)
     }
 
+    /// The configured code-space limit (used by `Store::compact` to
+    /// carry admission control over into the rebuilt dictionary).
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
     /// The code of `v`, if it has been interned.
     pub fn code(&self, v: &Value) -> Option<u32> {
         self.codes.get(v).copied()

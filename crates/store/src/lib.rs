@@ -32,23 +32,37 @@
 //! (`t.amount > 100`-style conditions decode on compare — an index
 //! into the dictionary's value vector, not a hash lookup).
 //!
+//! ## Updates
+//!
+//! Since PR 5 the store serves **changing data** without
+//! re-registration: [`Store::insert_row`] / [`Store::delete_row`]
+//! append or tombstone single rows (a validity bitmap in
+//! [`ColumnarRelation`]), and [`Store::apply_update`] /
+//! [`Store::apply_updates`] bridge the Section 7 update model
+//! (`pgq_graph::updates::Update`) onto a registered view graph —
+//! editing the six backing relations in place and maintaining the
+//! graph's frozen CSR through a [`DeltaAdjacency`] overlay consulted
+//! by every adjacency read ([`AdjacencyView`]). Evaluation cost after
+//! an update tracks the **delta**, not the database: no re-interning,
+//! no `pgView` re-validation, no CSR rebuild until the overlay
+//! outgrows its threshold and is folded back into a fresh index.
+//!
 //! ## Compaction
 //!
-//! The dictionary is append-only: [`Store::register_database`] drops
-//! relations, adjacency and graphs that no longer exist, but codes
-//! minted for departed values stay resident forever (dropping them
-//! would dangle any structure still holding the code, and renumbering
-//! would invalidate every frozen column and CSR index at once). The
-//! store therefore *tracks* the gap instead: [`StoreStats`] reports
-//! live vs. total codes (surfaced by the shell's `STATS` command), and
-//! the supported compaction story is a **rebuild** — construct a fresh
-//! `Store::from_database` (re-registering graphs), which re-interns
-//! exactly the live values, and drop the old store. That matches the
-//! snapshot discipline: stores answer for the state they were
-//! registered from, and a session that has churned enough data to care
-//! about residency is due a fresh snapshot anyway. Code space is a
+//! The dictionary is append-only: deletions and re-registrations
+//! leave stale codes behind (dropping them eagerly would dangle any
+//! structure still holding the code). The store *tracks* the gap —
+//! [`StoreStats`] reports live vs. total codes, tombstoned rows and
+//! overlay sizes (surfaced by the shell's `STATS` command) — and
+//! [`Store::compact`] implements the reclamation: it rebuilds the
+//! dictionary retaining only live codes, remaps every column, drops
+//! tombstoned rows, rebuilds relation CSR indexes from the recoded
+//! rows, and folds every graph overlay, reporting the effect as
+//! [`CompactionStats`]. `dictionary_stale` drops to 0 and no query
+//! result changes (held by the differential suite). Code space is a
 //! hard `u32` ceiling ([`Dictionary::MAX_CODES`]); exhaustion is a
-//! typed [`StoreError::DictionaryFull`], not a panic.
+//! typed [`StoreError::DictionaryFull`], not a panic — and CSR node
+//! universes fail the same way ([`StoreError::NodeUniverseFull`]).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -59,8 +73,9 @@ pub mod dict;
 pub mod store;
 
 pub use column::ColumnarRelation;
-pub use csr::{Csr, CsrIndex};
+pub use csr::{AdjacencyView, Csr, CsrIndex, DeltaAdjacency};
 pub use dict::Dictionary;
 pub use store::{
-    GraphEntry, GraphForm, GraphStats, RelationStats, Store, StoreError, StoreStats, ADOM_REL,
+    CompactionStats, GraphEntry, GraphForm, GraphStats, RelationStats, Store, StoreError,
+    StoreStats, ADOM_REL,
 };

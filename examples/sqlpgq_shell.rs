@@ -2,19 +2,31 @@
 //! script file (or runs a built-in demo) and prints each result.
 //!
 //! Script format: SQL/PGQ statements separated by `;`, plus a tiny
-//! `INSERT INTO table VALUES (v, …);`-style data syntax handled here in
-//! the shell (the formal model is read-only, Section 7 "Updates"), plus
-//! two introspection commands:
+//! mutation syntax handled in the shell (the formal model is
+//! read-only, Section 7 "Updates" — the shell makes the simulation
+//! *incremental*), plus three introspection commands:
 //!
+//! * `INSERT INTO table VALUES (v, …);` / `DELETE FROM table VALUES
+//!   (v, …);` — row-level mutations. They edit the live database *and*
+//!   the session store in place: columnar relations append or
+//!   tombstone, binary-relation CSR indexes take the change as a delta
+//!   overlay, and graphs over a mutated table are refrozen — no full
+//!   re-registration;
 //! * `EXPLAIN SELECT …;` — prints the S15/S16 physical plan (operator
 //!   tree, pattern route, view subplans) instead of running the query,
-//!   including the coded-execution routing: which operators run on
-//!   dictionary codes (`⟨coded⟩`) and where the pipeline decodes;
-//! * `STATS;` — freezes the current data into an S16 store (columnar
-//!   relations, CSR adjacency per graph and edge label) and prints the
-//!   storage layout, including dictionary residency (codes minted vs.
-//!   live — the append-only dictionary keeps stale codes until the
-//!   store is rebuilt).
+//!   including the coded-execution routing (`⟨coded⟩`, decode
+//!   boundaries). The shell stages EXPLAIN against a *fresh* scratch
+//!   store, so its plan tree is overlay-free; when the *session* store
+//!   carries pending overlays or tombstones a trailing `session store:`
+//!   line reports them (the per-operator `⟨delta⟩` markers
+//!   `PhysPlan::display_with` emits appear when explaining against a
+//!   long-lived library store);
+//! * `STATS;` — prints the session store's storage layout: dictionary
+//!   residency (codes minted / live / stale), overlay sizes, tombstone
+//!   counts, and the effect of the last compaction;
+//! * `COMPACT;` — folds every overlay and rebuilds the dictionary
+//!   retaining live codes (`Store::compact`), reporting what was
+//!   reclaimed.
 //!
 //! ```sh
 //! cargo run --example sqlpgq_shell            # built-in demo
@@ -22,6 +34,7 @@
 //! ```
 
 use sqlpgq::prelude::*;
+use sqlpgq::store::{GraphForm, Store};
 
 const DEMO: &str = r#"
 CREATE TABLE Account (iban);
@@ -41,10 +54,20 @@ SELECT * FROM GRAPH_TABLE (Transfers
   MATCH (x) -[t:Transfer]->+ (y)
   WHERE t.amount > 100
   RETURN (x.iban, y.iban));
+STATS;
+INSERT INTO Account VALUES ('IL04');
+INSERT INTO Transfer VALUES (3, 'IL03', 'IL04', 102, 900);
+DELETE FROM Transfer VALUES (1, 'IL01', 'IL02', 100, 500);
+SELECT * FROM GRAPH_TABLE (Transfers
+  MATCH (x) -[t:Transfer]->+ (y)
+  WHERE t.amount > 100
+  RETURN (x.iban, y.iban));
+STATS;
 EXPLAIN SELECT * FROM GRAPH_TABLE (Transfers
   MATCH (x) -[t:Transfer]->+ (y)
   WHERE t.amount > 100
   RETURN (x.iban, y.iban));
+COMPACT;
 STATS;
 "#;
 
@@ -57,25 +80,31 @@ fn main() {
     };
     let mut db = Database::new();
     let mut session = Session::new();
+    // The session store: built on first use, then maintained in place
+    // by the shell's mutations — STATS shows the overlays accumulate
+    // and COMPACT fold, across statements.
+    let mut store: Option<Store> = None;
 
-    // Split on `;` at the top level and route INSERTs to the shell's own
-    // handler; everything else goes through the real parser.
+    // Split on `;` at the top level and route mutations to the shell's
+    // own handler; everything else goes through the real parser.
     for raw in split_statements(&script) {
         let stmt = raw.trim();
         if stmt.is_empty() {
             continue;
         }
-        if stmt.to_ascii_uppercase().starts_with("INSERT INTO") {
-            if let Err(e) = insert(&mut db, stmt) {
-                println!("!! {e}");
+        let upper = stmt.to_ascii_uppercase();
+        if upper.starts_with("INSERT INTO") || upper.starts_with("DELETE FROM") {
+            match mutate(&mut db, &mut store, &session, stmt) {
+                Ok(text) => println!("-- {text}"),
+                Err(e) => println!("!! {e}"),
             }
             continue;
         }
         if stmt.eq_ignore_ascii_case("STATS") {
-            match stats(&session, &db) {
-                Ok(text) => {
+            match ensure_store(&mut store, &session, &db) {
+                Ok(store) => {
                     println!("-- store layout");
-                    for line in text.lines() {
+                    for line in store.stats().to_string().lines() {
                         println!("   {line}");
                     }
                 }
@@ -83,8 +112,16 @@ fn main() {
             }
             continue;
         }
+        if stmt.eq_ignore_ascii_case("COMPACT") {
+            let result = ensure_store(&mut store, &session, &db).and_then(|s| Ok(s.compact()?));
+            match result {
+                Ok(effect) => println!("-- compacted: {effect}"),
+                Err(e) => println!("!! {e}"),
+            }
+            continue;
+        }
         if let Some(inner) = strip_explain(stmt) {
-            match explain(&session, &db, inner) {
+            match explain(&session, &db, store.as_ref(), inner) {
                 Ok(text) => {
                     println!("-- physical plan");
                     for line in text.lines() {
@@ -138,10 +175,10 @@ fn strip_explain(stmt: &str) -> Option<&str> {
 fn explain(
     session: &Session,
     db: &Database,
+    session_store: Option<&Store>,
     inner: &str,
 ) -> Result<String, Box<dyn std::error::Error>> {
     use sqlpgq::parser::{parse_statement, Statement};
-    use sqlpgq::store::Store;
 
     let stmt = parse_statement(&format!("{inner};"))?;
     let Statement::GraphQuery(gq) = stmt else {
@@ -167,46 +204,140 @@ fn explain(
     }
     let store = Store::from_database(&scratch);
     let q = sqlpgq::core::Query::pattern_n(k, out, names.map(sqlpgq::core::Query::rel));
-    Ok(sqlpgq::core::explain_with(
-        &q,
-        &scratch.schema(),
-        Some(&store),
-    )?)
-}
-
-/// `STATS`: freeze the current database and every defined graph into
-/// an S16 store and render its layout. The store is rebuilt from the
-/// live data each time — it is a snapshot, and the shell's `INSERT`s
-/// mutate the database between calls.
-fn stats(session: &Session, db: &Database) -> Result<String, Box<dyn std::error::Error>> {
-    use sqlpgq::store::{GraphForm, Store};
-
-    let mut store = Store::from_database(db);
-    for name in session.catalog.graph_names() {
-        let graph = session.catalog.build_graph(name, db, session.mode)?;
-        store.register_graph(name, &graph, None, GraphForm::Exact(graph.id_arity()));
+    let mut text = sqlpgq::core::explain_with(&q, &scratch.schema(), Some(&store))?;
+    // The plan above is staged against a fresh snapshot of the view
+    // relations; when the *session* store carries update overlays,
+    // say so — library callers explaining against that store see the
+    // per-operator ⟨delta⟩ markers.
+    if let Some(s) = session_store {
+        let stats = s.stats();
+        let (overlay, dead) = (stats.overlay_entries(), stats.tombstone_rows());
+        if overlay > 0 || dead > 0 {
+            text.push_str(&format!(
+                "session store: {overlay} overlay entr(y/ies), {dead} tombstoned row(s) \
+                 pending - COMPACT folds them; plans reading that store carry ⟨delta⟩ markers\n"
+            ));
+        }
     }
-    Ok(store.stats().to_string())
+    Ok(text)
 }
 
-/// Naive `INSERT INTO t VALUES (…)` for the shell: integers, booleans
-/// and single-quoted strings. Malformed statements are reported to the
-/// REPL instead of aborting the session.
-fn insert(db: &mut Database, stmt: &str) -> Result<(), String> {
-    let open = stmt.find('(').ok_or("INSERT needs VALUES (…)")?;
-    let close = stmt.rfind(')').ok_or("INSERT needs a closing paren")?;
-    let table = stmt["INSERT INTO".len()..]
+/// The session store, built from the live data on first use and
+/// maintained incrementally thereafter. Every catalog graph is
+/// registered so STATS can report its CSR layout — including graphs
+/// defined *after* the store was first built (mutations refreeze
+/// graphs over mutated tables; this fills in the never-seen ones).
+fn ensure_store<'a>(
+    store: &'a mut Option<Store>,
+    session: &Session,
+    db: &Database,
+) -> Result<&'a mut Store, Box<dyn std::error::Error>> {
+    if store.is_none() {
+        *store = Some(Store::from_database(db));
+    }
+    let s = store.as_mut().expect("populated above");
+    let missing: Vec<String> = session
+        .catalog
+        .graph_names()
+        .filter(|g| s.graph(g).is_none())
+        .map(String::from)
+        .collect();
+    for name in missing {
+        let graph = session.catalog.build_graph(&name, db, session.mode)?;
+        s.register_graph(&name, &graph, None, GraphForm::Exact(graph.id_arity()))?;
+    }
+    Ok(s)
+}
+
+/// `INSERT INTO t VALUES (…)` / `DELETE FROM t VALUES (…)` for the
+/// shell: integers, booleans and single-quoted strings. The mutation
+/// lands in the live database and — when the session store exists — in
+/// its columnar/CSR layout in place (append/tombstone + delta
+/// overlay); catalog graphs built over the mutated table are refrozen.
+/// Malformed statements are reported to the REPL instead of aborting
+/// the session.
+fn mutate(
+    db: &mut Database,
+    store: &mut Option<Store>,
+    session: &Session,
+    stmt: &str,
+) -> Result<String, String> {
+    let delete = stmt.to_ascii_uppercase().starts_with("DELETE FROM");
+    let open = stmt.find('(').ok_or("mutation needs VALUES (…)")?;
+    let close = stmt.rfind(')').ok_or("mutation needs a closing paren")?;
+    let table = stmt["INSERT INTO".len()..] // both prefixes have length 11
         .split_whitespace()
         .next()
-        .ok_or("INSERT needs a table name")?
+        .ok_or("mutation needs a table name")?
         .to_string();
     let values: Vec<Value> = stmt[open + 1..close]
         .split(',')
         .map(|v| parse_value(v.trim()))
         .collect::<Result<_, _>>()?;
-    db.insert(table, Tuple::new(values))
-        .map_err(|e| e.to_string())?;
-    Ok(())
+    let row = Tuple::new(values);
+    let changed = if delete {
+        db.remove(&table.as_str().into(), &row)
+    } else {
+        db.insert(table.clone(), row.clone())
+            .map_err(|e| e.to_string())?
+    };
+    let mut note = String::new();
+    if let Some(s) = store.as_mut() {
+        let result = if delete {
+            s.delete_row(&table.as_str().into(), &row)
+        } else {
+            s.insert_row(table.clone(), &row)
+        };
+        match result {
+            Ok(_) => refresh_catalog_graphs(s, session, db, &table, &mut note),
+            Err(e) => note = format!("; store: {e}"),
+        }
+    }
+    let verb = if delete {
+        "deleted from"
+    } else {
+        "inserted into"
+    };
+    let effect = if changed { "" } else { " (no-op)" };
+    Ok(format!("{verb} {table}{effect}{note}"))
+}
+
+/// Refreezes every catalog graph whose node/edge tables include
+/// `table`. A graph whose view became invalid is dropped from the
+/// store (queries fall back to per-query evaluation) with a note.
+fn refresh_catalog_graphs(
+    store: &mut Store,
+    session: &Session,
+    db: &Database,
+    table: &str,
+    note: &mut String,
+) {
+    let graphs: Vec<String> = session
+        .catalog
+        .graph_names()
+        .filter(|g| {
+            session.catalog.graph(g).is_ok_and(|cg| {
+                cg.node_tables.iter().any(|nt| nt.table == table)
+                    || cg.edge_tables.iter().any(|et| et.table == table)
+            })
+        })
+        .map(String::from)
+        .collect();
+    for g in graphs {
+        match session.catalog.build_graph(&g, db, session.mode) {
+            Ok(graph) => {
+                if let Err(e) =
+                    store.register_graph(&g, &graph, None, GraphForm::Exact(graph.id_arity()))
+                {
+                    note.push_str(&format!("; graph {g}: {e}"));
+                }
+            }
+            Err(e) => {
+                store.drop_graph(&g);
+                note.push_str(&format!("; graph {g} dropped: {e}"));
+            }
+        }
+    }
 }
 
 fn parse_value(v: &str) -> Result<Value, String> {

@@ -21,6 +21,7 @@
 
 use pgq_core::{builders, eval_with, eval_with_store, EvalConfig, Query};
 use pgq_exec::{eval_ra, eval_ra_mode, eval_ra_with, BatchMode};
+use pgq_graph::{updates, Update, ViewRelations};
 use pgq_relational::{CmpOp, Database, RaExpr, RelName, Relation, RowCondition};
 use pgq_store::{GraphForm, Store};
 use pgq_value::{tuple, Tuple, Value};
@@ -233,8 +234,166 @@ fn arb_mixed_ra(depth: u32) -> BoxedStrategy<RaExpr> {
     .boxed()
 }
 
+/// The six canonical relations of `db` as [`ViewRelations`] — the
+/// reference state the update differential edits through
+/// `pgq_graph::updates::apply`.
+fn view_relations_of(db: &Database) -> ViewRelations {
+    let get = |n: &str| db.get(&n.into()).expect("canonical relation").clone();
+    ViewRelations::new(get("N"), get("E"), get("S"), get("T"), get("L"), get("P"))
+}
+
+/// A database holding exactly the six canonical relations of `rels`.
+fn db_of(rels: &ViewRelations) -> Database {
+    let mut db = Database::new();
+    db.add_relation("N", rels.nodes.clone());
+    db.add_relation("E", rels.edges.clone());
+    db.add_relation("S", rels.src.clone());
+    db.add_relation("T", rels.tgt.clone());
+    db.add_relation("L", rels.labels.clone());
+    db.add_relation("P", rels.props.clone());
+    db
+}
+
+/// A random Section 7 update against the canonical workload's id
+/// pools: node ids `0..8`, canonical edge ids `1_000_000 + (0..8)`
+/// (hitting the generated edges), fresh edge ids offset by 100, the
+/// workload's `"T"` label / `"w"` property key plus novel ones, and an
+/// occasional arity-mismatched identifier for the rejection path.
+fn arb_canonical_update() -> BoxedStrategy<Update> {
+    let nid = |i: i64| Tuple::unary(Value::int(i));
+    let eid = |i: i64| Tuple::unary(Value::int(1_000_000 + i));
+    (0u8..10, 0i64..8, 0i64..8, 0i64..8)
+        .prop_map(move |(op, a, b, c)| {
+            let elem = if a % 2 == 0 { nid(b) } else { eid(b) };
+            match op {
+                0 => Update::AddNode(nid(a)),
+                1 => Update::RemoveNode(nid(a)),
+                2 => Update::DetachRemoveNode(nid(a)),
+                3 => Update::AddEdge {
+                    id: eid(100 + a),
+                    src: nid(b),
+                    tgt: nid(c),
+                },
+                4 => Update::RemoveEdge(eid(a)),
+                5 => Update::AddLabel(elem, Value::str(if b % 2 == 0 { "T" } else { "U" })),
+                6 => Update::RemoveLabel(elem, Value::str(if b % 2 == 0 { "T" } else { "U" })),
+                7 => Update::SetProp(
+                    elem,
+                    Value::str(if b % 2 == 0 { "w" } else { "k" }),
+                    Value::int(c),
+                ),
+                8 => Update::RemoveProp(elem, Value::str(if b % 2 == 0 { "w" } else { "k" })),
+                _ => Update::AddNode(Tuple::new(vec![Value::int(a), Value::int(b)])),
+            }
+        })
+        .boxed()
+}
+
+/// Holds an incrementally updated store to the reference semantics on
+/// every workload of the suite: relation scans, reachability (both
+/// bounds), the store-lowered RA shapes, coded vs. decoded under
+/// tombstones, and the frozen active domain.
+fn assert_store_matches(store: &Store, db: &Database, context: &str) {
+    // Relation contents, live rows only.
+    for name in views() {
+        let scanned =
+            Relation::from_rows(db.get(&name).unwrap().arity(), store.scan(&name).unwrap())
+                .unwrap();
+        assert_eq!(&scanned, db.get(&name).unwrap(), "{context}: scan {name}");
+    }
+    // Reachability pattern calls answered from the (overlaid) entry.
+    let cfg = EvalConfig::physical();
+    for out in [
+        builders::reachability_output(),
+        builders::reachability_plus_output(),
+    ] {
+        let q = Query::pattern_ro(out, ["N", "E", "S", "T", "L", "P"]);
+        let reference = eval_with(&q, db, EvalConfig::reference()).unwrap();
+        assert_eq!(
+            eval_with_store(&q, db, cfg, store).unwrap(),
+            reference,
+            "{context}: {q}"
+        );
+    }
+    // RA shapes through the store pass: expansion joins, the frozen
+    // active domain, and difference over tombstoned scans — coded and
+    // decoded must agree with the S2 reference.
+    let shapes = [
+        RaExpr::rel("S")
+            .product(RaExpr::rel("T"))
+            .select(RowCondition::col_eq(0, 2))
+            .project(vec![1, 3]),
+        RaExpr::ActiveDomain,
+        RaExpr::rel("N").diff(RaExpr::rel("T").project(vec![1])),
+        RaExpr::rel("L").project(vec![0]).union(RaExpr::rel("E")),
+    ];
+    for q in shapes {
+        let reference = q.eval(db).unwrap();
+        for mode in [BatchMode::Coded, BatchMode::Decoded] {
+            assert_eq!(
+                eval_ra_mode(&q, db, store, mode).unwrap(),
+                reference,
+                "{context}: {mode:?} on {q}"
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The PR 5 update differential: a random accepted `Update`
+    /// sequence applied incrementally (`Store::apply_update`) must
+    /// leave the store answering exactly like (a) the reference
+    /// relations evolved by `pgq_graph::updates::apply`, (b) a store
+    /// re-registered from scratch on the updated database, and (c) the
+    /// S2 reference — including coded ≡ decoded under tombstones, and
+    /// all of it again after `Store::compact()` drops
+    /// `dictionary_stale` to 0.
+    #[test]
+    fn incremental_updates_match_reregistration(
+        seq in proptest::collection::vec(arb_canonical_update(), 0..25),
+        n in 1usize..6,
+        m in 0usize..8,
+        seed in 0u64..1000,
+    ) {
+        let db0 = canonical_graph_db(n, m, 5, seed);
+        let mut store = store_for(&db0);
+        let mut rels = view_relations_of(&db0);
+        for u in &seq {
+            let mut next = rels.clone();
+            match updates::apply(&mut next, u) {
+                Ok(()) => {
+                    store.apply_update("G", u).expect("reference accepted the update");
+                    rels = next;
+                }
+                Err(_) => {
+                    prop_assert!(
+                        store.apply_update("G", u).is_err(),
+                        "store accepted an update the reference rejects: {u:?}"
+                    );
+                }
+            }
+        }
+        let db = db_of(&rels);
+        assert_store_matches(&store, &db, "incremental");
+        // A store rebuilt from the updated database agrees entry for
+        // entry on the reachability answers.
+        let fresh = store_for(&db);
+        let (a, b) = (store.graph("G").unwrap(), fresh.graph("G").unwrap());
+        prop_assert_eq!(a.node_count(), b.node_count());
+        prop_assert_eq!(a.edge_count(), b.edge_count());
+        prop_assert_eq!(a.reach_relation(true, false), b.reach_relation(true, false));
+        prop_assert_eq!(a.reach_relation(false, false), b.reach_relation(false, false));
+        // Compaction reclaims every stale code without changing any
+        // answer.
+        store.compact().expect("compaction never fails on a healthy store");
+        let stats = store.stats();
+        prop_assert_eq!(stats.dictionary_stale(), 0);
+        prop_assert_eq!(stats.tombstone_rows(), 0);
+        prop_assert_eq!(stats.overlay_entries(), 0);
+        assert_store_matches(&store, &db, "post-compact");
+    }
 
     /// The coded-pipeline differential (PR 4): coded ≡ decoded ≡ S2
     /// reference on random mixed-type, duplicate-heavy workloads with

@@ -129,6 +129,18 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// Batch-size hint for [`Bencher::iter_batched`] (accepted for API
+/// compatibility; the shim times one input per sample regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
 /// Timer handed to each benchmark closure.
 pub struct Bencher {
     samples: Vec<Duration>,
@@ -146,6 +158,26 @@ impl Bencher {
         for _ in 0..self.sample_size {
             let start = Instant::now();
             black_box(routine());
+            self.samples.push(start.elapsed());
+            if Instant::now() >= self.deadline {
+                break;
+            }
+        }
+    }
+
+    /// Time `routine` on a fresh input from `setup` per sample; only
+    /// the routine is timed (API-compatible subset of the real
+    /// criterion's `iter_batched` — the shim ignores the batch-size
+    /// hint and runs one input per sample).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
             self.samples.push(start.elapsed());
             if Instant::now() >= self.deadline {
                 break;
