@@ -1001,10 +1001,12 @@ pub fn e17_coded() -> String {
         let plan = store_plan(reach_tc_plan(&db), &store);
         let coded = execute_mode(&plan, &db, Some(&store), BatchMode::Coded)
             .unwrap()
-            .into_relation(Some(&store));
+            .into_relation(Some(&store))
+            .unwrap();
         let decoded = execute_mode(&plan, &db, Some(&store), BatchMode::Decoded)
             .unwrap()
-            .into_relation(Some(&store));
+            .into_relation(Some(&store))
+            .unwrap();
         let storeless = pgq_exec::execute(&reach_tc_plan(&db), &db)
             .unwrap()
             .into_relation();
@@ -1013,12 +1015,14 @@ pub fn e17_coded() -> String {
         let t_decoded = mean_ns(3, || {
             execute_mode(&plan, &db, Some(&store), BatchMode::Decoded)
                 .unwrap()
-                .into_relation(Some(&store));
+                .into_relation(Some(&store))
+                .unwrap();
         });
         let t_coded = mean_ns(3, || {
             execute_mode(&plan, &db, Some(&store), BatchMode::Coded)
                 .unwrap()
-                .into_relation(Some(&store));
+                .into_relation(Some(&store))
+                .unwrap();
         });
         let speedup = t_decoded as f64 / t_coded.max(1) as f64;
         let _ = writeln!(

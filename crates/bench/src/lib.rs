@@ -13,6 +13,6 @@ pub mod perf;
 
 pub use experiments::full_report;
 pub use perf::{
-    assert_coded_floors, assert_update_floors, canonical_store, coded_suite, engine_suite,
-    full_suite, store_suite, to_json, update_suite,
+    assert_coded_floors, assert_parallel_floors, assert_update_floors, canonical_store,
+    coded_suite, engine_suite, full_suite, parallel_suite, store_suite, to_json, update_suite,
 };

@@ -1,5 +1,5 @@
-//! The machine-readable perf smoke behind `BENCH_2.json`,
-//! `BENCH_3.json` and `BENCH_4.json`.
+//! The machine-readable perf smoke behind the `BENCH_*.json` records
+//! (`BENCH_2.json` through `BENCH_6.json`).
 //!
 //! `cargo run --release -p pgq-bench --bin report -- --json [path]`
 //! runs a reduced-size engine-ablation suite (the `e12_engine`,
@@ -10,10 +10,13 @@
 //! with PR 2) records the hash-join engine against the reference;
 //! `BENCH_3.json` adds the S16 store-backed route ([`store_suite`]);
 //! `BENCH_4.json` adds the coded-vs-decoded execution ablation
-//! ([`coded_suite`], experiment E17).
+//! ([`coded_suite`], experiment E17); `BENCH_5.json` adds the
+//! incremental-update ablation ([`update_suite`], E18);
+//! `BENCH_6.json` adds the morsel-parallelism ablation
+//! ([`parallel_suite`], 1 vs. 4 worker threads).
 
 use pgq_core::{builders, eval_with, eval_with_store, EvalConfig, Query};
-use pgq_exec::{execute_mode, plan_ra, store_plan, BatchMode, PhysPlan};
+use pgq_exec::{execute_mode, execute_opts, plan_ra, store_plan, BatchMode, ExecOptions, PhysPlan};
 use pgq_relational::{Database, RaExpr, RelName, RowCondition};
 use pgq_store::{GraphForm, Store};
 use pgq_workloads::{families, transfers};
@@ -280,7 +283,8 @@ pub fn coded_suite(scale: usize) -> Vec<BenchEntry> {
                 mean_ns: mean_ns(*iters, || {
                     execute_mode(&plan, db, Some(&store), mode)
                         .unwrap()
-                        .into_relation(Some(&store));
+                        .into_relation(Some(&store))
+                        .unwrap();
                 }),
             });
         }
@@ -302,6 +306,140 @@ pub fn coded_suite(scale: usize) -> Vec<BenchEntry> {
         });
     }
     out
+}
+
+/// A database holding one binary relation `R` — the edge endpoint
+/// pairs of a canonical instance, joined out of `S`/`T`. Registering it
+/// gives the store a per-relation CSR over `R`, so the PR 6 parallel
+/// suite's fixpoint runs as source-sharded frontier sweeps rather than
+/// the per-round semi-naive join (whose tiny deltas leave nothing to
+/// parallelize on path-like workloads).
+fn pair_db(db: &Database) -> Database {
+    let pairs = pgq_exec::eval_ra(&endpoint_join(), db).expect("canonical S/T");
+    let mut out = Database::new();
+    out.add_relation("R", pairs);
+    out
+}
+
+/// The CSR-shaped reachability closure over the pair relation `R`: the
+/// exact `Fixpoint` pattern the executor routes onto the adjacency
+/// index (base arity 2, step `IndexScan`, join `$1 = $0`, project
+/// endpoints).
+fn pair_reach_plan() -> PhysPlan {
+    let scan = || Box::new(PhysPlan::IndexScan("R".into()));
+    PhysPlan::Fixpoint {
+        base: scan(),
+        step: scan(),
+        join: vec![(1, 0)],
+        project: vec![0, 3],
+    }
+}
+
+/// The PR 6 morsel-parallelism ablation (`BENCH_6.json`): the coded
+/// executor at 1 vs. 4 worker threads, measured at the executor
+/// boundary (`execute_opts` without the sorted-set decode, which is
+/// sequential and identical on both sides) —
+///
+/// * `reach_par{1,4}`: the CSR reachability fixpoint over grid/cycle
+///   pair relations, sharded by source node;
+/// * `join_par{1,4}`: the endpoint hash join on a transfers instance
+///   large enough for several 1024-row morsels per worker
+///   (radix-partitioned build, morsel-parallel probe).
+///
+/// Instances are sized above the other suites' so the parallel
+/// sections dominate scan/merge overheads; names stay disjoint from
+/// [`store_suite`]/[`coded_suite`] keys.
+pub fn parallel_suite(scale: usize) -> Vec<BenchEntry> {
+    let scale = scale.max(1);
+    let mut out = Vec::new();
+    let threads = [
+        ("par1", ExecOptions::with_threads(1)),
+        ("par4", ExecOptions::with_threads(4)),
+    ];
+
+    let instances: Vec<(String, Database, usize)> = vec![
+        (
+            format!("grid_{}x5", 80 * scale),
+            families::grid_db(80 * scale, 5),
+            5,
+        ),
+        (
+            format!("cycle_{}", 300 * scale),
+            families::cycle_db(300 * scale),
+            5,
+        ),
+    ];
+    for (name, db, iters) in &instances {
+        let rdb = pair_db(db);
+        let store = Store::from_database(&rdb);
+        let plan = store_plan(pair_reach_plan(), &store);
+        let size = db.tuple_count();
+        for (tag, opts) in &threads {
+            out.push(BenchEntry {
+                name: format!("reach_{tag}/{name}"),
+                input_size: size,
+                mean_ns: mean_ns(*iters, || {
+                    execute_opts(&plan, &rdb, Some(&store), BatchMode::Coded, opts).unwrap();
+                }),
+            });
+        }
+    }
+
+    // The endpoint join on a transfers instance with tens of thousands
+    // of rows per side: string IBANs intern to `u32` codes, the probe
+    // is the hot loop.
+    let (accounts, xfers) = (10_000 * scale, 20_000 * scale);
+    let instance = format!("transfers_{accounts}x{xfers}");
+    let db = transfers::canonical_transfers_db(accounts, xfers, 1_000, 7);
+    let store = Store::from_database(&db);
+    let plan = store_plan(
+        plan_ra(&endpoint_join(), &db.schema()).expect("canonical schema has S/T"),
+        &store,
+    );
+    let size = db.tuple_count();
+    for (tag, opts) in &threads {
+        out.push(BenchEntry {
+            name: format!("join_{tag}/{instance}"),
+            input_size: size,
+            mean_ns: mean_ns(3, || {
+                execute_opts(&plan, &db, Some(&store), BatchMode::Coded, opts).unwrap();
+            }),
+        });
+    }
+    out
+}
+
+/// The PR 6 acceptance floors, checked on a measured entry set from an
+/// **optimized** build on a machine with ≥ 4 cores (the CI runner; the
+/// caller gates on `std::thread::available_parallelism`): 4 workers
+/// must beat 1 worker by ≥ 1.8× on the grid/cycle reachability sweeps
+/// and the transfers join. The floor is far below the near-linear
+/// sweep scaling so scheduler noise cannot flake CI, but a regression
+/// that serializes the executor (or a merge that eats the parallel
+/// gain) still fails the build.
+pub fn assert_parallel_floors(entries: &[BenchEntry]) {
+    let find = |name: &str| {
+        entries
+            .iter()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("parallel floor gate: bench entry {name} missing"))
+    };
+    for inst in ["grid_80x5", "cycle_300"] {
+        let one = find(&format!("reach_par1/{inst}"));
+        let four = find(&format!("reach_par4/{inst}"));
+        let speedup = one.mean_ns as f64 / four.mean_ns.max(1) as f64;
+        assert!(
+            speedup >= 1.8,
+            "4-worker reachability should beat 1 worker on {inst} (got {speedup:.2}×)"
+        );
+    }
+    let one = find("join_par1/transfers_10000x20000");
+    let four = find("join_par4/transfers_10000x20000");
+    let speedup = one.mean_ns as f64 / four.mean_ns.max(1) as f64;
+    assert!(
+        speedup >= 1.8,
+        "the 4-worker endpoint join should beat 1 worker (got {speedup:.2}×)"
+    );
 }
 
 /// The E18 update batch against a canonical `families` instance:
@@ -461,15 +599,17 @@ pub fn assert_update_floors(entries: &[BenchEntry]) {
 }
 
 /// [`engine_suite`] plus [`store_suite`] plus [`coded_suite`] plus
-/// [`update_suite`] — the `BENCH_5.json` record. The hash-join
-/// baselines the first two suites both cover are measured once, by the
-/// store suite; key uniqueness is asserted so a drift between the
-/// suites' naming can never silently corrupt the record.
+/// [`update_suite`] plus [`parallel_suite`] — the `BENCH_6.json`
+/// record. The hash-join baselines the first two suites both cover are
+/// measured once, by the store suite; key uniqueness is asserted so a
+/// drift between the suites' naming can never silently corrupt the
+/// record.
 pub fn full_suite(scale: usize) -> Vec<BenchEntry> {
     let mut out = engine_suite_entries(scale, false);
     out.extend(store_suite(scale));
     out.extend(coded_suite(scale));
     out.extend(update_suite(scale));
+    out.extend(parallel_suite(scale));
     let mut seen = std::collections::HashSet::new();
     for e in &out {
         assert!(seen.insert(&e.name), "duplicate bench key {}", e.name);
@@ -577,16 +717,84 @@ mod tests {
     }
 
     #[test]
+    fn parallel_suite_plans_agree_with_sequential() {
+        // The exact shapes `parallel_suite` times, at bench-irrelevant
+        // sizes: 4 workers must return byte-identical batches to 1.
+        let rdb = pair_db(&families::grid_db(6, 3));
+        let store = Store::from_database(&rdb);
+        let plan = store_plan(pair_reach_plan(), &store);
+        let one = execute_opts(
+            &plan,
+            &rdb,
+            Some(&store),
+            BatchMode::Coded,
+            &ExecOptions::with_threads(1),
+        )
+        .unwrap();
+        let four = execute_opts(
+            &plan,
+            &rdb,
+            Some(&store),
+            BatchMode::Coded,
+            &ExecOptions::with_threads(4),
+        )
+        .unwrap();
+        assert_eq!(
+            one.into_relation(Some(&store)).unwrap(),
+            four.into_relation(Some(&store)).unwrap()
+        );
+
+        let db = transfers::canonical_transfers_db(40, 120, 50, 7);
+        let store = Store::from_database(&db);
+        let plan = store_plan(plan_ra(&endpoint_join(), &db.schema()).unwrap(), &store);
+        let one = execute_opts(
+            &plan,
+            &db,
+            Some(&store),
+            BatchMode::Coded,
+            &ExecOptions::with_threads(1),
+        )
+        .unwrap();
+        let four = execute_opts(
+            &plan,
+            &db,
+            Some(&store),
+            BatchMode::Coded,
+            &ExecOptions::with_threads(4),
+        )
+        .unwrap();
+        assert_eq!(
+            one.into_relation(Some(&store)).unwrap(),
+            four.into_relation(Some(&store)).unwrap()
+        );
+        assert_eq!(
+            endpoint_join().eval(&db).unwrap(),
+            execute_opts(
+                &plan,
+                &db,
+                Some(&store),
+                BatchMode::Coded,
+                &ExecOptions::with_threads(4)
+            )
+            .unwrap()
+            .into_relation(Some(&store))
+            .unwrap()
+        );
+    }
+
+    #[test]
     fn coded_and_decoded_reach_plans_agree() {
         let db = families::grid_db(4, 3);
         let store = Store::from_database(&db);
         let plan = store_plan(reach_tc_plan(&db), &store);
         let coded = execute_mode(&plan, &db, Some(&store), BatchMode::Coded)
             .unwrap()
-            .into_relation(Some(&store));
+            .into_relation(Some(&store))
+            .unwrap();
         let decoded = execute_mode(&plan, &db, Some(&store), BatchMode::Decoded)
             .unwrap()
-            .into_relation(Some(&store));
+            .into_relation(Some(&store))
+            .unwrap();
         let storeless = pgq_exec::execute(&reach_tc_plan(&db), &db)
             .unwrap()
             .into_relation();

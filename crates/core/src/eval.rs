@@ -45,6 +45,13 @@ pub struct EvalConfig {
     pub engine: Engine,
     /// View validation mode (`Strict` is the paper's semantics).
     pub view_mode: ViewMode,
+    /// Worker threads for the physical engine's morsel-parallel
+    /// operators: `0` resolves to the environment default
+    /// (`PGQ_THREADS`, else available parallelism — see
+    /// `pgq_exec::ExecOptions::auto`), `1` forces sequential
+    /// execution. The other engines are single-threaded tree walkers
+    /// and ignore it. Results are identical at every setting.
+    pub threads: usize,
 }
 
 impl Default for EvalConfig {
@@ -52,6 +59,7 @@ impl Default for EvalConfig {
         EvalConfig {
             engine: Engine::Nfa,
             view_mode: ViewMode::Strict,
+            threads: 0,
         }
     }
 }
@@ -63,6 +71,7 @@ impl EvalConfig {
         EvalConfig {
             engine: Engine::Reference,
             view_mode: ViewMode::Strict,
+            threads: 0,
         }
     }
 
@@ -71,7 +80,14 @@ impl EvalConfig {
         EvalConfig {
             engine: Engine::Physical,
             view_mode: ViewMode::Strict,
+            threads: 0,
         }
+    }
+
+    /// The same configuration on an explicit worker-thread count
+    /// (`0` = environment default) — the shell's `SET THREADS n;`.
+    pub fn with_threads(self, threads: usize) -> Self {
+        EvalConfig { threads, ..self }
     }
 }
 

@@ -46,7 +46,7 @@ pub mod query;
 
 pub use eval::{build_view, eval, eval_with, eval_with_store, Engine, EvalConfig};
 pub use optimize::optimize;
-pub use physical::{explain, explain_with, view_form};
+pub use physical::{explain, explain_with, explain_with_opts, view_form};
 pub use query::{Fragment, Query, QueryError, ViewOp};
 
 #[cfg(test)]

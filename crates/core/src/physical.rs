@@ -12,8 +12,8 @@
 use crate::eval::{build_view, try_fast, EvalConfig};
 use crate::query::{Query, QueryError, ViewOp};
 use pgq_exec::{
-    execute, execute_mode, intersect_plan, optimize_plan, store_plan, transitive_closure, Batch,
-    BatchMode, PhysPlan,
+    execute_opts, intersect_plan, optimize_plan, store_plan, transitive_closure_opts, Batch,
+    BatchMode, ExecOptions, PhysPlan,
 };
 use pgq_graph::PropertyGraph;
 use pgq_pattern::{Direction, OutputItem, OutputPattern, Pattern, RepBound};
@@ -21,6 +21,12 @@ use pgq_relational::{Database, Relation, Schema};
 use pgq_store::{GraphForm, Store};
 use pgq_value::Var;
 use std::fmt::Write as _;
+
+/// The executor options a configuration resolves to (`0` = the
+/// environment default).
+fn exec_opts(cfg: EvalConfig) -> ExecOptions {
+    ExecOptions::with_threads(cfg.threads)
+}
 
 /// Evaluates a query through the physical engine.
 pub(crate) fn eval_physical(
@@ -30,8 +36,9 @@ pub(crate) fn eval_physical(
 ) -> Result<Relation, QueryError> {
     let plan = lower(q, db, cfg, None)?;
     let plan = optimize_plan(plan, &db.schema()).map_err(QueryError::Rel)?;
-    let batch = execute(&plan, db).map_err(QueryError::Rel)?;
-    Ok(batch.into_relation())
+    let batch = execute_opts(&plan, db, None, BatchMode::Coded, &exec_opts(cfg))
+        .map_err(QueryError::Rel)?;
+    batch.into_relation(None).map_err(QueryError::Rel)
 }
 
 /// The [`GraphForm`] a [`ViewOp`] registers under in a [`Store`].
@@ -68,8 +75,9 @@ pub(crate) fn eval_physical_store(
     let plan = lower(q, db, cfg, Some(store))?;
     let plan = optimize_plan(plan, &db.schema()).map_err(QueryError::Rel)?;
     let plan = store_plan(plan, store);
-    let batch = execute_mode(&plan, db, Some(store), BatchMode::Coded).map_err(QueryError::Rel)?;
-    Ok(batch.into_relation(Some(store)))
+    let batch = execute_opts(&plan, db, Some(store), BatchMode::Coded, &exec_opts(cfg))
+        .map_err(QueryError::Rel)?;
+    batch.into_relation(Some(store)).map_err(QueryError::Rel)
 }
 
 /// A pattern call on the store route. When the six views are plain
@@ -198,7 +206,7 @@ fn eval_pattern_physical(
     cfg: EvalConfig,
 ) -> Result<Relation, QueryError> {
     let graph = build_view(views, op, db, cfg)?;
-    if let Some(rel) = try_fixpoint_reach(out, &graph)? {
+    if let Some(rel) = try_fixpoint_reach(out, &graph, &exec_opts(cfg))? {
         return Ok(rel);
     }
     if let Some(rel) = try_fast(out, &graph)? {
@@ -271,6 +279,7 @@ fn flatten_concat<'a>(p: &'a Pattern, out: &mut Vec<&'a Pattern>) {
 fn try_fixpoint_reach(
     out: &OutputPattern,
     g: &PropertyGraph,
+    opts: &ExecOptions,
 ) -> Result<Option<Relation>, QueryError> {
     let Some(shape) = reach_shape(&out.pattern) else {
         return Ok(None);
@@ -289,7 +298,7 @@ fn try_fixpoint_reach(
         );
         edges.push(s.concat(t)).map_err(QueryError::Rel)?;
     }
-    let closure = transitive_closure(edges, k, 0).map_err(QueryError::Rel)?;
+    let closure = transitive_closure_opts(edges, k, 0, opts).map_err(QueryError::Rel)?;
 
     let Some(swap) = swap else {
         // Boolean output: a 0-length path exists iff the view has a node.
@@ -370,14 +379,43 @@ pub fn explain_with(
     schema: &Schema,
     store: Option<&Store>,
 ) -> Result<String, QueryError> {
+    explain_annotated(q, schema, store, None)
+}
+
+/// [`explain_with`] under concrete executor options: every
+/// morsel-parallel operator is additionally annotated with its degree
+/// of parallelism (`⟨dop≤n⟩`) and a trailing line states the worker
+/// budget — what the shell renders after `SET THREADS n;`. Mirrors
+/// exactly what `eval_with_store` executes under the same
+/// `EvalConfig::threads`.
+pub fn explain_with_opts(
+    q: &Query,
+    schema: &Schema,
+    store: Option<&Store>,
+    threads: usize,
+) -> Result<String, QueryError> {
+    explain_annotated(q, schema, store, Some(ExecOptions::with_threads(threads)))
+}
+
+fn explain_annotated(
+    q: &Query,
+    schema: &Schema,
+    store: Option<&Store>,
+    opts: Option<ExecOptions>,
+) -> Result<String, QueryError> {
     q.arity(schema)?;
     let mut sections: Vec<String> = Vec::new();
     let mut aug = schema.clone();
     let plan = explain_plan(q, schema, &mut aug, &mut sections, store)?;
     let plan = optimize_plan(plan, &aug).map_err(QueryError::Rel)?;
-    let mut text = match store {
-        Some(store) => store_plan(plan, store).display_with(Some(store)),
-        None => plan.to_string(),
+    let plan = match store {
+        Some(store) => store_plan(plan, store),
+        None => plan,
+    };
+    let mut text = match (&opts, store) {
+        (Some(o), _) => plan.display_with_opts(store, o),
+        (None, Some(store)) => plan.display_with(Some(store)),
+        (None, None) => plan.to_string(),
     };
     for s in sections {
         text.push('\n');

@@ -120,6 +120,22 @@ impl CodedBatch {
         Ok(())
     }
 
+    /// Appends every row of `other` (same arity) in order — the
+    /// deterministic morsel-order merge of the parallel operators, and
+    /// the coded union. A flat `extend_from_slice`, no per-row checks.
+    pub fn append(&mut self, other: &CodedBatch) -> RelResult<()> {
+        if other.arity != self.arity {
+            return Err(RelError::IncompatibleArities {
+                op: "coded batch append",
+                left: self.arity,
+                right: other.arity,
+            });
+        }
+        self.codes.extend_from_slice(&other.codes);
+        self.rows += other.rows;
+        Ok(())
+    }
+
     /// Removes duplicate rows, keeping first occurrences in order.
     pub fn dedup(&mut self) {
         let mut seen: HashSet<Vec<u32>> = HashSet::with_capacity(self.rows);
@@ -149,16 +165,35 @@ impl CodedBatch {
         CodedHashIndex { map }
     }
 
+    /// Checks every code in the batch is decodable by `dict` — the
+    /// audit run before any decode. A batch can carry codes `dict`
+    /// never minted (rows pushed by hand, or codes minted by a later
+    /// store state than the dictionary snapshot being decoded against);
+    /// decoding those must be a typed error, not an out-of-bounds
+    /// panic inside the dictionary.
+    fn check_codes(&self, dict: &Dictionary, context: &'static str) -> RelResult<()> {
+        match self.codes.iter().copied().max() {
+            Some(max) if max as usize >= dict.len() => {
+                Err(RelError::UnknownCode { code: max, context })
+            }
+            _ => Ok(()),
+        }
+    }
+
     /// Decodes every row into a [`Batch`] — the representation bridge
     /// used when a coded pipeline meets a decoded one mid-plan.
-    pub fn decode(&self, dict: &Dictionary) -> Batch {
+    ///
+    /// Errors with [`RelError::UnknownCode`] if the batch carries a
+    /// code outside `dict` (e.g. minted after the dictionary snapshot).
+    pub fn decode(&self, dict: &Dictionary) -> RelResult<Batch> {
+        self.check_codes(dict, "coded batch rows")?;
         let mut out = Batch::empty(self.arity);
         for i in 0..self.rows {
             let row = self.row(i);
             let t = Tuple::new(row.iter().map(|&c| dict.value(c).clone()).collect());
-            out.push(t).expect("decoded row keeps the batch arity");
+            out.push(t)?;
         }
-        out
+        Ok(out)
     }
 
     /// Decodes straight into a set-semantics [`Relation`] — the **one**
@@ -170,7 +205,11 @@ impl CodedBatch {
     /// rank order is value order because ranking is strictly monotone —
     /// and the `BTreeSet` then bulk-builds from already-sorted input
     /// instead of comparison-sorting heap `Value` tuples.
-    pub fn into_relation(self, dict: &Dictionary) -> Relation {
+    ///
+    /// Errors with [`RelError::UnknownCode`] if the batch carries a
+    /// code outside `dict` (e.g. minted after the dictionary snapshot).
+    pub fn into_relation(self, dict: &Dictionary) -> RelResult<Relation> {
+        self.check_codes(dict, "coded result batch")?;
         // Distinct codes in this batch, ranked by decoded value.
         let mut distinct: Vec<u32> = self.codes.clone();
         distinct.sort_unstable();
@@ -188,18 +227,25 @@ impl CodedBatch {
             }
             self.codes.iter().map(|&c| rank[c as usize]).collect()
         } else {
+            // The searches run over the batch's own distinct codes, so
+            // a miss means the batch was mutated concurrently with the
+            // decode — surfaced as a typed error, not a panic.
+            let lookup = |c: u32| -> RelResult<usize> {
+                distinct
+                    .binary_search(&c)
+                    .map_err(|_| RelError::UnknownCode {
+                        code: c,
+                        context: "coded result batch rank table",
+                    })
+            };
             let mut rank_of_distinct: Vec<u32> = vec![0; distinct.len()];
             for (r, &c) in by_value.iter().enumerate() {
-                let i = distinct.binary_search(&c).expect("code from this batch");
-                rank_of_distinct[i] = r as u32;
+                rank_of_distinct[lookup(c)?] = r as u32;
             }
             self.codes
                 .iter()
-                .map(|&c| {
-                    let i = distinct.binary_search(&c).expect("code from this batch");
-                    rank_of_distinct[i]
-                })
-                .collect()
+                .map(|&c| Ok(rank_of_distinct[lookup(c)?]))
+                .collect::<RelResult<Vec<u32>>>()?
         };
         // Order row indices by rank tuples (lexicographic u32 order =
         // lexicographic value order), dropping coded duplicates before
@@ -214,7 +260,7 @@ impl CodedBatch {
             .collect();
         // `BTreeSet` collection bulk-builds from sorted, deduplicated
         // input in linear time.
-        Relation::from_rows(self.arity, rows).expect("decoded rows keep the batch arity")
+        Relation::from_rows(self.arity, rows)
     }
 }
 
@@ -286,28 +332,37 @@ impl EitherBatch {
 
     /// Decodes into a row [`Batch`]. A coded batch can only have been
     /// produced under a store, so `store` must be the one the executor
-    /// ran with.
-    pub fn decode(self, store: Option<&Store>) -> Batch {
+    /// ran with; passing `None` for a coded batch is a typed
+    /// [`RelError::MissingStore`] error, never a panic.
+    pub fn decode(self, store: Option<&Store>) -> RelResult<Batch> {
         match self {
-            EitherBatch::Rows(b) => b,
-            EitherBatch::Coded(c) => c.decode(
-                store
-                    .expect("coded batches only arise under a store")
-                    .dict(),
-            ),
+            EitherBatch::Rows(b) => Ok(b),
+            EitherBatch::Coded(c) => {
+                let Some(store) = store else {
+                    return Err(RelError::MissingStore {
+                        context: "decoding a coded batch",
+                    });
+                };
+                c.decode(store.dict())
+            }
         }
     }
 
     /// Converts to a set-semantics [`Relation`], decoding coded rows
     /// exactly once on the way — the pipeline's decode boundary.
-    pub fn into_relation(self, store: Option<&Store>) -> Relation {
+    /// Passing `None` for a coded batch is a typed
+    /// [`RelError::MissingStore`] error, never a panic.
+    pub fn into_relation(self, store: Option<&Store>) -> RelResult<Relation> {
         match self {
-            EitherBatch::Rows(b) => b.into_relation(),
-            EitherBatch::Coded(c) => c.into_relation(
-                store
-                    .expect("coded batches only arise under a store")
-                    .dict(),
-            ),
+            EitherBatch::Rows(b) => Ok(b.into_relation()),
+            EitherBatch::Coded(c) => {
+                let Some(store) = store else {
+                    return Err(RelError::MissingStore {
+                        context: "decoding a coded result",
+                    });
+                };
+                c.into_relation(store.dict())
+            }
         }
     }
 }
@@ -445,7 +500,7 @@ mod tests {
         assert_eq!(b.len(), 3);
         b.dedup();
         assert_eq!(b.len(), 2);
-        let rel = b.into_relation(s.dict());
+        let rel = b.into_relation(s.dict()).unwrap();
         assert_eq!(rel.len(), 2);
         assert!(rel.contains(&tuple![200, "high"]));
     }
@@ -503,9 +558,9 @@ mod tests {
         b.dedup();
         assert_eq!(b.len(), 1);
         let dict = Dictionary::new();
-        assert_eq!(b.into_relation(&dict), Relation::r#true());
+        assert_eq!(b.into_relation(&dict).unwrap(), Relation::r#true());
         assert_eq!(
-            CodedBatch::empty(0).into_relation(&dict),
+            CodedBatch::empty(0).into_relation(&dict).unwrap(),
             Relation::r#false()
         );
     }
@@ -517,11 +572,61 @@ mod tests {
         assert!(coded.is_coded());
         assert_eq!(coded.arity(), 2);
         assert_eq!(coded.len(), 2);
-        let rel = coded.clone().into_relation(Some(&s));
+        let rel = coded.clone().into_relation(Some(&s)).unwrap();
         assert_eq!(rel.len(), 2);
-        assert_eq!(coded.decode(Some(&s)).into_relation(), rel);
+        assert_eq!(coded.decode(Some(&s)).unwrap().into_relation(), rel);
         let rows = EitherBatch::Rows(Batch::from_relation(&rel));
         assert!(!rows.is_coded());
-        assert_eq!(rows.into_relation(None), rel);
+        assert_eq!(rows.into_relation(None).unwrap(), rel);
+    }
+
+    #[test]
+    fn decoding_coded_batches_without_a_store_is_a_typed_error() {
+        let s = store();
+        let coded = EitherBatch::Coded(CodedBatch::from_columnar(s.relation(&"R".into()).unwrap()));
+        assert_eq!(
+            coded.clone().into_relation(None),
+            Err(RelError::MissingStore {
+                context: "decoding a coded result"
+            })
+        );
+        assert_eq!(
+            coded.decode(None),
+            Err(RelError::MissingStore {
+                context: "decoding a coded batch"
+            })
+        );
+        // Decoded batches never need the store.
+        let rows = EitherBatch::Rows(Batch::from_rows(1, [tuple![7]]).unwrap());
+        assert!(rows.into_relation(None).is_ok());
+    }
+
+    #[test]
+    fn out_of_dictionary_codes_error_instead_of_panicking() {
+        // A batch carrying a code the dictionary never minted — e.g.
+        // one pushed by hand, or minted after the decoding snapshot.
+        let s = store();
+        let stale = s.dict().len() as u32 + 40;
+        let mut b = CodedBatch::empty(1);
+        b.push(&[stale]).unwrap();
+        assert_eq!(
+            b.decode(s.dict()),
+            Err(RelError::UnknownCode {
+                code: stale,
+                context: "coded batch rows"
+            })
+        );
+        assert_eq!(
+            b.clone().into_relation(s.dict()),
+            Err(RelError::UnknownCode {
+                code: stale,
+                context: "coded result batch"
+            })
+        );
+        // And through the EitherBatch boundary under the right store.
+        assert!(matches!(
+            EitherBatch::Coded(b).into_relation(Some(&s)),
+            Err(RelError::UnknownCode { .. })
+        ));
     }
 }

@@ -21,6 +21,7 @@
 
 use crate::batch::Batch;
 use crate::coded::{BatchMode, CodedBatch, CodedCond, EitherBatch};
+use crate::parallel::{hash_codes, partition_count, run_morsels, run_tasks, ExecOptions};
 use crate::plan::PhysPlan;
 use pgq_relational::{Database, RelError, RelResult, RowCondition};
 use pgq_store::{AdjacencyView, Store};
@@ -39,10 +40,22 @@ pub fn execute(plan: &PhysPlan, db: &Database) -> RelResult<Batch> {
 /// [`execute_mode`] + [`EitherBatch::into_relation`], which decodes
 /// once at the set boundary instead of materializing rows first.
 pub fn execute_with(plan: &PhysPlan, db: &Database, store: Option<&Store>) -> RelResult<Batch> {
-    Ok(execute_mode(plan, db, store, BatchMode::Coded)?.decode(store))
+    execute_mode(plan, db, store, BatchMode::Coded)?.decode(store)
 }
 
-/// Executes a physical plan in the given representation mode.
+/// [`execute_opts`] with the environment-default [`ExecOptions`].
+pub fn execute_mode(
+    plan: &PhysPlan,
+    db: &Database,
+    store: Option<&Store>,
+    mode: BatchMode,
+) -> RelResult<EitherBatch> {
+    execute_opts(plan, db, store, mode, &ExecOptions::default())
+}
+
+/// Executes a physical plan in the given representation mode, on the
+/// given number of worker threads.
+///
 /// `IndexScan` reads the store's columnar relations (as codes under
 /// [`BatchMode::Coded`], as decoded rows under [`BatchMode::Decoded`]),
 /// `AdjacencyExpand` probes its CSR indexes, and a reachability-shaped
@@ -51,11 +64,19 @@ pub fn execute_with(plan: &PhysPlan, db: &Database, store: Option<&Store>) -> Re
 /// have been registered from (a snapshot equal to) `db`; the
 /// differential suite `tests/prop_store.rs` holds coded, decoded and
 /// storeless paths to identical results.
-pub fn execute_mode(
+///
+/// With `opts.threads > 1` the data-parallel operators (filter,
+/// project, hash join, distinct, adjacency expansion, fixpoints) run
+/// morsel-parallel on scoped workers; per-morsel outputs merge in
+/// morsel order, so results are byte-identical to sequential execution
+/// (`tests/prop_engine.rs`/`tests/prop_store.rs` hold parallel ≡
+/// sequential ≡ reference at thread counts {1, 2, 8}).
+pub fn execute_opts(
     plan: &PhysPlan,
     db: &Database,
     store: Option<&Store>,
     mode: BatchMode,
+    opts: &ExecOptions,
 ) -> RelResult<EitherBatch> {
     match plan {
         PhysPlan::Scan(name) => Ok(rows(Batch::from_relation(db.get_required(name)?))),
@@ -66,46 +87,57 @@ pub fn execute_mode(
             rel,
             reverse,
         } => {
-            let batch = execute_mode(input, db, store, mode)?;
-            adjacency_expand(batch, *key, rel, *reverse, db, store)
+            let batch = execute_opts(input, db, store, mode, opts)?;
+            adjacency_expand(batch, *key, rel, *reverse, db, store, opts)
         }
         PhysPlan::Values(b) => Ok(rows(b.clone())),
         PhysPlan::AdomScan => Ok(rows(Batch::from_relation(&db.active_domain_relation()))),
         PhysPlan::Filter { cond, input } => {
-            let batch = execute_mode(input, db, store, mode)?;
+            let batch = execute_opts(input, db, store, mode, opts)?;
             match batch {
                 EitherBatch::Coded(cb) => {
-                    let store = store.expect("coded batches only arise under a store");
-                    Ok(EitherBatch::Coded(filter_coded(cond, cb, store)?))
+                    let Some(store) = store else {
+                        return Err(RelError::MissingStore {
+                            context: "filtering a coded batch",
+                        });
+                    };
+                    Ok(EitherBatch::Coded(filter_coded(cond, cb, store, opts)?))
                 }
-                EitherBatch::Rows(b) => Ok(rows(filter(cond, b)?)),
+                EitherBatch::Rows(b) => Ok(rows(filter(cond, b, opts)?)),
             }
         }
         PhysPlan::Project { positions, input } => {
-            let batch = execute_mode(input, db, store, mode)?;
+            let batch = execute_opts(input, db, store, mode, opts)?;
             match batch {
-                EitherBatch::Coded(cb) => Ok(EitherBatch::Coded(project_coded(positions, &cb)?)),
-                EitherBatch::Rows(b) => Ok(rows(project(positions, &b)?)),
+                EitherBatch::Coded(cb) => {
+                    Ok(EitherBatch::Coded(project_coded(positions, &cb, opts)?))
+                }
+                EitherBatch::Rows(b) => Ok(rows(project(positions, &b, opts)?)),
             }
         }
         PhysPlan::HashJoin { left, right, keys } => {
-            let l = execute_mode(left, db, store, mode)?;
-            let r = execute_mode(right, db, store, mode)?;
+            let l = execute_opts(left, db, store, mode, opts)?;
+            let r = execute_opts(right, db, store, mode, opts)?;
             match (l, r) {
                 // Both sides coded: join on code keys, stay coded.
                 (EitherBatch::Coded(l), EitherBatch::Coded(r)) => {
-                    Ok(EitherBatch::Coded(hash_join_coded(&l, &r, keys)?))
+                    Ok(EitherBatch::Coded(hash_join_coded(&l, &r, keys, opts)?))
                 }
                 // Mixed: reconcile at this operator by decoding the
                 // coded side (always possible; the other direction —
                 // encoding arbitrary `Values` rows — is not, since the
                 // dictionary may not contain them).
-                (l, r) => Ok(rows(hash_join(&l.decode(store), &r.decode(store), keys)?)),
+                (l, r) => Ok(rows(hash_join(
+                    &l.decode(store)?,
+                    &r.decode(store)?,
+                    keys,
+                    opts,
+                )?)),
             }
         }
         PhysPlan::Product { left, right } => {
-            let l = execute_mode(left, db, store, mode)?;
-            let r = execute_mode(right, db, store, mode)?;
+            let l = execute_opts(left, db, store, mode, opts)?;
+            let r = execute_opts(right, db, store, mode, opts)?;
             match (l, r) {
                 (EitherBatch::Coded(l), EitherBatch::Coded(r)) => {
                     let mut out = CodedBatch::empty(l.arity() + r.arity());
@@ -117,7 +149,7 @@ pub fn execute_mode(
                     Ok(EitherBatch::Coded(out))
                 }
                 (l, r) => {
-                    let (l, r) = (l.decode(store), r.decode(store));
+                    let (l, r) = (l.decode(store)?, r.decode(store)?);
                     let mut out = Batch::empty(l.arity() + r.arity());
                     for a in l.iter() {
                         for b in r.iter() {
@@ -129,20 +161,18 @@ pub fn execute_mode(
             }
         }
         PhysPlan::Union { left, right } => {
-            let l = execute_mode(left, db, store, mode)?;
-            let r = execute_mode(right, db, store, mode)?;
+            let l = execute_opts(left, db, store, mode, opts)?;
+            let r = execute_opts(right, db, store, mode, opts)?;
             check_same_arity("union", &l, &r)?;
             match (l, r) {
                 (EitherBatch::Coded(l), EitherBatch::Coded(r)) => {
                     let mut out = l;
-                    for row in r.iter() {
-                        out.push(row)?;
-                    }
+                    out.append(&r)?;
                     Ok(EitherBatch::Coded(out))
                 }
                 (l, r) => {
-                    let mut out = l.decode(store);
-                    for t in r.decode(store).into_rows() {
+                    let mut out = l.decode(store)?;
+                    for t in r.decode(store)?.into_rows() {
                         out.push(t)?;
                     }
                     Ok(rows(out))
@@ -150,22 +180,26 @@ pub fn execute_mode(
             }
         }
         PhysPlan::Diff { left, right } => {
-            let l = execute_mode(left, db, store, mode)?;
-            let r = execute_mode(right, db, store, mode)?;
+            let l = execute_opts(left, db, store, mode, opts)?;
+            let r = execute_opts(right, db, store, mode, opts)?;
             check_same_arity("difference", &l, &r)?;
             match (l, r) {
                 (EitherBatch::Coded(l), EitherBatch::Coded(r)) => {
                     let exclude: HashSet<&[u32]> = r.iter().collect();
-                    let mut out = CodedBatch::empty(l.arity());
-                    for row in l.iter() {
-                        if !exclude.contains(row) {
-                            out.push(row)?;
+                    let parts = run_morsels(l.len(), opts.dop(l.len()), |range| {
+                        let mut part = CodedBatch::empty(l.arity());
+                        for i in range {
+                            let row = l.row(i);
+                            if !exclude.contains(row) {
+                                part.push(row)?;
+                            }
                         }
-                    }
-                    Ok(EitherBatch::Coded(out))
+                        Ok(part)
+                    })?;
+                    Ok(EitherBatch::Coded(concat_coded(l.arity(), parts)?))
                 }
                 (l, r) => {
-                    let (l, r) = (l.decode(store), r.decode(store));
+                    let (l, r) = (l.decode(store)?, r.decode(store)?);
                     let exclude: HashSet<&Tuple> = r.iter().collect();
                     let mut out = Batch::empty(l.arity());
                     for t in l.iter() {
@@ -178,16 +212,10 @@ pub fn execute_mode(
             }
         }
         PhysPlan::Distinct { input } => {
-            let batch = execute_mode(input, db, store, mode)?;
+            let batch = execute_opts(input, db, store, mode, opts)?;
             match batch {
-                EitherBatch::Coded(mut cb) => {
-                    cb.dedup();
-                    Ok(EitherBatch::Coded(cb))
-                }
-                EitherBatch::Rows(mut b) => {
-                    b.dedup();
-                    Ok(rows(b))
-                }
+                EitherBatch::Coded(cb) => Ok(EitherBatch::Coded(distinct_coded(cb, opts)?)),
+                EitherBatch::Rows(b) => Ok(rows(distinct_rows(b, opts)?)),
             }
         }
         PhysPlan::Fixpoint {
@@ -196,38 +224,54 @@ pub fn execute_mode(
             join,
             project,
         } => {
-            let base = execute_mode(base, db, store, mode)?;
+            let base = execute_opts(base, db, store, mode, opts)?;
             // The ψreach/TC shape over a CSR-indexed step relation runs
             // on the index (read through its delta overlay): no step
             // batch, no hash probes. Coded bases sweep and emit codes;
-            // decoded bases sweep on values.
+            // decoded bases sweep on values. Sweeps are sharded by
+            // source node across the workers — every group is an
+            // independent multi-source frontier.
             if let (Some(store), PhysPlan::IndexScan(name)) = (store, step.as_ref()) {
                 if base.arity() == 2 && join.as_slice() == [(1, 0)] && project.as_slice() == [0, 3]
                 {
                     if let Some(view) = store.adjacency(name) {
                         return match base {
                             EitherBatch::Coded(cb) => {
-                                Ok(EitherBatch::Coded(csr_fixpoint_coded(cb, &view)?))
+                                Ok(EitherBatch::Coded(csr_fixpoint_coded(cb, &view, opts)?))
                             }
-                            EitherBatch::Rows(b) => Ok(rows(csr_fixpoint(b, &view, store)?)),
+                            EitherBatch::Rows(b) => Ok(rows(csr_fixpoint(b, &view, store, opts)?)),
                         };
                     }
                 }
             }
-            let step = execute_mode(step, db, store, mode)?;
+            let step = execute_opts(step, db, store, mode, opts)?;
             match (base, step) {
                 (EitherBatch::Coded(base), EitherBatch::Coded(step)) => Ok(EitherBatch::Coded(
-                    fixpoint_coded(base, &step, join, project)?,
+                    fixpoint_coded(base, &step, join, project, opts)?,
                 )),
                 (base, step) => Ok(rows(fixpoint(
-                    base.decode(store),
-                    &step.decode(store),
+                    base.decode(store)?,
+                    &step.decode(store)?,
                     join,
                     project,
+                    opts,
                 )?)),
             }
         }
     }
+}
+
+/// Concatenates per-morsel coded outputs in morsel order — the
+/// deterministic merge of every parallel coded operator.
+fn concat_coded(arity: usize, parts: Vec<CodedBatch>) -> RelResult<CodedBatch> {
+    let mut iter = parts.into_iter();
+    let Some(mut out) = iter.next() else {
+        return Ok(CodedBatch::empty(arity));
+    };
+    for part in iter {
+        out.append(&part)?;
+    }
+    Ok(out)
 }
 
 fn rows(b: Batch) -> EitherBatch {
@@ -262,7 +306,9 @@ fn index_scan(
 
 /// `AdjacencyExpand`: CSR probes (through the delta overlay) when the
 /// store indexes `rel` (staying coded for coded inputs), otherwise the
-/// equivalent hash join against the stored relation.
+/// equivalent hash join against the stored relation. Input rows are
+/// swept in morsel-parallel — [`AdjacencyView`] is `Copy`, so every
+/// worker reads the frozen CSR and its delta overlay directly.
 fn adjacency_expand(
     input: EitherBatch,
     key: usize,
@@ -270,6 +316,7 @@ fn adjacency_expand(
     reverse: bool,
     db: &Database,
     store: Option<&Store>,
+    opts: &ExecOptions,
 ) -> RelResult<EitherBatch> {
     if key >= input.arity() {
         return Err(RelError::PositionOutOfRange {
@@ -280,59 +327,78 @@ fn adjacency_expand(
     let Some((store_ref, view)) = store.and_then(|s| s.adjacency(rel).map(|v| (s, v))) else {
         let right = Batch::from_relation(db.get_required(rel)?);
         let join_key = if reverse { (key, 1) } else { (key, 0) };
-        return Ok(rows(hash_join(&input.decode(store), &right, &[join_key])?));
+        return Ok(rows(hash_join(
+            &input.decode(store)?,
+            &right,
+            &[join_key],
+            opts,
+        )?));
     };
     match input {
         EitherBatch::Coded(cb) => {
-            let mut out = CodedBatch::empty(cb.arity() + 2);
-            let mut err = Ok(());
-            for row in cb.iter() {
-                let probe = |ncode: u32| {
-                    let pair = if reverse {
-                        [ncode, row[key]]
-                    } else {
-                        [row[key], ncode]
+            let parts = run_morsels(cb.len(), opts.dop(cb.len()), |range| {
+                let mut part = CodedBatch::empty(cb.arity() + 2);
+                let mut err = Ok(());
+                for i in range {
+                    let row = cb.row(i);
+                    let probe = |ncode: u32| {
+                        let pair = if reverse {
+                            [ncode, row[key]]
+                        } else {
+                            [row[key], ncode]
+                        };
+                        if err.is_ok() {
+                            err = part.push_concat(row, &pair);
+                        }
                     };
-                    if err.is_ok() {
-                        err = out.push_concat(row, &pair);
+                    if reverse {
+                        view.for_each_in(row[key], probe);
+                    } else {
+                        view.for_each_out(row[key], probe);
                     }
-                };
-                if reverse {
-                    view.for_each_in(row[key], probe);
-                } else {
-                    view.for_each_out(row[key], probe);
                 }
-            }
-            err?;
-            Ok(EitherBatch::Coded(out))
+                err?;
+                Ok(part)
+            })?;
+            Ok(EitherBatch::Coded(concat_coded(cb.arity() + 2, parts)?))
         }
         EitherBatch::Rows(b) => {
-            let mut out = Batch::empty(b.arity() + 2);
-            let mut err = Ok(());
-            for row in b.iter() {
-                // A value the dictionary never interned occurs in no
-                // stored row, frozen or delta: no neighbors.
-                let Some(code) = store_ref.encode(&row[key]) else {
-                    continue;
-                };
-                let probe = |ncode: u32| {
-                    let v = store_ref.decode(ncode).clone();
-                    let pair = if reverse {
-                        Tuple::new(vec![v, row[key].clone()])
-                    } else {
-                        Tuple::new(vec![row[key].clone(), v])
+            let in_rows = b.rows();
+            let parts = run_morsels(in_rows.len(), opts.dop(in_rows.len()), |range| {
+                let mut part = Batch::empty(b.arity() + 2);
+                let mut err = Ok(());
+                for row in &in_rows[range] {
+                    // A value the dictionary never interned occurs in no
+                    // stored row, frozen or delta: no neighbors.
+                    let Some(code) = store_ref.encode(&row[key]) else {
+                        continue;
                     };
-                    if err.is_ok() {
-                        err = out.push(row.concat(&pair));
+                    let probe = |ncode: u32| {
+                        let v = store_ref.decode(ncode).clone();
+                        let pair = if reverse {
+                            Tuple::new(vec![v, row[key].clone()])
+                        } else {
+                            Tuple::new(vec![row[key].clone(), v])
+                        };
+                        if err.is_ok() {
+                            err = part.push(row.concat(&pair));
+                        }
+                    };
+                    if reverse {
+                        view.for_each_in(code, probe);
+                    } else {
+                        view.for_each_out(code, probe);
                     }
-                };
-                if reverse {
-                    view.for_each_in(code, probe);
-                } else {
-                    view.for_each_out(code, probe);
+                }
+                err?;
+                Ok(part)
+            })?;
+            let mut out = Batch::empty(b.arity() + 2);
+            for part in parts {
+                for t in part.into_rows() {
+                    out.push(t)?;
                 }
             }
-            err?;
             Ok(rows(out))
         }
     }
@@ -343,7 +409,12 @@ fn adjacency_expand(
 /// frontier sweep per group through the adjacency view (frozen CSR
 /// plus delta overlay), and decode. Base values the dictionary never
 /// interned stay as 0-step seeds (no stored edge can leave them).
-fn csr_fixpoint(base: Batch, view: &AdjacencyView<'_>, store: &Store) -> RelResult<Batch> {
+fn csr_fixpoint(
+    base: Batch,
+    view: &AdjacencyView<'_>,
+    store: &Store,
+    opts: &ExecOptions,
+) -> RelResult<Batch> {
     // x value → (seed codes, un-interned seed values).
     let mut groups: Vec<(Value, Vec<u32>, Vec<Value>)> = Vec::new();
     let mut group_of: HashMap<Value, usize> = HashMap::new();
@@ -363,15 +434,23 @@ fn csr_fixpoint(base: Batch, view: &AdjacencyView<'_>, store: &Store) -> RelResu
             }
         }
     }
-    let mut out = Batch::empty(2);
-    for (x, seeds, strays) in groups {
-        for c in view.reach_from(seeds) {
+    // One frontier sweep per source group, sharded across the workers;
+    // group order is base order, so the merge is deterministic.
+    let parts = run_tasks(groups.len(), opts.threads, |gi| {
+        let (x, seeds, strays) = &groups[gi];
+        let mut part: Vec<Tuple> = Vec::new();
+        for c in view.reach_from(seeds.iter().copied()) {
             let y = store.decode(c).clone();
-            out.push(Tuple::new(vec![x.clone(), y]))?;
+            part.push(Tuple::new(vec![x.clone(), y]));
         }
         for y in strays {
-            out.push(Tuple::new(vec![x.clone(), y]))?;
+            part.push(Tuple::new(vec![x.clone(), y.clone()]));
         }
+        Ok(part)
+    })?;
+    let mut out = Batch::empty(2);
+    for t in parts.into_iter().flatten() {
+        out.push(t)?;
     }
     Ok(out)
 }
@@ -381,7 +460,11 @@ fn csr_fixpoint(base: Batch, view: &AdjacencyView<'_>, store: &Store) -> RelResu
 /// value touches the hot loop. The view handles codes outside the
 /// frozen universe (delta-only nodes expand through the overlay;
 /// everything else is a 0-step seed).
-fn csr_fixpoint_coded(base: CodedBatch, view: &AdjacencyView<'_>) -> RelResult<CodedBatch> {
+fn csr_fixpoint_coded(
+    base: CodedBatch,
+    view: &AdjacencyView<'_>,
+    opts: &ExecOptions,
+) -> RelResult<CodedBatch> {
     // x code → seed codes.
     let mut groups: Vec<(u32, Vec<u32>)> = Vec::new();
     let mut group_of: HashMap<u32, usize> = HashMap::new();
@@ -393,13 +476,16 @@ fn csr_fixpoint_coded(base: CodedBatch, view: &AdjacencyView<'_>) -> RelResult<C
         });
         groups[gi].1.push(row[1]);
     }
-    let mut out = CodedBatch::empty(2);
-    for (x, seeds) in groups {
-        for c in view.reach_from(seeds) {
-            out.push(&[x, c])?;
+    // One sweep per source group, sharded across the workers.
+    let parts = run_tasks(groups.len(), opts.threads, |gi| {
+        let (x, seeds) = &groups[gi];
+        let mut part = CodedBatch::empty(2);
+        for c in view.reach_from(seeds.iter().copied()) {
+            part.push(&[*x, c])?;
         }
-    }
-    Ok(out)
+        Ok(part)
+    })?;
+    concat_coded(2, parts)
 }
 
 fn check_arities(op: &'static str, left: usize, right: usize) -> RelResult<()> {
@@ -425,29 +511,41 @@ fn validate_filter_positions(cond: &RowCondition, arity: usize) -> RelResult<()>
     Ok(())
 }
 
-fn filter(cond: &RowCondition, batch: Batch) -> RelResult<Batch> {
+fn filter(cond: &RowCondition, batch: Batch, opts: &ExecOptions) -> RelResult<Batch> {
     validate_filter_positions(cond, batch.arity())?;
     let arity = batch.arity();
-    let rows = batch
-        .into_rows()
-        .into_iter()
-        // Positions were validated against the arity above.
-        .filter(|t| cond.eval(t).unwrap_or(false))
-        .collect::<Vec<_>>();
-    Batch::from_rows(arity, rows)
+    let all = batch.into_rows();
+    // Positions were validated against the arity above.
+    let parts = run_morsels(all.len(), opts.dop(all.len()), |range| {
+        Ok(all[range]
+            .iter()
+            .filter(|t| cond.eval(t).unwrap_or(false))
+            .cloned()
+            .collect::<Vec<_>>())
+    })?;
+    Batch::from_rows(arity, parts.into_iter().flatten())
 }
 
-fn filter_coded(cond: &RowCondition, batch: CodedBatch, store: &Store) -> RelResult<CodedBatch> {
+fn filter_coded(
+    cond: &RowCondition,
+    batch: CodedBatch,
+    store: &Store,
+    opts: &ExecOptions,
+) -> RelResult<CodedBatch> {
     validate_filter_positions(cond, batch.arity())?;
     let compiled = CodedCond::compile(cond, store);
     let dict = store.dict();
-    let mut out = CodedBatch::empty(batch.arity());
-    for row in batch.iter() {
-        if compiled.eval(row, dict) {
-            out.push(row)?;
+    let parts = run_morsels(batch.len(), opts.dop(batch.len()), |range| {
+        let mut part = CodedBatch::empty(batch.arity());
+        for i in range {
+            let row = batch.row(i);
+            if compiled.eval(row, dict) {
+                part.push(row)?;
+            }
         }
-    }
-    Ok(out)
+        Ok(part)
+    })?;
+    concat_coded(batch.arity(), parts)
 }
 
 fn validate_project_positions(positions: &[usize], arity: usize) -> RelResult<()> {
@@ -459,25 +557,37 @@ fn validate_project_positions(positions: &[usize], arity: usize) -> RelResult<()
     Ok(())
 }
 
-fn project(positions: &[usize], batch: &Batch) -> RelResult<Batch> {
+fn project(positions: &[usize], batch: &Batch, opts: &ExecOptions) -> RelResult<Batch> {
     validate_project_positions(positions, batch.arity())?;
-    let mut out = Batch::empty(positions.len());
-    for t in batch.iter() {
-        out.push(t.project(positions).expect("checked positions"))?;
-    }
-    Ok(out)
+    let all = batch.rows();
+    let parts = run_morsels(all.len(), opts.dop(all.len()), |range| {
+        let mut part: Vec<Tuple> = Vec::with_capacity(range.len());
+        for t in &all[range] {
+            part.push(t.project(positions).expect("checked positions"));
+        }
+        Ok(part)
+    })?;
+    Batch::from_rows(positions.len(), parts.into_iter().flatten())
 }
 
-fn project_coded(positions: &[usize], batch: &CodedBatch) -> RelResult<CodedBatch> {
+fn project_coded(
+    positions: &[usize],
+    batch: &CodedBatch,
+    opts: &ExecOptions,
+) -> RelResult<CodedBatch> {
     validate_project_positions(positions, batch.arity())?;
-    let mut out = CodedBatch::empty(positions.len());
-    let mut scratch: Vec<u32> = Vec::with_capacity(positions.len());
-    for row in batch.iter() {
-        scratch.clear();
-        scratch.extend(positions.iter().map(|&p| row[p]));
-        out.push(&scratch)?;
-    }
-    Ok(out)
+    let parts = run_morsels(batch.len(), opts.dop(batch.len()), |range| {
+        let mut part = CodedBatch::empty(positions.len());
+        let mut scratch: Vec<u32> = Vec::with_capacity(positions.len());
+        for i in range {
+            let row = batch.row(i);
+            scratch.clear();
+            scratch.extend(positions.iter().map(|&p| row[p]));
+            part.push(&scratch)?;
+        }
+        Ok(part)
+    })?;
+    concat_coded(positions.len(), parts)
 }
 
 fn validate_keys(keys: &[(usize, usize)], la: usize, ra: usize) -> RelResult<()> {
@@ -498,61 +608,202 @@ fn validate_keys(keys: &[(usize, usize)], la: usize, ra: usize) -> RelResult<()>
     Ok(())
 }
 
-fn hash_join(l: &Batch, r: &Batch, keys: &[(usize, usize)]) -> RelResult<Batch> {
+fn hash_join(
+    l: &Batch,
+    r: &Batch,
+    keys: &[(usize, usize)],
+    opts: &ExecOptions,
+) -> RelResult<Batch> {
     // Empty key set: the all-columns intersection (`PhysPlan::HashJoin`
     // docs) — keep left rows that occur on the right.
     if keys.is_empty() {
         check_arities("intersection", l.arity(), r.arity())?;
         let right: HashSet<&Tuple> = r.iter().collect();
-        let mut out = Batch::empty(l.arity());
-        for a in l.iter() {
-            if right.contains(a) {
-                out.push(a.clone())?;
-            }
-        }
-        return Ok(out);
+        let parts = run_morsels(l.len(), opts.dop(l.len()), |range| {
+            Ok(l.rows()[range]
+                .iter()
+                .filter(|a| right.contains(*a))
+                .cloned()
+                .collect::<Vec<_>>())
+        })?;
+        return Batch::from_rows(l.arity(), parts.into_iter().flatten());
     }
     validate_keys(keys, l.arity(), r.arity())?;
+    // The decoded index borrows `&Value` keys, so the build stays
+    // sequential; the probe side is morsel-parallel over a shared
+    // `&HashIndex`.
     let right_positions: Vec<usize> = keys.iter().map(|&(_, j)| j).collect();
     let index = r.hash_index(&right_positions);
-    let mut out = Batch::empty(l.arity() + r.arity());
-    for a in l.iter() {
-        let key: Vec<&Value> = keys.iter().map(|&(i, _)| &a[i]).collect();
-        for &bi in index.probe(&key) {
-            out.push(a.concat(&r.rows()[bi]))?;
+    let parts = run_morsels(l.len(), opts.dop(l.len()), |range| {
+        let mut part: Vec<Tuple> = Vec::new();
+        for a in &l.rows()[range] {
+            let key: Vec<&Value> = keys.iter().map(|&(i, _)| &a[i]).collect();
+            for &bi in index.probe(&key) {
+                part.push(a.concat(&r.rows()[bi]));
+            }
         }
-    }
-    Ok(out)
+        Ok(part)
+    })?;
+    Batch::from_rows(l.arity() + r.arity(), parts.into_iter().flatten())
 }
 
 fn hash_join_coded(
     l: &CodedBatch,
     r: &CodedBatch,
     keys: &[(usize, usize)],
+    opts: &ExecOptions,
 ) -> RelResult<CodedBatch> {
     // Empty key set: the all-columns intersection, on codes.
     if keys.is_empty() {
         check_arities("intersection", l.arity(), r.arity())?;
         let right: HashSet<&[u32]> = r.iter().collect();
-        let mut out = CodedBatch::empty(l.arity());
+        let parts = run_morsels(l.len(), opts.dop(l.len()), |range| {
+            let mut part = CodedBatch::empty(l.arity());
+            for i in range {
+                let a = l.row(i);
+                if right.contains(a) {
+                    part.push(a)?;
+                }
+            }
+            Ok(part)
+        })?;
+        return concat_coded(l.arity(), parts);
+    }
+    validate_keys(keys, l.arity(), r.arity())?;
+    let right_positions: Vec<usize> = keys.iter().map(|&(_, j)| j).collect();
+    let dop = opts.dop(l.len().max(r.len()));
+    if dop == 1 {
+        let index = r.hash_index(&right_positions);
+        let mut out = CodedBatch::empty(l.arity() + r.arity());
+        let mut key: Vec<u32> = Vec::with_capacity(keys.len());
         for a in l.iter() {
-            if right.contains(a) {
-                out.push(a)?;
+            key.clear();
+            key.extend(keys.iter().map(|&(i, _)| a[i]));
+            for &bi in index.probe(&key) {
+                out.push_concat(a, r.row(bi))?;
             }
         }
         return Ok(out);
     }
-    validate_keys(keys, l.arity(), r.arity())?;
-    let right_positions: Vec<usize> = keys.iter().map(|&(_, j)| j).collect();
-    let index = r.hash_index(&right_positions);
-    let mut out = CodedBatch::empty(l.arity() + r.arity());
-    let mut key: Vec<u32> = Vec::with_capacity(keys.len());
-    for a in l.iter() {
-        key.clear();
-        key.extend(keys.iter().map(|&(i, _)| a[i]));
-        for &bi in index.probe(&key) {
-            out.push_concat(a, r.row(bi))?;
+    // Radix-partitioned parallel build: one cheap sequential pass
+    // assigns each build row a partition by a deterministic hash of its
+    // key codes, then the partitions' hash tables build concurrently.
+    // Same key ⇒ same partition, and per-key index lists stay in
+    // ascending row order, so probe output is byte-identical to the
+    // single-table sequential join.
+    let pcount = partition_count(dop);
+    let mask = pcount - 1;
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); pcount];
+    let mut rkey: Vec<u32> = Vec::with_capacity(keys.len());
+    for i in 0..r.len() {
+        let row = r.row(i);
+        rkey.clear();
+        rkey.extend(right_positions.iter().map(|&p| row[p]));
+        buckets[(hash_codes(&rkey) as usize) & mask].push(i);
+    }
+    let tables: Vec<HashMap<Vec<u32>, Vec<usize>>> = run_tasks(pcount, dop, |p| {
+        let mut map: HashMap<Vec<u32>, Vec<usize>> = HashMap::with_capacity(buckets[p].len());
+        for &i in &buckets[p] {
+            let row = r.row(i);
+            let key: Vec<u32> = right_positions.iter().map(|&pos| row[pos]).collect();
+            map.entry(key).or_default().push(i);
         }
+        Ok(map)
+    })?;
+    // Morsel-parallel probe, each row routed to its key's partition.
+    let parts = run_morsels(l.len(), dop, |range| {
+        let mut part = CodedBatch::empty(l.arity() + r.arity());
+        let mut key: Vec<u32> = Vec::with_capacity(keys.len());
+        for i in range {
+            let a = l.row(i);
+            key.clear();
+            key.extend(keys.iter().map(|&(pos, _)| a[pos]));
+            if let Some(matches) = tables[(hash_codes(&key) as usize) & mask].get(&key) {
+                for &bi in matches {
+                    part.push_concat(a, r.row(bi))?;
+                }
+            }
+        }
+        Ok(part)
+    })?;
+    concat_coded(l.arity() + r.arity(), parts)
+}
+
+/// `Distinct` on decoded rows: sequential first-occurrence dedup on one
+/// worker; with more, rows are hash-partitioned, each partition dedups
+/// independently (identical rows share a partition), and the surviving
+/// global row indices merge by a sort — exactly the sequential
+/// first-occurrence order.
+fn distinct_rows(mut b: Batch, opts: &ExecOptions) -> RelResult<Batch> {
+    let dop = opts.dop(b.len());
+    if dop == 1 {
+        b.dedup();
+        return Ok(b);
+    }
+    use std::hash::{Hash, Hasher};
+    let all = b.rows();
+    let hashed = run_morsels(all.len(), dop, |range| {
+        Ok(all[range]
+            .iter()
+            .map(|t| {
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                t.hash(&mut h);
+                h.finish()
+            })
+            .collect::<Vec<u64>>())
+    })?;
+    let hashes: Vec<u64> = hashed.concat();
+    let pcount = partition_count(dop);
+    let mask = pcount - 1;
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); pcount];
+    for (i, &h) in hashes.iter().enumerate() {
+        buckets[(h as usize) & mask].push(i);
+    }
+    let survivors = run_tasks(pcount, dop, |p| {
+        let mut seen: HashSet<&Tuple> = HashSet::with_capacity(buckets[p].len());
+        Ok(buckets[p]
+            .iter()
+            .copied()
+            .filter(|&i| seen.insert(&all[i]))
+            .collect::<Vec<usize>>())
+    })?;
+    let mut order: Vec<usize> = survivors.concat();
+    order.sort_unstable();
+    let arity = b.arity();
+    Batch::from_rows(arity, order.into_iter().map(|i| all[i].clone()))
+}
+
+/// The coded `Distinct`, same partition-dedup-merge structure on `u32`
+/// rows with the deterministic [`hash_codes`] radix function.
+fn distinct_coded(mut cb: CodedBatch, opts: &ExecOptions) -> RelResult<CodedBatch> {
+    let dop = opts.dop(cb.len());
+    if dop == 1 {
+        cb.dedup();
+        return Ok(cb);
+    }
+    let hashed = run_morsels(cb.len(), dop, |range| {
+        Ok(range.map(|i| hash_codes(cb.row(i))).collect::<Vec<u64>>())
+    })?;
+    let hashes: Vec<u64> = hashed.concat();
+    let pcount = partition_count(dop);
+    let mask = pcount - 1;
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); pcount];
+    for (i, &h) in hashes.iter().enumerate() {
+        buckets[(h as usize) & mask].push(i);
+    }
+    let survivors = run_tasks(pcount, dop, |p| {
+        let mut seen: HashSet<&[u32]> = HashSet::with_capacity(buckets[p].len());
+        Ok(buckets[p]
+            .iter()
+            .copied()
+            .filter(|&i| seen.insert(cb.row(i)))
+            .collect::<Vec<usize>>())
+    })?;
+    let mut order: Vec<usize> = survivors.concat();
+    order.sort_unstable();
+    let mut out = CodedBatch::empty(cb.arity());
+    for i in order {
+        out.push(cb.row(i))?;
     }
     Ok(out)
 }
@@ -584,13 +835,18 @@ fn validate_fixpoint_shape(
 
 /// Semi-naive evaluation: each round joins only the rows discovered in
 /// the previous round (`Δ`) against the step batch, so the step side is
-/// indexed once and no derivation is recomputed. `pub(crate)` so
+/// indexed once and no derivation is recomputed. With workers, each
+/// round's candidate generation is morsel-parallel over `Δ` (the step
+/// index is shared read-only); the dedup insert into the accumulator
+/// runs sequentially in morsel order, so round contents — and thus the
+/// result — match sequential execution exactly. `pub(crate)` so
 /// `transitive_closure` can drive it without staging `Values` copies.
 pub(crate) fn fixpoint(
     base: Batch,
     step: &Batch,
     join: &[(usize, usize)],
     project: &[usize],
+    opts: &ExecOptions,
 ) -> RelResult<Batch> {
     let arity = base.arity();
     validate_fixpoint_shape(join, project, arity, step.arity())?;
@@ -608,11 +864,30 @@ pub(crate) fn fixpoint(
 
     while !delta.is_empty() {
         let mut next: Vec<Tuple> = Vec::new();
-        for acc in &delta {
-            let key: Vec<&Value> = join.iter().map(|&(i, _)| &acc[i]).collect();
-            for &si in index.probe(&key) {
-                let wide = acc.concat(&step.rows()[si]);
-                let grown = wide.project(project).expect("checked positions");
+        if opts.dop(delta.len()) == 1 {
+            for acc in &delta {
+                let key: Vec<&Value> = join.iter().map(|&(i, _)| &acc[i]).collect();
+                for &si in index.probe(&key) {
+                    let wide = acc.concat(&step.rows()[si]);
+                    let grown = wide.project(project).expect("checked positions");
+                    if known.insert(grown.clone()) {
+                        next.push(grown);
+                    }
+                }
+            }
+        } else {
+            let parts = run_morsels(delta.len(), opts.dop(delta.len()), |range| {
+                let mut cand: Vec<Tuple> = Vec::new();
+                for acc in &delta[range] {
+                    let key: Vec<&Value> = join.iter().map(|&(i, _)| &acc[i]).collect();
+                    for &si in index.probe(&key) {
+                        let wide = acc.concat(&step.rows()[si]);
+                        cand.push(wide.project(project).expect("checked positions"));
+                    }
+                }
+                Ok(cand)
+            })?;
+            for grown in parts.into_iter().flatten() {
                 if known.insert(grown.clone()) {
                     next.push(grown);
                 }
@@ -633,6 +908,7 @@ fn fixpoint_coded(
     step: &CodedBatch,
     join: &[(usize, usize)],
     project: &[usize],
+    opts: &ExecOptions,
 ) -> RelResult<CodedBatch> {
     let arity = base.arity();
     validate_fixpoint_shape(join, project, arity, step.arity())?;
@@ -652,14 +928,41 @@ fn fixpoint_coded(
     let mut wide: Vec<u32> = Vec::with_capacity(arity + step.arity());
     while !delta.is_empty() {
         let mut next: Vec<Vec<u32>> = Vec::new();
-        for acc in &delta {
-            key.clear();
-            key.extend(join.iter().map(|&(i, _)| acc[i]));
-            for &si in index.probe(&key) {
-                wide.clear();
-                wide.extend_from_slice(acc);
-                wide.extend_from_slice(step.row(si));
-                let grown: Vec<u32> = project.iter().map(|&p| wide[p]).collect();
+        if opts.dop(delta.len()) == 1 {
+            for acc in &delta {
+                key.clear();
+                key.extend(join.iter().map(|&(i, _)| acc[i]));
+                for &si in index.probe(&key) {
+                    wide.clear();
+                    wide.extend_from_slice(acc);
+                    wide.extend_from_slice(step.row(si));
+                    let grown: Vec<u32> = project.iter().map(|&p| wide[p]).collect();
+                    if known.insert(grown.clone()) {
+                        next.push(grown);
+                    }
+                }
+            }
+        } else {
+            // Parallel Δ expansion; the accumulator insert stays
+            // sequential in morsel order, so each round's contents
+            // equal the sequential round's.
+            let parts = run_morsels(delta.len(), opts.dop(delta.len()), |range| {
+                let mut cand: Vec<Vec<u32>> = Vec::new();
+                let mut key: Vec<u32> = Vec::with_capacity(join.len());
+                let mut wide: Vec<u32> = Vec::with_capacity(arity + step.arity());
+                for acc in &delta[range] {
+                    key.clear();
+                    key.extend(join.iter().map(|&(i, _)| acc[i]));
+                    for &si in index.probe(&key) {
+                        wide.clear();
+                        wide.extend_from_slice(acc);
+                        wide.extend_from_slice(step.row(si));
+                        cand.push(project.iter().map(|&p| wide[p]).collect());
+                    }
+                }
+                Ok(cand)
+            })?;
+            for grown in parts.into_iter().flatten() {
                 if known.insert(grown.clone()) {
                     next.push(grown);
                 }
@@ -878,10 +1181,12 @@ mod tests {
             let truth = execute(plan, &d).unwrap().into_relation();
             let coded = execute_mode(plan, &d, Some(&store), BatchMode::Coded)
                 .unwrap()
-                .into_relation(Some(&store));
+                .into_relation(Some(&store))
+                .unwrap();
             let decoded = execute_mode(plan, &d, Some(&store), BatchMode::Decoded)
                 .unwrap()
-                .into_relation(Some(&store));
+                .into_relation(Some(&store))
+                .unwrap();
             assert_eq!(coded, truth, "coded disagrees on:\n{plan}");
             assert_eq!(decoded, truth, "decoded disagrees on:\n{plan}");
         }
@@ -937,10 +1242,12 @@ mod tests {
             for mode in [BatchMode::Coded, BatchMode::Decoded] {
                 let incremental = execute_mode(plan, &d, Some(&store), mode)
                     .unwrap()
-                    .into_relation(Some(&store));
+                    .into_relation(Some(&store))
+                    .unwrap();
                 let fresh = execute_mode(plan, &d, Some(&rebuilt), mode)
                     .unwrap()
-                    .into_relation(Some(&rebuilt));
+                    .into_relation(Some(&rebuilt))
+                    .unwrap();
                 assert_eq!(incremental, fresh, "{mode:?} disagrees on:\n{plan}");
             }
         }
@@ -948,9 +1255,92 @@ mod tests {
         // the shortcut, and 1 no longer follows from 0.
         let reach = execute_mode(&tc, &d, Some(&store), BatchMode::Coded)
             .unwrap()
-            .into_relation(Some(&store));
+            .into_relation(Some(&store))
+            .unwrap();
         assert!(reach.contains(&tuple![0, 9]));
         assert!(!reach.contains(&tuple![0, 1]));
+    }
+
+    /// The misuse the panic-free audit closes: a coded plan executed
+    /// under a store whose result is then decoded without one must be a
+    /// typed error end-to-end, never an `expect` panic.
+    #[test]
+    fn coded_result_without_store_is_a_typed_error() {
+        let d = db();
+        let store = Store::from_database(&d);
+        let plan = PhysPlan::IndexScan("R".into())
+            .filter(RowCondition::col_cmp_const(
+                1,
+                pgq_relational::CmpOp::Gt,
+                15,
+            ))
+            .distinct();
+        let coded = execute_mode(&plan, &d, Some(&store), BatchMode::Coded).unwrap();
+        assert!(coded.is_coded());
+        assert_eq!(
+            coded.clone().into_relation(None),
+            Err(RelError::MissingStore {
+                context: "decoding a coded result"
+            })
+        );
+        assert!(matches!(
+            coded.decode(None),
+            Err(RelError::MissingStore { .. })
+        ));
+    }
+
+    /// Parallel execution is byte-identical to sequential — the unit
+    /// version of the {1, 2, 8}-thread differential properties, hitting
+    /// every parallel operator on batches spanning several morsels.
+    #[test]
+    fn parallel_execution_matches_sequential() {
+        use crate::parallel::MORSEL_ROWS;
+        let mut d = Database::new();
+        let n = (2 * MORSEL_ROWS + 7) as i64;
+        for i in 0..n {
+            d.insert("E", tuple![i % 977, (i * 7) % 977]).unwrap();
+            d.insert("V", tuple![i % 911]).unwrap();
+        }
+        let store = Store::from_database(&d);
+        let expand = PhysPlan::AdjacencyExpand {
+            input: Box::new(PhysPlan::IndexScan("V".into())),
+            key: 0,
+            rel: "E".into(),
+            reverse: false,
+        };
+        let plans = [
+            PhysPlan::IndexScan("E".into())
+                .filter(RowCondition::col_cmp_const(
+                    0,
+                    pgq_relational::CmpOp::Lt,
+                    500,
+                ))
+                .project(vec![1, 0])
+                .distinct(),
+            PhysPlan::IndexScan("E".into())
+                .hash_join(PhysPlan::IndexScan("V".into()), vec![(1, 0)]),
+            expand.clone().project(vec![2]).distinct(),
+            PhysPlan::Diff {
+                left: Box::new(PhysPlan::IndexScan("E".into()).project(vec![0])),
+                right: Box::new(PhysPlan::IndexScan("V".into())),
+            },
+        ];
+        let seq = ExecOptions::sequential();
+        for plan in &plans {
+            for mode in [BatchMode::Coded, BatchMode::Decoded] {
+                let sequential = execute_opts(plan, &d, Some(&store), mode, &seq).unwrap();
+                for threads in [2, 8] {
+                    let par = ExecOptions::with_threads(threads);
+                    let parallel = execute_opts(plan, &d, Some(&store), mode, &par).unwrap();
+                    // Byte-identical batches: same representation, same
+                    // rows, same order — before any set boundary.
+                    assert_eq!(
+                        parallel, sequential,
+                        "{mode:?} @ {threads} threads disagrees on:\n{plan}"
+                    );
+                }
+            }
+        }
     }
 
     /// The expand probe key must be validated in both representations.

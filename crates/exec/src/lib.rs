@@ -50,16 +50,18 @@
 pub mod batch;
 pub mod coded;
 pub mod exec;
+pub mod parallel;
 pub mod plan;
 pub mod planner;
 
 pub use batch::Batch;
 pub use coded::{BatchMode, CodedBatch, CodedCond, EitherBatch};
-pub use exec::{execute, execute_mode, execute_with};
+pub use exec::{execute, execute_mode, execute_opts, execute_with};
+pub use parallel::ExecOptions;
 pub use plan::PhysPlan;
 pub use planner::{
-    eval_ra, eval_ra_mode, eval_ra_with, intersect_plan, lower_ra, optimize_plan, plan_ra,
-    store_plan,
+    eval_ra, eval_ra_mode, eval_ra_opts, eval_ra_with, intersect_plan, lower_ra, optimize_plan,
+    plan_ra, store_plan,
 };
 
 use pgq_relational::{RelError, RelResult};
@@ -74,6 +76,18 @@ use pgq_relational::{RelError, RelResult};
 /// caller's business (the paper's `TC` adds them over `adom^k`, the
 /// `ψ^{0..∞}` pattern over the view's nodes).
 pub fn transitive_closure(edges: Batch, k: usize, params: usize) -> RelResult<Batch> {
+    transitive_closure_opts(edges, k, params, &ExecOptions::default())
+}
+
+/// [`transitive_closure`] on the given executor options — the Δ
+/// expansion of every semi-naive round runs morsel-parallel on
+/// `opts.threads` workers.
+pub fn transitive_closure_opts(
+    edges: Batch,
+    k: usize,
+    params: usize,
+    opts: &ExecOptions,
+) -> RelResult<Batch> {
     let arity = 2 * k + params;
     if edges.arity() != arity {
         return Err(RelError::ArityMismatch {
@@ -92,7 +106,7 @@ pub fn transitive_closure(edges: Batch, k: usize, params: usize) -> RelResult<Ba
     // Drive the executor's fixpoint directly — this is the closure hot
     // path, and staging the edges through `Values` nodes would copy the
     // batch on every clone.
-    exec::fixpoint(edges.clone(), &edges, &join, &project)
+    exec::fixpoint(edges.clone(), &edges, &join, &project, opts)
 }
 
 #[cfg(test)]

@@ -1,0 +1,260 @@
+//! Morsel-driven parallelism for the physical executor (DESIGN.md §5).
+//!
+//! Operator inputs are split into fixed-size **morsels** of rows and
+//! folded over a small pool of `std::thread::scope` workers — no
+//! dependencies, no unsafe, no channels: workers claim morsel indices
+//! from an atomic counter, return their per-morsel outputs by value,
+//! and the scheduler reassembles them **in morsel order** before the
+//! next operator sees them. That deterministic merge is what keeps
+//! parallel execution byte-identical to sequential execution
+//! everywhere sequential execution is itself deterministic; the final
+//! set-semantics boundary (a sorted [`pgq_relational::Relation`])
+//! covers the rest. The differential suites pin the equivalence down
+//! at thread counts {1, 2, 8} (`tests/prop_engine.rs`,
+//! `tests/prop_store.rs`).
+//!
+//! Errors cross the scope the same way results do: a worker that hits
+//! a [`pgq_relational::RelError`] stops claiming morsels and the first error in morsel
+//! order is returned — a poisoned-scope panic can only come from a
+//! genuine executor bug, never from user-constructible inputs (the
+//! panic-free audit of this PR).
+
+use pgq_relational::RelResult;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Rows per morsel — small enough that short pipelines stay balanced,
+/// large enough that the per-morsel scheduling cost disappears.
+pub const MORSEL_ROWS: usize = 1024;
+
+/// Executor tuning knobs, threaded from the public entry points
+/// ([`crate::execute_opts`], `eval_with_store`, the shell's
+/// `SET THREADS n;`) down to every operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Worker threads per parallel operator; `1` means sequential
+    /// execution on the calling thread.
+    pub threads: usize,
+}
+
+impl ExecOptions {
+    /// Strictly sequential execution — the PR 4 behavior.
+    pub fn sequential() -> Self {
+        ExecOptions { threads: 1 }
+    }
+
+    /// Execution on `threads` workers (`0` means [`ExecOptions::auto`]).
+    pub fn with_threads(threads: usize) -> Self {
+        if threads == 0 {
+            ExecOptions::auto()
+        } else {
+            ExecOptions { threads }
+        }
+    }
+
+    /// The environment-driven default: `PGQ_THREADS` when set (CI runs
+    /// the suite under `PGQ_THREADS=1` as well as the default),
+    /// otherwise the machine's available parallelism, capped at 8 —
+    /// the executor's operators stop scaling usefully beyond that on
+    /// the workload sizes this stack targets.
+    pub fn auto() -> Self {
+        let threads = std::env::var("PGQ_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+                    .min(8)
+            });
+        ExecOptions { threads }
+    }
+
+    /// The degree of parallelism an operator over `rows` input rows
+    /// actually gets: never more workers than morsels, never zero.
+    pub fn dop(&self, rows: usize) -> usize {
+        self.threads.min(rows.div_ceil(MORSEL_ROWS)).max(1)
+    }
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions::auto()
+    }
+}
+
+/// The morsel ranges covering `0..len` (empty for an empty input).
+fn morsel_ranges(len: usize) -> Vec<Range<usize>> {
+    (0..len.div_ceil(MORSEL_ROWS))
+        .map(|i| i * MORSEL_ROWS..((i + 1) * MORSEL_ROWS).min(len))
+        .collect()
+}
+
+/// Runs `work` over `count` independent task indices on up to
+/// `threads` scoped workers and returns the outputs **in task order**
+/// — the deterministic merge every parallel operator builds on. Runs
+/// inline on the calling thread when one worker (or one task) suffices.
+///
+/// The first error in task order wins; tasks left unclaimed because
+/// every worker stopped on an error are simply dropped (an error is
+/// returned in that case by construction, since workers only stop
+/// early when they hit one).
+pub(crate) fn run_tasks<T, F>(count: usize, threads: usize, work: F) -> RelResult<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> RelResult<T> + Sync,
+{
+    let threads = threads.min(count).max(1);
+    if threads == 1 {
+        return (0..count).map(&work).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let worker = |_| {
+        let mut mine: Vec<(usize, RelResult<T>)> = Vec::new();
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= count {
+                break;
+            }
+            let out = work(i);
+            let failed = out.is_err();
+            mine.push((i, out));
+            if failed {
+                break;
+            }
+        }
+        mine
+    };
+    let produced: Vec<(usize, RelResult<T>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads).map(|i| s.spawn(move || worker(i))).collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut slots: Vec<Option<RelResult<T>>> = (0..count).map(|_| None).collect();
+    for (i, r) in produced {
+        slots[i] = Some(r);
+    }
+    let mut out = Vec::with_capacity(count);
+    for slot in slots {
+        match slot {
+            Some(Ok(t)) => out.push(t),
+            Some(Err(e)) => return Err(e),
+            // Unclaimed ⇒ every worker stopped early on some error,
+            // which a later (claimed) slot holds.
+            None => {}
+        }
+    }
+    Ok(out)
+}
+
+/// Splits `0..len` into fixed-size morsels, folds `work` over them on
+/// up to `threads` workers, and returns the per-morsel outputs in
+/// morsel order.
+pub(crate) fn run_morsels<T, F>(len: usize, threads: usize, work: F) -> RelResult<Vec<T>>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> RelResult<T> + Sync,
+{
+    let morsels = morsel_ranges(len);
+    run_tasks(morsels.len(), threads, |i| work(morsels[i].clone()))
+}
+
+/// A deterministic hash of a coded key — FNV-1a over the key codes.
+/// Radix partitioning (parallel hash-join builds, partitioned
+/// `Distinct`) must not depend on `RandomState`'s per-process seed:
+/// partition assignment is part of no observable output, but a fixed
+/// function keeps worker loads reproducible run-to-run.
+#[inline]
+pub(crate) fn hash_codes(codes: &[u32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &c in codes {
+        h ^= u64::from(c);
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
+}
+
+/// Number of radix partitions for `threads` workers — a power of two
+/// a little above the worker count, so one skewed partition cannot
+/// serialize the merge.
+pub(crate) fn partition_count(threads: usize) -> usize {
+    threads.max(1).next_power_of_two() * 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_relational::RelError;
+
+    #[test]
+    fn tasks_merge_in_order_at_every_thread_count() {
+        for threads in [1, 2, 3, 8] {
+            let out = run_tasks(10, threads, |i| Ok(i * i)).unwrap();
+            assert_eq!(out, (0..10).map(|i| i * i).collect::<Vec<_>>());
+        }
+        assert!(run_tasks(0, 4, Ok).unwrap().is_empty());
+    }
+
+    #[test]
+    fn morsels_cover_the_input_exactly_once() {
+        let len = 3 * MORSEL_ROWS + 17;
+        for threads in [1, 2, 8] {
+            let ranges = run_morsels(len, threads, Ok).unwrap();
+            let covered: usize = ranges.iter().map(|r| r.len()).sum();
+            assert_eq!(covered, len);
+            let mut expected_start = 0;
+            for r in &ranges {
+                assert_eq!(r.start, expected_start);
+                expected_start = r.end;
+            }
+        }
+    }
+
+    #[test]
+    fn first_error_in_task_order_wins() {
+        let err = |i: usize| RelError::PositionOutOfRange {
+            position: i,
+            arity: 0,
+        };
+        for threads in [1, 2, 8] {
+            let got = run_tasks(
+                16,
+                threads,
+                |i| {
+                    if i % 2 == 1 {
+                        Err(err(i))
+                    } else {
+                        Ok(i)
+                    }
+                },
+            );
+            assert_eq!(got, Err(err(1)), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn options_resolve_dop_from_input_size() {
+        let opts = ExecOptions::with_threads(8);
+        assert_eq!(opts.dop(0), 1);
+        assert_eq!(opts.dop(1), 1);
+        assert_eq!(opts.dop(MORSEL_ROWS + 1), 2);
+        assert_eq!(opts.dop(100 * MORSEL_ROWS), 8);
+        assert_eq!(ExecOptions::sequential().dop(100 * MORSEL_ROWS), 1);
+        assert!(ExecOptions::with_threads(0).threads >= 1);
+        assert!(ExecOptions::default().threads >= 1);
+    }
+
+    #[test]
+    fn code_hash_is_deterministic_and_spreads() {
+        assert_eq!(hash_codes(&[1, 2, 3]), hash_codes(&[1, 2, 3]));
+        assert_ne!(hash_codes(&[1, 2, 3]), hash_codes(&[3, 2, 1]));
+        assert!(partition_count(4).is_power_of_two());
+        assert!(partition_count(3) >= 3);
+    }
+}

@@ -7,6 +7,7 @@
 //! only knows `σ/π/×/∪/−`.
 
 use crate::batch::Batch;
+use crate::parallel::{ExecOptions, MORSEL_ROWS};
 use pgq_relational::{RelError, RelName, RelResult, RowCondition, Schema};
 use std::fmt;
 
@@ -379,11 +380,61 @@ impl PhysPlan {
     /// decode boundary sits. With no store this is plain
     /// [`std::fmt::Display`] plus a `decoded` summary line.
     pub fn display_with(&self, store: Option<&pgq_store::Store>) -> String {
-        let Some(store) = store else {
-            return format!("{self}pipeline: decoded (no session store)\n");
-        };
+        self.render_annotated_tree(store, None)
+    }
+
+    /// [`PhysPlan::display_with`] under concrete [`ExecOptions`]: every
+    /// morsel-parallel operator (`Filter`, `Project`, `HashJoin`,
+    /// `Diff`, `Distinct`, `AdjacencyExpand`, `Fixpoint`) additionally
+    /// carries its degree of parallelism as `⟨dop≤n⟩` — an upper bound,
+    /// since an operator never gets more workers than its input has
+    /// morsels — and a trailing line states the worker budget. At one
+    /// thread the output gains only the summary line, so `EXPLAIN`
+    /// under `SET THREADS 1;` reads like the sequential engine's.
+    pub fn display_with_opts(
+        &self,
+        store: Option<&pgq_store::Store>,
+        opts: &ExecOptions,
+    ) -> String {
+        let mut out = self.render_annotated_tree(store, Some(opts.threads));
+        if opts.threads > 1 {
+            out.push_str(&format!(
+                "parallelism: up to {} workers over {MORSEL_ROWS}-row morsels\n",
+                opts.threads
+            ));
+        } else {
+            out.push_str("parallelism: sequential (1 thread)\n");
+        }
+        out
+    }
+
+    /// Whether the executor runs this operator morsel-parallel when
+    /// given more than one worker thread (`EXPLAIN`'s `⟨dop≤n⟩` marker;
+    /// kept in lockstep with the executor's operator implementations).
+    pub fn parallel_capable(&self) -> bool {
+        matches!(
+            self,
+            PhysPlan::Filter { .. }
+                | PhysPlan::Project { .. }
+                | PhysPlan::HashJoin { .. }
+                | PhysPlan::Diff { .. }
+                | PhysPlan::Distinct { .. }
+                | PhysPlan::AdjacencyExpand { .. }
+                | PhysPlan::Fixpoint { .. }
+        )
+    }
+
+    fn render_annotated_tree(
+        &self,
+        store: Option<&pgq_store::Store>,
+        threads: Option<usize>,
+    ) -> String {
         let mut out = String::new();
-        self.render_coded(&mut out, store, "", true, true, false);
+        self.render_annotated(&mut out, store, threads, "", true, true, false);
+        let Some(store) = store else {
+            out.push_str("pipeline: decoded (no session store)\n");
+            return out;
+        };
         if self.runs_coded(store) {
             out.push_str("pipeline: coded (decode once at the result boundary)\n");
         } else if self.any_coded(store) {
@@ -404,17 +455,19 @@ impl PhysPlan {
         self.runs_coded(store) || self.children().iter().any(|c| c.any_coded(store))
     }
 
-    fn render_coded(
+    #[allow(clippy::too_many_arguments)] // one recursive renderer, called from two entry points
+    fn render_annotated(
         &self,
         out: &mut String,
-        store: &pgq_store::Store,
+        store: Option<&pgq_store::Store>,
+        threads: Option<usize>,
         prefix: &str,
         last: bool,
         root: bool,
         parent_coded: bool,
     ) {
         use std::fmt::Write as _;
-        let coded = self.runs_coded(store);
+        let coded = store.is_some_and(|s| self.runs_coded(s));
         let mut marker = String::from(if coded && !parent_coded && !root {
             // A coded subtree feeding a decoded parent: the executor
             // decodes this operator's output before the parent runs.
@@ -424,8 +477,13 @@ impl PhysPlan {
         } else {
             ""
         });
-        if self.reads_overlay(store) {
+        if store.is_some_and(|s| self.reads_overlay(s)) {
             marker.push_str(" ⟨delta⟩");
+        }
+        if let Some(n) = threads {
+            if n > 1 && self.parallel_capable() {
+                let _ = write!(marker, " ⟨dop≤{n}⟩");
+            }
         }
         if root {
             let _ = writeln!(out, "{}{marker}", self.node_label());
@@ -443,7 +501,7 @@ impl PhysPlan {
         let children = self.children();
         let n = children.len();
         for (i, c) in children.into_iter().enumerate() {
-            c.render_coded(out, store, &child_prefix, i + 1 == n, false, coded);
+            c.render_annotated(out, store, threads, &child_prefix, i + 1 == n, false, coded);
         }
     }
 
@@ -767,6 +825,50 @@ mod tests {
         assert!(!expand.reads_overlay(&store));
         assert!(!PhysPlan::IndexScan("V".into()).reads_overlay(&store));
         assert!(!expand.display_with(Some(&store)).contains("⟨delta⟩"));
+    }
+
+    #[test]
+    fn explain_reports_degree_of_parallelism() {
+        use crate::parallel::ExecOptions;
+        let mut db = pgq_relational::Database::new();
+        db.insert("R", pgq_value::tuple![1, 2]).unwrap();
+        db.insert("S", pgq_value::tuple![1]).unwrap();
+        let store = pgq_store::Store::from_database(&db);
+        let plan = PhysPlan::IndexScan("R".into())
+            .hash_join(PhysPlan::IndexScan("S".into()), vec![(0, 0)])
+            .project(vec![1])
+            .distinct();
+
+        // Parallel options mark every morsel-parallel operator with its
+        // worker bound — scans never get one — and the existing coded
+        // markers stay put.
+        let text = plan.display_with_opts(Some(&store), &ExecOptions::with_threads(4));
+        assert!(text.contains("Distinct ⟨coded⟩ ⟨dop≤4⟩"), "{text}");
+        assert!(text.contains("Project [$2] ⟨coded⟩ ⟨dop≤4⟩"), "{text}");
+        assert!(
+            text.contains("HashJoin [$1 = $1ʳ] ⟨coded⟩ ⟨dop≤4⟩"),
+            "{text}"
+        );
+        assert!(text.contains("IndexScan R [columnar] ⟨coded⟩\n"), "{text}");
+        assert!(text.contains("parallelism: up to 4 workers"), "{text}");
+
+        // One thread: same tree as `display_with`, plus the summary.
+        let seq = plan.display_with_opts(Some(&store), &ExecOptions::sequential());
+        assert!(!seq.contains("⟨dop≤"), "{seq}");
+        assert!(seq.contains("parallelism: sequential (1 thread)"), "{seq}");
+        assert_eq!(
+            seq.trim_end_matches("parallelism: sequential (1 thread)\n"),
+            plan.display_with(Some(&store)),
+        );
+
+        // Store-less plans still report their worker budget.
+        let bare = PhysPlan::Scan("R".into()).filter(RowCondition::col_eq(0, 1));
+        let text = bare.display_with_opts(None, &ExecOptions::with_threads(2));
+        assert!(text.contains("Filter [$1 = $2] ⟨dop≤2⟩"), "{text}");
+        assert!(
+            text.contains("pipeline: decoded (no session store)"),
+            "{text}"
+        );
     }
 
     #[test]

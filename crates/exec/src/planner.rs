@@ -20,7 +20,8 @@
 
 use crate::batch::Batch;
 use crate::coded::BatchMode;
-use crate::exec::{execute, execute_mode};
+use crate::exec::{execute, execute_opts};
+use crate::parallel::ExecOptions;
 use crate::plan::PhysPlan;
 use pgq_relational::{CmpOp, Database, Operand, RaExpr, RelResult, Relation, RowCondition, Schema};
 use pgq_store::Store;
@@ -64,8 +65,23 @@ pub fn eval_ra_mode(
     store: &Store,
     mode: BatchMode,
 ) -> RelResult<Relation> {
+    eval_ra_opts(expr, db, store, mode, &ExecOptions::default())
+}
+
+/// [`eval_ra_mode`] on explicit [`ExecOptions`] — the entry point the
+/// session layer uses to run a query morsel-parallel (`SET THREADS n;`
+/// in the shell, `EvalConfig::threads` in `pgq-core`). Results are
+/// byte-identical across thread counts; `tests/prop_store.rs` holds
+/// the equivalence at {1, 2, 8} threads in both batch modes.
+pub fn eval_ra_opts(
+    expr: &RaExpr,
+    db: &Database,
+    store: &Store,
+    mode: BatchMode,
+    opts: &ExecOptions,
+) -> RelResult<Relation> {
     let plan = store_plan(plan_for_instance(expr, db)?, store);
-    Ok(execute_mode(&plan, db, Some(store), mode)?.into_relation(Some(store)))
+    execute_opts(&plan, db, Some(store), mode, opts)?.into_relation(Some(store))
 }
 
 /// Lowers and optimizes an expression under a schema.
@@ -132,10 +148,14 @@ pub fn intersect_plan(left: PhysPlan, right: PhysPlan) -> PhysPlan {
 /// equality-over-product into hash joins, completes all-column
 /// intersection joins, and inserts `Distinct` after column-dropping
 /// projections. Errors only on ill-typed plans (same conditions as
-/// [`PhysPlan::arity`]).
+/// [`PhysPlan::arity`]) — including plans that *were* valid under a
+/// schema the relation has since been redefined away from: the rewrite
+/// passes re-derive arities as they go and surface a typed error
+/// instead of trusting the up-front validation (the planner audit of
+/// this PR; `stale_plans_error_instead_of_panicking` pins it down).
 pub fn optimize_plan(plan: PhysPlan, schema: &Schema) -> RelResult<PhysPlan> {
-    plan.arity(schema)?; // validate up front so rewrites can assume well-typedness
-    Ok(rewrite(plan, schema))
+    plan.arity(schema)?; // validate up front so rewrites start well-typed
+    rewrite(plan, schema)
 }
 
 /// Lowers a validated plan onto a session store's indexes:
@@ -228,8 +248,8 @@ pub fn store_plan(plan: PhysPlan, store: &Store) -> PhysPlan {
     }
 }
 
-fn rewrite(plan: PhysPlan, schema: &Schema) -> PhysPlan {
-    match plan {
+fn rewrite(plan: PhysPlan, schema: &Schema) -> RelResult<PhysPlan> {
+    Ok(match plan {
         PhysPlan::Scan(_) | PhysPlan::IndexScan(_) | PhysPlan::Values(_) | PhysPlan::AdomScan => {
             plan
         }
@@ -239,15 +259,15 @@ fn rewrite(plan: PhysPlan, schema: &Schema) -> PhysPlan {
             rel,
             reverse,
         } => PhysPlan::AdjacencyExpand {
-            input: Box::new(rewrite(*input, schema)),
+            input: Box::new(rewrite(*input, schema)?),
             key,
             rel,
             reverse,
         },
-        PhysPlan::Filter { cond, input } => rewrite_filter(cond, rewrite(*input, schema), schema),
+        PhysPlan::Filter { cond, input } => rewrite_filter(cond, rewrite(*input, schema)?, schema)?,
         PhysPlan::Project { positions, input } => {
-            let input = rewrite(*input, schema);
-            let arity = input.arity(schema).expect("validated");
+            let input = rewrite(*input, schema)?;
+            let arity = input.arity(schema)?;
             let drops = {
                 let used: BTreeSet<usize> = positions.iter().copied().collect();
                 used.len() < arity
@@ -260,24 +280,24 @@ fn rewrite(plan: PhysPlan, schema: &Schema) -> PhysPlan {
             }
         }
         PhysPlan::HashJoin { left, right, keys } => PhysPlan::HashJoin {
-            left: Box::new(rewrite(*left, schema)),
-            right: Box::new(rewrite(*right, schema)),
+            left: Box::new(rewrite(*left, schema)?),
+            right: Box::new(rewrite(*right, schema)?),
             keys,
         },
         PhysPlan::Product { left, right } => PhysPlan::Product {
-            left: Box::new(rewrite(*left, schema)),
-            right: Box::new(rewrite(*right, schema)),
+            left: Box::new(rewrite(*left, schema)?),
+            right: Box::new(rewrite(*right, schema)?),
         },
         PhysPlan::Union { left, right } => PhysPlan::Union {
-            left: Box::new(rewrite(*left, schema)),
-            right: Box::new(rewrite(*right, schema)),
+            left: Box::new(rewrite(*left, schema)?),
+            right: Box::new(rewrite(*right, schema)?),
         },
         PhysPlan::Diff { left, right } => PhysPlan::Diff {
-            left: Box::new(rewrite(*left, schema)),
-            right: Box::new(rewrite(*right, schema)),
+            left: Box::new(rewrite(*left, schema)?),
+            right: Box::new(rewrite(*right, schema)?),
         },
         PhysPlan::Distinct { input } => {
-            let input = rewrite(*input, schema);
+            let input = rewrite(*input, schema)?;
             if matches!(input, PhysPlan::Distinct { .. }) {
                 input
             } else {
@@ -290,36 +310,36 @@ fn rewrite(plan: PhysPlan, schema: &Schema) -> PhysPlan {
             join,
             project,
         } => PhysPlan::Fixpoint {
-            base: Box::new(rewrite(*base, schema)),
-            step: Box::new(rewrite(*step, schema)),
+            base: Box::new(rewrite(*base, schema)?),
+            step: Box::new(rewrite(*step, schema)?),
             join,
             project,
         },
-    }
+    })
 }
 
 /// Filter-specific rewrites: merge stacked filters, distribute over
 /// unions, split/push over products, recognize hash joins.
-fn rewrite_filter(cond: RowCondition, input: PhysPlan, schema: &Schema) -> PhysPlan {
+fn rewrite_filter(cond: RowCondition, input: PhysPlan, schema: &Schema) -> RelResult<PhysPlan> {
     if cond == RowCondition::True {
-        return input;
+        return Ok(input);
     }
-    match input {
+    Ok(match input {
         // σ_θ(σ_η(Q)) = σ_{η∧θ}(Q).
         PhysPlan::Filter {
             cond: inner,
             input: innermost,
-        } => rewrite_filter(inner.and(cond), *innermost, schema),
+        } => rewrite_filter(inner.and(cond), *innermost, schema)?,
         // σ_θ(Q ∪ Q′) = σ_θ(Q) ∪ σ_θ(Q′).
         PhysPlan::Union { left, right } => PhysPlan::Union {
-            left: Box::new(rewrite_filter(cond.clone(), *left, schema)),
-            right: Box::new(rewrite_filter(cond, *right, schema)),
+            left: Box::new(rewrite_filter(cond.clone(), *left, schema)?),
+            right: Box::new(rewrite_filter(cond, *right, schema)?),
         },
         PhysPlan::Product { left, right } => {
-            let la = left.arity(schema).expect("validated");
+            let la = left.arity(schema)?;
             let split = split_over_product(&cond, la);
-            let left = push_filter(*left, split.left, schema);
-            let right = push_filter(*right, split.right, schema);
+            let left = push_filter(*left, split.left, schema)?;
+            let right = push_filter(*right, split.right, schema)?;
             let joined = if split.keys.is_empty() {
                 PhysPlan::Product {
                     left: Box::new(left),
@@ -338,12 +358,12 @@ fn rewrite_filter(cond: RowCondition, input: PhysPlan, schema: &Schema) -> PhysP
             }
         }
         other => other.filter(cond),
-    }
+    })
 }
 
-fn push_filter(plan: PhysPlan, conds: Vec<RowCondition>, schema: &Schema) -> PhysPlan {
+fn push_filter(plan: PhysPlan, conds: Vec<RowCondition>, schema: &Schema) -> RelResult<PhysPlan> {
     match RowCondition::and_all(conds) {
-        RowCondition::True => plan,
+        RowCondition::True => Ok(plan),
         cond => rewrite_filter(cond, plan, schema),
     }
 }
@@ -538,6 +558,25 @@ mod tests {
     }
 
     #[test]
+    fn stale_plans_error_instead_of_panicking() {
+        // A filter-over-product plan that optimizes fine under the
+        // schema it was lowered for …
+        let d = db();
+        let q = RaExpr::rel("E")
+            .product(RaExpr::rel("E"))
+            .select(RowCondition::col_eq(1, 2))
+            .project(vec![0, 3]);
+        let plan = lower_ra(&q);
+        assert!(optimize_plan(plan.clone(), &d.schema()).is_ok());
+        // … surfaces a typed error — never a panic — when `E` has
+        // since been redefined at a different arity (the planner used
+        // to `expect("validated")` its way through the rewrite).
+        let mut redefined = Database::new();
+        redefined.insert("E", tuple![1]).unwrap();
+        assert!(optimize_plan(plan, &redefined.schema()).is_err());
+    }
+
+    #[test]
     fn store_plan_lowers_onto_indexes() {
         let d = db();
         let store = Store::from_database(&d);
@@ -602,11 +641,18 @@ mod tests {
             RaExpr::rel("V").diff(RaExpr::rel("E").project(vec![1])),
         ];
         for q in shapes {
-            assert_eq!(
-                eval_ra_with(&q, &d, &store).unwrap(),
-                q.eval(&d).unwrap(),
-                "{q}"
-            );
+            let reference = q.eval(&d).unwrap();
+            assert_eq!(eval_ra_with(&q, &d, &store).unwrap(), reference, "{q}");
+            for threads in [1, 2, 8] {
+                let opts = ExecOptions::with_threads(threads);
+                for mode in [BatchMode::Coded, BatchMode::Decoded] {
+                    assert_eq!(
+                        eval_ra_opts(&q, &d, &store, mode, &opts).unwrap(),
+                        reference,
+                        "{q} at {threads} threads"
+                    );
+                }
+            }
         }
     }
 

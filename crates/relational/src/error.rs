@@ -40,6 +40,20 @@ pub enum RelError {
     /// A selection/projection used a condition outside the formal core
     /// while core-only evaluation was requested.
     NonCoreCondition(&'static str),
+    /// A coded batch reached a decode boundary without the session
+    /// store (and thus dictionary) it was coded against.
+    MissingStore {
+        /// The operation that needed the store.
+        context: &'static str,
+    },
+    /// A dictionary code outside the dictionary it is decoded against —
+    /// e.g. a code minted after the decoding snapshot was taken.
+    UnknownCode {
+        /// The out-of-range code.
+        code: u32,
+        /// What was being decoded.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for RelError {
@@ -64,6 +78,18 @@ impl fmt::Display for RelError {
             RelError::UnknownRelation(n) => write!(f, "unknown relation {n}"),
             RelError::NonCoreCondition(what) => {
                 write!(f, "condition uses non-core construct: {what}")
+            }
+            RelError::MissingStore { context } => {
+                write!(
+                    f,
+                    "{context} requires the session store the batch was coded against"
+                )
+            }
+            RelError::UnknownCode { code, context } => {
+                write!(
+                    f,
+                    "code {code} not in the dictionary while decoding {context}"
+                )
             }
         }
     }
@@ -101,5 +127,12 @@ mod tests {
         assert!(e.to_string().contains("union"));
         let e = RelError::NonCoreCondition("constant comparison");
         assert!(e.to_string().contains("non-core"));
+        let e = RelError::MissingStore { context: "decode" };
+        assert!(e.to_string().contains("session store"));
+        let e = RelError::UnknownCode {
+            code: 41,
+            context: "coded batch",
+        };
+        assert!(e.to_string().contains("41"));
     }
 }

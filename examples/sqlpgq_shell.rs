@@ -26,7 +26,14 @@
 //!   counts, and the effect of the last compaction;
 //! * `COMPACT;` — folds every overlay and rebuilds the dictionary
 //!   retaining live codes (`Store::compact`), reporting what was
-//!   reclaimed.
+//!   reclaimed;
+//! * `SET THREADS n;` — worker threads for the morsel-parallel
+//!   physical executor (`0` restores the environment default:
+//!   `PGQ_THREADS`, else the machine's parallelism). GRAPH_TABLE
+//!   queries run through the store-backed physical engine on that
+//!   many workers — results are identical at every setting — and
+//!   `EXPLAIN` annotates each parallel operator with its degree of
+//!   parallelism (`⟨dop≤n⟩`).
 //!
 //! ```sh
 //! cargo run --example sqlpgq_shell            # built-in demo
@@ -55,6 +62,7 @@ SELECT * FROM GRAPH_TABLE (Transfers
   WHERE t.amount > 100
   RETURN (x.iban, y.iban));
 STATS;
+SET THREADS 2;
 INSERT INTO Account VALUES ('IL04');
 INSERT INTO Transfer VALUES (3, 'IL03', 'IL04', 102, 900);
 DELETE FROM Transfer VALUES (1, 'IL01', 'IL02', 100, 500);
@@ -84,6 +92,8 @@ fn main() {
     // by the shell's mutations — STATS shows the overlays accumulate
     // and COMPACT fold, across statements.
     let mut store: Option<Store> = None;
+    // `SET THREADS n;` — 0 means the environment default.
+    let mut threads: usize = 0;
 
     // Split on `;` at the top level and route mutations to the shell's
     // own handler; everything else goes through the real parser.
@@ -120,12 +130,35 @@ fn main() {
             }
             continue;
         }
+        if upper.starts_with("SET THREADS") {
+            match stmt["SET THREADS".len()..].trim().parse::<usize>() {
+                Ok(n) => {
+                    threads = n;
+                    let resolved = sqlpgq::exec::ExecOptions::with_threads(n).threads;
+                    println!("-- threads set to {n} (executor runs {resolved} worker(s))");
+                }
+                Err(_) => println!("!! SET THREADS needs a non-negative integer (0 = default)"),
+            }
+            continue;
+        }
         if let Some(inner) = strip_explain(stmt) {
-            match explain(&session, &db, store.as_ref(), inner) {
+            match explain(&session, &db, store.as_ref(), threads, inner) {
                 Ok(text) => {
                     println!("-- physical plan");
                     for line in text.lines() {
                         println!("   {line}");
+                    }
+                }
+                Err(e) => println!("!! {e}"),
+            }
+            continue;
+        }
+        if upper.starts_with("SELECT") {
+            match graph_select(&session, &db, threads, stmt) {
+                Ok(rows) => {
+                    println!("-- {} row(s)", rows.len());
+                    for row in rows.iter() {
+                        println!("{row}");
                     }
                 }
                 Err(e) => println!("!! {e}"),
@@ -176,6 +209,7 @@ fn explain(
     session: &Session,
     db: &Database,
     session_store: Option<&Store>,
+    threads: usize,
     inner: &str,
 ) -> Result<String, Box<dyn std::error::Error>> {
     use sqlpgq::parser::{parse_statement, Statement};
@@ -186,25 +220,10 @@ fn explain(
     };
     let out = sqlpgq::parser::lower_query(&gq, &session.catalog)?;
     let k = session.catalog.id_arity(&gq.graph)?;
-    let rels = session.catalog.view_relations(&gq.graph, db)?;
-
-    // Stage the six canonical relations as scratch scans so the plan
-    // shows where each view input comes from.
-    let mut scratch = Database::new();
-    let names = ["⟨N⟩", "⟨E⟩", "⟨S⟩", "⟨T⟩", "⟨L⟩", "⟨P⟩"];
-    for (name, rel) in names.iter().zip([
-        rels.nodes,
-        rels.edges,
-        rels.src,
-        rels.tgt,
-        rels.labels,
-        rels.props,
-    ]) {
-        scratch.add_relation(*name, rel);
-    }
+    let (scratch, names) = stage_views(session, db, &gq.graph)?;
     let store = Store::from_database(&scratch);
     let q = sqlpgq::core::Query::pattern_n(k, out, names.map(sqlpgq::core::Query::rel));
-    let mut text = sqlpgq::core::explain_with(&q, &scratch.schema(), Some(&store))?;
+    let mut text = sqlpgq::core::explain_with_opts(&q, &scratch.schema(), Some(&store), threads)?;
     // The plan above is staged against a fresh snapshot of the view
     // relations; when the *session* store carries update overlays,
     // say so — library callers explaining against that store see the
@@ -220,6 +239,67 @@ fn explain(
         }
     }
     Ok(text)
+}
+
+/// The six canonical view relations of a catalog graph staged as a
+/// scratch database under the reserved scan names `⟨N⟩`…`⟨P⟩` — the
+/// common setup of the shell's EXPLAIN and physical SELECT routes.
+fn stage_views(
+    session: &Session,
+    db: &Database,
+    graph: &str,
+) -> Result<(Database, [&'static str; 6]), Box<dyn std::error::Error>> {
+    const NAMES: [&str; 6] = ["⟨N⟩", "⟨E⟩", "⟨S⟩", "⟨T⟩", "⟨L⟩", "⟨P⟩"];
+    let rels = session.catalog.view_relations(graph, db)?;
+    let mut scratch = Database::new();
+    for (name, rel) in NAMES.iter().zip([
+        rels.nodes,
+        rels.edges,
+        rels.src,
+        rels.tgt,
+        rels.labels,
+        rels.props,
+    ]) {
+        scratch.add_relation(*name, rel);
+    }
+    Ok((scratch, NAMES))
+}
+
+/// Runs a `GRAPH_TABLE` query through the S15/S16 physical route the
+/// shell's EXPLAIN describes: the graph's six canonical views are
+/// staged in a scratch store (view graph frozen, so reachability runs
+/// on CSR adjacency) and the query executes on the morsel-parallel
+/// coded pipeline with the session's `SET THREADS` setting. Results
+/// are identical to the reference evaluator's at every thread count —
+/// the differential suites (`tests/prop_engine.rs`,
+/// `tests/prop_store.rs`) pin that down.
+fn graph_select(
+    session: &Session,
+    db: &Database,
+    threads: usize,
+    stmt: &str,
+) -> Result<Relation, Box<dyn std::error::Error>> {
+    use sqlpgq::parser::{parse_statement, Statement};
+
+    let parsed = parse_statement(&format!("{stmt};"))?;
+    let Statement::GraphQuery(gq) = parsed else {
+        return Err("expected a GRAPH_TABLE query".into());
+    };
+    let out = sqlpgq::parser::lower_query(&gq, &session.catalog)?;
+    let k = session.catalog.id_arity(&gq.graph)?;
+    let (scratch, names) = stage_views(session, db, &gq.graph)?;
+    let mut store = Store::from_database(&scratch);
+    // Best effort: when the view cannot be frozen the store route
+    // still answers through per-query evaluation.
+    let _ = store.register_view_graph(
+        "⟨G⟩",
+        names.map(Into::into),
+        &scratch,
+        GraphForm::Bounded(k),
+    );
+    let q = sqlpgq::core::Query::pattern_n(k, out, names.map(sqlpgq::core::Query::rel));
+    let cfg = EvalConfig::physical().with_threads(threads);
+    Ok(eval_with_store(&q, &scratch, cfg, &store)?)
 }
 
 /// The session store, built from the live data on first use and

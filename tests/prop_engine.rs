@@ -170,6 +170,55 @@ proptest! {
         );
     }
 
+    /// Morsel parallelism is invisible: the store-backed executor
+    /// answers random `RaExpr` trees identically at 1, 2 and 8 worker
+    /// threads, in both batch representations.
+    #[test]
+    fn parallel_execution_matches_reference(
+        q in arb_ra(2, 3),
+        n in 1usize..8,
+        m in 0usize..14,
+        seed in 0u64..1000,
+    ) {
+        let db = ve_db(n, m, seed);
+        let store = pgq_store::Store::from_database(&db);
+        let reference = q.eval(&db).unwrap();
+        for threads in [1usize, 2, 8] {
+            let opts = pgq_exec::ExecOptions::with_threads(threads);
+            for mode in [pgq_exec::BatchMode::Coded, pgq_exec::BatchMode::Decoded] {
+                prop_assert_eq!(
+                    &pgq_exec::eval_ra_opts(&q, &db, &store, mode, &opts).unwrap(),
+                    &reference,
+                    "{} at {} threads", q, threads
+                );
+            }
+        }
+    }
+
+    /// The engine route too: `EvalConfig::threads` changes nothing
+    /// about the answer of a reachability query with a relational
+    /// shell around it (fixpoint + hash join + filter + projection).
+    #[test]
+    fn parallel_engine_matches_reference(n in 2usize..8, m in 0usize..16, seed in 0u64..1000) {
+        let db = canonical_graph_db(n, m, 10, seed);
+        let reach = Query::pattern_ro(
+            builders::reachability_output(),
+            ["N", "E", "S", "T", "L", "P"],
+        );
+        let q = reach
+            .product(Query::rel("N"))
+            .select(RowCondition::col_eq(1, 2))
+            .project(vec![0, 1]);
+        let reference = eval_with(&q, &db, EvalConfig::reference()).unwrap();
+        for threads in [1usize, 2, 8] {
+            prop_assert_eq!(
+                &eval_with(&q, &db, EvalConfig::physical().with_threads(threads)).unwrap(),
+                &reference,
+                "{} threads", threads
+            );
+        }
+    }
+
     /// The engine-routed `TC` (S5) still matches the assignment
     /// enumeration oracle (S6), including parameterized closures.
     #[test]

@@ -20,7 +20,7 @@
 //! plus the empty-graph, self-loop, and parallel-edge edge cases.
 
 use pgq_core::{builders, eval_with, eval_with_store, EvalConfig, Query};
-use pgq_exec::{eval_ra, eval_ra_mode, eval_ra_with, BatchMode};
+use pgq_exec::{eval_ra, eval_ra_mode, eval_ra_opts, eval_ra_with, BatchMode, ExecOptions};
 use pgq_graph::{updates, Update, ViewRelations};
 use pgq_relational::{CmpOp, Database, RaExpr, RelName, Relation, RowCondition};
 use pgq_store::{GraphForm, Store};
@@ -393,6 +393,70 @@ proptest! {
         prop_assert_eq!(stats.tombstone_rows(), 0);
         prop_assert_eq!(stats.overlay_entries(), 0);
         assert_store_matches(&store, &db, "post-compact");
+    }
+
+    /// Morsel parallelism under mutation: after a random accepted
+    /// update sequence — with tombstoned columns and the CSR delta
+    /// overlay left in place (no compaction) — the store-backed
+    /// executor answers identically at 1, 2 and 8 worker threads,
+    /// coded and decoded, and the overlay-aware fixpoint behind
+    /// `eval_with_store` does too.
+    #[test]
+    fn parallel_execution_under_tombstones_and_overlays(
+        seq in proptest::collection::vec(arb_canonical_update(), 0..25),
+        n in 1usize..6,
+        m in 0usize..8,
+        seed in 0u64..1000,
+    ) {
+        let db0 = canonical_graph_db(n, m, 5, seed);
+        let mut store = store_for(&db0);
+        let mut rels = view_relations_of(&db0);
+        for u in &seq {
+            let mut next = rels.clone();
+            if updates::apply(&mut next, u).is_ok() {
+                store.apply_update("G", u).expect("reference accepted the update");
+                rels = next;
+            }
+        }
+        let db = db_of(&rels);
+        // RA shapes over tombstoned scans: expansion join, difference,
+        // duplicate-heavy union + distinct.
+        let shapes = [
+            RaExpr::rel("S")
+                .product(RaExpr::rel("T"))
+                .select(RowCondition::col_eq(0, 2))
+                .project(vec![1, 3]),
+            RaExpr::rel("N").diff(RaExpr::rel("T").project(vec![1])),
+            RaExpr::rel("L").project(vec![0]).union(RaExpr::rel("E")),
+        ];
+        for q in &shapes {
+            let reference = q.eval(&db).unwrap();
+            for threads in [1usize, 2, 8] {
+                let opts = ExecOptions::with_threads(threads);
+                for mode in [BatchMode::Coded, BatchMode::Decoded] {
+                    prop_assert_eq!(
+                        &eval_ra_opts(q, &db, &store, mode, &opts).unwrap(),
+                        &reference,
+                        "{:?} at {} threads on {}", mode, threads, q
+                    );
+                }
+            }
+        }
+        // Reachability through the DeltaAdjacency overlay, sharded by
+        // source node at every thread count.
+        let q = Query::pattern_ro(
+            builders::reachability_output(),
+            ["N", "E", "S", "T", "L", "P"],
+        );
+        let reference = eval_with(&q, &db, EvalConfig::reference()).unwrap();
+        for threads in [1usize, 2, 8] {
+            prop_assert_eq!(
+                &eval_with_store(&q, &db, EvalConfig::physical().with_threads(threads), &store)
+                    .unwrap(),
+                &reference,
+                "{} threads", threads
+            );
+        }
     }
 
     /// The coded-pipeline differential (PR 4): coded ≡ decoded ≡ S2
