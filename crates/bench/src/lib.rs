@@ -13,6 +13,7 @@ pub mod perf;
 
 pub use experiments::full_report;
 pub use perf::{
-    assert_coded_floors, assert_parallel_floors, assert_update_floors, canonical_store,
-    coded_suite, engine_suite, full_suite, parallel_suite, store_suite, to_json, update_suite,
+    assert_coded_floors, assert_metrics_overhead, assert_parallel_floors, assert_update_floors,
+    canonical_store, coded_suite, engine_suite, full_suite, parallel_suite, profile_records,
+    store_suite, to_json, to_json_with_profiles, update_suite,
 };

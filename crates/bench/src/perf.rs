@@ -1,5 +1,5 @@
 //! The machine-readable perf smoke behind the `BENCH_*.json` records
-//! (`BENCH_2.json` through `BENCH_6.json`).
+//! (`BENCH_2.json` through `BENCH_7.json`).
 //!
 //! `cargo run --release -p pgq-bench --bin report -- --json [path]`
 //! runs a reduced-size engine-ablation suite (the `e12_engine`,
@@ -13,10 +13,17 @@
 //! ([`coded_suite`], experiment E17); `BENCH_5.json` adds the
 //! incremental-update ablation ([`update_suite`], E18);
 //! `BENCH_6.json` adds the morsel-parallelism ablation
-//! ([`parallel_suite`], 1 vs. 4 worker threads).
+//! ([`parallel_suite`], 1 vs. 4 worker threads); `BENCH_7.json` nests
+//! the flat entries under `"benches"` and adds a `"profiles"` section
+//! with per-operator `EXPLAIN ANALYZE` trees for the E17/E18 shapes
+//! ([`profile_records`]), plus the metrics-overhead gate
+//! ([`assert_metrics_overhead`]).
 
 use pgq_core::{builders, eval_with, eval_with_store, EvalConfig, Query};
-use pgq_exec::{execute_mode, execute_opts, plan_ra, store_plan, BatchMode, ExecOptions, PhysPlan};
+use pgq_exec::{
+    execute_mode, execute_opts, execute_profiled, plan_ra, store_plan, BatchMode, ExecOptions,
+    JsonWriter, PhysPlan, QueryProfile,
+};
 use pgq_relational::{Database, RaExpr, RelName, RowCondition};
 use pgq_store::{GraphForm, Store};
 use pgq_workloads::{families, transfers};
@@ -662,6 +669,94 @@ pub fn assert_coded_floors(entries: &[BenchEntry]) {
     );
 }
 
+/// Per-operator `EXPLAIN ANALYZE` profiles for the E17 and E18 shapes —
+/// the `"profiles"` section of `BENCH_7.json`. E17 is the coded
+/// reachability closure ([`reach_tc_plan`]) executed instrumented; E18
+/// is the store-route reachability query on a freshly-updated store
+/// (the `query_after_update` shape), profiled through
+/// `pgq_core::eval_with_store_profiled`. Deterministic fields (rows,
+/// Δ-frontier sizes, build sizes) are stable across runs; timing fields
+/// are runtime facts.
+pub fn profile_records(scale: usize) -> Vec<(String, QueryProfile)> {
+    let scale = scale.max(1);
+    let mut out = Vec::new();
+
+    // E17: the coded TC pipeline, per-operator.
+    let name = format!("grid_{}x5", 40 * scale);
+    let db = families::grid_db(40 * scale, 5);
+    let store = Store::from_database(&db);
+    let plan = store_plan(reach_tc_plan(&db), &store);
+    let opts = ExecOptions::with_threads(4).with_metrics(true);
+    let start = Instant::now();
+    let (batch, root) = execute_profiled(&plan, &db, Some(&store), BatchMode::Coded, &opts)
+        .expect("the E17 plan executes");
+    let rel = batch.into_relation(Some(&store)).expect("decodable");
+    out.push((
+        format!("e17_reach_tc_coded/{name}"),
+        QueryProfile {
+            rows: rel.len() as u64,
+            threads: opts.threads,
+            elapsed_ns: start.elapsed().as_nanos() as u64,
+            root,
+        },
+    ));
+
+    // E18: reachability on the updated store (overlay reads).
+    let reach = Query::pattern_ro(
+        builders::reachability_output(),
+        ["N", "E", "S", "T", "L", "P"],
+    );
+    let mut updated = canonical_store(&db);
+    updated
+        .apply_updates("G", &canonical_update_batch(16, 4))
+        .expect("the canonical batch is valid");
+    let updated_db = canonical_database_of(&updated);
+    let (_, profile) = pgq_core::eval_with_store_profiled(
+        &reach,
+        &updated_db,
+        EvalConfig::physical().with_threads(4),
+        &updated,
+    )
+    .expect("the E18 query evaluates");
+    out.push((format!("e18_query_after_update/{name}"), profile));
+    out
+}
+
+/// The PR 7 observability gate: collecting per-operator metrics must
+/// cost at most 5% wall clock on the parallel suite's join shape (the
+/// hot-loop-heavy one; recording is per batch/operator, never per
+/// tuple). Both sides take the **minimum** of three measured means so
+/// scheduler noise cannot flake CI; only optimized builds are gated.
+pub fn assert_metrics_overhead(scale: usize) {
+    let scale = scale.max(1);
+    let (accounts, xfers) = (10_000 * scale, 20_000 * scale);
+    let db = transfers::canonical_transfers_db(accounts, xfers, 1_000, 7);
+    let store = Store::from_database(&db);
+    let plan = store_plan(
+        plan_ra(&endpoint_join(), &db.schema()).expect("canonical schema has S/T"),
+        &store,
+    );
+    let opts = ExecOptions::with_threads(4);
+    let profiled = opts.with_metrics(true);
+    let best = |opts: &ExecOptions| {
+        (0..3)
+            .map(|_| {
+                mean_ns(3, || {
+                    execute_opts(&plan, &db, Some(&store), BatchMode::Coded, opts).unwrap();
+                })
+            })
+            .min()
+            .expect("three runs")
+    };
+    let off = best(&opts);
+    let on = best(&profiled);
+    let overhead = on as f64 / off.max(1) as f64;
+    assert!(
+        overhead <= 1.05,
+        "metrics collection should cost ≤ 5% on the parallel join (got {overhead:.3}×)"
+    );
+}
+
 /// Serializes entries as the `BENCH_*.json` object:
 /// `{ "<name>": { "mean_ns": …, "input_size": … }, … }`.
 pub fn to_json(entries: &[BenchEntry]) -> String {
@@ -675,6 +770,40 @@ pub fn to_json(entries: &[BenchEntry]) -> String {
         );
     }
     out.push_str("}\n");
+    out
+}
+
+/// The `BENCH_7.json` document: the flat entry map under `"benches"`
+/// plus the per-operator [`QueryProfile`] trees under `"profiles"` —
+/// one shared [`JsonWriter`], no serde.
+pub fn to_json_with_profiles(
+    entries: &[BenchEntry],
+    profiles: &[(String, QueryProfile)],
+) -> String {
+    let mut w = JsonWriter::pretty();
+    w.begin_object();
+    w.key("benches");
+    w.begin_object();
+    for e in entries {
+        w.key(&e.name);
+        w.begin_object();
+        w.key("mean_ns");
+        w.number_u128(e.mean_ns);
+        w.key("input_size");
+        w.number(e.input_size as u64);
+        w.end_object();
+    }
+    w.end_object();
+    w.key("profiles");
+    w.begin_object();
+    for (name, p) in profiles {
+        w.key(name);
+        p.write_json(&mut w);
+    }
+    w.end_object();
+    w.end_object();
+    let mut out = w.finish();
+    out.push('\n');
     out
 }
 

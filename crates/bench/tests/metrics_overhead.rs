@@ -1,0 +1,17 @@
+//! Manual smoke for the PR 7 metrics-overhead ceiling
+//! (`pgq_bench::assert_metrics_overhead`): collecting per-operator
+//! metrics may cost at most 5% on the parallel transfers join.
+//!
+//! Perf-asserting, so ignored by default; CI runs it through the
+//! release `report --json` binary on multi-core runners. To run
+//! locally:
+//!
+//! ```sh
+//! cargo test -p pgq-bench --release -- --ignored
+//! ```
+
+#[test]
+#[ignore = "perf assertion; run in release on a multi-core machine"]
+fn metrics_overhead_within_ceiling() {
+    pgq_bench::assert_metrics_overhead(1);
+}

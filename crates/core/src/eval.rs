@@ -123,6 +123,47 @@ pub fn eval_with_store(
     eval_with(q, db, cfg)
 }
 
+/// [`eval_with_store`], additionally returning a
+/// [`pgq_exec::QueryProfile`] — the `EXPLAIN ANALYZE` entry point. On
+/// [`Engine::Physical`] the profile is the executed physical plan
+/// annotated per operator (rows in/out, wall time, degree of
+/// parallelism, hash-join build sizes, fixpoint iteration Δ sizes,
+/// per-worker morsel counts); pattern calls answered off-plan (frozen
+/// CSR, NFA, reference) appear as a route-labelled node. The other
+/// engines are tree walkers with no operator tree, so they report a
+/// single node. The result relation is identical to
+/// [`eval_with_store`]'s — metrics collection never perturbs results —
+/// and the profile's non-timing fields are byte-identical at every
+/// thread count.
+pub fn eval_with_store_profiled(
+    q: &Query,
+    db: &Database,
+    cfg: EvalConfig,
+    store: &pgq_store::Store,
+) -> Result<(Relation, pgq_exec::QueryProfile), QueryError> {
+    if cfg.engine == Engine::Physical {
+        return crate::physical::eval_physical_store_profiled(q, db, cfg, store);
+    }
+    let start = std::time::Instant::now();
+    let rel = eval_with(q, db, cfg)?;
+    let label = match cfg.engine {
+        Engine::Reference => "Reference (Figure 2/4) evaluator [no physical plan]",
+        _ => "NFA-routed evaluator [no physical plan]",
+    };
+    let mut root = pgq_exec::PlanMetrics::leaf(label);
+    root.executed = true;
+    root.batches = 1;
+    root.rows_out = rel.len() as u64;
+    root.elapsed_ns = start.elapsed().as_nanos() as u64;
+    let profile = pgq_exec::QueryProfile {
+        rows: rel.len() as u64,
+        threads: 1,
+        elapsed_ns: root.elapsed_ns,
+        root,
+    };
+    Ok((rel, profile))
+}
+
 /// Evaluates a query with the given configuration.
 pub fn eval_with(q: &Query, db: &Database, cfg: EvalConfig) -> Result<Relation, QueryError> {
     if cfg.engine == Engine::Physical {

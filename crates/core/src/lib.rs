@@ -44,7 +44,9 @@ pub mod optimize;
 pub mod physical;
 pub mod query;
 
-pub use eval::{build_view, eval, eval_with, eval_with_store, Engine, EvalConfig};
+pub use eval::{
+    build_view, eval, eval_with, eval_with_store, eval_with_store_profiled, Engine, EvalConfig,
+};
 pub use optimize::optimize;
 pub use physical::{explain, explain_with, explain_with_opts, view_form};
 pub use query::{Fragment, Query, QueryError, ViewOp};

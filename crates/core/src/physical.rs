@@ -12,8 +12,9 @@
 use crate::eval::{build_view, try_fast, EvalConfig};
 use crate::query::{Query, QueryError, ViewOp};
 use pgq_exec::{
-    execute_opts, intersect_plan, optimize_plan, store_plan, transitive_closure_opts, Batch,
-    BatchMode, ExecOptions, PhysPlan,
+    execute_opts, execute_profiled, intersect_plan, optimize_plan, store_plan,
+    transitive_closure_opts, transitive_closure_profiled, Batch, BatchMode, ExecOptions, PhysPlan,
+    PlanMetrics, QueryProfile,
 };
 use pgq_graph::PropertyGraph;
 use pgq_pattern::{Direction, OutputItem, OutputPattern, Pattern, RepBound};
@@ -93,26 +94,163 @@ fn eval_pattern_store(
     cfg: EvalConfig,
     store: &Store,
 ) -> Result<Relation, QueryError> {
-    if let Some(entry) = registered_entry(views, op, store) {
-        if let Some(shape) = reach_shape(&out.pattern) {
-            if let Some(swap) = reach_output_swap(out, &shape) {
-                out.pattern.validate()?;
-                return Ok(match swap {
-                    None => {
-                        let holds = entry.has_reach_pair()
-                            || (!shape.at_least_one && entry.node_count() > 0);
-                        if holds {
-                            Relation::r#true()
-                        } else {
-                            Relation::r#false()
-                        }
-                    }
-                    Some(swap) => entry.reach_relation(shape.at_least_one, swap),
-                });
-            }
-        }
+    if let Some(rel) = try_frozen_reach(out, views, op, store)? {
+        return Ok(rel);
     }
     eval_pattern_physical(out, views, op, db, cfg)
+}
+
+/// Answers a reachability-shaped output from a graph frozen in the
+/// store — Boolean non-emptiness or a projection of the endpoint-pair
+/// set, read straight from the frozen (overlay-aware) CSR closure.
+/// `None` when the shape, the projection, or the registration doesn't
+/// allow it: filtered steps and property items need the view graph, so
+/// they fall through to the per-query route.
+fn try_frozen_reach(
+    out: &OutputPattern,
+    views: &[Query; 6],
+    op: ViewOp,
+    store: &Store,
+) -> Result<Option<Relation>, QueryError> {
+    let Some(entry) = registered_entry(views, op, store) else {
+        return Ok(None);
+    };
+    let Some(shape) = reach_shape(&out.pattern) else {
+        return Ok(None);
+    };
+    if shape.filtered {
+        return Ok(None);
+    }
+    let Some(proj) = reach_proj(out, &shape) else {
+        return Ok(None);
+    };
+    match proj {
+        ReachProj::Boolean => {
+            out.pattern.validate()?;
+            store.counters().record_adjacency_read(entry.has_overlay());
+            let holds = entry.has_reach_pair() || (!shape.at_least_one && entry.node_count() > 0);
+            Ok(Some(if holds {
+                Relation::r#true()
+            } else {
+                Relation::r#false()
+            }))
+        }
+        ReachProj::Items(items) => {
+            let Some(cols) = pair_columns(&items, entry.id_arity()) else {
+                return Ok(None);
+            };
+            out.pattern.validate()?;
+            let pairs = entry.reach_relation(shape.at_least_one, false);
+            store.counters().record_adjacency_read(entry.has_overlay());
+            store
+                .counters()
+                .record_csr_neighbor_rows(pairs.len() as u64);
+            Ok(Some(pairs.project(&cols).map_err(QueryError::Rel)?))
+        }
+    }
+}
+
+/// [`eval_physical_store`] with a [`QueryProfile`] collected alongside
+/// the result — the `EXPLAIN ANALYZE` route. The relation is computed
+/// by the same code paths as the unprofiled route (held identical by
+/// the metrics-invariant suite); the profile's deterministic fields
+/// (rows, Δ-frontier sizes, build sizes) are byte-identical at every
+/// thread count, only the timing annotations vary.
+pub(crate) fn eval_physical_store_profiled(
+    q: &Query,
+    db: &Database,
+    cfg: EvalConfig,
+    store: &Store,
+) -> Result<(Relation, QueryProfile), QueryError> {
+    let opts = exec_opts(cfg).with_metrics(true);
+    let start = std::time::Instant::now();
+    let (rel, root) = if let Query::Pattern { out, views, op } = q {
+        eval_pattern_store_profiled(out, views, *op, db, cfg, store)?
+    } else {
+        let plan = lower(q, db, cfg, Some(store))?;
+        let plan = optimize_plan(plan, &db.schema()).map_err(QueryError::Rel)?;
+        let plan = store_plan(plan, store);
+        let (batch, root) = execute_profiled(&plan, db, Some(store), BatchMode::Coded, &opts)
+            .map_err(QueryError::Rel)?;
+        let rel = batch.into_relation(Some(store)).map_err(QueryError::Rel)?;
+        (rel, root)
+    };
+    let profile = QueryProfile {
+        rows: rel.len() as u64,
+        threads: opts.threads,
+        elapsed_ns: start.elapsed().as_nanos() as u64,
+        root,
+    };
+    Ok((rel, profile))
+}
+
+/// A one-node metrics tree for a pattern call answered off-plan (CSR
+/// entry, NFA, or reference route) — there is no operator tree to
+/// annotate, so the route itself becomes the node.
+fn pattern_leaf(label: &str, rel: &Relation, start: std::time::Instant) -> PlanMetrics {
+    let mut m = PlanMetrics::leaf(label);
+    m.executed = true;
+    m.batches = 1;
+    m.rows_out = rel.len() as u64;
+    m.elapsed_ns = start.elapsed().as_nanos() as u64;
+    m
+}
+
+/// [`eval_pattern_store`] with metrics: the answering route becomes the
+/// root node, and the fixpoint route hangs its semi-naive iteration
+/// trace (per-round Δ sizes) underneath.
+fn eval_pattern_store_profiled(
+    out: &OutputPattern,
+    views: &[Query; 6],
+    op: ViewOp,
+    db: &Database,
+    cfg: EvalConfig,
+    store: &Store,
+) -> Result<(Relation, PlanMetrics), QueryError> {
+    let start = std::time::Instant::now();
+    if let Some(rel) = try_frozen_reach(out, views, op, store)? {
+        let m = pattern_leaf("Pattern [frozen CSR reachability]", &rel, start);
+        return Ok((rel, m));
+    }
+    eval_pattern_physical_profiled(out, views, op, db, cfg)
+}
+
+/// [`eval_pattern_physical`] with metrics — mirrors the route dispatch
+/// exactly, so the profile never lies about which engine answered.
+fn eval_pattern_physical_profiled(
+    out: &OutputPattern,
+    views: &[Query; 6],
+    op: ViewOp,
+    db: &Database,
+    cfg: EvalConfig,
+) -> Result<(Relation, PlanMetrics), QueryError> {
+    let graph = build_view(views, op, db, cfg)?;
+    if let Some((rel, fixpoint)) = try_fixpoint_reach_impl(out, &graph, &exec_opts(cfg), true)? {
+        let filtered = reach_shape(&out.pattern).is_some_and(|s| s.filtered);
+        let label = if filtered {
+            "Pattern [semi-naive fixpoint over filtered step edges]"
+        } else {
+            "Pattern [semi-naive fixpoint over view edges]"
+        };
+        let mut root = PlanMetrics::leaf(label);
+        root.executed = true;
+        root.batches = 1;
+        root.rows_out = rel.len() as u64;
+        if let Some(fixpoint) = fixpoint {
+            root.elapsed_ns = fixpoint.elapsed_ns;
+            root.rows_in = fixpoint.rows_out;
+            root.children.push(fixpoint);
+        }
+        return Ok((rel, root));
+    }
+    let start = std::time::Instant::now();
+    if let Some(rel) = try_fast(out, &graph)? {
+        let m = pattern_leaf("Pattern [NFA product-graph BFS]", &rel, start);
+        return Ok((rel, m));
+    }
+    let rel = out.eval(&graph)?;
+    let m = pattern_leaf("Pattern [reference (Figure 2) semantics]", &rel, start);
+    Ok((rel, m))
 }
 
 /// The store entry frozen from exactly these views under this
@@ -215,51 +353,147 @@ fn eval_pattern_physical(
     Ok(out.eval(&graph)?)
 }
 
-/// The reachability spine `(x) →^{n..∞} (y)` with a bare forward edge
-/// and `n ≤ 1` — the `ψreach`/`ψreach+` shapes of Lemma 9.4 and the
-/// transfers workloads.
-struct ReachShape {
+/// The reachability spine `(x) step^{n..∞} (y)` with a single
+/// forward-edge step and `n ≤ 1` — the `ψreach`/`ψreach+` shapes of
+/// Lemma 9.4 and the transfers workloads. Repetition discards its
+/// bindings (Figure 2's `⟦ψ^{n..m}⟧` ranges over endpoint pairs with
+/// `μ∅`), so the step edge may carry a variable and per-step filter
+/// conditions: the call is then exactly the closure of the filtered
+/// step-pair set.
+struct ReachShape<'a> {
     x: Var,
     y: Var,
     at_least_one: bool,
+    /// The repetition body — a forward edge under zero or more filters.
+    step: &'a Pattern,
+    /// Whether the step carries filter conditions. A bare step is
+    /// answerable straight from a frozen CSR closure; a filtered one
+    /// needs the view graph to evaluate its conditions per edge.
+    filtered: bool,
 }
 
-fn reach_shape(p: &Pattern) -> Option<ReachShape> {
+fn reach_shape(p: &Pattern) -> Option<ReachShape<'_>> {
     let mut atoms = Vec::new();
     flatten_concat(p, &mut atoms);
     match atoms.as_slice() {
         [Pattern::Node(Some(x)), Pattern::Repeat(inner, lo, RepBound::Infinite), Pattern::Node(Some(y))]
-            if *lo <= 1
-                && x != y // (x) →* (x) constrains to cycles; not plain reachability
-                && matches!(inner.as_ref(), Pattern::Edge(None, Direction::Forward)) =>
+            // (x) →* (x) constrains to cycles; not plain reachability.
+            if *lo <= 1 && x != y =>
         {
+            let filtered = single_forward_step(inner)?;
             Some(ReachShape {
                 x: x.clone(),
                 y: y.clone(),
                 at_least_one: *lo == 1,
+                step: inner,
+                filtered,
             })
         }
         _ => None,
     }
 }
 
+/// Whether a repetition body is a single forward-edge step — bare
+/// (`Some(false)`) or wrapped in filter conditions (`Some(true)`).
+/// Anything else is not closure-shaped.
+fn single_forward_step(p: &Pattern) -> Option<bool> {
+    match p {
+        Pattern::Edge(_, Direction::Forward) => Some(false),
+        Pattern::Filter(inner, _) => single_forward_step(inner).map(|_| true),
+        _ => None,
+    }
+}
+
+/// One column source of a reachability-shaped output item; `target`
+/// selects the `y` endpoint of the closure pair.
+enum ReachItem {
+    /// The full `k`-column endpoint identifier.
+    Id { target: bool },
+    /// One identifier component (`x#i`).
+    Component { target: bool, index: usize },
+    /// An endpoint property — needs the graph, never CSR-answerable.
+    Prop { target: bool, key: pgq_value::Key },
+}
+
 /// How a reachability-shaped output consumes the endpoint pair:
-/// `None` — not answerable from the pair set; `Some(None)` — Boolean;
-/// `Some(Some(swap))` — the `(x, y)` projection, `swap`ped when the
-/// items are `(y, x)`-ordered.
-fn reach_output_swap(out: &OutputPattern, shape: &ReachShape) -> Option<Option<bool>> {
+/// `Boolean` for `ψ∅`, otherwise one entry per output item. `None`
+/// when an item reads anything but the spine endpoints (the step
+/// variable's bindings are discarded by the repetition, so such
+/// outputs are not projections of the pair set).
+enum ReachProj {
+    Boolean,
+    Items(Vec<ReachItem>),
+}
+
+fn reach_proj(out: &OutputPattern, shape: &ReachShape) -> Option<ReachProj> {
     if out.items.is_empty() {
-        return Some(None);
+        return Some(ReachProj::Boolean);
     }
-    if let [OutputItem::Var(a), OutputItem::Var(b)] = out.items.as_slice() {
-        if (a, b) == (&shape.x, &shape.y) {
-            return Some(Some(false));
+    let target = |v: &Var| -> Option<bool> {
+        if v == &shape.x {
+            Some(false)
+        } else if v == &shape.y {
+            Some(true)
+        } else {
+            None
         }
-        if (a, b) == (&shape.y, &shape.x) {
-            return Some(Some(true));
+    };
+    let mut items = Vec::with_capacity(out.items.len());
+    for item in &out.items {
+        items.push(match item {
+            OutputItem::Var(v) => ReachItem::Id { target: target(v)? },
+            OutputItem::Component(v, i) => ReachItem::Component {
+                target: target(v)?,
+                index: *i,
+            },
+            OutputItem::Prop(v, k) => ReachItem::Prop {
+                target: target(v)?,
+                key: k.clone(),
+            },
+        });
+    }
+    Some(ReachProj::Items(items))
+}
+
+/// The closure-pair columns (arity `2k`) an identifier projection
+/// reads — `None` when a property item or out-of-range component makes
+/// it unanswerable from bare pairs.
+fn pair_columns(items: &[ReachItem], k: usize) -> Option<Vec<usize>> {
+    let base = |target: bool| if target { k } else { 0 };
+    let mut cols = Vec::with_capacity(items.len());
+    for item in items {
+        match item {
+            ReachItem::Id { target } => cols.extend(base(*target)..base(*target) + k),
+            ReachItem::Component { target, index } => {
+                if *index >= k {
+                    return None;
+                }
+                cols.push(base(*target) + index);
+            }
+            ReachItem::Prop { .. } => return None,
         }
     }
-    None
+    Some(cols)
+}
+
+/// Projects one closure pair through the output items. `None` skips
+/// the pair — Figure 2's rule for a property undefined on its endpoint.
+fn project_pair(
+    items: &[ReachItem],
+    s: &pgq_value::Tuple,
+    t: &pgq_value::Tuple,
+    g: &PropertyGraph,
+) -> Option<pgq_value::Tuple> {
+    let end = |target: bool| if target { t } else { s };
+    let mut row: Vec<pgq_value::Value> = Vec::new();
+    for item in items {
+        match item {
+            ReachItem::Id { target } => row.extend(end(*target).iter().cloned()),
+            ReachItem::Component { target, index } => row.push(end(*target)[*index].clone()),
+            ReachItem::Prop { target, key } => row.push(g.prop(end(*target), key)?.clone()),
+        }
+    }
+    Some(row.into())
 }
 
 fn flatten_concat<'a>(p: &'a Pattern, out: &mut Vec<&'a Pattern>) {
@@ -281,47 +515,93 @@ fn try_fixpoint_reach(
     g: &PropertyGraph,
     opts: &ExecOptions,
 ) -> Result<Option<Relation>, QueryError> {
+    Ok(try_fixpoint_reach_impl(out, g, opts, false)?.map(|(rel, _)| rel))
+}
+
+/// [`try_fixpoint_reach`], optionally recording the closure's
+/// [`PlanMetrics`] (iteration count, per-round Δ sizes) when `profiled`
+/// — the only difference between the routes is which closure entry
+/// point runs; the relation is computed identically.
+fn try_fixpoint_reach_impl(
+    out: &OutputPattern,
+    g: &PropertyGraph,
+    opts: &ExecOptions,
+    profiled: bool,
+) -> Result<Option<(Relation, Option<PlanMetrics>)>, QueryError> {
     let Some(shape) = reach_shape(&out.pattern) else {
         return Ok(None);
     };
-    let Some(swap) = reach_output_swap(out, &shape) else {
+    let Some(proj) = reach_proj(out, &shape) else {
         return Ok(None);
     };
+    let k = g.id_arity();
+    if let ReachProj::Items(items) = &proj {
+        // Out-of-range components fall through so the reference
+        // evaluator raises its typed error.
+        let in_range =
+            |i: &ReachItem| !matches!(i, ReachItem::Component { index, .. } if *index >= k);
+        if !items.iter().all(in_range) {
+            return Ok(None);
+        }
+    }
     out.pattern.validate()?;
 
-    let k = g.id_arity();
+    // The step-pair set: every (src, tgt) the repetition body matches
+    // in one step. A bare edge reads the adjacency directly; a filtered
+    // step evaluates its conditions per edge — bindings are local to
+    // the step (Figure 2's repetition discards them), so the whole call
+    // is the closure of this pair set.
     let mut edges = Batch::empty(2 * k);
-    for e in g.edges() {
-        let (s, t) = (
-            g.src(e).expect("edge has a source"),
-            g.tgt(e).expect("edge has a target"),
-        );
-        edges.push(s.concat(t)).map_err(QueryError::Rel)?;
+    if shape.filtered {
+        let matches = pgq_pattern::eval_pattern(shape.step, g)?;
+        for (s, t) in pgq_pattern::endpoint_pairs(&matches) {
+            edges.push(s.concat(&t)).map_err(QueryError::Rel)?;
+        }
+    } else {
+        for e in g.edges() {
+            let (s, t) = (
+                g.src(e).expect("edge has a source"),
+                g.tgt(e).expect("edge has a target"),
+            );
+            edges.push(s.concat(t)).map_err(QueryError::Rel)?;
+        }
     }
-    let closure = transitive_closure_opts(edges, k, 0, opts).map_err(QueryError::Rel)?;
-
-    let Some(swap) = swap else {
-        // Boolean output: a 0-length path exists iff the view has a node.
-        let holds = !closure.is_empty() || (!shape.at_least_one && g.node_count() > 0);
-        return Ok(Some(if holds {
-            Relation::r#true()
-        } else {
-            Relation::r#false()
-        }));
+    let (closure, metrics) = if profiled {
+        let (c, m) = transitive_closure_profiled(edges, k, 0, opts).map_err(QueryError::Rel)?;
+        (c, Some(m))
+    } else {
+        let c = transitive_closure_opts(edges, k, 0, opts).map_err(QueryError::Rel)?;
+        (c, None)
     };
 
-    let mut rel = Relation::empty(2 * k);
+    let ReachProj::Items(items) = proj else {
+        // Boolean output: a 0-length path exists iff the view has a node.
+        let holds = !closure.is_empty() || (!shape.at_least_one && g.node_count() > 0);
+        return Ok(Some((
+            if holds {
+                Relation::r#true()
+            } else {
+                Relation::r#false()
+            },
+            metrics,
+        )));
+    };
+
+    let mut rel = Relation::empty(out.output_arity(k));
     for row in closure.iter() {
         let (s, t) = row.split_at(k);
-        let pair = if swap { t.concat(&s) } else { s.concat(&t) };
-        rel.insert(pair).map_err(QueryError::Rel)?;
+        if let Some(projected) = project_pair(&items, &s, &t, g) {
+            rel.insert(projected).map_err(QueryError::Rel)?;
+        }
     }
     if !shape.at_least_one {
         for n in g.nodes() {
-            rel.insert(n.concat(n)).map_err(QueryError::Rel)?;
+            if let Some(projected) = project_pair(&items, n, n, g) {
+                rel.insert(projected).map_err(QueryError::Rel)?;
+            }
         }
     }
-    Ok(Some(rel))
+    Ok(Some((rel, metrics)))
 }
 
 /// Whether the output is a Boolean or an endpoint projection of the
@@ -338,8 +618,12 @@ fn endpoint_output(out: &OutputPattern, x: &Var, y: &Var) -> bool {
 /// the actual dispatch so `EXPLAIN` never lies.
 fn route_label(out: &OutputPattern) -> &'static str {
     if let Some(shape) = reach_shape(&out.pattern) {
-        if endpoint_output(out, &shape.x, &shape.y) {
-            return "semi-naive fixpoint over view edges";
+        if reach_proj(out, &shape).is_some() {
+            return if shape.filtered {
+                "semi-naive fixpoint over filtered step edges"
+            } else {
+                "semi-naive fixpoint over view edges"
+            };
         }
     }
     if pgq_pattern::Nfa::compile(&out.pattern).is_ok() {

@@ -343,6 +343,9 @@ impl EitherBatch {
                         context: "decoding a coded batch",
                     });
                 };
+                store
+                    .counters()
+                    .record_dict_decodes((c.len() * c.arity()) as u64);
                 c.decode(store.dict())
             }
         }
@@ -361,6 +364,9 @@ impl EitherBatch {
                         context: "decoding a coded result",
                     });
                 };
+                store
+                    .counters()
+                    .record_dict_decodes((c.len() * c.arity()) as u64);
                 c.into_relation(store.dict())
             }
         }

@@ -21,12 +21,18 @@
 
 use crate::batch::Batch;
 use crate::coded::{BatchMode, CodedBatch, CodedCond, EitherBatch};
-use crate::parallel::{hash_codes, partition_count, run_morsels, run_tasks, ExecOptions};
+use crate::metrics::PlanMetrics;
+use crate::parallel::{
+    hash_codes, partition_count, run_morsels, run_morsels_traced, run_tasks, run_tasks_traced,
+    ExecOptions,
+};
 use crate::plan::PhysPlan;
 use pgq_relational::{Database, RelError, RelResult, RowCondition};
 use pgq_store::{AdjacencyView, Store};
 use pgq_value::{Tuple, Value};
 use std::collections::{HashMap, HashSet};
+use std::ops::Range;
+use std::time::Instant;
 
 /// Executes a physical plan against a database instance (no store: the
 /// store-backed operators degrade to their database equivalents).
@@ -78,6 +84,78 @@ pub fn execute_opts(
     mode: BatchMode,
     opts: &ExecOptions,
 ) -> RelResult<EitherBatch> {
+    if opts.collect_metrics {
+        let mut m = PlanMetrics::from_plan(plan);
+        return exec_node(plan, db, store, mode, opts, Some(&mut m));
+    }
+    exec_node(plan, db, store, mode, opts, None)
+}
+
+/// [`execute_opts`], additionally returning the per-operator
+/// [`PlanMetrics`] tree — the engine-level half of `EXPLAIN ANALYZE`
+/// (callers wrap it in a [`crate::metrics::QueryProfile`] once the
+/// set-semantics cardinality is known). Collection is implied: the
+/// `opts.collect_metrics` flag only governs whether [`execute_opts`]
+/// itself runs the instrumented path.
+pub fn execute_profiled(
+    plan: &PhysPlan,
+    db: &Database,
+    store: Option<&Store>,
+    mode: BatchMode,
+    opts: &ExecOptions,
+) -> RelResult<(EitherBatch, PlanMetrics)> {
+    let mut m = PlanMetrics::from_plan(plan);
+    let out = exec_node(plan, db, store, mode, opts, Some(&mut m))?;
+    Ok((out, m))
+}
+
+/// The reborrowed metrics node for plan child `i`, if collecting.
+fn child_m<'a>(m: &'a mut Option<&mut PlanMetrics>, i: usize) -> Option<&'a mut PlanMetrics> {
+    m.as_deref_mut().map(|n| &mut n.children[i])
+}
+
+/// Adds `n` rows to the collecting node's input total, if collecting.
+fn note_rows_in(m: &mut Option<&mut PlanMetrics>, n: usize) {
+    if let Some(node) = m.as_deref_mut() {
+        node.rows_in += n as u64;
+    }
+}
+
+/// One operator node: times the subtree and records output shape when
+/// collecting, then dispatches to the untimed body. `m = None` is the
+/// zero-cost path — no timestamps, no counters.
+fn exec_node(
+    plan: &PhysPlan,
+    db: &Database,
+    store: Option<&Store>,
+    mode: BatchMode,
+    opts: &ExecOptions,
+    mut m: Option<&mut PlanMetrics>,
+) -> RelResult<EitherBatch> {
+    let start = m.as_ref().map(|_| Instant::now());
+    if let Some(n) = m.as_deref_mut() {
+        n.executed = true;
+        n.batches += 1;
+    }
+    let out = exec_node_inner(plan, db, store, mode, opts, m.as_deref_mut())?;
+    if let Some(n) = m {
+        n.rows_out = out.len() as u64;
+        n.coded = out.is_coded();
+        if let Some(s) = start {
+            n.elapsed_ns += s.elapsed().as_nanos() as u64;
+        }
+    }
+    Ok(out)
+}
+
+fn exec_node_inner(
+    plan: &PhysPlan,
+    db: &Database,
+    store: Option<&Store>,
+    mode: BatchMode,
+    opts: &ExecOptions,
+    mut m: Option<&mut PlanMetrics>,
+) -> RelResult<EitherBatch> {
     match plan {
         PhysPlan::Scan(name) => Ok(rows(Batch::from_relation(db.get_required(name)?))),
         PhysPlan::IndexScan(name) => index_scan(name, db, store, mode),
@@ -87,13 +165,15 @@ pub fn execute_opts(
             rel,
             reverse,
         } => {
-            let batch = execute_opts(input, db, store, mode, opts)?;
-            adjacency_expand(batch, *key, rel, *reverse, db, store, opts)
+            let batch = exec_node(input, db, store, mode, opts, child_m(&mut m, 0))?;
+            note_rows_in(&mut m, batch.len());
+            adjacency_expand(batch, *key, rel, *reverse, db, store, opts, m)
         }
         PhysPlan::Values(b) => Ok(rows(b.clone())),
         PhysPlan::AdomScan => Ok(rows(Batch::from_relation(&db.active_domain_relation()))),
         PhysPlan::Filter { cond, input } => {
-            let batch = execute_opts(input, db, store, mode, opts)?;
+            let batch = exec_node(input, db, store, mode, opts, child_m(&mut m, 0))?;
+            note_rows_in(&mut m, batch.len());
             match batch {
                 EitherBatch::Coded(cb) => {
                     let Some(store) = store else {
@@ -101,27 +181,32 @@ pub fn execute_opts(
                             context: "filtering a coded batch",
                         });
                     };
-                    Ok(EitherBatch::Coded(filter_coded(cond, cb, store, opts)?))
+                    Ok(EitherBatch::Coded(filter_coded(cond, cb, store, opts, m)?))
                 }
-                EitherBatch::Rows(b) => Ok(rows(filter(cond, b, opts)?)),
+                EitherBatch::Rows(b) => Ok(rows(filter(cond, b, opts, m)?)),
             }
         }
         PhysPlan::Project { positions, input } => {
-            let batch = execute_opts(input, db, store, mode, opts)?;
+            let batch = exec_node(input, db, store, mode, opts, child_m(&mut m, 0))?;
+            note_rows_in(&mut m, batch.len());
             match batch {
                 EitherBatch::Coded(cb) => {
-                    Ok(EitherBatch::Coded(project_coded(positions, &cb, opts)?))
+                    Ok(EitherBatch::Coded(project_coded(positions, &cb, opts, m)?))
                 }
-                EitherBatch::Rows(b) => Ok(rows(project(positions, &b, opts)?)),
+                EitherBatch::Rows(b) => Ok(rows(project(positions, &b, opts, m)?)),
             }
         }
         PhysPlan::HashJoin { left, right, keys } => {
-            let l = execute_opts(left, db, store, mode, opts)?;
-            let r = execute_opts(right, db, store, mode, opts)?;
+            let l = exec_node(left, db, store, mode, opts, child_m(&mut m, 0))?;
+            let r = exec_node(right, db, store, mode, opts, child_m(&mut m, 1))?;
+            note_rows_in(&mut m, l.len() + r.len());
+            if let Some(n) = m.as_deref_mut() {
+                n.build_rows = Some(r.len() as u64);
+            }
             match (l, r) {
                 // Both sides coded: join on code keys, stay coded.
                 (EitherBatch::Coded(l), EitherBatch::Coded(r)) => {
-                    Ok(EitherBatch::Coded(hash_join_coded(&l, &r, keys, opts)?))
+                    Ok(EitherBatch::Coded(hash_join_coded(&l, &r, keys, opts, m)?))
                 }
                 // Mixed: reconcile at this operator by decoding the
                 // coded side (always possible; the other direction —
@@ -132,12 +217,14 @@ pub fn execute_opts(
                     &r.decode(store)?,
                     keys,
                     opts,
+                    m,
                 )?)),
             }
         }
         PhysPlan::Product { left, right } => {
-            let l = execute_opts(left, db, store, mode, opts)?;
-            let r = execute_opts(right, db, store, mode, opts)?;
+            let l = exec_node(left, db, store, mode, opts, child_m(&mut m, 0))?;
+            let r = exec_node(right, db, store, mode, opts, child_m(&mut m, 1))?;
+            note_rows_in(&mut m, l.len() + r.len());
             match (l, r) {
                 (EitherBatch::Coded(l), EitherBatch::Coded(r)) => {
                     let mut out = CodedBatch::empty(l.arity() + r.arity());
@@ -161,8 +248,9 @@ pub fn execute_opts(
             }
         }
         PhysPlan::Union { left, right } => {
-            let l = execute_opts(left, db, store, mode, opts)?;
-            let r = execute_opts(right, db, store, mode, opts)?;
+            let l = exec_node(left, db, store, mode, opts, child_m(&mut m, 0))?;
+            let r = exec_node(right, db, store, mode, opts, child_m(&mut m, 1))?;
+            note_rows_in(&mut m, l.len() + r.len());
             check_same_arity("union", &l, &r)?;
             match (l, r) {
                 (EitherBatch::Coded(l), EitherBatch::Coded(r)) => {
@@ -180,13 +268,14 @@ pub fn execute_opts(
             }
         }
         PhysPlan::Diff { left, right } => {
-            let l = execute_opts(left, db, store, mode, opts)?;
-            let r = execute_opts(right, db, store, mode, opts)?;
+            let l = exec_node(left, db, store, mode, opts, child_m(&mut m, 0))?;
+            let r = exec_node(right, db, store, mode, opts, child_m(&mut m, 1))?;
+            note_rows_in(&mut m, l.len() + r.len());
             check_same_arity("difference", &l, &r)?;
             match (l, r) {
                 (EitherBatch::Coded(l), EitherBatch::Coded(r)) => {
                     let exclude: HashSet<&[u32]> = r.iter().collect();
-                    let parts = run_morsels(l.len(), opts.dop(l.len()), |range| {
+                    let parts = traced_morsels(m, l.len(), opts.dop(l.len()), |range| {
                         let mut part = CodedBatch::empty(l.arity());
                         for i in range {
                             let row = l.row(i);
@@ -212,10 +301,11 @@ pub fn execute_opts(
             }
         }
         PhysPlan::Distinct { input } => {
-            let batch = execute_opts(input, db, store, mode, opts)?;
+            let batch = exec_node(input, db, store, mode, opts, child_m(&mut m, 0))?;
+            note_rows_in(&mut m, batch.len());
             match batch {
-                EitherBatch::Coded(cb) => Ok(EitherBatch::Coded(distinct_coded(cb, opts)?)),
-                EitherBatch::Rows(b) => Ok(rows(distinct_rows(b, opts)?)),
+                EitherBatch::Coded(cb) => Ok(EitherBatch::Coded(distinct_coded(cb, opts, m)?)),
+                EitherBatch::Rows(b) => Ok(rows(distinct_rows(b, opts, m)?)),
             }
         }
         PhysPlan::Fixpoint {
@@ -224,7 +314,8 @@ pub fn execute_opts(
             join,
             project,
         } => {
-            let base = execute_opts(base, db, store, mode, opts)?;
+            let base = exec_node(base, db, store, mode, opts, child_m(&mut m, 0))?;
+            note_rows_in(&mut m, base.len());
             // The ψreach/TC shape over a CSR-indexed step relation runs
             // on the index (read through its delta overlay): no step
             // batch, no hash probes. Coded bases sweep and emit codes;
@@ -236,18 +327,21 @@ pub fn execute_opts(
                 {
                     if let Some(view) = store.adjacency(name) {
                         return match base {
-                            EitherBatch::Coded(cb) => {
-                                Ok(EitherBatch::Coded(csr_fixpoint_coded(cb, &view, opts)?))
+                            EitherBatch::Coded(cb) => Ok(EitherBatch::Coded(csr_fixpoint_coded(
+                                cb, &view, store, opts, m,
+                            )?)),
+                            EitherBatch::Rows(b) => {
+                                Ok(rows(csr_fixpoint(b, &view, store, opts, m)?))
                             }
-                            EitherBatch::Rows(b) => Ok(rows(csr_fixpoint(b, &view, store, opts)?)),
                         };
                     }
                 }
             }
-            let step = execute_opts(step, db, store, mode, opts)?;
+            let step = exec_node(step, db, store, mode, opts, child_m(&mut m, 1))?;
+            note_rows_in(&mut m, step.len());
             match (base, step) {
                 (EitherBatch::Coded(base), EitherBatch::Coded(step)) => Ok(EitherBatch::Coded(
-                    fixpoint_coded(base, &step, join, project, opts)?,
+                    fixpoint_coded(base, &step, join, project, opts, m)?,
                 )),
                 (base, step) => Ok(rows(fixpoint(
                     base.decode(store)?,
@@ -255,9 +349,56 @@ pub fn execute_opts(
                     join,
                     project,
                     opts,
+                    m,
                 )?)),
             }
         }
+    }
+}
+
+/// [`crate::parallel::run_morsels`], routed through the traced variant
+/// (recording degree of parallelism and per-worker morsel counts) when
+/// a metrics node is collecting.
+fn traced_morsels<T, F>(
+    m: Option<&mut PlanMetrics>,
+    len: usize,
+    dop: usize,
+    work: F,
+) -> RelResult<Vec<T>>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> RelResult<T> + Sync,
+{
+    match m {
+        Some(node) => {
+            node.dop = node.dop.max(dop);
+            let (out, claimed) = run_morsels_traced(len, dop, work)?;
+            node.record_workers(&claimed);
+            Ok(out)
+        }
+        None => run_morsels(len, dop, work),
+    }
+}
+
+/// [`crate::parallel::run_tasks`], traced like [`traced_morsels`].
+fn traced_tasks<T, F>(
+    m: Option<&mut PlanMetrics>,
+    count: usize,
+    dop: usize,
+    work: F,
+) -> RelResult<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> RelResult<T> + Sync,
+{
+    match m {
+        Some(node) => {
+            node.dop = node.dop.max(dop.min(count).max(1));
+            let (out, claimed) = run_tasks_traced(count, dop, work)?;
+            node.record_workers(&claimed);
+            Ok(out)
+        }
+        None => run_tasks(count, dop, work),
     }
 }
 
@@ -290,13 +431,20 @@ fn index_scan(
     mode: BatchMode,
 ) -> RelResult<EitherBatch> {
     if let Some((col, store)) = store.and_then(|s| s.relation(name).map(|c| (c, s))) {
-        return Ok(match mode {
+        let out = match mode {
             BatchMode::Coded => EitherBatch::Coded(CodedBatch::from_columnar(col)),
             BatchMode::Decoded => rows(Batch::from_rows(
                 col.arity(),
                 col.decode_rows(store.dict()),
             )?),
-        });
+        };
+        store.counters().record_index_scan_rows(out.len() as u64);
+        if mode == BatchMode::Decoded {
+            store
+                .counters()
+                .record_dict_decodes((out.len() * out.arity()) as u64);
+        }
+        return Ok(out);
     }
     if name.as_str() == pgq_store::ADOM_REL {
         return Ok(rows(Batch::from_relation(&db.active_domain_relation())));
@@ -309,6 +457,7 @@ fn index_scan(
 /// equivalent hash join against the stored relation. Input rows are
 /// swept in morsel-parallel — [`AdjacencyView`] is `Copy`, so every
 /// worker reads the frozen CSR and its delta overlay directly.
+#[allow(clippy::too_many_arguments)] // one operator body, called from one dispatch site
 fn adjacency_expand(
     input: EitherBatch,
     key: usize,
@@ -317,6 +466,7 @@ fn adjacency_expand(
     db: &Database,
     store: Option<&Store>,
     opts: &ExecOptions,
+    mut m: Option<&mut PlanMetrics>,
 ) -> RelResult<EitherBatch> {
     if key >= input.arity() {
         return Err(RelError::PositionOutOfRange {
@@ -332,11 +482,13 @@ fn adjacency_expand(
             &right,
             &[join_key],
             opts,
+            m,
         )?));
     };
+    store_ref.counters().record_adjacency_read(view.has_delta());
     match input {
         EitherBatch::Coded(cb) => {
-            let parts = run_morsels(cb.len(), opts.dop(cb.len()), |range| {
+            let parts = traced_morsels(m.as_deref_mut(), cb.len(), opts.dop(cb.len()), |range| {
                 let mut part = CodedBatch::empty(cb.arity() + 2);
                 let mut err = Ok(());
                 for i in range {
@@ -360,11 +512,15 @@ fn adjacency_expand(
                 err?;
                 Ok(part)
             })?;
-            Ok(EitherBatch::Coded(concat_coded(cb.arity() + 2, parts)?))
+            let out = concat_coded(cb.arity() + 2, parts)?;
+            store_ref
+                .counters()
+                .record_csr_neighbor_rows(out.len() as u64);
+            Ok(EitherBatch::Coded(out))
         }
         EitherBatch::Rows(b) => {
             let in_rows = b.rows();
-            let parts = run_morsels(in_rows.len(), opts.dop(in_rows.len()), |range| {
+            let parts = traced_morsels(m, in_rows.len(), opts.dop(in_rows.len()), |range| {
                 let mut part = Batch::empty(b.arity() + 2);
                 let mut err = Ok(());
                 for row in &in_rows[range] {
@@ -399,6 +555,10 @@ fn adjacency_expand(
                     out.push(t)?;
                 }
             }
+            let counters = store_ref.counters();
+            counters.record_csr_neighbor_rows(out.len() as u64);
+            // The decoded probe decodes one neighbor value per output row.
+            counters.record_dict_decodes(out.len() as u64);
             Ok(rows(out))
         }
     }
@@ -414,6 +574,7 @@ fn csr_fixpoint(
     view: &AdjacencyView<'_>,
     store: &Store,
     opts: &ExecOptions,
+    mut m: Option<&mut PlanMetrics>,
 ) -> RelResult<Batch> {
     // x value → (seed codes, un-interned seed values).
     let mut groups: Vec<(Value, Vec<u32>, Vec<Value>)> = Vec::new();
@@ -436,7 +597,10 @@ fn csr_fixpoint(
     }
     // One frontier sweep per source group, sharded across the workers;
     // group order is base order, so the merge is deterministic.
-    let parts = run_tasks(groups.len(), opts.threads, |gi| {
+    if let Some(n) = m.as_deref_mut() {
+        n.sweep_groups = Some(groups.len() as u64);
+    }
+    let parts = traced_tasks(m, groups.len(), opts.threads, |gi| {
         let (x, seeds, strays) = &groups[gi];
         let mut part: Vec<Tuple> = Vec::new();
         for c in view.reach_from(seeds.iter().copied()) {
@@ -452,6 +616,11 @@ fn csr_fixpoint(
     for t in parts.into_iter().flatten() {
         out.push(t)?;
     }
+    let counters = store.counters();
+    counters.record_csr_sweep_sources(groups.len() as u64);
+    counters.record_adjacency_read(view.has_delta());
+    // Each reached node decodes once on its way into the output pair.
+    counters.record_dict_decodes(out.len() as u64);
     Ok(out)
 }
 
@@ -463,7 +632,9 @@ fn csr_fixpoint(
 fn csr_fixpoint_coded(
     base: CodedBatch,
     view: &AdjacencyView<'_>,
+    store: &Store,
     opts: &ExecOptions,
+    mut m: Option<&mut PlanMetrics>,
 ) -> RelResult<CodedBatch> {
     // x code → seed codes.
     let mut groups: Vec<(u32, Vec<u32>)> = Vec::new();
@@ -477,7 +648,10 @@ fn csr_fixpoint_coded(
         groups[gi].1.push(row[1]);
     }
     // One sweep per source group, sharded across the workers.
-    let parts = run_tasks(groups.len(), opts.threads, |gi| {
+    if let Some(n) = m.as_deref_mut() {
+        n.sweep_groups = Some(groups.len() as u64);
+    }
+    let parts = traced_tasks(m, groups.len(), opts.threads, |gi| {
         let (x, seeds) = &groups[gi];
         let mut part = CodedBatch::empty(2);
         for c in view.reach_from(seeds.iter().copied()) {
@@ -485,6 +659,9 @@ fn csr_fixpoint_coded(
         }
         Ok(part)
     })?;
+    let counters = store.counters();
+    counters.record_csr_sweep_sources(groups.len() as u64);
+    counters.record_adjacency_read(view.has_delta());
     concat_coded(2, parts)
 }
 
@@ -511,12 +688,17 @@ fn validate_filter_positions(cond: &RowCondition, arity: usize) -> RelResult<()>
     Ok(())
 }
 
-fn filter(cond: &RowCondition, batch: Batch, opts: &ExecOptions) -> RelResult<Batch> {
+fn filter(
+    cond: &RowCondition,
+    batch: Batch,
+    opts: &ExecOptions,
+    m: Option<&mut PlanMetrics>,
+) -> RelResult<Batch> {
     validate_filter_positions(cond, batch.arity())?;
     let arity = batch.arity();
     let all = batch.into_rows();
     // Positions were validated against the arity above.
-    let parts = run_morsels(all.len(), opts.dop(all.len()), |range| {
+    let parts = traced_morsels(m, all.len(), opts.dop(all.len()), |range| {
         Ok(all[range]
             .iter()
             .filter(|t| cond.eval(t).unwrap_or(false))
@@ -531,11 +713,12 @@ fn filter_coded(
     batch: CodedBatch,
     store: &Store,
     opts: &ExecOptions,
+    m: Option<&mut PlanMetrics>,
 ) -> RelResult<CodedBatch> {
     validate_filter_positions(cond, batch.arity())?;
     let compiled = CodedCond::compile(cond, store);
     let dict = store.dict();
-    let parts = run_morsels(batch.len(), opts.dop(batch.len()), |range| {
+    let parts = traced_morsels(m, batch.len(), opts.dop(batch.len()), |range| {
         let mut part = CodedBatch::empty(batch.arity());
         for i in range {
             let row = batch.row(i);
@@ -557,13 +740,25 @@ fn validate_project_positions(positions: &[usize], arity: usize) -> RelResult<()
     Ok(())
 }
 
-fn project(positions: &[usize], batch: &Batch, opts: &ExecOptions) -> RelResult<Batch> {
+fn project(
+    positions: &[usize],
+    batch: &Batch,
+    opts: &ExecOptions,
+    m: Option<&mut PlanMetrics>,
+) -> RelResult<Batch> {
     validate_project_positions(positions, batch.arity())?;
+    let arity = batch.arity();
     let all = batch.rows();
-    let parts = run_morsels(all.len(), opts.dop(all.len()), |range| {
+    let parts = traced_morsels(m, all.len(), opts.dop(all.len()), |range| {
         let mut part: Vec<Tuple> = Vec::with_capacity(range.len());
         for t in &all[range] {
-            part.push(t.project(positions).expect("checked positions"));
+            // Positions were validated against the batch arity, but a
+            // failed projection still reports a typed error rather
+            // than trusting that invariant with a panic.
+            part.push(t.project(positions).ok_or(RelError::PositionOutOfRange {
+                position: positions.iter().copied().max().unwrap_or(0),
+                arity,
+            })?);
         }
         Ok(part)
     })?;
@@ -574,9 +769,10 @@ fn project_coded(
     positions: &[usize],
     batch: &CodedBatch,
     opts: &ExecOptions,
+    m: Option<&mut PlanMetrics>,
 ) -> RelResult<CodedBatch> {
     validate_project_positions(positions, batch.arity())?;
-    let parts = run_morsels(batch.len(), opts.dop(batch.len()), |range| {
+    let parts = traced_morsels(m, batch.len(), opts.dop(batch.len()), |range| {
         let mut part = CodedBatch::empty(positions.len());
         let mut scratch: Vec<u32> = Vec::with_capacity(positions.len());
         for i in range {
@@ -613,13 +809,14 @@ fn hash_join(
     r: &Batch,
     keys: &[(usize, usize)],
     opts: &ExecOptions,
+    m: Option<&mut PlanMetrics>,
 ) -> RelResult<Batch> {
     // Empty key set: the all-columns intersection (`PhysPlan::HashJoin`
     // docs) — keep left rows that occur on the right.
     if keys.is_empty() {
         check_arities("intersection", l.arity(), r.arity())?;
         let right: HashSet<&Tuple> = r.iter().collect();
-        let parts = run_morsels(l.len(), opts.dop(l.len()), |range| {
+        let parts = traced_morsels(m, l.len(), opts.dop(l.len()), |range| {
             Ok(l.rows()[range]
                 .iter()
                 .filter(|a| right.contains(*a))
@@ -634,7 +831,7 @@ fn hash_join(
     // `&HashIndex`.
     let right_positions: Vec<usize> = keys.iter().map(|&(_, j)| j).collect();
     let index = r.hash_index(&right_positions);
-    let parts = run_morsels(l.len(), opts.dop(l.len()), |range| {
+    let parts = traced_morsels(m, l.len(), opts.dop(l.len()), |range| {
         let mut part: Vec<Tuple> = Vec::new();
         for a in &l.rows()[range] {
             let key: Vec<&Value> = keys.iter().map(|&(i, _)| &a[i]).collect();
@@ -652,12 +849,13 @@ fn hash_join_coded(
     r: &CodedBatch,
     keys: &[(usize, usize)],
     opts: &ExecOptions,
+    mut m: Option<&mut PlanMetrics>,
 ) -> RelResult<CodedBatch> {
     // Empty key set: the all-columns intersection, on codes.
     if keys.is_empty() {
         check_arities("intersection", l.arity(), r.arity())?;
         let right: HashSet<&[u32]> = r.iter().collect();
-        let parts = run_morsels(l.len(), opts.dop(l.len()), |range| {
+        let parts = traced_morsels(m, l.len(), opts.dop(l.len()), |range| {
             let mut part = CodedBatch::empty(l.arity());
             for i in range {
                 let a = l.row(i);
@@ -693,6 +891,9 @@ fn hash_join_coded(
     // single-table sequential join.
     let pcount = partition_count(dop);
     let mask = pcount - 1;
+    if let Some(n) = m.as_deref_mut() {
+        n.partitions = Some(pcount as u64);
+    }
     let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); pcount];
     let mut rkey: Vec<u32> = Vec::with_capacity(keys.len());
     for i in 0..r.len() {
@@ -701,17 +902,18 @@ fn hash_join_coded(
         rkey.extend(right_positions.iter().map(|&p| row[p]));
         buckets[(hash_codes(&rkey) as usize) & mask].push(i);
     }
-    let tables: Vec<HashMap<Vec<u32>, Vec<usize>>> = run_tasks(pcount, dop, |p| {
-        let mut map: HashMap<Vec<u32>, Vec<usize>> = HashMap::with_capacity(buckets[p].len());
-        for &i in &buckets[p] {
-            let row = r.row(i);
-            let key: Vec<u32> = right_positions.iter().map(|&pos| row[pos]).collect();
-            map.entry(key).or_default().push(i);
-        }
-        Ok(map)
-    })?;
+    let tables: Vec<HashMap<Vec<u32>, Vec<usize>>> =
+        traced_tasks(m.as_deref_mut(), pcount, dop, |p| {
+            let mut map: HashMap<Vec<u32>, Vec<usize>> = HashMap::with_capacity(buckets[p].len());
+            for &i in &buckets[p] {
+                let row = r.row(i);
+                let key: Vec<u32> = right_positions.iter().map(|&pos| row[pos]).collect();
+                map.entry(key).or_default().push(i);
+            }
+            Ok(map)
+        })?;
     // Morsel-parallel probe, each row routed to its key's partition.
-    let parts = run_morsels(l.len(), dop, |range| {
+    let parts = traced_morsels(m, l.len(), dop, |range| {
         let mut part = CodedBatch::empty(l.arity() + r.arity());
         let mut key: Vec<u32> = Vec::with_capacity(keys.len());
         for i in range {
@@ -734,7 +936,11 @@ fn hash_join_coded(
 /// independently (identical rows share a partition), and the surviving
 /// global row indices merge by a sort — exactly the sequential
 /// first-occurrence order.
-fn distinct_rows(mut b: Batch, opts: &ExecOptions) -> RelResult<Batch> {
+fn distinct_rows(
+    mut b: Batch,
+    opts: &ExecOptions,
+    mut m: Option<&mut PlanMetrics>,
+) -> RelResult<Batch> {
     let dop = opts.dop(b.len());
     if dop == 1 {
         b.dedup();
@@ -742,7 +948,7 @@ fn distinct_rows(mut b: Batch, opts: &ExecOptions) -> RelResult<Batch> {
     }
     use std::hash::{Hash, Hasher};
     let all = b.rows();
-    let hashed = run_morsels(all.len(), dop, |range| {
+    let hashed = traced_morsels(m.as_deref_mut(), all.len(), dop, |range| {
         Ok(all[range]
             .iter()
             .map(|t| {
@@ -755,11 +961,14 @@ fn distinct_rows(mut b: Batch, opts: &ExecOptions) -> RelResult<Batch> {
     let hashes: Vec<u64> = hashed.concat();
     let pcount = partition_count(dop);
     let mask = pcount - 1;
+    if let Some(n) = m.as_deref_mut() {
+        n.partitions = Some(pcount as u64);
+    }
     let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); pcount];
     for (i, &h) in hashes.iter().enumerate() {
         buckets[(h as usize) & mask].push(i);
     }
-    let survivors = run_tasks(pcount, dop, |p| {
+    let survivors = traced_tasks(m, pcount, dop, |p| {
         let mut seen: HashSet<&Tuple> = HashSet::with_capacity(buckets[p].len());
         Ok(buckets[p]
             .iter()
@@ -775,23 +984,30 @@ fn distinct_rows(mut b: Batch, opts: &ExecOptions) -> RelResult<Batch> {
 
 /// The coded `Distinct`, same partition-dedup-merge structure on `u32`
 /// rows with the deterministic [`hash_codes`] radix function.
-fn distinct_coded(mut cb: CodedBatch, opts: &ExecOptions) -> RelResult<CodedBatch> {
+fn distinct_coded(
+    mut cb: CodedBatch,
+    opts: &ExecOptions,
+    mut m: Option<&mut PlanMetrics>,
+) -> RelResult<CodedBatch> {
     let dop = opts.dop(cb.len());
     if dop == 1 {
         cb.dedup();
         return Ok(cb);
     }
-    let hashed = run_morsels(cb.len(), dop, |range| {
+    let hashed = traced_morsels(m.as_deref_mut(), cb.len(), dop, |range| {
         Ok(range.map(|i| hash_codes(cb.row(i))).collect::<Vec<u64>>())
     })?;
     let hashes: Vec<u64> = hashed.concat();
     let pcount = partition_count(dop);
     let mask = pcount - 1;
+    if let Some(n) = m.as_deref_mut() {
+        n.partitions = Some(pcount as u64);
+    }
     let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); pcount];
     for (i, &h) in hashes.iter().enumerate() {
         buckets[(h as usize) & mask].push(i);
     }
-    let survivors = run_tasks(pcount, dop, |p| {
+    let survivors = traced_tasks(m, pcount, dop, |p| {
         let mut seen: HashSet<&[u32]> = HashSet::with_capacity(buckets[p].len());
         Ok(buckets[p]
             .iter()
@@ -847,6 +1063,7 @@ pub(crate) fn fixpoint(
     join: &[(usize, usize)],
     project: &[usize],
     opts: &ExecOptions,
+    mut m: Option<&mut PlanMetrics>,
 ) -> RelResult<Batch> {
     let arity = base.arity();
     validate_fixpoint_shape(join, project, arity, step.arity())?;
@@ -862,31 +1079,53 @@ pub(crate) fn fixpoint(
         }
     }
 
+    // Positions were validated by `validate_fixpoint_shape`, but a
+    // failed projection still reports a typed error, never a panic.
+    let wide_arity = arity + step.arity();
+    let grow = |wide: &Tuple| {
+        wide.project(project).ok_or(RelError::PositionOutOfRange {
+            position: project.iter().copied().max().unwrap_or(0),
+            arity: wide_arity,
+        })
+    };
+
+    let mut iterations: usize = 0;
     while !delta.is_empty() {
+        check_iteration_budget(&mut iterations, opts)?;
+        if let Some(n) = m.as_deref_mut() {
+            n.iterations
+                .get_or_insert_with(Vec::new)
+                .push(delta.len() as u64);
+        }
         let mut next: Vec<Tuple> = Vec::new();
         if opts.dop(delta.len()) == 1 {
             for acc in &delta {
                 let key: Vec<&Value> = join.iter().map(|&(i, _)| &acc[i]).collect();
                 for &si in index.probe(&key) {
                     let wide = acc.concat(&step.rows()[si]);
-                    let grown = wide.project(project).expect("checked positions");
+                    let grown = grow(&wide)?;
                     if known.insert(grown.clone()) {
                         next.push(grown);
                     }
                 }
             }
         } else {
-            let parts = run_morsels(delta.len(), opts.dop(delta.len()), |range| {
-                let mut cand: Vec<Tuple> = Vec::new();
-                for acc in &delta[range] {
-                    let key: Vec<&Value> = join.iter().map(|&(i, _)| &acc[i]).collect();
-                    for &si in index.probe(&key) {
-                        let wide = acc.concat(&step.rows()[si]);
-                        cand.push(wide.project(project).expect("checked positions"));
+            let parts = traced_morsels(
+                m.as_deref_mut(),
+                delta.len(),
+                opts.dop(delta.len()),
+                |range| {
+                    let mut cand: Vec<Tuple> = Vec::new();
+                    for acc in &delta[range] {
+                        let key: Vec<&Value> = join.iter().map(|&(i, _)| &acc[i]).collect();
+                        for &si in index.probe(&key) {
+                            let wide = acc.concat(&step.rows()[si]);
+                            cand.push(grow(&wide)?);
+                        }
                     }
-                }
-                Ok(cand)
-            })?;
+                    Ok(cand)
+                },
+            )?;
             for grown in parts.into_iter().flatten() {
                 if known.insert(grown.clone()) {
                     next.push(grown);
@@ -899,6 +1138,22 @@ pub(crate) fn fixpoint(
     Batch::from_rows(arity, known)
 }
 
+/// The `max_fixpoint_iters` safety valve: counts the round about to
+/// start and fails with a typed [`RelError::IterationLimit`] once the
+/// budget is exhausted.
+fn check_iteration_budget(iterations: &mut usize, opts: &ExecOptions) -> RelResult<()> {
+    *iterations += 1;
+    if let Some(limit) = opts.max_fixpoint_iters {
+        if *iterations > limit {
+            return Err(RelError::IterationLimit {
+                limit,
+                iterations: *iterations,
+            });
+        }
+    }
+    Ok(())
+}
+
 /// The coded semi-naive fixpoint: identical round structure, but the
 /// accumulator dedup set, join keys and projections are all `u32` rows
 /// — the per-derivation work the data-complexity argument counts is a
@@ -909,6 +1164,7 @@ fn fixpoint_coded(
     join: &[(usize, usize)],
     project: &[usize],
     opts: &ExecOptions,
+    mut m: Option<&mut PlanMetrics>,
 ) -> RelResult<CodedBatch> {
     let arity = base.arity();
     validate_fixpoint_shape(join, project, arity, step.arity())?;
@@ -926,7 +1182,14 @@ fn fixpoint_coded(
 
     let mut key: Vec<u32> = Vec::with_capacity(join.len());
     let mut wide: Vec<u32> = Vec::with_capacity(arity + step.arity());
+    let mut iterations: usize = 0;
     while !delta.is_empty() {
+        check_iteration_budget(&mut iterations, opts)?;
+        if let Some(n) = m.as_deref_mut() {
+            n.iterations
+                .get_or_insert_with(Vec::new)
+                .push(delta.len() as u64);
+        }
         let mut next: Vec<Vec<u32>> = Vec::new();
         if opts.dop(delta.len()) == 1 {
             for acc in &delta {
@@ -946,22 +1209,27 @@ fn fixpoint_coded(
             // Parallel Δ expansion; the accumulator insert stays
             // sequential in morsel order, so each round's contents
             // equal the sequential round's.
-            let parts = run_morsels(delta.len(), opts.dop(delta.len()), |range| {
-                let mut cand: Vec<Vec<u32>> = Vec::new();
-                let mut key: Vec<u32> = Vec::with_capacity(join.len());
-                let mut wide: Vec<u32> = Vec::with_capacity(arity + step.arity());
-                for acc in &delta[range] {
-                    key.clear();
-                    key.extend(join.iter().map(|&(i, _)| acc[i]));
-                    for &si in index.probe(&key) {
-                        wide.clear();
-                        wide.extend_from_slice(acc);
-                        wide.extend_from_slice(step.row(si));
-                        cand.push(project.iter().map(|&p| wide[p]).collect());
+            let parts = traced_morsels(
+                m.as_deref_mut(),
+                delta.len(),
+                opts.dop(delta.len()),
+                |range| {
+                    let mut cand: Vec<Vec<u32>> = Vec::new();
+                    let mut key: Vec<u32> = Vec::with_capacity(join.len());
+                    let mut wide: Vec<u32> = Vec::with_capacity(arity + step.arity());
+                    for acc in &delta[range] {
+                        key.clear();
+                        key.extend(join.iter().map(|&(i, _)| acc[i]));
+                        for &si in index.probe(&key) {
+                            wide.clear();
+                            wide.extend_from_slice(acc);
+                            wide.extend_from_slice(step.row(si));
+                            cand.push(project.iter().map(|&p| wide[p]).collect());
+                        }
                     }
-                }
-                Ok(cand)
-            })?;
+                    Ok(cand)
+                },
+            )?;
             for grown in parts.into_iter().flatten() {
                 if known.insert(grown.clone()) {
                     next.push(grown);
@@ -1355,5 +1623,64 @@ mod tests {
             reverse: false,
         };
         assert!(execute_mode(&bad, &d, Some(&store), BatchMode::Coded).is_err());
+    }
+
+    /// Out-of-range positions surface as typed errors — never a panic —
+    /// on every operator that projects or joins by position.
+    #[test]
+    fn bad_positions_error_typed_not_panic() {
+        let d = db();
+        let plans = [
+            PhysPlan::Scan("R".into()).project(vec![9]),
+            PhysPlan::Scan("R".into()).filter(RowCondition::col_eq(0, 9)),
+            PhysPlan::Scan("R".into()).hash_join(PhysPlan::Scan("S".into()), vec![(9, 0)]),
+            PhysPlan::Scan("R".into()).hash_join(PhysPlan::Scan("S".into()), vec![(0, 9)]),
+            PhysPlan::Fixpoint {
+                base: Box::new(PhysPlan::Scan("E".into())),
+                step: Box::new(PhysPlan::Scan("E".into())),
+                join: vec![(1, 0)],
+                project: vec![0, 9],
+            },
+        ];
+        for plan in &plans {
+            assert!(
+                matches!(execute(plan, &d), Err(RelError::PositionOutOfRange { .. })),
+                "{plan}"
+            );
+        }
+    }
+
+    /// `max_fixpoint_iters` converts a too-deep closure into a typed
+    /// [`RelError::IterationLimit`] carrying the iteration count, on
+    /// both the sequential and the parallel executor.
+    #[test]
+    fn fixpoint_iteration_limit_errors_typed() {
+        let mut d = Database::new();
+        for (s, t) in [(0i64, 1i64), (1, 2), (2, 0)] {
+            d.insert("C", tuple![s, t]).unwrap();
+        }
+        let edges = PhysPlan::Scan("C".into());
+        let tc = PhysPlan::Fixpoint {
+            base: Box::new(edges.clone()),
+            step: Box::new(edges),
+            join: vec![(1, 0)],
+            project: vec![0, 3],
+        };
+        for threads in [1, 4] {
+            let mut opts = ExecOptions::with_threads(threads);
+            opts.max_fixpoint_iters = Some(1);
+            let err = execute_opts(&tc, &d, None, BatchMode::Decoded, &opts).unwrap_err();
+            match err {
+                RelError::IterationLimit { limit, iterations } => {
+                    assert_eq!(limit, 1);
+                    assert!(iterations > limit);
+                }
+                other => panic!("expected IterationLimit, got {other}"),
+            }
+            // An adequate budget completes normally with identical rows.
+            opts.max_fixpoint_iters = Some(8);
+            let out = execute_opts(&tc, &d, None, BatchMode::Decoded, &opts).unwrap();
+            assert_eq!(out.into_relation(None).unwrap().len(), 9);
+        }
     }
 }

@@ -50,18 +50,20 @@
 pub mod batch;
 pub mod coded;
 pub mod exec;
+pub mod metrics;
 pub mod parallel;
 pub mod plan;
 pub mod planner;
 
 pub use batch::Batch;
 pub use coded::{BatchMode, CodedBatch, CodedCond, EitherBatch};
-pub use exec::{execute, execute_mode, execute_opts, execute_with};
+pub use exec::{execute, execute_mode, execute_opts, execute_profiled, execute_with};
+pub use metrics::{JsonWriter, PlanMetrics, QueryProfile};
 pub use parallel::ExecOptions;
 pub use plan::PhysPlan;
 pub use planner::{
-    eval_ra, eval_ra_mode, eval_ra_opts, eval_ra_with, intersect_plan, lower_ra, optimize_plan,
-    plan_ra, store_plan,
+    eval_ra, eval_ra_mode, eval_ra_opts, eval_ra_profiled, eval_ra_with, intersect_plan, lower_ra,
+    optimize_plan, plan_ra, store_plan,
 };
 
 use pgq_relational::{RelError, RelResult};
@@ -96,17 +98,54 @@ pub fn transitive_closure_opts(
             found: edges.arity(),
         });
     }
-    // acc.t̄ = step.s̄ and acc.p̄ = step.p̄ …
-    let mut join: Vec<(usize, usize)> = (0..k).map(|i| (k + i, i)).collect();
-    join.extend((0..params).map(|i| (2 * k + i, 2 * k + i)));
-    // … emit (acc.s̄, step.t̄, p̄).
-    let mut project: Vec<usize> = (0..k).collect();
-    project.extend(arity + k..arity + 2 * k);
-    project.extend(arity + 2 * k..arity + 2 * k + params);
+    let (join, project) = closure_shape(k, params);
     // Drive the executor's fixpoint directly — this is the closure hot
     // path, and staging the edges through `Values` nodes would copy the
     // batch on every clone.
-    exec::fixpoint(edges.clone(), &edges, &join, &project, opts)
+    exec::fixpoint(edges.clone(), &edges, &join, &project, opts, None)
+}
+
+/// The join/project vectors of the flattened-closure fixpoint:
+/// acc.t̄ = step.s̄ and acc.p̄ = step.p̄, emitting (acc.s̄, step.t̄, p̄).
+fn closure_shape(k: usize, params: usize) -> (Vec<(usize, usize)>, Vec<usize>) {
+    let arity = 2 * k + params;
+    let mut join: Vec<(usize, usize)> = (0..k).map(|i| (k + i, i)).collect();
+    join.extend((0..params).map(|i| (2 * k + i, 2 * k + i)));
+    let mut project: Vec<usize> = (0..k).collect();
+    project.extend(arity + k..arity + 2 * k);
+    project.extend(arity + 2 * k..arity + 2 * k + params);
+    (join, project)
+}
+
+/// [`transitive_closure_opts`], additionally returning a
+/// [`PlanMetrics`] node recording the semi-naive iteration count and
+/// per-iteration Δ-frontier sizes — the profiled route `pgq-core`'s
+/// `EXPLAIN ANALYZE` takes when a pattern lowers onto the closure
+/// directly instead of through a [`PhysPlan::Fixpoint`].
+pub fn transitive_closure_profiled(
+    edges: Batch,
+    k: usize,
+    params: usize,
+    opts: &ExecOptions,
+) -> RelResult<(Batch, PlanMetrics)> {
+    let arity = 2 * k + params;
+    if edges.arity() != arity {
+        return Err(RelError::ArityMismatch {
+            context: "transitive closure step relation",
+            expected: arity,
+            found: edges.arity(),
+        });
+    }
+    let (join, project) = closure_shape(k, params);
+    let mut m = PlanMetrics::leaf(format!("Fixpoint [semi-naive closure; k={k}]"));
+    m.executed = true;
+    m.rows_in = edges.len() as u64;
+    let start = std::time::Instant::now();
+    let out = exec::fixpoint(edges.clone(), &edges, &join, &project, opts, Some(&mut m))?;
+    m.elapsed_ns = start.elapsed().as_nanos() as u64;
+    m.rows_out = out.len() as u64;
+    m.batches = 1;
+    Ok((out, m))
 }
 
 #[cfg(test)]

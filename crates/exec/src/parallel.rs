@@ -35,12 +35,27 @@ pub struct ExecOptions {
     /// Worker threads per parallel operator; `1` means sequential
     /// execution on the calling thread.
     pub threads: usize,
+    /// Collect per-operator runtime metrics ([`crate::metrics`]) while
+    /// executing. Off by default: the metrics-free path takes no
+    /// timestamps and allocates no counters, so turning this off is
+    /// genuinely zero-cost.
+    pub collect_metrics: bool,
+    /// Upper bound on semi-naive fixpoint iterations; `None` (the
+    /// default) means unlimited. When a fixpoint would start iteration
+    /// `limit + 1`, execution stops with
+    /// [`pgq_relational::RelError::IterationLimit`] instead of looping
+    /// silently on pathological inputs.
+    pub max_fixpoint_iters: Option<usize>,
 }
 
 impl ExecOptions {
     /// Strictly sequential execution — the PR 4 behavior.
     pub fn sequential() -> Self {
-        ExecOptions { threads: 1 }
+        ExecOptions {
+            threads: 1,
+            collect_metrics: false,
+            max_fixpoint_iters: None,
+        }
     }
 
     /// Execution on `threads` workers (`0` means [`ExecOptions::auto`]).
@@ -48,7 +63,28 @@ impl ExecOptions {
         if threads == 0 {
             ExecOptions::auto()
         } else {
-            ExecOptions { threads }
+            ExecOptions {
+                threads,
+                collect_metrics: false,
+                max_fixpoint_iters: None,
+            }
+        }
+    }
+
+    /// The same options with metrics collection switched on or off.
+    pub fn with_metrics(self, collect: bool) -> Self {
+        ExecOptions {
+            collect_metrics: collect,
+            ..self
+        }
+    }
+
+    /// The same options with a fixpoint iteration budget (`None` for
+    /// unlimited — the default).
+    pub fn with_max_fixpoint_iters(self, limit: Option<usize>) -> Self {
+        ExecOptions {
+            max_fixpoint_iters: limit,
+            ..self
         }
     }
 
@@ -68,7 +104,11 @@ impl ExecOptions {
                     .unwrap_or(1)
                     .min(8)
             });
-        ExecOptions { threads }
+        ExecOptions {
+            threads,
+            collect_metrics: false,
+            max_fixpoint_iters: None,
+        }
     }
 
     /// The degree of parallelism an operator over `rows` input rows
@@ -105,8 +145,42 @@ where
     T: Send,
     F: Fn(usize) -> RelResult<T> + Sync,
 {
+    run_tasks_inner(count, threads, work, None)
+}
+
+/// [`run_tasks`], additionally reporting how many tasks each worker
+/// slot claimed (the scheduler-utilization half of the metrics layer).
+/// The counts describe *scheduling*, not results — they vary run to
+/// run and are rendered only in the timing section of a profile.
+pub(crate) fn run_tasks_traced<T, F>(
+    count: usize,
+    threads: usize,
+    work: F,
+) -> RelResult<(Vec<T>, Vec<u64>)>
+where
+    T: Send,
+    F: Fn(usize) -> RelResult<T> + Sync,
+{
+    let mut claimed: Vec<u64> = Vec::new();
+    let out = run_tasks_inner(count, threads, work, Some(&mut claimed))?;
+    Ok((out, claimed))
+}
+
+fn run_tasks_inner<T, F>(
+    count: usize,
+    threads: usize,
+    work: F,
+    claimed: Option<&mut Vec<u64>>,
+) -> RelResult<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> RelResult<T> + Sync,
+{
     let threads = threads.min(count).max(1);
     if threads == 1 {
+        if let Some(c) = claimed {
+            *c = vec![count as u64];
+        }
         return (0..count).map(&work).collect();
     }
     let next = AtomicUsize::new(0);
@@ -126,16 +200,20 @@ where
         }
         mine
     };
-    let produced: Vec<(usize, RelResult<T>)> = std::thread::scope(|s| {
+    let per_worker: Vec<Vec<(usize, RelResult<T>)>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads).map(|i| s.spawn(move || worker(i))).collect();
         handles
             .into_iter()
-            .flat_map(|h| match h.join() {
+            .map(|h| match h.join() {
                 Ok(v) => v,
                 Err(payload) => std::panic::resume_unwind(payload),
             })
             .collect()
     });
+    if let Some(c) = claimed {
+        *c = per_worker.iter().map(|v| v.len() as u64).collect();
+    }
+    let produced = per_worker.into_iter().flatten();
     let mut slots: Vec<Option<RelResult<T>>> = (0..count).map(|_| None).collect();
     for (i, r) in produced {
         slots[i] = Some(r);
@@ -163,6 +241,21 @@ where
 {
     let morsels = morsel_ranges(len);
     run_tasks(morsels.len(), threads, |i| work(morsels[i].clone()))
+}
+
+/// [`run_morsels`], additionally reporting per-worker morsel counts
+/// (see [`run_tasks_traced`]).
+pub(crate) fn run_morsels_traced<T, F>(
+    len: usize,
+    threads: usize,
+    work: F,
+) -> RelResult<(Vec<T>, Vec<u64>)>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> RelResult<T> + Sync,
+{
+    let morsels = morsel_ranges(len);
+    run_tasks_traced(morsels.len(), threads, |i| work(morsels[i].clone()))
 }
 
 /// A deterministic hash of a coded key — FNV-1a over the key codes.
@@ -248,6 +341,31 @@ mod tests {
         assert_eq!(ExecOptions::sequential().dop(100 * MORSEL_ROWS), 1);
         assert!(ExecOptions::with_threads(0).threads >= 1);
         assert!(ExecOptions::default().threads >= 1);
+    }
+
+    #[test]
+    fn traced_tasks_report_every_claim_exactly_once() {
+        for threads in [1, 2, 8] {
+            let (out, claimed) = run_tasks_traced(10, threads, |i| Ok(i * i)).unwrap();
+            assert_eq!(out, (0..10).map(|i| i * i).collect::<Vec<_>>());
+            assert_eq!(claimed.iter().sum::<u64>(), 10, "threads = {threads}");
+        }
+        let len = 3 * MORSEL_ROWS + 17;
+        let (ranges, claimed) = run_morsels_traced(len, 4, Ok).unwrap();
+        assert_eq!(ranges.iter().map(std::ops::Range::len).sum::<usize>(), len);
+        assert_eq!(claimed.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn option_builders_preserve_the_other_knobs() {
+        let opts = ExecOptions::with_threads(4)
+            .with_metrics(true)
+            .with_max_fixpoint_iters(Some(7));
+        assert_eq!(opts.threads, 4);
+        assert!(opts.collect_metrics);
+        assert_eq!(opts.max_fixpoint_iters, Some(7));
+        assert!(!ExecOptions::sequential().collect_metrics);
+        assert_eq!(ExecOptions::default().max_fixpoint_iters, None);
     }
 
     #[test]

@@ -524,7 +524,7 @@ impl PhysPlan {
         }
     }
 
-    fn node_label(&self) -> String {
+    pub(crate) fn node_label(&self) -> String {
         match self {
             PhysPlan::Scan(name) => format!("Scan {name}"),
             PhysPlan::IndexScan(name) => format!("IndexScan {name} [columnar]"),
@@ -570,7 +570,7 @@ impl PhysPlan {
         }
     }
 
-    fn children(&self) -> Vec<&PhysPlan> {
+    pub(crate) fn children(&self) -> Vec<&PhysPlan> {
         match self {
             PhysPlan::Scan(_)
             | PhysPlan::IndexScan(_)

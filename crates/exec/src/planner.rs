@@ -84,6 +84,30 @@ pub fn eval_ra_opts(
     execute_opts(&plan, db, Some(store), mode, opts)?.into_relation(Some(store))
 }
 
+/// [`eval_ra_opts`], additionally returning the per-operator
+/// [`crate::metrics::QueryProfile`] — plan the expression, execute it
+/// instrumented, and wrap the metrics tree with the set-semantics
+/// cardinality measured at the decode boundary.
+pub fn eval_ra_profiled(
+    expr: &RaExpr,
+    db: &Database,
+    store: &Store,
+    mode: BatchMode,
+    opts: &ExecOptions,
+) -> RelResult<(Relation, crate::metrics::QueryProfile)> {
+    let plan = store_plan(plan_for_instance(expr, db)?, store);
+    let start = std::time::Instant::now();
+    let (batch, root) = crate::execute_profiled(&plan, db, Some(store), mode, opts)?;
+    let rel = batch.into_relation(Some(store))?;
+    let profile = crate::metrics::QueryProfile {
+        rows: rel.len() as u64,
+        threads: opts.threads,
+        elapsed_ns: start.elapsed().as_nanos() as u64,
+        root,
+    };
+    Ok((rel, profile))
+}
+
 /// Lowers and optimizes an expression under a schema.
 pub fn plan_ra(expr: &RaExpr, schema: &Schema) -> RelResult<PhysPlan> {
     optimize_plan(lower_ra(expr), schema)

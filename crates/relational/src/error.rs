@@ -54,6 +54,17 @@ pub enum RelError {
         /// What was being decoded.
         context: &'static str,
     },
+    /// A fixpoint exceeded the configured iteration budget
+    /// (`ExecOptions::max_fixpoint_iters`) — the safety valve against
+    /// pathological inputs that would otherwise loop for a very long
+    /// time before converging.
+    IterationLimit {
+        /// The configured iteration budget that was exhausted.
+        limit: usize,
+        /// Iterations actually performed before giving up (always
+        /// `limit + 1`: the first round past the budget trips it).
+        iterations: usize,
+    },
 }
 
 impl fmt::Display for RelError {
@@ -89,6 +100,12 @@ impl fmt::Display for RelError {
                 write!(
                     f,
                     "code {code} not in the dictionary while decoding {context}"
+                )
+            }
+            RelError::IterationLimit { limit, iterations } => {
+                write!(
+                    f,
+                    "fixpoint exceeded max_fixpoint_iters = {limit} (stopped after {iterations} iterations)"
                 )
             }
         }
@@ -134,5 +151,11 @@ mod tests {
             context: "coded batch",
         };
         assert!(e.to_string().contains("41"));
+        let e = RelError::IterationLimit {
+            limit: 4,
+            iterations: 5,
+        };
+        assert!(e.to_string().contains("max_fixpoint_iters = 4"));
+        assert!(e.to_string().contains("5 iterations"));
     }
 }

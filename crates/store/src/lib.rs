@@ -76,6 +76,6 @@ pub use column::ColumnarRelation;
 pub use csr::{AdjacencyView, Csr, CsrIndex, DeltaAdjacency};
 pub use dict::Dictionary;
 pub use store::{
-    CompactionStats, GraphEntry, GraphForm, GraphStats, RelationStats, Store, StoreError,
-    StoreStats, ADOM_REL,
+    AccessCounters, AccessSnapshot, CompactionStats, GraphEntry, GraphForm, GraphStats,
+    RelationStats, Store, StoreError, StoreStats, ADOM_REL,
 };

@@ -21,9 +21,21 @@
 //!   line reports them (the per-operator `⟨delta⟩` markers
 //!   `PhysPlan::display_with` emits appear when explaining against a
 //!   long-lived library store);
+//! * `EXPLAIN ANALYZE SELECT …;` — *runs* the query with per-operator
+//!   metrics collection on and prints the annotated profile tree
+//!   instead of the rows: rows in/out, wall time and degree of
+//!   parallelism per operator, hash-join build sizes, fixpoint
+//!   iteration counts with per-round Δ-frontier sizes, per-worker
+//!   morsel counts. The non-timing fields are byte-identical at every
+//!   `SET THREADS` value;
 //! * `STATS;` — prints the session store's storage layout: dictionary
 //!   residency (codes minted / live / stale), overlay sizes, tombstone
-//!   counts, and the effect of the last compaction;
+//!   counts, and the effect of the last compaction. `STATS JSON;`
+//!   emits the same report as JSON;
+//! * `METRICS;` — prints session-cumulative store access counters
+//!   (IndexScan rows served, CSR neighbor/sweep reads,
+//!   overlay-vs-dense adjacency reads, dictionary decodes).
+//!   `METRICS JSON;` emits JSON; `METRICS RESET;` zeroes them;
 //! * `COMPACT;` — folds every overlay and rebuilds the dictionary
 //!   retaining live codes (`Store::compact`), reporting what was
 //!   reclaimed;
@@ -75,6 +87,14 @@ EXPLAIN SELECT * FROM GRAPH_TABLE (Transfers
   MATCH (x) -[t:Transfer]->+ (y)
   WHERE t.amount > 100
   RETURN (x.iban, y.iban));
+EXPLAIN ANALYZE SELECT * FROM GRAPH_TABLE (Transfers
+  MATCH (x) -[t:Transfer]->+ (y)
+  WHERE t.amount > 100
+  RETURN (x.iban, y.iban));
+SELECT * FROM GRAPH_TABLE (Transfers
+  MATCH (x) -[t]->+ (y)
+  RETURN (x.iban, y.iban));
+METRICS;
 COMPACT;
 STATS;
 "#;
@@ -94,6 +114,10 @@ fn main() {
     let mut store: Option<Store> = None;
     // `SET THREADS n;` — 0 means the environment default.
     let mut threads: usize = 0;
+    // Session-cumulative store access counters: each GRAPH_TABLE query
+    // runs on a short-lived scratch store whose counters are absorbed
+    // here, so `METRICS;` reports totals across the whole session.
+    let session_counters = sqlpgq::store::AccessCounters::default();
 
     // Split on `;` at the top level and route mutations to the shell's
     // own handler; everything else goes through the real parser.
@@ -110,15 +134,45 @@ fn main() {
             }
             continue;
         }
-        if stmt.eq_ignore_ascii_case("STATS") {
+        if upper == "STATS" || upper.starts_with("STATS ") {
+            let arg = stmt["STATS".len()..].trim();
+            if !arg.is_empty() && !arg.eq_ignore_ascii_case("JSON") {
+                println!("!! STATS takes no argument or JSON");
+                continue;
+            }
             match ensure_store(&mut store, &session, &db) {
                 Ok(store) => {
-                    println!("-- store layout");
-                    for line in store.stats().to_string().lines() {
-                        println!("   {line}");
+                    if arg.is_empty() {
+                        println!("-- store layout");
+                        for line in store.stats().to_string().lines() {
+                            println!("   {line}");
+                        }
+                    } else {
+                        println!("{}", stats_json(&store.stats()));
                     }
                 }
                 Err(e) => println!("!! {e}"),
+            }
+            continue;
+        }
+        if upper == "METRICS" || upper.starts_with("METRICS ") {
+            let arg = stmt["METRICS".len()..].trim();
+            if arg.eq_ignore_ascii_case("RESET") {
+                session_counters.reset();
+                println!("-- store access counters reset");
+            } else if arg.eq_ignore_ascii_case("JSON") {
+                println!("{}", metrics_json(&session_counters.snapshot()));
+            } else if arg.is_empty() {
+                let text = session_counters.snapshot().to_string();
+                let mut lines = text.lines();
+                if let Some(head) = lines.next() {
+                    println!("-- {head}");
+                }
+                for line in lines {
+                    println!("   {line}");
+                }
+            } else {
+                println!("!! METRICS takes no argument, JSON, or RESET");
             }
             continue;
         }
@@ -141,7 +195,19 @@ fn main() {
             }
             continue;
         }
-        if let Some(inner) = strip_explain(stmt) {
+        if let Some((inner, analyze)) = strip_explain(stmt) {
+            if analyze {
+                match explain_analyze(&session, &db, threads, &session_counters, inner) {
+                    Ok(text) => {
+                        println!("-- query profile");
+                        for line in text.lines() {
+                            println!("   {line}");
+                        }
+                    }
+                    Err(e) => println!("!! {e}"),
+                }
+                continue;
+            }
             match explain(&session, &db, store.as_ref(), threads, inner) {
                 Ok(text) => {
                     println!("-- physical plan");
@@ -154,7 +220,7 @@ fn main() {
             continue;
         }
         if upper.starts_with("SELECT") {
-            match graph_select(&session, &db, threads, stmt) {
+            match graph_select(&session, &db, threads, &session_counters, stmt) {
                 Ok(rows) => {
                     println!("-- {} row(s)", rows.len());
                     for row in rows.iter() {
@@ -185,14 +251,24 @@ fn main() {
     }
 }
 
-/// `EXPLAIN <statement>` → the inner statement, `None` otherwise (the
-/// keyword must be a whole word — `EXPLAINED_VIEW …` is not EXPLAIN).
-fn strip_explain(stmt: &str) -> Option<&str> {
-    const KW: &str = "EXPLAIN";
-    if stmt.len() <= KW.len() || !stmt[..KW.len()].eq_ignore_ascii_case(KW) {
+/// `EXPLAIN [ANALYZE] <statement>` → the inner statement plus whether
+/// ANALYZE was given, `None` otherwise (each keyword must be a whole
+/// word — `EXPLAINED_VIEW …` is not EXPLAIN).
+fn strip_explain(stmt: &str) -> Option<(&str, bool)> {
+    let rest = strip_keyword(stmt, "EXPLAIN")?;
+    if let Some(inner) = strip_keyword(rest, "ANALYZE") {
+        return Some((inner, true));
+    }
+    Some((rest, false))
+}
+
+/// Strips a leading case-insensitive whole-word keyword, returning the
+/// trimmed remainder.
+fn strip_keyword<'a>(s: &'a str, kw: &str) -> Option<&'a str> {
+    if s.len() <= kw.len() || !s[..kw.len()].eq_ignore_ascii_case(kw) {
         return None;
     }
-    let rest = &stmt[KW.len()..];
+    let rest = &s[kw.len()..];
     rest.starts_with(char::is_whitespace)
         .then(|| rest.trim_start())
 }
@@ -277,8 +353,46 @@ fn graph_select(
     session: &Session,
     db: &Database,
     threads: usize,
+    counters: &sqlpgq::store::AccessCounters,
     stmt: &str,
 ) -> Result<Relation, Box<dyn std::error::Error>> {
+    let (scratch, store, q) = stage_query(session, db, stmt)?;
+    let cfg = EvalConfig::physical().with_threads(threads);
+    let rel = eval_with_store(&q, &scratch, cfg, &store)?;
+    counters.absorb(&store.counters().snapshot());
+    Ok(rel)
+}
+
+/// `EXPLAIN ANALYZE SELECT …;` — runs the query exactly as
+/// [`graph_select`] would (same staging, same store route, same thread
+/// setting) with per-operator metrics collection on, and renders the
+/// annotated profile tree instead of the rows. The non-timing fields
+/// (rows, Δ sizes, build sizes) are byte-identical at every `SET
+/// THREADS` value; timings and worker counts naturally vary.
+fn explain_analyze(
+    session: &Session,
+    db: &Database,
+    threads: usize,
+    counters: &sqlpgq::store::AccessCounters,
+    inner: &str,
+) -> Result<String, Box<dyn std::error::Error>> {
+    let (scratch, store, q) = stage_query(session, db, inner)?;
+    let cfg = EvalConfig::physical().with_threads(threads);
+    let (_rel, profile) = sqlpgq::core::eval_with_store_profiled(&q, &scratch, cfg, &store)?;
+    counters.absorb(&store.counters().snapshot());
+    Ok(profile.render(true))
+}
+
+/// Parses a `GRAPH_TABLE` statement and stages it for the store route:
+/// the six canonical views in a scratch database, a scratch store with
+/// the view graph frozen as `⟨G⟩` (best effort — when the view cannot
+/// be frozen the route falls back to per-query evaluation), and the
+/// lowered pattern query.
+fn stage_query(
+    session: &Session,
+    db: &Database,
+    stmt: &str,
+) -> Result<(Database, Store, sqlpgq::core::Query), Box<dyn std::error::Error>> {
     use sqlpgq::parser::{parse_statement, Statement};
 
     let parsed = parse_statement(&format!("{stmt};"))?;
@@ -289,8 +403,6 @@ fn graph_select(
     let k = session.catalog.id_arity(&gq.graph)?;
     let (scratch, names) = stage_views(session, db, &gq.graph)?;
     let mut store = Store::from_database(&scratch);
-    // Best effort: when the view cannot be frozen the store route
-    // still answers through per-query evaluation.
     let _ = store.register_view_graph(
         "⟨G⟩",
         names.map(Into::into),
@@ -298,8 +410,97 @@ fn graph_select(
         GraphForm::Bounded(k),
     );
     let q = sqlpgq::core::Query::pattern_n(k, out, names.map(sqlpgq::core::Query::rel));
-    let cfg = EvalConfig::physical().with_threads(threads);
-    Ok(eval_with_store(&q, &scratch, cfg, &store)?)
+    Ok((scratch, store, q))
+}
+
+/// `METRICS JSON;` — the session counters through the same hand-rolled
+/// writer `QueryProfile::to_json` uses.
+fn metrics_json(snap: &sqlpgq::store::AccessSnapshot) -> String {
+    let mut w = sqlpgq::exec::JsonWriter::pretty();
+    w.begin_object();
+    w.key("index_scan_rows");
+    w.number(snap.index_scan_rows);
+    w.key("csr_neighbor_rows");
+    w.number(snap.csr_neighbor_rows);
+    w.key("csr_sweep_sources");
+    w.number(snap.csr_sweep_sources);
+    w.key("overlay_reads");
+    w.number(snap.overlay_reads);
+    w.key("dense_reads");
+    w.number(snap.dense_reads);
+    w.key("dict_decodes");
+    w.number(snap.dict_decodes);
+    w.end_object();
+    w.finish()
+}
+
+/// `STATS JSON;` — the storage-layout report as JSON.
+fn stats_json(stats: &sqlpgq::store::StoreStats) -> String {
+    let mut w = sqlpgq::exec::JsonWriter::pretty();
+    w.begin_object();
+    w.key("dictionary_total");
+    w.number(stats.dictionary_total as u64);
+    w.key("dictionary_live");
+    w.number(stats.dictionary_live as u64);
+    w.key("dictionary_stale");
+    w.number(stats.dictionary_stale() as u64);
+    w.key("overlay_entries");
+    w.number(stats.overlay_entries() as u64);
+    w.key("tombstone_rows");
+    w.number(stats.tombstone_rows() as u64);
+    w.key("relations");
+    w.begin_array();
+    for r in &stats.relations {
+        w.begin_object();
+        w.key("name");
+        w.string(&r.name);
+        w.key("rows");
+        w.number(r.rows as u64);
+        w.key("arity");
+        w.number(r.arity as u64);
+        w.key("coded_bytes");
+        w.number(r.coded_bytes as u64);
+        w.key("indexed");
+        w.boolean(r.indexed);
+        w.key("tombstones");
+        w.number(r.tombstones as u64);
+        w.key("delta_pairs");
+        w.number(r.delta_pairs as u64);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("graphs");
+    w.begin_array();
+    for g in &stats.graphs {
+        w.begin_object();
+        w.key("name");
+        w.string(&g.name);
+        w.key("nodes");
+        w.number(g.nodes as u64);
+        w.key("edges");
+        w.number(g.edges as u64);
+        w.key("id_arity");
+        w.number(g.id_arity as u64);
+        w.key("csr_entries");
+        w.number(g.csr_entries as u64);
+        w.key("overlay");
+        w.number(g.overlay as u64);
+        w.key("labels");
+        w.begin_array();
+        for (label, pairs) in &g.labels {
+            w.begin_object();
+            w.key("label");
+            w.string(label);
+            w.key("pairs");
+            w.number(*pairs as u64);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
 }
 
 /// The session store, built from the live data on first use and

@@ -47,13 +47,14 @@ pub use pgq_workloads as workloads;
 pub mod prelude {
     pub use pgq_compose::{eval_graph, eval_match, GraphExpr};
     pub use pgq_core::{
-        builders, eval as eval_query, eval_with, eval_with_store, explain, explain_with,
-        explain_with_opts, Engine, EvalConfig, Fragment, Query, ViewOp,
+        builders, eval as eval_query, eval_with, eval_with_store, eval_with_store_profiled,
+        explain, explain_with, explain_with_opts, Engine, EvalConfig, Fragment, Query, ViewOp,
     };
     pub use pgq_datalog::{compile_formula, parse_program, Program, Recursion};
     pub use pgq_exec::{
-        eval_ra, eval_ra_mode, eval_ra_opts, eval_ra_with, execute, execute_mode, execute_opts,
-        execute_with, plan_ra, Batch, BatchMode, EitherBatch, ExecOptions, PhysPlan,
+        eval_ra, eval_ra_mode, eval_ra_opts, eval_ra_profiled, eval_ra_with, execute, execute_mode,
+        execute_opts, execute_profiled, execute_with, plan_ra, Batch, BatchMode, EitherBatch,
+        ExecOptions, JsonWriter, PhysPlan, PlanMetrics, QueryProfile,
     };
     pub use pgq_graph::{pg_view, pg_view_ext, PropertyGraph, PropertyGraphBuilder, ViewMode};
     pub use pgq_logic::{eval_ordered, eval_sentence, Formula, Term, UpSet};
@@ -61,7 +62,7 @@ pub mod prelude {
     pub use pgq_pattern::{Condition, OutputItem, OutputPattern, Pattern};
     pub use pgq_relational::{Database, RaExpr, Relation, RowCondition, Schema};
     pub use pgq_rpq::{Crpq, CrpqAtom, Rpq};
-    pub use pgq_store::{GraphForm, Store, StoreStats};
+    pub use pgq_store::{AccessSnapshot, GraphForm, Store, StoreStats};
     pub use pgq_translate::{fo_to_pgq, pgq_to_fo};
     pub use pgq_value::{tuple, Tuple, Value, Var};
 }

@@ -219,6 +219,41 @@ proptest! {
         }
     }
 
+    /// Metrics collection is strictly observational: profiled and
+    /// unprofiled evaluation return identical relations at 1, 2 and 8
+    /// worker threads, the profile's `Output` row count equals the
+    /// result cardinality, the per-operator row counts obey the unary
+    /// pipe invariant, and the timing-free rendering is byte-identical
+    /// across thread counts.
+    #[test]
+    fn metrics_collection_is_invisible(
+        q in arb_ra(2, 3),
+        n in 1usize..8,
+        m in 0usize..14,
+        seed in 0u64..1000,
+    ) {
+        let db = ve_db(n, m, seed);
+        let store = pgq_store::Store::from_database(&db);
+        let mut renders: Vec<String> = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let opts = pgq_exec::ExecOptions::with_threads(threads);
+            for mode in [pgq_exec::BatchMode::Coded, pgq_exec::BatchMode::Decoded] {
+                let plain = pgq_exec::eval_ra_opts(&q, &db, &store, mode, &opts).unwrap();
+                let (profiled, profile) =
+                    pgq_exec::eval_ra_profiled(&q, &db, &store, mode, &opts).unwrap();
+                prop_assert_eq!(&profiled, &plain, "{} at {} threads", q, threads);
+                prop_assert_eq!(profile.rows, plain.len() as u64, "{}", q);
+                assert_unary_pipes(&profile.root);
+                if mode == pgq_exec::BatchMode::Coded {
+                    renders.push(profile.render(false));
+                }
+            }
+        }
+        // Deterministic fields only: 1 == 2 == 8 threads, byte for byte.
+        prop_assert_eq!(&renders[0], &renders[1], "{}", q);
+        prop_assert_eq!(&renders[1], &renders[2], "{}", q);
+    }
+
     /// The engine-routed `TC` (S5) still matches the assignment
     /// enumeration oracle (S6), including parameterized closures.
     #[test]
@@ -250,6 +285,54 @@ proptest! {
             );
         }
     }
+}
+
+/// Walks a metrics tree asserting the unary pipe invariant: an executed
+/// operator with exactly one executed child consumed exactly the rows
+/// that child produced.
+fn assert_unary_pipes(m: &pgq_exec::PlanMetrics) {
+    if m.executed && m.children.len() == 1 && m.children[0].executed {
+        assert_eq!(
+            m.rows_in, m.children[0].rows_out,
+            "{}: rows_in != child rows_out",
+            m.label
+        );
+    }
+    for c in &m.children {
+        assert_unary_pipes(c);
+    }
+}
+
+/// The `pgq-core` profiled route (`EXPLAIN ANALYZE`): profiled and
+/// unprofiled evaluation agree, the profile root carries the result
+/// cardinality, the reachability pattern reports its fixpoint iteration
+/// trace, and the timing-free rendering is byte-identical at 1, 2 and
+/// 8 worker threads.
+#[test]
+fn core_profiled_route_matches_and_is_deterministic() {
+    let db = canonical_graph_db(6, 12, 10, 42);
+    let store = pgq_store::Store::from_database(&db);
+    let q = Query::pattern_ro(
+        builders::reachability_plus_output(),
+        ["N", "E", "S", "T", "L", "P"],
+    );
+    let mut renders: Vec<String> = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let cfg = EvalConfig::physical().with_threads(threads);
+        let plain = pgq_core::eval_with_store(&q, &db, cfg, &store).unwrap();
+        let (profiled, profile) = pgq_core::eval_with_store_profiled(&q, &db, cfg, &store).unwrap();
+        assert_eq!(profiled, plain, "{threads} threads");
+        assert_eq!(profile.rows, plain.len() as u64);
+        assert_unary_pipes(&profile.root);
+        let text = profile.render(false);
+        assert!(
+            text.contains("iters="),
+            "expected a fixpoint iteration trace:\n{text}"
+        );
+        renders.push(text);
+    }
+    assert_eq!(renders[0], renders[1]);
+    assert_eq!(renders[1], renders[2]);
 }
 
 #[test]
