@@ -1,0 +1,45 @@
+//! The CI serve-soak step (PR 8):
+//!
+//! ```sh
+//! cargo run --release -p pgq-bench --bin serve_soak -- [clients] [iters]
+//! ```
+//!
+//! Boots an in-process `pgq-server`, drives the closed-loop mixed
+//! read/update load (`pgq_bench::serve_mixed_load`, default 4 clients
+//! × 40 requests each), and fails on any error response, any
+//! non-graceful disconnect, or divergence from the sequential-engine
+//! oracle. Optimized builds are additionally held to the PR 8 serve
+//! floors (`pgq_bench::assert_serve_floors`). CI runs it twice: under
+//! `PGQ_THREADS=1` and at the default worker count.
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let clients: usize = args
+        .next()
+        .map(|a| a.parse().expect("clients must be a number"))
+        .unwrap_or(4);
+    let iters: usize = args
+        .next()
+        .map(|a| a.parse().expect("iters must be a number"))
+        .unwrap_or(40);
+    let report = pgq_bench::serve_mixed_load(clients, iters);
+    println!(
+        "serve soak: {} clients x {} iters, {} reads / {} writes, {} error(s)",
+        report.clients, report.iters, report.reads, report.writes, report.errors
+    );
+    println!(
+        "  {:.1} QPS, p50 {} us, p99 {} us",
+        report.qps,
+        report.p50_ns / 1_000,
+        report.p99_ns / 1_000
+    );
+    assert_eq!(report.errors, 0, "serve soak saw error responses");
+    // Latency/throughput floors only mean something optimized; debug
+    // runs still get the error-free + oracle-agreement gates above
+    // (divergence panics inside `serve_mixed_load`).
+    if !cfg!(debug_assertions) {
+        pgq_bench::assert_serve_floors(&report);
+        println!("serve floors hold (PR 8).");
+    }
+    println!("serve soak passed.");
+}

@@ -10,6 +10,7 @@
 
 pub mod experiments;
 pub mod perf;
+pub mod serve;
 
 pub use experiments::full_report;
 pub use perf::{
@@ -17,3 +18,4 @@ pub use perf::{
     canonical_store, coded_suite, engine_suite, full_suite, parallel_suite, profile_records,
     store_suite, to_json, to_json_with_profiles, update_suite,
 };
+pub use serve::{assert_serve_floors, serve_entries, serve_mixed_load, to_json_with_serve};

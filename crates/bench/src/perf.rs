@@ -1,5 +1,5 @@
 //! The machine-readable perf smoke behind the `BENCH_*.json` records
-//! (`BENCH_2.json` through `BENCH_7.json`).
+//! (`BENCH_2.json` through `BENCH_8.json`).
 //!
 //! `cargo run --release -p pgq-bench --bin report -- --json [path]`
 //! runs a reduced-size engine-ablation suite (the `e12_engine`,
@@ -737,7 +737,7 @@ pub fn assert_metrics_overhead(scale: usize) {
         &store,
     );
     let opts = ExecOptions::with_threads(4);
-    let profiled = opts.with_metrics(true);
+    let profiled = opts.clone().with_metrics(true);
     let best = |opts: &ExecOptions| {
         (0..3)
             .map(|_| {

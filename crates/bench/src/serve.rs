@@ -1,0 +1,379 @@
+//! The PR 8 serve benchmark: a closed-loop mixed read/update load
+//! generator against an in-process [`pgq_server::Server`].
+//!
+//! [`serve_mixed_load`] boots a server on an ephemeral port, loads the
+//! canonical transfers schema, then drives `clients` concurrent
+//! line-protocol sessions for `iters` closed-loop requests each — an
+//! ~80/20 read/write mix where every write inserts a client-unique
+//! transfer (so writes commute and the final state is
+//! order-independent). It measures end-to-end request latency
+//! (socket → parse → snapshot-pinned evaluation → response) and, when
+//! the load drains, replays the same statements into a fresh
+//! sequential [`Engine`] and asserts the served answer matches —
+//! the divergence oracle the `serve_soak` CI step and the
+//! `BENCH_8.json` record both stand on.
+
+use crate::perf::BenchEntry;
+use pgq_exec::JsonWriter;
+use pgq_server::{Client, Engine, Server, SessionState};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Accounts in the seed chain every run starts from.
+const BASE_ACCOUNTS: usize = 8;
+
+/// One write per `WRITE_EVERY` requests (the ~80/20 mix).
+const WRITE_EVERY: usize = 5;
+
+const GRAPH_DDL: &str = "CREATE PROPERTY GRAPH Transfers ( \
+     NODES TABLE Account KEY (iban) LABEL Account, \
+     EDGES TABLE Transfer KEY (t_id) \
+       SOURCE KEY src_iban REFERENCES Account \
+       TARGET KEY tgt_iban REFERENCES Account \
+       LABELS Transfer PROPERTIES (ts, amount))";
+
+const QUERY: &str = "SELECT * FROM GRAPH_TABLE (Transfers \
+     MATCH (x) -[t:Transfer]->+ (y) WHERE t.amount > 100 \
+     RETURN (x.iban, y.iban))";
+
+/// What one [`serve_mixed_load`] run measured.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Concurrent client sessions.
+    pub clients: usize,
+    /// Closed-loop requests per client.
+    pub iters: usize,
+    /// Total requests served (`clients × iters`).
+    pub requests: usize,
+    /// Read requests (graph pattern queries).
+    pub reads: usize,
+    /// Write requests (transfer inserts, each republishing a snapshot).
+    pub writes: usize,
+    /// Requests answered with a `!! ` error line (must be zero).
+    pub errors: usize,
+    /// Wall-clock nanoseconds for the whole load phase.
+    pub elapsed_ns: u128,
+    /// Served requests per second over the load phase.
+    pub qps: f64,
+    /// Median request latency in nanoseconds.
+    pub p50_ns: u128,
+    /// 99th-percentile request latency in nanoseconds.
+    pub p99_ns: u128,
+}
+
+/// The statement a client sends on its `i`-th request, or the shared
+/// read query. Writes insert a client-unique transfer id, so any
+/// interleaving of the clients' writes reaches the same final state.
+fn write_stmt(client: usize, iters: usize, i: usize) -> String {
+    let t_id = 1_000 + client * iters + i;
+    let src = (client + i) % BASE_ACCOUNTS;
+    let tgt = (client + i + 1) % BASE_ACCOUNTS;
+    format!(
+        "INSERT INTO Transfer VALUES ({t_id}, 'A{src}', 'A{tgt}', {}, {})",
+        700 + i,
+        150 + i
+    )
+}
+
+fn load_seed(client: &mut Client) {
+    for stmt in [
+        "CREATE TABLE Account (iban)",
+        "CREATE TABLE Transfer (t_id, src_iban, tgt_iban, ts, amount)",
+        GRAPH_DDL,
+    ] {
+        let resp = client.request(stmt).expect("seed ddl");
+        assert!(
+            resp.iter().all(|l| !l.starts_with("!! ")),
+            "seed DDL failed: {resp:?}"
+        );
+    }
+    for i in 0..BASE_ACCOUNTS {
+        client
+            .request(&format!("INSERT INTO Account VALUES ('A{i}')"))
+            .expect("seed account");
+    }
+    for i in 0..BASE_ACCOUNTS - 1 {
+        client
+            .request(&format!(
+                "INSERT INTO Transfer VALUES ({i}, 'A{i}', 'A{}', {}, {})",
+                i + 1,
+                100 + i,
+                500 + i
+            ))
+            .expect("seed transfer");
+    }
+}
+
+/// One client session: `iters` closed-loop requests in the read/write
+/// mix, returning per-request latencies and the error count.
+fn drive_client(addr: SocketAddr, client: usize, iters: usize) -> (Vec<u128>, usize, usize, usize) {
+    let mut conn = Client::connect(addr).expect("client connect");
+    let mut latencies = Vec::with_capacity(iters);
+    let (mut reads, mut writes, mut errors) = (0usize, 0usize, 0usize);
+    for i in 0..iters {
+        let write = i % WRITE_EVERY == WRITE_EVERY - 1;
+        let stmt = if write {
+            writes += 1;
+            write_stmt(client, iters, i)
+        } else {
+            reads += 1;
+            QUERY.to_string()
+        };
+        let start = Instant::now();
+        match conn.request(&stmt) {
+            Ok(resp) => {
+                latencies.push(start.elapsed().as_nanos());
+                if resp.iter().any(|l| l.starts_with("!! ")) {
+                    errors += 1;
+                }
+            }
+            Err(_) => errors += 1,
+        }
+    }
+    (latencies, reads, writes, errors)
+}
+
+/// A response with its row lines sorted — the order-independent form
+/// the divergence oracle compares, since concurrent writers interleave
+/// in an unspecified (but commuting) order.
+fn canonical(mut resp: Vec<String>) -> Vec<String> {
+    if resp.len() > 1 {
+        resp[1..].sort();
+    }
+    resp
+}
+
+/// Boots a server, runs the mixed load, verifies the served final
+/// state against a fresh sequential [`Engine`] replay, and returns the
+/// measured report. Panics on divergence — this is a correctness gate
+/// first and a benchmark second.
+pub fn serve_mixed_load(clients: usize, iters: usize) -> ServeReport {
+    let (clients, iters) = (clients.max(1), iters.max(1));
+    let server = Server::bind(Arc::new(Engine::new()), "127.0.0.1:0").expect("bind server");
+    let addr = server.addr();
+    let mut setup = Client::connect(addr).expect("setup connect");
+    load_seed(&mut setup);
+
+    let start = Instant::now();
+    let results: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| scope.spawn(move || drive_client(addr, c, iters)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed_ns = start.elapsed().as_nanos();
+
+    let mut latencies = Vec::with_capacity(clients * iters);
+    let (mut reads, mut writes, mut errors) = (0usize, 0usize, 0usize);
+    for (lat, r, w, e) in results {
+        latencies.extend(lat);
+        reads += r;
+        writes += w;
+        errors += e;
+    }
+    latencies.sort_unstable();
+    let pct = |p: usize| -> u128 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        latencies[(latencies.len() * p / 100).min(latencies.len() - 1)]
+    };
+    let requests = clients * iters;
+
+    // The divergence oracle: a fresh sequential engine fed the same
+    // statements (writes in canonical client order — they commute)
+    // must answer the final query with the same row set.
+    let served = canonical(setup.request(QUERY).expect("final read"));
+    let oracle = Engine::new();
+    let mut sess = SessionState::default();
+    let mut expected = Vec::new();
+    let mut feed = |stmt: &str| expected = oracle.statement(&mut sess, stmt);
+    feed("CREATE TABLE Account (iban)");
+    feed("CREATE TABLE Transfer (t_id, src_iban, tgt_iban, ts, amount)");
+    feed(GRAPH_DDL);
+    for i in 0..BASE_ACCOUNTS {
+        feed(&format!("INSERT INTO Account VALUES ('A{i}')"));
+    }
+    for i in 0..BASE_ACCOUNTS - 1 {
+        feed(&format!(
+            "INSERT INTO Transfer VALUES ({i}, 'A{i}', 'A{}', {}, {})",
+            i + 1,
+            100 + i,
+            500 + i
+        ));
+    }
+    for c in 0..clients {
+        for i in 0..iters {
+            if i % WRITE_EVERY == WRITE_EVERY - 1 {
+                feed(&write_stmt(c, iters, i));
+            }
+        }
+    }
+    feed(QUERY);
+    assert_eq!(
+        served,
+        canonical(expected),
+        "served final state diverged from the sequential oracle"
+    );
+    server.stop();
+
+    ServeReport {
+        clients,
+        iters,
+        requests,
+        reads,
+        writes,
+        errors,
+        elapsed_ns,
+        qps: requests as f64 / (elapsed_ns.max(1) as f64 / 1e9),
+        p50_ns: pct(50),
+        p99_ns: pct(99),
+    }
+}
+
+/// The serve measurements as `BENCH_8.json` bench entries: mean, p50
+/// and p99 request latency under the `clients × iters` mixed load.
+pub fn serve_entries(report: &ServeReport) -> Vec<BenchEntry> {
+    let tag = format!("c{}x{}", report.clients, report.iters);
+    [
+        (
+            "serve_mean",
+            report.elapsed_ns / report.requests.max(1) as u128,
+        ),
+        ("serve_p50", report.p50_ns),
+        ("serve_p99", report.p99_ns),
+    ]
+    .into_iter()
+    .map(|(name, mean_ns)| BenchEntry {
+        name: format!("{name}/{tag}"),
+        input_size: report.requests,
+        mean_ns,
+    })
+    .collect()
+}
+
+/// The PR 8 acceptance floors, checked on an **optimized** build (the
+/// caller gates on `debug_assertions` like the E17/E18 floors): the
+/// mixed load must serve error-free at ≥ 100 requests/second with a
+/// sub-half-second p99. Both bars sit far below a healthy run —
+/// snapshot-pinned reads take microseconds — but a regression that
+/// serializes readers behind the writer lock, leaks an error path, or
+/// blocks sessions on each other still fails the build.
+pub fn assert_serve_floors(report: &ServeReport) {
+    assert_eq!(
+        report.errors, 0,
+        "mixed serve load must complete error-free"
+    );
+    assert!(
+        report.qps >= 100.0,
+        "serve throughput floor: expected ≥ 100 QPS, measured {:.1}",
+        report.qps
+    );
+    assert!(
+        report.p99_ns <= 500_000_000,
+        "serve p99 ceiling: expected ≤ 500ms, measured {} ns",
+        report.p99_ns
+    );
+}
+
+/// The `BENCH_8.json` document: `"benches"` and `"profiles"` as in
+/// `BENCH_7.json`, plus a `"serve"` section with the mixed-load
+/// QPS/p50/p99 record.
+pub fn to_json_with_serve(
+    entries: &[BenchEntry],
+    profiles: &[(String, pgq_exec::QueryProfile)],
+    serve: &ServeReport,
+) -> String {
+    let mut w = JsonWriter::pretty();
+    w.begin_object();
+    w.key("benches");
+    w.begin_object();
+    for e in entries {
+        w.key(&e.name);
+        w.begin_object();
+        w.key("mean_ns");
+        w.number_u128(e.mean_ns);
+        w.key("input_size");
+        w.number(e.input_size as u64);
+        w.end_object();
+    }
+    w.end_object();
+    w.key("profiles");
+    w.begin_object();
+    for (name, p) in profiles {
+        w.key(name);
+        p.write_json(&mut w);
+    }
+    w.end_object();
+    w.key("serve");
+    w.begin_object();
+    w.key("clients");
+    w.number(serve.clients as u64);
+    w.key("iters");
+    w.number(serve.iters as u64);
+    w.key("requests");
+    w.number(serve.requests as u64);
+    w.key("reads");
+    w.number(serve.reads as u64);
+    w.key("writes");
+    w.number(serve.writes as u64);
+    w.key("errors");
+    w.number(serve.errors as u64);
+    w.key("qps");
+    w.float(serve.qps);
+    w.key("p50_ns");
+    w.number_u128(serve.p50_ns);
+    w.key("p99_ns");
+    w.number_u128(serve.p99_ns);
+    w.end_object();
+    w.end_object();
+    let mut out = w.finish();
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_mixed_load_is_error_free_and_matches_oracle() {
+        // Divergence is checked inside `serve_mixed_load`; this smoke
+        // also pins the accounting invariants the floors stand on.
+        let report = serve_mixed_load(2, 10);
+        assert_eq!(report.requests, 20);
+        assert_eq!(report.reads + report.writes, 20);
+        assert_eq!(report.writes, 4);
+        assert_eq!(report.errors, 0);
+        assert!(report.p50_ns <= report.p99_ns);
+        assert!(report.qps > 0.0);
+    }
+
+    #[test]
+    fn serve_json_has_the_three_sections() {
+        let report = ServeReport {
+            clients: 4,
+            iters: 30,
+            requests: 120,
+            reads: 96,
+            writes: 24,
+            errors: 0,
+            elapsed_ns: 1_000_000,
+            qps: 1234.5,
+            p50_ns: 10,
+            p99_ns: 20,
+        };
+        let entries = serve_entries(&report);
+        assert_eq!(entries.len(), 3);
+        assert!(entries.iter().any(|e| e.name == "serve_p99/c4x30"));
+        let json = to_json_with_serve(&entries, &[], &report);
+        for key in ["\"benches\"", "\"profiles\"", "\"serve\"", "\"qps\""] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.contains("1234.5000"));
+    }
+}

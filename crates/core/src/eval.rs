@@ -164,6 +164,34 @@ pub fn eval_with_store_profiled(
     Ok((rel, profile))
 }
 
+/// [`eval_with_store`] against a pinned [`pgq_store::StoreSnapshot`]
+/// (PR 8). The snapshot is an immutable published store state: a
+/// reader holding one keeps evaluating it — same dictionary, same
+/// columns, same CSR bases — no matter what a concurrent
+/// [`pgq_store::ConcurrentStore`] writer publishes (or compacts)
+/// meanwhile. `db` must agree with the snapshot the same way it must
+/// agree with a store.
+pub fn eval_with_snapshot(
+    q: &Query,
+    db: &Database,
+    cfg: EvalConfig,
+    snapshot: &pgq_store::StoreSnapshot,
+) -> Result<Relation, QueryError> {
+    eval_with_store(q, db, cfg, snapshot)
+}
+
+/// [`eval_with_snapshot`], additionally returning the
+/// [`pgq_exec::QueryProfile`] — `EXPLAIN ANALYZE` against a pinned
+/// snapshot.
+pub fn eval_with_snapshot_profiled(
+    q: &Query,
+    db: &Database,
+    cfg: EvalConfig,
+    snapshot: &pgq_store::StoreSnapshot,
+) -> Result<(Relation, pgq_exec::QueryProfile), QueryError> {
+    eval_with_store_profiled(q, db, cfg, snapshot)
+}
+
 /// Evaluates a query with the given configuration.
 pub fn eval_with(q: &Query, db: &Database, cfg: EvalConfig) -> Result<Relation, QueryError> {
     if cfg.engine == Engine::Physical {

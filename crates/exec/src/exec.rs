@@ -84,6 +84,10 @@ pub fn execute_opts(
     mode: BatchMode,
     opts: &ExecOptions,
 ) -> RelResult<EitherBatch> {
+    // An explicit store wins; otherwise a pinned snapshot (PR 8)
+    // supplies the state, so readers evaluate one published version
+    // regardless of what a concurrent writer publishes meanwhile.
+    let store = store.or_else(|| opts.pinned_store());
     if opts.collect_metrics {
         let mut m = PlanMetrics::from_plan(plan);
         return exec_node(plan, db, store, mode, opts, Some(&mut m));
@@ -104,6 +108,7 @@ pub fn execute_profiled(
     mode: BatchMode,
     opts: &ExecOptions,
 ) -> RelResult<(EitherBatch, PlanMetrics)> {
+    let store = store.or_else(|| opts.pinned_store());
     let mut m = PlanMetrics::from_plan(plan);
     let out = exec_node(plan, db, store, mode, opts, Some(&mut m))?;
     Ok((out, m))

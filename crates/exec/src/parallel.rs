@@ -20,6 +20,7 @@
 //! panic-free audit of this PR).
 
 use pgq_relational::RelResult;
+use pgq_store::{Store, StoreSnapshot};
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -30,7 +31,7 @@ pub const MORSEL_ROWS: usize = 1024;
 /// Executor tuning knobs, threaded from the public entry points
 /// ([`crate::execute_opts`], `eval_with_store`, the shell's
 /// `SET THREADS n;`) down to every operator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// Worker threads per parallel operator; `1` means sequential
     /// execution on the calling thread.
@@ -46,6 +47,12 @@ pub struct ExecOptions {
     /// [`pgq_relational::RelError::IterationLimit`] instead of looping
     /// silently on pathological inputs.
     pub max_fixpoint_iters: Option<usize>,
+    /// A pinned [`StoreSnapshot`] (PR 8). When the caller passes no
+    /// explicit store, the entry points fall back to this handle, so a
+    /// reader can keep evaluating one published state while a
+    /// concurrent writer publishes newer ones. `None` (the default)
+    /// preserves the single-session behavior.
+    pub snapshot: Option<StoreSnapshot>,
 }
 
 impl ExecOptions {
@@ -55,6 +62,7 @@ impl ExecOptions {
             threads: 1,
             collect_metrics: false,
             max_fixpoint_iters: None,
+            snapshot: None,
         }
     }
 
@@ -65,8 +73,7 @@ impl ExecOptions {
         } else {
             ExecOptions {
                 threads,
-                collect_metrics: false,
-                max_fixpoint_iters: None,
+                ..ExecOptions::sequential()
             }
         }
     }
@@ -86,6 +93,18 @@ impl ExecOptions {
             max_fixpoint_iters: limit,
             ..self
         }
+    }
+
+    /// The same options pinned to a published [`StoreSnapshot`]
+    /// (`None` unpins).
+    pub fn with_snapshot(self, snapshot: Option<StoreSnapshot>) -> Self {
+        ExecOptions { snapshot, ..self }
+    }
+
+    /// The store state the pinned snapshot holds, if any — the
+    /// fallback the entry points use when no explicit store is passed.
+    pub fn pinned_store(&self) -> Option<&Store> {
+        self.snapshot.as_deref()
     }
 
     /// The environment-driven default: `PGQ_THREADS` when set (CI runs
@@ -108,6 +127,7 @@ impl ExecOptions {
             threads,
             collect_metrics: false,
             max_fixpoint_iters: None,
+            snapshot: None,
         }
     }
 
@@ -123,6 +143,25 @@ impl Default for ExecOptions {
         ExecOptions::auto()
     }
 }
+
+/// Scalar knobs compare structurally; snapshots compare by *pointer
+/// identity* (two handles are equal iff they pin the same published
+/// state — structural store comparison would be both expensive and
+/// wrong for the "same pin?" question callers ask).
+impl PartialEq for ExecOptions {
+    fn eq(&self, other: &Self) -> bool {
+        self.threads == other.threads
+            && self.collect_metrics == other.collect_metrics
+            && self.max_fixpoint_iters == other.max_fixpoint_iters
+            && match (&self.snapshot, &other.snapshot) {
+                (None, None) => true,
+                (Some(a), Some(b)) => StoreSnapshot::ptr_eq(a, b),
+                _ => false,
+            }
+    }
+}
+
+impl Eq for ExecOptions {}
 
 /// The morsel ranges covering `0..len` (empty for an empty input).
 fn morsel_ranges(len: usize) -> Vec<Range<usize>> {

@@ -1,0 +1,277 @@
+//! The PR 8 protocol battery: concurrent-connection smoke with
+//! deterministic per-client transcripts, and the malformed-input /
+//! oversized-line / mid-line-disconnect suite — all against one shared
+//! server. Nothing here may kill the server or poison the shared
+//! store lock.
+
+use pgq_server::{Client, Engine, Server, MAX_LINE};
+use std::sync::Arc;
+
+const GRAPH_DDL: &str = "CREATE PROPERTY GRAPH Transfers ( \
+     NODES TABLE Account KEY (iban) LABEL Account, \
+     EDGES TABLE Transfer KEY (t_id) \
+       SOURCE KEY src_iban REFERENCES Account \
+       TARGET KEY tgt_iban REFERENCES Account \
+       LABELS Transfer PROPERTIES (ts, amount))";
+
+const QUERY: &str = "SELECT * FROM GRAPH_TABLE (Transfers \
+     MATCH (x) -[t:Transfer]->+ (y) WHERE t.amount > 100 \
+     RETURN (x.iban, y.iban))";
+
+fn start_server() -> Server {
+    Server::bind(Arc::new(Engine::new()), "127.0.0.1:0").expect("bind ephemeral port")
+}
+
+/// Loads the canonical transfers schema plus `extra` accounts/edges.
+fn load_demo(client: &mut Client, accounts: usize) {
+    for stmt in [
+        "CREATE TABLE Account (iban)",
+        "CREATE TABLE Transfer (t_id, src_iban, tgt_iban, ts, amount)",
+        GRAPH_DDL,
+    ] {
+        let resp = client.request(stmt).expect("ddl");
+        assert!(
+            resp.iter().all(|l| !l.starts_with("!! ")),
+            "DDL failed: {resp:?}"
+        );
+    }
+    for i in 0..accounts {
+        client
+            .request(&format!("INSERT INTO Account VALUES ('A{i}')"))
+            .expect("insert account");
+    }
+    for i in 0..accounts.saturating_sub(1) {
+        client
+            .request(&format!(
+                "INSERT INTO Transfer VALUES ({i}, 'A{i}', 'A{}', {}, {})",
+                i + 1,
+                100 + i,
+                500 + i
+            ))
+            .expect("insert transfer");
+    }
+}
+
+#[test]
+fn concurrent_clients_get_deterministic_transcripts() {
+    let server = start_server();
+    let addr = server.addr();
+    let mut setup = Client::connect(addr).expect("connect");
+    load_demo(&mut setup, 6);
+    let expected = setup.request(QUERY).expect("oracle query");
+    assert_eq!(
+        expected[0], "-- 15 row(s)",
+        "unexpected oracle: {expected:?}"
+    );
+
+    // k clients × m queries each, racing: every transcript must be m
+    // copies of the oracle response — same rows, same order.
+    let handles: Vec<_> = (0..4)
+        .map(|c| {
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                // Per-connection SET THREADS exercises both executor modes.
+                let threads = if c % 2 == 0 { 1 } else { 2 };
+                client
+                    .request(&format!("SET THREADS {threads}"))
+                    .expect("set threads");
+                for _ in 0..8 {
+                    let resp = client.request(QUERY).expect("query");
+                    assert_eq!(resp, expected, "client {c} diverged");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    server.stop();
+}
+
+#[test]
+fn statement_batches_and_session_commands_round_trip() {
+    let server = start_server();
+    let mut client = Client::connect(server.addr()).expect("connect");
+    load_demo(&mut client, 4);
+    // A `;`-separated batch on one line answers in statement order.
+    let resp = client
+        .request("STATS; METRICS; SET THREADS 2")
+        .expect("batch");
+    let joined = resp.join("\n");
+    assert!(joined.contains("store layout"), "missing STATS: {joined}");
+    assert!(
+        joined.contains("store access counters"),
+        "missing METRICS: {joined}"
+    );
+    assert!(joined.contains("threads set to 2"), "missing SET: {joined}");
+    // JSON variants and COMPACT.
+    let stats = client.request("STATS JSON").expect("stats json").join("\n");
+    assert!(stats.trim_start().starts_with('{'), "not JSON: {stats}");
+    let resp = client.request("COMPACT").expect("compact");
+    assert!(resp[0].starts_with("-- compacted:"), "{resp:?}");
+    // EXPLAIN and EXPLAIN ANALYZE both answer.
+    let plan = client
+        .request(&format!("EXPLAIN {QUERY}"))
+        .expect("explain");
+    assert_eq!(plan[0], "-- physical plan");
+    let profile = client
+        .request(&format!("EXPLAIN ANALYZE {QUERY}"))
+        .expect("analyze");
+    assert_eq!(profile[0], "-- query profile");
+    server.stop();
+}
+
+#[test]
+fn malformed_inputs_return_typed_errors_and_server_survives() {
+    let server = start_server();
+    let addr = server.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    load_demo(&mut client, 3);
+
+    // Unknown grammar → parser's typed error, session continues.
+    let resp = client.request("FROB THE STORE").expect("bad stmt");
+    assert!(resp[0].starts_with("!! "), "{resp:?}");
+    // Malformed mutation → shell-style typed error.
+    let resp = client
+        .request("INSERT INTO Account 'oops'")
+        .expect("bad insert");
+    assert!(resp[0].starts_with("!! "), "{resp:?}");
+    // Query on an unknown graph → typed error, not a hang or panic.
+    let resp = client
+        .request("SELECT * FROM GRAPH_TABLE (Nope MATCH (x) RETURN (x.iban))")
+        .expect("unknown graph");
+    assert!(resp[0].starts_with("!! "), "{resp:?}");
+
+    // Invalid UTF-8 → typed protocol error on the same connection.
+    client.send_raw(b"SELECT \xff\xfe\n").expect("raw send");
+    let resp = client.read_response().expect("utf8 response");
+    assert_eq!(resp, ["!! protocol: request is not valid UTF-8"]);
+
+    // Oversized request → typed protocol error; the flood is drained.
+    let flood = "X".repeat(MAX_LINE + 512);
+    let resp = client.request(&flood).expect("oversized");
+    assert_eq!(
+        resp,
+        [format!("!! protocol: request exceeds {MAX_LINE} bytes")]
+    );
+
+    // The same session still works after every abuse…
+    let resp = client.request("STATS").expect("stats after abuse");
+    assert_eq!(resp[0], "-- store layout");
+
+    // …and a mid-line disconnect (no trailing newline) doesn't take
+    // the server or the shared store down with it.
+    let mut rude = Client::connect(addr).expect("connect rude");
+    rude.send_raw(b"INSERT INTO Account VALUES ('half")
+        .expect("partial");
+    rude.abort_write().expect("abort");
+    drop(rude);
+
+    // A fresh client can still read *and write* — the store lock is
+    // not poisoned, and the partial line was never executed.
+    let mut after = Client::connect(addr).expect("connect after");
+    let resp = after
+        .request("INSERT INTO Account VALUES ('A9')")
+        .expect("write after disconnect");
+    assert!(resp[0].starts_with("-- inserted into Account"), "{resp:?}");
+    let resp = after.request(QUERY).expect("read after disconnect");
+    assert!(resp[0].starts_with("-- "), "{resp:?}");
+    assert!(
+        !resp.iter().any(|l| l.contains("half")),
+        "partial statement leaked: {resp:?}"
+    );
+    server.stop();
+}
+
+#[test]
+fn writer_and_readers_interleave_without_divergence() {
+    let server = start_server();
+    let addr = server.addr();
+    let mut setup = Client::connect(addr).expect("connect");
+    load_demo(&mut setup, 5);
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect reader");
+                let mut seen = 0usize;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let resp = client.request(QUERY).expect("read");
+                    // Every answer is a complete, well-formed result
+                    // for SOME published snapshot: a count header
+                    // matching the row lines, never an error.
+                    assert!(resp[0].starts_with("-- "), "{resp:?}");
+                    let n: usize = resp[0]
+                        .trim_start_matches("-- ")
+                        .split_whitespace()
+                        .next()
+                        .unwrap()
+                        .parse()
+                        .expect("row count header");
+                    assert_eq!(n, resp.len() - 1, "torn result: {resp:?}");
+                    seen += 1;
+                }
+                seen
+            })
+        })
+        .collect();
+
+    // The single writer keeps growing the chain and compacting.
+    for i in 5..25 {
+        setup
+            .request(&format!("INSERT INTO Account VALUES ('A{i}')"))
+            .expect("write account");
+        setup
+            .request(&format!(
+                "INSERT INTO Transfer VALUES ({}, 'A{}', 'A{i}', {}, {})",
+                i - 1,
+                i - 1,
+                100 + i,
+                500 + i
+            ))
+            .expect("write transfer");
+        if i % 8 == 0 {
+            setup.request("COMPACT").expect("compact");
+        }
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for r in readers {
+        assert!(r.join().expect("reader thread") > 0);
+    }
+    // Final state agrees with a fresh sequential engine fed the same
+    // statements (the divergence oracle).
+    let final_rows = setup.request(QUERY).expect("final read");
+    let oracle = Engine::new();
+    let mut sess = pgq_server::SessionState::default();
+    let mut expected = Vec::new();
+    let mut feed = |stmt: &str| expected = oracle.statement(&mut sess, stmt);
+    feed("CREATE TABLE Account (iban)");
+    feed("CREATE TABLE Transfer (t_id, src_iban, tgt_iban, ts, amount)");
+    feed(GRAPH_DDL);
+    for i in 0..25 {
+        feed(&format!("INSERT INTO Account VALUES ('A{i}')"));
+    }
+    for i in 0..4 {
+        feed(&format!(
+            "INSERT INTO Transfer VALUES ({i}, 'A{i}', 'A{}', {}, {})",
+            i + 1,
+            100 + i,
+            500 + i
+        ));
+    }
+    for i in 5..25 {
+        feed(&format!(
+            "INSERT INTO Transfer VALUES ({}, 'A{}', 'A{i}', {}, {})",
+            i - 1,
+            i - 1,
+            100 + i,
+            500 + i
+        ));
+    }
+    feed(QUERY);
+    assert_eq!(final_rows, expected, "server diverged from oracle");
+    server.stop();
+}

@@ -39,6 +39,16 @@ pub struct ColumnarRelation {
     /// store's append path revives a tombstoned twin instead of
     /// appending a duplicate), so the map is total over the rows.
     index: HashMap<Vec<u32>, usize>,
+    /// First-column code → physical rows starting with it (ascending).
+    /// Together with [`ColumnarRelation::last_index`] this serves the
+    /// store's writer-path prefix/suffix probes (edge endpoints,
+    /// labels, property rows) in O(candidates) instead of a full
+    /// column scan. Empty for arity < 2, where [`ColumnarRelation::index`]
+    /// already answers exact probes. Tombstoned rows stay listed and
+    /// are filtered at probe time, mirroring the validity bitmap.
+    first_index: HashMap<u32, Vec<usize>>,
+    /// Last-column code → physical rows ending with it (ascending).
+    last_index: HashMap<u32, Vec<usize>>,
 }
 
 impl ColumnarRelation {
@@ -51,7 +61,26 @@ impl ColumnarRelation {
             columns: vec![Vec::new(); arity],
             dead: Vec::new(),
             index: HashMap::new(),
+            first_index: HashMap::new(),
+            last_index: HashMap::new(),
         }
+    }
+
+    /// Registers physical row `i` in the first/last-column multimaps.
+    /// Rows are indexed exactly once, at append time, so each bucket
+    /// lists ascending physical indices.
+    fn index_ends(&mut self, i: usize) {
+        if self.arity < 2 {
+            return;
+        }
+        self.first_index
+            .entry(self.columns[0][i])
+            .or_default()
+            .push(i);
+        self.last_index
+            .entry(self.columns[self.arity - 1][i])
+            .or_default()
+            .push(i);
     }
 
     /// Encodes a relation column by column, interning every value.
@@ -70,14 +99,20 @@ impl ColumnarRelation {
             }
             index.insert(row, i);
         }
-        Ok(ColumnarRelation {
+        let mut col = ColumnarRelation {
             arity,
             physical: rel.len(),
             live: rel.len(),
             columns,
             dead: vec![false; rel.len()],
             index,
-        })
+            first_index: HashMap::new(),
+            last_index: HashMap::new(),
+        };
+        for i in 0..col.physical {
+            col.index_ends(i);
+        }
+        Ok(col)
     }
 
     /// Builds a unary relation directly from codes — used by the store
@@ -97,6 +132,8 @@ impl ColumnarRelation {
             dead: vec![false; n],
             columns: vec![codes],
             index,
+            first_index: HashMap::new(),
+            last_index: HashMap::new(),
         }
     }
 
@@ -162,6 +199,7 @@ impl ColumnarRelation {
         self.dead.push(false);
         self.physical += 1;
         self.live += 1;
+        self.index_ends(self.physical - 1);
     }
 
     /// Physical index of the first **live** row equal to `codes`.
@@ -184,6 +222,54 @@ impl ColumnarRelation {
             .get(codes)
             .copied()
             .filter(|&i| self.dead[i] == dead)
+    }
+
+    /// Live physical rows whose first `prefix.len()` codes equal
+    /// `prefix`, ascending, plus the number of candidate rows the probe
+    /// examined (the store's access accounting). Candidates come from
+    /// the first-column inverted index — O(rows sharing the leading
+    /// code), not O(relation) — except for full-arity probes, which the
+    /// exact row index answers directly.
+    pub fn live_rows_with_prefix(&self, prefix: &[u32]) -> (Vec<usize>, usize) {
+        self.live_rows_matching(prefix, false)
+    }
+
+    /// Live physical rows whose last `suffix.len()` codes equal
+    /// `suffix`, ascending, plus the candidate count — the dual of
+    /// [`ColumnarRelation::live_rows_with_prefix`] through the
+    /// last-column inverted index.
+    pub fn live_rows_with_suffix(&self, suffix: &[u32]) -> (Vec<usize>, usize) {
+        self.live_rows_matching(suffix, true)
+    }
+
+    fn live_rows_matching(&self, part: &[u32], from_end: bool) -> (Vec<usize>, usize) {
+        let len = part.len();
+        if len == 0 {
+            let rows: Vec<usize> = self.live_rows().collect();
+            let n = rows.len();
+            return (rows, n);
+        }
+        if len > self.arity {
+            return (Vec::new(), 0);
+        }
+        if len == self.arity {
+            // Exact probe: the row-hash index answers in one lookup.
+            return (self.find_live(part).into_iter().collect(), 1);
+        }
+        let (bucket, base) = if from_end {
+            (self.last_index.get(&part[len - 1]), self.arity - len)
+        } else {
+            (self.first_index.get(&part[0]), 0)
+        };
+        let Some(bucket) = bucket else {
+            return (Vec::new(), 0);
+        };
+        let rows = bucket
+            .iter()
+            .copied()
+            .filter(|&i| !self.dead[i] && (0..len).all(|p| self.columns[base + p][i] == part[p]))
+            .collect();
+        (rows, bucket.len())
     }
 
     /// Tombstones physical row `i`; `false` when it was already dead.
@@ -240,6 +326,11 @@ impl ColumnarRelation {
         self.index = (0..self.physical)
             .map(|i| ((0..self.arity).map(|p| self.columns[p][i]).collect(), i))
             .collect();
+        self.first_index.clear();
+        self.last_index.clear();
+        for i in 0..self.physical {
+            self.index_ends(i);
+        }
         dropped
     }
 
@@ -279,6 +370,46 @@ mod tests {
         let none = ColumnarRelation::from_relation(&Relation::empty(3), &mut dict).unwrap();
         assert!(none.is_empty());
         assert_eq!(none.decode_rows(&dict), Vec::<Tuple>::new());
+    }
+
+    #[test]
+    fn end_indexes_answer_prefix_and_suffix_probes() {
+        let rel = Relation::from_rows(
+            3,
+            [
+                tuple!["e1", "a", "x"],
+                tuple!["e1", "b", "x"],
+                tuple!["e2", "a", "y"],
+            ],
+        )
+        .unwrap();
+        let mut dict = Dictionary::new();
+        let mut col = ColumnarRelation::from_relation(&rel, &mut dict).unwrap();
+        let code = |v: &str| dict.code(&pgq_value::Value::str(v)).unwrap();
+        let (rows, cands) = col.live_rows_with_prefix(&[code("e1")]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(cands, 2);
+        let (rows, _) = col.live_rows_with_prefix(&[code("e1"), code("b")]);
+        assert_eq!(rows.len(), 1);
+        let (rows, cands) = col.live_rows_with_suffix(&[code("x")]);
+        assert_eq!((rows.len(), cands), (2, 2));
+        let (rows, _) = col.live_rows_with_suffix(&[code("a"), code("y")]);
+        assert_eq!(rows, vec![2]);
+        // Full-arity probes route through the exact row index.
+        let full = [code("e2"), code("a"), code("y")];
+        assert_eq!(col.live_rows_with_prefix(&full).0, vec![2]);
+        // Over-arity and unknown codes answer empty.
+        assert!(col.live_rows_with_prefix(&[0, 1, 2, 3]).0.is_empty());
+        assert!(col.live_rows_with_suffix(&[u32::MAX]).0.is_empty());
+        // Tombstones are filtered at probe time but stay candidates;
+        // compaction drops them from the buckets for good.
+        col.tombstone(0);
+        let (rows, cands) = col.live_rows_with_prefix(&[code("e1")]);
+        assert_eq!((rows.len(), cands), (1, 2));
+        col.compact_remap(&mut |c| c);
+        let e1 = col.code_at(0, 0);
+        let (rows, cands) = col.live_rows_with_prefix(&[e1]);
+        assert_eq!((rows.len(), cands), (1, 1));
     }
 
     #[test]

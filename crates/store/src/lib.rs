@@ -70,11 +70,13 @@
 pub mod column;
 pub mod csr;
 pub mod dict;
+pub mod snapshot;
 pub mod store;
 
 pub use column::ColumnarRelation;
 pub use csr::{AdjacencyView, Csr, CsrIndex, DeltaAdjacency};
 pub use dict::Dictionary;
+pub use snapshot::{ConcurrentStore, StoreSnapshot};
 pub use store::{
     AccessCounters, AccessSnapshot, CompactionStats, GraphEntry, GraphForm, GraphStats,
     RelationStats, Store, StoreError, StoreStats, ADOM_REL,

@@ -33,6 +33,7 @@ use pgq_value::{Label, Tuple, Value};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The reserved relation name under which the store registers the
 /// active domain `adom(D)` as a unary relation, so `AdomScan` plans can
@@ -147,9 +148,12 @@ impl From<UpdateError> for StoreError {
 /// maintainable adjacency, used for each registered binary relation
 /// (keyed on dictionary codes) and for each [`GraphEntry`] label
 /// index (keyed on the entry's dense node ids).
+/// The CSR base is `Arc`-shared: cloning a [`Store`] (how
+/// [`crate::ConcurrentStore`] publishes snapshots) shares the frozen
+/// index and copies only the small mutable overlay.
 #[derive(Debug, Clone, Default)]
 struct CsrWithDelta {
-    csr: CsrIndex,
+    csr: Arc<CsrIndex>,
     delta: DeltaAdjacency,
 }
 
@@ -175,7 +179,8 @@ pub struct GraphEntry {
     /// Dense ids of removed nodes.
     dead: HashSet<u32>,
     /// Node-level adjacency over dense ids (edge identities collapsed).
-    csr: CsrIndex,
+    /// `Arc`-shared so snapshot clones reuse the frozen index.
+    csr: Arc<CsrIndex>,
     /// Post-freeze adjacency changes over the same dense id space.
     delta: DeltaAdjacency,
     /// Per-edge-label adjacency over the same dense id space.
@@ -214,7 +219,7 @@ impl GraphEntry {
             labels.insert(
                 l,
                 CsrWithDelta {
-                    csr: CsrIndex::build(universe(), &ps)?,
+                    csr: Arc::new(CsrIndex::build(universe(), &ps)?),
                     delta: DeltaAdjacency::new(),
                 },
             );
@@ -223,7 +228,7 @@ impl GraphEntry {
             form,
             views,
             id_arity: g.id_arity(),
-            csr: CsrIndex::build(universe(), &pairs)?,
+            csr: Arc::new(CsrIndex::build(universe(), &pairs)?),
             delta: DeltaAdjacency::new(),
             labels,
             edge_count: g.edge_count(),
@@ -410,7 +415,7 @@ impl GraphEntry {
         };
         let universe = || 0..live.len() as u32;
         let pairs = remap(self.adjacency().effective_pairs());
-        let csr = CsrIndex::build(universe(), &pairs)?;
+        let csr = Arc::new(CsrIndex::build(universe(), &pairs)?);
         let mut labels = BTreeMap::new();
         for (l, li) in &self.labels {
             let ps = remap(li.view().effective_pairs());
@@ -420,7 +425,7 @@ impl GraphEntry {
             labels.insert(
                 l.clone(),
                 CsrWithDelta {
-                    csr: CsrIndex::build(universe(), &ps)?,
+                    csr: Arc::new(CsrIndex::build(universe(), &ps)?),
                     delta: DeltaAdjacency::new(),
                 },
             );
@@ -563,6 +568,8 @@ pub struct AccessCounters {
     overlay_reads: AtomicU64,
     dense_reads: AtomicU64,
     dict_decodes: AtomicU64,
+    writer_probes: AtomicU64,
+    writer_probe_rows: AtomicU64,
 }
 
 impl Clone for AccessCounters {
@@ -575,6 +582,8 @@ impl Clone for AccessCounters {
             overlay_reads: AtomicU64::new(s.overlay_reads),
             dense_reads: AtomicU64::new(s.dense_reads),
             dict_decodes: AtomicU64::new(s.dict_decodes),
+            writer_probes: AtomicU64::new(s.writer_probes),
+            writer_probe_rows: AtomicU64::new(s.writer_probe_rows),
         }
     }
 }
@@ -610,6 +619,16 @@ impl AccessCounters {
         self.dict_decodes.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records one writer-path membership probe (edge endpoints,
+    /// labels, property rows) that examined `candidates` indexed rows.
+    /// The candidate totals are how the indexed writer path proves it
+    /// scales with matches, not with the relation (`tests` assert it).
+    pub fn record_writer_probe(&self, candidates: u64) {
+        self.writer_probes.fetch_add(1, Ordering::Relaxed);
+        self.writer_probe_rows
+            .fetch_add(candidates, Ordering::Relaxed);
+    }
+
     /// A plain-integer snapshot of the current totals.
     pub fn snapshot(&self) -> AccessSnapshot {
         AccessSnapshot {
@@ -619,6 +638,8 @@ impl AccessCounters {
             overlay_reads: self.overlay_reads.load(Ordering::Relaxed),
             dense_reads: self.dense_reads.load(Ordering::Relaxed),
             dict_decodes: self.dict_decodes.load(Ordering::Relaxed),
+            writer_probes: self.writer_probes.load(Ordering::Relaxed),
+            writer_probe_rows: self.writer_probe_rows.load(Ordering::Relaxed),
         }
     }
 
@@ -638,6 +659,10 @@ impl AccessCounters {
             .fetch_add(snap.dense_reads, Ordering::Relaxed);
         self.dict_decodes
             .fetch_add(snap.dict_decodes, Ordering::Relaxed);
+        self.writer_probes
+            .fetch_add(snap.writer_probes, Ordering::Relaxed);
+        self.writer_probe_rows
+            .fetch_add(snap.writer_probe_rows, Ordering::Relaxed);
     }
 
     /// Zeroes every counter (the shell's `METRICS RESET;`).
@@ -648,6 +673,8 @@ impl AccessCounters {
         self.overlay_reads.store(0, Ordering::Relaxed);
         self.dense_reads.store(0, Ordering::Relaxed);
         self.dict_decodes.store(0, Ordering::Relaxed);
+        self.writer_probes.store(0, Ordering::Relaxed);
+        self.writer_probe_rows.store(0, Ordering::Relaxed);
     }
 }
 
@@ -666,6 +693,13 @@ pub struct AccessSnapshot {
     pub dense_reads: u64,
     /// Dictionary decode calls (code → value).
     pub dict_decodes: u64,
+    /// Writer-path membership probes (edge endpoints, labels, property
+    /// rows) answered by the column end indexes.
+    pub writer_probes: u64,
+    /// Candidate rows those probes examined — O(matches), not
+    /// O(relation), which is the point of routing them through the
+    /// indexes.
+    pub writer_probe_rows: u64,
 }
 
 impl AccessSnapshot {
@@ -683,6 +717,10 @@ impl AccessSnapshot {
             overlay_reads: self.overlay_reads.saturating_sub(earlier.overlay_reads),
             dense_reads: self.dense_reads.saturating_sub(earlier.dense_reads),
             dict_decodes: self.dict_decodes.saturating_sub(earlier.dict_decodes),
+            writer_probes: self.writer_probes.saturating_sub(earlier.writer_probes),
+            writer_probe_rows: self
+                .writer_probe_rows
+                .saturating_sub(earlier.writer_probe_rows),
         }
     }
 }
@@ -698,17 +736,29 @@ impl fmt::Display for AccessSnapshot {
             "  adjacency reads        : {} overlay / {} dense",
             self.overlay_reads, self.dense_reads
         )?;
-        write!(f, "  dictionary decodes     : {}", self.dict_decodes)
+        writeln!(f, "  dictionary decodes     : {}", self.dict_decodes)?;
+        write!(
+            f,
+            "  writer probes          : {} ({} candidate row(s))",
+            self.writer_probes, self.writer_probe_rows
+        )
     }
 }
 
 /// The session catalog: dictionary-coded relations, CSR adjacency for
 /// binary relations, and graph views — registered once, then maintained
 /// in place by the update entry points.
+/// Since PR 8 the bulky immutable pieces — the value dictionary, each
+/// relation's columns, and every frozen CSR base — sit behind `Arc`s:
+/// cloning a `Store` is cheap (shared payloads, copy-on-write via
+/// [`Arc::make_mut`] on mutation), which is what lets
+/// [`crate::ConcurrentStore`] publish every committed state as an
+/// immutable [`crate::StoreSnapshot`] while readers keep older
+/// snapshots pinned.
 #[derive(Debug, Clone, Default)]
 pub struct Store {
-    dict: Dictionary,
-    relations: BTreeMap<RelName, ColumnarRelation>,
+    dict: Arc<Dictionary>,
+    relations: BTreeMap<RelName, Arc<ColumnarRelation>>,
     adjacency: BTreeMap<RelName, CsrWithDelta>,
     graphs: BTreeMap<String, GraphEntry>,
     /// The `(views, form)` recipe of every view-registered graph —
@@ -722,8 +772,10 @@ pub struct Store {
     adom_dirty: bool,
     last_compaction: Option<CompactionStats>,
     /// Session-cumulative access counters (`&self`-recorded, relaxed
-    /// atomics), surfaced by the shell's `METRICS;`.
-    counters: AccessCounters,
+    /// atomics), surfaced by the shell's `METRICS;`. `Arc`-shared so
+    /// every snapshot clone of the store records into the same totals —
+    /// a server's `METRICS` aggregates across all published snapshots.
+    counters: Arc<AccessCounters>,
 }
 
 impl Store {
@@ -804,7 +856,7 @@ impl Store {
     /// [`Store::register_database`], which rebuilds graphs itself once
     /// every relation is in place.
     fn register_relation_raw(&mut self, name: RelName, rel: &Relation) -> Result<(), StoreError> {
-        let col = ColumnarRelation::from_relation(rel, &mut self.dict)?;
+        let col = ColumnarRelation::from_relation(rel, Arc::make_mut(&mut self.dict))?;
         if rel.arity() == 2 {
             let pairs: Vec<(u32, u32)> = col
                 .live_rows()
@@ -814,7 +866,7 @@ impl Store {
             self.adjacency.insert(
                 name.clone(),
                 CsrWithDelta {
-                    csr: CsrIndex::build(universe, &pairs)?,
+                    csr: Arc::new(CsrIndex::build(universe, &pairs)?),
                     delta: DeltaAdjacency::new(),
                 },
             );
@@ -823,7 +875,7 @@ impl Store {
             // stale index behind — plans would expand over dead pairs.
             self.adjacency.remove(&name);
         }
-        self.relations.insert(name, col);
+        self.relations.insert(name, Arc::new(col));
         Ok(())
     }
 
@@ -897,6 +949,17 @@ impl Store {
         &self.dict
     }
 
+    /// The dictionary for mutation: copy-on-write when a snapshot still
+    /// shares it, plain access otherwise.
+    fn dict_mut(&mut self) -> &mut Dictionary {
+        Arc::make_mut(&mut self.dict)
+    }
+
+    /// The columnar relation for mutation (copy-on-write).
+    fn relation_mut(&mut self, name: &RelName) -> Option<&mut ColumnarRelation> {
+        self.relations.get_mut(name).map(Arc::make_mut)
+    }
+
     /// Interns a plan-time literal constant into the shared dictionary,
     /// so coded filters can compare it against column codes without a
     /// decode. This is an **optional** entry point for sessions that
@@ -908,7 +971,7 @@ impl Store {
     /// never a correctness requirement. Note that [`Store::compact`]
     /// rebuilds the dictionary, invalidating previously returned codes.
     pub fn intern_literal(&mut self, v: &Value) -> Result<u32, StoreError> {
-        self.dict.intern(v)
+        self.dict_mut().intern(v)
     }
 
     /// The code of a value, when any registered row contains it.
@@ -923,7 +986,7 @@ impl Store {
 
     /// A registered columnar relation.
     pub fn relation(&self, name: &RelName) -> Option<&ColumnarRelation> {
-        self.relations.get(name)
+        self.relations.get(name).map(|a| &**a)
     }
 
     /// Whether `name` is registered.
@@ -1001,7 +1064,7 @@ impl Store {
         let name = name.into();
         if !self.relations.contains_key(&name) {
             self.relations
-                .insert(name.clone(), ColumnarRelation::empty(t.arity()));
+                .insert(name.clone(), Arc::new(ColumnarRelation::empty(t.arity())));
             if t.arity() == 2 {
                 self.adjacency.insert(name.clone(), CsrWithDelta::default());
             }
@@ -1235,7 +1298,7 @@ impl Store {
     /// are at worst stale, and [`Store::compact`] reclaims them).
     fn intern_tuple(&mut self, t: &Tuple) -> Result<(), StoreError> {
         for v in t.iter() {
-            self.dict.intern(v)?;
+            self.dict_mut().intern(v)?;
         }
         Ok(())
     }
@@ -1263,9 +1326,9 @@ impl Store {
         }
         let mut codes = Vec::with_capacity(arity);
         for v in t.iter() {
-            codes.push(self.dict.intern(v)?);
+            codes.push(self.dict_mut().intern(v)?);
         }
-        let col = self.relations.get_mut(name).expect("present above");
+        let col = self.relation_mut(name).expect("present above");
         if col.find_live(&codes).is_some() {
             return Ok(false);
         }
@@ -1296,7 +1359,7 @@ impl Store {
         let Some(codes) = self.encode_row(t) else {
             return false;
         };
-        let col = self.relations.get_mut(name).expect("present above");
+        let col = self.relation_mut(name).expect("present above");
         let Some(i) = col.find_live(&codes) else {
             return false;
         };
@@ -1308,21 +1371,31 @@ impl Store {
         true
     }
 
-    /// Tombstones every live row satisfying `pred` (on coded rows),
-    /// maintaining the adjacency overlay. Returns the count.
-    fn tombstone_where(&mut self, name: &RelName, pred: impl Fn(&[u32]) -> bool) -> usize {
+    /// Tombstones every live row whose leading codes equal `prefix`
+    /// (optionally further filtered by `also`, on the full coded row),
+    /// maintaining the adjacency overlay. Candidates come from the
+    /// column end indexes — O(rows sharing the leading code), not a
+    /// relation scan. Returns the count.
+    fn tombstone_prefix(
+        &mut self,
+        name: &RelName,
+        prefix: &[u32],
+        also: impl Fn(&[u32]) -> bool,
+    ) -> usize {
         let Some(col) = self.relations.get(name) else {
             return 0;
         };
         let arity = col.arity();
+        let (rows, candidates) = col.live_rows_with_prefix(prefix);
+        self.counters.record_writer_probe(candidates as u64);
         let mut hits: Vec<(usize, Vec<u32>)> = Vec::new();
-        for i in col.live_rows() {
+        for i in rows {
             let row: Vec<u32> = (0..arity).map(|p| col.code_at(i, p)).collect();
-            if pred(&row) {
+            if also(&row) {
                 hits.push((i, row));
             }
         }
-        let col = self.relations.get_mut(name).expect("present above");
+        let col = self.relation_mut(name).expect("present above");
         for (i, _) in &hits {
             col.tombstone(*i);
         }
@@ -1363,14 +1436,14 @@ impl Store {
             let Some(col) = self.relations.get(name) else {
                 continue;
             };
-            for i in col.live_rows() {
-                if (0..k).all(|p| col.code_at(i, k + p) == idc[p]) {
-                    out.insert(Tuple::new(
-                        (0..k)
-                            .map(|p| self.dict.value(col.code_at(i, p)).clone())
-                            .collect(),
-                    ));
-                }
+            let (rows, candidates) = col.live_rows_with_suffix(&idc);
+            self.counters.record_writer_probe(candidates as u64);
+            for i in rows {
+                out.insert(Tuple::new(
+                    (0..k)
+                        .map(|p| self.dict.value(col.code_at(i, p)).clone())
+                        .collect(),
+                ));
             }
         }
         out.into_iter().collect()
@@ -1394,15 +1467,15 @@ impl Store {
 
     fn suffix_of_prefix(&self, name: &RelName, prefix: &[u32], k: usize) -> Option<Tuple> {
         let col = self.relations.get(name)?;
-        col.live_rows()
-            .find(|&i| (0..k).all(|p| col.code_at(i, p) == prefix[p]))
-            .map(|i| {
-                Tuple::new(
-                    (k..col.arity())
-                        .map(|p| self.dict.value(col.code_at(i, p)).clone())
-                        .collect(),
-                )
-            })
+        let (rows, candidates) = col.live_rows_with_prefix(&prefix[..k]);
+        self.counters.record_writer_probe(candidates as u64);
+        rows.into_iter().next().map(|i| {
+            Tuple::new(
+                (k..col.arity())
+                    .map(|p| self.dict.value(col.code_at(i, p)).clone())
+                    .collect(),
+            )
+        })
     }
 
     /// The labels carried by a live element (decoded, deduplicated).
@@ -1414,12 +1487,12 @@ impl Store {
             return Vec::new();
         };
         let mut out: Vec<Label> = Vec::new();
-        for i in col.live_rows() {
-            if (0..k).all(|p| col.code_at(i, p) == idc[p]) {
-                let l = self.dict.value(col.code_at(i, k)).clone();
-                if !out.contains(&l) {
-                    out.push(l);
-                }
+        let (rows, candidates) = col.live_rows_with_prefix(&idc);
+        self.counters.record_writer_probe(candidates as u64);
+        for i in rows {
+            let l = self.dict.value(col.code_at(i, k)).clone();
+            if !out.contains(&l) {
+                out.push(l);
             }
         }
         out
@@ -1433,13 +1506,13 @@ impl Store {
         let (Some(scol), Some(tcol)) = (self.relations.get(rs), self.relations.get(rt)) else {
             return false;
         };
-        for i in scol.live_rows() {
-            if (0..k).all(|p| scol.code_at(i, k + p) == sc[p]) {
-                let mut row: Vec<u32> = (0..k).map(|p| scol.code_at(i, p)).collect();
-                row.extend_from_slice(&tc);
-                if tcol.find_live(&row).is_some() {
-                    return true;
-                }
+        let (rows, candidates) = scol.live_rows_with_suffix(&sc);
+        self.counters.record_writer_probe(candidates as u64);
+        for i in rows {
+            let mut row: Vec<u32> = (0..k).map(|p| scol.code_at(i, p)).collect();
+            row.extend_from_slice(&tc);
+            if tcol.find_live(&row).is_some() {
+                return true;
             }
         }
         false
@@ -1470,10 +1543,9 @@ impl Store {
         ) else {
             return false;
         };
-        for i in lcol.live_rows() {
-            if lcol.code_at(i, k) != lc {
-                continue;
-            }
+        let (rows, candidates) = lcol.live_rows_with_suffix(&[lc]);
+        self.counters.record_writer_probe(candidates as u64);
+        for i in rows {
             let mut srow: Vec<u32> = (0..k).map(|p| lcol.code_at(i, p)).collect();
             let mut trow = srow.clone();
             srow.extend_from_slice(&sc);
@@ -1501,11 +1573,10 @@ impl Store {
             .encode_row(id)
             .ok_or_else(|| StoreError::Update(UpdateError::NoSuchElement(id.clone())))?;
         self.tombstone_row_raw(re, id);
-        let prefix = |row: &[u32]| (0..k).all(|p| row[p] == idc[p]);
-        self.tombstone_where(rs, prefix);
-        self.tombstone_where(rt, prefix);
-        self.tombstone_where(rl, prefix);
-        self.tombstone_where(rp, prefix);
+        self.tombstone_prefix(rs, &idc, |_| true);
+        self.tombstone_prefix(rt, &idc, |_| true);
+        self.tombstone_prefix(rl, &idc, |_| true);
+        self.tombstone_prefix(rp, &idc, |_| true);
         let still_connected = self.edge_between(rs, rt, &src, &tgt, k);
         self.graphs
             .get_mut(graph)
@@ -1527,10 +1598,8 @@ impl Store {
         let Some(idc) = self.encode_row(id) else {
             return;
         };
-        let k = idc.len();
-        let prefix = |row: &[u32]| (0..k).all(|p| row[p] == idc[p]);
-        self.tombstone_where(rl, prefix);
-        self.tombstone_where(rp, prefix);
+        self.tombstone_prefix(rl, &idc, |_| true);
+        self.tombstone_prefix(rp, &idc, |_| true);
     }
 
     /// Tombstones the (at most one) live `R6` row for `(id, key)`.
@@ -1541,7 +1610,7 @@ impl Store {
         let Some(kc) = self.dict.code(key) else {
             return;
         };
-        self.tombstone_where(rp, |row| (0..k).all(|p| row[p] == idc[p]) && row[k] == kc);
+        self.tombstone_prefix(rp, &idc, |row| row[k] == kc);
     }
 
     /// Which codes live rows reference. `exclude` skips one relation
@@ -1566,7 +1635,7 @@ impl Store {
     /// this is O(arity) hash probes, not a store scan.
     fn adom_add_codes(&mut self, codes: &[u32]) {
         let adom: RelName = ADOM_REL.into();
-        let Some(col) = self.relations.get_mut(&adom) else {
+        let Some(col) = self.relation_mut(&adom) else {
             return;
         };
         for &c in codes {
@@ -1607,7 +1676,7 @@ impl Store {
         // refreshed layout identical so scans stay deterministic.
         codes.sort_by(|&a, &b| self.dict.value(a).cmp(self.dict.value(b)));
         self.relations
-            .insert(adom, ColumnarRelation::unary_from_codes(codes));
+            .insert(adom, Arc::new(ColumnarRelation::unary_from_codes(codes)));
         Ok(())
     }
 
@@ -1706,7 +1775,7 @@ impl Store {
             .map(|i| (col.code_at(i, 0), col.code_at(i, 1)))
             .collect();
         let universe = pairs.iter().flat_map(|&(a, b)| [a, b]);
-        let csr = CsrIndex::build(universe, &pairs)?;
+        let csr = Arc::new(CsrIndex::build(universe, &pairs)?);
         self.adjacency.insert(
             name.clone(),
             CsrWithDelta {
@@ -1732,16 +1801,16 @@ impl Store {
         let mut dropped = 0usize;
         let mut next = Dictionary::with_limit(self.dict.limit());
         let mut map: HashMap<u32, u32> = HashMap::new();
-        let dict = &self.dict;
+        let dict = Arc::clone(&self.dict);
         for col in self.relations.values_mut() {
-            dropped += col.compact_remap(&mut |old| {
+            dropped += Arc::make_mut(col).compact_remap(&mut |old| {
                 *map.entry(old).or_insert_with(|| {
                     next.intern(dict.value(old))
                         .expect("compaction only shrinks the code space")
                 })
             });
         }
-        self.dict = next;
+        self.dict = Arc::new(next);
         let names: Vec<RelName> = self.adjacency.keys().cloned().collect();
         for name in names {
             folded += self
@@ -2211,7 +2280,7 @@ mod tests {
     #[test]
     fn dictionary_exhaustion_propagates_through_registration() {
         let mut store = Store {
-            dict: Dictionary::with_limit(3),
+            dict: Dictionary::with_limit(3).into(),
             ..Store::new()
         };
         let mut db = Database::new();
@@ -2226,7 +2295,7 @@ mod tests {
         let mut small = Database::new();
         small.insert("V", tuple![1]).unwrap();
         let mut store = Store {
-            dict: Dictionary::with_limit(2),
+            dict: Dictionary::with_limit(2).into(),
             ..Store::new()
         };
         store.register_database(&small).unwrap();
@@ -2531,7 +2600,7 @@ mod tests {
         let db = chain_db();
         let minted = Store::from_database(&db).dict().len();
         let mut store = Store {
-            dict: Dictionary::with_limit(minted),
+            dict: Dictionary::with_limit(minted).into(),
             ..Store::new()
         };
         store.register_database(&db).unwrap();
@@ -2662,5 +2731,49 @@ mod tests {
         // Reachability from "a" spans the whole chain.
         let reach = entry.reach_relation(true, false);
         assert!(reach.contains(&tuple!["a", "n39"]));
+    }
+
+    /// Satellite 4 (PR 8): writer-path membership probes route through
+    /// the column end indexes, not relation scans. Detaching one node
+    /// from a 100× larger chain must examine exactly the same number
+    /// of candidate rows — probe cost tracks the node's degree, not
+    /// the store size.
+    #[test]
+    fn writer_probes_are_indexed_not_relation_scans() {
+        let probe_rows = |n: usize| {
+            let mut db = Database::new();
+            for i in 0..n {
+                db.insert("N", tuple![format!("n{i}")]).unwrap();
+            }
+            for i in 0..n - 1 {
+                let e = format!("e{i}");
+                db.insert("E", tuple![e.clone()]).unwrap();
+                db.insert("S", tuple![e.clone(), format!("n{i}")]).unwrap();
+                db.insert("T", tuple![e.clone(), format!("n{}", i + 1)])
+                    .unwrap();
+                // Distinct labels keep the per-label candidate sets
+                // degree-sized at every store size.
+                db.insert("L", tuple![e, format!("Hop{i}")]).unwrap();
+            }
+            db.add_relation("P", Relation::empty(3));
+            let mut store = Store::from_database(&db);
+            store
+                .register_view_graph("G", views(), &db, GraphForm::Exact(1))
+                .unwrap();
+            store.counters().reset();
+            store
+                .apply_update("G", &Update::DetachRemoveNode(nid("n1")))
+                .unwrap();
+            let snap = store.counters().snapshot();
+            assert!(snap.writer_probes > 0, "probes must be recorded");
+            assert!(store.graph("G").is_some());
+            snap.writer_probe_rows
+        };
+        let small = probe_rows(8);
+        let large = probe_rows(800);
+        assert_eq!(
+            small, large,
+            "candidate rows per detach must not scale with store size"
+        );
     }
 }

@@ -53,7 +53,7 @@
 //! ```
 
 use sqlpgq::prelude::*;
-use sqlpgq::store::{GraphForm, Store};
+use sqlpgq::store::{GraphForm, Store, StoreSnapshot};
 
 const DEMO: &str = r#"
 CREATE TABLE Account (iban);
@@ -357,9 +357,14 @@ fn graph_select(
     stmt: &str,
 ) -> Result<Relation, Box<dyn std::error::Error>> {
     let (scratch, store, q) = stage_query(session, db, stmt)?;
+    // Freeze the staged store into an immutable snapshot and evaluate
+    // against the pin — the same route a `pgq-server` reader takes
+    // against a published snapshot (PR 8). The access counters are
+    // shared by the pin, so METRICS still sees this query.
+    let snap = StoreSnapshot::from(store);
     let cfg = EvalConfig::physical().with_threads(threads);
-    let rel = eval_with_store(&q, &scratch, cfg, &store)?;
-    counters.absorb(&store.counters().snapshot());
+    let rel = eval_with_snapshot(&q, &scratch, cfg, &snap)?;
+    counters.absorb(&snap.counters().snapshot());
     Ok(rel)
 }
 
@@ -377,9 +382,10 @@ fn explain_analyze(
     inner: &str,
 ) -> Result<String, Box<dyn std::error::Error>> {
     let (scratch, store, q) = stage_query(session, db, inner)?;
+    let snap = StoreSnapshot::from(store);
     let cfg = EvalConfig::physical().with_threads(threads);
-    let (_rel, profile) = sqlpgq::core::eval_with_store_profiled(&q, &scratch, cfg, &store)?;
-    counters.absorb(&store.counters().snapshot());
+    let (_rel, profile) = sqlpgq::core::eval_with_snapshot_profiled(&q, &scratch, cfg, &snap)?;
+    counters.absorb(&snap.counters().snapshot());
     Ok(profile.render(true))
 }
 

@@ -47,8 +47,9 @@ pub use pgq_workloads as workloads;
 pub mod prelude {
     pub use pgq_compose::{eval_graph, eval_match, GraphExpr};
     pub use pgq_core::{
-        builders, eval as eval_query, eval_with, eval_with_store, eval_with_store_profiled,
-        explain, explain_with, explain_with_opts, Engine, EvalConfig, Fragment, Query, ViewOp,
+        builders, eval as eval_query, eval_with, eval_with_snapshot, eval_with_snapshot_profiled,
+        eval_with_store, eval_with_store_profiled, explain, explain_with, explain_with_opts,
+        Engine, EvalConfig, Fragment, Query, ViewOp,
     };
     pub use pgq_datalog::{compile_formula, parse_program, Program, Recursion};
     pub use pgq_exec::{
@@ -62,7 +63,9 @@ pub mod prelude {
     pub use pgq_pattern::{Condition, OutputItem, OutputPattern, Pattern};
     pub use pgq_relational::{Database, RaExpr, Relation, RowCondition, Schema};
     pub use pgq_rpq::{Crpq, CrpqAtom, Rpq};
-    pub use pgq_store::{AccessSnapshot, GraphForm, Store, StoreStats};
+    pub use pgq_store::{
+        AccessSnapshot, ConcurrentStore, GraphForm, Store, StoreSnapshot, StoreStats,
+    };
     pub use pgq_translate::{fo_to_pgq, pgq_to_fo};
     pub use pgq_value::{tuple, Tuple, Value, Var};
 }

@@ -19,14 +19,18 @@
 //!
 //! plus the empty-graph, self-loop, and parallel-edge edge cases.
 
-use pgq_core::{builders, eval_with, eval_with_store, EvalConfig, Query};
-use pgq_exec::{eval_ra, eval_ra_mode, eval_ra_opts, eval_ra_with, BatchMode, ExecOptions};
+use pgq_core::{builders, eval_with, eval_with_snapshot, eval_with_store, EvalConfig, Query};
+use pgq_exec::{
+    eval_ra, eval_ra_mode, eval_ra_opts, eval_ra_with, execute_opts, plan_ra, store_plan,
+    BatchMode, ExecOptions,
+};
 use pgq_graph::{updates, Update, ViewRelations};
 use pgq_relational::{CmpOp, Database, RaExpr, RelName, Relation, RowCondition};
-use pgq_store::{GraphForm, Store};
+use pgq_store::{ConcurrentStore, GraphForm, Store, StoreError, StoreSnapshot};
 use pgq_value::{tuple, Tuple, Value};
 use pgq_workloads::random::{canonical_graph_db, ve_db};
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 fn views() -> [RelName; 6] {
     ["N", "E", "S", "T", "L", "P"].map(Into::into)
@@ -547,6 +551,228 @@ proptest! {
             eval_with(&q, &db, EvalConfig::reference()).unwrap()
         );
     }
+}
+
+/// The canonical relations a snapshot holds, materialized as a plain
+/// database — the single-threaded reference state every pinned reader
+/// is checked against.
+fn snapshot_reference_db(snap: &Store) -> Database {
+    let mut db = Database::new();
+    for (name, arity) in [("N", 1), ("E", 1), ("S", 2), ("T", 2), ("L", 2), ("P", 3)] {
+        let rows = snap.scan(&name.into()).expect("canonical relation");
+        db.add_relation(name, Relation::from_rows(arity, rows).unwrap());
+    }
+    db
+}
+
+/// Holds a pinned snapshot to the PR 8 isolation contract: every route
+/// into the executor — the `eval_with_snapshot` pattern entry, the RA
+/// planner with the snapshot as its store, and `execute_opts`
+/// resolving the state from the [`ExecOptions`] snapshot pin alone —
+/// answers byte-identically to the single-threaded S2 reference over
+/// the snapshot's own materialized contents, at 1, 2 and 8 executor
+/// threads, coded and decoded, no matter what a concurrent writer
+/// publishes meanwhile.
+fn assert_snapshot_isolated(snap: &StoreSnapshot, context: &str) {
+    let db = snapshot_reference_db(snap);
+    for out in [
+        builders::reachability_output(),
+        builders::reachability_plus_output(),
+    ] {
+        let q = Query::pattern_ro(out, ["N", "E", "S", "T", "L", "P"]);
+        let reference = eval_with(&q, &db, EvalConfig::reference()).unwrap();
+        for threads in [1usize, 2, 8] {
+            assert_eq!(
+                eval_with_snapshot(&q, &db, EvalConfig::physical().with_threads(threads), snap)
+                    .unwrap(),
+                reference,
+                "{context}: {q} at {threads} thread(s)"
+            );
+        }
+    }
+    let shapes = [
+        RaExpr::rel("S")
+            .product(RaExpr::rel("T"))
+            .select(RowCondition::col_eq(0, 2))
+            .project(vec![1, 3]),
+        RaExpr::rel("N").diff(RaExpr::rel("T").project(vec![1])),
+        RaExpr::rel("L").project(vec![0]).union(RaExpr::rel("E")),
+    ];
+    for q in &shapes {
+        let reference = q.eval(&db).unwrap();
+        let plan = store_plan(plan_ra(q, &db.schema()).unwrap(), snap);
+        for threads in [1usize, 2, 8] {
+            let opts = ExecOptions::with_threads(threads).with_snapshot(Some(snap.clone()));
+            for mode in [BatchMode::Coded, BatchMode::Decoded] {
+                assert_eq!(
+                    &eval_ra_opts(q, &db, snap, mode, &opts).unwrap(),
+                    &reference,
+                    "{context}: {mode:?} at {threads} thread(s) on {q}"
+                );
+                // The same answer with *no* explicit store argument:
+                // the executor takes its state from the pinned
+                // snapshot inside the options.
+                assert_eq!(
+                    &execute_opts(&plan, &db, None, mode, &opts)
+                        .unwrap()
+                        .into_relation(Some(snap.as_store()))
+                        .unwrap(),
+                    &reference,
+                    "{context}: snapshot-pin route, {mode:?} at {threads} thread(s) on {q}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The PR 8 snapshot-isolation differential: reader threads pin
+    /// snapshots while a single writer pushes random update batches
+    /// through [`ConcurrentStore::write`] — a batch either commits
+    /// whole (every update accepted) or publishes nothing. Every
+    /// pinned snapshot, grabbed before, between, or concurrently with
+    /// the batches, must answer byte-identically to the
+    /// single-threaded S2 reference over its own materialized
+    /// contents, at 1/2/8 executor threads, coded and decoded; and a
+    /// snapshot pinned before the churn still holds the original
+    /// state afterwards.
+    #[test]
+    fn pinned_readers_match_reference_under_writer_churn(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(arb_canonical_update(), 1..5),
+            1..5,
+        ),
+        n in 2usize..5,
+        m in 0usize..7,
+        seed in 0u64..1000,
+    ) {
+        let db0 = canonical_graph_db(n, m, 5, seed);
+        let store = ConcurrentStore::new(store_for(&db0));
+        let genesis = store.pin();
+        let genesis_db = snapshot_reference_db(&genesis);
+        let done = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let readers: Vec<_> = (0..2)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut rounds = 0usize;
+                        while rounds < 4 && (rounds == 0 || !done.load(Ordering::Relaxed)) {
+                            assert_snapshot_isolated(&store.pin(), "churn");
+                            rounds += 1;
+                        }
+                        rounds
+                    })
+                })
+                .collect();
+            for batch in &batches {
+                // Commit-or-rollback: rejected updates fail the whole
+                // batch, and readers must stay consistent either way.
+                let _ = store.write(|s| {
+                    for u in batch {
+                        s.apply_update("G", u)?;
+                    }
+                    Ok::<(), StoreError>(())
+                });
+            }
+            done.store(true, Ordering::Relaxed);
+            for r in readers {
+                assert!(r.join().expect("reader thread") > 0);
+            }
+        });
+        // The pre-churn pin froze: same contents, same answers.
+        let still = snapshot_reference_db(&genesis);
+        for name in views() {
+            prop_assert_eq!(
+                still.get(&name).unwrap(),
+                genesis_db.get(&name).unwrap(),
+                "pre-churn pin drifted on {}", name
+            );
+        }
+        assert_snapshot_isolated(&genesis, "pre-churn pin after churn");
+        // The final published snapshot is consistent too.
+        assert_snapshot_isolated(&store.pin(), "final");
+    }
+}
+
+/// Compaction as a background snapshot swap (PR 8): queries answered
+/// before, during and after [`ConcurrentStore::compact`] agree with
+/// the S2 reference over their own pinned snapshot; the published
+/// post-compaction snapshot holds the same contents with zero stale
+/// dictionary entries, tombstones and overlay rows; and the
+/// pre-compaction pin keeps decoding through its *own* dictionary —
+/// the code remap never reaches it.
+#[test]
+fn compaction_swap_is_invisible_to_pinned_readers() {
+    let id = |i: i64| Tuple::unary(Value::int(i));
+    let db0 = canonical_graph_db(6, 10, 5, 42);
+    let store = ConcurrentStore::new(store_for(&db0));
+    // Churn first, so compaction has something to reclaim: drop a node
+    // with its edges, cycle a property, graft on a fresh chain.
+    store
+        .write(|s| {
+            s.apply_update("G", &Update::DetachRemoveNode(id(0)))?;
+            s.apply_update("G", &Update::AddNode(id(50)))?;
+            s.apply_update(
+                "G",
+                &Update::AddEdge {
+                    id: id(777_000),
+                    src: id(50),
+                    tgt: id(1),
+                },
+            )?;
+            s.apply_update("G", &Update::SetProp(id(1), Value::str("w"), Value::int(9)))?;
+            s.apply_update("G", &Update::RemoveProp(id(1), Value::str("w")))?;
+            Ok::<(), StoreError>(())
+        })
+        .expect("churn batch is valid");
+    let before = store.pin();
+    let before_db = snapshot_reference_db(&before);
+    assert!(
+        before.stats().tombstone_rows() > 0 || before.stats().dictionary_stale() > 0,
+        "churn should leave something for compaction to reclaim"
+    );
+    assert_snapshot_isolated(&before, "before compaction");
+
+    // Readers keep pinning and querying while compaction swaps the
+    // published snapshot on another thread.
+    std::thread::scope(|scope| {
+        let compactor = scope.spawn(|| store.compact().expect("compaction succeeds"));
+        for round in 0..3 {
+            assert_snapshot_isolated(&store.pin(), &format!("during compaction, round {round}"));
+        }
+        compactor.join().expect("compactor thread");
+    });
+
+    // After: the published snapshot is fully reclaimed and holds the
+    // same contents under fresh codes.
+    let after = store.pin();
+    assert!(!StoreSnapshot::ptr_eq(&before, &after));
+    let stats = after.stats();
+    assert_eq!(stats.dictionary_stale(), 0);
+    assert_eq!(stats.tombstone_rows(), 0);
+    assert_eq!(stats.overlay_entries(), 0);
+    assert_snapshot_isolated(&after, "after compaction");
+    let after_db = snapshot_reference_db(&after);
+    for name in views() {
+        assert_eq!(
+            after_db.get(&name).unwrap(),
+            before_db.get(&name).unwrap(),
+            "compaction changed {name}'s contents"
+        );
+    }
+    // The old pin survived the swap untouched: same rows, same
+    // answers, decoded through the pre-remap dictionary it pinned.
+    let held = snapshot_reference_db(&before);
+    for name in views() {
+        assert_eq!(
+            held.get(&name).unwrap(),
+            before_db.get(&name).unwrap(),
+            "pre-compaction pin drifted on {name}"
+        );
+    }
+    assert_snapshot_isolated(&before, "pre-compaction pin after the swap");
 }
 
 #[test]
