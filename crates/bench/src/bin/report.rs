@@ -29,10 +29,16 @@
 //! speedup floors (`pgq_bench::assert_parallel_floors`) plus the PR 7
 //! metrics-overhead ceiling (`pgq_bench::assert_metrics_overhead`:
 //! collecting metrics may cost at most 5% on the parallel transfers
-//! join):
+//! join). Since PR 9 the record carries a `"scaling"` section — the
+//! E19 bulk-ingestion curves over the `pgq_workloads::scale`
+//! generators (`pgq_bench::scaling_suite`), sized by `--max-nodes`
+//! (default 10⁴ for the CI smoke; the committed `BENCH_9.json` is a
+//! full `--max-nodes 1000000` run) and held in optimized builds to the
+//! loader-throughput, near-linear-growth and bulk-vs-register floors
+//! (`pgq_bench::assert_scaling_floors`):
 //!
 //! ```sh
-//! cargo run --release -p pgq-bench --bin report -- --json BENCH_8.json
+//! cargo run --release -p pgq-bench --bin report -- --json BENCH_9.json
 //! ```
 
 fn main() {
@@ -41,15 +47,34 @@ fn main() {
         let path = args
             .get(pos + 1)
             .map(String::as_str)
-            .unwrap_or("BENCH_8.json");
+            .unwrap_or("BENCH_9.json");
+        let max_nodes = args
+            .iter()
+            .position(|a| a == "--max-nodes")
+            .and_then(|p| args.get(p + 1))
+            .map(|v| v.parse().expect("--max-nodes takes a node count"))
+            .unwrap_or(10_000);
+        let threads = pgq_exec::ExecOptions::auto().threads;
         let mut entries = pgq_bench::full_suite(1);
         let profiles = pgq_bench::profile_records(1);
         let serve = pgq_bench::serve_mixed_load(4, 30);
         entries.extend(pgq_bench::serve_entries(&serve));
-        let json = pgq_bench::to_json_with_serve(&entries, &profiles, &serve);
+        let scaling =
+            pgq_bench::scaling_suite(max_nodes, pgq_bench::scaling::REGISTER_CAP, threads);
+        entries.extend(pgq_bench::scaling_entries(&scaling));
+        let json = pgq_bench::to_json_with_scaling(&entries, &profiles, &serve, &scaling);
         std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         for e in &entries {
             println!("{}: {} ns (|D| = {})", e.name, e.mean_ns, e.input_size);
+        }
+        for p in &scaling {
+            println!(
+                "scaling/{}/{}: {:.0} rows/s over {} rows",
+                p.generator,
+                p.nodes,
+                p.rows_per_sec(),
+                p.rows
+            );
         }
         println!(
             "serve: {:.1} QPS over {} mixed requests ({} error(s))",
@@ -65,6 +90,8 @@ fn main() {
             println!("incremental-update floors hold (E18).");
             pgq_bench::assert_serve_floors(&serve);
             println!("serve floors hold (PR 8).");
+            pgq_bench::assert_scaling_floors(&scaling);
+            println!("ingestion scaling floors hold (E19).");
             // The speedup floors additionally need real cores to
             // parallelize onto; a 1-core runner measures only the
             // scheduling overhead.

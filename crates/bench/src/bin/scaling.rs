@@ -1,0 +1,80 @@
+//! The E19 ingestion scaling driver (PR 9):
+//!
+//! ```sh
+//! # CI scaling-smoke: 10³–10⁴ nodes, floors gated in release mode
+//! cargo run --release -p pgq-bench --bin scaling -- --max-nodes 10000
+//!
+//! # the committed full-scale record: 10³–10⁶ nodes (10⁷ edges)
+//! cargo run --release -p pgq-bench --bin scaling -- --max-nodes 1000000 --json BENCH_9.json
+//! ```
+//!
+//! Runs `pgq_bench::scaling_suite` over both `pgq_workloads::scale`
+//! generators at every decade up to `--max-nodes` (the register-route
+//! comparison stops at `--register-cap`, default 10⁵), prints one line
+//! per scale point, and in optimized builds gates the curves on
+//! `pgq_bench::assert_scaling_floors` — the loader-throughput floor,
+//! the near-linear-growth bound, and bulk ≥ 5× the register route at
+//! the largest common scale. With `--json <path>` it also writes the
+//! curves as a standalone `{"scaling": …}` document.
+
+use pgq_bench::scaling;
+
+fn arg(args: &[String], flag: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|p| args.get(p + 1))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{flag} takes a number, got {v:?}"))
+        })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let max_nodes = arg(&args, "--max-nodes").unwrap_or(10_000);
+    let register_cap = arg(&args, "--register-cap").unwrap_or(scaling::REGISTER_CAP);
+    let threads = pgq_exec::ExecOptions::auto().threads;
+    let points = scaling::scaling_suite(max_nodes, register_cap, threads);
+    for p in &points {
+        let register = p
+            .register_ns
+            .map(|r| format!("{:.1}x bulk", r as f64 / p.bulk_load_ns as f64))
+            .unwrap_or_else(|| "skipped".into());
+        println!(
+            "{}/{}: {} rows in {} ms ({:.0} rows/s), register {register}, \
+             reach64 {} ms ({} nodes), coded join {} ms ({} rows), {} bytes resident",
+            p.generator,
+            p.nodes,
+            p.rows,
+            p.bulk_load_ns / 1_000_000,
+            p.rows_per_sec(),
+            p.reach_ns / 1_000_000,
+            p.reach_nodes,
+            p.join_ns / 1_000_000,
+            p.join_rows,
+            p.bytes.total()
+        );
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        let path = args
+            .get(pos + 1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_9.json");
+        let mut w = pgq_exec::JsonWriter::pretty();
+        w.begin_object();
+        scaling::write_scaling_section(&mut w, &points);
+        w.end_object();
+        let mut json = w.finish();
+        json.push('\n');
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("scaling curves written to {path}.");
+    }
+    // Debug builds measure the interpreter, not the loader; only
+    // optimized runs are held to the E19 floors.
+    if !cfg!(debug_assertions) {
+        scaling::assert_scaling_floors(&points);
+        println!("ingestion scaling floors hold (E19).");
+    } else {
+        println!("ingestion scaling floors skipped (debug build).");
+    }
+}

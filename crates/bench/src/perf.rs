@@ -773,15 +773,8 @@ pub fn to_json(entries: &[BenchEntry]) -> String {
     out
 }
 
-/// The `BENCH_7.json` document: the flat entry map under `"benches"`
-/// plus the per-operator [`QueryProfile`] trees under `"profiles"` —
-/// one shared [`JsonWriter`], no serde.
-pub fn to_json_with_profiles(
-    entries: &[BenchEntry],
-    profiles: &[(String, QueryProfile)],
-) -> String {
-    let mut w = JsonWriter::pretty();
-    w.begin_object();
+/// Writes the flat entry map as the `"benches"` section.
+pub(crate) fn write_bench_section(w: &mut JsonWriter, entries: &[BenchEntry]) {
     w.key("benches");
     w.begin_object();
     for e in entries {
@@ -794,13 +787,30 @@ pub fn to_json_with_profiles(
         w.end_object();
     }
     w.end_object();
+}
+
+/// Writes the per-operator trees as the `"profiles"` section.
+pub(crate) fn write_profile_section(w: &mut JsonWriter, profiles: &[(String, QueryProfile)]) {
     w.key("profiles");
     w.begin_object();
     for (name, p) in profiles {
         w.key(name);
-        p.write_json(&mut w);
+        p.write_json(w);
     }
     w.end_object();
+}
+
+/// The `BENCH_7.json` document: the flat entry map under `"benches"`
+/// plus the per-operator [`QueryProfile`] trees under `"profiles"` —
+/// one shared [`JsonWriter`], no serde.
+pub fn to_json_with_profiles(
+    entries: &[BenchEntry],
+    profiles: &[(String, QueryProfile)],
+) -> String {
+    let mut w = JsonWriter::pretty();
+    w.begin_object();
+    write_bench_section(&mut w, entries);
+    write_profile_section(&mut w, profiles);
     w.end_object();
     let mut out = w.finish();
     out.push('\n');

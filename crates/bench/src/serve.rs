@@ -280,35 +280,8 @@ pub fn assert_serve_floors(report: &ServeReport) {
     );
 }
 
-/// The `BENCH_8.json` document: `"benches"` and `"profiles"` as in
-/// `BENCH_7.json`, plus a `"serve"` section with the mixed-load
-/// QPS/p50/p99 record.
-pub fn to_json_with_serve(
-    entries: &[BenchEntry],
-    profiles: &[(String, pgq_exec::QueryProfile)],
-    serve: &ServeReport,
-) -> String {
-    let mut w = JsonWriter::pretty();
-    w.begin_object();
-    w.key("benches");
-    w.begin_object();
-    for e in entries {
-        w.key(&e.name);
-        w.begin_object();
-        w.key("mean_ns");
-        w.number_u128(e.mean_ns);
-        w.key("input_size");
-        w.number(e.input_size as u64);
-        w.end_object();
-    }
-    w.end_object();
-    w.key("profiles");
-    w.begin_object();
-    for (name, p) in profiles {
-        w.key(name);
-        p.write_json(&mut w);
-    }
-    w.end_object();
+/// Writes the mixed-load report as the `"serve"` section.
+pub(crate) fn write_serve_section(w: &mut JsonWriter, serve: &ServeReport) {
     w.key("serve");
     w.begin_object();
     w.key("clients");
@@ -330,6 +303,21 @@ pub fn to_json_with_serve(
     w.key("p99_ns");
     w.number_u128(serve.p99_ns);
     w.end_object();
+}
+
+/// The `BENCH_8.json` document: `"benches"` and `"profiles"` as in
+/// `BENCH_7.json`, plus a `"serve"` section with the mixed-load
+/// QPS/p50/p99 record.
+pub fn to_json_with_serve(
+    entries: &[BenchEntry],
+    profiles: &[(String, pgq_exec::QueryProfile)],
+    serve: &ServeReport,
+) -> String {
+    let mut w = JsonWriter::pretty();
+    w.begin_object();
+    crate::perf::write_bench_section(&mut w, entries);
+    crate::perf::write_profile_section(&mut w, profiles);
+    write_serve_section(&mut w, serve);
     w.end_object();
     let mut out = w.finish();
     out.push('\n');

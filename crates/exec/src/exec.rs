@@ -23,12 +23,12 @@ use crate::batch::Batch;
 use crate::coded::{BatchMode, CodedBatch, CodedCond, EitherBatch};
 use crate::metrics::PlanMetrics;
 use crate::parallel::{
-    hash_codes, partition_count, run_morsels, run_morsels_traced, run_tasks, run_tasks_traced,
-    ExecOptions,
+    hash_codes, partition_count, run_morsels, run_morsels_traced, run_tasks, run_tasks_scratch,
+    run_tasks_scratch_traced, run_tasks_traced, ExecOptions,
 };
 use crate::plan::PhysPlan;
 use pgq_relational::{Database, RelError, RelResult, RowCondition};
-use pgq_store::{AdjacencyView, Store};
+use pgq_store::{AdjacencyView, ReachScratch, Store};
 use pgq_value::{Tuple, Value};
 use std::collections::{HashMap, HashSet};
 use std::ops::Range;
@@ -407,6 +407,34 @@ where
     }
 }
 
+/// [`traced_tasks`] with per-worker scratch state: each worker builds
+/// one `S` up front and reuses it across every task it claims — how
+/// the fixpoint sweeps keep their frontier/visited buffers out of the
+/// allocator across groups (the PR 9 churn fix; the buffers' own
+/// allocation counter is pinned down in `pgq-store`'s CSR tests).
+fn traced_tasks_scratch<T, S, I, F>(
+    m: Option<&mut PlanMetrics>,
+    count: usize,
+    dop: usize,
+    init: I,
+    work: F,
+) -> RelResult<Vec<T>>
+where
+    T: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, usize) -> RelResult<T> + Sync,
+{
+    match m {
+        Some(node) => {
+            node.dop = node.dop.max(dop.min(count).max(1));
+            let (out, claimed) = run_tasks_scratch_traced(count, dop, init, work)?;
+            node.record_workers(&claimed);
+            Ok(out)
+        }
+        None => run_tasks_scratch(count, dop, init, work),
+    }
+}
+
 /// Concatenates per-morsel coded outputs in morsel order — the
 /// deterministic merge of every parallel coded operator.
 fn concat_coded(arity: usize, parts: Vec<CodedBatch>) -> RelResult<CodedBatch> {
@@ -605,18 +633,25 @@ fn csr_fixpoint(
     if let Some(n) = m.as_deref_mut() {
         n.sweep_groups = Some(groups.len() as u64);
     }
-    let parts = traced_tasks(m, groups.len(), opts.threads, |gi| {
-        let (x, seeds, strays) = &groups[gi];
-        let mut part: Vec<Tuple> = Vec::new();
-        for c in view.reach_from(seeds.iter().copied()) {
-            let y = store.decode(c).clone();
-            part.push(Tuple::new(vec![x.clone(), y]));
-        }
-        for y in strays {
-            part.push(Tuple::new(vec![x.clone(), y.clone()]));
-        }
-        Ok(part)
-    })?;
+    let parts = traced_tasks_scratch(
+        m,
+        groups.len(),
+        opts.threads,
+        |_| (ReachScratch::new(), Vec::new()),
+        |(scratch, reached): &mut (ReachScratch, Vec<u32>), gi| {
+            let (x, seeds, strays) = &groups[gi];
+            view.reach_from_into(seeds.iter().copied(), scratch, reached);
+            let mut part: Vec<Tuple> = Vec::with_capacity(reached.len() + strays.len());
+            for &c in reached.iter() {
+                let y = store.decode(c).clone();
+                part.push(Tuple::new(vec![x.clone(), y]));
+            }
+            for y in strays {
+                part.push(Tuple::new(vec![x.clone(), y.clone()]));
+            }
+            Ok(part)
+        },
+    )?;
     let mut out = Batch::empty(2);
     for t in parts.into_iter().flatten() {
         out.push(t)?;
@@ -656,14 +691,21 @@ fn csr_fixpoint_coded(
     if let Some(n) = m.as_deref_mut() {
         n.sweep_groups = Some(groups.len() as u64);
     }
-    let parts = traced_tasks(m, groups.len(), opts.threads, |gi| {
-        let (x, seeds) = &groups[gi];
-        let mut part = CodedBatch::empty(2);
-        for c in view.reach_from(seeds.iter().copied()) {
-            part.push(&[*x, c])?;
-        }
-        Ok(part)
-    })?;
+    let parts = traced_tasks_scratch(
+        m,
+        groups.len(),
+        opts.threads,
+        |_| (ReachScratch::new(), Vec::new()),
+        |(scratch, reached): &mut (ReachScratch, Vec<u32>), gi| {
+            let (x, seeds) = &groups[gi];
+            view.reach_from_into(seeds.iter().copied(), scratch, reached);
+            let mut part = CodedBatch::empty(2);
+            for &c in reached.iter() {
+                part.push(&[*x, c])?;
+            }
+            Ok(part)
+        },
+    )?;
     let counters = store.counters();
     counters.record_csr_sweep_sources(groups.len() as u64);
     counters.record_adjacency_read(view.has_delta());

@@ -17,16 +17,23 @@
 //! a [`pgq_relational::RelError`] stops claiming morsels and the first error in morsel
 //! order is returned — a poisoned-scope panic can only come from a
 //! genuine executor bug, never from user-constructible inputs (the
-//! panic-free audit of this PR).
+//! panic-free audit of PR 6).
+//!
+//! Since PR 9 the generic scheduling core lives in
+//! [`pgq_store::par`] so the store's bulk-ingest paths can share it;
+//! this module re-exports it (specialized by type inference to
+//! `RelError` at the executor's call sites) and keeps the
+//! executor-specific tuning knobs ([`ExecOptions`]).
 
-use pgq_relational::RelResult;
 use pgq_store::{Store, StoreSnapshot};
-use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Rows per morsel — small enough that short pipelines stay balanced,
-/// large enough that the per-morsel scheduling cost disappears.
-pub const MORSEL_ROWS: usize = 1024;
+/// Rows per morsel (re-exported from the store-level engine).
+pub use pgq_store::par::MORSEL_ROWS;
+
+pub(crate) use pgq_store::par::{
+    hash_codes, partition_count, run_morsels, run_morsels_traced, run_tasks, run_tasks_scratch,
+    run_tasks_scratch_traced, run_tasks_traced,
+};
 
 /// Executor tuning knobs, threaded from the public entry points
 /// ([`crate::execute_opts`], `eval_with_store`, the shell's
@@ -163,181 +170,25 @@ impl PartialEq for ExecOptions {
 
 impl Eq for ExecOptions {}
 
-/// The morsel ranges covering `0..len` (empty for an empty input).
-fn morsel_ranges(len: usize) -> Vec<Range<usize>> {
-    (0..len.div_ceil(MORSEL_ROWS))
-        .map(|i| i * MORSEL_ROWS..((i + 1) * MORSEL_ROWS).min(len))
-        .collect()
-}
-
-/// Runs `work` over `count` independent task indices on up to
-/// `threads` scoped workers and returns the outputs **in task order**
-/// — the deterministic merge every parallel operator builds on. Runs
-/// inline on the calling thread when one worker (or one task) suffices.
-///
-/// The first error in task order wins; tasks left unclaimed because
-/// every worker stopped on an error are simply dropped (an error is
-/// returned in that case by construction, since workers only stop
-/// early when they hit one).
-pub(crate) fn run_tasks<T, F>(count: usize, threads: usize, work: F) -> RelResult<Vec<T>>
-where
-    T: Send,
-    F: Fn(usize) -> RelResult<T> + Sync,
-{
-    run_tasks_inner(count, threads, work, None)
-}
-
-/// [`run_tasks`], additionally reporting how many tasks each worker
-/// slot claimed (the scheduler-utilization half of the metrics layer).
-/// The counts describe *scheduling*, not results — they vary run to
-/// run and are rendered only in the timing section of a profile.
-pub(crate) fn run_tasks_traced<T, F>(
-    count: usize,
-    threads: usize,
-    work: F,
-) -> RelResult<(Vec<T>, Vec<u64>)>
-where
-    T: Send,
-    F: Fn(usize) -> RelResult<T> + Sync,
-{
-    let mut claimed: Vec<u64> = Vec::new();
-    let out = run_tasks_inner(count, threads, work, Some(&mut claimed))?;
-    Ok((out, claimed))
-}
-
-fn run_tasks_inner<T, F>(
-    count: usize,
-    threads: usize,
-    work: F,
-    claimed: Option<&mut Vec<u64>>,
-) -> RelResult<Vec<T>>
-where
-    T: Send,
-    F: Fn(usize) -> RelResult<T> + Sync,
-{
-    let threads = threads.min(count).max(1);
-    if threads == 1 {
-        if let Some(c) = claimed {
-            *c = vec![count as u64];
-        }
-        return (0..count).map(&work).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let worker = |_| {
-        let mut mine: Vec<(usize, RelResult<T>)> = Vec::new();
-        loop {
-            let i = next.fetch_add(1, Ordering::Relaxed);
-            if i >= count {
-                break;
-            }
-            let out = work(i);
-            let failed = out.is_err();
-            mine.push((i, out));
-            if failed {
-                break;
-            }
-        }
-        mine
-    };
-    let per_worker: Vec<Vec<(usize, RelResult<T>)>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads).map(|i| s.spawn(move || worker(i))).collect();
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(v) => v,
-                Err(payload) => std::panic::resume_unwind(payload),
-            })
-            .collect()
-    });
-    if let Some(c) = claimed {
-        *c = per_worker.iter().map(|v| v.len() as u64).collect();
-    }
-    let produced = per_worker.into_iter().flatten();
-    let mut slots: Vec<Option<RelResult<T>>> = (0..count).map(|_| None).collect();
-    for (i, r) in produced {
-        slots[i] = Some(r);
-    }
-    let mut out = Vec::with_capacity(count);
-    for slot in slots {
-        match slot {
-            Some(Ok(t)) => out.push(t),
-            Some(Err(e)) => return Err(e),
-            // Unclaimed ⇒ every worker stopped early on some error,
-            // which a later (claimed) slot holds.
-            None => {}
-        }
-    }
-    Ok(out)
-}
-
-/// Splits `0..len` into fixed-size morsels, folds `work` over them on
-/// up to `threads` workers, and returns the per-morsel outputs in
-/// morsel order.
-pub(crate) fn run_morsels<T, F>(len: usize, threads: usize, work: F) -> RelResult<Vec<T>>
-where
-    T: Send,
-    F: Fn(Range<usize>) -> RelResult<T> + Sync,
-{
-    let morsels = morsel_ranges(len);
-    run_tasks(morsels.len(), threads, |i| work(morsels[i].clone()))
-}
-
-/// [`run_morsels`], additionally reporting per-worker morsel counts
-/// (see [`run_tasks_traced`]).
-pub(crate) fn run_morsels_traced<T, F>(
-    len: usize,
-    threads: usize,
-    work: F,
-) -> RelResult<(Vec<T>, Vec<u64>)>
-where
-    T: Send,
-    F: Fn(Range<usize>) -> RelResult<T> + Sync,
-{
-    let morsels = morsel_ranges(len);
-    run_tasks_traced(morsels.len(), threads, |i| work(morsels[i].clone()))
-}
-
-/// A deterministic hash of a coded key — FNV-1a over the key codes.
-/// Radix partitioning (parallel hash-join builds, partitioned
-/// `Distinct`) must not depend on `RandomState`'s per-process seed:
-/// partition assignment is part of no observable output, but a fixed
-/// function keeps worker loads reproducible run-to-run.
-#[inline]
-pub(crate) fn hash_codes(codes: &[u32]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &c in codes {
-        h ^= u64::from(c);
-        h = h.wrapping_mul(0x1_0000_0000_01b3);
-    }
-    h
-}
-
-/// Number of radix partitions for `threads` workers — a power of two
-/// a little above the worker count, so one skewed partition cannot
-/// serialize the merge.
-pub(crate) fn partition_count(threads: usize) -> usize {
-    threads.max(1).next_power_of_two() * 2
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pgq_relational::RelError;
+    use pgq_relational::{RelError, RelResult};
 
     #[test]
     fn tasks_merge_in_order_at_every_thread_count() {
         for threads in [1, 2, 3, 8] {
-            let out = run_tasks(10, threads, |i| Ok(i * i)).unwrap();
+            let out: Vec<usize> = run_tasks(10, threads, |i| RelResult::Ok(i * i)).unwrap();
             assert_eq!(out, (0..10).map(|i| i * i).collect::<Vec<_>>());
         }
-        assert!(run_tasks(0, 4, Ok).unwrap().is_empty());
+        assert!(run_tasks(0, 4, RelResult::Ok).unwrap().is_empty());
     }
 
     #[test]
     fn morsels_cover_the_input_exactly_once() {
         let len = 3 * MORSEL_ROWS + 17;
         for threads in [1, 2, 8] {
-            let ranges = run_morsels(len, threads, Ok).unwrap();
+            let ranges = run_morsels(len, threads, RelResult::Ok).unwrap();
             let covered: usize = ranges.iter().map(|r| r.len()).sum();
             assert_eq!(covered, len);
             let mut expected_start = 0;
@@ -385,12 +236,12 @@ mod tests {
     #[test]
     fn traced_tasks_report_every_claim_exactly_once() {
         for threads in [1, 2, 8] {
-            let (out, claimed) = run_tasks_traced(10, threads, |i| Ok(i * i)).unwrap();
+            let (out, claimed) = run_tasks_traced(10, threads, |i| RelResult::Ok(i * i)).unwrap();
             assert_eq!(out, (0..10).map(|i| i * i).collect::<Vec<_>>());
             assert_eq!(claimed.iter().sum::<u64>(), 10, "threads = {threads}");
         }
         let len = 3 * MORSEL_ROWS + 17;
-        let (ranges, claimed) = run_morsels_traced(len, 4, Ok).unwrap();
+        let (ranges, claimed) = run_morsels_traced(len, 4, RelResult::Ok).unwrap();
         assert_eq!(ranges.iter().map(std::ops::Range::len).sum::<usize>(), len);
         assert_eq!(claimed.iter().sum::<u64>(), 4);
     }

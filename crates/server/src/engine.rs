@@ -608,6 +608,19 @@ fn stats_json(stats: &StoreStats) -> String {
     w.number(stats.overlay_entries() as u64);
     w.key("tombstone_rows");
     w.number(stats.tombstone_rows() as u64);
+    w.key("bytes");
+    w.begin_object();
+    w.key("dictionary");
+    w.number(stats.bytes.dictionary as u64);
+    w.key("columns");
+    w.number(stats.bytes.columns as u64);
+    w.key("csr");
+    w.number(stats.bytes.csr as u64);
+    w.key("overlays");
+    w.number(stats.bytes.overlays as u64);
+    w.key("total");
+    w.number(stats.bytes.total() as u64);
+    w.end_object();
     w.key("relations");
     w.number(stats.relations.len() as u64);
     w.key("graphs");

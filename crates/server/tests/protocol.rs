@@ -108,6 +108,15 @@ fn statement_batches_and_session_commands_round_trip() {
     // JSON variants and COMPACT.
     let stats = client.request("STATS JSON").expect("stats json").join("\n");
     assert!(stats.trim_start().starts_with('{'), "not JSON: {stats}");
+    for key in [
+        "\"bytes\"",
+        "\"dictionary\"",
+        "\"csr\"",
+        "\"overlays\"",
+        "\"total\"",
+    ] {
+        assert!(stats.contains(key), "missing {key} in STATS JSON: {stats}");
+    }
     let resp = client.request("COMPACT").expect("compact");
     assert!(resp[0].starts_with("-- compacted:"), "{resp:?}");
     // EXPLAIN and EXPLAIN ANALYZE both answer.

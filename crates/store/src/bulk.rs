@@ -1,0 +1,504 @@
+//! Zero-materialization bulk ingestion (PR 9).
+//!
+//! The register route — build a [`Database`] of `BTreeSet` relations,
+//! [`crate::Store::register_database`], then
+//! [`crate::Store::register_view_graph`] — materializes every row as a
+//! [`Tuple`] of cloned [`Value`]s at least twice before a single code
+//! is minted, and re-validates the `pgView` conditions the generator
+//! already guarantees. At 10⁶ nodes / 10⁷ edges that intermediate
+//! materialization dominates the load. [`Store::bulk_load`] goes
+//! straight from generator output ([`BulkGraph`]: flat value vectors
+//! plus index-typed edge endpoints) to the store's physical layout:
+//!
+//! * **one** atomic [`crate::Dictionary::bulk_intern_refs`] pass over
+//!   every value stream (morsel-parallel probe, pre-sized append — no
+//!   re-hash storms, nothing minted on a limit failure);
+//! * columnar relations assembled column-by-column from code slices
+//!   ([`crate::ColumnarRelation::from_codes`]), with row/end indexes
+//!   **deferred** — the first post-load row-level writer builds them;
+//! * forward/reverse CSR built sort-based from pair vectors
+//!   ([`crate::CsrIndex::from_dense_pairs`]); the graph-level indexes
+//!   reuse the generator's dense node indexes outright, so the node
+//!   universe is contiguous and the id map costs zero bytes;
+//! * the reserved active-domain relation derived from the interned
+//!   codes (sorted by value, like a fresh registration) instead of a
+//!   live-row sweep.
+//!
+//! Equivalence with the register route — same query answers at thread
+//! counts {1, 2, 8}, coded and decoded — is held by the differential
+//! suite (`tests/prop_store.rs`); the speedup curve is experiment
+//! `BENCH_9.json`.
+
+use crate::column::ColumnarRelation;
+use crate::csr::CsrIndex;
+use crate::store::{CsrWithDelta, GraphEntry, GraphForm, MemoryBytes, Store, StoreError, ADOM_REL};
+use pgq_relational::{Database, RelName, Relation};
+use pgq_value::{Tuple, Value};
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
+
+/// A property graph in generator layout: flat identifier vectors and
+/// index-typed structure, the input of [`Store::bulk_load`]. Edge
+/// endpoints, labels and properties refer to nodes/edges **by position**
+/// in [`BulkGraph::nodes`] / [`BulkGraph::edges`] — the generator's
+/// dense ids double as the store's CSR node universe, so no
+/// re-densification happens at load time.
+///
+/// Invariants (the well-formedness `pgView` would otherwise validate;
+/// generators satisfy them by construction, and [`Store::bulk_load`]
+/// checks the cheap ones):
+///
+/// * node identifiers are pairwise distinct, edge identifiers are
+///   pairwise distinct, and the two id spaces are disjoint;
+/// * every index in [`BulkGraph::src`] / [`BulkGraph::tgt`] /
+///   [`BulkGraph::labels`] / property owners is in range;
+/// * label and property rows are set-unique (no duplicate
+///   `(edge, label)` or `(owner, key, value)` entries).
+#[derive(Debug, Clone, Default)]
+pub struct BulkGraph {
+    /// Node identifiers; position = dense node id.
+    pub nodes: Vec<Value>,
+    /// Edge identifiers; position = edge index.
+    pub edges: Vec<Value>,
+    /// Per-edge source node index (`src.len() == edges.len()`).
+    pub src: Vec<u32>,
+    /// Per-edge target node index (`tgt.len() == edges.len()`).
+    pub tgt: Vec<u32>,
+    /// `(edge index, label)` rows.
+    pub labels: Vec<(u32, Value)>,
+    /// `(node index, key, value)` property rows.
+    pub node_props: Vec<(u32, Value, Value)>,
+    /// `(edge index, key, value)` property rows.
+    pub edge_props: Vec<(u32, Value, Value)>,
+}
+
+impl BulkGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        BulkGraph::default()
+    }
+
+    /// Appends a node, returning its dense index.
+    pub fn add_node(&mut self, id: impl Into<Value>) -> u32 {
+        self.nodes.push(id.into());
+        (self.nodes.len() - 1) as u32
+    }
+
+    /// Appends an edge between node indexes, returning its edge index.
+    pub fn add_edge(&mut self, id: impl Into<Value>, src: u32, tgt: u32) -> u32 {
+        self.edges.push(id.into());
+        self.src.push(src);
+        self.tgt.push(tgt);
+        (self.edges.len() - 1) as u32
+    }
+
+    /// Total row count across the six canonical relations.
+    pub fn row_count(&self) -> usize {
+        self.nodes.len()
+            + 3 * self.edges.len()
+            + self.labels.len()
+            + self.node_props.len()
+            + self.edge_props.len()
+    }
+
+    /// The same graph as a canonical six-relation [`Database`] under
+    /// the given view names — the **register route** the differential
+    /// suite and the scaling benches compare [`Store::bulk_load`]
+    /// against. Deliberately materializes every row.
+    pub fn to_database(&self, views: &[RelName; 6]) -> Database {
+        let mut db = Database::new();
+        for (name, arity) in views.iter().zip([1, 1, 2, 2, 2, 3]) {
+            db.add_relation(name.clone(), Relation::empty(arity));
+        }
+        for n in &self.nodes {
+            db.insert(views[0].clone(), Tuple::unary(n.clone()))
+                .unwrap();
+        }
+        for (i, e) in self.edges.iter().enumerate() {
+            db.insert(views[1].clone(), Tuple::unary(e.clone()))
+                .unwrap();
+            let s = self.nodes[self.src[i] as usize].clone();
+            let t = self.nodes[self.tgt[i] as usize].clone();
+            db.insert(views[2].clone(), Tuple::new(vec![e.clone(), s]))
+                .unwrap();
+            db.insert(views[3].clone(), Tuple::new(vec![e.clone(), t]))
+                .unwrap();
+        }
+        for (e, l) in &self.labels {
+            let e = self.edges[*e as usize].clone();
+            db.insert(views[4].clone(), Tuple::new(vec![e, l.clone()]))
+                .unwrap();
+        }
+        for (n, k, v) in &self.node_props {
+            let n = self.nodes[*n as usize].clone();
+            db.insert(views[5].clone(), Tuple::new(vec![n, k.clone(), v.clone()]))
+                .unwrap();
+        }
+        for (e, k, v) in &self.edge_props {
+            let e = self.edges[*e as usize].clone();
+            db.insert(views[5].clone(), Tuple::new(vec![e, k.clone(), v.clone()]))
+                .unwrap();
+        }
+        db
+    }
+
+    /// Structural validation: index vectors sized and in range. The
+    /// distinctness invariants are checked against interned codes in
+    /// [`Store::bulk_load`] (codes make it O(n) hashes of `u32`s, not
+    /// values).
+    ///
+    /// # Panics
+    ///
+    /// On a malformed graph — out-of-range indexes are generator bugs,
+    /// not data-dependent conditions.
+    fn check_shape(&self) {
+        let n = self.nodes.len() as u64;
+        let m = self.edges.len() as u64;
+        assert_eq!(self.src.len(), self.edges.len(), "src per edge");
+        assert_eq!(self.tgt.len(), self.edges.len(), "tgt per edge");
+        assert!(
+            self.src.iter().chain(&self.tgt).all(|&i| (i as u64) < n),
+            "edge endpoint index out of range"
+        );
+        assert!(
+            self.labels.iter().all(|&(e, _)| (e as u64) < m),
+            "label edge index out of range"
+        );
+        assert!(
+            self.node_props.iter().all(|&(i, _, _)| (i as u64) < n),
+            "node property index out of range"
+        );
+        assert!(
+            self.edge_props.iter().all(|&(e, _, _)| (e as u64) < m),
+            "edge property index out of range"
+        );
+    }
+}
+
+/// What one [`Store::bulk_load`] did — the numbers the scaling benches
+/// record next to their timings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BulkLoadStats {
+    /// Nodes loaded.
+    pub nodes: usize,
+    /// Edges loaded.
+    pub edges: usize,
+    /// Rows across the six relations (the reserved active-domain
+    /// relation excluded).
+    pub rows: usize,
+    /// Fresh dictionary codes this load minted.
+    pub codes_minted: usize,
+    /// Distinct values referenced by the load (the active-domain size).
+    pub distinct_values: usize,
+    /// Estimated post-load resident bytes by component.
+    pub bytes: MemoryBytes,
+}
+
+impl Store {
+    /// Bulk-loads `g` as the store's catalog: the six canonical
+    /// relations under `views` (columnar, CSR-indexed where binary),
+    /// the reserved [`ADOM_REL`] relation, and a frozen graph entry
+    /// under `graph_name` — equivalent to registering
+    /// [`BulkGraph::to_database`] via [`Store::register_database`] +
+    /// [`Store::register_view_graph`], but built **directly** from the
+    /// generator layout with no intermediate row materialization and no
+    /// re-validation of invariants the generator guarantees (see
+    /// [`BulkGraph`]; like `register_database`, previously registered
+    /// relations and graphs are replaced, while the append-only
+    /// dictionary is retained).
+    ///
+    /// `threads` bounds the workers of the morsel-parallel interning
+    /// probe; `1` loads fully sequentially.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NodeUniverseFull`] when the node count exceeds the
+    /// dense-id space and [`StoreError::DictionaryFull`] when the
+    /// distinct values would exceed the dictionary limit — both
+    /// **atomic**: checked (or enforced by the all-or-nothing intern
+    /// pass) before any store structure changes, so a failed load
+    /// leaves the store exactly as it was.
+    ///
+    /// # Panics
+    ///
+    /// On a structurally malformed `g` (out-of-range indexes,
+    /// duplicate identifiers) — generator bugs, not data-dependent
+    /// conditions.
+    pub fn bulk_load(
+        &mut self,
+        graph_name: impl Into<String>,
+        views: [RelName; 6],
+        form: GraphForm,
+        g: &BulkGraph,
+        threads: usize,
+    ) -> Result<BulkLoadStats, StoreError> {
+        self.bulk_load_bounded(graph_name, views, form, g, threads, CsrIndex::MAX_NODES)
+    }
+
+    /// [`Store::bulk_load`] with an explicit node-universe ceiling, so
+    /// the boundary tests exercise [`StoreError::NodeUniverseFull`]
+    /// without 2³² nodes.
+    fn bulk_load_bounded(
+        &mut self,
+        graph_name: impl Into<String>,
+        views: [RelName; 6],
+        form: GraphForm,
+        g: &BulkGraph,
+        threads: usize,
+        node_limit: usize,
+    ) -> Result<BulkLoadStats, StoreError> {
+        g.check_shape();
+        let (n, m) = (g.nodes.len(), g.edges.len());
+        // Fail before touching anything: atomicity by ordering.
+        if n > node_limit {
+            return Err(StoreError::NodeUniverseFull { limit: node_limit });
+        }
+        // ---- Intern every value stream in one atomic pass. ----------
+        let mut stream: Vec<&Value> = Vec::with_capacity(
+            n + m + g.labels.len() + 2 * (g.node_props.len() + g.edge_props.len()),
+        );
+        stream.extend(g.nodes.iter());
+        stream.extend(g.edges.iter());
+        stream.extend(g.labels.iter().map(|(_, l)| l));
+        for (_, k, v) in &g.node_props {
+            stream.push(k);
+            stream.push(v);
+        }
+        for (_, k, v) in &g.edge_props {
+            stream.push(k);
+            stream.push(v);
+        }
+        let before = self.dict.len();
+        let codes = Arc::make_mut(&mut self.dict).bulk_intern_refs(&stream, threads)?;
+        drop(stream);
+        let node_codes = &codes[..n];
+        let edge_codes = &codes[n..n + m];
+        let label_codes = &codes[n + m..n + m + g.labels.len()];
+        let prop_codes = &codes[n + m + g.labels.len()..];
+        // Distinctness invariants, now O(1)-hash cheap on codes: the
+        // dictionary is injective, so distinct codes ⇔ distinct values.
+        {
+            let mut seen: HashSet<u32> = HashSet::with_capacity(n + m);
+            assert!(
+                node_codes.iter().chain(edge_codes).all(|&c| seen.insert(c)),
+                "bulk graph identifiers must be distinct (nodes ∪ edges)"
+            );
+        }
+        // ---- Columnar relations (indexes deferred off the load path).
+        let n_col = ColumnarRelation::from_codes(1, vec![node_codes.to_vec()]);
+        let e_col = ColumnarRelation::from_codes(1, vec![edge_codes.to_vec()]);
+        let src_codes: Vec<u32> = g.src.iter().map(|&i| node_codes[i as usize]).collect();
+        let tgt_codes: Vec<u32> = g.tgt.iter().map(|&i| node_codes[i as usize]).collect();
+        let s_col = ColumnarRelation::from_codes(2, vec![edge_codes.to_vec(), src_codes.clone()]);
+        let t_col = ColumnarRelation::from_codes(2, vec![edge_codes.to_vec(), tgt_codes.clone()]);
+        let l_edge: Vec<u32> = g
+            .labels
+            .iter()
+            .map(|&(e, _)| edge_codes[e as usize])
+            .collect();
+        let l_col = ColumnarRelation::from_codes(2, vec![l_edge.clone(), label_codes.to_vec()]);
+        let mut p_owner = Vec::with_capacity(g.node_props.len() + g.edge_props.len());
+        let mut p_key = Vec::with_capacity(p_owner.capacity());
+        let mut p_val = Vec::with_capacity(p_owner.capacity());
+        let mut pc = prop_codes.iter();
+        for (i, _, _) in &g.node_props {
+            p_owner.push(node_codes[*i as usize]);
+            p_key.push(*pc.next().expect("two codes per property"));
+            p_val.push(*pc.next().expect("two codes per property"));
+        }
+        for (e, _, _) in &g.edge_props {
+            p_owner.push(edge_codes[*e as usize]);
+            p_key.push(*pc.next().expect("two codes per property"));
+            p_val.push(*pc.next().expect("two codes per property"));
+        }
+        let p_col = ColumnarRelation::from_codes(3, vec![p_owner, p_key, p_val]);
+        // ---- Relation-level CSR for the binary relations. -----------
+        let rel_csr = |left: &[u32], right: &[u32]| -> Result<CsrIndex, StoreError> {
+            let pairs: Vec<(u32, u32)> = left.iter().copied().zip(right.iter().copied()).collect();
+            let universe = pairs.iter().flat_map(|&(a, b)| [a, b]);
+            CsrIndex::build(universe, &pairs)
+        };
+        let s_csr = rel_csr(edge_codes, &src_codes)?;
+        let t_csr = rel_csr(edge_codes, &tgt_codes)?;
+        let l_csr = rel_csr(&l_edge, label_codes)?;
+        // ---- Graph entry: the generator's indexes ARE the dense ids.
+        let dense: Vec<u32> = (0..n as u32).collect();
+        let pairs: Vec<(u32, u32)> = g.src.iter().copied().zip(g.tgt.iter().copied()).collect();
+        let node_csr = CsrIndex::from_dense_pairs(dense.clone(), pairs)?;
+        let mut by_label: BTreeMap<Value, Vec<(u32, u32)>> = BTreeMap::new();
+        for (e, l) in &g.labels {
+            by_label
+                .entry(l.clone())
+                .or_default()
+                .push((g.src[*e as usize], g.tgt[*e as usize]));
+        }
+        let mut label_csrs: BTreeMap<Value, Arc<CsrIndex>> = BTreeMap::new();
+        for (l, ps) in by_label {
+            label_csrs.insert(l, Arc::new(CsrIndex::from_dense_pairs(dense.clone(), ps)?));
+        }
+        let ids: Vec<Tuple> = g.nodes.iter().map(|v| Tuple::unary(v.clone())).collect();
+        let entry = GraphEntry::from_parts(
+            form,
+            Some(views.clone()),
+            1,
+            ids,
+            Arc::new(node_csr),
+            label_csrs,
+            m,
+        );
+        // ---- Active domain from the interned codes, in value order. -
+        let mut adom: Vec<u32> = codes.clone();
+        adom.sort_unstable();
+        adom.dedup();
+        let distinct = adom.len();
+        let dict = Arc::clone(&self.dict);
+        adom.sort_by(|&a, &b| dict.value(a).cmp(dict.value(b)));
+        let adom_col = ColumnarRelation::unary_from_codes(adom);
+        // ---- Commit: everything built, nothing left that can fail. --
+        let [nn, en, sn, tn, ln, pn] = views.clone();
+        self.relations.clear();
+        self.adjacency.clear();
+        self.graphs.clear();
+        self.view_specs.clear();
+        self.adom_dirty = false;
+        let rows = g.row_count();
+        for (name, col) in [
+            (nn, n_col),
+            (en, e_col),
+            (sn.clone(), s_col),
+            (tn.clone(), t_col),
+            (ln.clone(), l_col),
+            (pn, p_col),
+            (ADOM_REL.into(), adom_col),
+        ] {
+            self.relations.insert(name, Arc::new(col));
+        }
+        for (name, csr) in [(sn, s_csr), (tn, t_csr), (ln, l_csr)] {
+            self.adjacency
+                .insert(name, CsrWithDelta::frozen(Arc::new(csr)));
+        }
+        let graph_name = graph_name.into();
+        self.view_specs.insert(graph_name.clone(), (views, form));
+        self.graphs.insert(graph_name, entry);
+        Ok(BulkLoadStats {
+            nodes: n,
+            edges: m,
+            rows,
+            codes_minted: self.dict.len() - before,
+            distinct_values: distinct,
+            bytes: self.memory_bytes(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn views() -> [RelName; 6] {
+        ["N", "E", "S", "T", "L", "P"].map(Into::into)
+    }
+
+    /// A small two-label graph with node and edge properties.
+    fn sample() -> BulkGraph {
+        let mut g = BulkGraph::new();
+        let a = g.add_node(Value::str("a"));
+        let b = g.add_node(Value::str("b"));
+        let c = g.add_node(Value::str("c"));
+        let e1 = g.add_edge(Value::int(1), a, b);
+        let e2 = g.add_edge(Value::int(2), b, c);
+        g.labels.push((e1, Value::str("Knows")));
+        g.labels.push((e2, Value::str("Likes")));
+        g.node_props.push((a, Value::str("age"), Value::int(30)));
+        g.edge_props
+            .push((e2, Value::str("since"), Value::int(2020)));
+        g
+    }
+
+    #[test]
+    fn bulk_load_matches_the_register_route() {
+        let g = sample();
+        let mut bulk = Store::new();
+        let stats = bulk
+            .bulk_load("G", views(), GraphForm::Exact(1), &g, 2)
+            .unwrap();
+        assert_eq!((stats.nodes, stats.edges), (3, 2));
+        assert_eq!(stats.rows, g.row_count());
+        assert!(stats.bytes.total() > 0);
+
+        let db = g.to_database(&views());
+        let mut reg = Store::from_database(&db);
+        reg.register_view_graph("G", views(), &db, GraphForm::Exact(1))
+            .unwrap();
+        for (name, _) in db.iter() {
+            let a = Relation::from_rows(
+                bulk.scan(name).unwrap().first().map_or(1, Tuple::arity),
+                bulk.scan(name).unwrap(),
+            )
+            .unwrap();
+            let b = Relation::from_rows(
+                reg.scan(name).unwrap().first().map_or(1, Tuple::arity),
+                reg.scan(name).unwrap(),
+            )
+            .unwrap();
+            assert_eq!(a, b, "{name}");
+        }
+        let (bg, rg) = (bulk.graph("G").unwrap(), reg.graph("G").unwrap());
+        assert_eq!(bg.node_count(), rg.node_count());
+        assert_eq!(bg.edge_count(), rg.edge_count());
+        assert_eq!(
+            bg.reach_relation(true, false),
+            rg.reach_relation(true, false)
+        );
+    }
+
+    #[test]
+    fn bulk_load_node_limit_is_atomic() {
+        let g = sample();
+        let mut s = Store::new();
+        let before = s.dict().len();
+        assert!(matches!(
+            s.bulk_load_bounded("G", views(), GraphForm::Exact(1), &g, 1, 2),
+            Err(StoreError::NodeUniverseFull { limit: 2 })
+        ));
+        assert_eq!(s.dict().len(), before);
+        assert!(s.scan(&"N".into()).is_none());
+        assert!(s.graph("G").is_none());
+    }
+
+    #[test]
+    fn bulk_load_dict_limit_is_atomic() {
+        let g = sample();
+        let mut s = Store::with_dict_limit(3);
+        assert!(matches!(
+            s.bulk_load("G", views(), GraphForm::Exact(1), &g, 2),
+            Err(StoreError::DictionaryFull { limit: 3 })
+        ));
+        assert_eq!(s.dict().len(), 0);
+        assert!(s.scan(&"N".into()).is_none());
+        // The same graph loads fine with room to mint.
+        let mut ok = Store::with_dict_limit(64);
+        ok.bulk_load("G", views(), GraphForm::Exact(1), &g, 2)
+            .unwrap();
+        assert_eq!(ok.graph("G").unwrap().node_count(), 3);
+    }
+
+    #[test]
+    fn loaded_relations_accept_row_writers() {
+        // The deferred indexes must not break the row-level write path:
+        // the first writer builds them and probes stay correct.
+        let g = sample();
+        let mut s = Store::new();
+        s.bulk_load("G", views(), GraphForm::Exact(1), &g, 1)
+            .unwrap();
+        let n: RelName = "N".into();
+        assert!(s
+            .insert_row(n.clone(), &Tuple::unary(Value::str("d")))
+            .unwrap());
+        assert!(!s
+            .insert_row(n.clone(), &Tuple::unary(Value::str("a")))
+            .unwrap());
+        assert!(s.delete_row(&n, &Tuple::unary(Value::str("d"))).unwrap());
+        assert_eq!(s.scan(&n).unwrap().len(), 3);
+    }
+}

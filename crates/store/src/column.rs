@@ -20,6 +20,32 @@ use pgq_relational::Relation;
 use pgq_value::Tuple;
 use std::collections::HashMap;
 
+/// The probe-acceleration side of a [`ColumnarRelation`], built
+/// eagerly on the register path and **lazily** on the bulk-load path
+/// (PR 9): a ten-million-row `HashMap<Vec<u32>, usize>` costs more to
+/// build than the entire columnar load, and pure readers never touch
+/// it. The store materializes it on first write
+/// ([`ColumnarRelation::ensure_indexes`]).
+#[derive(Debug, Clone, Default)]
+struct RowIndexes {
+    /// Row codes → physical index, so membership probes are O(1)
+    /// instead of a column scan. At most one physical row exists per
+    /// code vector (sources are set-semantics relations, and the
+    /// store's append path revives a tombstoned twin instead of
+    /// appending a duplicate), so the map is total over the rows.
+    index: HashMap<Vec<u32>, usize>,
+    /// First-column code → physical rows starting with it (ascending).
+    /// Together with `last` this serves the store's writer-path
+    /// prefix/suffix probes (edge endpoints, labels, property rows) in
+    /// O(candidates) instead of a full column scan. Empty for
+    /// arity < 2, where `index` already answers exact probes.
+    /// Tombstoned rows stay listed and are filtered at probe time,
+    /// mirroring the validity bitmap.
+    first: HashMap<u32, Vec<usize>>,
+    /// Last-column code → physical rows ending with it (ascending).
+    last: HashMap<u32, Vec<usize>>,
+}
+
 /// A relation stored as dictionary-coded columns with a validity
 /// bitmap.
 #[derive(Debug, Clone, Default)]
@@ -33,22 +59,9 @@ pub struct ColumnarRelation {
     columns: Vec<Vec<u32>>,
     /// `dead[i]` marks row `i` tombstoned.
     dead: Vec<bool>,
-    /// Row codes → physical index, so membership probes are O(1)
-    /// instead of a column scan. At most one physical row exists per
-    /// code vector (sources are set-semantics relations, and the
-    /// store's append path revives a tombstoned twin instead of
-    /// appending a duplicate), so the map is total over the rows.
-    index: HashMap<Vec<u32>, usize>,
-    /// First-column code → physical rows starting with it (ascending).
-    /// Together with [`ColumnarRelation::last_index`] this serves the
-    /// store's writer-path prefix/suffix probes (edge endpoints,
-    /// labels, property rows) in O(candidates) instead of a full
-    /// column scan. Empty for arity < 2, where [`ColumnarRelation::index`]
-    /// already answers exact probes. Tombstoned rows stay listed and
-    /// are filtered at probe time, mirroring the validity bitmap.
-    first_index: HashMap<u32, Vec<usize>>,
-    /// Last-column code → physical rows ending with it (ascending).
-    last_index: HashMap<u32, Vec<usize>>,
+    /// Probe indexes; `None` until a writer needs them (bulk loads
+    /// defer them, probes fall back to scans meanwhile).
+    indexes: Option<RowIndexes>,
 }
 
 impl ColumnarRelation {
@@ -60,27 +73,56 @@ impl ColumnarRelation {
             live: 0,
             columns: vec![Vec::new(); arity],
             dead: Vec::new(),
-            index: HashMap::new(),
-            first_index: HashMap::new(),
-            last_index: HashMap::new(),
+            indexes: Some(RowIndexes::default()),
         }
     }
 
     /// Registers physical row `i` in the first/last-column multimaps.
     /// Rows are indexed exactly once, at append time, so each bucket
-    /// lists ascending physical indices.
+    /// lists ascending physical indices. A no-op while the indexes are
+    /// deferred.
     fn index_ends(&mut self, i: usize) {
         if self.arity < 2 {
             return;
         }
-        self.first_index
-            .entry(self.columns[0][i])
-            .or_default()
-            .push(i);
-        self.last_index
+        let Some(ix) = &mut self.indexes else {
+            return;
+        };
+        ix.first.entry(self.columns[0][i]).or_default().push(i);
+        ix.last
             .entry(self.columns[self.arity - 1][i])
             .or_default()
             .push(i);
+    }
+
+    /// Whether the probe indexes are materialized (they always are on
+    /// the register path; bulk-loaded relations defer them to first
+    /// write).
+    pub fn has_indexes(&self) -> bool {
+        self.indexes.is_some()
+    }
+
+    /// Materializes the probe indexes if they are deferred — the
+    /// store's writer entry points call this before mutating a
+    /// bulk-loaded relation, paying the build cost once instead of on
+    /// the load path.
+    pub fn ensure_indexes(&mut self) {
+        if self.indexes.is_some() {
+            return;
+        }
+        let mut index = HashMap::with_capacity(self.physical);
+        for i in 0..self.physical {
+            let row: Vec<u32> = (0..self.arity).map(|p| self.columns[p][i]).collect();
+            index.insert(row, i);
+        }
+        self.indexes = Some(RowIndexes {
+            index,
+            first: HashMap::new(),
+            last: HashMap::new(),
+        });
+        for i in 0..self.physical {
+            self.index_ends(i);
+        }
     }
 
     /// Encodes a relation column by column, interning every value.
@@ -105,9 +147,11 @@ impl ColumnarRelation {
             live: rel.len(),
             columns,
             dead: vec![false; rel.len()],
-            index,
-            first_index: HashMap::new(),
-            last_index: HashMap::new(),
+            indexes: Some(RowIndexes {
+                index,
+                first: HashMap::new(),
+                last: HashMap::new(),
+            }),
         };
         for i in 0..col.physical {
             col.index_ends(i);
@@ -117,23 +161,37 @@ impl ColumnarRelation {
 
     /// Builds a unary relation directly from codes — used by the store
     /// to refresh the frozen active domain after updates without a
-    /// decode/re-encode round trip.
+    /// decode/re-encode round trip, and by the bulk loader for the
+    /// active-domain relation. The codes must be distinct (both
+    /// callers produce deduplicated code sets). Probe indexes are
+    /// deferred.
     pub fn unary_from_codes(codes: Vec<u32>) -> Self {
         let n = codes.len();
-        let index = codes
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| (vec![c], i))
-            .collect();
         ColumnarRelation {
             arity: 1,
             physical: n,
             live: n,
             dead: vec![false; n],
             columns: vec![codes],
-            index,
-            first_index: HashMap::new(),
-            last_index: HashMap::new(),
+            indexes: None,
+        }
+    }
+
+    /// Builds a relation directly from pre-encoded, equally long,
+    /// duplicate-free code columns — the zero-materialization bulk
+    /// path: no `Value` rows, no interning, no probe indexes (they are
+    /// deferred to first write).
+    pub fn from_codes(arity: usize, columns: Vec<Vec<u32>>) -> Self {
+        assert_eq!(columns.len(), arity, "one code vector per position");
+        let n = columns.first().map_or(0, Vec::len);
+        assert!(columns.iter().all(|c| c.len() == n), "ragged code columns");
+        ColumnarRelation {
+            arity,
+            physical: n,
+            live: n,
+            dead: vec![false; n],
+            columns,
+            indexes: None,
         }
     }
 
@@ -185,17 +243,21 @@ impl ColumnarRelation {
         &self.columns[position]
     }
 
-    /// Appends a live row of codes. The caller guarantees the arity
-    /// and that no physical row (live or dead) already holds these
-    /// codes — the store's append path probes [`ColumnarRelation::find_live`]
-    /// / [`ColumnarRelation::find_dead`] first.
+    /// Appends a live row of codes. The caller guarantees the arity,
+    /// that no physical row (live or dead) already holds these codes —
+    /// the store's append path probes [`ColumnarRelation::find_live`]
+    /// / [`ColumnarRelation::find_dead`] first — and that the probe
+    /// indexes are materialized ([`ColumnarRelation::ensure_indexes`];
+    /// the store's writer entry points do so).
     pub fn append(&mut self, codes: &[u32]) {
         debug_assert_eq!(codes.len(), self.arity);
-        debug_assert!(!self.index.contains_key(codes));
         for (p, &c) in codes.iter().enumerate() {
             self.columns[p].push(c);
         }
-        self.index.insert(codes.to_vec(), self.physical);
+        if let Some(ix) = &mut self.indexes {
+            debug_assert!(!ix.index.contains_key(codes));
+            ix.index.insert(codes.to_vec(), self.physical);
+        }
         self.dead.push(false);
         self.physical += 1;
         self.live += 1;
@@ -218,10 +280,17 @@ impl ColumnarRelation {
         if codes.len() != self.arity {
             return None;
         }
-        self.index
-            .get(codes)
-            .copied()
-            .filter(|&i| self.dead[i] == dead)
+        match &self.indexes {
+            Some(ix) => ix
+                .index
+                .get(codes)
+                .copied()
+                .filter(|&i| self.dead[i] == dead),
+            // Deferred indexes (bulk load, read-only so far): scan.
+            None => (0..self.physical).find(|&i| {
+                self.dead[i] == dead && (0..self.arity).all(|p| self.columns[p][i] == codes[p])
+            }),
+        }
     }
 
     /// Live physical rows whose first `prefix.len()` codes equal
@@ -253,13 +322,29 @@ impl ColumnarRelation {
             return (Vec::new(), 0);
         }
         if len == self.arity {
-            // Exact probe: the row-hash index answers in one lookup.
-            return (self.find_live(part).into_iter().collect(), 1);
+            // Exact probe: the row-hash index answers in one lookup
+            // (or one scan while the indexes are deferred).
+            let cands = if self.indexes.is_some() {
+                1
+            } else {
+                self.physical
+            };
+            return (self.find_live(part).into_iter().collect(), cands);
         }
-        let (bucket, base) = if from_end {
-            (self.last_index.get(&part[len - 1]), self.arity - len)
+        let base = if from_end { self.arity - len } else { 0 };
+        let Some(ix) = &self.indexes else {
+            // Deferred indexes: scan every physical row.
+            let rows: Vec<usize> = (0..self.physical)
+                .filter(|&i| {
+                    !self.dead[i] && (0..len).all(|p| self.columns[base + p][i] == part[p])
+                })
+                .collect();
+            return (rows, self.physical);
+        };
+        let bucket = if from_end {
+            ix.last.get(&part[len - 1])
         } else {
-            (self.first_index.get(&part[0]), 0)
+            ix.first.get(&part[0])
         };
         let Some(bucket) = bucket else {
             return (Vec::new(), 0);
@@ -323,13 +408,12 @@ impl ColumnarRelation {
         self.physical = keep.len();
         self.live = keep.len();
         self.dead = vec![false; keep.len()];
-        self.index = (0..self.physical)
-            .map(|i| ((0..self.arity).map(|p| self.columns[p][i]).collect(), i))
-            .collect();
-        self.first_index.clear();
-        self.last_index.clear();
-        for i in 0..self.physical {
-            self.index_ends(i);
+        // Rebuild the probe indexes only if they were materialized;
+        // deferred stays deferred (the compacted relation has had no
+        // writes either).
+        if self.indexes.is_some() {
+            self.indexes = None;
+            self.ensure_indexes();
         }
         dropped
     }
@@ -339,6 +423,23 @@ impl ColumnarRelation {
     /// is shared store-wide and accounted for separately).
     pub fn coded_bytes(&self) -> usize {
         self.physical * self.arity * std::mem::size_of::<u32>()
+    }
+
+    /// Estimated resident bytes of the probe indexes (0 while
+    /// deferred): the row-hash map with its heap-allocated key vectors
+    /// plus the two end-column multimaps.
+    pub fn index_bytes(&self) -> usize {
+        let Some(ix) = &self.indexes else {
+            return 0;
+        };
+        let key = std::mem::size_of::<Vec<u32>>() + self.arity * std::mem::size_of::<u32>();
+        let row_map = ix.index.capacity() * (key + std::mem::size_of::<usize>() + 8);
+        let bucket_entry = std::mem::size_of::<u32>() + std::mem::size_of::<Vec<usize>>() + 8;
+        let end_maps = (ix.first.capacity() + ix.last.capacity()) * bucket_entry
+            + (ix.first.values().map(Vec::len).sum::<usize>()
+                + ix.last.values().map(Vec::len).sum::<usize>())
+                * std::mem::size_of::<usize>();
+        row_map + end_maps
     }
 }
 
@@ -410,6 +511,31 @@ mod tests {
         let e1 = col.code_at(0, 0);
         let (rows, cands) = col.live_rows_with_prefix(&[e1]);
         assert_eq!((rows.len(), cands), (1, 1));
+    }
+
+    #[test]
+    fn deferred_indexes_scan_until_ensured() {
+        let mut col = ColumnarRelation::from_codes(2, vec![vec![1, 2, 1], vec![9, 9, 7]]);
+        assert!(!col.has_indexes());
+        assert_eq!(col.len(), 3);
+        assert_eq!(col.index_bytes(), 0);
+        // Probes answer by scan while deferred…
+        assert_eq!(col.find_live(&[2, 9]), Some(1));
+        assert_eq!(col.find_live(&[2, 7]), None);
+        let (rows, cands) = col.live_rows_with_prefix(&[1]);
+        assert_eq!((rows.clone(), cands), (vec![0, 2], 3));
+        let (srows, _) = col.live_rows_with_suffix(&[9]);
+        assert_eq!(srows, vec![0, 1]);
+        // …and identically once materialized.
+        col.ensure_indexes();
+        assert!(col.has_indexes());
+        assert!(col.index_bytes() > 0);
+        assert_eq!(col.find_live(&[2, 9]), Some(1));
+        assert_eq!(col.live_rows_with_prefix(&[1]).0, rows);
+        assert_eq!(col.live_rows_with_suffix(&[9]).0, srows);
+        // Writes after ensure keep the indexes coherent.
+        col.append(&[5, 5]);
+        assert_eq!(col.find_live(&[5, 5]), Some(3));
     }
 
     #[test]

@@ -71,6 +71,75 @@ impl Csr {
     pub fn entry_count(&self) -> usize {
         self.targets.len()
     }
+
+    /// Resident heap bytes of the two flat arrays.
+    pub fn resident_bytes(&self) -> usize {
+        (self.offsets.capacity() + self.targets.capacity()) * std::mem::size_of::<u32>()
+    }
+}
+
+/// Dictionary code → dense id, in one of two representations: bulk
+/// loads mint node codes contiguously, so the mapping is usually pure
+/// arithmetic (`code - base`) and costs zero bytes and zero hashing;
+/// arbitrary universes fall back to a hash map. [`CsrIndex`] detects
+/// contiguity at build time, so the register route benefits too.
+#[derive(Debug, Clone)]
+enum DenseMap {
+    /// Codes `base..base + len` map to dense ids `0..len`.
+    Contiguous { base: u32, len: u32 },
+    /// Arbitrary code universe.
+    Hashed(HashMap<u32, u32>),
+}
+
+impl Default for DenseMap {
+    fn default() -> Self {
+        DenseMap::Contiguous { base: 0, len: 0 }
+    }
+}
+
+impl DenseMap {
+    /// Builds the mapping from the dense-order code vector, collapsing
+    /// to the arithmetic form when the codes are one ascending run.
+    fn from_codes(codes: &[u32]) -> Self {
+        let contiguous = match codes.first() {
+            None => return DenseMap::Contiguous { base: 0, len: 0 },
+            Some(&base) => codes
+                .iter()
+                .enumerate()
+                .all(|(d, &c)| c.checked_sub(base) == Some(d as u32)),
+        };
+        if contiguous {
+            DenseMap::Contiguous {
+                base: codes[0],
+                len: codes.len() as u32,
+            }
+        } else {
+            let mut m = HashMap::with_capacity(codes.len());
+            for (d, &c) in codes.iter().enumerate() {
+                m.insert(c, d as u32);
+            }
+            DenseMap::Hashed(m)
+        }
+    }
+
+    fn get(&self, code: u32) -> Option<u32> {
+        match self {
+            DenseMap::Contiguous { base, len } => match code.checked_sub(*base) {
+                Some(d) if d < *len => Some(d),
+                _ => None,
+            },
+            DenseMap::Hashed(m) => m.get(&code).copied(),
+        }
+    }
+
+    /// Estimated resident heap bytes (zero for the arithmetic form).
+    fn resident_bytes(&self) -> usize {
+        match self {
+            DenseMap::Contiguous { .. } => 0,
+            // Key + value + per-slot control byte & padding estimate.
+            DenseMap::Hashed(m) => m.capacity() * (2 * std::mem::size_of::<u32>() + 8),
+        }
+    }
 }
 
 /// A bidirectional CSR index over a fixed node universe.
@@ -86,7 +155,7 @@ pub struct CsrIndex {
     /// Dense id → dictionary code.
     codes: Vec<u32>,
     /// Dictionary code → dense id.
-    dense: HashMap<u32, u32>,
+    dense: DenseMap,
     fwd: Csr,
     rev: Csr,
 }
@@ -135,17 +204,46 @@ impl CsrIndex {
         for &(s, t) in edges {
             fwd_pairs.push((dense[&s], dense[&t]));
         }
+        drop(dense);
+        Self::from_dense_pairs(codes, fwd_pairs)
+    }
+
+    /// Builds the index directly from its dense-order code vector and
+    /// `(dense source, dense target)` pairs — the sort-based bulk path
+    /// ([`crate::Store::bulk_load`]). `codes` must be distinct and
+    /// pairs must reference ids `< codes.len()`; the caller (the bulk
+    /// loader, which minted the codes itself) guarantees both, and the
+    /// cheap range check below turns a violated contract into a panic
+    /// rather than silent corruption. Contiguous code universes — the
+    /// normal case for freshly minted bulk codes — collapse the
+    /// code→dense map to pure arithmetic (a base/len pair instead of a
+    /// hash map).
+    pub fn from_dense_pairs(
+        codes: Vec<u32>,
+        mut fwd_pairs: Vec<(u32, u32)>,
+    ) -> Result<Self, StoreError> {
+        let n = codes.len();
+        if n > Self::MAX_NODES {
+            return Err(StoreError::NodeUniverseFull {
+                limit: Self::MAX_NODES,
+            });
+        }
+        assert!(
+            fwd_pairs
+                .iter()
+                .all(|&(s, t)| (s as usize) < n && (t as usize) < n),
+            "dense pair endpoint outside the node universe"
+        );
         // Parallel edges (distinct identities, same endpoints) collapse
         // to one adjacency entry — all the endpoint semantics consumes.
         fwd_pairs.sort_unstable();
         fwd_pairs.dedup();
         let rev_pairs: Vec<(u32, u32)> = fwd_pairs.iter().map(|&(s, t)| (t, s)).collect();
-        let n = codes.len();
         Ok(CsrIndex {
             fwd: Csr::from_pairs(n, &fwd_pairs),
             rev: Csr::from_pairs(n, &rev_pairs),
+            dense: DenseMap::from_codes(&codes),
             codes,
-            dense,
         })
     }
 
@@ -161,7 +259,16 @@ impl CsrIndex {
 
     /// Dense id of a dictionary code, when the code is in the universe.
     pub fn dense_of(&self, code: u32) -> Option<u32> {
-        self.dense.get(&code).copied()
+        self.dense.get(code)
+    }
+
+    /// Estimated resident heap bytes: code vector, code→dense map
+    /// (zero when the universe is contiguous), and both CSR directions.
+    pub fn resident_bytes(&self) -> usize {
+        self.codes.capacity() * std::mem::size_of::<u32>()
+            + self.dense.resident_bytes()
+            + self.fwd.resident_bytes()
+            + self.rev.resident_bytes()
     }
 
     /// Dictionary code of a dense id.
@@ -233,34 +340,114 @@ impl CsrIndex {
     /// Dense ids reachable from `seeds` by **zero or more** forward
     /// steps (the seeds themselves are included). The workhorse of the
     /// store-backed fixpoint: one multi-source sweep per distinct
-    /// accumulator prefix.
+    /// accumulator prefix. Allocates fresh buffers — hot loops should
+    /// use [`CsrIndex::reach_from_into`] with a reused
+    /// [`ReachScratch`] instead.
     pub fn reach_from(&self, seeds: impl IntoIterator<Item = u32>) -> Vec<u32> {
+        let mut scratch = ReachScratch::new();
+        let mut out = Vec::new();
+        self.reach_from_into(seeds, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`CsrIndex::reach_from`] into caller-owned buffers: `out` is
+    /// cleared and filled with the reachable dense ids, and `scratch`
+    /// carries the visited stamps and frontier queues across calls so
+    /// a sweep over many seed groups performs a **bounded** number of
+    /// allocations (at most one visited-array growth per distinct
+    /// universe size — [`ReachScratch::allocation_count`] counts them,
+    /// and the PR 9 churn test pins the bound down).
+    pub fn reach_from_into(
+        &self,
+        seeds: impl IntoIterator<Item = u32>,
+        scratch: &mut ReachScratch,
+        out: &mut Vec<u32>,
+    ) {
         let n = self.node_count();
-        let mut seen = vec![false; n];
-        let mut out: Vec<u32> = Vec::new();
-        let mut frontier: Vec<u32> = Vec::new();
+        let epoch = scratch.begin(n);
+        out.clear();
+        scratch.frontier.clear();
         for s in seeds {
-            if !seen[s as usize] {
-                seen[s as usize] = true;
+            if scratch.seen[s as usize] != epoch {
+                scratch.seen[s as usize] = epoch;
                 out.push(s);
-                frontier.push(s);
+                scratch.frontier.push(s);
             }
         }
-        let mut next: Vec<u32> = Vec::new();
-        while !frontier.is_empty() {
-            next.clear();
-            for &u in &frontier {
+        while !scratch.frontier.is_empty() {
+            scratch.next.clear();
+            for i in 0..scratch.frontier.len() {
+                let u = scratch.frontier[i];
                 for &t in self.fwd.neighbors(u) {
-                    if !seen[t as usize] {
-                        seen[t as usize] = true;
+                    if scratch.seen[t as usize] != epoch {
+                        scratch.seen[t as usize] = epoch;
                         out.push(t);
-                        next.push(t);
+                        scratch.next.push(t);
                     }
                 }
             }
-            std::mem::swap(&mut frontier, &mut next);
+            std::mem::swap(&mut scratch.frontier, &mut scratch.next);
         }
-        out
+    }
+}
+
+/// Reusable per-worker buffers for CSR reachability sweeps (PR 9).
+///
+/// The fixpoint operators sweep one seed group per task; before this
+/// struct existed each sweep allocated a fresh visited array plus
+/// frontier/next/output `Vec`s, so allocation count grew linearly with
+/// the number of groups *and* iterations. A `ReachScratch` is created
+/// once per worker ([`crate::par::run_tasks_scratch`]) and reused for
+/// every sweep that worker claims: the visited array is **epoch
+/// stamped** (bumping an integer invalidates the whole array in O(1),
+/// the same trick [`CsrIndex::all_pairs_reach`] uses), and the queues
+/// keep their capacity between sweeps.
+#[derive(Debug, Clone, Default)]
+pub struct ReachScratch {
+    /// `seen[d] == epoch` ⇔ dense id `d` was visited this sweep.
+    seen: Vec<u32>,
+    epoch: u32,
+    frontier: Vec<u32>,
+    next: Vec<u32>,
+    /// Visited set for overlay sweeps, which run in unbounded key
+    /// space; cleared (capacity kept) rather than reallocated.
+    seen_keys: HashSet<u32>,
+    /// Seed-splitting buffers for [`AdjacencyView::reach_from_into`].
+    dense_seeds: Vec<u32>,
+    strays: Vec<u32>,
+    /// Buffer-growth events (visited-array growth): the observable
+    /// proxy the churn regression test asserts is sweep-count
+    /// independent once the scratch is warm.
+    allocations: u64,
+}
+
+impl ReachScratch {
+    /// A fresh scratch; buffers grow on first use and then stick.
+    pub fn new() -> Self {
+        ReachScratch::default()
+    }
+
+    /// How many times the visited array had to grow. Constant across
+    /// repeated sweeps over the same (or smaller) universe — the
+    /// allocation-churn invariant.
+    pub fn allocation_count(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Opens a sweep over a universe of `n` dense ids and returns the
+    /// epoch that marks "visited" for this sweep.
+    fn begin(&mut self, n: usize) -> u32 {
+        if self.seen.len() < n {
+            self.allocations += 1;
+            self.seen.resize(n, 0);
+        }
+        if self.epoch == u32::MAX {
+            // Epoch wrap: one O(n) refill every 2³² sweeps.
+            self.seen.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
     }
 }
 
@@ -368,6 +555,18 @@ impl DeltaAdjacency {
     /// Added reverse neighbors of `t`, ascending.
     pub fn added_in(&self, t: u32) -> impl Iterator<Item = u32> + '_ {
         self.added_in.get(&t).into_iter().flatten().copied()
+    }
+
+    /// Estimated resident heap bytes of the overlay: map entries,
+    /// B-tree set nodes for the added pairs (both directions), and the
+    /// removed-pair set. Estimates per-entry overhead, not exact malloc
+    /// sizes, like the other `resident_bytes` accounting.
+    pub fn resident_bytes(&self) -> usize {
+        let map_entry = std::mem::size_of::<u32>() + std::mem::size_of::<usize>() + 32;
+        let pair_entry = 2 * (std::mem::size_of::<u32>() + 8);
+        (self.added_out.len() + self.added_in.len()) * map_entry
+            + self.added_pairs * pair_entry
+            + self.removed.capacity() * (2 * std::mem::size_of::<u32>() + 8)
     }
 
     /// Every added pair, grouped by source (deterministic order).
@@ -497,44 +696,63 @@ impl<'a> AdjacencyView<'a> {
     /// plus whatever the overlay hangs off them. Without an overlay
     /// the sweep runs on the dense frozen arrays.
     pub fn reach_from(&self, seeds: impl IntoIterator<Item = u32>) -> Vec<u32> {
+        let mut scratch = ReachScratch::new();
+        let mut out = Vec::new();
+        self.reach_from_into(seeds, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`AdjacencyView::reach_from`] into caller-owned buffers (see
+    /// [`CsrIndex::reach_from_into`]): `out` is cleared and refilled,
+    /// `scratch` keeps every working buffer — visited stamps on the
+    /// dense path, the key-space visited set on the overlay path, and
+    /// both frontier queues — warm across sweeps.
+    pub fn reach_from_into(
+        &self,
+        seeds: impl IntoIterator<Item = u32>,
+        scratch: &mut ReachScratch,
+        out: &mut Vec<u32>,
+    ) {
         if self.delta.is_none() {
             // Dense fast path: split seeds into in-universe (swept on
             // the frozen arrays) and strays (0-step, no out-edges).
-            let mut dense_seeds: Vec<u32> = Vec::new();
-            let mut strays: Vec<u32> = Vec::new();
+            scratch.dense_seeds.clear();
+            scratch.strays.clear();
             for s in seeds {
                 match self.base.dense_of(s) {
-                    Some(d) => dense_seeds.push(d),
-                    None => strays.push(s),
+                    Some(d) => scratch.dense_seeds.push(d),
+                    None => scratch.strays.push(s),
                 }
             }
-            let mut out: Vec<u32> = self
-                .base
-                .reach_from(dense_seeds)
-                .into_iter()
-                .map(|d| self.base.code_of(d))
-                .collect();
-            strays.sort_unstable();
-            strays.dedup();
-            out.extend(strays);
-            return out;
+            let mut dense_seeds = std::mem::take(&mut scratch.dense_seeds);
+            self.base
+                .reach_from_into(dense_seeds.drain(..), scratch, out);
+            scratch.dense_seeds = dense_seeds;
+            for d in out.iter_mut() {
+                *d = self.base.code_of(*d);
+            }
+            scratch.strays.sort_unstable();
+            scratch.strays.dedup();
+            out.extend_from_slice(&scratch.strays);
+            return;
         }
         // Overlay sweep in key space.
-        let mut seen: HashSet<u32> = HashSet::new();
-        let mut out: Vec<u32> = Vec::new();
-        let mut frontier: Vec<u32> = Vec::new();
+        out.clear();
+        scratch.seen_keys.clear();
+        scratch.frontier.clear();
         for s in seeds {
-            if seen.insert(s) {
+            if scratch.seen_keys.insert(s) {
                 out.push(s);
-                frontier.push(s);
+                scratch.frontier.push(s);
             }
         }
-        let mut next: Vec<u32> = Vec::new();
+        let mut frontier = std::mem::take(&mut scratch.frontier);
+        let mut next = std::mem::take(&mut scratch.next);
         while !frontier.is_empty() {
             next.clear();
             for &u in &frontier {
                 self.for_each_out(u, |t| {
-                    if seen.insert(t) {
+                    if scratch.seen_keys.insert(t) {
                         out.push(t);
                         next.push(t);
                     }
@@ -542,7 +760,8 @@ impl<'a> AdjacencyView<'a> {
             }
             std::mem::swap(&mut frontier, &mut next);
         }
-        out
+        scratch.frontier = frontier;
+        scratch.next = next;
     }
 
     /// The full effective pair set, deterministic order — what a fold
@@ -692,6 +911,60 @@ mod tests {
         assert_eq!(view.edge_count(), rebuilt.edge_count());
         // The stray seed reaches only itself in both.
         assert_eq!(view.reach_from([999]), vec![999]);
+    }
+
+    #[test]
+    fn from_dense_pairs_matches_build() {
+        // Contiguous codes: the arithmetic dense map kicks in.
+        let via_build = CsrIndex::build([5, 6, 7, 8], &[(5, 6), (6, 7), (7, 8), (5, 6)]).unwrap();
+        let via_dense =
+            CsrIndex::from_dense_pairs(vec![5, 6, 7, 8], vec![(0, 1), (1, 2), (2, 3), (0, 1)])
+                .unwrap();
+        assert_eq!(via_build.edge_count(), via_dense.edge_count());
+        for c in [5u32, 6, 7, 8, 9] {
+            assert_eq!(via_build.dense_of(c), via_dense.dense_of(c), "code {c}");
+        }
+        for seed in [5u32, 6, 7, 8] {
+            let d = via_dense.dense_of(seed).unwrap();
+            assert_eq!(via_build.reach_from([d]), via_dense.reach_from([d]));
+        }
+        // Non-contiguous codes fall back to the hashed map and still
+        // answer identically.
+        let gap = CsrIndex::from_dense_pairs(vec![10, 12, 14], vec![(0, 1), (1, 2)]).unwrap();
+        assert_eq!(gap.dense_of(12), Some(1));
+        assert_eq!(gap.dense_of(11), None);
+        assert!(gap.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn scratch_sweeps_match_and_stop_allocating() {
+        let idx = chain();
+        let mut scratch = ReachScratch::new();
+        let mut out = Vec::new();
+        for _ in 0..50 {
+            for seed in [10u32, 20, 30, 40] {
+                let d = idx.dense_of(seed).unwrap();
+                idx.reach_from_into([d], &mut scratch, &mut out);
+                let mut got = out.clone();
+                let mut want = idx.reach_from([d]);
+                got.sort_unstable();
+                want.sort_unstable();
+                assert_eq!(got, want, "seed {seed}");
+            }
+        }
+        // One visited-array growth total, not one per sweep: the
+        // allocation-churn invariant of PR 9.
+        assert_eq!(scratch.allocation_count(), 1);
+        // The overlay path reuses the same scratch.
+        let mut delta = DeltaAdjacency::new();
+        delta.add(40, 10, false);
+        let view = AdjacencyView::new(&idx, Some(&delta));
+        let before = scratch.allocation_count();
+        for _ in 0..50 {
+            view.reach_from_into([10u32], &mut scratch, &mut out);
+            assert_eq!(out.len(), 4);
+        }
+        assert_eq!(scratch.allocation_count(), before);
     }
 
     #[test]

@@ -67,17 +67,20 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod bulk;
 pub mod column;
 pub mod csr;
 pub mod dict;
+pub mod par;
 pub mod snapshot;
 pub mod store;
 
+pub use bulk::{BulkGraph, BulkLoadStats};
 pub use column::ColumnarRelation;
-pub use csr::{AdjacencyView, Csr, CsrIndex, DeltaAdjacency};
+pub use csr::{AdjacencyView, Csr, CsrIndex, DeltaAdjacency, ReachScratch};
 pub use dict::Dictionary;
 pub use snapshot::{ConcurrentStore, StoreSnapshot};
 pub use store::{
     AccessCounters, AccessSnapshot, CompactionStats, GraphEntry, GraphForm, GraphStats,
-    RelationStats, Store, StoreError, StoreStats, ADOM_REL,
+    MemoryBytes, RelationStats, Store, StoreError, StoreStats, ADOM_REL,
 };

@@ -152,14 +152,23 @@ impl From<UpdateError> for StoreError {
 /// [`crate::ConcurrentStore`] publishes snapshots) shares the frozen
 /// index and copies only the small mutable overlay.
 #[derive(Debug, Clone, Default)]
-struct CsrWithDelta {
-    csr: Arc<CsrIndex>,
-    delta: DeltaAdjacency,
+pub(crate) struct CsrWithDelta {
+    pub(crate) csr: Arc<CsrIndex>,
+    pub(crate) delta: DeltaAdjacency,
 }
 
 impl CsrWithDelta {
     fn view(&self) -> AdjacencyView<'_> {
         AdjacencyView::new(&self.csr, Some(&self.delta))
+    }
+
+    /// A freshly frozen index with an empty overlay — how the bulk
+    /// loader hands its sort-built CSRs to the store.
+    pub(crate) fn frozen(csr: Arc<CsrIndex>) -> Self {
+        CsrWithDelta {
+            csr,
+            delta: DeltaAdjacency::new(),
+        }
     }
 }
 
@@ -238,6 +247,42 @@ impl GraphEntry {
         })
     }
 
+    /// Assembles a frozen entry directly from bulk-loader output: node
+    /// identifiers in dense-id order, a node-level CSR and per-label
+    /// CSRs over that same dense id space, all overlays empty. The
+    /// caller (the bulk loader) has already validated the pieces; this
+    /// only derives the reverse identifier map.
+    pub(crate) fn from_parts(
+        form: GraphForm,
+        views: Option<[RelName; 6]>,
+        id_arity: usize,
+        ids: Vec<Tuple>,
+        csr: Arc<CsrIndex>,
+        labels: BTreeMap<Label, Arc<CsrIndex>>,
+        edge_count: usize,
+    ) -> Self {
+        let id_of = ids
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i as u32))
+            .collect();
+        GraphEntry {
+            form,
+            views,
+            id_arity,
+            id_of,
+            dead: HashSet::new(),
+            csr,
+            delta: DeltaAdjacency::new(),
+            labels: labels
+                .into_iter()
+                .map(|(l, csr)| (l, CsrWithDelta::frozen(csr)))
+                .collect(),
+            edge_count,
+            ids,
+        }
+    }
+
     /// The registered `pgView` form.
     pub fn form(&self) -> GraphForm {
         self.form
@@ -290,6 +335,28 @@ impl GraphEntry {
     /// Whether any read goes through an overlay.
     pub fn has_overlay(&self) -> bool {
         self.overlay_size() > 0
+    }
+
+    /// Estimated resident bytes of the frozen CSR indexes (node-level
+    /// plus per-label) — a [`MemoryBytes`] component.
+    pub fn csr_bytes(&self) -> usize {
+        self.csr.resident_bytes()
+            + self
+                .labels
+                .values()
+                .map(|li| li.csr.resident_bytes())
+                .sum::<usize>()
+    }
+
+    /// Estimated resident bytes of the mutable overlays (node-level
+    /// plus per-label deltas) — a [`MemoryBytes`] component.
+    pub fn overlay_bytes(&self) -> usize {
+        self.delta.resident_bytes()
+            + self
+                .labels
+                .values()
+                .map(|li| li.delta.resident_bytes())
+                .sum::<usize>()
     }
 
     fn overlay_oversized(&self) -> bool {
@@ -757,19 +824,19 @@ impl fmt::Display for AccessSnapshot {
 /// snapshots pinned.
 #[derive(Debug, Clone, Default)]
 pub struct Store {
-    dict: Arc<Dictionary>,
-    relations: BTreeMap<RelName, Arc<ColumnarRelation>>,
-    adjacency: BTreeMap<RelName, CsrWithDelta>,
-    graphs: BTreeMap<String, GraphEntry>,
+    pub(crate) dict: Arc<Dictionary>,
+    pub(crate) relations: BTreeMap<RelName, Arc<ColumnarRelation>>,
+    pub(crate) adjacency: BTreeMap<RelName, CsrWithDelta>,
+    pub(crate) graphs: BTreeMap<String, GraphEntry>,
     /// The `(views, form)` recipe of every view-registered graph —
     /// retained even while the entry is invalid (a mutation can pass
     /// through transiently inconsistent states, e.g. an edge inserted
     /// before its endpoints), so a later mutation that restores view
     /// validity refreezes the graph instead of losing it.
-    view_specs: BTreeMap<String, ([RelName; 6], GraphForm)>,
+    pub(crate) view_specs: BTreeMap<String, ([RelName; 6], GraphForm)>,
     /// Set when a deletion may have shrunk the active domain; the
     /// reserved ⟨adom⟩ relation is then recomputed once per batch.
-    adom_dirty: bool,
+    pub(crate) adom_dirty: bool,
     last_compaction: Option<CompactionStats>,
     /// Session-cumulative access counters (`&self`-recorded, relaxed
     /// atomics), surfaced by the shell's `METRICS;`. `Arc`-shared so
@@ -782,6 +849,17 @@ impl Store {
     /// An empty store.
     pub fn new() -> Self {
         Store::default()
+    }
+
+    /// An empty store whose dictionary refuses to mint more than
+    /// `limit` codes — the admission-control hook the bulk-load
+    /// boundary tests use to exercise [`StoreError::DictionaryFull`]
+    /// without 2³² interns.
+    pub fn with_dict_limit(limit: usize) -> Self {
+        Store {
+            dict: Arc::new(Dictionary::with_limit(limit)),
+            ..Store::default()
+        }
     }
 
     /// The session-cumulative [`AccessCounters`]. Recording is
@@ -958,6 +1036,23 @@ impl Store {
     /// The columnar relation for mutation (copy-on-write).
     fn relation_mut(&mut self, name: &RelName) -> Option<&mut ColumnarRelation> {
         self.relations.get_mut(name).map(Arc::make_mut)
+    }
+
+    /// Builds `name`'s row/end indexes if they are still deferred.
+    /// Bulk-loaded relations keep indexes off the ingest path (the
+    /// O(live)-scan fix of PR 9); the first row-level writer pays the
+    /// one-time build here so its duplicate/revive probes stay O(1).
+    /// A no-op — no copy-on-write, no work — when already indexed.
+    fn ensure_relation_indexes(&mut self, name: &RelName) {
+        if self
+            .relations
+            .get(name)
+            .is_some_and(|col| !col.has_indexes())
+        {
+            self.relation_mut(name)
+                .expect("present above")
+                .ensure_indexes();
+        }
     }
 
     /// Interns a plan-time literal constant into the shared dictionary,
@@ -1328,6 +1423,7 @@ impl Store {
         for v in t.iter() {
             codes.push(self.dict_mut().intern(v)?);
         }
+        self.ensure_relation_indexes(name);
         let col = self.relation_mut(name).expect("present above");
         if col.find_live(&codes).is_some() {
             return Ok(false);
@@ -1359,6 +1455,7 @@ impl Store {
         let Some(codes) = self.encode_row(t) else {
             return false;
         };
+        self.ensure_relation_indexes(name);
         let col = self.relation_mut(name).expect("present above");
         let Some(i) = col.find_live(&codes) else {
             return false;
@@ -1382,6 +1479,7 @@ impl Store {
         prefix: &[u32],
         also: impl Fn(&[u32]) -> bool,
     ) -> usize {
+        self.ensure_relation_indexes(name);
         let Some(col) = self.relations.get(name) else {
             return 0;
         };
@@ -1635,6 +1733,7 @@ impl Store {
     /// this is O(arity) hash probes, not a store scan.
     fn adom_add_codes(&mut self, codes: &[u32]) {
         let adom: RelName = ADOM_REL.into();
+        self.ensure_relation_indexes(&adom);
         let Some(col) = self.relation_mut(&adom) else {
             return;
         };
@@ -1891,7 +1990,68 @@ impl Store {
                 })
                 .collect(),
             last_compaction: self.last_compaction.clone(),
+            bytes: self.memory_bytes(),
         }
+    }
+
+    /// Estimated resident heap bytes by component — also available
+    /// without the full [`Store::stats`] report (which walks every
+    /// live row for the dictionary-liveness numbers; this does not).
+    pub fn memory_bytes(&self) -> MemoryBytes {
+        MemoryBytes {
+            dictionary: self.dict.resident_bytes(),
+            columns: self
+                .relations
+                .values()
+                .map(|c| c.coded_bytes() + c.index_bytes())
+                .sum(),
+            csr: self
+                .adjacency
+                .values()
+                .map(|e| e.csr.resident_bytes())
+                .sum::<usize>()
+                + self
+                    .graphs
+                    .values()
+                    .map(GraphEntry::csr_bytes)
+                    .sum::<usize>(),
+            overlays: self
+                .adjacency
+                .values()
+                .map(|e| e.delta.resident_bytes())
+                .sum::<usize>()
+                + self
+                    .graphs
+                    .values()
+                    .map(GraphEntry::overlay_bytes)
+                    .sum::<usize>(),
+        }
+    }
+}
+
+/// Estimated resident heap bytes by store component, surfaced through
+/// [`StoreStats`] (the shell's `STATS`/`STATS JSON`) and read by the
+/// PR 9 scaling benches. Estimates — Rust exposes no exact allocator
+/// accounting — but faithful for the structures that dominate at
+/// million-row scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryBytes {
+    /// Value dictionary: value vector, code map, string payloads.
+    pub dictionary: usize,
+    /// Columnar relations: coded columns plus row/end indexes (0 for
+    /// the indexes while a bulk-loaded relation defers them).
+    pub columns: usize,
+    /// Frozen CSR indexes: per-relation adjacency plus every graph's
+    /// node-level and per-label indexes.
+    pub csr: usize,
+    /// Mutable overlays: delta adjacency on relations and graphs.
+    pub overlays: usize,
+}
+
+impl MemoryBytes {
+    /// Sum over every component.
+    pub fn total(&self) -> usize {
+        self.dictionary + self.columns + self.csr + self.overlays
     }
 }
 
@@ -1952,6 +2112,8 @@ pub struct StoreStats {
     pub graphs: Vec<GraphStats>,
     /// The effect of the most recent compaction, if any ran.
     pub last_compaction: Option<CompactionStats>,
+    /// Estimated resident heap bytes by component.
+    pub bytes: MemoryBytes,
 }
 
 impl StoreStats {
@@ -1986,6 +2148,15 @@ impl fmt::Display for StoreStats {
             "overlay: {} delta entr(y/ies), {} tombstoned row(s)",
             self.overlay_entries(),
             self.tombstone_rows()
+        )?;
+        writeln!(
+            f,
+            "resident: {} byte(s) (dictionary {}, columns {}, CSR {}, overlays {})",
+            self.bytes.total(),
+            self.bytes.dictionary,
+            self.bytes.columns,
+            self.bytes.csr,
+            self.bytes.overlays
         )?;
         match &self.last_compaction {
             Some(c) => writeln!(f, "last compaction: {c}")?,

@@ -13,7 +13,10 @@
 //! * [`increasing`] — the Example 5.3 "increasing values on edges"
 //!   workload with three independent implementations (E5);
 //! * [`random`] — seeded random databases and navigational patterns for
-//!   benches.
+//!   benches;
+//! * [`scale`] — million-scale bulk-layout generators (power-law
+//!   preferential attachment and LDBC-style transfers) feeding
+//!   `Store::bulk_load` and the PR 9 scaling curves (E18).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,6 +25,7 @@ pub mod alternating;
 pub mod families;
 pub mod increasing;
 pub mod random;
+pub mod scale;
 pub mod transfers;
 
 #[cfg(test)]

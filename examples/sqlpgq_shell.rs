@@ -30,8 +30,10 @@
 //!   `SET THREADS` value;
 //! * `STATS;` — prints the session store's storage layout: dictionary
 //!   residency (codes minted / live / stale), overlay sizes, tombstone
-//!   counts, and the effect of the last compaction. `STATS JSON;`
-//!   emits the same report as JSON;
+//!   counts, resident bytes by component (dictionary / columns / CSR /
+//!   overlays), and the effect of the last compaction. `STATS JSON;`
+//!   emits the same report as JSON, with the byte breakdown under a
+//!   `"bytes"` object;
 //! * `METRICS;` — prints session-cumulative store access counters
 //!   (IndexScan rows served, CSR neighbor/sweep reads,
 //!   overlay-vs-dense adjacency reads, dictionary decodes).
@@ -454,6 +456,19 @@ fn stats_json(stats: &sqlpgq::store::StoreStats) -> String {
     w.number(stats.overlay_entries() as u64);
     w.key("tombstone_rows");
     w.number(stats.tombstone_rows() as u64);
+    w.key("bytes");
+    w.begin_object();
+    w.key("dictionary");
+    w.number(stats.bytes.dictionary as u64);
+    w.key("columns");
+    w.number(stats.bytes.columns as u64);
+    w.key("csr");
+    w.number(stats.bytes.csr as u64);
+    w.key("overlays");
+    w.number(stats.bytes.overlays as u64);
+    w.key("total");
+    w.number(stats.bytes.total() as u64);
+    w.end_object();
     w.key("relations");
     w.begin_array();
     for r in &stats.relations {

@@ -26,7 +26,7 @@ use pgq_exec::{
 };
 use pgq_graph::{updates, Update, ViewRelations};
 use pgq_relational::{CmpOp, Database, RaExpr, RelName, Relation, RowCondition};
-use pgq_store::{ConcurrentStore, GraphForm, Store, StoreError, StoreSnapshot};
+use pgq_store::{ConcurrentStore, GraphForm, Store, StoreError, StoreSnapshot, ADOM_REL};
 use pgq_value::{tuple, Tuple, Value};
 use pgq_workloads::random::{canonical_graph_db, ve_db};
 use proptest::prelude::*;
@@ -550,6 +550,62 @@ proptest! {
             eval_with_store(&q, &db, EvalConfig::physical(), &store).unwrap(),
             eval_with(&q, &db, EvalConfig::reference()).unwrap()
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The PR 9 bulk-ingest differential: `Store::bulk_load` on random
+    /// generator output (both scaling generators) answers exactly like
+    /// the register route — `BulkGraph::to_database` +
+    /// `Store::from_database` + `Store::register_view_graph` — on
+    /// relation scans, the frozen active domain, reachability through
+    /// the graph entry, and the store-lowered RA shapes, coded and
+    /// decoded, with the interning probe at 1, 2 and 8 threads. The
+    /// deferred row indexes must also leave the row-level write path
+    /// intact: a bulk-loaded store keeps accepting inserts and deletes.
+    #[test]
+    fn bulk_load_matches_register_route(
+        nodes in 1usize..24,
+        epn in 1usize..4,
+        seed in 0u64..1000,
+        ldbc in proptest::bool::ANY,
+    ) {
+        let g = if ldbc {
+            pgq_workloads::scale::ldbc_transfers(nodes, epn, seed)
+        } else {
+            pgq_workloads::scale::power_law_graph(nodes, epn, seed)
+        };
+        let db = g.to_database(&views());
+        let reg = store_for(&db);
+        for threads in [1usize, 2, 8] {
+            let mut bulk = Store::new();
+            let stats = bulk
+                .bulk_load("G", views(), GraphForm::Exact(1), &g, threads)
+                .unwrap();
+            prop_assert_eq!(stats.nodes, g.nodes.len());
+            prop_assert_eq!(stats.edges, g.edges.len());
+            assert_store_matches(&bulk, &db, &format!("bulk at {threads} thread(s)"));
+            // The derived active domain equals the materialized one.
+            let adom = Relation::from_rows(1, bulk.scan(&ADOM_REL.into()).unwrap()).unwrap();
+            prop_assert_eq!(adom, db.active_domain_relation());
+            // Graph entries agree with the register route's.
+            let (a, b) = (bulk.graph("G").unwrap(), reg.graph("G").unwrap());
+            prop_assert_eq!(a.node_count(), b.node_count());
+            prop_assert_eq!(a.edge_count(), b.edge_count());
+            prop_assert_eq!(a.reach_relation(true, false), b.reach_relation(true, false));
+        }
+        // Row-level writers on a bulk-loaded store: insert a fresh node
+        // (builds the deferred indexes), spot a duplicate, delete it
+        // again — live contents return to the generator's.
+        let mut bulk = Store::new();
+        bulk.bulk_load("G", views(), GraphForm::Exact(1), &g, 2).unwrap();
+        let fresh = Tuple::unary(Value::str("zz-fresh"));
+        prop_assert!(bulk.insert_row("N", &fresh).unwrap());
+        prop_assert!(!bulk.insert_row("N", &fresh).unwrap());
+        prop_assert!(bulk.delete_row(&"N".into(), &fresh).unwrap());
+        assert_store_matches(&bulk, &db, "bulk after writer round-trip");
     }
 }
 
