@@ -35,10 +35,16 @@
 //! (default 10⁴ for the CI smoke; the committed `BENCH_9.json` is a
 //! full `--max-nodes 1000000` run) and held in optimized builds to the
 //! loader-throughput, near-linear-growth and bulk-vs-register floors
-//! (`pgq_bench::assert_scaling_floors`):
+//! (`pgq_bench::assert_scaling_floors`). Since PR 10 the record carries
+//! a `"planner"` section — the E20 cost-vs-rule planner ablation
+//! (`pgq_bench::planner_suite`, same generators and `--max-nodes`
+//! decades) held in optimized builds to `assert_planner_floors`: the
+//! cost-based planner at parity or better on every workload and ≥ 1.5×
+//! the rule pass on the multi-join transfers workload at the largest
+//! scale:
 //!
 //! ```sh
-//! cargo run --release -p pgq-bench --bin report -- --json BENCH_9.json
+//! cargo run --release -p pgq-bench --bin report -- --json BENCH_10.json
 //! ```
 
 fn main() {
@@ -47,7 +53,7 @@ fn main() {
         let path = args
             .get(pos + 1)
             .map(String::as_str)
-            .unwrap_or("BENCH_9.json");
+            .unwrap_or("BENCH_10.json");
         let max_nodes = args
             .iter()
             .position(|a| a == "--max-nodes")
@@ -62,7 +68,8 @@ fn main() {
         let scaling =
             pgq_bench::scaling_suite(max_nodes, pgq_bench::scaling::REGISTER_CAP, threads);
         entries.extend(pgq_bench::scaling_entries(&scaling));
-        let json = pgq_bench::to_json_with_scaling(&entries, &profiles, &serve, &scaling);
+        let planner = pgq_bench::planner_suite(max_nodes, threads);
+        let json = pgq_bench::to_json_with_planner(&entries, &profiles, &serve, &scaling, &planner);
         std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         for e in &entries {
             println!("{}: {} ns (|D| = {})", e.name, e.mean_ns, e.input_size);
@@ -73,6 +80,16 @@ fn main() {
                 p.generator,
                 p.nodes,
                 p.rows_per_sec(),
+                p.rows
+            );
+        }
+        for p in &planner {
+            println!(
+                "planner/{}/{}/{}: cost {:.2}x rule over {} rows",
+                p.workload,
+                p.generator,
+                p.nodes,
+                p.speedup(),
                 p.rows
             );
         }
@@ -92,6 +109,8 @@ fn main() {
             println!("serve floors hold (PR 8).");
             pgq_bench::assert_scaling_floors(&scaling);
             println!("ingestion scaling floors hold (E19).");
+            pgq_bench::assert_planner_floors(&planner);
+            println!("planner ablation floors hold (E20).");
             // The speedup floors additionally need real cores to
             // parallelize onto; a 1-core runner measures only the
             // scheduling overhead.

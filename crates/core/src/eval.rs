@@ -52,6 +52,14 @@ pub struct EvalConfig {
     /// execution. The other engines are single-threaded tree walkers
     /// and ignore it. Results are identical at every setting.
     pub threads: usize,
+    /// Which pass lowers physical plans onto a session store (PR 10):
+    /// [`pgq_exec::PlannerChoice::Cost`] (the statistics-driven
+    /// default) or [`pgq_exec::PlannerChoice::Rule`] (the fixed PR 4
+    /// rewrite — the escape hatch and E20 ablation baseline). Only
+    /// [`Engine::Physical`] under a store consults it; results are
+    /// identical either way (the differential suites enforce it), only
+    /// plan shapes differ.
+    pub planner: pgq_exec::PlannerChoice,
 }
 
 impl Default for EvalConfig {
@@ -60,6 +68,7 @@ impl Default for EvalConfig {
             engine: Engine::Nfa,
             view_mode: ViewMode::Strict,
             threads: 0,
+            planner: pgq_exec::PlannerChoice::default(),
         }
     }
 }
@@ -70,8 +79,7 @@ impl EvalConfig {
     pub fn reference() -> Self {
         EvalConfig {
             engine: Engine::Reference,
-            view_mode: ViewMode::Strict,
-            threads: 0,
+            ..Default::default()
         }
     }
 
@@ -79,8 +87,7 @@ impl EvalConfig {
     pub fn physical() -> Self {
         EvalConfig {
             engine: Engine::Physical,
-            view_mode: ViewMode::Strict,
-            threads: 0,
+            ..Default::default()
         }
     }
 
@@ -88,6 +95,12 @@ impl EvalConfig {
     /// (`0` = environment default) — the shell's `SET THREADS n;`.
     pub fn with_threads(self, threads: usize) -> Self {
         EvalConfig { threads, ..self }
+    }
+
+    /// The same configuration on an explicit store-lowering pass —
+    /// the shell's `SET PLANNER {cost|rule};`.
+    pub fn with_planner(self, planner: pgq_exec::PlannerChoice) -> Self {
+        EvalConfig { planner, ..self }
     }
 }
 

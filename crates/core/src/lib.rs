@@ -49,7 +49,7 @@ pub use eval::{
     eval_with_store_profiled, Engine, EvalConfig,
 };
 pub use optimize::optimize;
-pub use physical::{explain, explain_with, explain_with_opts, view_form};
+pub use physical::{explain, explain_with, explain_with_exec_opts, explain_with_opts, view_form};
 pub use query::{Fragment, Query, QueryError, ViewOp};
 
 #[cfg(test)]

@@ -12,9 +12,9 @@
 use crate::eval::{build_view, try_fast, EvalConfig};
 use crate::query::{Query, QueryError, ViewOp};
 use pgq_exec::{
-    execute_opts, execute_profiled, intersect_plan, optimize_plan, store_plan,
+    cost_plan, execute_opts, execute_profiled, intersect_plan, optimize_plan, store_plan,
     transitive_closure_opts, transitive_closure_profiled, Batch, BatchMode, ExecOptions, PhysPlan,
-    PlanMetrics, QueryProfile,
+    PlanMetrics, PlannerChoice, QueryProfile,
 };
 use pgq_graph::PropertyGraph;
 use pgq_pattern::{Direction, OutputItem, OutputPattern, Pattern, RepBound};
@@ -26,7 +26,18 @@ use std::fmt::Write as _;
 /// The executor options a configuration resolves to (`0` = the
 /// environment default).
 fn exec_opts(cfg: EvalConfig) -> ExecOptions {
-    ExecOptions::with_threads(cfg.threads)
+    ExecOptions::with_threads(cfg.threads).with_planner(cfg.planner)
+}
+
+/// The storage-aware lowering pass the configuration selects (PR 10):
+/// the statistics-driven cost pass (the default) or the fixed PR 4
+/// rule rewrite. Both produce semantically identical plans — the
+/// differential suites enforce it — so this only changes shapes.
+fn lower_store(plan: PhysPlan, store: &Store, schema: &Schema, planner: PlannerChoice) -> PhysPlan {
+    match planner {
+        PlannerChoice::Cost => cost_plan(plan, store, schema),
+        PlannerChoice::Rule => store_plan(plan, store),
+    }
 }
 
 /// Evaluates a query through the physical engine.
@@ -75,7 +86,7 @@ pub(crate) fn eval_physical_store(
     }
     let plan = lower(q, db, cfg, Some(store))?;
     let plan = optimize_plan(plan, &db.schema()).map_err(QueryError::Rel)?;
-    let plan = store_plan(plan, store);
+    let plan = lower_store(plan, store, &db.schema(), cfg.planner);
     let batch = execute_opts(&plan, db, Some(store), BatchMode::Coded, &exec_opts(cfg))
         .map_err(QueryError::Rel)?;
     batch.into_relation(Some(store)).map_err(QueryError::Rel)
@@ -169,9 +180,16 @@ pub(crate) fn eval_physical_store_profiled(
     } else {
         let plan = lower(q, db, cfg, Some(store))?;
         let plan = optimize_plan(plan, &db.schema()).map_err(QueryError::Rel)?;
-        let plan = store_plan(plan, store);
-        let (batch, root) = execute_profiled(&plan, db, Some(store), BatchMode::Coded, &opts)
+        let plan = lower_store(plan, store, &db.schema(), cfg.planner);
+        let (batch, mut root) = execute_profiled(&plan, db, Some(store), BatchMode::Coded, &opts)
             .map_err(QueryError::Rel)?;
+        // Graft the planner's cardinality estimates next to the
+        // measured rows — the `est=` column of `EXPLAIN ANALYZE`. The
+        // estimates are a pure function of the statistics snapshot, so
+        // the non-timing rendering stays byte-identical at every
+        // thread count.
+        let stats = store.statistics();
+        pgq_exec::annotate_estimates(&mut root, &plan, &pgq_exec::Estimator::new(&stats));
         let rel = batch.into_relation(Some(store)).map_err(QueryError::Rel)?;
         (rel, root)
     };
@@ -681,6 +699,19 @@ pub fn explain_with_opts(
     explain_annotated(q, schema, store, Some(ExecOptions::with_threads(threads)))
 }
 
+/// [`explain_with_opts`] under full [`ExecOptions`] — the shell's
+/// `EXPLAIN` after `SET PLANNER rule;` passes the session's planner
+/// choice through here so the rendered plan is the one that would
+/// execute.
+pub fn explain_with_exec_opts(
+    q: &Query,
+    schema: &Schema,
+    store: Option<&Store>,
+    opts: ExecOptions,
+) -> Result<String, QueryError> {
+    explain_annotated(q, schema, store, Some(opts))
+}
+
 fn explain_annotated(
     q: &Query,
     schema: &Schema,
@@ -688,12 +719,15 @@ fn explain_annotated(
     opts: Option<ExecOptions>,
 ) -> Result<String, QueryError> {
     q.arity(schema)?;
+    let planner = opts
+        .as_ref()
+        .map_or_else(PlannerChoice::default, |o| o.planner);
     let mut sections: Vec<String> = Vec::new();
     let mut aug = schema.clone();
-    let plan = explain_plan(q, schema, &mut aug, &mut sections, store)?;
+    let plan = explain_plan(q, schema, &mut aug, &mut sections, store, planner)?;
     let plan = optimize_plan(plan, &aug).map_err(QueryError::Rel)?;
     let plan = match store {
-        Some(store) => store_plan(plan, store),
+        Some(store) => lower_store(plan, store, &aug, planner),
         None => plan,
     };
     let mut text = match (&opts, store) {
@@ -714,6 +748,7 @@ fn explain_plan(
     aug: &mut Schema,
     sections: &mut Vec<String>,
     store: Option<&Store>,
+    planner: PlannerChoice,
 ) -> Result<PhysPlan, QueryError> {
     Ok(match q {
         Query::Rel(name) => PhysPlan::Scan(name.clone()),
@@ -724,29 +759,29 @@ fn explain_plan(
             PhysPlan::Values(b)
         }
         Query::Project(pos, q) => {
-            explain_plan(q, schema, aug, sections, store)?.project(pos.clone())
+            explain_plan(q, schema, aug, sections, store, planner)?.project(pos.clone())
         }
         Query::Select(cond, q) => {
-            explain_plan(q, schema, aug, sections, store)?.filter(cond.clone())
+            explain_plan(q, schema, aug, sections, store, planner)?.filter(cond.clone())
         }
         Query::Product(a, b) => PhysPlan::Product {
-            left: Box::new(explain_plan(a, schema, aug, sections, store)?),
-            right: Box::new(explain_plan(b, schema, aug, sections, store)?),
+            left: Box::new(explain_plan(a, schema, aug, sections, store, planner)?),
+            right: Box::new(explain_plan(b, schema, aug, sections, store, planner)?),
         },
         Query::Union(a, b) => PhysPlan::Union {
-            left: Box::new(explain_plan(a, schema, aug, sections, store)?),
-            right: Box::new(explain_plan(b, schema, aug, sections, store)?),
+            left: Box::new(explain_plan(a, schema, aug, sections, store, planner)?),
+            right: Box::new(explain_plan(b, schema, aug, sections, store, planner)?),
         },
         Query::Diff(a, b) => {
             if let Some((l, r)) = q.as_intersection() {
                 return Ok(intersect_plan(
-                    explain_plan(l, schema, aug, sections, store)?,
-                    explain_plan(r, schema, aug, sections, store)?,
+                    explain_plan(l, schema, aug, sections, store, planner)?,
+                    explain_plan(r, schema, aug, sections, store, planner)?,
                 ));
             }
             PhysPlan::Diff {
-                left: Box::new(explain_plan(a, schema, aug, sections, store)?),
-                right: Box::new(explain_plan(b, schema, aug, sections, store)?),
+                left: Box::new(explain_plan(a, schema, aug, sections, store, planner)?),
+                right: Box::new(explain_plan(b, schema, aug, sections, store, planner)?),
             }
         }
         Query::Pattern { out, views, op } => {
@@ -758,10 +793,10 @@ fn explain_plan(
             let mut body = String::new();
             let labels = ["nodes", "edges", "src", "tgt", "labels", "props"];
             for (label, view) in labels.iter().zip(views.iter()) {
-                let sub = explain_plan(view, schema, aug, sections, store)?;
+                let sub = explain_plan(view, schema, aug, sections, store, planner)?;
                 let sub = optimize_plan(sub, aug).map_err(QueryError::Rel)?;
                 let sub_text = match store {
-                    Some(store) => store_plan(sub, store).display_with(Some(store)),
+                    Some(store) => lower_store(sub, store, aug, planner).display_with(Some(store)),
                     None => sub.to_string(),
                 };
                 let _ = writeln!(body, "  {label}:");

@@ -49,6 +49,7 @@
 
 pub mod batch;
 pub mod coded;
+pub mod cost;
 pub mod exec;
 pub mod metrics;
 pub mod parallel;
@@ -57,6 +58,7 @@ pub mod planner;
 
 pub use batch::Batch;
 pub use coded::{BatchMode, CodedBatch, CodedCond, EitherBatch};
+pub use cost::{annotate_estimates, cost_plan, recommended_mode, Estimator, PlannerChoice};
 pub use exec::{execute, execute_mode, execute_opts, execute_profiled, execute_with};
 pub use metrics::{JsonWriter, PlanMetrics, QueryProfile};
 pub use parallel::ExecOptions;

@@ -44,6 +44,11 @@ pub struct PlanMetrics {
     /// Rows in this operator's output batch (bag semantics — the final
     /// set boundary is the profile's synthetic `Output` row count).
     pub rows_out: u64,
+    /// The planner's estimated output rows (PR 10), grafted on by
+    /// [`crate::annotate_estimates`] — `EXPLAIN ANALYZE`'s `est=`
+    /// column. Deterministic: estimates are a pure function of the
+    /// statistics snapshot, never of scheduling.
+    pub est_rows: Option<u64>,
     /// Output batches produced (1 per execution of this node).
     pub batches: u64,
     /// Whether the output batch was dictionary-coded.
@@ -126,6 +131,9 @@ impl PlanMetrics {
             let _ = write!(s, " in={}", self.rows_in);
         }
         let _ = write!(s, " rows={}", self.rows_out);
+        if let Some(e) = self.est_rows {
+            let _ = write!(s, " est={e}");
+        }
         if let Some(b) = self.build_rows {
             let _ = write!(s, " build={b}");
         }
@@ -179,6 +187,10 @@ impl PlanMetrics {
         w.number(self.rows_in);
         w.key("rows_out");
         w.number(self.rows_out);
+        if let Some(e) = self.est_rows {
+            w.key("est_rows");
+            w.number(e);
+        }
         w.key("batches");
         w.number(self.batches);
         w.key("coded");

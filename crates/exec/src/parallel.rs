@@ -25,6 +25,7 @@
 //! `RelError` at the executor's call sites) and keeps the
 //! executor-specific tuning knobs ([`ExecOptions`]).
 
+use crate::cost::PlannerChoice;
 use pgq_store::{Store, StoreSnapshot};
 
 /// Rows per morsel (re-exported from the store-level engine).
@@ -60,6 +61,12 @@ pub struct ExecOptions {
     /// concurrent writer publishes newer ones. `None` (the default)
     /// preserves the single-session behavior.
     pub snapshot: Option<StoreSnapshot>,
+    /// Which pass lowers optimized plans onto the store (PR 10):
+    /// [`PlannerChoice::Cost`] (the statistics-driven default) or
+    /// [`PlannerChoice::Rule`] (the fixed PR 4 rewrite — the escape
+    /// hatch and E20 ablation baseline). `SET PLANNER {cost|rule};` in
+    /// the shell/server.
+    pub planner: PlannerChoice,
 }
 
 impl ExecOptions {
@@ -70,6 +77,7 @@ impl ExecOptions {
             collect_metrics: false,
             max_fixpoint_iters: None,
             snapshot: None,
+            planner: PlannerChoice::default(),
         }
     }
 
@@ -108,6 +116,11 @@ impl ExecOptions {
         ExecOptions { snapshot, ..self }
     }
 
+    /// The same options with an explicit planning pass.
+    pub fn with_planner(self, planner: PlannerChoice) -> Self {
+        ExecOptions { planner, ..self }
+    }
+
     /// The store state the pinned snapshot holds, if any — the
     /// fallback the entry points use when no explicit store is passed.
     pub fn pinned_store(&self) -> Option<&Store> {
@@ -135,6 +148,7 @@ impl ExecOptions {
             collect_metrics: false,
             max_fixpoint_iters: None,
             snapshot: None,
+            planner: PlannerChoice::default(),
         }
     }
 
@@ -160,6 +174,7 @@ impl PartialEq for ExecOptions {
         self.threads == other.threads
             && self.collect_metrics == other.collect_metrics
             && self.max_fixpoint_iters == other.max_fixpoint_iters
+            && self.planner == other.planner
             && match (&self.snapshot, &other.snapshot) {
                 (None, None) => true,
                 (Some(a), Some(b)) => StoreSnapshot::ptr_eq(a, b),

@@ -80,8 +80,18 @@ pub fn eval_ra_opts(
     mode: BatchMode,
     opts: &ExecOptions,
 ) -> RelResult<Relation> {
-    let plan = store_plan(plan_for_instance(expr, db)?, store);
+    let plan = lower_onto_store(plan_for_instance(expr, db)?, db, store, opts);
     execute_opts(&plan, db, Some(store), mode, opts)?.into_relation(Some(store))
+}
+
+/// Applies the pass [`ExecOptions::planner`] selects: the
+/// statistics-driven [`crate::cost_plan`] (default) or the fixed
+/// [`store_plan`] rewrite.
+fn lower_onto_store(plan: PhysPlan, db: &Database, store: &Store, opts: &ExecOptions) -> PhysPlan {
+    match opts.planner {
+        crate::cost::PlannerChoice::Cost => crate::cost::cost_plan(plan, store, &db.schema()),
+        crate::cost::PlannerChoice::Rule => store_plan(plan, store),
+    }
 }
 
 /// [`eval_ra_opts`], additionally returning the per-operator
@@ -95,9 +105,11 @@ pub fn eval_ra_profiled(
     mode: BatchMode,
     opts: &ExecOptions,
 ) -> RelResult<(Relation, crate::metrics::QueryProfile)> {
-    let plan = store_plan(plan_for_instance(expr, db)?, store);
+    let plan = lower_onto_store(plan_for_instance(expr, db)?, db, store, opts);
     let start = std::time::Instant::now();
-    let (batch, root) = crate::execute_profiled(&plan, db, Some(store), mode, opts)?;
+    let (batch, mut root) = crate::execute_profiled(&plan, db, Some(store), mode, opts)?;
+    let stats = store.statistics();
+    crate::cost::annotate_estimates(&mut root, &plan, &crate::cost::Estimator::new(&stats));
     let rel = batch.into_relation(Some(store))?;
     let profile = crate::metrics::QueryProfile {
         rows: rel.len() as u64,
@@ -235,6 +247,30 @@ pub fn store_plan(plan: PhysPlan, store: &Store) -> PhysPlan {
                         rel: name.clone(),
                         reverse: *j == 1,
                     };
+                }
+            }
+            // The executor builds the right side. When both sides are
+            // base relation scans with known live-row counts and the
+            // probe side is strictly smaller, swap so the smaller side
+            // builds (a projection restores the column order). The
+            // PR 10 bugfix for the hardwired build side — strict `<`
+            // keeps symmetric plans byte-stable.
+            if !keys.is_empty() {
+                if let (PhysPlan::IndexScan(ln), PhysPlan::IndexScan(rn)) = (&left, &right) {
+                    if let (Some(lc), Some(rc)) = (store.relation(ln), store.relation(rn)) {
+                        if lc.len() < rc.len() {
+                            let (la, ra) = (lc.arity(), rc.arity());
+                            let swapped = keys.iter().map(|&(i, j)| (j, i)).collect();
+                            let mut positions: Vec<usize> = (ra..ra + la).collect();
+                            positions.extend(0..ra);
+                            return PhysPlan::HashJoin {
+                                left: Box::new(right),
+                                right: Box::new(left),
+                                keys: swapped,
+                            }
+                            .project(positions);
+                        }
+                    }
                 }
             }
             PhysPlan::HashJoin {
@@ -678,6 +714,55 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn rule_pass_builds_on_the_smaller_base_relation() {
+        let mut d = Database::new();
+        for i in 0..40i64 {
+            d.insert("T3", tuple![i, i % 4, i % 10]).unwrap();
+        }
+        for i in 0..3i64 {
+            d.insert("K", tuple![i]).unwrap();
+        }
+        let store = Store::from_database(&d);
+        // K ⋈ T3 on T3's third column. T3 is ternary, so no adjacency
+        // rewrite applies; the rule pass used to hardwire the right
+        // side (T3, 40 rows) as the hash-join build side regardless of
+        // size — it must swap so K (3 rows) builds.
+        let q = RaExpr::rel("K")
+            .product(RaExpr::rel("T3"))
+            .select(RowCondition::col_eq(0, 3));
+        let plan = store_plan(plan_ra(&q, &d.schema()).unwrap(), &store);
+        fn find_join(p: &PhysPlan) -> Option<&PhysPlan> {
+            if matches!(p, PhysPlan::HashJoin { .. }) {
+                return Some(p);
+            }
+            p.children().into_iter().find_map(find_join)
+        }
+        let join = find_join(&plan).expect("a hash join survives");
+        let PhysPlan::HashJoin { right, keys, .. } = join else {
+            unreachable!()
+        };
+        assert_eq!(**right, PhysPlan::IndexScan("K".into()), "{plan}");
+        assert_eq!(keys, &[(2, 0)], "{plan}");
+        // The executor's measured build size agrees, and the swapped
+        // plan still computes the reference answer.
+        let opts = ExecOptions::sequential()
+            .with_planner(crate::cost::PlannerChoice::Rule)
+            .with_metrics(true);
+        let (rel, profile) = eval_ra_profiled(&q, &d, &store, BatchMode::Coded, &opts).unwrap();
+        assert_eq!(rel, q.eval(&d).unwrap());
+        fn find_build(m: &crate::metrics::PlanMetrics) -> Option<u64> {
+            m.build_rows
+                .or_else(|| m.children.iter().find_map(find_build))
+        }
+        assert_eq!(
+            find_build(&profile.root),
+            Some(3),
+            "\n{}",
+            profile.render(false)
+        );
     }
 
     #[test]

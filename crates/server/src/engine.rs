@@ -4,8 +4,8 @@
 //!
 //! The engine speaks the shell grammar (`examples/sqlpgq_shell.rs`):
 //! DDL and `GRAPH_TABLE` queries go through the real parser, row
-//! mutations / `STATS` / `METRICS` / `COMPACT` / `SET THREADS` are the
-//! shell's session commands. The concurrency discipline layered on
+//! mutations / `STATS` / `METRICS` / `COMPACT` / `SET THREADS` /
+//! `SET PLANNER` are the shell's session commands. The concurrency discipline layered on
 //! top:
 //!
 //! * the **base state** (live [`Database`] + parser [`Session`]
@@ -22,9 +22,13 @@
 //!   perturbs an in-flight query.
 
 use pgq_core::{eval_with_snapshot, eval_with_snapshot_profiled, EvalConfig, Query};
+use pgq_exec::PlannerChoice;
 use pgq_parser::{lower_query, parse_statement, Outcome, Session, Statement};
 use pgq_relational::{Database, RelName, Relation};
-use pgq_store::{AccessSnapshot, ConcurrentStore, GraphForm, Store, StoreSnapshot, StoreStats};
+use pgq_store::{
+    AccessSnapshot, ConcurrentStore, DegreeHistogram, GraphForm, Store, StoreSnapshot,
+    StoreStatistics, StoreStats,
+};
 use pgq_value::{Tuple, Value};
 use std::collections::BTreeMap;
 use std::convert::Infallible;
@@ -35,6 +39,8 @@ use std::sync::{Arc, Mutex, PoisonError, RwLock};
 pub struct SessionState {
     /// `SET THREADS n;` — 0 means the environment default.
     pub threads: usize,
+    /// `SET PLANNER {cost|rule};` — cost-based is the default.
+    pub planner: PlannerChoice,
 }
 
 /// One catalog graph staged for snapshot evaluation: the six canonical
@@ -140,13 +146,21 @@ impl Engine {
                 Err(_) => vec!["!! SET THREADS needs a non-negative integer (0 = default)".into()],
             };
         }
+        if upper.starts_with("SET PLANNER") {
+            return match PlannerChoice::parse(stmt["SET PLANNER".len()..].trim()) {
+                Some(p) => {
+                    conn.planner = p;
+                    vec![format!("-- planner set to {p}")]
+                }
+                None => vec!["!! SET PLANNER needs cost or rule".into()],
+            };
+        }
         if let Some((inner, analyze)) = strip_explain(stmt) {
             let result = if analyze {
-                self.explain_analyze(conn.threads, inner)
+                self.explain_analyze(conn, inner)
                     .map(|t| ("query profile", t))
             } else {
-                self.explain(conn.threads, inner)
-                    .map(|t| ("physical plan", t))
+                self.explain(conn, inner).map(|t| ("physical plan", t))
             };
             return match result {
                 Ok((head, text)) => {
@@ -158,7 +172,7 @@ impl Engine {
             };
         }
         if upper.starts_with("SELECT") {
-            return match self.select(conn.threads, stmt) {
+            return match self.select(conn, stmt) {
                 Ok(rows) => {
                     let mut lines = vec![format!("-- {} row(s)", rows.len())];
                     lines.extend(rows.iter().map(|row| row.to_string()));
@@ -346,10 +360,12 @@ impl Engine {
 
     /// Runs a `GRAPH_TABLE` query: parse/lower under the base lock,
     /// then evaluate lock-free against the pinned [`ReadView`].
-    fn select(&self, threads: usize, stmt: &str) -> Result<Relation, String> {
+    fn select(&self, conn: &SessionState, stmt: &str) -> Result<Relation, String> {
         let (graph, out, k) = self.lower(stmt)?;
         let view = self.pin_view();
-        let cfg = EvalConfig::physical().with_threads(threads);
+        let cfg = EvalConfig::physical()
+            .with_threads(conn.threads)
+            .with_planner(conn.planner);
         if let Some(gv) = view.graphs.get(&graph) {
             let q = Query::pattern_n(gv.k, out, gv.names.clone().map(Query::rel));
             return eval_with_snapshot(&q, &gv.db, cfg, &view.snap).map_err(|e| e.to_string());
@@ -378,16 +394,17 @@ impl Engine {
     }
 
     /// `EXPLAIN SELECT …` — the plan against the pinned snapshot.
-    fn explain(&self, threads: usize, inner: &str) -> Result<String, String> {
+    fn explain(&self, conn: &SessionState, inner: &str) -> Result<String, String> {
         let (graph, out, k) = self.lower(inner)?;
         let view = self.pin_view();
+        let opts = pgq_exec::ExecOptions::with_threads(conn.threads).with_planner(conn.planner);
         if let Some(gv) = view.graphs.get(&graph) {
             let q = Query::pattern_n(gv.k, out, gv.names.clone().map(Query::rel));
-            return pgq_core::explain_with_opts(
+            return pgq_core::explain_with_exec_opts(
                 &q,
                 &gv.db.schema(),
                 Some(view.snap.as_store()),
-                threads,
+                opts,
             )
             .map_err(|e| e.to_string());
         }
@@ -395,16 +412,18 @@ impl Engine {
         let gv = stage_graph(&base.session, &base.db, &graph)?;
         let scratch = Store::from_database(&gv.db);
         let q = Query::pattern_n(k, out, gv.names.clone().map(Query::rel));
-        pgq_core::explain_with_opts(&q, &gv.db.schema(), Some(&scratch), threads)
+        pgq_core::explain_with_exec_opts(&q, &gv.db.schema(), Some(&scratch), opts)
             .map_err(|e| e.to_string())
     }
 
     /// `EXPLAIN ANALYZE SELECT …` — runs on the pinned snapshot with
     /// per-operator metrics and renders the profile tree.
-    fn explain_analyze(&self, threads: usize, inner: &str) -> Result<String, String> {
+    fn explain_analyze(&self, conn: &SessionState, inner: &str) -> Result<String, String> {
         let (graph, out, _) = self.lower(inner)?;
         let view = self.pin_view();
-        let cfg = EvalConfig::physical().with_threads(threads);
+        let cfg = EvalConfig::physical()
+            .with_threads(conn.threads)
+            .with_planner(conn.planner);
         let gv = view
             .graphs
             .get(&graph)
@@ -436,13 +455,23 @@ impl Engine {
         if !arg.is_empty() && !arg.eq_ignore_ascii_case("JSON") {
             return vec!["!! STATS takes no argument or JSON".into()];
         }
-        let stats = self.pin_view().snap.stats();
+        let view = self.pin_view();
+        let stats = view.snap.stats();
+        // Planner statistics off the pinned snapshot: a snapshot's
+        // statistics cache is frozen with it, so repeated STATS calls
+        // against one published view recompute nothing.
+        let statistics = view.snap.as_store().statistics();
         if arg.is_empty() {
             let mut lines = vec!["-- store layout".to_string()];
             lines.extend(stats.to_string().lines().map(|l| format!("   {l}")));
+            lines.push("-- planner statistics".to_string());
+            lines.extend(statistics.to_string().lines().map(|l| format!("   {l}")));
             lines
         } else {
-            stats_json(&stats).lines().map(String::from).collect()
+            stats_json(&stats, &statistics)
+                .lines()
+                .map(String::from)
+                .collect()
         }
     }
 
@@ -506,6 +535,12 @@ fn stage_graph(session: &Session, db: &Database, g: &str) -> Result<GraphView, S
 /// Registers a staged graph's six relations and frozen view graph into
 /// the writer's working store.
 fn install_graph(s: &mut Store, g: &str, gv: &GraphView) -> Result<(), pgq_store::StoreError> {
+    // Drop the previous freeze first: `register_relation` re-freezes
+    // any view graph backed by the relation, and doing that after only
+    // some of the six views have been replaced validates a torn view
+    // (new edges against the old src/tgt) — spuriously unstaging the
+    // graph. The consistent freeze is rebuilt from `gv.db` below.
+    s.drop_graph(g);
     for (name, rel) in gv.db.iter() {
         s.register_relation(name.clone(), rel)?;
     }
@@ -594,8 +629,28 @@ fn metrics_json(snap: &AccessSnapshot) -> String {
     w.finish()
 }
 
-/// `STATS JSON;` — the storage-layout report as JSON.
-fn stats_json(stats: &StoreStats) -> String {
+/// One direction of a degree histogram as a JSON object.
+fn histogram_json(w: &mut pgq_exec::JsonWriter, key: &str, h: &DegreeHistogram) {
+    w.key(key);
+    w.begin_object();
+    w.key("nodes");
+    w.number(h.nodes as u64);
+    w.key("edges");
+    w.number(h.edges as u64);
+    w.key("min");
+    w.number(h.min as u64);
+    w.key("mean");
+    w.float(h.mean);
+    w.key("p99");
+    w.number(h.p99 as u64);
+    w.key("max");
+    w.number(h.max as u64);
+    w.end_object();
+}
+
+/// `STATS JSON;` — the storage-layout report plus the planner
+/// statistics as JSON.
+fn stats_json(stats: &StoreStats, statistics: &StoreStatistics) -> String {
     let mut w = pgq_exec::JsonWriter::pretty();
     w.begin_object();
     w.key("dictionary_total");
@@ -625,6 +680,45 @@ fn stats_json(stats: &StoreStats) -> String {
     w.number(stats.relations.len() as u64);
     w.key("graphs");
     w.number(stats.graphs.len() as u64);
+    w.key("statistics");
+    w.begin_object();
+    w.key("epoch");
+    w.number(statistics.epoch);
+    w.key("dictionary_codes");
+    w.number(statistics.dictionary_codes as u64);
+    w.key("relations");
+    w.begin_array();
+    for (name, r) in &statistics.relations {
+        w.begin_object();
+        w.key("name");
+        w.string(&name.to_string());
+        w.key("live_rows");
+        w.number(r.live_rows as u64);
+        w.key("tombstone_rows");
+        w.number(r.tombstone_rows as u64);
+        w.key("distinct");
+        w.begin_array();
+        for d in &r.distinct {
+            w.number(*d as u64);
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    w.key("graphs");
+    w.begin_array();
+    for (name, g) in &statistics.graphs {
+        w.begin_object();
+        w.key("name");
+        w.string(name);
+        histogram_json(&mut w, "forward", &g.adjacency.forward);
+        histogram_json(&mut w, "reverse", &g.adjacency.reverse);
+        w.key("overlay");
+        w.number(g.adjacency.overlay as u64);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
     w.end_object();
     w.finish()
 }

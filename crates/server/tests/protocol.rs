@@ -132,6 +132,73 @@ fn statement_batches_and_session_commands_round_trip() {
 }
 
 #[test]
+fn planner_switch_and_statistics_sections_round_trip() {
+    let server = start_server();
+    let mut client = Client::connect(server.addr()).expect("connect");
+    load_demo(&mut client, 5);
+
+    // STATS grows a planner-statistics section: per-relation live-row
+    // and distinct counts plus degree-histogram summaries.
+    let stats = client.request("STATS").expect("stats").join("\n");
+    assert!(
+        stats.contains("-- planner statistics"),
+        "missing planner statistics section: {stats}"
+    );
+    assert!(
+        stats.contains("statistics (epoch"),
+        "missing epoch header: {stats}"
+    );
+    assert!(stats.contains("distinct ["), "missing distinct: {stats}");
+    assert!(stats.contains("/ p99 "), "missing histogram: {stats}");
+
+    // STATS JSON carries the same data under a "statistics" object.
+    let json = client.request("STATS JSON").expect("stats json").join("\n");
+    for key in [
+        "\"statistics\"",
+        "\"epoch\"",
+        "\"distinct\"",
+        "\"live_rows\"",
+        "\"forward\"",
+        "\"p99\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in STATS JSON: {json}");
+    }
+
+    // SET PLANNER switches per connection; both planners answer the
+    // same rows, and a bad argument is a typed error.
+    let cost_rows = client.request(QUERY).expect("cost query");
+    let resp = client.request("SET PLANNER rule").expect("set rule");
+    assert_eq!(resp, ["-- planner set to rule"]);
+    let rule_rows = client.request(QUERY).expect("rule query");
+    assert_eq!(cost_rows, rule_rows, "planners diverged");
+    let resp = client.request("SET PLANNER greedy").expect("bad planner");
+    assert_eq!(resp, ["!! SET PLANNER needs cost or rule"]);
+    let resp = client.request("SET PLANNER COST").expect("set cost");
+    assert_eq!(resp, ["-- planner set to cost"]);
+
+    // EXPLAIN and EXPLAIN ANALYZE answer under both planners (pattern
+    // profiles are leaf operators — the est= column is exercised on
+    // the relational route in tests/prop_engine.rs).
+    for planner in ["cost", "rule"] {
+        client
+            .request(&format!("SET PLANNER {planner}"))
+            .expect("set planner");
+        let plan = client
+            .request(&format!("EXPLAIN {QUERY}"))
+            .expect("explain");
+        assert_eq!(plan[0], "-- physical plan", "under {planner}: {plan:?}");
+        let profile = client
+            .request(&format!("EXPLAIN ANALYZE {QUERY}"))
+            .expect("analyze");
+        assert_eq!(
+            profile[0], "-- query profile",
+            "under {planner}: {profile:?}"
+        );
+    }
+    server.stop();
+}
+
+#[test]
 fn malformed_inputs_return_typed_errors_and_server_survives() {
     let server = start_server();
     let addr = server.addr();

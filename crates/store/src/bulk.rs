@@ -248,6 +248,7 @@ impl Store {
         node_limit: usize,
     ) -> Result<BulkLoadStats, StoreError> {
         g.check_shape();
+        self.stats_cache.invalidate();
         let (n, m) = (g.nodes.len(), g.edges.len());
         // Fail before touching anything: atomicity by ordering.
         if n > node_limit {

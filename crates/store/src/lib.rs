@@ -73,6 +73,7 @@ pub mod csr;
 pub mod dict;
 pub mod par;
 pub mod snapshot;
+pub mod stats;
 pub mod store;
 
 pub use bulk::{BulkGraph, BulkLoadStats};
@@ -80,6 +81,9 @@ pub use column::ColumnarRelation;
 pub use csr::{AdjacencyView, Csr, CsrIndex, DeltaAdjacency, ReachScratch};
 pub use dict::Dictionary;
 pub use snapshot::{ConcurrentStore, StoreSnapshot};
+pub use stats::{
+    AdjacencyStatistics, DegreeHistogram, GraphStatistics, RelationStatistics, StoreStatistics,
+};
 pub use store::{
     AccessCounters, AccessSnapshot, CompactionStats, GraphEntry, GraphForm, GraphStats,
     MemoryBytes, RelationStats, Store, StoreError, StoreStats, ADOM_REL,

@@ -24,6 +24,7 @@
 use crate::column::ColumnarRelation;
 use crate::csr::{AdjacencyView, CsrIndex, DeltaAdjacency};
 use crate::dict::Dictionary;
+use crate::stats::{AdjacencyStatistics, GraphStatistics, StoreStatistics};
 use pgq_graph::{
     pg_view_bounded, pg_view_exact, pg_view_ext, PropertyGraph, Update, UpdateError, ViewError,
     ViewMode, ViewRelations,
@@ -33,7 +34,7 @@ use pgq_value::{Label, Tuple, Value};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// The reserved relation name under which the store registers the
 /// active domain `adom(D)` as a unary relation, so `AdomScan` plans can
@@ -335,6 +336,25 @@ impl GraphEntry {
     /// Whether any read goes through an overlay.
     pub fn has_overlay(&self) -> bool {
         self.overlay_size() > 0
+    }
+
+    /// Degree statistics for the node-level adjacency and every
+    /// per-label index — the graph slice of [`StoreStatistics`].
+    pub(crate) fn statistics(&self) -> GraphStatistics {
+        GraphStatistics {
+            adjacency: AdjacencyStatistics::of(&self.csr, self.overlay_size()),
+            labels: self
+                .labels
+                .iter()
+                .map(|(l, li)| {
+                    let text = l.as_str().map_or_else(|| l.to_string(), String::from);
+                    (
+                        text,
+                        AdjacencyStatistics::of(&li.csr, li.delta.change_count()),
+                    )
+                })
+                .collect(),
+        }
     }
 
     /// Estimated resident bytes of the frozen CSR indexes (node-level
@@ -843,6 +863,30 @@ pub struct Store {
     /// every snapshot clone of the store records into the same totals —
     /// a server's `METRICS` aggregates across all published snapshots.
     counters: Arc<AccessCounters>,
+    /// Lazily-computed planner statistics (PR 10). Shared by snapshot
+    /// clones exactly like the columns and CSR bases; every mutation
+    /// swaps in a fresh slot (see [`StatsCache::invalidate`]).
+    pub(crate) stats_cache: StatsCache,
+}
+
+/// The cached [`StoreStatistics`] slot plus its invalidation epoch.
+///
+/// Cloning a [`Store`] clones the `Arc` — a pinned snapshot keeps the
+/// statistics computed against the state it pins, for free. A mutation
+/// replaces the slot (never writes through it), so no clone ever
+/// observes statistics newer than its data, and bumps the epoch — the
+/// staleness suite asserts the bump per mutation class.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StatsCache {
+    slot: Arc<OnceLock<Arc<StoreStatistics>>>,
+    epoch: u64,
+}
+
+impl StatsCache {
+    pub(crate) fn invalidate(&mut self) {
+        self.slot = Arc::new(OnceLock::new());
+        self.epoch += 1;
+    }
 }
 
 impl Store {
@@ -867,6 +911,26 @@ impl Store {
     /// threading any mutability into the store.
     pub fn counters(&self) -> &AccessCounters {
         &self.counters
+    }
+
+    /// The planner statistics of the current state — computed on first
+    /// use, then served from the cache until the next mutation (the two
+    /// `Arc`s compare `ptr_eq` while the cache holds). See
+    /// [`StoreStatistics`] for what is summarized and `StatsCache`
+    /// (crate-private) for the snapshot-consistency contract.
+    pub fn statistics(&self) -> Arc<StoreStatistics> {
+        Arc::clone(
+            self.stats_cache
+                .slot
+                .get_or_init(|| Arc::new(StoreStatistics::compute(self, self.stats_cache.epoch))),
+        )
+    }
+
+    /// The statistics invalidation epoch: bumped by every mutation, so
+    /// `statistics().epoch` equals this exactly when the cached
+    /// snapshot is current. Test hook for the staleness suite.
+    pub fn statistics_epoch(&self) -> u64 {
+        self.stats_cache.epoch
     }
 
     /// Registers every relation of `db` (columnar + adjacency for the
@@ -913,6 +977,7 @@ impl Store {
         for (name, views, form) in rebuild {
             self.register_view_graph(name, views, db, form)?;
         }
+        self.stats_cache.invalidate();
         Ok(())
     }
 
@@ -923,6 +988,7 @@ impl Store {
     /// relation (dropping entries whose view became invalid) — stale
     /// frozen state must not keep answering for replaced data.
     pub fn register_relation(&mut self, name: RelName, rel: &Relation) -> Result<(), StoreError> {
+        self.stats_cache.invalidate();
         self.register_relation_raw(name.clone(), rel)?;
         // A wholesale replacement can both add and drop values.
         self.adom_dirty = true;
@@ -1009,6 +1075,7 @@ impl Store {
         form: GraphForm,
     ) -> Result<(), StoreError> {
         let name = graph_name.into();
+        self.stats_cache.invalidate();
         let entry = GraphEntry::from_graph(g, views.clone(), form)?;
         match views {
             Some(v) => {
@@ -1066,6 +1133,7 @@ impl Store {
     /// never a correctness requirement. Note that [`Store::compact`]
     /// rebuilds the dictionary, invalidating previously returned codes.
     pub fn intern_literal(&mut self, v: &Value) -> Result<u32, StoreError> {
+        self.stats_cache.invalidate();
         self.dict_mut().intern(v)
     }
 
@@ -1125,6 +1193,7 @@ impl Store {
     /// the rebuild fails — a dropped entry falls back to per-query
     /// evaluation instead of answering stale.
     pub fn drop_graph(&mut self, name: &str) -> bool {
+        self.stats_cache.invalidate();
         self.view_specs.remove(name);
         self.graphs.remove(name).is_some()
     }
@@ -1157,6 +1226,7 @@ impl Store {
     /// whether the row was new.
     pub fn insert_row(&mut self, name: impl Into<RelName>, t: &Tuple) -> Result<bool, StoreError> {
         let name = name.into();
+        self.stats_cache.invalidate();
         if !self.relations.contains_key(&name) {
             self.relations
                 .insert(name.clone(), Arc::new(ColumnarRelation::empty(t.arity())));
@@ -1177,6 +1247,7 @@ impl Store {
     /// overlay, active-domain refresh, graph refreeze). Returns whether
     /// the row existed.
     pub fn delete_row(&mut self, name: &RelName, t: &Tuple) -> Result<bool, StoreError> {
+        self.stats_cache.invalidate();
         let removed = self.tombstone_row_raw(name, t);
         if removed {
             self.refresh_adom()?;
@@ -1198,6 +1269,7 @@ impl Store {
     /// stale at worst and reclaimed by [`Store::compact`]. Oversized
     /// overlays are folded on the way out.
     pub fn apply_update(&mut self, graph: &str, update: &Update) -> Result<(), StoreError> {
+        self.stats_cache.invalidate();
         self.apply_update_raw(graph, update)?;
         self.finish_updates(graph)
     }
@@ -1209,6 +1281,7 @@ impl Store {
     /// (⟨adom⟩ refresh, overlay folds) still runs for them, so the
     /// store is internally consistent even when the batch errors.
     pub fn apply_updates(&mut self, graph: &str, updates: &[Update]) -> Result<(), StoreError> {
+        self.stats_cache.invalidate();
         let mut result = Ok(());
         let mut applied = 0usize;
         for u in updates {
@@ -1892,6 +1965,7 @@ impl Store {
     /// query result changes. Previously returned codes (from
     /// [`Store::encode`] / [`Store::intern_literal`]) are invalidated.
     pub fn compact(&mut self) -> Result<CompactionStats, StoreError> {
+        self.stats_cache.invalidate();
         // Settle the active domain first: a dirty ⟨adom⟩ would keep
         // departed values alive through the rebuild.
         self.refresh_adom()?;
@@ -2946,5 +3020,87 @@ mod tests {
             small, large,
             "candidate rows per detach must not scale with store size"
         );
+    }
+
+    // ---- store statistics cache (PR 10) ----
+
+    /// Reads share one cached [`StoreStatistics`] Arc; every mutation
+    /// class — row-level writes, graph updates, compaction, and
+    /// registration — swaps the slot and bumps the epoch, so stale
+    /// estimates can never leak into the cost planner.
+    #[test]
+    fn statistics_cache_survives_reads_and_invalidates_on_writes() {
+        let (_, mut store) = registered_store();
+        let n: RelName = "N".into();
+        let first = store.statistics();
+        let again = store.statistics();
+        assert!(Arc::ptr_eq(&first, &again), "reads share the cached Arc");
+        assert_eq!(first.epoch, store.statistics_epoch());
+        let n_rows = first.live_rows(&n).unwrap();
+
+        store.insert_row("N", &tuple!["z"]).unwrap();
+        let after_insert = store.statistics();
+        assert!(!Arc::ptr_eq(&first, &after_insert));
+        assert!(after_insert.epoch > first.epoch);
+        assert_eq!(after_insert.live_rows(&n).unwrap(), n_rows + 1);
+
+        store.delete_row(&n, &tuple!["z"]).unwrap();
+        let after_delete = store.statistics();
+        assert!(after_delete.epoch > after_insert.epoch);
+        assert_eq!(after_delete.live_rows(&n).unwrap(), n_rows);
+        assert!(after_delete.relations[&n].tombstone_rows > 0);
+
+        store
+            .apply_update(
+                "G",
+                &Update::AddEdge {
+                    id: nid("e4"),
+                    src: nid("d"),
+                    tgt: nid("a"),
+                },
+            )
+            .unwrap();
+        let after_update = store.statistics();
+        assert!(after_update.epoch > after_delete.epoch);
+        assert!(after_update.graphs["G"].adjacency.overlay > 0);
+
+        store.compact().unwrap();
+        let after_compact = store.statistics();
+        assert!(after_compact.epoch > after_update.epoch);
+        assert_eq!(after_compact.relations[&n].tombstone_rows, 0);
+        assert_eq!(after_compact.graphs["G"].adjacency.overlay, 0);
+
+        store
+            .register_relation("Extra".into(), &Relation::unary([1i64]))
+            .unwrap();
+        let after_register = store.statistics();
+        assert!(after_register.epoch > after_compact.epoch);
+        assert!(after_register.live_rows(&"Extra".into()).is_some());
+    }
+
+    /// A pinned snapshot keeps answering with its own consistent
+    /// statistics — same Arc, same counts — no matter what a
+    /// concurrent writer publishes meanwhile.
+    #[test]
+    fn pinned_snapshots_keep_their_statistics_under_concurrent_writes() {
+        let (_, store) = registered_store();
+        let n: RelName = "N".into();
+        let concurrent = crate::ConcurrentStore::new(store);
+        let pin = concurrent.pin();
+        let pinned = pin.as_store().statistics();
+        concurrent
+            .write(|s| s.insert_row("N", &tuple!["z"]).map(|_| ()))
+            .unwrap();
+        // The writer's published state sees the row under a new epoch …
+        let fresh = concurrent.pin().as_store().statistics();
+        assert_eq!(
+            fresh.live_rows(&n),
+            pinned.live_rows(&n).map(|rows| rows + 1)
+        );
+        assert!(fresh.epoch > pinned.epoch);
+        // … while the pinned snapshot still serves its frozen stats.
+        let again = pin.as_store().statistics();
+        assert!(Arc::ptr_eq(&pinned, &again));
+        assert_eq!(again.live_rows(&n), pinned.live_rows(&n));
     }
 }

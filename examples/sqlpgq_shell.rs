@@ -31,9 +31,13 @@
 //! * `STATS;` — prints the session store's storage layout: dictionary
 //!   residency (codes minted / live / stale), overlay sizes, tombstone
 //!   counts, resident bytes by component (dictionary / columns / CSR /
-//!   overlays), and the effect of the last compaction. `STATS JSON;`
-//!   emits the same report as JSON, with the byte breakdown under a
-//!   `"bytes"` object;
+//!   overlays), and the effect of the last compaction — followed by
+//!   the planner statistics (PR 10): per-column distinct counts, live
+//!   and tombstoned rows per relation, and forward/reverse degree
+//!   histogram summaries (min/mean/p99/max) per CSR index and graph.
+//!   `STATS JSON;` emits the same report as JSON, with the byte
+//!   breakdown under a `"bytes"` object and the planner statistics
+//!   under `"statistics"`;
 //! * `METRICS;` — prints session-cumulative store access counters
 //!   (IndexScan rows served, CSR neighbor/sweep reads,
 //!   overlay-vs-dense adjacency reads, dictionary decodes).
@@ -47,7 +51,13 @@
 //!   queries run through the store-backed physical engine on that
 //!   many workers — results are identical at every setting — and
 //!   `EXPLAIN` annotates each parallel operator with its degree of
-//!   parallelism (`⟨dop≤n⟩`).
+//!   parallelism (`⟨dop≤n⟩`);
+//! * `SET PLANNER cost;` / `SET PLANNER rule;` — which pass lowers
+//!   plans onto the session store (PR 10): the statistics-driven
+//!   cost-based planner (the default) or the fixed rule-based rewrite
+//!   (the escape hatch and ablation baseline). Results are identical
+//!   under both — only plan shapes move — and `EXPLAIN` renders the
+//!   plan the active planner would execute.
 //!
 //! ```sh
 //! cargo run --example sqlpgq_shell            # built-in demo
@@ -77,6 +87,8 @@ SELECT * FROM GRAPH_TABLE (Transfers
   RETURN (x.iban, y.iban));
 STATS;
 SET THREADS 2;
+SET PLANNER rule;
+SET PLANNER cost;
 INSERT INTO Account VALUES ('IL04');
 INSERT INTO Transfer VALUES (3, 'IL03', 'IL04', 102, 900);
 DELETE FROM Transfer VALUES (1, 'IL01', 'IL02', 100, 500);
@@ -116,6 +128,8 @@ fn main() {
     let mut store: Option<Store> = None;
     // `SET THREADS n;` — 0 means the environment default.
     let mut threads: usize = 0;
+    // `SET PLANNER {cost|rule};` — cost-based is the default.
+    let mut planner = sqlpgq::exec::PlannerChoice::default();
     // Session-cumulative store access counters: each GRAPH_TABLE query
     // runs on a short-lived scratch store whose counters are absorbed
     // here, so `METRICS;` reports totals across the whole session.
@@ -149,8 +163,12 @@ fn main() {
                         for line in store.stats().to_string().lines() {
                             println!("   {line}");
                         }
+                        println!("-- planner statistics");
+                        for line in store.statistics().to_string().lines() {
+                            println!("   {line}");
+                        }
                     } else {
-                        println!("{}", stats_json(&store.stats()));
+                        println!("{}", stats_json(&store.stats(), &store.statistics()));
                     }
                 }
                 Err(e) => println!("!! {e}"),
@@ -197,9 +215,19 @@ fn main() {
             }
             continue;
         }
+        if upper.starts_with("SET PLANNER") {
+            match sqlpgq::exec::PlannerChoice::parse(stmt["SET PLANNER".len()..].trim()) {
+                Some(p) => {
+                    planner = p;
+                    println!("-- planner set to {planner}");
+                }
+                None => println!("!! SET PLANNER needs cost or rule"),
+            }
+            continue;
+        }
         if let Some((inner, analyze)) = strip_explain(stmt) {
             if analyze {
-                match explain_analyze(&session, &db, threads, &session_counters, inner) {
+                match explain_analyze(&session, &db, threads, planner, &session_counters, inner) {
                     Ok(text) => {
                         println!("-- query profile");
                         for line in text.lines() {
@@ -210,7 +238,7 @@ fn main() {
                 }
                 continue;
             }
-            match explain(&session, &db, store.as_ref(), threads, inner) {
+            match explain(&session, &db, store.as_ref(), threads, planner, inner) {
                 Ok(text) => {
                     println!("-- physical plan");
                     for line in text.lines() {
@@ -222,7 +250,7 @@ fn main() {
             continue;
         }
         if upper.starts_with("SELECT") {
-            match graph_select(&session, &db, threads, &session_counters, stmt) {
+            match graph_select(&session, &db, threads, planner, &session_counters, stmt) {
                 Ok(rows) => {
                     println!("-- {} row(s)", rows.len());
                     for row in rows.iter() {
@@ -288,6 +316,7 @@ fn explain(
     db: &Database,
     session_store: Option<&Store>,
     threads: usize,
+    planner: sqlpgq::exec::PlannerChoice,
     inner: &str,
 ) -> Result<String, Box<dyn std::error::Error>> {
     use sqlpgq::parser::{parse_statement, Statement};
@@ -301,7 +330,8 @@ fn explain(
     let (scratch, names) = stage_views(session, db, &gq.graph)?;
     let store = Store::from_database(&scratch);
     let q = sqlpgq::core::Query::pattern_n(k, out, names.map(sqlpgq::core::Query::rel));
-    let mut text = sqlpgq::core::explain_with_opts(&q, &scratch.schema(), Some(&store), threads)?;
+    let opts = sqlpgq::exec::ExecOptions::with_threads(threads).with_planner(planner);
+    let mut text = sqlpgq::core::explain_with_exec_opts(&q, &scratch.schema(), Some(&store), opts)?;
     // The plan above is staged against a fresh snapshot of the view
     // relations; when the *session* store carries update overlays,
     // say so — library callers explaining against that store see the
@@ -355,6 +385,7 @@ fn graph_select(
     session: &Session,
     db: &Database,
     threads: usize,
+    planner: sqlpgq::exec::PlannerChoice,
     counters: &sqlpgq::store::AccessCounters,
     stmt: &str,
 ) -> Result<Relation, Box<dyn std::error::Error>> {
@@ -364,7 +395,9 @@ fn graph_select(
     // against a published snapshot (PR 8). The access counters are
     // shared by the pin, so METRICS still sees this query.
     let snap = StoreSnapshot::from(store);
-    let cfg = EvalConfig::physical().with_threads(threads);
+    let cfg = EvalConfig::physical()
+        .with_threads(threads)
+        .with_planner(planner);
     let rel = eval_with_snapshot(&q, &scratch, cfg, &snap)?;
     counters.absorb(&snap.counters().snapshot());
     Ok(rel)
@@ -380,12 +413,15 @@ fn explain_analyze(
     session: &Session,
     db: &Database,
     threads: usize,
+    planner: sqlpgq::exec::PlannerChoice,
     counters: &sqlpgq::store::AccessCounters,
     inner: &str,
 ) -> Result<String, Box<dyn std::error::Error>> {
     let (scratch, store, q) = stage_query(session, db, inner)?;
     let snap = StoreSnapshot::from(store);
-    let cfg = EvalConfig::physical().with_threads(threads);
+    let cfg = EvalConfig::physical()
+        .with_threads(threads)
+        .with_planner(planner);
     let (_rel, profile) = sqlpgq::core::eval_with_snapshot_profiled(&q, &scratch, cfg, &snap)?;
     counters.absorb(&snap.counters().snapshot());
     Ok(profile.render(true))
@@ -442,8 +478,31 @@ fn metrics_json(snap: &sqlpgq::store::AccessSnapshot) -> String {
     w.finish()
 }
 
-/// `STATS JSON;` — the storage-layout report as JSON.
-fn stats_json(stats: &sqlpgq::store::StoreStats) -> String {
+/// One direction of a degree histogram as a JSON object.
+fn histogram_json(w: &mut sqlpgq::exec::JsonWriter, key: &str, h: &sqlpgq::store::DegreeHistogram) {
+    w.key(key);
+    w.begin_object();
+    w.key("nodes");
+    w.number(h.nodes as u64);
+    w.key("edges");
+    w.number(h.edges as u64);
+    w.key("min");
+    w.number(h.min as u64);
+    w.key("mean");
+    w.float(h.mean);
+    w.key("p99");
+    w.number(h.p99 as u64);
+    w.key("max");
+    w.number(h.max as u64);
+    w.end_object();
+}
+
+/// `STATS JSON;` — the storage-layout report plus the planner
+/// statistics as JSON.
+fn stats_json(
+    stats: &sqlpgq::store::StoreStats,
+    statistics: &sqlpgq::store::StoreStatistics,
+) -> String {
     let mut w = sqlpgq::exec::JsonWriter::pretty();
     w.begin_object();
     w.key("dictionary_total");
@@ -520,6 +579,45 @@ fn stats_json(stats: &sqlpgq::store::StoreStats) -> String {
         w.end_object();
     }
     w.end_array();
+    w.key("statistics");
+    w.begin_object();
+    w.key("epoch");
+    w.number(statistics.epoch);
+    w.key("dictionary_codes");
+    w.number(statistics.dictionary_codes as u64);
+    w.key("relations");
+    w.begin_array();
+    for (name, r) in &statistics.relations {
+        w.begin_object();
+        w.key("name");
+        w.string(&name.to_string());
+        w.key("live_rows");
+        w.number(r.live_rows as u64);
+        w.key("tombstone_rows");
+        w.number(r.tombstone_rows as u64);
+        w.key("distinct");
+        w.begin_array();
+        for d in &r.distinct {
+            w.number(*d as u64);
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    w.key("graphs");
+    w.begin_array();
+    for (name, g) in &statistics.graphs {
+        w.begin_object();
+        w.key("name");
+        w.string(name);
+        histogram_json(&mut w, "forward", &g.adjacency.forward);
+        histogram_json(&mut w, "reverse", &g.adjacency.reverse);
+        w.key("overlay");
+        w.number(g.adjacency.overlay as u64);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
     w.end_object();
     w.finish()
 }

@@ -254,6 +254,36 @@ proptest! {
         prop_assert_eq!(&renders[1], &renders[2], "{}", q);
     }
 
+    /// The planner differential (PR 10): the statistics-driven cost
+    /// planner and the fixed rule pass answer random `RaExpr` trees
+    /// identically to the S2 reference — coded and decoded, at 1, 2
+    /// and 8 worker threads. The planners may pick different join
+    /// orders, build sides and expansion directions; the answer never
+    /// moves.
+    #[test]
+    fn planner_differential(
+        q in arb_ra(2, 3),
+        n in 1usize..8,
+        m in 0usize..14,
+        seed in 0u64..1000,
+    ) {
+        let db = ve_db(n, m, seed);
+        let store = pgq_store::Store::from_database(&db);
+        let reference = q.eval(&db).unwrap();
+        for planner in [pgq_exec::PlannerChoice::Cost, pgq_exec::PlannerChoice::Rule] {
+            for threads in [1usize, 2, 8] {
+                let opts = pgq_exec::ExecOptions::with_threads(threads).with_planner(planner);
+                for mode in [pgq_exec::BatchMode::Coded, pgq_exec::BatchMode::Decoded] {
+                    prop_assert_eq!(
+                        &pgq_exec::eval_ra_opts(&q, &db, &store, mode, &opts).unwrap(),
+                        &reference,
+                        "{} planner on {} at {} threads", planner, q, threads
+                    );
+                }
+            }
+        }
+    }
+
     /// The engine-routed `TC` (S5) still matches the assignment
     /// enumeration oracle (S6), including parameterized closures.
     #[test]
@@ -333,6 +363,52 @@ fn core_profiled_route_matches_and_is_deterministic() {
     }
     assert_eq!(renders[0], renders[1]);
     assert_eq!(renders[1], renders[2]);
+}
+
+/// `EXPLAIN ANALYZE` estimates (PR 10): every store-backed operator
+/// row renders an `est=` cardinality next to the measured rows, and —
+/// because the estimates are a pure function of the store's frozen
+/// statistics — the timing-free rendering stays byte-identical at 1,
+/// 2 and 8 worker threads, under both planners.
+#[test]
+fn explain_analyze_renders_estimates_deterministically() {
+    let db = ve_db(8, 20, 7);
+    let store = pgq_store::Store::from_database(&db);
+    let q = RaExpr::rel("E")
+        .product(RaExpr::rel("E"))
+        .select(RowCondition::col_eq(1, 2))
+        .project(vec![0, 3]);
+    for planner in [pgq_exec::PlannerChoice::Cost, pgq_exec::PlannerChoice::Rule] {
+        let mut renders: Vec<String> = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let opts = pgq_exec::ExecOptions::with_threads(threads).with_planner(planner);
+            let (_, profile) =
+                pgq_exec::eval_ra_profiled(&q, &db, &store, pgq_exec::BatchMode::Coded, &opts)
+                    .unwrap();
+            let text = profile.render(false);
+            assert!(
+                text.contains("est="),
+                "{planner} planner must render estimates:\n{text}"
+            );
+            renders.push(text);
+        }
+        assert_eq!(renders[0], renders[1], "{planner}");
+        assert_eq!(renders[1], renders[2], "{planner}");
+    }
+    // The core `EXPLAIN ANALYZE` route grafts them onto its plans too.
+    let cdb = canonical_graph_db(6, 12, 10, 42);
+    let cstore = pgq_store::Store::from_database(&cdb);
+    let shell = Query::rel("S")
+        .product(Query::rel("T"))
+        .select(RowCondition::col_eq(0, 2))
+        .project(vec![1, 3]);
+    let (_, profile) =
+        pgq_core::eval_with_store_profiled(&shell, &cdb, EvalConfig::physical(), &cstore).unwrap();
+    let text = profile.render(false);
+    assert!(
+        text.contains("est="),
+        "core route must render estimates:\n{text}"
+    );
 }
 
 #[test]

@@ -22,7 +22,7 @@
 use pgq_core::{builders, eval_with, eval_with_snapshot, eval_with_store, EvalConfig, Query};
 use pgq_exec::{
     eval_ra, eval_ra_mode, eval_ra_opts, eval_ra_with, execute_opts, plan_ra, store_plan,
-    BatchMode, ExecOptions,
+    BatchMode, ExecOptions, PlannerChoice,
 };
 use pgq_graph::{updates, Update, ViewRelations};
 use pgq_relational::{CmpOp, Database, RaExpr, RelName, Relation, RowCondition};
@@ -460,6 +460,81 @@ proptest! {
                 &reference,
                 "{} threads", threads
             );
+        }
+    }
+
+    /// The planner differential under mutation (PR 10): after a random
+    /// accepted update sequence — tombstoned columns and CSR overlays
+    /// left in place — the cost planner and the rule pass answer
+    /// multi-join and difference shapes identically to the S2
+    /// reference, coded and decoded, at 1, 2 and 8 threads; and a
+    /// reader holding a `ConcurrentStore` pin gets the same answer
+    /// from its frozen statistics after a writer publishes ahead.
+    #[test]
+    fn planner_differential_under_tombstones_and_overlays(
+        seq in proptest::collection::vec(arb_canonical_update(), 0..20),
+        n in 1usize..6,
+        m in 0usize..8,
+        seed in 0u64..1000,
+    ) {
+        let db0 = canonical_graph_db(n, m, 5, seed);
+        let mut store = store_for(&db0);
+        let mut rels = view_relations_of(&db0);
+        for u in &seq {
+            let mut next = rels.clone();
+            if updates::apply(&mut next, u).is_ok() {
+                store.apply_update("G", u).expect("reference accepted the update");
+                rels = next;
+            }
+        }
+        let db = db_of(&rels);
+        // A three-way join (the ordering decision), a two-way join
+        // (the build-side/direction decisions), and a difference.
+        let shapes = [
+            RaExpr::rel("S")
+                .product(RaExpr::rel("T"))
+                .select(RowCondition::col_eq(0, 2))
+                .product(RaExpr::rel("L"))
+                .select(RowCondition::col_eq(0, 4))
+                .project(vec![1, 3, 5]),
+            RaExpr::rel("S")
+                .product(RaExpr::rel("T"))
+                .select(RowCondition::col_eq(0, 2))
+                .project(vec![1, 3]),
+            RaExpr::rel("N").diff(RaExpr::rel("T").project(vec![1])),
+        ];
+        for q in &shapes {
+            let reference = q.eval(&db).unwrap();
+            for planner in [PlannerChoice::Cost, PlannerChoice::Rule] {
+                for threads in [1usize, 2, 8] {
+                    let opts = ExecOptions::with_threads(threads).with_planner(planner);
+                    for mode in [BatchMode::Coded, BatchMode::Decoded] {
+                        prop_assert_eq!(
+                            &eval_ra_opts(q, &db, &store, mode, &opts).unwrap(),
+                            &reference,
+                            "{} planner, {:?} at {} threads on {}", planner, mode, threads, q
+                        );
+                    }
+                }
+            }
+        }
+        // A pinned snapshot keeps its own consistent statistics: the
+        // writer publishing ahead must not move any pinned answer.
+        let concurrent = ConcurrentStore::new(store);
+        let pin = concurrent.pin();
+        concurrent
+            .write(|s| s.insert_row("N", &tuple!["planner-differential-extra"]).map(|_| ()))
+            .unwrap();
+        for q in &shapes {
+            let reference = q.eval(&db).unwrap();
+            for planner in [PlannerChoice::Cost, PlannerChoice::Rule] {
+                let opts = ExecOptions::with_threads(2).with_planner(planner);
+                prop_assert_eq!(
+                    &eval_ra_opts(q, &db, pin.as_store(), BatchMode::Coded, &opts).unwrap(),
+                    &reference,
+                    "pinned snapshot, {} planner on {}", planner, q
+                );
+            }
         }
     }
 
